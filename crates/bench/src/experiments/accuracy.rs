@@ -1,0 +1,179 @@
+//! Figs. 5, 18, 19 and Table IV — batch size, accuracy, time-to-solution.
+
+use elan_core::job::{resnet50_configs, run_elastic_training, ElasticRunConfig};
+use elan_core::ElanSystem;
+use elan_models::convergence::ScalingRule;
+use elan_models::{zoo, AccuracyModel};
+use elan_sim::SimDuration;
+
+use crate::experiments::Testbed;
+use crate::table::Table;
+
+/// Fig. 5: MobileNet-v2/Cifar100 top-1 accuracy versus total batch size,
+/// with the default (fixed) learning rate and with the hybrid rule.
+pub fn fig5_batch_size_accuracy() -> String {
+    let acc = AccuracyModel::mobilenet_v2_cifar100();
+    let hybrid = ScalingRule::ProgressiveLinear { ramp_iters: 100 };
+    let mut t = Table::new(vec!["total batch", "Default", "Hybrid"]);
+    for p in 7..=12u32 {
+        let tbs = 1u32 << p;
+        t.row(vec![
+            format!("2^{p} = {tbs}"),
+            format!("{:.2}%", acc.final_accuracy(tbs, ScalingRule::None) * 100.0),
+            format!("{:.2}%", acc.final_accuracy(tbs, hybrid) * 100.0),
+        ]);
+    }
+    format!(
+        "Fig. 5: MobileNet-v2 on Cifar100, accuracy vs. total batch size\n\n{}",
+        t.render()
+    )
+}
+
+/// The three §VI-B runs (shared by Fig. 18/19/Table IV).
+fn run_three() -> [(String, elan_core::job::ElasticRunResult); 3] {
+    let tb = Testbed::paper();
+    let model = zoo::resnet50();
+    let acc = AccuracyModel::resnet50_imagenet();
+    let system = ElanSystem::new();
+    let mk = |phases| {
+        run_elastic_training(&ElasticRunConfig {
+            model: &model,
+            perf: &tb.perf,
+            accuracy: &acc,
+            rule: ScalingRule::ProgressiveLinear { ramp_iters: 100 },
+            phases,
+            total_epochs: 90,
+            topology: &tb.topology,
+            bandwidth: &tb.bandwidth,
+            system: &system,
+            coordination_interval: 10,
+            seed: 42,
+        })
+    };
+    [
+        ("512 (16)".to_string(), mk(resnet50_configs::static_512_16())),
+        (
+            "512-2048 (Elastic)".to_string(),
+            mk(resnet50_configs::elastic_512_2048()),
+        ),
+        (
+            "512-2048 (64)".to_string(),
+            mk(resnet50_configs::fixed64_512_2048()),
+        ),
+    ]
+}
+
+/// Fig. 18: final top-1 accuracy of static vs. elastic training.
+pub fn fig18_elastic_accuracy() -> String {
+    let runs = run_three();
+    let mut t = Table::new(vec!["configuration", "top-1 accuracy", "epochs", "wall time"]);
+    for (name, r) in &runs {
+        t.row(vec![
+            name.clone(),
+            format!("{:.2}%", r.final_accuracy * 100.0),
+            r.epoch_times.len().to_string(),
+            format!("{:.0}s", r.total_time().as_secs_f64()),
+        ]);
+    }
+    format!(
+        "Fig. 18: top-1 accuracy, static vs. elastic (paper: 75.89% vs 75.87%)\n\n{}",
+        t.render()
+    )
+}
+
+/// Table IV (and Fig. 19): time-to-solution for three accuracy targets
+/// plus the elastic speedup over the static baseline.
+pub fn tab4_time_to_solution() -> String {
+    let runs = run_three();
+    let mut t = Table::new(vec![
+        "target accuracy",
+        "512 (16)",
+        "512-2048 (Elastic)",
+        "512-2048 (64)",
+        "speedup (Elastic vs static)",
+    ]);
+    for target in [0.745, 0.750, 0.755] {
+        let times: Vec<Option<SimDuration>> =
+            runs.iter().map(|(_, r)| r.time_to_accuracy(target)).collect();
+        let fmt = |t: &Option<SimDuration>| {
+            t.map_or("n/a".to_string(), |d| format!("{:.0}s", d.as_secs_f64()))
+        };
+        let speedup = match (&times[0], &times[1]) {
+            (Some(a), Some(b)) => format!("{:.2}x", a.as_secs_f64() / b.as_secs_f64()),
+            _ => "n/a".to_string(),
+        };
+        t.row(vec![
+            format!("{:.1}%", target * 100.0),
+            fmt(&times[0]),
+            fmt(&times[1]),
+            fmt(&times[2]),
+            speedup,
+        ]);
+    }
+    let mut out = format!(
+        "Table IV / Fig. 19: time to solution (paper: ~20% speedup; \
+         dynamic-batch-on-fixed-64 barely gains)\n\n{}",
+        t.render()
+    );
+    // The resource-efficiency view of "elasticity is necessary": dynamic
+    // batches on fixed 64 workers burn idle GPU-hours at small batches.
+    let worker_plan: [&[(u32, u32)]; 3] = [
+        &[(0, 16)],
+        &[(0, 16), (30, 32), (60, 64)],
+        &[(0, 64)],
+    ];
+    let mut cost = Table::new(vec!["configuration", "GPU-hours (full run)"]);
+    for ((name, r), plan) in runs.iter().zip(worker_plan) {
+        let hours: f64 = r
+            .epoch_times
+            .iter()
+            .enumerate()
+            .map(|(e, dt)| {
+                let n = plan
+                    .iter()
+                    .rev()
+                    .find(|(start, _)| *start as usize <= e)
+                    .expect("covered")
+                    .1;
+                dt.as_secs_f64() * n as f64 / 3600.0
+            })
+            .sum();
+        cost.row(vec![name.clone(), format!("{hours:.0}")]);
+    }
+    out.push('\n');
+    out.push_str(&cost.render());
+    // Fig. 19 series: accuracy vs. wall time, downsampled.
+    out.push_str("\nFig. 19 series (accuracy at selected wall times):\n");
+    let mut series = Table::new(vec!["configuration", "25% time", "50% time", "75% time", "end"]);
+    for (name, r) in &runs {
+        let pts = r.accuracy_vs_time();
+        let total = r.total_time().as_secs_f64();
+        let at = |frac: f64| {
+            let target = total * frac;
+            pts.iter()
+                .find(|(t, _)| t.as_secs_f64() >= target)
+                .map_or("-".to_string(), |(_, a)| format!("{:.1}%", a * 100.0))
+        };
+        series.row(vec![name.clone(), at(0.25), at(0.5), at(0.75), at(1.0)]);
+    }
+    out.push_str(&series.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig5_shows_both_rules() {
+        let s = super::fig5_batch_size_accuracy();
+        assert!(s.contains("Default") && s.contains("Hybrid"));
+        assert!(s.contains("2^12"));
+    }
+
+    #[test]
+    fn fig18_and_tab4_render() {
+        assert!(super::fig18_elastic_accuracy().contains("512-2048 (Elastic)"));
+        let t4 = super::tab4_time_to_solution();
+        assert!(t4.contains("speedup"));
+        assert!(t4.contains("74.5%"));
+    }
+}

@@ -1,0 +1,47 @@
+//! One module per group of paper artifacts.
+
+pub mod ablations;
+pub mod accuracy;
+pub mod adjustment;
+pub mod replication;
+pub mod scaling;
+pub mod sched;
+pub mod zoo;
+
+use elan_core::elasticity::AdjustmentContext;
+use elan_models::{ModelSpec, PerfModel};
+use elan_topology::{BandwidthModel, ClusterSpec, Topology};
+
+/// Shared fixtures: the paper's production testbed.
+pub struct Testbed {
+    /// 8 servers x 8 GPUs.
+    pub topology: Topology,
+    /// Fig. 8-calibrated link model.
+    pub bandwidth: BandwidthModel,
+    /// 1080Ti + InfiniBand performance model.
+    pub perf: PerfModel,
+}
+
+impl Testbed {
+    /// Builds the standard testbed.
+    pub fn paper() -> Self {
+        Testbed {
+            topology: ClusterSpec::paper_testbed().build(),
+            bandwidth: BandwidthModel::paper_default(),
+            perf: PerfModel::paper_default(),
+        }
+    }
+
+    /// An adjustment context over this testbed for `model`.
+    pub fn ctx<'a>(&'a self, model: &'a ModelSpec, total_batch: u32) -> AdjustmentContext<'a> {
+        AdjustmentContext {
+            topology: &self.topology,
+            bandwidth: &self.bandwidth,
+            perf: &self.perf,
+            model,
+            total_batch,
+            coordination_interval: 10,
+            seed: 42,
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Figs. 8, 9, 11 — links, the planner's worked example, S&R breakdown.
+
+use elan_baselines::ShutdownRestart;
+use elan_core::elasticity::AdjustmentRequest;
+use elan_models::zoo;
+use elan_sim::Bytes;
+use elan_topology::{NodeId, ReplicationPlanner, Transport};
+
+use crate::experiments::Testbed;
+use crate::table::Table;
+
+/// Fig. 8: effective bandwidth of P2P / SHM / NET by message size.
+pub fn fig8_bandwidth() -> String {
+    let tb = Testbed::paper();
+    let mut t = Table::new(vec!["message size", "P2P (GB/s)", "SHM (GB/s)", "NET (GB/s)"]);
+    for kib in [4u64, 64, 1024, 16 * 1024, 262_144, 1_048_576] {
+        let size = Bytes::from_kib(kib);
+        let row = |tr: Transport| {
+            format!("{:.2}", tb.bandwidth.effective_bandwidth(tr, size).as_gbytes_per_sec())
+        };
+        t.row(vec![
+            size.to_string(),
+            row(Transport::P2p),
+            row(Transport::Shm),
+            row(Transport::Net),
+        ]);
+    }
+    format!(
+        "Fig. 8: bandwidth of three communication ways (P2P > SHM > NET)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 9: the worked replication example — workers A,B (same switch),
+/// C (other socket), D (other node); E and F join.
+pub fn fig9_planner_example() -> String {
+    let tb = Testbed::paper();
+    let topo = &tb.topology;
+    let a = topo.gpu_at(NodeId(0), 0, 0, 0);
+    let b = topo.gpu_at(NodeId(0), 0, 0, 1);
+    let c = topo.gpu_at(NodeId(0), 1, 0, 0);
+    let d = topo.gpu_at(NodeId(1), 0, 0, 0);
+    let e = topo.gpu_at(NodeId(0), 1, 0, 1);
+    let f = topo.gpu_at(NodeId(1), 0, 1, 0);
+    let plan = ReplicationPlanner::new(topo)
+        .plan(&[a, b, c, d], &[e, f])
+        .expect("valid example");
+    let names = [(a, "A"), (b, "B"), (c, "C"), (d, "D"), (e, "E"), (f, "F")];
+    let name = |g| {
+        names
+            .iter()
+            .find(|(id, _)| *id == g)
+            .map_or("?", |(_, n)| *n)
+    };
+    let mut t = Table::new(vec!["transfer", "link level", "transport", "wave"]);
+    for (i, tr) in plan.transfers().iter().enumerate() {
+        let wave = plan
+            .waves()
+            .iter()
+            .position(|w| w.contains(&i))
+            .expect("every transfer is in a wave");
+        t.row(vec![
+            format!("{} -> {}", name(tr.src), name(tr.dst)),
+            tr.level.to_string(),
+            tr.transport.to_string(),
+            (wave + 1).to_string(),
+        ]);
+    }
+    let model = zoo::resnet50();
+    let d_total = plan.duration(
+        &tb.bandwidth,
+        Bytes::new(model.parameters * 4 * 2),
+        model.cpu_state_bytes(),
+    );
+    format!(
+        "Fig. 9: topology-aware replication for the worked example\n\
+         (A,B same switch; C other socket; D other node; E,F join)\n\n{}\n\
+         Concurrent waves: {}; ResNet-50 state replication time: {}\n",
+        t.render(),
+        plan.waves().len(),
+        d_total
+    )
+}
+
+/// Fig. 11: the Shutdown-&-Restart time breakdown that motivates the
+/// asynchronous coordination mechanism.
+pub fn fig11_snr_breakdown() -> String {
+    let tb = Testbed::paper();
+    let snr = ShutdownRestart::new();
+    let mut t = Table::new(vec![
+        "model",
+        "checkpoint",
+        "shutdown",
+        "start",
+        "initialize",
+        "load",
+        "total",
+    ]);
+    for model in zoo::evaluation_models() {
+        let ctx = tb.ctx(&model, 512);
+        let b = snr.breakdown(&AdjustmentRequest::contiguous(16, 32), &ctx);
+        t.row(vec![
+            model.name.to_string(),
+            format!("{:.2}s", b.checkpoint.as_secs_f64()),
+            format!("{:.2}s", b.shutdown.as_secs_f64()),
+            format!("{:.2}s", b.start.as_secs_f64()),
+            format!("{:.2}s", b.initialize.as_secs_f64()),
+            format!("{:.2}s", b.load.as_secs_f64()),
+            format!("{:.2}s", b.total().as_secs_f64()),
+        ]);
+    }
+    format!(
+        "Fig. 11: time breakdown of S&R scale-out 16 -> 32 \
+         (start + initialization dominate)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig8_preserves_ordering() {
+        let s = super::fig8_bandwidth();
+        assert!(s.contains("P2P"));
+    }
+
+    #[test]
+    fn fig9_pairs_match_paper() {
+        let s = super::fig9_planner_example();
+        assert!(s.contains("C -> E"));
+        assert!(s.contains("D -> F"));
+    }
+
+    #[test]
+    fn fig11_renders_phases() {
+        let s = super::fig11_snr_breakdown();
+        assert!(s.contains("initialize"));
+    }
+}

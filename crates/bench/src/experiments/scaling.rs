@@ -1,0 +1,117 @@
+//! Figs. 3, 4, 17 — strong and weak scaling curves.
+
+use elan_models::{zoo, PerfModel};
+
+use crate::table::Table;
+
+const WORKER_COUNTS: [u32; 6] = [2, 4, 8, 16, 32, 64];
+
+/// Fig. 3: strong-scaling throughput (fixed total batch); throughput
+/// rises then falls, and the optimum grows with the batch size.
+///
+/// The paper ran this analysis on V100 servers; we present the calibrated
+/// production model (GTX 1080 Ti), whose smoother compute/communication
+/// balance shows the same qualitative shapes. Swap in
+/// `PerfModel::v100_testbed()` to see the faster GPU hitting the node-
+/// boundary communication cliff earlier.
+pub fn fig3_strong_scaling() -> String {
+    let perf = PerfModel::paper_default();
+    let mut out = String::from("Fig. 3: training throughput using strong scaling (samples/s)\n");
+    for model in zoo::evaluation_models() {
+        out.push_str(&format!("\n[{}]\n", model.name));
+        let mut t = Table::new(vec!["TBS \\ workers", "2", "4", "8", "16", "32", "64", "N_opt"]);
+        for tbs in [512u32, 1024, 2048] {
+            let mut row = vec![tbs.to_string()];
+            for n in WORKER_COUNTS {
+                if n <= tbs {
+                    row.push(format!("{:.0}", perf.throughput(&model, n, tbs)));
+                } else {
+                    row.push("-".into());
+                }
+            }
+            row.push(perf.optimal_workers(&model, tbs, 128).to_string());
+            t.row(row);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Fig. 4: weak-scaling throughput (fixed per-worker batch) — near-linear
+/// lines whose slope grows with the per-worker batch.
+pub fn fig4_weak_scaling() -> String {
+    let perf = PerfModel::paper_default();
+    let mut out = String::from("Fig. 4: training throughput using weak scaling (samples/s)\n");
+    for model in zoo::evaluation_models() {
+        out.push_str(&format!("\n[{}]\n", model.name));
+        let mut t = Table::new(vec![
+            "batch/worker \\ workers",
+            "2",
+            "4",
+            "8",
+            "16",
+            "32",
+            "64",
+            "efficiency@64",
+        ]);
+        for b in [32u32, 64, 128] {
+            let mut row = vec![b.to_string()];
+            let t2 = perf.throughput(&model, 2, 2 * b);
+            let mut t64 = 0.0;
+            for n in WORKER_COUNTS {
+                let thr = perf.throughput(&model, n, n * b);
+                if n == 64 {
+                    t64 = thr;
+                }
+                row.push(format!("{thr:.0}"));
+            }
+            row.push(format!("{:.0}%", t64 / (t2 * 32.0) * 100.0));
+            t.row(row);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Fig. 17: ResNet-50 strong-scaling curves on the production testbed —
+/// the curves that guided the elastic configuration (512→16, 1024→32,
+/// 2048→64).
+pub fn fig17_resnet_strong_scaling() -> String {
+    let perf = PerfModel::paper_default();
+    let model = zoo::resnet50();
+    let mut out =
+        String::from("Fig. 17: ResNet-50 strong scaling on the production testbed (samples/s)\n\n");
+    let mut t = Table::new(vec![
+        "TBS \\ workers",
+        "8",
+        "16",
+        "24",
+        "32",
+        "48",
+        "64",
+        "96",
+        "N_opt",
+        "paper config",
+    ]);
+    for (tbs, cfg) in [(512u32, 16u32), (1024, 32), (2048, 64)] {
+        let mut row = vec![tbs.to_string()];
+        for n in [8u32, 16, 24, 32, 48, 64, 96] {
+            row.push(format!("{:.0}", perf.throughput(&model, n, tbs)));
+        }
+        row.push(perf.optimal_workers(&model, tbs, 256).to_string());
+        row.push(format!("{cfg} workers"));
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reports_render() {
+        assert!(super::fig3_strong_scaling().contains("N_opt"));
+        assert!(super::fig4_weak_scaling().contains("efficiency@64"));
+        assert!(super::fig17_resnet_strong_scaling().contains("paper config"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Figs. 1, 20, 21, 22 — elastic scheduling.
+
+use elan_core::elasticity::{ElasticitySystem, IdealSystem};
+use elan_core::ElanSystem;
+use elan_baselines::ShutdownRestart;
+use elan_sim::{SimDuration, Summary};
+use elan_sched::{generate_trace, run_trace, PolicyKind, SimConfig, TraceConfig};
+
+use crate::table::Table;
+
+fn sim_config<'a>(policy: PolicyKind, system: &'a dyn ElasticitySystem, seed: u64) -> SimConfig<'a> {
+    SimConfig {
+        total_gpus: 128,
+        policy,
+        system,
+        coordination_interval: 10,
+        startup: SimDuration::from_secs(30),
+        seed,
+        capacity: None,
+    }
+}
+
+/// Fig. 1: GPU utilization of one week under static scheduling — the
+/// motivating fluctuation.
+pub fn fig1_weekly_utilization() -> String {
+    let jobs = generate_trace(&TraceConfig::one_week(1));
+    let elan = ElanSystem::new();
+    let result = run_trace(&sim_config(PolicyKind::Backfill, &elan, 1), &jobs);
+    let series = result.utilization.downsample(28);
+    let mut t = Table::new(vec!["day", "GPU utilization"]);
+    for &(at, u) in series.points() {
+        t.row(vec![
+            format!("{:.2}", at.as_secs_f64() / 86_400.0),
+            format!("{:>5.1}% {}", u * 100.0, "#".repeat((u * 40.0) as usize)),
+        ]);
+    }
+    format!(
+        "Fig. 1: GPU utilization over one week, static scheduling \
+         ({} jobs; mean {:.1}%)\n\n{}",
+        jobs.len(),
+        result.utilization.time_weighted_mean() * 100.0,
+        t.render()
+    )
+}
+
+struct PolicyStats {
+    jpt: Summary,
+    jct: Summary,
+    makespan: Summary,
+    util: Summary,
+}
+
+fn run_policy(policy: PolicyKind, system: &dyn ElasticitySystem, seeds: &[u64]) -> PolicyStats {
+    let mut jpt = Vec::new();
+    let mut jct = Vec::new();
+    let mut makespan = Vec::new();
+    let mut util = Vec::new();
+    for &seed in seeds {
+        let jobs = generate_trace(&TraceConfig::paper_two_day(seed));
+        let m = run_trace(&sim_config(policy, system, seed), &jobs).metrics();
+        jpt.push(m.avg_jpt());
+        jct.push(m.avg_jct());
+        makespan.push(m.makespan.as_secs_f64());
+        util.push(m.mean_utilization);
+    }
+    PolicyStats {
+        jpt: Summary::from_values(&jpt),
+        jct: Summary::from_values(&jct),
+        makespan: Summary::from_values(&makespan),
+        util: Summary::from_values(&util),
+    }
+}
+
+/// Fig. 20: JPT / JCT / makespan for the four policies over three seeds
+/// (mean ± std, as the paper's error bars).
+pub fn fig20_policy_comparison() -> String {
+    let elan = ElanSystem::new();
+    let seeds = [11u64, 22, 33];
+    let mut t = Table::new(vec![
+        "policy",
+        "avg JPT (s)",
+        "avg JCT (s)",
+        "makespan (s)",
+        "utilization",
+    ]);
+    let mut stats = Vec::new();
+    for policy in [
+        PolicyKind::Fifo,
+        PolicyKind::ElasticFifo,
+        PolicyKind::Backfill,
+        PolicyKind::ElasticBackfill,
+    ] {
+        let s = run_policy(policy, &elan, &seeds);
+        t.row(vec![
+            policy.name().to_string(),
+            format!("{:.0} ± {:.0}", s.jpt.mean(), s.jpt.std()),
+            format!("{:.0} ± {:.0}", s.jct.mean(), s.jct.std()),
+            format!("{:.0} ± {:.0}", s.makespan.mean(), s.makespan.std()),
+            format!("{:.1}%", s.util.mean() * 100.0),
+        ]);
+        stats.push((policy, s));
+    }
+    let red = |a: f64, b: f64| (a - b) / a * 100.0;
+    let fifo = &stats[0].1;
+    let efifo = &stats[1].1;
+    let bf = &stats[2].1;
+    let ebf = &stats[3].1;
+    format!(
+        "Fig. 20: scheduling with and without elasticity, 3 seeds \
+         (paper: JPT -43%+, JCT -25%+, makespan -21%+)\n\n{}\n\
+         E-FIFO vs FIFO: JPT -{:.0}%, JCT -{:.0}%, makespan -{:.0}%\n\
+         E-BF   vs BF:   JPT -{:.0}%, JCT -{:.0}%, makespan -{:.0}%\n",
+        t.render(),
+        red(fifo.jpt.mean(), efifo.jpt.mean()),
+        red(fifo.jct.mean(), efifo.jct.mean()),
+        red(fifo.makespan.mean(), efifo.makespan.mean()),
+        red(bf.jpt.mean(), ebf.jpt.mean()),
+        red(bf.jct.mean(), ebf.jct.mean()),
+        red(bf.makespan.mean(), ebf.makespan.mean()),
+    )
+}
+
+/// Fig. 21: GPU utilization timeline, static vs. elastic backfill.
+pub fn fig21_utilization_timeline() -> String {
+    let elan = ElanSystem::new();
+    let jobs = generate_trace(&TraceConfig::paper_two_day(11));
+    let bf = run_trace(&sim_config(PolicyKind::Backfill, &elan, 11), &jobs);
+    let ebf = run_trace(&sim_config(PolicyKind::ElasticBackfill, &elan, 11), &jobs);
+    let mut t = Table::new(vec!["hour", "BF", "E-BF"]);
+    let sample = |r: &elan_sched::SimResult, hour: f64| {
+        let target = hour * 3600.0;
+        r.utilization
+            .points()
+            .iter()
+            .rev()
+            .find(|(at, _)| at.as_secs_f64() <= target)
+            .map_or(0.0, |&(_, u)| u)
+    };
+    for h in (0..48).step_by(3) {
+        t.row(vec![
+            h.to_string(),
+            format!("{:>5.1}%", sample(&bf, h as f64) * 100.0),
+            format!("{:>5.1}%", sample(&ebf, h as f64) * 100.0),
+        ]);
+    }
+    let last_finish = |r: &elan_sched::SimResult| {
+        r.outcomes
+            .iter()
+            .map(|o| o.finished_at.as_secs_f64() / 3600.0)
+            .fold(0.0f64, f64::max)
+    };
+    format!(
+        "Fig. 21: GPU utilization over the two-day trace \
+         (same work: BF drains by hour {:.0}, E-BF by hour {:.0})\n\n{}",
+        last_finish(&bf),
+        last_finish(&ebf),
+        t.render()
+    )
+}
+
+/// Fig. 22: E-BF scheduling under Elan vs. S&R vs. an ideal system.
+///
+/// Uses a moderate-load variant of the trace: with head-room in the
+/// cluster the elastic policy adjusts jobs frequently, which is exactly
+/// where slow (S&R) adjustments hurt.
+pub fn fig22_system_comparison() -> String {
+    let seeds = [11u64, 22, 33];
+    let elan = ElanSystem::new();
+    let snr = ShutdownRestart::new();
+    let ideal = IdealSystem;
+    let systems: [(&str, &dyn ElasticitySystem); 3] =
+        [("Ideal", &ideal), ("Elan", &elan), ("S&R", &snr)];
+    let mut t = Table::new(vec!["system", "avg JCT (s)", "makespan (s)", "JCT vs Ideal"]);
+    let mut base = 0.0;
+    for (name, sys) in systems {
+        let mut jct = Vec::new();
+        let mut makespan = Vec::new();
+        for &seed in &seeds {
+            let mut trace_cfg = TraceConfig::paper_two_day(seed);
+            trace_cfg.expected_jobs = 110; // moderate load: high churn
+            let jobs = generate_trace(&trace_cfg);
+            let m = run_trace(&sim_config(PolicyKind::ElasticBackfill, sys, seed), &jobs)
+                .metrics();
+            jct.push(m.avg_jct());
+            makespan.push(m.makespan.as_secs_f64());
+        }
+        let jct = Summary::from_values(&jct);
+        let makespan = Summary::from_values(&makespan);
+        if base == 0.0 {
+            base = jct.mean();
+        }
+        t.row(vec![
+            name.to_string(),
+            format!("{:.0} ± {:.0}", jct.mean(), jct.std()),
+            format!("{:.0} ± {:.0}", makespan.mean(), makespan.std()),
+            format!("+{:.1}%", (jct.mean() - base) / base * 100.0),
+        ]);
+    }
+    format!(
+        "Fig. 22: the necessity of high-performance elasticity \
+         (paper: Elan ~= Ideal; S&R JCT +6%)\n\n{}",
+        t.render()
+    )
+}
+
+/// Beyond the paper's figures: the transient-capacity (spot instance)
+/// scenario §VI-C motivates — the cluster loses a third of its GPUs for a
+/// few hours at a time, and only elastic jobs can shrink gracefully
+/// instead of being evicted.
+pub fn spot_capacity() -> String {
+    use elan_sched::capacity::CapacitySchedule;
+    let jobs = generate_trace(&TraceConfig::paper_two_day(11));
+    let spot = CapacitySchedule::spot_pattern(128, 80, 12, 4, 48);
+    let elan = ElanSystem::new();
+    let snr = ShutdownRestart::new();
+
+    let mut t = Table::new(vec![
+        "policy / system",
+        "avg JCT (s)",
+        "evictions",
+        "adjustments",
+    ]);
+    let combos: [(&str, PolicyKind, &dyn ElasticitySystem); 3] = [
+        ("BF / S&R", PolicyKind::Backfill, &snr),
+        ("E-BF / S&R", PolicyKind::ElasticBackfill, &snr),
+        ("E-BF / Elan", PolicyKind::ElasticBackfill, &elan),
+    ];
+    for (name, policy, system) in combos {
+        let mut cfg = sim_config(policy, system, 11);
+        cfg.capacity = Some(&spot);
+        let result = run_trace(&cfg, &jobs);
+        let m = result.metrics();
+        t.row(vec![
+            name.to_string(),
+            format!("{:.0}", m.avg_jct()),
+            result.evictions.to_string(),
+            result.total_adjustments.to_string(),
+        ]);
+    }
+    format!(
+        "Spot/transient capacity: 128 GPUs dipping to 80 for 4h every 12h\n\
+         (elastic jobs shrink into dips; static jobs are evicted and requeued)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig1_renders() {
+        let s = super::fig1_weekly_utilization();
+        assert!(s.contains("GPU utilization"));
+    }
+}

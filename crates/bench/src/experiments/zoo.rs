@@ -1,0 +1,78 @@
+//! Table I — the model zoo.
+
+use elan_models::zoo;
+
+use crate::table::Table;
+
+/// Renders Table I: the models used throughout the evaluation.
+pub fn tab1_model_zoo() -> String {
+    let mut t = Table::new(vec![
+        "Model",
+        "Type",
+        "Domain",
+        "#Parameters",
+        "Dataset",
+        "GFLOPs/sample",
+        "fp32 params",
+    ]);
+    for m in zoo::evaluation_models() {
+        t.row(vec![
+            m.name.to_string(),
+            m.kind.to_string(),
+            m.domain.to_string(),
+            format!("{:.0}M", m.parameters as f64 / 1e6),
+            m.dataset.to_string(),
+            format!("{:.1}", m.gflops_per_sample),
+            m.param_bytes().to_string(),
+        ]);
+    }
+    format!("Table I: DL models for scaling-out strategy analysis\n\n{}", t.render())
+}
+
+/// Renders Table II: the characteristics of training states — GPU states
+/// dwarf CPU states, motivating topology-aware GPU-to-GPU replication.
+pub fn tab2_state_characteristics() -> String {
+    let mut t = Table::new(vec![
+        "Model",
+        "model params (GPU)",
+        "optimizer (GPU)",
+        "data cursor (CPU)",
+        "runtime info (CPU)",
+        "GPU/CPU ratio",
+    ]);
+    for m in zoo::evaluation_models() {
+        let params = m.param_bytes();
+        let opt = m.param_bytes(); // SGD momentum: one slot per parameter
+        let cpu = m.cpu_state_bytes();
+        t.row(vec![
+            m.name.to_string(),
+            params.to_string(),
+            opt.to_string(),
+            "8 B (one integer)".to_string(),
+            cpu.to_string(),
+            format!("{:.0}x", (params + opt).as_f64() / cpu.as_f64()),
+        ]);
+    }
+    format!(
+        "Table II: training-state characteristics \
+         (GPU states are far larger than CPU states)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_five_models() {
+        let s = super::tab1_model_zoo();
+        for name in ["ResNet-50", "VGG-19", "MobileNet-v2", "Seq2Seq", "Transformer"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn state_table_shows_gpu_dominance() {
+        let s = super::tab2_state_characteristics();
+        assert!(s.contains("one integer"));
+    }
+}

@@ -1,0 +1,252 @@
+//! A Litz-style executor/context-switching baseline (§VI-A, Fig. 16).
+//!
+//! Litz expresses elasticity through a programming model: each physical
+//! worker hosts several *executors*, and elasticity moves executors rather
+//! than replicating worker state. The price is paid every iteration: GPU
+//! memory cannot hold all executor contexts, so each micro-batch swap
+//! moves one context out to CPU memory and another in, through the PCIe
+//! host↔device link. Local gradient aggregation (one allreduce per worker
+//! iteration instead of per executor micro-batch) softens but does not
+//! repair the damage.
+
+use elan_sim::{Bytes, SimDuration};
+
+use elan_core::elasticity::{
+    AdjustmentContext, AdjustmentCost, AdjustmentRequest, ElasticitySystem,
+};
+use elan_topology::Transport;
+
+/// The Litz baseline with a configurable executor count per worker.
+///
+/// # Examples
+///
+/// ```
+/// use elan_baselines::Litz;
+/// use elan_core::{AdjustmentContext, ElasticitySystem};
+/// use elan_models::{perf::PerfModel, zoo};
+/// use elan_topology::{BandwidthModel, ClusterSpec};
+///
+/// let topo = ClusterSpec::paper_testbed().build();
+/// let bw = BandwidthModel::paper_default();
+/// let perf = PerfModel::paper_default();
+/// let model = zoo::transformer();
+/// let ctx = AdjustmentContext {
+///     topology: &topo, bandwidth: &bw, perf: &perf, model: &model,
+///     total_batch: 512, coordination_interval: 10, seed: 7,
+/// };
+/// // Fig. 16: Litz throughput collapses on Transformer (>90% reduction).
+/// let rel = Litz::new(4).relative_throughput(&ctx, 16);
+/// assert!(rel < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Litz {
+    executors_per_worker: u32,
+}
+
+impl Litz {
+    /// Creates a Litz system with `executors_per_worker` executors
+    /// sharing each GPU (the paper evaluates Litz-2 and Litz-4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `executors_per_worker` is zero.
+    pub fn new(executors_per_worker: u32) -> Self {
+        assert!(executors_per_worker > 0, "need at least one executor");
+        Litz {
+            executors_per_worker,
+        }
+    }
+
+    /// The paper's Litz-2 variant.
+    pub fn litz2() -> Self {
+        Litz::new(2)
+    }
+
+    /// The paper's Litz-4 variant.
+    pub fn litz4() -> Self {
+        Litz::new(4)
+    }
+
+    /// Executors per worker.
+    pub fn executors(&self) -> u32 {
+        self.executors_per_worker
+    }
+
+    /// Context switches run far below peak PCIe copy bandwidth: executor
+    /// state lives in pageable, fragmented allocations (no pinned-memory
+    /// DMA), and every swap churns the allocator and caches.
+    const SWAP_EFFICIENCY: f64 = 0.1;
+
+    /// The GPU context that a switch moves each way: parameters, gradients
+    /// and optimizer state of one executor.
+    fn context_bytes(ctx: &AdjustmentContext<'_>) -> Bytes {
+        Bytes::new(ctx.model.parameters * 4 * 3)
+    }
+
+    /// One Litz iteration on `n_workers`: every executor computes its
+    /// micro-batch (context switched in and out), then the worker performs
+    /// one locally-aggregated allreduce.
+    pub fn iteration_time(&self, ctx: &AdjustmentContext<'_>, n_workers: u32) -> SimDuration {
+        let m = self.executors_per_worker;
+        let micro_batch = ctx.total_batch as f64 / (n_workers as f64 * m as f64);
+        let compute = ctx.perf.gpu.compute_time(ctx.model, micro_batch);
+        let swap_secs = Self::context_bytes(ctx).as_f64()
+            / (ctx.bandwidth.host_device.peak.as_bytes_per_sec() * Self::SWAP_EFFICIENCY);
+        let swap = ctx.bandwidth.host_device.latency + SimDuration::from_secs_f64(swap_secs);
+        // Swap out the previous context and in the next one, per executor.
+        let per_executor = compute + swap * 2;
+        let comm = ctx
+            .perf
+            .interconnect
+            .allreduce_time(ctx.model.param_bytes(), n_workers);
+        let sync = ctx.perf.interconnect.sync_time(n_workers);
+        per_executor * m as u64 + comm + sync
+    }
+}
+
+impl ElasticitySystem for Litz {
+    fn name(&self) -> &'static str {
+        match self.executors_per_worker {
+            2 => "Litz-2",
+            4 => "Litz-4",
+            _ => "Litz",
+        }
+    }
+
+    fn adjust(&self, request: &AdjustmentRequest, ctx: &AdjustmentContext<'_>) -> AdjustmentCost {
+        // Executor migration: move one executor context over the network
+        // per joining/leaving worker, plus rebalancing bookkeeping. Cheap —
+        // Litz's problem is runtime overhead, not adjustment latency.
+        let moved = request.joining().len().max(request.leaving().len()) as u64;
+        let per_move = ctx
+            .bandwidth
+            .transfer_time(Transport::Net, Self::context_bytes(ctx));
+        let pause = SimDuration::from_millis(100) + per_move * moved.min(4);
+        AdjustmentCost {
+            pause,
+            completion: pause,
+        }
+    }
+
+    fn runtime_overhead(&self, ctx: &AdjustmentContext<'_>, n_workers: u32) -> f64 {
+        1.0 - self.relative_throughput(ctx, n_workers)
+    }
+
+    fn relative_throughput(&self, ctx: &AdjustmentContext<'_>, n_workers: u32) -> f64 {
+        let native = ctx
+            .perf
+            .iteration_time(ctx.model, n_workers, ctx.total_batch)
+            .as_secs_f64();
+        let litz = self.iteration_time(ctx, n_workers).as_secs_f64();
+        native / litz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elan_models::{zoo, ModelSpec, PerfModel};
+    use elan_topology::{BandwidthModel, ClusterSpec, Topology};
+
+    fn fixtures() -> (Topology, BandwidthModel, PerfModel) {
+        (
+            ClusterSpec::paper_testbed().build(),
+            BandwidthModel::paper_default(),
+            PerfModel::paper_default(),
+        )
+    }
+
+    fn ctx<'a>(
+        topo: &'a Topology,
+        bw: &'a BandwidthModel,
+        perf: &'a PerfModel,
+        model: &'a ModelSpec,
+        tbs: u32,
+    ) -> AdjustmentContext<'a> {
+        AdjustmentContext {
+            topology: topo,
+            bandwidth: bw,
+            perf,
+            model,
+            total_batch: tbs,
+            coordination_interval: 10,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn litz_is_always_slower_than_native() {
+        let (topo, bw, perf) = fixtures();
+        for model in zoo::evaluation_models() {
+            let c = ctx(&topo, &bw, &perf, &model, 512);
+            for n in [2u32, 8, 16, 64] {
+                let rel = Litz::litz2().relative_throughput(&c, n);
+                assert!(rel < 1.0, "{} at {n}: {rel}", model.name);
+                assert!(rel > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn litz4_is_no_faster_than_litz2() {
+        // Fig. 16: although Litz-4 performs more computation, it still
+        // cannot match Elan — more executors mean more switches.
+        let (topo, bw, perf) = fixtures();
+        for model in zoo::evaluation_models() {
+            let c = ctx(&topo, &bw, &perf, &model, 512);
+            let r2 = Litz::litz2().relative_throughput(&c, 16);
+            let r4 = Litz::litz4().relative_throughput(&c, 16);
+            assert!(r4 <= r2 * 1.05, "{}: litz4 {r4} vs litz2 {r2}", model.name);
+        }
+    }
+
+    #[test]
+    fn transformer_loses_more_than_90_percent() {
+        let (topo, bw, perf) = fixtures();
+        let model = zoo::transformer();
+        let c = ctx(&topo, &bw, &perf, &model, 512);
+        let rel = Litz::litz4().relative_throughput(&c, 16);
+        assert!(rel < 0.10, "reduction should exceed 90%, got rel {rel}");
+    }
+
+    #[test]
+    fn throughput_improves_slightly_with_more_workers() {
+        // Fig. 16: with more workers, relative throughput creeps up thanks
+        // to local gradient aggregation (comm amortized while swap cost
+        // per worker stays fixed).
+        let (topo, bw, perf) = fixtures();
+        let model = zoo::resnet50();
+        // Weak-ish scaling: keep per-worker batch meaningful.
+        let c16 = ctx(&topo, &bw, &perf, &model, 16 * 32);
+        let c64 = ctx(&topo, &bw, &perf, &model, 64 * 32);
+        let r16 = Litz::litz2().relative_throughput(&c16, 16);
+        let r64 = Litz::litz2().relative_throughput(&c64, 64);
+        assert!(r64 > r16 * 0.9, "r64 {r64} vs r16 {r16}");
+    }
+
+    #[test]
+    fn adjustments_are_cheap() {
+        let (topo, bw, perf) = fixtures();
+        let model = zoo::resnet50();
+        let c = ctx(&topo, &bw, &perf, &model, 512);
+        let cost = Litz::litz2().adjust(&AdjustmentRequest::contiguous(8, 16), &c);
+        assert!(cost.pause.as_secs_f64() < 3.0);
+    }
+
+    #[test]
+    fn overhead_complements_relative_throughput() {
+        let (topo, bw, perf) = fixtures();
+        let model = zoo::vgg19();
+        let c = ctx(&topo, &bw, &perf, &model, 512);
+        let litz = Litz::litz2();
+        let rel = litz.relative_throughput(&c, 8);
+        let ov = litz.runtime_overhead(&c, 8);
+        assert!((rel + ov - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one executor")]
+    fn zero_executors_rejected() {
+        let _ = Litz::new(0);
+    }
+}

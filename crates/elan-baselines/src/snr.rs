@@ -1,0 +1,348 @@
+//! Shutdown-&-Restart (S&R) — the checkpoint-based baseline (§V-B, §VI-A).
+//!
+//! The Fig. 10/11 timeline: coordinate → checkpoint → shutdown → start →
+//! initialize → load checkpoint → resume. Checkpointing involves GPU→CPU
+//! memory copies plus parallel-filesystem IO; restart pays process start,
+//! framework initialization, and collective-communication setup for every
+//! worker — tens of seconds that Elan hides entirely.
+
+use elan_sim::{Bytes, SeedStream, SimDuration};
+
+use rand::Rng;
+
+use elan_core::elasticity::{
+    AdjustmentContext, AdjustmentCost, AdjustmentKind, AdjustmentRequest, ElasticitySystem,
+};
+
+/// Cost constants of the S&R pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnrCosts {
+    /// Tearing down worker processes.
+    pub shutdown: SimDuration,
+    /// Worker process start draw (min).
+    pub start_min: SimDuration,
+    /// Worker process start draw (max).
+    pub start_max: SimDuration,
+    /// Framework/runtime initialization draw (min).
+    pub init_min: SimDuration,
+    /// Framework/runtime initialization draw (max).
+    pub init_max: SimDuration,
+    /// Collective-communication (re)initialization per worker.
+    pub comm_init_per_worker: SimDuration,
+    /// Concurrent checkpoint readers the filesystem serves at full speed.
+    pub fs_parallel_readers: u32,
+}
+
+impl SnrCosts {
+    /// Calibrated to the Fig. 11 breakdown: start ≈ 10 s, init ≈ 20 s,
+    /// checkpoint/load seconds-scale depending on model size.
+    pub fn paper_default() -> Self {
+        SnrCosts {
+            shutdown: SimDuration::from_secs(2),
+            start_min: SimDuration::from_secs(8),
+            start_max: SimDuration::from_secs(12),
+            init_min: SimDuration::from_secs(15),
+            init_max: SimDuration::from_secs(25),
+            comm_init_per_worker: SimDuration::from_millis(60),
+            fs_parallel_readers: 4,
+        }
+    }
+}
+
+impl Default for SnrCosts {
+    fn default() -> Self {
+        SnrCosts::paper_default()
+    }
+}
+
+/// Phase-by-phase breakdown of one S&R adjustment (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnrBreakdown {
+    /// GPU→CPU copy plus filesystem write of all states.
+    pub checkpoint: SimDuration,
+    /// Worker teardown.
+    pub shutdown: SimDuration,
+    /// Process start (max across workers; they start in parallel).
+    pub start: SimDuration,
+    /// Framework initialization (max across workers) plus collective setup.
+    pub initialize: SimDuration,
+    /// Filesystem read plus CPU→GPU copy of the checkpoint.
+    pub load: SimDuration,
+}
+
+impl SnrBreakdown {
+    /// Total time of the pipeline.
+    pub fn total(&self) -> SimDuration {
+        self.checkpoint + self.shutdown + self.start + self.initialize + self.load
+    }
+}
+
+/// The Shutdown-&-Restart elasticity system.
+///
+/// # Examples
+///
+/// ```
+/// use elan_baselines::ShutdownRestart;
+/// use elan_core::{AdjustmentContext, AdjustmentRequest, ElanSystem, ElasticitySystem};
+/// use elan_models::{perf::PerfModel, zoo};
+/// use elan_topology::{BandwidthModel, ClusterSpec};
+///
+/// let topo = ClusterSpec::paper_testbed().build();
+/// let bw = BandwidthModel::paper_default();
+/// let perf = PerfModel::paper_default();
+/// let model = zoo::resnet50();
+/// let ctx = AdjustmentContext {
+///     topology: &topo, bandwidth: &bw, perf: &perf, model: &model,
+///     total_batch: 512, coordination_interval: 10, seed: 7,
+/// };
+/// let req = AdjustmentRequest::contiguous(16, 32);
+/// let snr = ShutdownRestart::new().adjust(&req, &ctx);
+/// let elan = ElanSystem::new().adjust(&req, &ctx);
+/// // Fig. 15: S&R pauses training 10-80x longer than Elan on scale-out.
+/// assert!(snr.pause.as_secs_f64() > 10.0 * elan.pause.as_secs_f64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShutdownRestart {
+    costs: SnrCosts,
+}
+
+impl ShutdownRestart {
+    /// Creates the system with paper-calibrated costs.
+    pub fn new() -> Self {
+        ShutdownRestart {
+            costs: SnrCosts::paper_default(),
+        }
+    }
+
+    /// Creates the system with custom costs (for ablations).
+    pub fn with_costs(costs: SnrCosts) -> Self {
+        ShutdownRestart { costs }
+    }
+
+    /// The checkpoint payload: parameters + optimizer slots + CPU state.
+    fn checkpoint_bytes(ctx: &AdjustmentContext<'_>) -> Bytes {
+        Bytes::new(ctx.model.parameters * 4 * 2) + ctx.model.cpu_state_bytes()
+    }
+
+    /// Checkpoint time: rank-0 copies GPU state to host memory and writes
+    /// it to the parallel filesystem.
+    pub fn checkpoint_time(&self, ctx: &AdjustmentContext<'_>) -> SimDuration {
+        let payload = Self::checkpoint_bytes(ctx);
+        ctx.bandwidth.host_device.transfer_time(payload)
+            + ctx.bandwidth.filesystem.transfer_time(payload)
+    }
+
+    /// Load time: `n_readers` workers read the checkpoint back and copy it
+    /// to their GPUs; the filesystem serves a limited number concurrently.
+    pub fn load_time(&self, ctx: &AdjustmentContext<'_>, n_readers: u32) -> SimDuration {
+        let payload = Self::checkpoint_bytes(ctx);
+        let rounds = n_readers.div_ceil(self.costs.fs_parallel_readers).max(1);
+        ctx.bandwidth.filesystem.transfer_time(payload) * rounds as u64
+            + ctx.bandwidth.host_device.transfer_time(payload)
+    }
+
+    /// Start+init maxima across `n` workers, drawn deterministically.
+    fn start_init(&self, ctx: &AdjustmentContext<'_>, n: u32) -> (SimDuration, SimDuration) {
+        let seeds = SeedStream::new(ctx.seed);
+        let mut max_start = SimDuration::ZERO;
+        let mut max_init = SimDuration::ZERO;
+        for i in 0..n {
+            let mut rng = seeds.rng_indexed("snr-start-init", i as u64);
+            let sspan = self.costs.start_max.saturating_sub(self.costs.start_min);
+            let ispan = self.costs.init_max.saturating_sub(self.costs.init_min);
+            let start = self.costs.start_min
+                + SimDuration::from_nanos(rng.gen_range(0..=sspan.as_nanos().max(1)));
+            let init = self.costs.init_min
+                + SimDuration::from_nanos(rng.gen_range(0..=ispan.as_nanos().max(1)));
+            max_start = max_start.max(start);
+            max_init = max_init.max(init);
+        }
+        (max_start, max_init)
+    }
+
+    /// The full Fig. 11 breakdown for an adjustment to `n_after` workers.
+    pub fn breakdown(&self, request: &AdjustmentRequest, ctx: &AdjustmentContext<'_>) -> SnrBreakdown {
+        let n_after = request.n_after();
+        let (start, init) = self.start_init(ctx, n_after);
+        SnrBreakdown {
+            checkpoint: self.checkpoint_time(ctx),
+            shutdown: self.costs.shutdown,
+            start,
+            initialize: init + self.costs.comm_init_per_worker * n_after as u64,
+            load: self.load_time(ctx, n_after),
+        }
+    }
+}
+
+impl ElasticitySystem for ShutdownRestart {
+    fn name(&self) -> &'static str {
+        "S&R"
+    }
+
+    fn adjust(&self, request: &AdjustmentRequest, ctx: &AdjustmentContext<'_>) -> AdjustmentCost {
+        let b = self.breakdown(request, ctx);
+        match request.kind() {
+            AdjustmentKind::ScaleOut | AdjustmentKind::ScaleIn => {
+                // Existing workers shut down and restart — everything is on
+                // the critical path (§VI-A2).
+                let pause = b.total();
+                AdjustmentCost {
+                    pause,
+                    completion: pause,
+                }
+            }
+            AdjustmentKind::Migration => {
+                // Existing workers are discarded after migration, so S&R
+                // benefits from asynchronous start of the destination
+                // workers: only checkpoint + load + comm setup stall
+                // training.
+                let pause = b.checkpoint
+                    + b.load
+                    + self.costs.comm_init_per_worker * request.n_after() as u64;
+                let (start, init) = self.start_init(ctx, request.n_after());
+                let hidden = start + init;
+                let boundary = ctx.next_boundary_after(hidden, request.n_before());
+                AdjustmentCost {
+                    pause,
+                    completion: boundary + pause,
+                }
+            }
+        }
+    }
+
+    fn runtime_overhead(&self, ctx: &AdjustmentContext<'_>, n_workers: u32) -> f64 {
+        // §VI-A1: with no adjustments, S&R performs the same coordination
+        // as Elan, so the runtime overhead is identical.
+        elan_core::ElanSystem::new().runtime_overhead(ctx, n_workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elan_core::ElanSystem;
+    use elan_models::{zoo, ModelSpec, PerfModel};
+    use elan_topology::{BandwidthModel, ClusterSpec, Topology};
+
+    fn fixtures() -> (Topology, BandwidthModel, PerfModel) {
+        (
+            ClusterSpec::paper_testbed().build(),
+            BandwidthModel::paper_default(),
+            PerfModel::paper_default(),
+        )
+    }
+
+    fn ctx<'a>(
+        topo: &'a Topology,
+        bw: &'a BandwidthModel,
+        perf: &'a PerfModel,
+        model: &'a ModelSpec,
+    ) -> AdjustmentContext<'a> {
+        AdjustmentContext {
+            topology: topo,
+            bandwidth: bw,
+            perf,
+            model,
+            total_batch: 512,
+            coordination_interval: 10,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn start_and_init_dominate_the_breakdown() {
+        // Fig. 11: "it is the long time of start and initialization that
+        // leads to the inefficiency of S&R".
+        let (topo, bw, perf) = fixtures();
+        let model = zoo::resnet50();
+        let c = ctx(&topo, &bw, &perf, &model);
+        let b = ShutdownRestart::new().breakdown(&AdjustmentRequest::contiguous(16, 32), &c);
+        let start_init = b.start + b.initialize;
+        let rest = b.checkpoint + b.shutdown + b.load;
+        assert!(start_init > rest, "{start_init} !> {rest}");
+        assert!(start_init.as_secs_f64() > 0.5 * b.total().as_secs_f64());
+    }
+
+    #[test]
+    fn scaling_is_10_to_80x_slower_than_elan() {
+        let (topo, bw, perf) = fixtures();
+        let elan = ElanSystem::new();
+        let snr = ShutdownRestart::new();
+        for model in zoo::evaluation_models() {
+            let c = ctx(&topo, &bw, &perf, &model);
+            for req in [
+                AdjustmentRequest::contiguous(16, 32),
+                AdjustmentRequest::contiguous(32, 64),
+                AdjustmentRequest::contiguous(32, 16),
+            ] {
+                let pe = elan.adjust(&req, &c).pause.as_secs_f64();
+                let ps = snr.adjust(&req, &c).pause.as_secs_f64();
+                let ratio = ps / pe;
+                assert!(
+                    (8.0..150.0).contains(&ratio),
+                    "{} {req}: ratio {ratio:.1} (elan {pe:.2}s, snr {ps:.2}s)",
+                    model.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn migration_is_only_few_times_slower() {
+        // Fig. 15: up to ~4x on migration, because S&R's destination
+        // workers start asynchronously and only IO stays on the path.
+        let (topo, bw, perf) = fixtures();
+        let elan = ElanSystem::new();
+        let snr = ShutdownRestart::new();
+        let model = zoo::resnet50();
+        let c = ctx(&topo, &bw, &perf, &model);
+        let req = AdjustmentRequest::migration(16, 32);
+        let pe = elan.adjust(&req, &c).pause.as_secs_f64();
+        let ps = snr.adjust(&req, &c).pause.as_secs_f64();
+        let ratio = ps / pe;
+        assert!((1.5..10.0).contains(&ratio), "ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn bigger_models_checkpoint_slower() {
+        let (topo, bw, perf) = fixtures();
+        let snr = ShutdownRestart::new();
+        let resnet = zoo::resnet50();
+        let vgg = zoo::vgg19();
+        let t_resnet = snr.checkpoint_time(&ctx(&topo, &bw, &perf, &resnet));
+        let t_vgg = snr.checkpoint_time(&ctx(&topo, &bw, &perf, &vgg));
+        assert!(t_vgg > t_resnet * 3);
+    }
+
+    #[test]
+    fn load_contends_on_the_filesystem() {
+        let (topo, bw, perf) = fixtures();
+        let snr = ShutdownRestart::new();
+        let model = zoo::resnet50();
+        let c = ctx(&topo, &bw, &perf, &model);
+        assert!(snr.load_time(&c, 64) > snr.load_time(&c, 4));
+    }
+
+    #[test]
+    fn overhead_matches_elan_when_idle() {
+        let (topo, bw, perf) = fixtures();
+        let model = zoo::resnet50();
+        let c = ctx(&topo, &bw, &perf, &model);
+        assert_eq!(
+            ShutdownRestart::new().runtime_overhead(&c, 16),
+            ElanSystem::new().runtime_overhead(&c, 16)
+        );
+    }
+
+    #[test]
+    fn breakdown_total_sums_phases() {
+        let (topo, bw, perf) = fixtures();
+        let model = zoo::transformer();
+        let c = ctx(&topo, &bw, &perf, &model);
+        let b = ShutdownRestart::new().breakdown(&AdjustmentRequest::contiguous(8, 16), &c);
+        assert_eq!(
+            b.total(),
+            b.checkpoint + b.shutdown + b.start + b.initialize + b.load
+        );
+    }
+}

@@ -1,0 +1,414 @@
+//! The application master state machine (§II, §V-B, §V-D).
+//!
+//! Elan attaches an application master (AM) to every job. The AM offers the
+//! resource-adjustment service to the scheduler and coordinates workers:
+//!
+//! 1. the scheduler **requests** an adjustment (and launches new workers),
+//! 2. new workers **report** after start and initialization,
+//! 3. existing workers **coordinate** at intervals; the AM decides to
+//!    adjust only when every new worker has reported — otherwise training
+//!    simply proceeds (the asynchronous feature hiding start/init cost).
+//!
+//! The AM is a single point of failure, so every transition is persisted to
+//! a replicated store *before* it takes effect; a replacement AM recovers
+//! from the store (§V-D).
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use elan_topology::GpuId;
+
+use crate::elasticity::AdjustmentRequest;
+use crate::store::ReplicatedStore;
+
+/// The AM's state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AmState {
+    /// No adjustment in flight.
+    Idle,
+    /// An adjustment was requested; waiting for new workers to report.
+    Preparing {
+        /// The pending request.
+        request: AdjustmentRequest,
+        /// New workers that have reported ready.
+        reported: BTreeSet<GpuId>,
+    },
+    /// All new workers reported: the next coordination performs the
+    /// adjustment.
+    ReadyToAdjust {
+        /// The pending request.
+        request: AdjustmentRequest,
+    },
+    /// The adjustment is being executed (replication + state adjustment).
+    Adjusting {
+        /// The executing request.
+        request: AdjustmentRequest,
+    },
+}
+
+impl AmState {
+    /// Short label for logs and store keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AmState::Idle => "idle",
+            AmState::Preparing { .. } => "preparing",
+            AmState::ReadyToAdjust { .. } => "ready",
+            AmState::Adjusting { .. } => "adjusting",
+        }
+    }
+}
+
+/// The AM's answer to a worker's `Coordinate` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordinateReply {
+    /// Keep training; nothing to do.
+    Proceed,
+    /// Execute the adjustment now (all new workers are ready).
+    BeginAdjustment(AdjustmentRequest),
+}
+
+/// Errors from AM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AmError {
+    /// An adjustment is already in flight.
+    Busy {
+        /// The state the AM was in.
+        state: &'static str,
+    },
+    /// A report arrived from a worker that is not joining.
+    UnexpectedReport(GpuId),
+    /// `adjustment_complete` called outside `Adjusting`.
+    NotAdjusting,
+}
+
+impl fmt::Display for AmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmError::Busy { state } => write!(f, "adjustment already in flight (state: {state})"),
+            AmError::UnexpectedReport(g) => write!(f, "unexpected report from {g}"),
+            AmError::NotAdjusting => write!(f, "no adjustment is executing"),
+        }
+    }
+}
+
+impl Error for AmError {}
+
+/// The application master for one job.
+///
+/// # Examples
+///
+/// ```
+/// use elan_core::am::{ApplicationMaster, CoordinateReply};
+/// use elan_core::elasticity::AdjustmentRequest;
+///
+/// let mut am = ApplicationMaster::new("job-42");
+/// let req = AdjustmentRequest::contiguous(2, 4);
+/// am.request_adjustment(req.clone())?;
+/// // Not all new workers reported yet: workers proceed.
+/// assert_eq!(am.coordinate(), CoordinateReply::Proceed);
+/// for g in req.joining() {
+///     am.report(g)?;
+/// }
+/// // Now the next coordination triggers the adjustment.
+/// assert!(matches!(am.coordinate(), CoordinateReply::BeginAdjustment(_)));
+/// am.adjustment_complete()?;
+/// # Ok::<(), elan_core::am::AmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ApplicationMaster {
+    job: String,
+    state: AmState,
+    store: ReplicatedStore<AmState>,
+    members: Vec<GpuId>,
+    adjustments_completed: u64,
+}
+
+impl ApplicationMaster {
+    /// Creates an AM for `job` with an empty member list.
+    pub fn new(job: impl Into<String>) -> Self {
+        let job = job.into();
+        let mut store = ReplicatedStore::new();
+        store.put(Self::key(&job), AmState::Idle);
+        ApplicationMaster {
+            job,
+            state: AmState::Idle,
+            store,
+            members: Vec::new(),
+            adjustments_completed: 0,
+        }
+    }
+
+    fn key(job: &str) -> String {
+        format!("am/{job}/state")
+    }
+
+    /// Recovers a replacement AM from the persisted state in `store` —
+    /// the §V-D fault-tolerance path.
+    pub fn recover(job: impl Into<String>, store: ReplicatedStore<AmState>) -> Self {
+        let job = job.into();
+        let state = store
+            .get(&Self::key(&job))
+            .map(|v| v.value.clone())
+            .unwrap_or(AmState::Idle);
+        let members = match &state {
+            AmState::Idle => Vec::new(),
+            AmState::Preparing { request, .. }
+            | AmState::ReadyToAdjust { request }
+            | AmState::Adjusting { request } => request.current().to_vec(),
+        };
+        ApplicationMaster {
+            job,
+            state,
+            store,
+            members,
+            adjustments_completed: 0,
+        }
+    }
+
+    /// The job this AM serves.
+    pub fn job(&self) -> &str {
+        &self.job
+    }
+
+    /// Current state (for inspection/tests).
+    pub fn state(&self) -> &AmState {
+        &self.state
+    }
+
+    /// The persisted store — clone it to model stable storage surviving an
+    /// AM crash.
+    pub fn store(&self) -> &ReplicatedStore<AmState> {
+        &self.store
+    }
+
+    /// Current job members (after completed adjustments).
+    pub fn members(&self) -> &[GpuId] {
+        &self.members
+    }
+
+    /// Sets the initial member set when the job launches.
+    pub fn set_members(&mut self, members: Vec<GpuId>) {
+        self.members = members;
+    }
+
+    /// Completed adjustments so far.
+    pub fn adjustments_completed(&self) -> u64 {
+        self.adjustments_completed
+    }
+
+    fn transition(&mut self, next: AmState) {
+        // Persist before acting — the recovery invariant.
+        self.store.put(Self::key(&self.job), next.clone());
+        self.state = next;
+    }
+
+    /// The scheduler's resource-adjustment service (step ① of §II).
+    ///
+    /// Scale-in requests need no reports and become ready immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmError::Busy`] if an adjustment is already in flight.
+    pub fn request_adjustment(&mut self, request: AdjustmentRequest) -> Result<(), AmError> {
+        if !matches!(self.state, AmState::Idle) {
+            return Err(AmError::Busy {
+                state: self.state.label(),
+            });
+        }
+        if request.joining().is_empty() {
+            self.transition(AmState::ReadyToAdjust { request });
+        } else {
+            self.transition(AmState::Preparing {
+                request,
+                reported: BTreeSet::new(),
+            });
+        }
+        Ok(())
+    }
+
+    /// A new worker reports ready after start and initialization
+    /// (step ② of §II). Duplicate reports are idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmError::UnexpectedReport`] if the worker is not part of
+    /// the pending adjustment (or none is pending).
+    pub fn report(&mut self, worker: GpuId) -> Result<(), AmError> {
+        let AmState::Preparing { request, reported } = &self.state else {
+            return Err(AmError::UnexpectedReport(worker));
+        };
+        if !request.joining().contains(&worker) {
+            return Err(AmError::UnexpectedReport(worker));
+        }
+        let request = request.clone();
+        let mut reported = reported.clone();
+        reported.insert(worker);
+        // Persist every report so a replacement AM does not lose progress.
+        if reported.len() == request.joining().len() {
+            self.transition(AmState::ReadyToAdjust { request });
+        } else {
+            self.transition(AmState::Preparing { request, reported });
+        }
+        Ok(())
+    }
+
+    /// Existing workers coordinate at intervals (step ③ of §II): if every
+    /// new worker has reported, the adjustment begins; otherwise training
+    /// proceeds — new-worker start/init stays entirely off the critical
+    /// path.
+    pub fn coordinate(&mut self) -> CoordinateReply {
+        match &self.state {
+            AmState::ReadyToAdjust { request } => {
+                let request = request.clone();
+                self.transition(AmState::Adjusting {
+                    request: request.clone(),
+                });
+                CoordinateReply::BeginAdjustment(request)
+            }
+            AmState::Adjusting { request } => {
+                // Remaining workers of the same round get the same answer.
+                CoordinateReply::BeginAdjustment(request.clone())
+            }
+            _ => CoordinateReply::Proceed,
+        }
+    }
+
+    /// Marks the in-flight adjustment finished (steps ④–⑤ done); the
+    /// member set becomes the request's target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmError::NotAdjusting`] when no adjustment is executing.
+    pub fn adjustment_complete(&mut self) -> Result<(), AmError> {
+        let AmState::Adjusting { request } = &self.state else {
+            return Err(AmError::NotAdjusting);
+        };
+        self.members = request.target().to_vec();
+        self.adjustments_completed += 1;
+        self.transition(AmState::Idle);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scale_out_2_to_4() -> AdjustmentRequest {
+        AdjustmentRequest::contiguous(2, 4)
+    }
+
+    #[test]
+    fn full_scale_out_cycle() {
+        let mut am = ApplicationMaster::new("j");
+        am.set_members(vec![GpuId(0), GpuId(1)]);
+        am.request_adjustment(scale_out_2_to_4()).unwrap();
+        assert_eq!(am.state().label(), "preparing");
+        assert_eq!(am.coordinate(), CoordinateReply::Proceed);
+        am.report(GpuId(2)).unwrap();
+        assert_eq!(am.coordinate(), CoordinateReply::Proceed);
+        am.report(GpuId(3)).unwrap();
+        assert!(matches!(
+            am.coordinate(),
+            CoordinateReply::BeginAdjustment(_)
+        ));
+        // Other workers of the round still get the adjustment answer.
+        assert!(matches!(
+            am.coordinate(),
+            CoordinateReply::BeginAdjustment(_)
+        ));
+        am.adjustment_complete().unwrap();
+        assert_eq!(am.members().len(), 4);
+        assert_eq!(am.adjustments_completed(), 1);
+        assert_eq!(am.state().label(), "idle");
+    }
+
+    #[test]
+    fn scale_in_skips_reporting() {
+        let mut am = ApplicationMaster::new("j");
+        am.set_members((0..4).map(GpuId).collect());
+        am.request_adjustment(AdjustmentRequest::contiguous(4, 2))
+            .unwrap();
+        assert_eq!(am.state().label(), "ready");
+        assert!(matches!(
+            am.coordinate(),
+            CoordinateReply::BeginAdjustment(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_reports_are_idempotent() {
+        let mut am = ApplicationMaster::new("j");
+        am.request_adjustment(scale_out_2_to_4()).unwrap();
+        am.report(GpuId(2)).unwrap();
+        am.report(GpuId(2)).unwrap();
+        assert_eq!(am.state().label(), "preparing");
+    }
+
+    #[test]
+    fn rejects_concurrent_requests() {
+        let mut am = ApplicationMaster::new("j");
+        am.request_adjustment(scale_out_2_to_4()).unwrap();
+        let err = am.request_adjustment(scale_out_2_to_4()).unwrap_err();
+        assert!(matches!(err, AmError::Busy { .. }));
+    }
+
+    #[test]
+    fn rejects_unexpected_reports() {
+        let mut am = ApplicationMaster::new("j");
+        assert_eq!(am.report(GpuId(9)), Err(AmError::UnexpectedReport(GpuId(9))));
+        am.request_adjustment(scale_out_2_to_4()).unwrap();
+        assert_eq!(am.report(GpuId(9)), Err(AmError::UnexpectedReport(GpuId(9))));
+    }
+
+    #[test]
+    fn complete_requires_adjusting() {
+        let mut am = ApplicationMaster::new("j");
+        assert_eq!(am.adjustment_complete(), Err(AmError::NotAdjusting));
+    }
+
+    #[test]
+    fn crash_recovery_resumes_mid_preparation() {
+        let mut am = ApplicationMaster::new("j");
+        am.request_adjustment(scale_out_2_to_4()).unwrap();
+        am.report(GpuId(2)).unwrap();
+        // The AM crashes; stable storage survives.
+        let stable = am.store().clone();
+        drop(am);
+        let mut recovered = ApplicationMaster::recover("j", stable);
+        assert_eq!(recovered.state().label(), "preparing");
+        // The missing report still completes the preparation.
+        recovered.report(GpuId(3)).unwrap();
+        assert_eq!(recovered.state().label(), "ready");
+    }
+
+    #[test]
+    fn crash_recovery_mid_adjustment() {
+        let mut am = ApplicationMaster::new("j");
+        am.request_adjustment(AdjustmentRequest::contiguous(4, 2))
+            .unwrap();
+        let _ = am.coordinate();
+        let stable = am.store().clone();
+        let mut recovered = ApplicationMaster::recover("j", stable);
+        assert_eq!(recovered.state().label(), "adjusting");
+        recovered.adjustment_complete().unwrap();
+        assert_eq!(recovered.members().len(), 2);
+    }
+
+    #[test]
+    fn recovery_of_unknown_job_is_idle() {
+        let recovered = ApplicationMaster::recover("ghost", ReplicatedStore::new());
+        assert_eq!(recovered.state().label(), "idle");
+    }
+
+    #[test]
+    fn every_transition_is_persisted_first() {
+        let mut am = ApplicationMaster::new("j");
+        let w0 = am.store().write_count();
+        am.request_adjustment(scale_out_2_to_4()).unwrap();
+        assert!(am.store().write_count() > w0);
+        let key = "am/j/state";
+        assert_eq!(am.store().get(key).unwrap().value.label(), "preparing");
+    }
+}

@@ -1,0 +1,263 @@
+//! The public Elan API of Table III (§V-A).
+//!
+//! | Paper API | Here |
+//! |---|---|
+//! | `ScaleOut/ScaleIn/Migrate` (service API, used by the scheduler) | [`ElanJobApi::scale_out`] / [`ElanJobApi::scale_in`] / [`ElanJobApi::migrate`] |
+//! | `RegisterHook(name, save, load)` | [`ElanJobApi::register_hook`] |
+//! | `Coordinate()` (called at iteration boundaries) | [`ElanJobApi::coordinate`] |
+//!
+//! The facade wires the application master, the hook registry, and the
+//! serial data sampler together the way a framework integration would:
+//! Caffe and PyTorch integrations in the paper implement only the hook
+//! functions, everything else is Elan.
+
+use elan_topology::GpuId;
+
+use crate::am::{AmError, ApplicationMaster, CoordinateReply};
+use crate::data::SerialSampler;
+use crate::elasticity::{AdjustmentRequest, RequestError};
+use crate::state::{HookRegistry, StateHook};
+
+/// One framework-facing Elan instance for a training job.
+///
+/// # Examples
+///
+/// ```
+/// use elan_core::api::ElanJobApi;
+/// use elan_core::state::StateHook;
+/// use elan_topology::GpuId;
+///
+/// struct Cursor(u64);
+/// impl StateHook for Cursor {
+///     fn save(&self) -> Vec<u8> { self.0.to_le_bytes().to_vec() }
+///     fn load(&mut self, p: &[u8]) -> Result<(), String> {
+///         self.0 = u64::from_le_bytes(p.try_into().map_err(|_| "bad")?);
+///         Ok(())
+///     }
+/// }
+///
+/// let mut api = ElanJobApi::new("job-7", (0..4).map(GpuId).collect(), 50_000);
+/// api.register_hook("data-loader", Cursor(0));
+/// // The scheduler grows the job; new workers report; training coordinates.
+/// api.scale_out((4..8).map(GpuId).collect())?;
+/// for g in 4..8 { api.worker_ready(GpuId(g))?; }
+/// assert!(api.coordinate().is_adjustment());
+/// # Ok::<(), elan_core::api::ApiError>(())
+/// ```
+#[derive(Debug)]
+pub struct ElanJobApi {
+    am: ApplicationMaster,
+    hooks: HookRegistry,
+    sampler: SerialSampler,
+}
+
+/// Errors surfaced by the facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// The adjustment request was malformed.
+    BadRequest(RequestError),
+    /// The AM rejected the operation.
+    Am(AmError),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::BadRequest(e) => write!(f, "bad request: {e}"),
+            ApiError::Am(e) => write!(f, "application master: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<RequestError> for ApiError {
+    fn from(e: RequestError) -> Self {
+        ApiError::BadRequest(e)
+    }
+}
+
+impl From<AmError> for ApiError {
+    fn from(e: AmError) -> Self {
+        ApiError::Am(e)
+    }
+}
+
+/// What [`ElanJobApi::coordinate`] tells the training loop to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordinateOutcome {
+    /// Keep training.
+    Proceed,
+    /// Execute the adjustment: replicate state per the plan, repartition
+    /// data, rebuild the communication group.
+    Adjust(AdjustmentRequest),
+}
+
+impl CoordinateOutcome {
+    /// True when the outcome starts an adjustment.
+    pub fn is_adjustment(&self) -> bool {
+        matches!(self, CoordinateOutcome::Adjust(_))
+    }
+}
+
+impl ElanJobApi {
+    /// Creates the API for a job running on `members`, training over a
+    /// dataset of `dataset_size` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or the dataset is empty.
+    pub fn new(job: impl Into<String>, members: Vec<GpuId>, dataset_size: u64) -> Self {
+        assert!(!members.is_empty(), "job needs at least one worker");
+        let mut am = ApplicationMaster::new(job);
+        am.set_members(members);
+        ElanJobApi {
+            am,
+            hooks: HookRegistry::new(),
+            sampler: SerialSampler::new(dataset_size),
+        }
+    }
+
+    /// Table III `RegisterHook`: registers a save/load pair for one piece
+    /// of training state.
+    pub fn register_hook(&mut self, name: impl Into<String>, hook: impl StateHook + 'static) {
+        self.hooks.register(name, hook);
+    }
+
+    /// Service API: request growth to `target` (a superset of the current
+    /// members).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError`] for malformed requests or a busy AM.
+    pub fn scale_out(&mut self, target: Vec<GpuId>) -> Result<(), ApiError> {
+        let req = AdjustmentRequest::new(self.am.members().to_vec(), target)?;
+        self.am.request_adjustment(req)?;
+        Ok(())
+    }
+
+    /// Service API: request shrink to `target` (a subset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError`] for malformed requests or a busy AM.
+    pub fn scale_in(&mut self, target: Vec<GpuId>) -> Result<(), ApiError> {
+        self.scale_out(target) // kind is inferred from the placements
+    }
+
+    /// Service API: request migration to a different placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError`] for malformed requests or a busy AM.
+    pub fn migrate(&mut self, target: Vec<GpuId>) -> Result<(), ApiError> {
+        self.scale_out(target)
+    }
+
+    /// Step ②: a launched worker reports ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError`] if the worker is not part of a pending
+    /// adjustment.
+    pub fn worker_ready(&mut self, worker: GpuId) -> Result<(), ApiError> {
+        self.am.report(worker)?;
+        Ok(())
+    }
+
+    /// Table III `Coordinate`: called by the training loop at iteration
+    /// boundaries.
+    pub fn coordinate(&mut self) -> CoordinateOutcome {
+        match self.am.coordinate() {
+            CoordinateReply::Proceed => CoordinateOutcome::Proceed,
+            CoordinateReply::BeginAdjustment(req) => CoordinateOutcome::Adjust(req),
+        }
+    }
+
+    /// Completes the in-flight adjustment after steps ④/⑤ ran: the data
+    /// cursor repartitions (a no-op under serial semantics) and the
+    /// member set switches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError`] when no adjustment is executing.
+    pub fn adjustment_complete(&mut self) -> Result<(), ApiError> {
+        self.am.adjustment_complete()?;
+        Ok(())
+    }
+
+    /// Current members.
+    pub fn members(&self) -> &[GpuId] {
+        self.am.members()
+    }
+
+    /// The registered hooks (for snapshot size accounting).
+    pub fn hooks(&self) -> &HookRegistry {
+        &self.hooks
+    }
+
+    /// The serial data sampler.
+    pub fn sampler(&mut self) -> &mut SerialSampler {
+        &mut self.sampler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl StateHook for Nop {
+        fn save(&self) -> Vec<u8> {
+            vec![0xAB]
+        }
+        fn load(&mut self, _p: &[u8]) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn full_scale_out_through_the_api() {
+        let mut api = ElanJobApi::new("j", (0..2).map(GpuId).collect(), 1000);
+        api.register_hook("model", Nop);
+        api.scale_out((0..4).map(GpuId).collect()).unwrap();
+        assert_eq!(api.coordinate(), CoordinateOutcome::Proceed);
+        api.worker_ready(GpuId(2)).unwrap();
+        api.worker_ready(GpuId(3)).unwrap();
+        let outcome = api.coordinate();
+        assert!(outcome.is_adjustment());
+        api.adjustment_complete().unwrap();
+        assert_eq!(api.members().len(), 4);
+    }
+
+    #[test]
+    fn scale_in_needs_no_reports() {
+        let mut api = ElanJobApi::new("j", (0..4).map(GpuId).collect(), 1000);
+        api.scale_in((0..2).map(GpuId).collect()).unwrap();
+        assert!(api.coordinate().is_adjustment());
+        api.adjustment_complete().unwrap();
+        assert_eq!(api.members().len(), 2);
+    }
+
+    #[test]
+    fn busy_am_rejects_second_request() {
+        let mut api = ElanJobApi::new("j", (0..2).map(GpuId).collect(), 1000);
+        api.scale_out((0..4).map(GpuId).collect()).unwrap();
+        let err = api.scale_out((0..8).map(GpuId).collect()).unwrap_err();
+        assert!(matches!(err, ApiError::Am(_)));
+    }
+
+    #[test]
+    fn malformed_request_is_rejected() {
+        let mut api = ElanJobApi::new("j", (0..2).map(GpuId).collect(), 1000);
+        let err = api.migrate((0..2).map(GpuId).collect()).unwrap_err();
+        assert!(matches!(err, ApiError::BadRequest(RequestError::NoChange)));
+    }
+
+    #[test]
+    fn sampler_cursor_is_the_data_state() {
+        let mut api = ElanJobApi::new("j", (0..2).map(GpuId).collect(), 100);
+        api.sampler().next_batch(30);
+        assert_eq!(api.sampler().cursor(), 30);
+    }
+}

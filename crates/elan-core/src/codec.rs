@@ -1,0 +1,238 @@
+//! A small versioned binary codec for training-state snapshots.
+//!
+//! The Shutdown-&-Restart baseline and Elan's fault-tolerance path both
+//! serialize training state (checkpoints to the filesystem, AM state to
+//! the replicated store). This module provides the wire format: a
+//! length-prefixed, versioned, little-endian encoding with no external
+//! dependencies — hand-rolled rather than pulling a serialization stack
+//! (see DESIGN.md's dependency policy).
+
+use elan_sim::Bytes;
+
+use crate::state::{RuntimeInfo, TrainingState, WorkerId};
+
+/// Magic bytes opening every snapshot.
+const MAGIC: &[u8; 4] = b"ELAN";
+/// Current format version.
+const VERSION: u16 = 1;
+
+/// Errors from decoding a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer is shorter than the encoding requires.
+    Truncated,
+    /// The magic bytes are wrong — not a snapshot.
+    BadMagic,
+    /// The format version is unsupported.
+    UnsupportedVersion(u16),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "snapshot truncated"),
+            DecodeError::BadMagic => write!(f, "not an Elan snapshot"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.at + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+}
+
+/// Encodes a [`TrainingState`] snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use elan_core::codec::{decode_state, encode_state};
+/// use elan_core::state::{TrainingState, WorkerId};
+/// use elan_sim::Bytes;
+///
+/// let state = TrainingState::initial(Bytes::from_mib(100), vec![WorkerId(0)], 256, 0.1);
+/// let bytes = encode_state(&state);
+/// assert_eq!(decode_state(&bytes)?, state);
+/// # Ok::<(), elan_core::codec::DecodeError>(())
+/// ```
+pub fn encode_state(state: &TrainingState) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(MAGIC);
+    w.u16(VERSION);
+    w.u64(state.gpu_bytes.as_u64());
+    w.u64(state.cpu_bytes.as_u64());
+    w.u64(state.params_checksum);
+    w.u64(state.data_cursor);
+    w.u32(state.runtime.epoch);
+    w.u64(state.runtime.iteration);
+    w.f64(state.runtime.learning_rate);
+    w.u32(state.runtime.total_batch_size);
+    w.u32(state.comm_group.len() as u32);
+    for member in &state.comm_group {
+        w.u32(member.0);
+    }
+    w.buf
+}
+
+/// Decodes a snapshot produced by [`encode_state`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for truncated, foreign, or future-versioned
+/// buffers.
+pub fn decode_state(bytes: &[u8]) -> Result<TrainingState, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let gpu_bytes = Bytes::new(r.u64()?);
+    let cpu_bytes = Bytes::new(r.u64()?);
+    let params_checksum = r.u64()?;
+    let data_cursor = r.u64()?;
+    let epoch = r.u32()?;
+    let iteration = r.u64()?;
+    let learning_rate = r.f64()?;
+    let total_batch_size = r.u32()?;
+    let n = r.u32()? as usize;
+    let mut comm_group = Vec::with_capacity(n);
+    for _ in 0..n {
+        comm_group.push(WorkerId(r.u32()?));
+    }
+    Ok(TrainingState {
+        gpu_bytes,
+        cpu_bytes,
+        params_checksum,
+        data_cursor,
+        runtime: RuntimeInfo {
+            epoch,
+            iteration,
+            learning_rate,
+            total_batch_size,
+        },
+        comm_group,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainingState {
+        let mut s = TrainingState::initial(
+            Bytes::from_mib(293),
+            (0..16).map(WorkerId).collect(),
+            512,
+            0.2,
+        );
+        s.params_checksum = 0xDEADBEEF_CAFEBABE;
+        s.data_cursor = 1_281_167 / 2;
+        s.runtime.epoch = 45;
+        s.runtime.iteration = 112_500;
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let s = sample();
+        assert_eq!(decode_state(&encode_state(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_group_roundtrips() {
+        let mut s = sample();
+        s.comm_group.clear();
+        assert_eq!(decode_state(&encode_state(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_state(&sample());
+        bytes[0] = b'X';
+        assert_eq!(decode_state(&bytes), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = encode_state(&sample());
+        bytes[4] = 0xFF;
+        assert!(matches!(
+            decode_state(&bytes),
+            Err(DecodeError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let bytes = encode_state(&sample());
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_state(&bytes[..cut]),
+                Err(DecodeError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // Fixed header + 4 bytes per member: no bloat.
+        let s = sample();
+        let bytes = encode_state(&s);
+        assert_eq!(bytes.len(), 4 + 2 + 8 * 4 + 4 + 8 + 8 + 4 + 4 + 16 * 4);
+    }
+}

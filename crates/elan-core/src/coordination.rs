@@ -1,0 +1,1135 @@
+//! The asynchronous coordination mechanism as an executable protocol
+//! (§V-B), run on the deterministic actor framework.
+//!
+//! Existing workers train in *rounds* (a fixed number of iterations) and
+//! call `Coordinate` at every round boundary. New workers start and
+//! initialize asynchronously, then `Report`. The AM answers `Proceed`
+//! until every new worker has reported; the first round after that gets
+//! `Adjust`, existing workers pause exactly for the replication +
+//! state-adjustment time, and new workers join at the next round — no
+//! shutdown, no waiting for stragglers' initialization.
+//!
+//! The protocol is fault-tolerant end to end: every request carries a
+//! [`MsgId`] and is resent on timeout, replies are
+//! cached against duplicate requests, and the AM can crash at any point
+//! and a replacement recovers from the replicated store mid-adjustment.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+use elan_sim::{Actor, ActorId, Ctx, SimDuration, SimTime, World};
+use elan_topology::GpuId;
+use rand::Rng;
+
+use crate::am::{AmState, ApplicationMaster, CoordinateReply};
+use crate::elasticity::AdjustmentRequest;
+use crate::messages::{DedupFilter, MsgId, MsgIdAllocator, RetryTracker};
+use crate::store::ReplicatedStore;
+
+/// What a worker must do after a coordination round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoundAction {
+    /// Keep training.
+    Proceed,
+    /// Pause for the adjustment; leave the job if `leave` is set.
+    Adjust {
+        /// Training stall applied to staying workers.
+        pause: SimDuration,
+        /// True for workers removed by scale-in/migration.
+        leave: bool,
+    },
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoMsg {
+    /// Environment → AM: the scheduler requests an adjustment.
+    AdjustRequest(AdjustmentRequest),
+    /// Environment → new worker: the scheduler launched the process.
+    StartWorker,
+    /// Environment → AM: crash; ignore messages for the given time.
+    CrashAm {
+        /// Outage duration before a replacement AM recovers.
+        down_for: SimDuration,
+    },
+    /// AM self-timer: the replacement AM comes up.
+    RecoverAm,
+    /// AM self-timer: check whether a coordination round completed; the
+    /// silent workers of an incomplete round are declared failed.
+    RoundWatchdog {
+        /// The round being watched.
+        round: u64,
+    },
+    /// AM self-timer: replication + state adjustment finished.
+    AdjustExecuted,
+    /// New-worker self-timer: start + initialization finished.
+    InitDone,
+    /// Worker → AM: ready to join (step ②).
+    Report {
+        /// Request id for retry/dedup.
+        id: MsgId,
+        /// The reporting worker.
+        worker: GpuId,
+    },
+    /// Worker → AM: round boundary reached (step ③).
+    Coordinate {
+        /// Request id for retry/dedup.
+        id: MsgId,
+        /// The coordinating worker.
+        worker: GpuId,
+        /// The round just finished.
+        round: u64,
+    },
+    /// AM → worker: acknowledge a report.
+    ReportAck {
+        /// Id of the acknowledged report.
+        id: MsgId,
+    },
+    /// AM → worker: answer to `Coordinate`.
+    CoordReply {
+        /// Id of the answered request.
+        id: MsgId,
+        /// Round the decision applies to.
+        round: u64,
+        /// The decision.
+        action: RoundAction,
+    },
+    /// AM → new worker: join the job starting at `round`.
+    Join {
+        /// First round the new worker trains.
+        round: u64,
+    },
+    /// Worker self-timer: a training round finished.
+    RoundDone,
+    /// Worker self-timer: check the retry tracker.
+    RetryTick,
+    /// Worker self-timer: the adjustment pause elapsed.
+    ResumeTraining,
+    /// New-worker self-timer: still waiting to join — the `Join` reply may
+    /// have been lost, so report again.
+    AwaitJoinTick,
+}
+
+/// Per-worker statistics, shared with the harness.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Training rounds fully completed.
+    pub rounds_completed: u64,
+    /// Total wall time not spent training (coordination waits + pauses).
+    pub stalled: SimDuration,
+    /// When the worker stopped, if it did.
+    pub stopped_at: Option<SimTime>,
+    /// True once a new worker joined the job.
+    pub joined: bool,
+    /// True if the worker left via scale-in/migration.
+    pub left: bool,
+    /// Coordinate/Report resends performed.
+    pub resends: u64,
+}
+
+/// AM-side statistics, shared with the harness.
+#[derive(Debug, Clone, Default)]
+pub struct AmStats {
+    /// Coordinate messages processed (first deliveries).
+    pub coordinates: u64,
+    /// Report messages processed (first deliveries).
+    pub reports: u64,
+    /// Duplicate requests suppressed.
+    pub duplicates: u64,
+    /// When the adjustment completed, if one ran.
+    pub adjustment_completed_at: Option<SimTime>,
+    /// Number of crash/recovery cycles survived.
+    pub recoveries: u64,
+    /// A worker flagged as a straggler (consistently last to coordinate
+    /// by more than the skew threshold), and when it was flagged — the
+    /// §VII straggler-mitigation trigger.
+    pub straggler_detected: Option<(GpuId, SimTime)>,
+    /// Workers removed from the job after the round watchdog declared
+    /// them failed (they stopped coordinating).
+    pub workers_declared_failed: Vec<GpuId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerPhase {
+    Training,
+    AwaitingReply,
+    Pausing,
+    Initializing,
+    WaitingJoin,
+    Stopped,
+}
+
+struct WorkerActor {
+    gpu: GpuId,
+    am: ActorId,
+    is_new: bool,
+    round: u64,
+    rounds_limit: u64,
+    round_duration: SimDuration,
+    init_time: SimDuration,
+    retry_timeout: SimDuration,
+    rpc_latency: SimDuration,
+    loss_prob: f64,
+    phase: WorkerPhase,
+    ids: MsgIdAllocator,
+    retry: RetryTracker<ProtoMsg>,
+    retry_timer_armed: bool,
+    await_since: SimTime,
+    /// Remaining join probes before a never-joined worker gives up (the
+    /// job may have finished before its adjustment ever executed).
+    join_probes_left: u32,
+    /// Straggler injection: `(slowdown factor, from round)`.
+    slow_after: Option<(f64, u64)>,
+    /// Crash injection: die silently after completing this round.
+    crash_after: Option<u64>,
+    stats: Rc<RefCell<WorkerStats>>,
+}
+
+impl WorkerActor {
+    fn begin_round(&mut self, ctx: &mut Ctx<'_, ProtoMsg>) {
+        if self.round >= self.rounds_limit {
+            self.stop(ctx);
+            return;
+        }
+        self.phase = WorkerPhase::Training;
+        let mut duration = self.round_duration;
+        if let Some((slowdown, from_round)) = self.slow_after {
+            if self.round >= from_round {
+                duration = duration.mul_f64(slowdown);
+            }
+        }
+        ctx.set_timer(duration, ProtoMsg::RoundDone);
+    }
+
+    fn stop(&mut self, ctx: &mut Ctx<'_, ProtoMsg>) {
+        self.phase = WorkerPhase::Stopped;
+        self.stats.borrow_mut().stopped_at = Some(ctx.now());
+    }
+
+    /// Sends to the AM through the lossy channel, tracking for retry.
+    fn send_tracked(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, id: MsgId, msg: ProtoMsg) {
+        self.retry.track(id, msg.clone(), ctx.now());
+        self.send_lossy(ctx, msg);
+        self.arm_retry_timer(ctx);
+    }
+
+    fn send_lossy(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, msg: ProtoMsg) {
+        let lost = self.loss_prob > 0.0 && ctx.rng().gen_bool(self.loss_prob);
+        if !lost {
+            ctx.send_after(self.rpc_latency, self.am, msg);
+        }
+    }
+
+    fn arm_retry_timer(&mut self, ctx: &mut Ctx<'_, ProtoMsg>) {
+        if !self.retry_timer_armed {
+            self.retry_timer_armed = true;
+            ctx.set_timer(self.retry_timeout, ProtoMsg::RetryTick);
+        }
+    }
+}
+
+impl Actor<ProtoMsg> for WorkerActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ProtoMsg>) {
+        if self.is_new {
+            self.phase = WorkerPhase::WaitingJoin; // until StartWorker arrives
+        } else {
+            self.begin_round(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, _from: ActorId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::StartWorker => {
+                self.phase = WorkerPhase::Initializing;
+                ctx.set_timer(self.init_time, ProtoMsg::InitDone);
+            }
+            ProtoMsg::InitDone => {
+                let id = self.ids.next_id();
+                self.send_tracked(
+                    ctx,
+                    id,
+                    ProtoMsg::Report {
+                        id,
+                        worker: self.gpu,
+                    },
+                );
+                self.phase = WorkerPhase::WaitingJoin;
+            }
+            ProtoMsg::ReportAck { id } => {
+                self.retry.ack(id);
+                // The ack does not mean we joined: the Join itself can be
+                // lost, so keep probing until training starts.
+                if self.phase == WorkerPhase::WaitingJoin {
+                    ctx.set_timer(self.retry_timeout * 4, ProtoMsg::AwaitJoinTick);
+                }
+            }
+            ProtoMsg::AwaitJoinTick => {
+                if self.phase == WorkerPhase::WaitingJoin {
+                    if self.join_probes_left == 0 {
+                        // The job likely finished without us; stand down.
+                        self.stop(ctx);
+                        return;
+                    }
+                    self.join_probes_left -= 1;
+                    let id = self.ids.next_id();
+                    self.send_tracked(
+                        ctx,
+                        id,
+                        ProtoMsg::Report {
+                            id,
+                            worker: self.gpu,
+                        },
+                    );
+                }
+            }
+            ProtoMsg::Join { round } => {
+                if self.phase == WorkerPhase::WaitingJoin {
+                    self.round = round;
+                    self.stats.borrow_mut().joined = true;
+                    self.begin_round(ctx);
+                }
+            }
+            ProtoMsg::RoundDone => {
+                if self.phase != WorkerPhase::Training {
+                    return;
+                }
+                self.stats.borrow_mut().rounds_completed += 1;
+                if self.crash_after == Some(self.round) {
+                    // Die silently: no Coordinate, no Leave — the AM's
+                    // watchdog must notice on its own.
+                    self.stop(ctx);
+                    return;
+                }
+                self.phase = WorkerPhase::AwaitingReply;
+                self.await_since = ctx.now();
+                let id = self.ids.next_id();
+                let round = self.round;
+                self.send_tracked(
+                    ctx,
+                    id,
+                    ProtoMsg::Coordinate {
+                        id,
+                        worker: self.gpu,
+                        round,
+                    },
+                );
+            }
+            ProtoMsg::CoordReply { id, round, action } => {
+                if !self.retry.ack(id) || self.phase != WorkerPhase::AwaitingReply {
+                    return; // duplicate or stale reply
+                }
+                debug_assert_eq!(round, self.round);
+                let waited = ctx.now().saturating_duration_since(self.await_since);
+                self.stats.borrow_mut().stalled += waited;
+                match action {
+                    RoundAction::Proceed => {
+                        self.round += 1;
+                        self.begin_round(ctx);
+                    }
+                    RoundAction::Adjust { pause, leave } => {
+                        if leave {
+                            self.stats.borrow_mut().left = true;
+                            self.stop(ctx);
+                        } else {
+                            self.phase = WorkerPhase::Pausing;
+                            self.stats.borrow_mut().stalled += pause;
+                            ctx.set_timer(pause, ProtoMsg::ResumeTraining);
+                        }
+                    }
+                }
+            }
+            ProtoMsg::ResumeTraining => {
+                if self.phase == WorkerPhase::Pausing {
+                    self.round += 1;
+                    self.begin_round(ctx);
+                }
+            }
+            ProtoMsg::RetryTick => {
+                self.retry_timer_armed = false;
+                let due = self.retry.due(ctx.now());
+                if !due.is_empty() {
+                    self.stats.borrow_mut().resends += due.len() as u64;
+                    for (_, m) in due {
+                        self.send_lossy(ctx, m);
+                    }
+                }
+                if self.retry.pending() > 0 && self.phase != WorkerPhase::Stopped {
+                    self.arm_retry_timer(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+struct AmActor {
+    am: ApplicationMaster,
+    job: &'static str,
+    worker_actors: HashMap<GpuId, ActorId>,
+    pause: SimDuration,
+    rpc_latency: SimDuration,
+    loss_prob: f64,
+    crashed: bool,
+    dedup: DedupFilter,
+    reply_cache: HashMap<MsgId, ProtoMsg>,
+    /// Protocol metadata persisted to "etcd" so a replacement AM answers
+    /// consistently: the round the adjustment was pinned to, plus the join
+    /// round of every completed joiner (for replaying lost Join messages,
+    /// even across an AM crash).
+    meta: ReplicatedStore<u64>,
+    adjust_timer_armed: bool,
+    /// Straggler detection: skew threshold, patience, and per-round
+    /// arrival bookkeeping.
+    straggler_skew: SimDuration,
+    straggler_patience: u32,
+    round_first: HashMap<u64, SimTime>,
+    round_arrived: HashMap<u64, BTreeSet<GpuId>>,
+    late_streak: HashMap<GpuId, u32>,
+    last_spread: Option<(u64, SimDuration)>,
+    /// A spare worker the AM may use to migrate a flagged straggler away.
+    mitigation_replacement: Option<GpuId>,
+    /// How long a round may stay incomplete before its silent members are
+    /// declared failed.
+    round_watchdog: SimDuration,
+    stats: Rc<RefCell<AmStats>>,
+}
+
+impl AmActor {
+    /// Per-round arrival bookkeeping for straggler detection (§VII): when
+    /// every member has coordinated, the last arriver is late if the
+    /// first-to-last spread *grew* by more than the skew threshold since
+    /// the previous round (growth, not absolute drift — workers here are
+    /// not allreduce-lockstepped); `patience` consecutive late rounds
+    /// flag the worker.
+    fn observe_coordination(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, worker: GpuId, round: u64) {
+        let now = ctx.now();
+        if !self.round_first.contains_key(&round) {
+            self.round_first.insert(round, now);
+            // Arm the failure watchdog for this round.
+            ctx.set_timer(self.round_watchdog, ProtoMsg::RoundWatchdog { round });
+        }
+        let arrived = self.round_arrived.entry(round).or_default();
+        arrived.insert(worker);
+        if arrived.len() < self.am.members().len() {
+            return;
+        }
+        let first = self.round_first.remove(&round).expect("inserted above");
+        self.round_arrived.remove(&round);
+        let spread = now.saturating_duration_since(first);
+        let prev_spread = match self.last_spread {
+            Some((r, s)) if r + 1 == round => s,
+            _ => SimDuration::ZERO,
+        };
+        self.last_spread = Some((round, spread));
+        let late = spread.saturating_sub(prev_spread) > self.straggler_skew;
+        if late {
+            let streak = self.late_streak.entry(worker).or_insert(0);
+            *streak += 1;
+            if *streak >= self.straggler_patience {
+                let fresh = {
+                    let mut stats = self.stats.borrow_mut();
+                    let fresh = stats.straggler_detected.is_none();
+                    if fresh {
+                        stats.straggler_detected = Some((worker, now));
+                    }
+                    fresh
+                };
+                if fresh {
+                    self.mitigate_straggler(ctx, worker);
+                }
+            }
+            // Other workers kept pace this round.
+            self.late_streak.retain(|&g, _| g == worker);
+        } else {
+            self.late_streak.clear();
+        }
+    }
+
+    /// §VII straggler mitigation: migrate the flagged worker's shard to a
+    /// healthy spare, if one was configured and no adjustment is in
+    /// flight. The spare starts asynchronously like any new worker.
+    fn mitigate_straggler(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, straggler: GpuId) {
+        let Some(replacement) = self.mitigation_replacement.take() else {
+            return;
+        };
+        let target: Vec<GpuId> = self
+            .am
+            .members()
+            .iter()
+            .copied()
+            .filter(|&g| g != straggler)
+            .chain(std::iter::once(replacement))
+            .collect();
+        let Ok(request) = AdjustmentRequest::new(self.am.members().to_vec(), target) else {
+            return;
+        };
+        if self.am.request_adjustment(request).is_ok() {
+            if let Some(&actor) = self.worker_actors.get(&replacement) {
+                self.send_lossy(ctx, actor, ProtoMsg::StartWorker);
+            }
+        }
+    }
+
+    fn send_lossy(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, to: ActorId, msg: ProtoMsg) {
+        let lost = self.loss_prob > 0.0 && ctx.rng().gen_bool(self.loss_prob);
+        if !lost {
+            ctx.send_after(self.rpc_latency, to, msg);
+        }
+    }
+
+    fn adjust_round(&self) -> Option<u64> {
+        self.meta.get("adjust_round").map(|v| v.value)
+    }
+
+    fn reply(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, worker: GpuId, msg: ProtoMsg) {
+        if let Some(&actor) = self.worker_actors.get(&worker) {
+            self.send_lossy(ctx, actor, msg);
+        }
+    }
+
+    fn decide(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, round: u64) -> RoundAction {
+        // A pinned adjustment round answers consistently, even across an
+        // AM crash (the pin lives in the replicated store).
+        if let Some(pinned) = self.adjust_round() {
+            if round == pinned {
+                return self.adjust_action();
+            }
+            return RoundAction::Proceed;
+        }
+        match self.am.coordinate() {
+            CoordinateReply::Proceed => RoundAction::Proceed,
+            CoordinateReply::BeginAdjustment(_) => {
+                self.meta.put("adjust_round", round);
+                self.arm_adjust_timer(ctx);
+                self.adjust_action()
+            }
+        }
+    }
+
+    fn adjust_action(&self) -> RoundAction {
+        RoundAction::Adjust {
+            pause: self.pause,
+            leave: false, // personalized per worker at the send site
+        }
+    }
+
+    fn arm_adjust_timer(&mut self, ctx: &mut Ctx<'_, ProtoMsg>) {
+        if !self.adjust_timer_armed {
+            self.adjust_timer_armed = true;
+            ctx.set_timer(self.rpc_latency + self.pause, ProtoMsg::AdjustExecuted);
+        }
+    }
+}
+
+impl Actor<ProtoMsg> for AmActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, _from: ActorId, msg: ProtoMsg) {
+        if self.crashed {
+            if msg == ProtoMsg::RecoverAm {
+                // A replacement AM restores the persisted state machine.
+                self.am = ApplicationMaster::recover(self.job, self.am.store().clone());
+                self.crashed = false;
+                self.stats.borrow_mut().recoveries += 1;
+                // Volatile request bookkeeping is gone; retries repopulate it.
+                self.dedup = DedupFilter::new();
+                self.reply_cache.clear();
+                // If we crashed mid-adjustment, finish executing it.
+                if matches!(self.am.state(), AmState::Adjusting { .. }) {
+                    self.adjust_timer_armed = false;
+                    self.arm_adjust_timer(ctx);
+                }
+            }
+            return; // everything else is lost during the outage
+        }
+        match msg {
+            ProtoMsg::AdjustRequest(req) => {
+                self.am
+                    .request_adjustment(req)
+                    .expect("scheduler serializes adjustment requests");
+            }
+            ProtoMsg::CrashAm { down_for } => {
+                self.crashed = true;
+                ctx.set_timer(down_for, ProtoMsg::RecoverAm);
+            }
+            ProtoMsg::Report { id, worker } => {
+                if self.dedup.first_delivery(id) {
+                    self.stats.borrow_mut().reports += 1;
+                    // Unexpected reports (e.g. replayed after completion) are
+                    // acked but otherwise ignored.
+                    let _ = self.am.report(worker);
+                } else {
+                    self.stats.borrow_mut().duplicates += 1;
+                }
+                self.reply(ctx, worker, ProtoMsg::ReportAck { id });
+                // A worker re-reporting after its adjustment completed
+                // missed the (lossy) Join — replay it.
+                if let Some(v) = self.meta.get(&format!("join/{}", worker.0)) {
+                    let round = v.value;
+                    self.reply(ctx, worker, ProtoMsg::Join { round });
+                }
+            }
+            ProtoMsg::Coordinate { id, worker, round } => {
+                if !self.dedup.first_delivery(id) {
+                    self.stats.borrow_mut().duplicates += 1;
+                    if let Some(cached) = self.reply_cache.get(&id).cloned() {
+                        self.reply(ctx, worker, cached);
+                    }
+                    return;
+                }
+                self.stats.borrow_mut().coordinates += 1;
+                // A worker that is no longer a member (it was removed by a
+                // completed scale-in/migration but lost its Leave reply)
+                // must be told to leave, not to proceed as a zombie.
+                if self.adjust_round().is_none() && !self.am.members().contains(&worker) {
+                    let reply = ProtoMsg::CoordReply {
+                        id,
+                        round,
+                        action: RoundAction::Adjust {
+                            pause: SimDuration::ZERO,
+                            leave: true,
+                        },
+                    };
+                    self.reply_cache.insert(id, reply.clone());
+                    self.reply(ctx, worker, reply);
+                    return;
+                }
+                self.observe_coordination(ctx, worker, round);
+                let mut action = self.decide(ctx, round);
+                if let RoundAction::Adjust { pause, .. } = action {
+                    let leaving = match self.am.state() {
+                        AmState::Adjusting { request } => request.leaving().contains(&worker),
+                        _ => false,
+                    };
+                    action = RoundAction::Adjust {
+                        pause,
+                        leave: leaving,
+                    };
+                }
+                let reply = ProtoMsg::CoordReply { id, round, action };
+                self.reply_cache.insert(id, reply.clone());
+                self.reply(ctx, worker, reply);
+            }
+            ProtoMsg::RoundWatchdog { round } => {
+                // A round that is still incomplete after the watchdog
+                // period means some members went silent: declare them
+                // failed and repair the membership (the data-parallel
+                // equivalent of a scale-in to the survivors).
+                let Some(arrived) = self.round_arrived.remove(&round) else {
+                    return; // round completed in time
+                };
+                self.round_first.remove(&round);
+                if !matches!(self.am.state(), AmState::Idle) {
+                    // An adjustment is executing; re-check next round.
+                    self.round_arrived.insert(round, arrived);
+                    ctx.set_timer(self.round_watchdog, ProtoMsg::RoundWatchdog { round });
+                    return;
+                }
+                let survivors: Vec<GpuId> = arrived.iter().copied().collect();
+                if survivors.is_empty() {
+                    return; // nobody left to repair around
+                }
+                let failed: Vec<GpuId> = self
+                    .am
+                    .members()
+                    .iter()
+                    .copied()
+                    .filter(|g| !arrived.contains(g))
+                    .collect();
+                if failed.is_empty() {
+                    return;
+                }
+                self.stats
+                    .borrow_mut()
+                    .workers_declared_failed
+                    .extend(failed.iter().copied());
+                self.am.set_members(survivors);
+                // Survivors of this round already got their replies; the
+                // next rounds complete against the repaired membership.
+            }
+            ProtoMsg::AdjustExecuted => {
+                self.adjust_timer_armed = false;
+                let AmState::Adjusting { request } = self.am.state().clone() else {
+                    return;
+                };
+                let join_round = self.adjust_round().expect("pinned before executing") + 1;
+                for g in request.joining() {
+                    self.meta.put(format!("join/{}", g.0), join_round);
+                    let msg = ProtoMsg::Join { round: join_round };
+                    self.reply(ctx, g, msg);
+                }
+                self.am
+                    .adjustment_complete()
+                    .expect("adjustment was executing");
+                let _ = self.meta.delete("adjust_round");
+                self.stats.borrow_mut().adjustment_completed_at = Some(ctx.now());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Configuration for one coordination-protocol run.
+#[derive(Debug, Clone)]
+pub struct CoordinationConfig {
+    /// Workers at job start (placed on GPUs `0..n_existing`).
+    pub n_existing: u32,
+    /// The adjustment to request, if any.
+    pub request: Option<AdjustmentRequest>,
+    /// When the scheduler issues the request (and launches new workers).
+    pub request_at: SimDuration,
+    /// Wall time of one training round (`coordination_interval × t_iter`).
+    pub round_duration: SimDuration,
+    /// Rounds each worker trains before the job ends.
+    pub rounds_limit: u64,
+    /// Uniform start+init range for new workers.
+    pub init_range: (SimDuration, SimDuration),
+    /// Training stall applied when the adjustment executes.
+    pub pause: SimDuration,
+    /// One-way control-plane message latency.
+    pub rpc_latency: SimDuration,
+    /// Retry timeout for unacknowledged requests.
+    pub retry_timeout: SimDuration,
+    /// Probability that any control message is lost.
+    pub loss_prob: f64,
+    /// Optional AM crash: (when, outage duration).
+    pub am_crash: Option<(SimDuration, SimDuration)>,
+    /// Optional straggler injection: `(worker, slowdown, from_round)` —
+    /// the worker's rounds take `slowdown`× longer starting at the round.
+    pub straggler: Option<(GpuId, f64, u64)>,
+    /// A spare GPU the AM may migrate a flagged straggler onto
+    /// (autonomous §VII mitigation).
+    pub straggler_replacement: Option<GpuId>,
+    /// Optional worker-crash injection: `(worker, after_round)` — the
+    /// worker silently dies after completing that round.
+    pub worker_crash: Option<(GpuId, u64)>,
+    /// How long the AM waits for a round to complete before declaring
+    /// its silent members failed.
+    pub round_watchdog: SimDuration,
+    /// Skew beyond which the last coordinator of a round counts as late.
+    pub straggler_skew: SimDuration,
+    /// Consecutive late rounds before the AM flags a straggler.
+    pub straggler_patience: u32,
+    /// Root RNG seed.
+    pub seed: u64,
+}
+
+impl CoordinationConfig {
+    /// A small, healthy baseline configuration.
+    pub fn baseline(n_existing: u32, rounds: u64) -> Self {
+        CoordinationConfig {
+            n_existing,
+            request: None,
+            request_at: SimDuration::from_secs(1),
+            round_duration: SimDuration::from_secs(2),
+            rounds_limit: rounds,
+            init_range: (SimDuration::from_secs(20), SimDuration::from_secs(30)),
+            pause: SimDuration::from_millis(800),
+            rpc_latency: SimDuration::from_micros(200),
+            retry_timeout: SimDuration::from_millis(500),
+            loss_prob: 0.0,
+            am_crash: None,
+            straggler: None,
+            straggler_replacement: None,
+            worker_crash: None,
+            round_watchdog: SimDuration::from_secs(30),
+            straggler_skew: SimDuration::from_millis(500),
+            straggler_patience: 3,
+            seed: 42,
+        }
+    }
+}
+
+/// Results of one coordination-protocol run.
+#[derive(Debug, Clone)]
+pub struct CoordinationOutcome {
+    /// When the simulation ended.
+    pub end_time: SimTime,
+    /// Per-worker statistics keyed by GPU.
+    pub workers: BTreeMap<GpuId, WorkerStats>,
+    /// AM statistics.
+    pub am: AmStats,
+}
+
+impl CoordinationOutcome {
+    /// The largest training stall experienced by any staying worker.
+    pub fn max_stall(&self) -> SimDuration {
+        self.workers
+            .values()
+            .filter(|w| !w.left)
+            .map(|w| w.stalled)
+            .fold(SimDuration::ZERO, SimDuration::max)
+    }
+
+    /// Total resends across all workers (fault-injection health metric).
+    pub fn total_resends(&self) -> u64 {
+        self.workers.values().map(|w| w.resends).sum()
+    }
+}
+
+/// Runs the coordination protocol to completion.
+///
+/// # Panics
+///
+/// Panics if the request placement is incompatible with `n_existing`.
+pub fn run_coordination(cfg: &CoordinationConfig) -> CoordinationOutcome {
+    let mut world: World<ProtoMsg> = World::new(cfg.seed);
+    let seeds = elan_sim::SeedStream::new(cfg.seed);
+
+    let existing: Vec<GpuId> = (0..cfg.n_existing).map(GpuId).collect();
+    if let Some(req) = &cfg.request {
+        assert_eq!(
+            req.current(),
+            existing.as_slice(),
+            "request must start from the current placement"
+        );
+    }
+    let mut joining: Vec<GpuId> = cfg
+        .request
+        .as_ref()
+        .map(|r| r.joining())
+        .unwrap_or_default();
+    // A straggler-mitigation spare is spawned like any launched-but-not-
+    // started worker; the AM starts it if and when it flags a straggler.
+    if let Some(spare) = cfg.straggler_replacement {
+        if !joining.contains(&spare) && !existing.contains(&spare) {
+            joining.push(spare);
+        }
+    }
+
+    let am_id = world.reserve_id();
+    let mut worker_actors = HashMap::new();
+    let mut injection_targets: HashMap<GpuId, ActorId> = HashMap::new();
+    let mut stats_handles: BTreeMap<GpuId, Rc<RefCell<WorkerStats>>> = BTreeMap::new();
+
+    for (idx, &gpu) in existing.iter().chain(joining.iter()).enumerate() {
+        let id = world.reserve_id();
+        worker_actors.insert(gpu, id);
+        injection_targets.insert(gpu, id);
+        let stats = Rc::new(RefCell::new(WorkerStats::default()));
+        stats_handles.insert(gpu, Rc::clone(&stats));
+        let is_new = idx >= existing.len();
+        let span = cfg
+            .init_range
+            .1
+            .saturating_sub(cfg.init_range.0)
+            .as_nanos();
+        let mut rng = seeds.rng_indexed("init", gpu.0 as u64);
+        let init_time =
+            cfg.init_range.0 + SimDuration::from_nanos(rng.gen_range(0..=span.max(1)));
+        world.spawn_with_id(
+            id,
+            WorkerActor {
+                gpu,
+                am: am_id,
+                is_new,
+                round: 0,
+                rounds_limit: cfg.rounds_limit,
+                round_duration: cfg.round_duration,
+                init_time,
+                retry_timeout: cfg.retry_timeout,
+                rpc_latency: cfg.rpc_latency,
+                loss_prob: cfg.loss_prob,
+                phase: WorkerPhase::Training,
+                ids: MsgIdAllocator::for_owner(gpu.0 + 1),
+                retry: RetryTracker::new(cfg.retry_timeout),
+                retry_timer_armed: false,
+                await_since: SimTime::ZERO,
+                join_probes_left: 64,
+                slow_after: cfg
+                    .straggler
+                    .filter(|&(g, _, _)| g == gpu)
+                    .map(|(_, slowdown, from)| (slowdown, from)),
+                crash_after: cfg
+                    .worker_crash
+                    .filter(|&(g, _)| g == gpu)
+                    .map(|(_, round)| round),
+                stats,
+            },
+        );
+    }
+
+    let am_stats = Rc::new(RefCell::new(AmStats::default()));
+    let mut am = ApplicationMaster::new("coordination-sim");
+    am.set_members(existing.clone());
+    world.spawn_with_id(
+        am_id,
+        AmActor {
+            am,
+            job: "coordination-sim",
+            worker_actors,
+            pause: cfg.pause,
+            rpc_latency: cfg.rpc_latency,
+            loss_prob: cfg.loss_prob,
+            crashed: false,
+            dedup: DedupFilter::new(),
+            reply_cache: HashMap::new(),
+            meta: ReplicatedStore::new(),
+            adjust_timer_armed: false,
+            straggler_skew: cfg.straggler_skew,
+            straggler_patience: cfg.straggler_patience,
+            round_first: HashMap::new(),
+            round_arrived: HashMap::new(),
+            late_streak: HashMap::new(),
+            last_spread: None,
+            mitigation_replacement: cfg.straggler_replacement,
+            round_watchdog: cfg.round_watchdog,
+            stats: Rc::clone(&am_stats),
+        },
+    );
+
+    if let Some(req) = &cfg.request {
+        world.inject(cfg.request_at, am_id, ProtoMsg::AdjustRequest(req.clone()));
+        // The scheduler launches new workers together with the request.
+        for g in &joining {
+            world.inject(cfg.request_at, injection_targets[g], ProtoMsg::StartWorker);
+        }
+    }
+    if let Some((at, down_for)) = cfg.am_crash {
+        world.inject(at, am_id, ProtoMsg::CrashAm { down_for });
+    }
+
+    let end_time = world.run();
+    let workers = stats_handles
+        .into_iter()
+        .map(|(g, s)| (g, s.borrow().clone()))
+        .collect();
+    let am = am_stats.borrow().clone();
+    CoordinationOutcome {
+        end_time,
+        workers,
+        am,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_runs_all_rounds() {
+        let cfg = CoordinationConfig::baseline(4, 10);
+        let out = run_coordination(&cfg);
+        assert_eq!(out.workers.len(), 4);
+        for (g, w) in &out.workers {
+            assert_eq!(w.rounds_completed, 10, "{g} fell short");
+            assert!(!w.left);
+        }
+        assert!(out.am.adjustment_completed_at.is_none());
+    }
+
+    #[test]
+    fn coordination_overhead_is_tiny() {
+        // Without adjustments, stall per round is just the RPC round trip:
+        // far below 0.3% of training time (Fig. 14's claim).
+        let cfg = CoordinationConfig::baseline(8, 20);
+        let out = run_coordination(&cfg);
+        let training = cfg.round_duration * cfg.rounds_limit;
+        for w in out.workers.values() {
+            let ratio = w.stalled.as_secs_f64() / training.as_secs_f64();
+            assert!(ratio < 0.003, "overhead {ratio:.5}");
+        }
+    }
+
+    #[test]
+    fn scale_out_joins_new_workers_without_stopping_existing() {
+        let mut cfg = CoordinationConfig::baseline(4, 30);
+        cfg.request = Some(AdjustmentRequest::contiguous(4, 8));
+        let out = run_coordination(&cfg);
+        assert!(out.am.adjustment_completed_at.is_some());
+        // New workers joined and trained.
+        for g in 4..8 {
+            let w = &out.workers[&GpuId(g)];
+            assert!(w.joined, "gpu{g} never joined");
+            assert!(w.rounds_completed > 0);
+        }
+        // Existing workers stalled only ~pause + RPC, not the ~25s init.
+        for g in 0..4 {
+            let w = &out.workers[&GpuId(g)];
+            assert!(
+                w.stalled < cfg.pause + SimDuration::from_secs(1),
+                "gpu{g} stalled {}",
+                w.stalled
+            );
+            assert_eq!(w.rounds_completed, 30);
+        }
+    }
+
+    #[test]
+    fn adjustment_waits_for_slowest_report() {
+        let mut cfg = CoordinationConfig::baseline(2, 40);
+        cfg.request = Some(AdjustmentRequest::contiguous(2, 4));
+        let out = run_coordination(&cfg);
+        let done = out.am.adjustment_completed_at.unwrap();
+        // Init takes 20-30s; the request goes out at 1s; the adjustment
+        // can only run at a round boundary after the slowest report.
+        assert!(done.as_secs_f64() > 21.0);
+        assert!(done.as_secs_f64() < 40.0);
+    }
+
+    #[test]
+    fn scale_in_removes_workers() {
+        let mut cfg = CoordinationConfig::baseline(8, 30);
+        cfg.request = Some(AdjustmentRequest::contiguous(8, 4));
+        let out = run_coordination(&cfg);
+        assert!(out.am.adjustment_completed_at.is_some());
+        for g in 4..8 {
+            let w = &out.workers[&GpuId(g)];
+            assert!(w.left, "gpu{g} should have left");
+            assert!(w.rounds_completed < 30);
+        }
+        for g in 0..4 {
+            assert_eq!(out.workers[&GpuId(g)].rounds_completed, 30);
+        }
+    }
+
+    #[test]
+    fn migration_swaps_worker_sets() {
+        let mut cfg = CoordinationConfig::baseline(2, 20);
+        cfg.request = Some(AdjustmentRequest::migration(2, 4));
+        let out = run_coordination(&cfg);
+        assert!(out.am.adjustment_completed_at.is_some());
+        for g in 0..2 {
+            assert!(out.workers[&GpuId(g)].left);
+        }
+        for g in 4..6 {
+            assert!(out.workers[&GpuId(g)].joined);
+        }
+    }
+
+    #[test]
+    fn message_loss_is_survived_by_retries() {
+        let mut cfg = CoordinationConfig::baseline(4, 15);
+        cfg.loss_prob = 0.2;
+        cfg.request = Some(AdjustmentRequest::contiguous(4, 6));
+        let out = run_coordination(&cfg);
+        assert!(out.total_resends() > 0, "loss should force resends");
+        assert!(out.am.adjustment_completed_at.is_some());
+        for g in 0..4 {
+            assert_eq!(out.workers[&GpuId(g)].rounds_completed, 15);
+        }
+    }
+
+    #[test]
+    fn am_crash_mid_preparation_recovers() {
+        let mut cfg = CoordinationConfig::baseline(4, 40);
+        cfg.request = Some(AdjustmentRequest::contiguous(4, 8));
+        // Crash while new workers are still initializing.
+        cfg.am_crash = Some((SimDuration::from_secs(10), SimDuration::from_secs(5)));
+        let out = run_coordination(&cfg);
+        assert_eq!(out.am.recoveries, 1);
+        assert!(
+            out.am.adjustment_completed_at.is_some(),
+            "adjustment must complete after recovery"
+        );
+        for g in 4..8 {
+            assert!(out.workers[&GpuId(g)].joined);
+        }
+    }
+
+    #[test]
+    fn crashed_worker_is_declared_failed_and_training_continues() {
+        // gpu2 dies silently after round 5; the watchdog removes it and
+        // the survivors complete every round.
+        let mut cfg = CoordinationConfig::baseline(4, 25);
+        cfg.worker_crash = Some((GpuId(2), 5));
+        let out = run_coordination(&cfg);
+        assert_eq!(out.am.workers_declared_failed, vec![GpuId(2)]);
+        for g in [0u32, 1, 3] {
+            assert_eq!(out.workers[&GpuId(g)].rounds_completed, 25, "gpu{g}");
+        }
+        assert_eq!(out.workers[&GpuId(2)].rounds_completed, 6); // 0..=5
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_without_failures() {
+        let mut cfg = CoordinationConfig::baseline(6, 20);
+        cfg.request = Some(AdjustmentRequest::contiguous(6, 8));
+        cfg.loss_prob = 0.1;
+        let out = run_coordination(&cfg);
+        assert!(out.am.workers_declared_failed.is_empty());
+        assert!(out.am.adjustment_completed_at.is_some());
+    }
+
+    #[test]
+    fn straggler_is_detected() {
+        // gpu2 slows to 2x from round 5: the AM flags it within a few
+        // rounds (§VII straggler mitigation trigger).
+        let mut cfg = CoordinationConfig::baseline(4, 20);
+        cfg.straggler = Some((GpuId(2), 2.0, 5));
+        let out = run_coordination(&cfg);
+        let (who, when) = out.am.straggler_detected.expect("straggler flagged");
+        assert_eq!(who, GpuId(2));
+        // Flagged after the slowdown began and within the patience window.
+        assert!(when.as_secs_f64() > 5.0 * 2.0);
+        assert!(when.as_secs_f64() < 20.0 * 4.0);
+    }
+
+    #[test]
+    fn straggler_is_migrated_away_autonomously() {
+        // A spare on gpu9 is configured: once gpu2 is flagged, the AM
+        // starts the spare, waits for its report, and migrates gpu2's
+        // shard over — gpu2 leaves, gpu9 joins, training continues.
+        let mut cfg = CoordinationConfig::baseline(4, 60);
+        cfg.straggler = Some((GpuId(2), 2.0, 5));
+        cfg.straggler_replacement = Some(GpuId(9));
+        let out = run_coordination(&cfg);
+        assert!(out.am.straggler_detected.is_some());
+        assert!(out.am.adjustment_completed_at.is_some());
+        assert!(out.workers[&GpuId(2)].left, "straggler should leave");
+        assert!(out.workers[&GpuId(9)].joined, "spare should join");
+        // Healthy workers finish all rounds.
+        for g in [0u32, 1, 3] {
+            assert_eq!(out.workers[&GpuId(g)].rounds_completed, 60);
+        }
+    }
+
+    #[test]
+    fn healthy_runs_raise_no_straggler_alarm() {
+        let cfg = CoordinationConfig::baseline(8, 30);
+        let out = run_coordination(&cfg);
+        assert!(out.am.straggler_detected.is_none());
+    }
+
+    #[test]
+    fn mild_jitter_is_tolerated() {
+        // A slowdown below the skew threshold must not trigger.
+        let mut cfg = CoordinationConfig::baseline(4, 20);
+        // 2s rounds; skew threshold 500ms; 1.1x slowdown = 200ms skew.
+        cfg.straggler = Some((GpuId(1), 1.1, 0));
+        let out = run_coordination(&cfg);
+        assert!(out.am.straggler_detected.is_none());
+    }
+
+    #[test]
+    fn joiners_stand_down_when_the_job_ends_first() {
+        // A short job (6 rounds = 12s) finishes before the ~25s init of
+        // the new workers: the adjustment never executes, and the joiners
+        // must give up instead of probing forever.
+        let mut cfg = CoordinationConfig::baseline(4, 6);
+        cfg.request = Some(AdjustmentRequest::contiguous(4, 6));
+        let out = run_coordination(&cfg);
+        assert!(out.am.adjustment_completed_at.is_none());
+        for g in 4..6 {
+            let w = &out.workers[&GpuId(g)];
+            assert!(!w.joined);
+            assert!(w.stopped_at.is_some(), "gpu{g} never stood down");
+        }
+        // The run terminates (bounded virtual time).
+        assert!(out.end_time.as_secs_f64() < 600.0);
+    }
+
+    #[test]
+    fn deterministic_outcomes() {
+        let mut cfg = CoordinationConfig::baseline(4, 12);
+        cfg.request = Some(AdjustmentRequest::contiguous(4, 6));
+        cfg.loss_prob = 0.1;
+        let a = run_coordination(&cfg);
+        let b = run_coordination(&cfg);
+        assert_eq!(
+            a.am.adjustment_completed_at,
+            b.am.adjustment_completed_at
+        );
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.total_resends(), b.total_resends());
+    }
+}

@@ -1,0 +1,207 @@
+//! Reliable messaging primitives (§V-D).
+//!
+//! Every Elan control message carries a unique ID and is resent on
+//! timeout; receivers deduplicate by ID. This module provides the sender-
+//! side [`RetryTracker`] and receiver-side [`DedupFilter`] used by both the
+//! simulated protocol ([`crate::coordination`]) and the live runtime
+//! (`elan-rt`).
+
+use std::collections::{BTreeMap, HashSet};
+
+use elan_sim::{SimDuration, SimTime};
+
+/// A unique message identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(pub u64);
+
+impl std::fmt::Display for MsgId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "msg#{}", self.0)
+    }
+}
+
+/// Allocates unique message IDs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MsgIdAllocator {
+    next: u64,
+}
+
+impl MsgIdAllocator {
+    /// Creates an allocator starting at ID 0.
+    pub fn new() -> Self {
+        MsgIdAllocator::default()
+    }
+
+    /// Creates an allocator whose IDs carry `owner` in the high 32 bits,
+    /// so IDs from different senders never collide at a shared receiver.
+    pub fn for_owner(owner: u32) -> Self {
+        MsgIdAllocator {
+            next: (owner as u64) << 32,
+        }
+    }
+
+    /// Returns a fresh, never-before-issued ID.
+    pub fn next_id(&mut self) -> MsgId {
+        let id = MsgId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+/// Sender-side bookkeeping: tracks in-flight messages and reports which
+/// are due for resend after the timeout elapses without an ack.
+///
+/// # Examples
+///
+/// ```
+/// use elan_core::messages::{MsgId, RetryTracker};
+/// use elan_sim::{SimDuration, SimTime};
+///
+/// let mut tracker: RetryTracker<&'static str> = RetryTracker::new(SimDuration::from_secs(1));
+/// tracker.track(MsgId(1), "hello", SimTime::ZERO);
+/// // Nothing due before the timeout...
+/// assert!(tracker.due(SimTime::from_secs(1) - SimDuration::from_nanos(1)).is_empty());
+/// // ...the message is due for resend after it.
+/// assert_eq!(tracker.due(SimTime::from_secs(1)), vec![(MsgId(1), "hello")]);
+/// tracker.ack(MsgId(1));
+/// assert!(tracker.due(SimTime::from_secs(99)).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetryTracker<P> {
+    timeout: SimDuration,
+    inflight: BTreeMap<MsgId, (SimTime, P)>,
+    resends: u64,
+}
+
+impl<P: Clone> RetryTracker<P> {
+    /// Creates a tracker with the given resend timeout.
+    pub fn new(timeout: SimDuration) -> Self {
+        RetryTracker {
+            timeout,
+            inflight: BTreeMap::new(),
+            resends: 0,
+        }
+    }
+
+    /// Starts tracking a sent message.
+    pub fn track(&mut self, id: MsgId, payload: P, sent_at: SimTime) {
+        self.inflight.insert(id, (sent_at, payload));
+    }
+
+    /// Acknowledges a message; returns true if it was in flight.
+    pub fn ack(&mut self, id: MsgId) -> bool {
+        self.inflight.remove(&id).is_some()
+    }
+
+    /// Messages whose timeout has elapsed at `now`; their timers reset so
+    /// they will be reported again one timeout later if still unacked.
+    pub fn due(&mut self, now: SimTime) -> Vec<(MsgId, P)> {
+        let mut out = Vec::new();
+        for (&id, entry) in self.inflight.iter_mut() {
+            if now.saturating_duration_since(entry.0) >= self.timeout {
+                entry.0 = now;
+                out.push((id, entry.1.clone()));
+            }
+        }
+        self.resends += out.len() as u64;
+        out
+    }
+
+    /// Messages still awaiting acknowledgement.
+    pub fn pending(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Total resends performed — a fault-injection metric.
+    pub fn resend_count(&self) -> u64 {
+        self.resends
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+}
+
+/// Receiver-side duplicate suppression by message ID.
+#[derive(Debug, Clone, Default)]
+pub struct DedupFilter {
+    seen: HashSet<MsgId>,
+    duplicates: u64,
+}
+
+impl DedupFilter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        DedupFilter::default()
+    }
+
+    /// Records `id`; returns true if this is the first delivery (the
+    /// message should be processed) and false for duplicates.
+    pub fn first_delivery(&mut self, id: MsgId) -> bool {
+        let fresh = self.seen.insert(id);
+        if !fresh {
+            self.duplicates += 1;
+        }
+        fresh
+    }
+
+    /// Duplicates suppressed so far.
+    pub fn duplicate_count(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_never_repeats() {
+        let mut a = MsgIdAllocator::new();
+        let ids: Vec<MsgId> = (0..100).map(|_| a.next_id()).collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    fn due_resets_timer() {
+        let mut t = RetryTracker::new(SimDuration::from_secs(1));
+        t.track(MsgId(1), (), SimTime::ZERO);
+        assert_eq!(t.due(SimTime::from_secs(1)).len(), 1);
+        // Immediately after a resend the timer restarts.
+        assert!(t.due(SimTime::from_secs(1)).is_empty());
+        assert_eq!(t.due(SimTime::from_secs(2)).len(), 1);
+        assert_eq!(t.resend_count(), 2);
+    }
+
+    #[test]
+    fn ack_stops_resends() {
+        let mut t = RetryTracker::new(SimDuration::from_millis(100));
+        t.track(MsgId(7), "x", SimTime::ZERO);
+        assert!(t.ack(MsgId(7)));
+        assert!(!t.ack(MsgId(7)));
+        assert_eq!(t.pending(), 0);
+        assert!(t.due(SimTime::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn multiple_messages_tracked_independently() {
+        let mut t = RetryTracker::new(SimDuration::from_secs(1));
+        t.track(MsgId(1), 1, SimTime::ZERO);
+        t.track(MsgId(2), 2, SimTime::from_nanos(500_000_000));
+        let due = t.due(SimTime::from_secs(1));
+        assert_eq!(due, vec![(MsgId(1), 1)]);
+    }
+
+    #[test]
+    fn dedup_filters_replays() {
+        let mut d = DedupFilter::new();
+        assert!(d.first_delivery(MsgId(1)));
+        assert!(!d.first_delivery(MsgId(1)));
+        assert!(d.first_delivery(MsgId(2)));
+        assert_eq!(d.duplicate_count(), 1);
+    }
+}

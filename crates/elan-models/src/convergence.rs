@@ -1,0 +1,365 @@
+//! Accuracy as a function of batch size and learning-rate rule.
+//!
+//! The paper's §III-2 observation: with all other hyperparameters fixed,
+//! final accuracy degrades as the total batch size grows; the *progressive
+//! linear scaling rule* recovers it up to a point (Fig. 5), beyond which
+//! (TBS ≈ 2¹²) accuracy drops anyway because large-batch convergence is an
+//! open problem. This module encodes that relationship as an empirical
+//! model calibrated to Fig. 5 and the §VI-B results, plus an epoch-wise
+//! accuracy-curve model for Figs. 18/19 and time-to-solution.
+
+use elan_sim::SimDuration;
+
+use crate::schedule::BatchSchedule;
+
+/// The learning-rate adjustment rule applied when the batch size changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalingRule {
+    /// Keep the learning rate unchanged — Fig. 5's "Default".
+    None,
+    /// Scale the learning rate linearly with the batch size, ramped over a
+    /// number of iterations (Equations 2–3) — Fig. 5's "Hybrid".
+    ProgressiveLinear {
+        /// Iterations over which the ramp completes (100 in §VI-B).
+        ramp_iters: u32,
+    },
+}
+
+/// An empirical accuracy model for one (model, dataset) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyModel {
+    /// Top-1 accuracy at the reference batch size.
+    pub base_accuracy: f64,
+    /// Batch size the recipe was tuned for.
+    pub ref_tbs: u32,
+    /// Accuracy lost per batch doubling without any LR adjustment.
+    pub default_penalty_per_doubling: f64,
+    /// Largest batch the progressive-linear rule fully compensates.
+    pub hybrid_free_limit: u32,
+    /// Accuracy lost per doubling beyond the free limit, even with the rule.
+    pub hybrid_penalty_per_doubling: f64,
+}
+
+impl AccuracyModel {
+    /// ResNet-50 on ImageNet, calibrated to §VI-B: 75.89% at TBS 512;
+    /// hybrid scaling holds accuracy through TBS 2048 (75.87% elastic).
+    pub fn resnet50_imagenet() -> Self {
+        AccuracyModel {
+            base_accuracy: 0.7589,
+            ref_tbs: 512,
+            default_penalty_per_doubling: 0.010,
+            hybrid_free_limit: 2048,
+            hybrid_penalty_per_doubling: 0.012,
+        }
+    }
+
+    /// MobileNet-v2 on Cifar100, calibrated to Fig. 5: visible degradation
+    /// per doubling by default; flat under the hybrid rule until 2¹¹, with
+    /// a drop at 2¹².
+    pub fn mobilenet_v2_cifar100() -> Self {
+        AccuracyModel {
+            base_accuracy: 0.750,
+            ref_tbs: 128,
+            default_penalty_per_doubling: 0.010,
+            hybrid_free_limit: 2048,
+            hybrid_penalty_per_doubling: 0.015,
+        }
+    }
+
+    /// Final top-1 accuracy when training entirely at `tbs` under `rule`.
+    ///
+    /// Batch sizes at or below the reference train at base accuracy.
+    pub fn final_accuracy(&self, tbs: u32, rule: ScalingRule) -> f64 {
+        assert!(tbs > 0, "batch size must be positive");
+        match rule {
+            ScalingRule::None => {
+                let doublings = doublings_beyond(tbs, self.ref_tbs);
+                (self.base_accuracy - self.default_penalty_per_doubling * doublings).max(0.0)
+            }
+            ScalingRule::ProgressiveLinear { .. } => {
+                let doublings = doublings_beyond(tbs, self.hybrid_free_limit);
+                (self.base_accuracy - self.hybrid_penalty_per_doubling * doublings).max(0.0)
+            }
+        }
+    }
+
+    /// Final accuracy for a dynamic batch schedule: governed by the largest
+    /// batch used, with a small deterministic variance for dynamic
+    /// schedules (the paper's elastic run lands 0.02 pt under the static
+    /// baseline).
+    pub fn final_accuracy_schedule(&self, schedule: &BatchSchedule, rule: ScalingRule) -> f64 {
+        let acc = self.final_accuracy(schedule.max_tbs(), rule);
+        if schedule.is_dynamic() {
+            (acc - 0.0002).max(0.0)
+        } else {
+            acc
+        }
+    }
+}
+
+/// Fractional doublings of `tbs` beyond `threshold` (0 if at/below it).
+fn doublings_beyond(tbs: u32, threshold: u32) -> f64 {
+    if tbs <= threshold {
+        0.0
+    } else {
+        (tbs as f64 / threshold as f64).log2()
+    }
+}
+
+/// An epoch-wise top-1 accuracy curve for step-decay training.
+///
+/// Accuracy approaches a per-phase target exponentially within each
+/// learning-rate phase; each decay unlocks a higher target — producing the
+/// familiar staircase-like ImageNet training curves of Figs. 18/19.
+///
+/// # Examples
+///
+/// ```
+/// use elan_models::convergence::AccuracyCurve;
+///
+/// let curve = AccuracyCurve::resnet50(0.7589);
+/// let early = curve.accuracy_at(10.0);
+/// let late = curve.accuracy_at(89.0);
+/// assert!(early < late);
+/// assert!((late - 0.7589).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyCurve {
+    final_accuracy: f64,
+    /// Phase boundaries in epochs (LR decay points), ending with the total.
+    boundaries: Vec<u32>,
+    /// Fraction of the final accuracy each phase converges toward.
+    phase_targets: Vec<f64>,
+    /// Exponential time constant within a phase, in epochs.
+    tau: f64,
+}
+
+impl AccuracyCurve {
+    /// Builds a curve with explicit phase structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent (one target per phase,
+    /// strictly increasing boundaries) or values are out of range.
+    pub fn new(final_accuracy: f64, boundaries: Vec<u32>, phase_targets: Vec<f64>, tau: f64) -> Self {
+        assert!((0.0..=1.0).contains(&final_accuracy));
+        assert!(!boundaries.is_empty(), "need at least one phase");
+        assert_eq!(
+            boundaries.len(),
+            phase_targets.len(),
+            "one target per phase"
+        );
+        for w in boundaries.windows(2) {
+            assert!(w[0] < w[1], "boundaries must strictly increase");
+        }
+        assert!(tau > 0.0, "tau must be positive");
+        assert!(
+            phase_targets.windows(2).all(|w| w[0] <= w[1]),
+            "phase targets must be non-decreasing"
+        );
+        AccuracyCurve {
+            final_accuracy,
+            boundaries,
+            phase_targets,
+            tau,
+        }
+    }
+
+    /// The standard ResNet-50 90-epoch recipe: decays at 30 and 60, phase
+    /// targets 80%/93%/100% of final accuracy.
+    pub fn resnet50(final_accuracy: f64) -> Self {
+        AccuracyCurve::new(
+            final_accuracy,
+            vec![30, 60, 90],
+            vec![0.80, 0.93, 1.00],
+            6.0,
+        )
+    }
+
+    /// The ResNet-50 recipe shape stretched/shrunk to `total_epochs`
+    /// (decays at 1/3 and 2/3 of the schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_epochs < 3`.
+    pub fn resnet50_like(final_accuracy: f64, total_epochs: u32) -> Self {
+        assert!(total_epochs >= 3, "schedule too short for three phases");
+        AccuracyCurve::new(
+            final_accuracy,
+            vec![total_epochs / 3, 2 * total_epochs / 3, total_epochs],
+            vec![0.80, 0.93, 1.00],
+            6.0 * total_epochs as f64 / 90.0,
+        )
+    }
+
+    /// Top-1 accuracy after `epochs` (fractional epochs interpolate).
+    pub fn accuracy_at(&self, epochs: f64) -> f64 {
+        if epochs <= 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut phase_start = 0.0;
+        for (i, &end) in self.boundaries.iter().enumerate() {
+            let target = self.phase_targets[i] * self.final_accuracy;
+            let end = end as f64;
+            let t = (epochs.min(end) - phase_start).max(0.0);
+            acc = target - (target - acc) * (-t / self.tau).exp();
+            if epochs <= end {
+                return acc;
+            }
+            phase_start = end;
+        }
+        acc
+    }
+
+    /// Total scheduled epochs.
+    pub fn total_epochs(&self) -> u32 {
+        *self.boundaries.last().expect("non-empty")
+    }
+
+    /// The final accuracy the curve converges to.
+    pub fn final_accuracy(&self) -> f64 {
+        self.final_accuracy
+    }
+
+    /// The first (fractional) epoch at which the curve reaches `target`,
+    /// or `None` if it never does within the schedule.
+    pub fn epochs_to_accuracy(&self, target: f64) -> Option<f64> {
+        let total = self.total_epochs() as f64;
+        if self.accuracy_at(total) < target {
+            return None;
+        }
+        // Bisection: accuracy_at is monotone non-decreasing in epochs.
+        let (mut lo, mut hi) = (0.0, total);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.accuracy_at(mid) >= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+/// Computes time-to-solution: walks fractional epochs against a per-epoch
+/// duration function until the accuracy curve crosses `target`.
+///
+/// `epoch_time(e)` gives the wall time of epoch `e` (durations may vary
+/// across epochs under dynamic batch sizes / elastic resources).
+///
+/// Returns `None` if the target is never reached within the schedule.
+pub fn time_to_accuracy(
+    curve: &AccuracyCurve,
+    target: f64,
+    mut epoch_time: impl FnMut(u32) -> SimDuration,
+) -> Option<SimDuration> {
+    let epochs = curve.epochs_to_accuracy(target)?;
+    let whole = epochs.floor() as u32;
+    let mut total = SimDuration::ZERO;
+    for e in 0..whole {
+        total += epoch_time(e);
+    }
+    let frac = epochs - whole as f64;
+    if frac > 0.0 && whole < curve.total_epochs() {
+        total += epoch_time(whole).mul_f64(frac);
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_default_degrades_with_batch() {
+        let m = AccuracyModel::mobilenet_v2_cifar100();
+        let accs: Vec<f64> = [128u32, 256, 512, 1024, 2048, 4096]
+            .iter()
+            .map(|&b| m.final_accuracy(b, ScalingRule::None))
+            .collect();
+        for w in accs.windows(2) {
+            assert!(w[1] < w[0], "default accuracy must fall per doubling");
+        }
+        // ~5 doublings x 1 pt: about 5 points lost at 2^12.
+        assert!((accs[0] - accs[5] - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig5_hybrid_holds_until_2k() {
+        let m = AccuracyModel::mobilenet_v2_cifar100();
+        let rule = ScalingRule::ProgressiveLinear { ramp_iters: 100 };
+        for b in [128u32, 256, 512, 1024, 2048] {
+            assert_eq!(m.final_accuracy(b, rule), m.base_accuracy);
+        }
+        // 2^12 still drops even with the rule.
+        assert!(m.final_accuracy(4096, rule) < m.base_accuracy);
+        // ...but by less than default would at the same batch? No: hybrid
+        // at 4096 loses 1.5 pt vs default's 5 pt.
+        assert!(m.final_accuracy(4096, rule) > m.final_accuracy(4096, ScalingRule::None));
+    }
+
+    #[test]
+    fn resnet_elastic_accuracy_matches_paper() {
+        // §VI-B: static 512 -> 75.89%, elastic 512-2048 -> 75.87%.
+        let m = AccuracyModel::resnet50_imagenet();
+        let rule = ScalingRule::ProgressiveLinear { ramp_iters: 100 };
+        let static_acc = m.final_accuracy_schedule(&BatchSchedule::constant(512), rule);
+        let elastic_acc = m.final_accuracy_schedule(&BatchSchedule::adabatch_resnet50(), rule);
+        assert!((static_acc - 0.7589).abs() < 1e-9);
+        assert!((elastic_acc - 0.7587).abs() < 1e-4);
+    }
+
+    #[test]
+    fn small_batches_never_exceed_base() {
+        let m = AccuracyModel::resnet50_imagenet();
+        assert_eq!(m.final_accuracy(64, ScalingRule::None), m.base_accuracy);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_converges() {
+        let c = AccuracyCurve::resnet50(0.7589);
+        let mut prev = 0.0;
+        for e in 0..=90 {
+            let a = c.accuracy_at(e as f64);
+            assert!(a >= prev - 1e-12, "curve dipped at epoch {e}");
+            prev = a;
+        }
+        assert!((c.accuracy_at(90.0) - 0.7589).abs() < 0.008);
+    }
+
+    #[test]
+    fn curve_steps_at_lr_decays() {
+        // The slope right after a decay exceeds the slope right before it.
+        let c = AccuracyCurve::resnet50(0.7589);
+        let before = c.accuracy_at(30.0) - c.accuracy_at(29.0);
+        let after = c.accuracy_at(31.0) - c.accuracy_at(30.0);
+        assert!(after > before);
+    }
+
+    #[test]
+    fn epochs_to_accuracy_bisects_correctly() {
+        let c = AccuracyCurve::resnet50(0.7589);
+        let e = c.epochs_to_accuracy(0.745).unwrap();
+        assert!(c.accuracy_at(e) >= 0.745);
+        assert!(c.accuracy_at(e - 0.1) < 0.745);
+        assert!(c.epochs_to_accuracy(0.99).is_none());
+    }
+
+    #[test]
+    fn time_to_accuracy_sums_epoch_times() {
+        let c = AccuracyCurve::resnet50(0.7589);
+        let t = time_to_accuracy(&c, 0.745, |_| SimDuration::from_secs(100)).unwrap();
+        let e = c.epochs_to_accuracy(0.745).unwrap();
+        assert!((t.as_secs_f64() - e * 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn higher_target_takes_longer() {
+        let c = AccuracyCurve::resnet50(0.7589);
+        let t1 = time_to_accuracy(&c, 0.745, |_| SimDuration::from_secs(100)).unwrap();
+        let t2 = time_to_accuracy(&c, 0.755, |_| SimDuration::from_secs(100)).unwrap();
+        assert!(t2 > t1);
+    }
+}

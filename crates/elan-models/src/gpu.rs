@@ -1,0 +1,128 @@
+//! GPU specifications and the batch-dependent efficiency curve.
+//!
+//! Achieved FLOPs on a GPU depend strongly on the per-worker batch size:
+//! small batches leave SMs idle. We use a saturating efficiency curve
+//! `η(b) = η_max · b / (b + b_half)`, which yields a per-iteration compute
+//! time linear in the batch with a fixed launch/efficiency floor — the
+//! behaviour behind the paper's observation that "a larger batch size with
+//! the same computation resource usually yields a higher training
+//! throughput".
+
+use elan_sim::{Bytes, SimDuration};
+
+use crate::zoo::ModelSpec;
+
+/// A GPU's compute characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak fp32 throughput in TFLOPs.
+    pub peak_tflops: f64,
+    /// Maximum achieved fraction of peak in DL training kernels.
+    pub max_efficiency: f64,
+    /// Device memory capacity.
+    pub memory: Bytes,
+}
+
+impl GpuSpec {
+    /// GeForce GTX 1080 Ti — the paper's production testbed GPU (§VI-A).
+    pub fn gtx1080ti() -> Self {
+        GpuSpec {
+            name: "GeForce GTX 1080 Ti",
+            peak_tflops: 11.3,
+            max_efficiency: 0.17,
+            memory: Bytes::from_gib(11),
+        }
+    }
+
+    /// Tesla V100 — used for the scaling-strategy analysis (§III).
+    pub fn v100() -> Self {
+        GpuSpec {
+            name: "Tesla V100",
+            peak_tflops: 15.7,
+            max_efficiency: 0.30,
+            memory: Bytes::from_gib(32),
+        }
+    }
+
+    /// Achieved efficiency (fraction of peak) at per-worker batch `batch`,
+    /// for a model whose kernels half-saturate at `half_batch`.
+    pub fn efficiency(&self, batch: f64, half_batch: f64) -> f64 {
+        if batch <= 0.0 {
+            return 0.0;
+        }
+        self.max_efficiency * batch / (batch + half_batch)
+    }
+
+    /// Compute time for one forward+backward pass of `batch` samples of
+    /// `model` on this GPU.
+    ///
+    /// With the saturating efficiency curve this reduces to
+    /// `k · (batch + b_half)` where `k = GFLOPs / (peak · η_max)` — linear
+    /// in the batch with a fixed floor.
+    pub fn compute_time(&self, model: &ModelSpec, batch: f64) -> SimDuration {
+        if batch <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let per_sample_peak_secs = model.gflops_per_sample * 1e9 / (self.peak_tflops * 1e12);
+        let eff = self.efficiency(batch, model.half_saturation_batch);
+        SimDuration::from_secs_f64(per_sample_peak_secs * batch / eff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn efficiency_saturates() {
+        let g = GpuSpec::gtx1080ti();
+        let e8 = g.efficiency(8.0, 8.0);
+        let e64 = g.efficiency(64.0, 8.0);
+        let e1024 = g.efficiency(1024.0, 8.0);
+        assert!(e8 < e64 && e64 < e1024);
+        assert!(e1024 <= g.max_efficiency);
+        assert!((e8 - g.max_efficiency / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_time_linear_with_floor() {
+        let g = GpuSpec::gtx1080ti();
+        let m = zoo::resnet50();
+        let t32 = g.compute_time(&m, 32.0).as_secs_f64();
+        let t64 = g.compute_time(&m, 64.0).as_secs_f64();
+        // t(b) = k (b + b_half): doubling the batch less than doubles time.
+        assert!(t64 < 2.0 * t32);
+        assert!(t64 > 1.7 * t32);
+    }
+
+    #[test]
+    fn resnet50_throughput_matches_testbed() {
+        // A 1080Ti trains ResNet-50 at roughly 100–170 images/s.
+        let g = GpuSpec::gtx1080ti();
+        let m = zoo::resnet50();
+        let t = g.compute_time(&m, 32.0).as_secs_f64();
+        let imgs_per_sec = 32.0 / t;
+        assert!(
+            (90.0..200.0).contains(&imgs_per_sec),
+            "got {imgs_per_sec:.1} img/s"
+        );
+    }
+
+    #[test]
+    fn v100_is_faster_than_1080ti() {
+        let m = zoo::resnet50();
+        let t_v100 = GpuSpec::v100().compute_time(&m, 32.0);
+        let t_1080 = GpuSpec::gtx1080ti().compute_time(&m, 32.0);
+        assert!(t_v100 < t_1080);
+    }
+
+    #[test]
+    fn zero_batch_is_free() {
+        let g = GpuSpec::gtx1080ti();
+        assert_eq!(g.compute_time(&zoo::resnet50(), 0.0), SimDuration::ZERO);
+        assert_eq!(g.efficiency(0.0, 8.0), 0.0);
+    }
+}

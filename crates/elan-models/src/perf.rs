@@ -1,0 +1,274 @@
+//! Per-iteration time, training throughput, and scaling analysis (§III-1).
+//!
+//! One data-parallel iteration computes forward+backward on each worker's
+//! shard of the total batch, overlapped with the gradient ring allreduce
+//! (modern frameworks overlap communication with the backward pass), plus a
+//! synchronization cost growing with the worker count:
+//!
+//! ```text
+//! t_iter(N, TBS) = max(t_compute(TBS/N), t_allreduce(N)) + t_sync(N)
+//! ```
+//!
+//! This shape yields exactly the paper's two key observations:
+//!
+//! 1. **Strong scaling** (fixed TBS): throughput rises while compute
+//!    dominates, peaks near the compute/communication crossover, then falls
+//!    as synchronization grows — and the optimum worker count grows
+//!    (roughly linearly) with the total batch size.
+//! 2. **Weak scaling** (fixed per-worker batch): compute per worker is
+//!    constant, so throughput grows near-linearly, with a steeper slope for
+//!    larger per-worker batches.
+
+use elan_sim::SimDuration;
+
+use crate::gpu::GpuSpec;
+use crate::interconnect::InterconnectModel;
+use crate::zoo::ModelSpec;
+
+/// The complete performance model: GPU + fabric.
+///
+/// # Examples
+///
+/// ```
+/// use elan_models::{perf::PerfModel, zoo};
+///
+/// let perf = PerfModel::paper_default();
+/// let m = zoo::resnet50();
+/// // Weak scaling is near-linear: 64 workers deliver >= 85% of 16x the
+/// // 4-worker throughput at the same per-worker batch.
+/// let t4 = perf.throughput(&m, 4, 4 * 32);
+/// let t64 = perf.throughput(&m, 64, 64 * 32);
+/// assert!(t64 > t4 * 16.0 * 0.85);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfModel {
+    /// The GPU every worker runs on.
+    pub gpu: GpuSpec,
+    /// The cluster fabric.
+    pub interconnect: InterconnectModel,
+}
+
+impl PerfModel {
+    /// The paper's production testbed: GTX 1080 Ti + 56 Gb/s InfiniBand.
+    pub fn paper_default() -> Self {
+        PerfModel {
+            gpu: GpuSpec::gtx1080ti(),
+            interconnect: InterconnectModel::paper_default(),
+        }
+    }
+
+    /// The V100 servers used for the §III scaling-strategy analysis.
+    pub fn v100_testbed() -> Self {
+        PerfModel {
+            gpu: GpuSpec::v100(),
+            interconnect: InterconnectModel::paper_default(),
+        }
+    }
+
+    /// Duration of one training iteration with `n_workers` and total batch
+    /// size `total_batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_workers` is zero or `total_batch` is zero.
+    pub fn iteration_time(&self, model: &ModelSpec, n_workers: u32, total_batch: u32) -> SimDuration {
+        assert!(n_workers > 0, "need at least one worker");
+        assert!(total_batch > 0, "need a positive batch size");
+        let per_worker = total_batch as f64 / n_workers as f64;
+        let compute = self.gpu.compute_time(model, per_worker);
+        let comm = self
+            .interconnect
+            .allreduce_time(model.param_bytes(), n_workers);
+        compute.max(comm) + self.interconnect.sync_time(n_workers)
+    }
+
+    /// Training throughput in samples per second.
+    pub fn throughput(&self, model: &ModelSpec, n_workers: u32, total_batch: u32) -> f64 {
+        let t = self.iteration_time(model, n_workers, total_batch).as_secs_f64();
+        total_batch as f64 / t
+    }
+
+    /// The optimal number of workers under strong scaling with total batch
+    /// `total_batch` — the `N_opt` of Algorithm 1 (§III-3).
+    ///
+    /// Searches `1..=max_workers`, additionally bounded by `total_batch`
+    /// (each worker needs at least one sample).
+    pub fn optimal_workers(&self, model: &ModelSpec, total_batch: u32, max_workers: u32) -> u32 {
+        assert!(total_batch > 0 && max_workers > 0);
+        let hi = max_workers.min(total_batch);
+        (1..=hi)
+            .max_by(|&a, &b| {
+                let ta = self.throughput(model, a, total_batch);
+                let tb = self.throughput(model, b, total_batch);
+                ta.partial_cmp(&tb).expect("finite throughput")
+            })
+            .expect("non-empty worker range")
+    }
+
+    /// Marginal throughput gain of adding one worker to a job currently on
+    /// `n_workers` with `total_batch` — used by the elastic scheduler's
+    /// allocation rule (§VI-C).
+    pub fn marginal_gain(&self, model: &ModelSpec, n_workers: u32, total_batch: u32) -> f64 {
+        self.throughput(model, n_workers + 1, total_batch)
+            - self.throughput(model, n_workers, total_batch)
+    }
+
+    /// Strong-scaling curve: throughput for each worker count with the
+    /// total batch fixed (one Fig. 3 / Fig. 17 line).
+    pub fn strong_scaling(
+        &self,
+        model: &ModelSpec,
+        total_batch: u32,
+        workers: impl IntoIterator<Item = u32>,
+    ) -> Vec<(u32, f64)> {
+        workers
+            .into_iter()
+            .filter(|&n| n > 0 && n <= total_batch)
+            .map(|n| (n, self.throughput(model, n, total_batch)))
+            .collect()
+    }
+
+    /// Weak-scaling curve: throughput for each worker count with the
+    /// per-worker batch fixed (one Fig. 4 line).
+    pub fn weak_scaling(
+        &self,
+        model: &ModelSpec,
+        batch_per_worker: u32,
+        workers: impl IntoIterator<Item = u32>,
+    ) -> Vec<(u32, f64)> {
+        workers
+            .into_iter()
+            .filter(|&n| n > 0)
+            .map(|n| (n, self.throughput(model, n, n * batch_per_worker)))
+            .collect()
+    }
+}
+
+impl Default for PerfModel {
+    fn default() -> Self {
+        PerfModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    fn perf() -> PerfModel {
+        PerfModel::paper_default()
+    }
+
+    #[test]
+    fn strong_scaling_rises_then_falls() {
+        // Fig. 3's headline shape for ResNet-50 at TBS 512.
+        let p = perf();
+        let m = zoo::resnet50();
+        let curve = p.strong_scaling(&m, 512, [2, 4, 8, 16, 32, 64, 128]);
+        let peak_idx = curve
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak_idx > 0, "throughput must rise initially");
+        assert!(
+            peak_idx < curve.len() - 1,
+            "throughput must fall eventually: {curve:?}"
+        );
+    }
+
+    #[test]
+    fn optimal_workers_grow_with_batch_size() {
+        // Fig. 3 observation 2 / the premise of Algorithm 1: N_opt(TBS)
+        // increases with TBS. Calibrated bands make Algorithm 1 reproduce
+        // the paper's elastic config (512→16, 1024→32, 2048→64).
+        let p = perf();
+        let m = zoo::resnet50();
+        let n512 = p.optimal_workers(&m, 512, 256);
+        let n1024 = p.optimal_workers(&m, 1024, 256);
+        let n2048 = p.optimal_workers(&m, 2048, 256);
+        assert!(n512 < n1024 && n1024 < n2048);
+        assert!((16..32).contains(&n512), "N_opt(512) = {n512}");
+        assert!((32..64).contains(&n1024), "N_opt(1024) = {n1024}");
+        assert!(n2048 >= 64, "N_opt(2048) = {n2048}");
+    }
+
+    #[test]
+    fn weak_scaling_is_near_linear() {
+        let p = perf();
+        let m = zoo::resnet50();
+        let curve = p.weak_scaling(&m, 32, [2, 4, 8, 16, 32, 64]);
+        let (n0, t0) = curve[0];
+        for &(n, t) in &curve[1..] {
+            let ideal = t0 * n as f64 / n0 as f64;
+            assert!(t > 0.8 * ideal, "efficiency collapsed at {n} workers");
+            assert!(t <= 1.05 * ideal);
+        }
+    }
+
+    #[test]
+    fn weak_scaling_slope_grows_with_batch() {
+        // Fig. 4 observation: a larger per-worker batch means a steeper
+        // weak-scaling line (higher throughput at every worker count).
+        let p = perf();
+        let m = zoo::resnet50();
+        for n in [4u32, 16, 64] {
+            let t32 = p.throughput(&m, n, n * 32);
+            let t64 = p.throughput(&m, n, n * 64);
+            let t128 = p.throughput(&m, n, n * 128);
+            assert!(t32 < t64 && t64 < t128);
+        }
+    }
+
+    #[test]
+    fn vgg_scales_worse_than_mobilenet() {
+        // VGG-19's 573 MiB gradients make it communication-bound: its
+        // strong-scaling optimum sits far below MobileNet-v2's.
+        let p = perf();
+        let vgg = p.optimal_workers(&zoo::vgg19(), 512, 256);
+        let mob = p.optimal_workers(&zoo::mobilenet_v2(), 512, 256);
+        assert!(vgg < mob, "vgg {vgg} vs mobilenet {mob}");
+    }
+
+    #[test]
+    fn marginal_gain_matches_throughput_difference() {
+        let p = perf();
+        let m = zoo::transformer();
+        let g = p.marginal_gain(&m, 8, 256);
+        let expect = p.throughput(&m, 9, 256) - p.throughput(&m, 8, 256);
+        assert!((g - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_gain_turns_negative_past_optimum() {
+        let p = perf();
+        let m = zoo::resnet50();
+        let n_opt = p.optimal_workers(&m, 512, 256);
+        assert!(p.marginal_gain(&m, n_opt, 512) <= 0.0);
+        assert!(p.marginal_gain(&m, 2, 512) > 0.0);
+    }
+
+    #[test]
+    fn curves_filter_invalid_worker_counts() {
+        let p = perf();
+        let m = zoo::resnet50();
+        // Workers beyond the batch size can't take part in strong scaling.
+        let curve = p.strong_scaling(&m, 4, [1, 2, 4, 8]);
+        assert_eq!(curve.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = perf().iteration_time(&zoo::resnet50(), 0, 32);
+    }
+
+    #[test]
+    fn v100_outperforms_1080ti() {
+        let m = zoo::resnet50();
+        let a = PerfModel::v100_testbed().throughput(&m, 8, 256);
+        let b = PerfModel::paper_default().throughput(&m, 8, 256);
+        assert!(a > b);
+    }
+}

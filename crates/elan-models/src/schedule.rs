@@ -1,0 +1,233 @@
+//! Batch-size and learning-rate schedules.
+//!
+//! [`BatchSchedule`] expresses elastic-training algorithms like AdaBatch
+//! (train with a small batch first, double it at intervals); [`LrSchedule`]
+//! is the usual step-decay learning-rate schedule. The *progressive linear
+//! scaling* ramp that accompanies a batch change lives in `elan-core` with
+//! the rest of the hybrid scaling mechanism.
+
+use std::fmt;
+
+/// A piecewise-constant total-batch-size schedule over epochs.
+///
+/// # Examples
+///
+/// ```
+/// use elan_models::BatchSchedule;
+///
+/// let s = BatchSchedule::adabatch_resnet50();
+/// assert_eq!(s.tbs_at(0), 512);
+/// assert_eq!(s.tbs_at(30), 1024);
+/// assert_eq!(s.tbs_at(89), 2048);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSchedule {
+    phases: Vec<(u32, u32)>, // (start_epoch, total_batch)
+}
+
+impl BatchSchedule {
+    /// Builds a schedule from `(start_epoch, total_batch)` phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty, the first phase does not start at
+    /// epoch 0, start epochs are not strictly increasing, or any batch
+    /// size is zero.
+    pub fn new(phases: Vec<(u32, u32)>) -> Self {
+        assert!(!phases.is_empty(), "schedule needs at least one phase");
+        assert_eq!(phases[0].0, 0, "first phase must start at epoch 0");
+        for w in phases.windows(2) {
+            assert!(w[0].0 < w[1].0, "phase starts must strictly increase");
+        }
+        assert!(
+            phases.iter().all(|&(_, b)| b > 0),
+            "batch sizes must be positive"
+        );
+        BatchSchedule { phases }
+    }
+
+    /// A single constant batch size for all epochs.
+    pub fn constant(total_batch: u32) -> Self {
+        BatchSchedule::new(vec![(0, total_batch)])
+    }
+
+    /// The paper's AdaBatch adaptation for ResNet-50 on ImageNet (§VI-B):
+    /// start at 512, double every 30 epochs, finish after 90 epochs.
+    pub fn adabatch_resnet50() -> Self {
+        BatchSchedule::new(vec![(0, 512), (30, 1024), (60, 2048)])
+    }
+
+    /// The total batch size in effect at `epoch`.
+    pub fn tbs_at(&self, epoch: u32) -> u32 {
+        self.phases
+            .iter()
+            .rev()
+            .find(|&&(start, _)| start <= epoch)
+            .map(|&(_, b)| b)
+            .expect("phase 0 covers every epoch")
+    }
+
+    /// The largest batch size the schedule ever uses.
+    pub fn max_tbs(&self) -> u32 {
+        self.phases.iter().map(|&(_, b)| b).max().expect("non-empty")
+    }
+
+    /// The phases as `(start_epoch, total_batch)` pairs.
+    pub fn phases(&self) -> &[(u32, u32)] {
+        &self.phases
+    }
+
+    /// True if the batch size ever changes.
+    pub fn is_dynamic(&self) -> bool {
+        self.phases.len() > 1
+    }
+}
+
+impl fmt::Display for BatchSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .phases
+            .iter()
+            .map(|&(e, b)| format!("e{e}:{b}"))
+            .collect();
+        write!(f, "[{}]", parts.join(", "))
+    }
+}
+
+/// A step-decay learning-rate schedule.
+///
+/// # Examples
+///
+/// ```
+/// use elan_models::LrSchedule;
+///
+/// let lr = LrSchedule::resnet50_default();
+/// assert_eq!(lr.lr_at(0), 0.2);
+/// assert!((lr.lr_at(30) - 0.02).abs() < 1e-12);
+/// assert!((lr.lr_at(60) - 0.002).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrSchedule {
+    base_lr: f64,
+    decay_epochs: Vec<u32>,
+    decay_factor: f64,
+    total_epochs: u32,
+}
+
+impl LrSchedule {
+    /// Builds a schedule decaying by `decay_factor` at each epoch in
+    /// `decay_epochs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_lr` or `decay_factor` is not positive, decay epochs
+    /// are not strictly increasing, or `total_epochs` is zero.
+    pub fn new(base_lr: f64, decay_epochs: Vec<u32>, decay_factor: f64, total_epochs: u32) -> Self {
+        assert!(base_lr > 0.0, "base lr must be positive");
+        assert!(decay_factor > 0.0, "decay factor must be positive");
+        assert!(total_epochs > 0, "total epochs must be positive");
+        for w in decay_epochs.windows(2) {
+            assert!(w[0] < w[1], "decay epochs must strictly increase");
+        }
+        LrSchedule {
+            base_lr,
+            decay_epochs,
+            decay_factor,
+            total_epochs,
+        }
+    }
+
+    /// The PyTorch reference recipe for ResNet-50/ImageNet scaled to a
+    /// 512 batch: lr 0.2, ×0.1 at epochs 30 and 60, 90 epochs total.
+    pub fn resnet50_default() -> Self {
+        LrSchedule::new(0.2, vec![30, 60], 0.1, 90)
+    }
+
+    /// Learning rate at `epoch`.
+    pub fn lr_at(&self, epoch: u32) -> f64 {
+        let decays = self.decay_epochs.iter().filter(|&&e| e <= epoch).count();
+        self.base_lr * self.decay_factor.powi(decays as i32)
+    }
+
+    /// The base (epoch-0) learning rate.
+    pub fn base_lr(&self) -> f64 {
+        self.base_lr
+    }
+
+    /// The epochs at which the rate decays — also the phase boundaries of
+    /// the accuracy curve model.
+    pub fn decay_epochs(&self) -> &[u32] {
+        &self.decay_epochs
+    }
+
+    /// Total scheduled epochs.
+    pub fn total_epochs(&self) -> u32 {
+        self.total_epochs
+    }
+
+    /// A copy with the base LR multiplied by `k` — the linear scaling rule
+    /// applied when the batch grows by `k` (Equation 2).
+    pub fn scaled(&self, k: f64) -> LrSchedule {
+        assert!(k > 0.0, "scale factor must be positive");
+        LrSchedule {
+            base_lr: self.base_lr * k,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adabatch_doubles_per_30_epochs() {
+        let s = BatchSchedule::adabatch_resnet50();
+        assert_eq!(s.tbs_at(29), 512);
+        assert_eq!(s.tbs_at(30), 1024);
+        assert_eq!(s.tbs_at(59), 1024);
+        assert_eq!(s.tbs_at(60), 2048);
+        assert_eq!(s.max_tbs(), 2048);
+        assert!(s.is_dynamic());
+    }
+
+    #[test]
+    fn constant_schedule_is_static() {
+        let s = BatchSchedule::constant(512);
+        assert_eq!(s.tbs_at(0), s.tbs_at(1000));
+        assert!(!s.is_dynamic());
+    }
+
+    #[test]
+    #[should_panic(expected = "first phase must start at epoch 0")]
+    fn schedule_must_cover_epoch_zero() {
+        let _ = BatchSchedule::new(vec![(5, 512)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn schedule_rejects_unsorted_phases() {
+        let _ = BatchSchedule::new(vec![(0, 512), (30, 1024), (30, 2048)]);
+    }
+
+    #[test]
+    fn lr_decays_stepwise() {
+        let lr = LrSchedule::new(1.0, vec![10, 20], 0.5, 30);
+        assert_eq!(lr.lr_at(9), 1.0);
+        assert_eq!(lr.lr_at(10), 0.5);
+        assert_eq!(lr.lr_at(25), 0.25);
+    }
+
+    #[test]
+    fn scaled_multiplies_base_only() {
+        let lr = LrSchedule::resnet50_default().scaled(2.0);
+        assert_eq!(lr.lr_at(0), 0.4);
+        assert_eq!(lr.decay_epochs(), &[30, 60]);
+    }
+
+    #[test]
+    fn display_shows_phases() {
+        let s = BatchSchedule::adabatch_resnet50();
+        assert_eq!(s.to_string(), "[e0:512, e30:1024, e60:2048]");
+    }
+}

@@ -1,0 +1,265 @@
+//! The model zoo: Table I of the paper plus ResNet-50.
+//!
+//! Parameter counts and per-sample FLOPs are public figures for the
+//! reference implementations; state sizes follow from fp32 parameters plus
+//! optimizer slots (SGD with momentum keeps one extra copy).
+
+use std::fmt;
+
+use elan_sim::Bytes;
+
+/// Network architecture family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Convolutional network (CV).
+    Cnn,
+    /// Recurrent network (NLP).
+    Rnn,
+    /// Attention/Transformer network (NLP).
+    Transformer,
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ModelKind::Cnn => "CNN",
+            ModelKind::Rnn => "RNN",
+            ModelKind::Transformer => "Transformer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A trainable model's workload characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// Human-readable name, e.g. `"ResNet-50"`.
+    pub name: &'static str,
+    /// Architecture family.
+    pub kind: ModelKind,
+    /// Application domain, e.g. `"CV"`.
+    pub domain: &'static str,
+    /// Trainable parameter count.
+    pub parameters: u64,
+    /// Forward+backward GFLOPs per training sample.
+    pub gflops_per_sample: f64,
+    /// Batch size at which the GPU reaches half of its peak efficiency
+    /// (small models need larger batches to saturate).
+    pub half_saturation_batch: f64,
+    /// Dataset the paper trains this model on.
+    pub dataset: &'static str,
+    /// Samples per epoch in that dataset.
+    pub dataset_size: u64,
+    /// Largest per-worker batch that fits an 11 GB GPU.
+    pub max_batch_per_worker: u32,
+}
+
+impl ModelSpec {
+    /// Bytes of fp32 parameters (the gradient/allreduce payload).
+    pub fn param_bytes(&self) -> Bytes {
+        Bytes::new(self.parameters * 4)
+    }
+
+    /// Bytes of GPU-resident training state: parameters + gradients +
+    /// SGD-momentum slot (3× parameters in fp32).
+    pub fn gpu_state_bytes(&self) -> Bytes {
+        Bytes::new(self.parameters * 4 * 3)
+    }
+
+    /// Bytes of CPU-resident state (data-loader cursor, RNG, runtime info).
+    /// Small by construction (§IV-1, Table II).
+    pub fn cpu_state_bytes(&self) -> Bytes {
+        Bytes::from_kib(64)
+    }
+}
+
+/// ResNet-50 on ImageNet — the paper's elastic-training workload (§VI-B).
+pub fn resnet50() -> ModelSpec {
+    ModelSpec {
+        name: "ResNet-50",
+        kind: ModelKind::Cnn,
+        domain: "CV",
+        parameters: 25_557_032,
+        gflops_per_sample: 12.4,
+        half_saturation_batch: 8.0,
+        dataset: "ImageNet",
+        dataset_size: 1_281_167,
+        max_batch_per_worker: 128,
+    }
+}
+
+/// VGG-19 on ImageNet (Table I) — parameter-heavy CNN.
+pub fn vgg19() -> ModelSpec {
+    ModelSpec {
+        name: "VGG-19",
+        kind: ModelKind::Cnn,
+        domain: "CV",
+        parameters: 143_667_240,
+        gflops_per_sample: 62.0,
+        half_saturation_batch: 6.0,
+        dataset: "ImageNet",
+        dataset_size: 1_281_167,
+        max_batch_per_worker: 48,
+    }
+}
+
+/// MobileNet-v2 on ImageNet (Table I) — compute-light CNN.
+pub fn mobilenet_v2() -> ModelSpec {
+    ModelSpec {
+        name: "MobileNet-v2",
+        kind: ModelKind::Cnn,
+        domain: "CV",
+        parameters: 3_504_872,
+        gflops_per_sample: 1.0,
+        half_saturation_batch: 32.0,
+        dataset: "ImageNet",
+        dataset_size: 1_281_167,
+        max_batch_per_worker: 512,
+    }
+}
+
+/// MobileNet-v2 on Cifar100 — the Fig. 5 batch-size/accuracy workload.
+pub fn mobilenet_v2_cifar100() -> ModelSpec {
+    ModelSpec {
+        name: "MobileNet-v2/Cifar100",
+        kind: ModelKind::Cnn,
+        domain: "CV",
+        parameters: 2_351_972,
+        gflops_per_sample: 0.09,
+        half_saturation_batch: 64.0,
+        dataset: "Cifar100",
+        dataset_size: 50_000,
+        max_batch_per_worker: 1024,
+    }
+}
+
+/// Seq2Seq (GNMT-style) on Tatoeba (Table I) — RNN translation model.
+pub fn seq2seq() -> ModelSpec {
+    ModelSpec {
+        name: "Seq2Seq",
+        kind: ModelKind::Rnn,
+        domain: "NLP",
+        parameters: 45_000_000,
+        gflops_per_sample: 4.5,
+        half_saturation_batch: 16.0,
+        dataset: "Tatoeba",
+        dataset_size: 500_000,
+        max_batch_per_worker: 256,
+    }
+}
+
+/// Transformer (base) on WMT'16 (Table I).
+pub fn transformer() -> ModelSpec {
+    ModelSpec {
+        name: "Transformer",
+        kind: ModelKind::Transformer,
+        domain: "NLP",
+        parameters: 47_000_000,
+        gflops_per_sample: 11.0,
+        half_saturation_batch: 12.0,
+        dataset: "WMT'16",
+        dataset_size: 4_500_000,
+        max_batch_per_worker: 128,
+    }
+}
+
+/// BERT-Large — the paper's §I example of heavyweight training state
+/// ("more than 340 million parameters, which occupy more than 1GB").
+pub fn bert_large() -> ModelSpec {
+    ModelSpec {
+        name: "BERT-Large",
+        kind: ModelKind::Transformer,
+        domain: "NLP",
+        parameters: 340_000_000,
+        gflops_per_sample: 240.0,
+        half_saturation_batch: 4.0,
+        dataset: "Wikipedia+BookCorpus",
+        dataset_size: 3_300_000,
+        max_batch_per_worker: 8,
+    }
+}
+
+/// The five models used in the adjustment-performance experiments
+/// (Fig. 15 labels A–E).
+pub fn evaluation_models() -> Vec<ModelSpec> {
+    vec![resnet50(), vgg19(), mobilenet_v2(), seq2seq(), transformer()]
+}
+
+/// Looks up a model by its display name.
+pub fn by_name(name: &str) -> Option<ModelSpec> {
+    let all = [
+        resnet50(),
+        vgg19(),
+        mobilenet_v2(),
+        mobilenet_v2_cifar100(),
+        seq2seq(),
+        transformer(),
+        bert_large(),
+    ];
+    all.into_iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_parameter_sizes() {
+        // Table I: VGG-19 143M, MobileNet-v2 3M, Seq2Seq 45M, Transformer 47M.
+        assert_eq!(vgg19().parameters / 1_000_000, 143);
+        assert_eq!(mobilenet_v2().parameters / 1_000_000, 3);
+        assert_eq!(seq2seq().parameters / 1_000_000, 45);
+        assert_eq!(transformer().parameters / 1_000_000, 47);
+        assert_eq!(resnet50().parameters / 1_000_000, 25);
+    }
+
+    #[test]
+    fn param_bytes_are_fp32() {
+        let m = resnet50();
+        assert_eq!(m.param_bytes().as_u64(), m.parameters * 4);
+        // ResNet-50 fp32 ≈ 97.5 MiB.
+        let mib = m.param_bytes().as_f64() / (1024.0 * 1024.0);
+        assert!((97.0..99.0).contains(&mib), "got {mib}");
+    }
+
+    #[test]
+    fn gpu_state_includes_optimizer() {
+        let m = vgg19();
+        assert_eq!(m.gpu_state_bytes().as_u64(), m.param_bytes().as_u64() * 3);
+    }
+
+    #[test]
+    fn cpu_state_is_small() {
+        // §IV-1: CPU states are quite small compared to GPU states.
+        for m in evaluation_models() {
+            assert!(m.cpu_state_bytes().as_u64() * 100 < m.gpu_state_bytes().as_u64());
+        }
+    }
+
+    #[test]
+    fn by_name_finds_all() {
+        for m in evaluation_models() {
+            assert_eq!(by_name(m.name).unwrap(), m);
+        }
+        assert!(by_name("AlexNet").is_none());
+    }
+
+    #[test]
+    fn bert_states_exceed_a_gigabyte() {
+        // §I: "BERT has more than 340 million parameters, which occupy
+        // more than 1GB memory" — and 3x that with gradients+optimizer.
+        let bert = bert_large();
+        assert!(bert.param_bytes().as_u64() > 1_000_000_000);
+        assert!(bert.gpu_state_bytes() > elan_sim::Bytes::from_gib(3));
+    }
+
+    #[test]
+    fn evaluation_set_has_five_models() {
+        let models = evaluation_models();
+        assert_eq!(models.len(), 5);
+        let mut names: Vec<_> = models.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

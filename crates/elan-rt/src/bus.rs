@@ -1,0 +1,244 @@
+//! The control-plane message bus: crossbeam channels with named endpoints.
+//!
+//! Stands in for the paper's ZeroMQ sockets (§V-D). Each participant owns
+//! an [`Endpoint`] (its receive queue); anyone holding the [`Bus`] can
+//! send to any endpoint by id. Per-receiver FIFO ordering is inherited
+//! from the underlying channel.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use elan_core::state::WorkerId;
+
+/// Identifies a bus endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EndpointId {
+    /// The application master.
+    Am,
+    /// A training worker.
+    Worker(WorkerId),
+    /// The external controller (the `ElasticRuntime` handle).
+    Controller,
+}
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndpointId::Am => write!(f, "am"),
+            EndpointId::Worker(w) => write!(f, "{w}"),
+            EndpointId::Controller => write!(f, "controller"),
+        }
+    }
+}
+
+/// Control-plane messages of the live runtime.
+#[derive(Debug, Clone)]
+pub enum RtMsg {
+    /// Worker → AM: ready to join after start+initialization (step ②).
+    Report {
+        /// The new worker.
+        worker: WorkerId,
+    },
+    /// Worker → AM: reached a coordination boundary (step ③).
+    Coordinate {
+        /// The coordinating worker.
+        worker: WorkerId,
+        /// Its current iteration.
+        iteration: u64,
+    },
+    /// AM → worker: continue training unchanged.
+    Proceed,
+    /// AM → worker: replicate state to `dst` (step ④), then report done.
+    TransferOrder {
+        /// Destination worker.
+        dst: WorkerId,
+    },
+    /// Worker → AM: the ordered transfer finished.
+    TransferDone {
+        /// The source that completed its transfer.
+        src: WorkerId,
+    },
+    /// Source worker → new worker: the replicated training state.
+    StateTransfer {
+        /// Model parameters (really copied between threads).
+        params: Arc<Vec<f32>>,
+        /// Optimizer (momentum) state.
+        momentum: Arc<Vec<f32>>,
+        /// Iteration to resume from.
+        iteration: u64,
+        /// Serial data-loading cursor (§V-C: one integer).
+        data_cursor: u64,
+    },
+    /// AM → worker: training resumes under the new membership (step ⑤).
+    Resume {
+        /// The new communication-group generation.
+        generation: u64,
+    },
+    /// AM → worker: leave the job (scale-in / migration / shutdown).
+    Leave,
+    /// Controller → AM: adjust to this membership.
+    AdjustTo {
+        /// Workers after the adjustment.
+        target: Vec<WorkerId>,
+    },
+    /// Controller → AM: stop the job at the next boundary.
+    Stop,
+    /// Controller → AM: snapshot the training state at the next boundary.
+    Checkpoint,
+    /// AM → worker: send your state to the controller (checkpoint), then
+    /// report `TransferDone`.
+    CheckpointOrder,
+    /// AM → controller: the last requested operation finished.
+    Ack,
+}
+
+/// A shared registry of endpoint senders.
+#[derive(Clone, Default)]
+pub struct Bus {
+    senders: Arc<RwLock<HashMap<EndpointId, Sender<RtMsg>>>>,
+}
+
+impl fmt::Debug for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bus({} endpoints)", self.senders.read().len())
+    }
+}
+
+/// A participant's receive side.
+#[derive(Debug)]
+pub struct Endpoint {
+    id: EndpointId,
+    receiver: Receiver<RtMsg>,
+}
+
+impl Bus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Bus::default()
+    }
+
+    /// Registers `id` and returns its endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already registered.
+    pub fn register(&self, id: EndpointId) -> Endpoint {
+        let (tx, rx) = unbounded();
+        let prev = self.senders.write().insert(id, tx);
+        assert!(prev.is_none(), "endpoint {id} registered twice");
+        Endpoint { id, receiver: rx }
+    }
+
+    /// Removes an endpoint; subsequent sends to it report failure.
+    pub fn unregister(&self, id: EndpointId) {
+        self.senders.write().remove(&id);
+    }
+
+    /// Sends `msg` to `to`. Returns false if the endpoint is gone (the
+    /// runtime equivalent of a lost peer; callers decide how to react).
+    pub fn send(&self, to: EndpointId, msg: RtMsg) -> bool {
+        let guard = self.senders.read();
+        match guard.get(&to) {
+            Some(tx) => tx.send(msg).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Registered endpoint count.
+    pub fn len(&self) -> usize {
+        self.senders.read().len()
+    }
+
+    /// True when no endpoints are registered.
+    pub fn is_empty(&self) -> bool {
+        self.senders.read().is_empty()
+    }
+}
+
+impl Endpoint {
+    /// This endpoint's id.
+    pub fn id(&self) -> EndpointId {
+        self.id
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every sender has been dropped — a protocol bug, since the
+    /// bus itself holds the senders until unregistered.
+    pub fn recv(&self) -> RtMsg {
+        self.receiver
+            .recv()
+            .expect("bus dropped while endpoint alive")
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<RtMsg> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_between_endpoints() {
+        let bus = Bus::new();
+        let am = bus.register(EndpointId::Am);
+        let _w = bus.register(EndpointId::Worker(WorkerId(0)));
+        assert!(bus.send(EndpointId::Am, RtMsg::Report {
+            worker: WorkerId(0)
+        }));
+        match am.recv() {
+            RtMsg::Report { worker } => assert_eq!(worker, WorkerId(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_to_missing_endpoint_fails_gracefully() {
+        let bus = Bus::new();
+        assert!(!bus.send(EndpointId::Am, RtMsg::Stop));
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let bus = Bus::new();
+        let _e = bus.register(EndpointId::Controller);
+        assert_eq!(bus.len(), 1);
+        bus.unregister(EndpointId::Controller);
+        assert!(bus.is_empty());
+        assert!(!bus.send(EndpointId::Controller, RtMsg::Ack));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let bus = Bus::new();
+        let _a = bus.register(EndpointId::Am);
+        let _b = bus.register(EndpointId::Am);
+    }
+
+    #[test]
+    fn per_receiver_fifo_order() {
+        let bus = Bus::new();
+        let w = bus.register(EndpointId::Worker(WorkerId(1)));
+        bus.send(EndpointId::Worker(WorkerId(1)), RtMsg::Proceed);
+        bus.send(EndpointId::Worker(WorkerId(1)), RtMsg::Leave);
+        assert!(matches!(w.recv(), RtMsg::Proceed));
+        assert!(matches!(w.recv(), RtMsg::Leave));
+    }
+
+    #[test]
+    fn try_recv_is_non_blocking() {
+        let bus = Bus::new();
+        let w = bus.register(EndpointId::Worker(WorkerId(2)));
+        assert!(w.try_recv().is_none());
+    }
+}

@@ -1,0 +1,690 @@
+//! The elastic runtime: the public handle plus the AM service thread.
+//!
+//! [`ElasticRuntime`] is what a framework integration would hold: it
+//! launches the job, requests scale-out/scale-in/migration, and shuts the
+//! job down — all while worker threads keep training. The AM thread runs
+//! the same `ApplicationMaster` state
+//! machine as the simulator and orchestrates the 5-step adjustment
+//! procedure over the bus, using the topology planner to pick replication
+//! sources.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use elan_core::elasticity::AdjustmentRequest;
+use elan_core::state::WorkerId;
+use elan_core::ApplicationMaster;
+use elan_topology::{ClusterSpec, GpuId, ReplicationPlanner, Topology};
+
+use crate::bus::{Bus, Endpoint, EndpointId, RtMsg};
+use crate::comm::CommGroup;
+use crate::worker::{run_worker, Telemetry, WorkerConfig, WorkerRole, WorkerView};
+
+/// Configuration of a live elastic job.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Workers at launch.
+    pub initial_workers: u32,
+    /// Parameter-buffer length per worker.
+    pub param_elems: usize,
+    /// Iterations between coordinations.
+    pub coordination_interval: u64,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Samples consumed per iteration.
+    pub total_batch: u32,
+}
+
+impl RuntimeConfig {
+    /// A small, fast configuration for tests and examples.
+    pub fn small(initial_workers: u32) -> Self {
+        RuntimeConfig {
+            initial_workers,
+            param_elems: 1024,
+            coordination_interval: 5,
+            learning_rate: 0.05,
+            total_batch: 128,
+        }
+    }
+}
+
+/// A live checkpoint: the full training state of the job at a
+/// coordination boundary (rank 0's copy — identical everywhere by the
+/// data-parallel invariant).
+#[derive(Debug, Clone)]
+pub struct CheckpointSnapshot {
+    /// Model parameters.
+    pub params: Arc<Vec<f32>>,
+    /// Optimizer (momentum) state.
+    pub momentum: Arc<Vec<f32>>,
+    /// Iteration the snapshot was taken at.
+    pub iteration: u64,
+    /// Serial data cursor.
+    pub data_cursor: u64,
+}
+
+/// Final state of a finished job.
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    /// Workers in the job when it stopped.
+    pub final_world_size: u32,
+    /// Last telemetry of every worker that ever participated.
+    pub workers: BTreeMap<WorkerId, WorkerView>,
+    /// Total adjustments the job went through.
+    pub adjustments: u64,
+}
+
+impl ShutdownReport {
+    /// True when every worker that reached the final iteration holds
+    /// bit-identical parameters — the data-parallel invariant.
+    pub fn states_consistent(&self) -> bool {
+        let max_iter = self
+            .workers
+            .values()
+            .map(|v| v.iteration)
+            .max()
+            .unwrap_or(0);
+        let checksums: BTreeSet<u64> = self
+            .workers
+            .values()
+            .filter(|v| v.iteration == max_iter)
+            .map(|v| v.params_checksum)
+            .collect();
+        checksums.len() == 1
+    }
+}
+
+/// The live elastic-training job handle.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct ElasticRuntime {
+    cfg: RuntimeConfig,
+    bus: Bus,
+    controller: Endpoint,
+    comm: Arc<CommGroup>,
+    telemetry: Telemetry,
+    members: Vec<WorkerId>,
+    next_worker: u32,
+    adjustments: u64,
+    am_handle: Option<JoinHandle<()>>,
+    worker_handles: HashMap<WorkerId, JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ElasticRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElasticRuntime")
+            .field("members", &self.members)
+            .field("adjustments", &self.adjustments)
+            .finish()
+    }
+}
+
+impl ElasticRuntime {
+    /// Launches the job with `cfg.initial_workers` founding workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero workers or empty parameters.
+    pub fn start(cfg: RuntimeConfig) -> Self {
+        Self::launch(cfg, None)
+    }
+
+    /// Restarts a job from a [`CheckpointSnapshot`] — the live
+    /// Shutdown-&-Restart path. Training resumes bit-exactly where the
+    /// snapshot was taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's parameter length differs from the
+    /// configuration.
+    pub fn start_from(cfg: RuntimeConfig, snapshot: &CheckpointSnapshot) -> Self {
+        assert_eq!(
+            snapshot.params.len(),
+            cfg.param_elems,
+            "snapshot does not match the configuration"
+        );
+        Self::launch(cfg, Some(snapshot.clone()))
+    }
+
+    fn launch(cfg: RuntimeConfig, restore: Option<CheckpointSnapshot>) -> Self {
+        assert!(cfg.initial_workers > 0, "need at least one worker");
+        assert!(cfg.param_elems > 0, "parameters must be non-empty");
+        assert!(cfg.coordination_interval > 0, "interval must be positive");
+
+        let bus = Bus::new();
+        let controller = bus.register(EndpointId::Controller);
+        let members: Vec<WorkerId> = (0..cfg.initial_workers).map(WorkerId).collect();
+        let comm = Arc::new(CommGroup::new(members.iter().copied(), cfg.param_elems));
+        let telemetry: Telemetry = Arc::new(Mutex::new(HashMap::new()));
+
+        let am_endpoint = bus.register(EndpointId::Am);
+        let am_handle = {
+            let bus = bus.clone();
+            let comm = Arc::clone(&comm);
+            let members = members.clone();
+            thread::Builder::new()
+                .name("elan-am".into())
+                .spawn(move || am_thread(bus, am_endpoint, comm, members))
+                .expect("spawn AM thread")
+        };
+
+        let mut rt = ElasticRuntime {
+            cfg,
+            bus,
+            controller,
+            comm,
+            telemetry,
+            members: members.clone(),
+            next_worker: cfg.initial_workers,
+            adjustments: 0,
+            am_handle: Some(am_handle),
+            worker_handles: HashMap::new(),
+        };
+        for &w in &members {
+            let role = match &restore {
+                Some(s) => WorkerRole::Restored {
+                    params: Arc::clone(&s.params),
+                    momentum: Arc::clone(&s.momentum),
+                    iteration: s.iteration,
+                    data_cursor: s.data_cursor,
+                },
+                None => WorkerRole::Founding,
+            };
+            rt.spawn_worker(w, role);
+        }
+        rt
+    }
+
+    /// Snapshots the full training state at the next coordination
+    /// boundary (rank 0 streams its buffers to the controller) — the
+    /// checkpoint half of Shutdown-&-Restart, done live.
+    pub fn checkpoint(&mut self) -> CheckpointSnapshot {
+        self.bus.send(EndpointId::Am, RtMsg::Checkpoint);
+        loop {
+            if let RtMsg::StateTransfer {
+                params,
+                momentum,
+                iteration,
+                data_cursor,
+            } = self.controller.recv()
+            {
+                return CheckpointSnapshot {
+                    params,
+                    momentum,
+                    iteration,
+                    data_cursor,
+                };
+            }
+        }
+    }
+
+    fn spawn_worker(&mut self, id: WorkerId, role: WorkerRole) {
+        let endpoint = self.bus.register(EndpointId::Worker(id));
+        let cfg = WorkerConfig {
+            id,
+            param_elems: self.cfg.param_elems,
+            coordination_interval: self.cfg.coordination_interval,
+            learning_rate: self.cfg.learning_rate,
+            total_batch: self.cfg.total_batch,
+        };
+        let bus = self.bus.clone();
+        let comm = Arc::clone(&self.comm);
+        let telemetry = Arc::clone(&self.telemetry);
+        let handle = thread::Builder::new()
+            .name(format!("elan-{id}"))
+            .spawn(move || run_worker(cfg, bus, endpoint, comm, telemetry, role))
+            .expect("spawn worker thread");
+        self.worker_handles.insert(id, handle);
+    }
+
+    /// Current members.
+    pub fn members(&self) -> &[WorkerId] {
+        &self.members
+    }
+
+    /// A snapshot of every worker's latest telemetry.
+    pub fn snapshot(&self) -> BTreeMap<WorkerId, WorkerView> {
+        self.telemetry
+            .lock()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// Blocks until every live member has completed `iteration`.
+    pub fn run_until_iteration(&self, iteration: u64) {
+        loop {
+            {
+                let t = self.telemetry.lock();
+                let live: Vec<_> = self
+                    .members
+                    .iter()
+                    .filter_map(|w| t.get(w))
+                    .filter(|v| v.alive)
+                    .collect();
+                if !live.is_empty() && live.iter().all(|v| v.iteration >= iteration) {
+                    return;
+                }
+            }
+            thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    fn adjust_to(&mut self, target: Vec<WorkerId>) {
+        let joining: Vec<WorkerId> = target
+            .iter()
+            .copied()
+            .filter(|w| !self.members.contains(w))
+            .collect();
+        let leaving: Vec<WorkerId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|w| !target.contains(w))
+            .collect();
+        for &w in &joining {
+            self.spawn_worker(w, WorkerRole::Joining);
+        }
+        self.bus.send(
+            EndpointId::Am,
+            RtMsg::AdjustTo {
+                target: target.clone(),
+            },
+        );
+        // Wait for the AM's acknowledgement of a completed adjustment.
+        loop {
+            if matches!(self.controller.recv(), RtMsg::Ack) {
+                break;
+            }
+        }
+        // Reap leavers.
+        for w in leaving {
+            if let Some(h) = self.worker_handles.remove(&w) {
+                h.join().expect("worker thread exits cleanly");
+            }
+            self.bus.unregister(EndpointId::Worker(w));
+        }
+        self.members = target;
+        self.adjustments += 1;
+    }
+
+    /// Adds `n` workers (scale-out). Blocks until the adjustment is done;
+    /// existing workers keep training meanwhile.
+    pub fn scale_out(&mut self, n: u32) {
+        assert!(n > 0, "scale-out of zero workers");
+        let mut target = self.members.clone();
+        for _ in 0..n {
+            target.push(WorkerId(self.next_worker));
+            self.next_worker += 1;
+        }
+        self.adjust_to(target);
+    }
+
+    /// Removes the last `n` workers (scale-in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` would leave no workers.
+    pub fn scale_in(&mut self, n: u32) {
+        assert!(
+            (n as usize) < self.members.len(),
+            "scale-in would remove every worker"
+        );
+        let target = self.members[..self.members.len() - n as usize].to_vec();
+        self.adjust_to(target);
+    }
+
+    /// Migrates the job onto an entirely fresh set of workers of the same
+    /// size.
+    pub fn migrate(&mut self) {
+        let n = self.members.len() as u32;
+        let mut target = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            target.push(WorkerId(self.next_worker));
+            self.next_worker += 1;
+        }
+        self.adjust_to(target);
+    }
+
+    /// Stops the job at the next coordination boundary and returns the
+    /// final report.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.bus.send(EndpointId::Am, RtMsg::Stop);
+        loop {
+            if matches!(self.controller.recv(), RtMsg::Ack) {
+                break;
+            }
+        }
+        for (_, h) in self.worker_handles.drain() {
+            h.join().expect("worker thread exits cleanly");
+        }
+        if let Some(h) = self.am_handle.take() {
+            h.join().expect("AM thread exits cleanly");
+        }
+        ShutdownReport {
+            final_world_size: self.members.len() as u32,
+            workers: self
+                .telemetry
+                .lock()
+                .iter()
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+            adjustments: self.adjustments,
+        }
+    }
+}
+
+/// A topology big enough to place any worker id we might allocate.
+fn planning_topology() -> Topology {
+    ClusterSpec::new(64, 2, 2, 2).build() // 512 GPU slots
+}
+
+fn am_thread(bus: Bus, endpoint: Endpoint, comm: Arc<CommGroup>, mut members: Vec<WorkerId>) {
+    let mut am = ApplicationMaster::new("rt-job");
+    am.set_members(members.iter().map(|w| GpuId(w.0)).collect());
+    let topology = planning_topology();
+
+    let mut pending_target: Option<Vec<WorkerId>> = None;
+    let mut reported: BTreeSet<WorkerId> = BTreeSet::new();
+    let mut coordinated: BTreeSet<WorkerId> = BTreeSet::new();
+    let mut stopping = false;
+    let mut checkpoint_pending = false;
+
+    loop {
+        match endpoint.recv() {
+            RtMsg::Checkpoint => checkpoint_pending = true,
+            RtMsg::AdjustTo { target } => {
+                let request = AdjustmentRequest::new(
+                    members.iter().map(|w| GpuId(w.0)).collect(),
+                    target.iter().map(|w| GpuId(w.0)).collect(),
+                )
+                .expect("controller sends valid adjustments");
+                am.request_adjustment(request)
+                    .expect("controller serializes adjustments");
+                pending_target = Some(target);
+            }
+            RtMsg::Stop => stopping = true,
+            RtMsg::Report { worker } => {
+                let _ = am.report(GpuId(worker.0));
+                reported.insert(worker);
+            }
+            RtMsg::Coordinate { worker, .. } => {
+                coordinated.insert(worker);
+                if coordinated.len() < members.len() {
+                    continue;
+                }
+                // A full coordination boundary: everyone is parked.
+                coordinated.clear();
+                if checkpoint_pending {
+                    checkpoint_pending = false;
+                    if let Some(&first) = members.first() {
+                        bus.send(EndpointId::Worker(first), RtMsg::CheckpointOrder);
+                        loop {
+                            match endpoint.recv() {
+                                RtMsg::TransferDone { .. } => break,
+                                RtMsg::Report { worker } => {
+                                    let _ = am.report(GpuId(worker.0));
+                                    reported.insert(worker);
+                                }
+                                RtMsg::AdjustTo { target } => {
+                                    // Queue it; handled at a later boundary.
+                                    let request = AdjustmentRequest::new(
+                                        members.iter().map(|w| GpuId(w.0)).collect(),
+                                        target.iter().map(|w| GpuId(w.0)).collect(),
+                                    )
+                                    .expect("controller sends valid adjustments");
+                                    am.request_adjustment(request)
+                                        .expect("controller serializes adjustments");
+                                    pending_target = Some(target);
+                                }
+                                RtMsg::Stop => stopping = true,
+                                RtMsg::Checkpoint => checkpoint_pending = true,
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                if stopping {
+                    for &w in &members {
+                        bus.send(EndpointId::Worker(w), RtMsg::Leave);
+                    }
+                    bus.send(EndpointId::Controller, RtMsg::Ack);
+                    return;
+                }
+                let ready = pending_target.as_ref().is_some_and(|t| {
+                    t.iter()
+                        .filter(|w| !members.contains(w))
+                        .all(|w| reported.contains(w))
+                });
+                if !ready {
+                    for &w in &members {
+                        bus.send(EndpointId::Worker(w), RtMsg::Proceed);
+                    }
+                    continue;
+                }
+                let target = pending_target.take().expect("checked above");
+                execute_adjustment(&bus, &endpoint, &comm, &topology, &mut am, &members, &target, &mut reported);
+                members = target;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Steps ④ and ⑤ of the adjustment procedure, orchestrated over the bus.
+#[allow(clippy::too_many_arguments)]
+fn execute_adjustment(
+    bus: &Bus,
+    endpoint: &Endpoint,
+    comm: &Arc<CommGroup>,
+    topology: &Topology,
+    am: &mut ApplicationMaster,
+    members: &[WorkerId],
+    target: &[WorkerId],
+    reported: &mut BTreeSet<WorkerId>,
+) {
+    // Drive the state machine: the coordination that begins adjustment.
+    let _ = am.coordinate();
+
+    let joining: Vec<WorkerId> = target
+        .iter()
+        .copied()
+        .filter(|w| !members.contains(w))
+        .collect();
+    let leaving: Vec<WorkerId> = members
+        .iter()
+        .copied()
+        .filter(|w| !target.contains(w))
+        .collect();
+
+    // Step ④: concurrent IO-free replication along planner sources.
+    if !joining.is_empty() {
+        let sources: Vec<GpuId> = members.iter().map(|w| GpuId(w.0)).collect();
+        let dests: Vec<GpuId> = joining.iter().map(|w| GpuId(w.0)).collect();
+        let plan = ReplicationPlanner::new(topology)
+            .plan(&sources, &dests)
+            .expect("valid placements");
+        let mut outstanding = 0u32;
+        for t in plan.transfers() {
+            bus.send(
+                EndpointId::Worker(WorkerId(t.src.0)),
+                RtMsg::TransferOrder {
+                    dst: WorkerId(t.dst.0),
+                },
+            );
+            outstanding += 1;
+        }
+        while outstanding > 0 {
+            match endpoint.recv() {
+                RtMsg::TransferDone { .. } => outstanding -= 1,
+                RtMsg::Report { worker } => {
+                    let _ = am.report(GpuId(worker.0));
+                    reported.insert(worker);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Step ⑤: communication-group reconstruction, then resume/leave.
+    let generation = comm.reconfigure(target.iter().copied());
+    for &w in &leaving {
+        bus.send(EndpointId::Worker(w), RtMsg::Leave);
+    }
+    for &w in target {
+        bus.send(EndpointId::Worker(w), RtMsg::Resume { generation });
+    }
+    am.adjustment_complete().expect("adjustment was executing");
+    reported.clear();
+    bus.send(EndpointId::Controller, RtMsg::Ack);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_training_is_consistent() {
+        let mut rt = ElasticRuntime::start(RuntimeConfig::small(3));
+        rt.run_until_iteration(25);
+        let _ = &mut rt;
+        let report = rt.shutdown();
+        assert_eq!(report.final_world_size, 3);
+        assert!(report.states_consistent());
+        assert!(report.workers.values().all(|v| v.iteration >= 25));
+    }
+
+    #[test]
+    fn scale_out_preserves_state() {
+        let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+        rt.run_until_iteration(10);
+        rt.scale_out(2);
+        assert_eq!(rt.members().len(), 4);
+        rt.run_until_iteration(30);
+        let report = rt.shutdown();
+        assert_eq!(report.final_world_size, 4);
+        assert!(report.states_consistent(), "joiners diverged: {report:?}");
+        assert_eq!(report.adjustments, 1);
+    }
+
+    #[test]
+    fn scale_in_releases_workers() {
+        let mut rt = ElasticRuntime::start(RuntimeConfig::small(4));
+        rt.run_until_iteration(10);
+        rt.scale_in(2);
+        assert_eq!(rt.members().len(), 2);
+        rt.run_until_iteration(25);
+        let report = rt.shutdown();
+        assert_eq!(report.final_world_size, 2);
+        assert!(report.states_consistent());
+        // The removed workers stopped early but left cleanly.
+        let stopped: Vec<_> = report.workers.values().filter(|v| !v.alive).collect();
+        assert_eq!(stopped.len(), 4); // 2 scaled-in + 2 shutdown... all dead
+    }
+
+    #[test]
+    fn migration_moves_to_fresh_workers() {
+        let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+        rt.run_until_iteration(10);
+        let before: Vec<WorkerId> = rt.members().to_vec();
+        rt.migrate();
+        let after: Vec<WorkerId> = rt.members().to_vec();
+        assert!(before.iter().all(|w| !after.contains(w)));
+        rt.run_until_iteration(25);
+        let report = rt.shutdown();
+        assert!(report.states_consistent());
+    }
+
+    #[test]
+    fn repeated_adjustments_compose() {
+        let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+        rt.run_until_iteration(5);
+        rt.scale_out(2);
+        rt.run_until_iteration(15);
+        rt.scale_in(1);
+        rt.run_until_iteration(25);
+        rt.scale_out(3);
+        rt.run_until_iteration(40);
+        let report = rt.shutdown();
+        assert_eq!(report.final_world_size, 6);
+        assert_eq!(report.adjustments, 3);
+        assert!(report.states_consistent());
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_exact() {
+        use crate::worker::simulate_training;
+        let cfg = RuntimeConfig::small(3);
+        let mut a = ElasticRuntime::start(cfg);
+        a.run_until_iteration(20);
+        let cp = a.checkpoint();
+        let _ = a.shutdown();
+
+        // The live state matches a single-threaded reference replay.
+        let (expect_params, expect_momentum, expect_cursor) = simulate_training(
+            3,
+            cp.iteration,
+            cfg.param_elems,
+            cfg.learning_rate,
+            cfg.total_batch,
+        );
+        assert_eq!(*cp.params, expect_params, "live params diverged");
+        assert_eq!(*cp.momentum, expect_momentum, "live momentum diverged");
+        assert_eq!(cp.data_cursor, expect_cursor);
+
+        // A restored job continues bit-exactly.
+        let mut b = ElasticRuntime::start_from(cfg, &cp);
+        b.run_until_iteration(cp.iteration + 10);
+        let cp2 = b.checkpoint();
+        let (expect2, _, _) = simulate_training(
+            3,
+            cp2.iteration,
+            cfg.param_elems,
+            cfg.learning_rate,
+            cfg.total_batch,
+        );
+        assert_eq!(*cp2.params, expect2, "restored run diverged");
+        let report = b.shutdown();
+        assert!(report.states_consistent());
+    }
+
+    #[test]
+    fn live_training_matches_reference_replay() {
+        use crate::worker::simulate_training;
+        // Even without any checkpointing, the whole multi-threaded
+        // pipeline (gradients, deterministic allreduce, optimizer) is
+        // bit-identical to the sequential reference.
+        let cfg = RuntimeConfig::small(4);
+        let mut rt = ElasticRuntime::start(cfg);
+        rt.run_until_iteration(15);
+        let cp = rt.checkpoint();
+        let _ = rt.shutdown();
+        let (expect, _, _) = simulate_training(
+            4,
+            cp.iteration,
+            cfg.param_elems,
+            cfg.learning_rate,
+            cfg.total_batch,
+        );
+        assert_eq!(*cp.params, expect);
+    }
+
+    #[test]
+    fn data_cursor_replicates_exactly() {
+        let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+        rt.run_until_iteration(10);
+        rt.scale_out(1);
+        rt.run_until_iteration(20);
+        let snap = rt.snapshot();
+        let report = rt.shutdown();
+        assert!(report.states_consistent());
+        // All live workers agree on the serial cursor: iteration * batch.
+        for v in snap.values().filter(|v| v.alive) {
+            assert_eq!(v.data_cursor, v.iteration * 128);
+        }
+    }
+}

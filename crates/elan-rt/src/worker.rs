@@ -1,0 +1,321 @@
+//! The training-worker thread.
+//!
+//! Each worker owns real parameter and momentum buffers, computes a
+//! deterministic synthetic gradient for its data shard, sums gradients
+//! through the [`CommGroup`] allreduce, applies
+//! SGD-with-momentum, and calls `Coordinate` at every boundary — exactly
+//! the per-iteration structure of Fig. 7 with the Elan hooks attached.
+//!
+//! Because every worker applies the identical reduced gradient to
+//! identical starting parameters, all live workers hold bit-identical
+//! state at every iteration — the invariant the shutdown report checks
+//! and the property state replication relies on (§IV-1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use elan_core::state::WorkerId;
+
+use crate::bus::{Bus, Endpoint, EndpointId, RtMsg};
+use crate::comm::{AllreduceOutcome, CommGroup};
+
+/// Per-worker observable state, published after every iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerView {
+    /// Completed iterations.
+    pub iteration: u64,
+    /// Serial data-loading cursor.
+    pub data_cursor: u64,
+    /// Checksum of the parameter buffer (bit-exact).
+    pub params_checksum: u64,
+    /// False once the worker has left the job.
+    pub alive: bool,
+    /// Real wall time spent parked in coordination (control-plane waits
+    /// plus adjustment pauses) — the live counterpart of Fig. 15's pause.
+    pub stalled: std::time::Duration,
+}
+
+/// Shared telemetry map read by the controller.
+pub type Telemetry = Arc<Mutex<HashMap<WorkerId, WorkerView>>>;
+
+/// Static configuration for one worker thread.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerConfig {
+    /// This worker's id.
+    pub id: WorkerId,
+    /// Parameter-buffer length.
+    pub param_elems: usize,
+    /// Iterations between coordinations.
+    pub coordination_interval: u64,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Samples consumed per iteration (advances the data cursor).
+    pub total_batch: u32,
+}
+
+/// How a worker enters the job.
+#[derive(Debug, Clone)]
+pub enum WorkerRole {
+    /// Present at job start: begins training immediately.
+    Founding,
+    /// Launched by an adjustment: initializes, reports, and waits for
+    /// state replication before training (§II steps ② and ④).
+    Joining,
+    /// Restarted from a checkpoint (the Shutdown-&-Restart path, live).
+    Restored {
+        /// Parameter buffer to restore.
+        params: Arc<Vec<f32>>,
+        /// Momentum buffer to restore.
+        momentum: Arc<Vec<f32>>,
+        /// Iteration to resume from.
+        iteration: u64,
+        /// Serial data cursor to resume from.
+        data_cursor: u64,
+    },
+}
+
+/// Computes the synthetic gradient for `(worker, iteration)` — each
+/// worker's "data shard" yields a different, deterministic gradient.
+fn gradient(worker: WorkerId, iteration: u64, out: &mut [f32]) {
+    let w = worker.0 as u64;
+    for (j, g) in out.iter_mut().enumerate() {
+        let x = (iteration
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(w.wrapping_mul(1442695040888963407))
+            .wrapping_add(j as u64))
+            % 2048;
+        *g = (x as f32 / 2048.0) - 0.5;
+    }
+}
+
+/// Reference replay of the training computation: the parameters,
+/// momentum, and data cursor after `iterations` of data-parallel training
+/// on `world_size` workers — single-threaded, for verifying that the live
+/// runtime (and checkpoint/restore) is bit-exact.
+pub fn simulate_training(
+    world_size: u32,
+    iterations: u64,
+    param_elems: usize,
+    learning_rate: f32,
+    total_batch: u32,
+) -> (Vec<f32>, Vec<f32>, u64) {
+    let mut params = vec![0.5f32; param_elems];
+    let mut momentum = vec![0.0f32; param_elems];
+    let mut grad = vec![0.0f32; param_elems];
+    let mut sum = vec![0.0f32; param_elems];
+    for iter in 0..iterations {
+        sum.iter_mut().for_each(|v| *v = 0.0);
+        // Same order as CommGroup: ascending worker id.
+        for w in 0..world_size {
+            gradient(WorkerId(w), iter, &mut grad);
+            for (s, &g) in sum.iter_mut().zip(&grad) {
+                *s += g;
+            }
+        }
+        let world = world_size as f32;
+        for ((w, m), &s) in params.iter_mut().zip(momentum.iter_mut()).zip(&sum) {
+            *m = 0.9 * *m + s / world;
+            *w -= learning_rate * *m;
+        }
+    }
+    (params, momentum, iterations * total_batch as u64)
+}
+
+/// Bit-exact checksum of a float buffer.
+pub fn checksum(buf: &[f32]) -> u64 {
+    buf.iter().fold(0u64, |acc, &v| {
+        acc.rotate_left(7) ^ u64::from(v.to_bits())
+    })
+}
+
+/// Runs the worker until it is told to leave.
+///
+/// The worker publishes [`WorkerView`]s into `telemetry` every iteration
+/// and marks itself not-alive when it exits.
+pub fn run_worker(
+    cfg: WorkerConfig,
+    bus: Bus,
+    endpoint: Endpoint,
+    comm: Arc<CommGroup>,
+    telemetry: Telemetry,
+    role: WorkerRole,
+) {
+    let mut params = vec![0.5f32; cfg.param_elems];
+    let mut momentum = vec![0.0f32; cfg.param_elems];
+    let mut grad = vec![0.0f32; cfg.param_elems];
+    let mut iteration: u64 = 0;
+    let mut data_cursor: u64 = 0;
+    let mut stalled = std::time::Duration::ZERO;
+
+    if let WorkerRole::Restored {
+        params: p,
+        momentum: m,
+        iteration: it,
+        data_cursor: dc,
+    } = &role
+    {
+        params.copy_from_slice(p);
+        momentum.copy_from_slice(m);
+        iteration = *it;
+        data_cursor = *dc;
+    }
+    if matches!(role, WorkerRole::Joining) {
+        // Step ②: report readiness after "initialization" (the buffer
+        // allocation above), then wait for state replication (step ④).
+        bus.send(EndpointId::Am, RtMsg::Report { worker: cfg.id });
+        loop {
+            match endpoint.recv() {
+                RtMsg::StateTransfer {
+                    params: p,
+                    momentum: m,
+                    iteration: it,
+                    data_cursor: dc,
+                } => {
+                    params.copy_from_slice(&p);
+                    momentum.copy_from_slice(&m);
+                    iteration = it;
+                    data_cursor = dc;
+                }
+                RtMsg::Resume { .. } => break,
+                RtMsg::Leave => {
+                    publish(&telemetry, cfg.id, iteration, data_cursor, &params, false, stalled);
+                    return;
+                }
+                _ => {}
+            }
+        }
+    }
+    publish(&telemetry, cfg.id, iteration, data_cursor, &params, true, stalled);
+
+    loop {
+        // Forward/backward: the synthetic kernel.
+        gradient(cfg.id, iteration, &mut grad);
+        // Gradient aggregation over the collective group.
+        let sum = match comm.allreduce(cfg.id, &grad) {
+            AllreduceOutcome::Sum(s) => s,
+            AllreduceOutcome::NotMember => {
+                // Safety net: membership changed without a Leave (bug),
+                // leave quietly rather than deadlock the group.
+                publish(&telemetry, cfg.id, iteration, data_cursor, &params, false, stalled);
+                return;
+            }
+        };
+        // Optimizer step: SGD with momentum on the averaged gradient.
+        let world = comm.world_size() as f32;
+        for ((w, m), &s) in params.iter_mut().zip(momentum.iter_mut()).zip(sum.iter()) {
+            *m = 0.9 * *m + s / world;
+            *w -= cfg.learning_rate * *m;
+        }
+        iteration += 1;
+        data_cursor += cfg.total_batch as u64;
+        publish(&telemetry, cfg.id, iteration, data_cursor, &params, true, stalled);
+
+        // Coordination boundary (step ③).
+        if iteration % cfg.coordination_interval == 0 {
+            let parked_at = std::time::Instant::now();
+            bus.send(
+                EndpointId::Am,
+                RtMsg::Coordinate {
+                    worker: cfg.id,
+                    iteration,
+                },
+            );
+            loop {
+                match endpoint.recv() {
+                    RtMsg::Proceed | RtMsg::Resume { .. } => break,
+                    RtMsg::TransferOrder { dst } => {
+                        // Step ④: replicate training state to the joiner.
+                        bus.send(
+                            EndpointId::Worker(dst),
+                            RtMsg::StateTransfer {
+                                params: Arc::new(params.clone()),
+                                momentum: Arc::new(momentum.clone()),
+                                iteration,
+                                data_cursor,
+                            },
+                        );
+                        bus.send(EndpointId::Am, RtMsg::TransferDone { src: cfg.id });
+                    }
+                    RtMsg::CheckpointOrder => {
+                        // The S&R path, live: snapshot to the controller.
+                        bus.send(
+                            EndpointId::Controller,
+                            RtMsg::StateTransfer {
+                                params: Arc::new(params.clone()),
+                                momentum: Arc::new(momentum.clone()),
+                                iteration,
+                                data_cursor,
+                            },
+                        );
+                        bus.send(EndpointId::Am, RtMsg::TransferDone { src: cfg.id });
+                    }
+                    RtMsg::Leave => {
+                        stalled += parked_at.elapsed();
+                        publish(&telemetry, cfg.id, iteration, data_cursor, &params, false, stalled);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            stalled += parked_at.elapsed();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn publish(
+    telemetry: &Telemetry,
+    id: WorkerId,
+    iteration: u64,
+    data_cursor: u64,
+    params: &[f32],
+    alive: bool,
+    stalled: std::time::Duration,
+) {
+    telemetry.lock().insert(
+        id,
+        WorkerView {
+            iteration,
+            data_cursor,
+            params_checksum: checksum(params),
+            alive,
+            stalled,
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_is_deterministic_and_shard_specific() {
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        gradient(WorkerId(0), 5, &mut a);
+        gradient(WorkerId(0), 5, &mut b);
+        assert_eq!(a, b);
+        gradient(WorkerId(1), 5, &mut b);
+        assert_ne!(a, b);
+        gradient(WorkerId(0), 6, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn checksum_detects_differences() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let mut b = a.clone();
+        assert_eq!(checksum(&a), checksum(&b));
+        b[1] = 2.0000002;
+        assert_ne!(checksum(&a), checksum(&b));
+    }
+
+    #[test]
+    fn gradient_values_are_bounded() {
+        let mut g = vec![0.0; 256];
+        gradient(WorkerId(3), 99, &mut g);
+        assert!(g.iter().all(|v| (-0.5..=0.5).contains(v)));
+    }
+}

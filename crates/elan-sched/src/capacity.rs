@@ -1,0 +1,148 @@
+//! Time-varying cluster capacity — transient/spot resources (§VI-C's
+//! cloud scenario: "elasticity can be leveraged to utilize transient
+//! resources such as spot instances").
+//!
+//! A [`CapacitySchedule`] is a piecewise-constant GPU count over time.
+//! When capacity drops below the current allocation, elastic policies
+//! shrink running jobs gracefully; static policies must evict whole jobs
+//! (checkpoint-and-requeue), losing the restart time and queueing again.
+
+use elan_sim::SimTime;
+
+/// A piecewise-constant capacity timeline.
+///
+/// # Examples
+///
+/// ```
+/// use elan_sched::capacity::CapacitySchedule;
+/// use elan_sim::SimTime;
+///
+/// let s = CapacitySchedule::new(vec![(SimTime::ZERO, 128), (SimTime::from_secs(3600), 64)]);
+/// assert_eq!(s.at(SimTime::from_secs(10)), 128);
+/// assert_eq!(s.at(SimTime::from_secs(7200)), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacitySchedule {
+    points: Vec<(SimTime, u32)>,
+}
+
+impl CapacitySchedule {
+    /// Builds a schedule from `(start, capacity)` change points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, the first point is not at time zero,
+    /// times are not strictly increasing, or any capacity is zero.
+    pub fn new(points: Vec<(SimTime, u32)>) -> Self {
+        assert!(!points.is_empty(), "schedule needs at least one point");
+        assert_eq!(points[0].0, SimTime::ZERO, "first point must be at t=0");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "points must strictly increase in time");
+        }
+        assert!(
+            points.iter().all(|&(_, c)| c > 0),
+            "capacity must stay positive"
+        );
+        CapacitySchedule { points }
+    }
+
+    /// A constant capacity.
+    pub fn constant(gpus: u32) -> Self {
+        CapacitySchedule::new(vec![(SimTime::ZERO, gpus)])
+    }
+
+    /// A spot-market pattern: `base` GPUs with dips to `dip` for
+    /// `dip_hours` starting every `period_hours`, over `total_hours`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dip is longer than the period or any count is zero.
+    pub fn spot_pattern(
+        base: u32,
+        dip: u32,
+        period_hours: u64,
+        dip_hours: u64,
+        total_hours: u64,
+    ) -> Self {
+        assert!(dip_hours < period_hours, "dip must fit within the period");
+        assert!(base > 0 && dip > 0);
+        let mut points = vec![(SimTime::ZERO, base)];
+        let mut h = period_hours;
+        while h + dip_hours <= total_hours {
+            points.push((SimTime::from_secs(h * 3600), dip));
+            points.push((SimTime::from_secs((h + dip_hours) * 3600), base));
+            h += period_hours;
+        }
+        CapacitySchedule::new(points)
+    }
+
+    /// Capacity in effect at `t`.
+    pub fn at(&self, t: SimTime) -> u32 {
+        self.points
+            .iter()
+            .rev()
+            .find(|&&(start, _)| start <= t)
+            .map(|&(_, c)| c)
+            .expect("point 0 covers all times")
+    }
+
+    /// The next change strictly after `t`, if any.
+    pub fn next_change_after(&self, t: SimTime) -> Option<SimTime> {
+        self.points
+            .iter()
+            .map(|&(at, _)| at)
+            .find(|&at| at > t)
+    }
+
+    /// The largest capacity the schedule ever offers.
+    pub fn peak(&self) -> u32 {
+        self.points.iter().map(|&(_, c)| c).max().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piecewise_lookup() {
+        let s = CapacitySchedule::new(vec![
+            (SimTime::ZERO, 100),
+            (SimTime::from_secs(10), 50),
+            (SimTime::from_secs(20), 75),
+        ]);
+        assert_eq!(s.at(SimTime::ZERO), 100);
+        assert_eq!(s.at(SimTime::from_secs(9)), 100);
+        assert_eq!(s.at(SimTime::from_secs(10)), 50);
+        assert_eq!(s.at(SimTime::from_secs(100)), 75);
+        assert_eq!(s.peak(), 100);
+    }
+
+    #[test]
+    fn next_change_walks_points() {
+        let s = CapacitySchedule::new(vec![(SimTime::ZERO, 10), (SimTime::from_secs(5), 6)]);
+        assert_eq!(s.next_change_after(SimTime::ZERO), Some(SimTime::from_secs(5)));
+        assert_eq!(s.next_change_after(SimTime::from_secs(5)), None);
+    }
+
+    #[test]
+    fn spot_pattern_alternates() {
+        let s = CapacitySchedule::spot_pattern(128, 64, 12, 4, 48);
+        assert_eq!(s.at(SimTime::from_secs(1)), 128);
+        assert_eq!(s.at(SimTime::from_secs(13 * 3600)), 64);
+        assert_eq!(s.at(SimTime::from_secs(17 * 3600)), 128);
+        assert_eq!(s.at(SimTime::from_secs(25 * 3600)), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "first point must be at t=0")]
+    fn requires_time_zero() {
+        let _ = CapacitySchedule::new(vec![(SimTime::from_secs(1), 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must stay positive")]
+    fn rejects_zero_capacity() {
+        let _ = CapacitySchedule::new(vec![(SimTime::ZERO, 0)]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Job descriptions and outcomes.
+
+use elan_sim::{SimDuration, SimTime};
+use elan_models::ModelSpec;
+
+/// A training job submitted to the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique job id (trace order).
+    pub id: u32,
+    /// Submission time.
+    pub submit_at: SimTime,
+    /// The model the job trains (one of the Table I configurations).
+    pub model: ModelSpec,
+    /// Total training work, in samples.
+    pub total_samples: f64,
+    /// Total batch size the job was tuned for.
+    pub initial_tbs: u32,
+    /// Workers the user requested (static policies allocate exactly this).
+    pub req_res: u32,
+    /// Fewest workers the job can run on (model must fit in GPU memory).
+    pub min_res: u32,
+    /// Most workers the job can use and still converge (§VI-C).
+    pub max_res: u32,
+}
+
+impl JobSpec {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resource bounds are inconsistent or work is
+    /// non-positive.
+    pub fn validate(&self) {
+        assert!(self.total_samples > 0.0, "job {} has no work", self.id);
+        assert!(
+            0 < self.min_res && self.min_res <= self.req_res && self.req_res <= self.max_res,
+            "job {}: inconsistent resources {}/{}/{}",
+            self.id,
+            self.min_res,
+            self.req_res,
+            self.max_res
+        );
+        assert!(self.initial_tbs > 0, "job {} has no batch", self.id);
+    }
+}
+
+/// What happened to one job in a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobOutcome {
+    /// The job id.
+    pub id: u32,
+    /// Submission time.
+    pub submit_at: SimTime,
+    /// First time the job got workers.
+    pub started_at: SimTime,
+    /// Completion time.
+    pub finished_at: SimTime,
+    /// Resource adjustments the job went through.
+    pub adjustments: u32,
+}
+
+impl JobOutcome {
+    /// Job pending time: submission → first allocation.
+    pub fn pending_time(&self) -> SimDuration {
+        self.started_at.duration_since(self.submit_at)
+    }
+
+    /// Job completion time: submission → finish.
+    pub fn completion_time(&self) -> SimDuration {
+        self.finished_at.duration_since(self.submit_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elan_models::zoo;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            id: 1,
+            submit_at: SimTime::from_secs(100),
+            model: zoo::resnet50(),
+            total_samples: 1e6,
+            initial_tbs: 256,
+            req_res: 8,
+            min_res: 2,
+            max_res: 32,
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        spec().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent resources")]
+    fn bad_bounds_fail() {
+        let mut s = spec();
+        s.min_res = 16;
+        s.validate();
+    }
+
+    #[test]
+    fn outcome_times() {
+        let o = JobOutcome {
+            id: 1,
+            submit_at: SimTime::from_secs(100),
+            started_at: SimTime::from_secs(160),
+            finished_at: SimTime::from_secs(1000),
+            adjustments: 2,
+        };
+        assert_eq!(o.pending_time(), SimDuration::from_secs(60));
+        assert_eq!(o.completion_time(), SimDuration::from_secs(900));
+    }
+}

@@ -1,0 +1,126 @@
+//! Scheduling metrics: JPT, JCT, makespan, utilization (Figs. 1, 20–22).
+
+use elan_sim::{Series, SimDuration, Summary};
+
+use crate::job::JobOutcome;
+
+/// Aggregate metrics over one simulation run.
+#[derive(Debug, Clone)]
+pub struct TraceMetrics {
+    /// Per-job pending times, seconds.
+    pub pending: Summary,
+    /// Per-job completion times, seconds.
+    pub completion: Summary,
+    /// First submission → last finish.
+    pub makespan: SimDuration,
+    /// Time-weighted mean GPU allocation fraction.
+    pub mean_utilization: f64,
+}
+
+impl TraceMetrics {
+    /// Computes metrics from per-job outcomes and the utilization series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` is empty.
+    pub fn from_run(outcomes: &[JobOutcome], utilization: &Series) -> Self {
+        assert!(!outcomes.is_empty(), "no jobs finished");
+        let pending: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.pending_time().as_secs_f64())
+            .collect();
+        let completion: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.completion_time().as_secs_f64())
+            .collect();
+        let first_submit = outcomes
+            .iter()
+            .map(|o| o.submit_at)
+            .min()
+            .expect("non-empty");
+        let last_finish = outcomes
+            .iter()
+            .map(|o| o.finished_at)
+            .max()
+            .expect("non-empty");
+        TraceMetrics {
+            pending: Summary::from_values(&pending),
+            completion: Summary::from_values(&completion),
+            makespan: last_finish.duration_since(first_submit),
+            mean_utilization: utilization.time_weighted_mean(),
+        }
+    }
+
+    /// Average job pending time in seconds (Fig. 20's JPT).
+    pub fn avg_jpt(&self) -> f64 {
+        self.pending.mean()
+    }
+
+    /// Average job completion time in seconds (Fig. 20's JCT).
+    pub fn avg_jct(&self) -> f64 {
+        self.completion.mean()
+    }
+
+    /// Tail (p90) completion time in seconds — elasticity helps the tail
+    /// even more than the mean, since stuck big jobs start at `min_res`.
+    pub fn p90_jct(&self) -> f64 {
+        self.completion.percentile(90.0)
+    }
+
+    /// Median completion time in seconds.
+    pub fn median_jct(&self) -> f64 {
+        self.completion.median()
+    }
+}
+
+/// Relative improvement of `new` over `old` in percent (positive = lower).
+pub fn reduction_pct(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        (old - new) / old * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elan_sim::SimTime;
+
+    fn outcome(id: u32, submit: u64, start: u64, finish: u64) -> JobOutcome {
+        JobOutcome {
+            id,
+            submit_at: SimTime::from_secs(submit),
+            started_at: SimTime::from_secs(start),
+            finished_at: SimTime::from_secs(finish),
+            adjustments: 0,
+        }
+    }
+
+    #[test]
+    fn aggregates_are_correct() {
+        let outcomes = vec![outcome(0, 0, 10, 110), outcome(1, 50, 90, 250)];
+        let mut util = Series::new("u");
+        util.record(SimTime::ZERO, 0.5);
+        util.record(SimTime::from_secs(250), 0.5);
+        let m = TraceMetrics::from_run(&outcomes, &util);
+        assert_eq!(m.avg_jpt(), 25.0);
+        assert_eq!(m.avg_jct(), 155.0);
+        assert_eq!(m.median_jct(), 155.0);
+        assert!(m.p90_jct() > m.median_jct());
+        assert_eq!(m.makespan, SimDuration::from_secs(250));
+        assert!((m.mean_utilization - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_percentage() {
+        assert_eq!(reduction_pct(100.0, 57.0), 43.0);
+        assert_eq!(reduction_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no jobs finished")]
+    fn empty_outcomes_panic() {
+        let _ = TraceMetrics::from_run(&[], &Series::new("u"));
+    }
+}

@@ -1,0 +1,479 @@
+//! Scheduling policies: FIFO, EASY Backfill, and their elastic variants.
+//!
+//! The elastic policy is the paper's §VI-C proposal:
+//!
+//! 1. **Admission** — a pending job may start once its `min_res` fits the
+//!    free GPUs (E-FIFO admits strictly in order; E-BF also considers
+//!    later jobs, like backfilling).
+//! 2. **Allocation** — every participating job is granted `min_res`, then
+//!    one worker at a time goes to the job with the largest marginal gain
+//!    (estimated JCT reduction), until GPUs run out, every job hits its
+//!    `max_res`, or no gain remains.
+
+use std::collections::BTreeMap;
+
+/// The four policies of Fig. 20.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// First-in-first-out with exact requested allocations.
+    Fifo,
+    /// EASY backfilling over FIFO (Slurm's default).
+    Backfill,
+    /// The elastic policy over FIFO ordering.
+    ElasticFifo,
+    /// The elastic policy with backfill-style admission.
+    ElasticBackfill,
+}
+
+impl PolicyKind {
+    /// True for the elastic variants.
+    pub fn is_elastic(self) -> bool {
+        matches!(self, PolicyKind::ElasticFifo | PolicyKind::ElasticBackfill)
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::Backfill => "BF",
+            PolicyKind::ElasticFifo => "E-FIFO",
+            PolicyKind::ElasticBackfill => "E-BF",
+        }
+    }
+}
+
+/// A pending job, as the policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingView {
+    /// Job id.
+    pub id: u32,
+    /// Requested workers (static allocation).
+    pub req_res: u32,
+    /// Minimum workers (elastic admission).
+    pub min_res: u32,
+    /// Maximum useful workers.
+    pub max_res: u32,
+    /// Estimated runtime at `req_res`, in seconds (for backfill).
+    pub est_duration: f64,
+}
+
+/// A running job, as the policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningView {
+    /// Job id.
+    pub id: u32,
+    /// Current workers.
+    pub allocation: u32,
+    /// Minimum workers.
+    pub min_res: u32,
+    /// Maximum useful workers.
+    pub max_res: u32,
+    /// Estimated remaining runtime at the current allocation, seconds.
+    pub est_remaining: f64,
+    /// True while a resource adjustment is still executing — the job is
+    /// skipped by reallocation until it settles.
+    pub in_transition: bool,
+}
+
+/// Throughput/work oracle implemented by the simulator: the policy asks
+/// "what would job `id` deliver on `workers` workers" with the hybrid
+/// scaling mechanism already applied to the batch size.
+pub trait GainOracle {
+    /// Steady-state throughput of `job` on `workers` workers (samples/s).
+    fn throughput(&self, job: u32, workers: u32) -> f64;
+    /// Remaining work of `job` in samples.
+    fn remaining(&self, job: u32) -> f64;
+}
+
+/// A scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Start a pending job with the given workers.
+    Admit {
+        /// The job to start.
+        job: u32,
+        /// Its initial allocation.
+        workers: u32,
+    },
+    /// Change a running job's allocation.
+    Reallocate {
+        /// The job to adjust.
+        job: u32,
+        /// Its new allocation.
+        workers: u32,
+    },
+}
+
+/// Computes scheduling actions for the current cluster state.
+///
+/// `pending` must be in submission order. Returns actions that never
+/// exceed `total_gpus` when applied.
+pub fn schedule(
+    kind: PolicyKind,
+    total_gpus: u32,
+    pending: &[PendingView],
+    running: &[RunningView],
+    oracle: &dyn GainOracle,
+) -> Vec<Action> {
+    match kind {
+        PolicyKind::Fifo => fifo(total_gpus, pending, running),
+        PolicyKind::Backfill => backfill(total_gpus, pending, running),
+        PolicyKind::ElasticFifo => elastic(total_gpus, pending, running, oracle, false),
+        PolicyKind::ElasticBackfill => elastic(total_gpus, pending, running, oracle, true),
+    }
+}
+
+fn used_gpus(running: &[RunningView]) -> u32 {
+    running.iter().map(|r| r.allocation).sum()
+}
+
+fn fifo(total_gpus: u32, pending: &[PendingView], running: &[RunningView]) -> Vec<Action> {
+    let mut free = total_gpus.saturating_sub(used_gpus(running));
+    let mut actions = Vec::new();
+    for p in pending {
+        if p.req_res <= free {
+            actions.push(Action::Admit {
+                job: p.id,
+                workers: p.req_res,
+            });
+            free -= p.req_res;
+        } else {
+            break; // strict FIFO: the head blocks everyone behind it
+        }
+    }
+    actions
+}
+
+fn backfill(total_gpus: u32, pending: &[PendingView], running: &[RunningView]) -> Vec<Action> {
+    let mut free = total_gpus.saturating_sub(used_gpus(running));
+    let mut actions = Vec::new();
+    let mut queue = pending.iter();
+
+    // Admit the FIFO prefix.
+    let mut head = None;
+    for p in queue.by_ref() {
+        if p.req_res <= free {
+            actions.push(Action::Admit {
+                job: p.id,
+                workers: p.req_res,
+            });
+            free -= p.req_res;
+        } else {
+            head = Some(*p);
+            break;
+        }
+    }
+    let Some(head) = head else {
+        return actions; // everything fit
+    };
+
+    // Reservation for the head: walk running jobs' estimated releases
+    // until enough GPUs accumulate.
+    let mut releases: Vec<(f64, u32)> = running
+        .iter()
+        .map(|r| (r.est_remaining, r.allocation))
+        .collect();
+    releases.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite estimates"));
+    let mut avail = free;
+    let mut reservation = f64::INFINITY;
+    let mut released_by_reservation = 0u32;
+    for (at, gpus) in &releases {
+        if avail >= head.req_res {
+            break;
+        }
+        avail += gpus;
+        released_by_reservation += gpus;
+        reservation = *at;
+    }
+    if avail < head.req_res {
+        // The head can never fit (bigger than the cluster after all
+        // running jobs end) — only its prefix admissions apply.
+        return actions;
+    }
+
+    // Backfill later jobs: they must fit now AND not delay the head.
+    for p in queue {
+        if p.req_res > free {
+            continue;
+        }
+        let finishes_before_reservation = p.est_duration <= reservation;
+        let leaves_room = free + released_by_reservation >= head.req_res + p.req_res;
+        if finishes_before_reservation || leaves_room {
+            actions.push(Action::Admit {
+                job: p.id,
+                workers: p.req_res,
+            });
+            free -= p.req_res;
+        }
+    }
+    actions
+}
+
+fn elastic(
+    total_gpus: u32,
+    pending: &[PendingView],
+    running: &[RunningView],
+    oracle: &dyn GainOracle,
+    backfill_admission: bool,
+) -> Vec<Action> {
+    // GPUs pinned by jobs mid-transition are untouchable this round.
+    let pinned: u32 = running
+        .iter()
+        .filter(|r| r.in_transition)
+        .map(|r| r.allocation)
+        .sum();
+    let mut budget = total_gpus.saturating_sub(pinned);
+
+    // Participants: settled running jobs keep at least min_res.
+    let mut participants: Vec<(u32, u32, u32)> = Vec::new(); // (id, min, max)
+    for r in running.iter().filter(|r| !r.in_transition) {
+        participants.push((r.id, r.min_res, r.max_res));
+    }
+    let mut min_sum: u32 = participants.iter().map(|&(_, min, _)| min).sum();
+
+    // Admission on min_res: strictly in order (E-FIFO) or scanning past
+    // blocked jobs (E-BF).
+    let mut admitted = Vec::new();
+    for p in pending {
+        if min_sum + p.min_res <= budget {
+            participants.push((p.id, p.min_res, p.max_res));
+            admitted.push(p.id);
+            min_sum += p.min_res;
+        } else if !backfill_admission {
+            break;
+        }
+    }
+
+    // Allocation: min_res for everyone, then greedy marginal gain.
+    let mut alloc: BTreeMap<u32, u32> =
+        participants.iter().map(|&(id, min, _)| (id, min)).collect();
+    let max_res: BTreeMap<u32, u32> =
+        participants.iter().map(|&(id, _, max)| (id, max)).collect();
+    budget -= min_sum;
+    while budget > 0 {
+        let mut best: Option<(u32, f64)> = None;
+        for &(id, _, _) in &participants {
+            let cur = alloc[&id];
+            if cur >= max_res[&id] {
+                continue;
+            }
+            let rem = oracle.remaining(id);
+            let t_now = rem / oracle.throughput(id, cur);
+            let t_next = rem / oracle.throughput(id, cur + 1);
+            let gain = t_now - t_next;
+            if gain > 0.0 && best.map_or(true, |(_, g)| gain > g) {
+                best = Some((id, gain));
+            }
+        }
+        let Some((id, _)) = best else { break };
+        *alloc.get_mut(&id).expect("participant") += 1;
+        budget -= 1;
+    }
+
+    // Emit actions with hysteresis on grows (avoid 1-GPU thrash).
+    let mut actions = Vec::new();
+    for &(id, _, _) in &participants {
+        let workers = alloc[&id];
+        if admitted.contains(&id) {
+            actions.push(Action::Admit { job: id, workers });
+        } else {
+            let current = running
+                .iter()
+                .find(|r| r.id == id)
+                .expect("running participant")
+                .allocation;
+            if workers < current
+                || (workers > current && workers - current >= (current / 4).max(1))
+            {
+                actions.push(Action::Reallocate { job: id, workers });
+            }
+        }
+    }
+    actions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FlatOracle;
+    impl GainOracle for FlatOracle {
+        fn throughput(&self, _job: u32, workers: u32) -> f64 {
+            // Linear scaling with slight saturation.
+            workers as f64 / (1.0 + 0.01 * workers as f64)
+        }
+        fn remaining(&self, _job: u32) -> f64 {
+            1000.0
+        }
+    }
+
+    fn pend(id: u32, req: u32, min: u32, max: u32, dur: f64) -> PendingView {
+        PendingView {
+            id,
+            req_res: req,
+            min_res: min,
+            max_res: max,
+            est_duration: dur,
+        }
+    }
+
+    fn run(id: u32, alloc: u32, min: u32, max: u32, rem: f64) -> RunningView {
+        RunningView {
+            id,
+            allocation: alloc,
+            min_res: min,
+            max_res: max,
+            est_remaining: rem,
+            in_transition: false,
+        }
+    }
+
+    #[test]
+    fn fifo_blocks_behind_head() {
+        let pending = [pend(1, 16, 4, 32, 100.0), pend(2, 2, 1, 8, 50.0)];
+        let running = [run(0, 120, 4, 128, 500.0)];
+        let actions = schedule(PolicyKind::Fifo, 128, &pending, &running, &FlatOracle);
+        // Head needs 16, only 8 free: nothing starts, not even job 2.
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn fifo_admits_in_order() {
+        let pending = [pend(1, 4, 2, 8, 100.0), pend(2, 2, 1, 8, 50.0)];
+        let actions = schedule(PolicyKind::Fifo, 8, &pending, &[], &FlatOracle);
+        assert_eq!(
+            actions,
+            vec![
+                Action::Admit { job: 1, workers: 4 },
+                Action::Admit { job: 2, workers: 2 }
+            ]
+        );
+    }
+
+    #[test]
+    fn backfill_lets_short_jobs_jump() {
+        // Head (16 GPUs) blocked; a short 2-GPU job can run meanwhile.
+        let pending = [pend(1, 16, 4, 32, 1000.0), pend(2, 2, 1, 8, 50.0)];
+        let running = [run(0, 120, 4, 128, 500.0)];
+        let actions = schedule(PolicyKind::Backfill, 128, &pending, &running, &FlatOracle);
+        assert_eq!(actions, vec![Action::Admit { job: 2, workers: 2 }]);
+    }
+
+    #[test]
+    fn backfill_rejects_head_delaying_jobs() {
+        // 24 GPUs: running job holds 16 (free 8). The head needs 20, so it
+        // waits for the release at t=500. A long candidate (est 9999)
+        // using all 8 free GPUs would leave only 24-8=16 < 20 at the
+        // reservation — it must be rejected.
+        let pending = [pend(1, 20, 4, 32, 1000.0), pend(2, 8, 1, 8, 9999.0)];
+        let running = [run(0, 16, 4, 24, 500.0)];
+        let actions = schedule(PolicyKind::Backfill, 24, &pending, &running, &FlatOracle);
+        assert!(actions.is_empty(), "got {actions:?}");
+    }
+
+    #[test]
+    fn backfill_admits_non_delaying_long_jobs() {
+        // Same cluster, but the candidate leaves enough room at the
+        // reservation (head needs 16, 24-8=16 remains): EASY admits it.
+        let pending = [pend(1, 16, 4, 32, 1000.0), pend(2, 8, 1, 8, 9999.0)];
+        let running = [run(0, 16, 4, 24, 500.0)];
+        let actions = schedule(PolicyKind::Backfill, 24, &pending, &running, &FlatOracle);
+        assert_eq!(actions, vec![Action::Admit { job: 2, workers: 8 }]);
+    }
+
+    #[test]
+    fn elastic_admits_on_min_res() {
+        // FIFO would block (req 16 > 8 free); elastic starts at min 4.
+        let pending = [pend(1, 16, 4, 32, 100.0)];
+        let running = [run(0, 120, 4, 120, 500.0)];
+        let actions = schedule(PolicyKind::ElasticFifo, 128, &pending, &running, &FlatOracle);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Admit { job: 1, workers } if *workers >= 4)));
+    }
+
+    #[test]
+    fn elastic_fifo_blocks_scan_elastic_bf_continues() {
+        // The running job is mid-transition, so its 120 GPUs are pinned:
+        // only 8 are up for grabs. Job 1's min 12 does not fit; job 2's
+        // min 2 does.
+        let pending = [
+            pend(1, 16, 12, 32, 100.0), // min 12 doesn't fit in 8 free
+            pend(2, 4, 2, 8, 50.0),     // min 2 does
+        ];
+        let mut pinned = run(0, 120, 4, 120, 500.0);
+        pinned.in_transition = true;
+        let running = [pinned];
+        let f = schedule(PolicyKind::ElasticFifo, 128, &pending, &running, &FlatOracle);
+        assert!(!f.iter().any(|a| matches!(a, Action::Admit { job: 2, .. })));
+        let b = schedule(
+            PolicyKind::ElasticBackfill,
+            128,
+            &pending,
+            &running,
+            &FlatOracle,
+        );
+        assert!(b.iter().any(|a| matches!(a, Action::Admit { job: 2, .. })));
+    }
+
+    #[test]
+    fn elastic_spreads_free_gpus_by_marginal_gain() {
+        // One running job well below max: free GPUs flow to it.
+        let running = [run(0, 4, 2, 64, 1000.0)];
+        let actions = schedule(PolicyKind::ElasticFifo, 32, &[], &running, &FlatOracle);
+        assert_eq!(
+            actions,
+            vec![Action::Reallocate {
+                job: 0,
+                workers: 32
+            }]
+        );
+    }
+
+    #[test]
+    fn elastic_respects_max_res() {
+        let running = [run(0, 4, 2, 8, 1000.0)];
+        let actions = schedule(PolicyKind::ElasticFifo, 128, &[], &running, &FlatOracle);
+        assert_eq!(actions, vec![Action::Reallocate { job: 0, workers: 8 }]);
+    }
+
+    #[test]
+    fn transitioning_jobs_are_left_alone() {
+        let mut r = run(0, 16, 2, 64, 1000.0);
+        r.in_transition = true;
+        let actions = schedule(PolicyKind::ElasticFifo, 128, &[], &[r], &FlatOracle);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn allocations_never_exceed_total() {
+        let pending = [
+            pend(1, 8, 2, 64, 100.0),
+            pend(2, 8, 2, 64, 100.0),
+            pend(3, 8, 2, 64, 100.0),
+        ];
+        for kind in [
+            PolicyKind::Fifo,
+            PolicyKind::Backfill,
+            PolicyKind::ElasticFifo,
+            PolicyKind::ElasticBackfill,
+        ] {
+            let actions = schedule(kind, 16, &pending, &[], &FlatOracle);
+            let total: u32 = actions
+                .iter()
+                .map(|a| match a {
+                    Action::Admit { workers, .. } | Action::Reallocate { workers, .. } => *workers,
+                })
+                .sum();
+            assert!(total <= 16, "{kind:?} oversubscribed: {total}");
+        }
+    }
+
+    #[test]
+    fn small_grows_are_suppressed() {
+        // 16 -> 17 is within hysteresis; no action.
+        let running = [run(0, 16, 2, 17, 1000.0)];
+        let actions = schedule(PolicyKind::ElasticFifo, 17, &[], &running, &FlatOracle);
+        assert!(actions.is_empty());
+    }
+}

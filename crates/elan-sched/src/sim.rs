@@ -1,0 +1,647 @@
+//! The event-driven cluster simulator executing job traces (§VI-C).
+//!
+//! Time advances from event to event (job arrivals and completions);
+//! between events every running job progresses at a piecewise-constant
+//! throughput. Resource adjustments — priced by the plugged-in
+//! [`ElasticitySystem`] — materialize as throughput transitions: the old
+//! rate holds while new workers start asynchronously, a pause stalls the
+//! job, and the new rate applies afterwards. This makes the elasticity
+//! cost comparison of Fig. 22 (Elan vs. S&R vs. Ideal) a one-line swap.
+
+use std::collections::BTreeMap;
+
+use elan_core::elasticity::{
+    AdjustmentContext, AdjustmentRequest, ElasticitySystem,
+};
+use elan_core::scaling::hybrid_scale;
+use elan_models::PerfModel;
+use elan_sim::{Series, SimDuration, SimTime};
+use elan_topology::{BandwidthModel, ClusterSpec, GpuId, Topology};
+
+use crate::capacity::CapacitySchedule;
+use crate::job::{JobOutcome, JobSpec};
+use crate::metrics::TraceMetrics;
+use crate::policy::{self, Action, GainOracle, PendingView, PolicyKind, RunningView};
+
+/// Simulation parameters.
+#[derive(Clone, Copy)]
+pub struct SimConfig<'a> {
+    /// GPUs in the cluster (the ceiling; see [`SimConfig::capacity`]).
+    pub total_gpus: u32,
+    /// The scheduling policy.
+    pub policy: PolicyKind,
+    /// The elasticity system charging adjustments (elastic policies).
+    pub system: &'a dyn ElasticitySystem,
+    /// Workers coordinate every this many iterations.
+    pub coordination_interval: u32,
+    /// Start+init cost charged when a job first launches.
+    pub startup: SimDuration,
+    /// Root seed (adjustment draws).
+    pub seed: u64,
+    /// Optional time-varying capacity (spot/transient resources). When a
+    /// dip strands allocations above capacity, elastic policies shrink
+    /// jobs; static policies evict whole jobs back to the queue.
+    pub capacity: Option<&'a CapacitySchedule>,
+}
+
+impl std::fmt::Debug for SimConfig<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("total_gpus", &self.total_gpus)
+            .field("policy", &self.policy)
+            .field("system", &self.system.name())
+            .finish()
+    }
+}
+
+/// The result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-job outcomes, by job id order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Allocated-GPU fraction over time (of the configured ceiling).
+    pub utilization: Series,
+    /// Total resource adjustments performed.
+    pub total_adjustments: u64,
+    /// Whole-job evictions forced by capacity dips (static policies
+    /// cannot shrink; elastic ones rarely need to evict).
+    pub evictions: u64,
+}
+
+impl SimResult {
+    /// Aggregates the run into Fig. 20-style metrics.
+    pub fn metrics(&self) -> TraceMetrics {
+        TraceMetrics::from_run(&self.outcomes, &self.utilization)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Transition {
+    /// Old throughput holds until here (hidden async start).
+    old_until: SimTime,
+    /// Zero throughput (the pause) until here; new rate afterwards.
+    resume_at: SimTime,
+    thr_old: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    spec: JobSpec,
+    allocation: u32,
+    tbs: u32,
+    /// Steady throughput at the current allocation (after transition).
+    thr: f64,
+    remaining: f64,
+    started_at: SimTime,
+    adjustments: u32,
+    transition: Option<Transition>,
+}
+
+impl Running {
+    /// Advances progress across `[from, to)`.
+    fn advance(&mut self, from: SimTime, to: SimTime) {
+        let mut t = from;
+        while t < to {
+            let (rate, seg_end) = match self.transition {
+                Some(tr) if t < tr.old_until => (tr.thr_old, tr.old_until.min(to)),
+                Some(tr) if t < tr.resume_at => (0.0, tr.resume_at.min(to)),
+                _ => (self.thr, to),
+            };
+            self.remaining -= rate * seg_end.duration_since(t).as_secs_f64();
+            t = seg_end;
+        }
+        if let Some(tr) = self.transition {
+            if to >= tr.resume_at {
+                self.transition = None;
+            }
+        }
+        self.remaining = self.remaining.max(0.0);
+    }
+
+    /// Exact completion instant from `now`, accounting for transitions.
+    fn finish_estimate(&self, now: SimTime) -> SimTime {
+        let mut rem = self.remaining;
+        let mut t = now;
+        if let Some(tr) = self.transition {
+            if t < tr.old_until {
+                let span = tr.old_until.duration_since(t).as_secs_f64();
+                if tr.thr_old > 0.0 && rem <= tr.thr_old * span {
+                    return t + SimDuration::from_secs_f64(rem / tr.thr_old);
+                }
+                rem -= tr.thr_old * span;
+                t = tr.old_until;
+            }
+            if t < tr.resume_at {
+                t = tr.resume_at;
+            }
+        }
+        debug_assert!(self.thr > 0.0, "running job with zero steady rate");
+        t + SimDuration::from_secs_f64(rem.max(0.0) / self.thr)
+    }
+
+    /// Remaining seconds at the current steady rate (policy view).
+    fn est_remaining_secs(&self, now: SimTime) -> f64 {
+        self.finish_estimate(now).duration_since(now).as_secs_f64()
+    }
+}
+
+/// The batch size job `spec` trains with on `n` workers, per the hybrid
+/// scaling mechanism anchored at the job's tuned configuration.
+fn tbs_for(spec: &JobSpec, perf: &PerfModel, n: u32) -> u32 {
+    if n <= spec.req_res {
+        spec.initial_tbs
+    } else {
+        let model = spec.model.clone();
+        hybrid_scale(spec.initial_tbs, spec.req_res, n, |tbs| {
+            perf.optimal_workers(&model, tbs, 256)
+        })
+        .new_total_batch
+    }
+}
+
+struct Oracle<'a> {
+    perf: &'a PerfModel,
+    jobs: &'a BTreeMap<u32, Running>,
+    pending: &'a [JobSpec],
+}
+
+impl GainOracle for Oracle<'_> {
+    fn throughput(&self, job: u32, workers: u32) -> f64 {
+        let spec = self
+            .jobs
+            .get(&job)
+            .map(|r| &r.spec)
+            .or_else(|| self.pending.iter().find(|p| p.id == job))
+            .expect("oracle asked about unknown job");
+        let tbs = tbs_for(spec, self.perf, workers);
+        self.perf.throughput(&spec.model, workers, tbs)
+    }
+
+    fn remaining(&self, job: u32) -> f64 {
+        self.jobs
+            .get(&job)
+            .map(|r| r.remaining)
+            .or_else(|| {
+                self.pending
+                    .iter()
+                    .find(|p| p.id == job)
+                    .map(|p| p.total_samples)
+            })
+            .expect("oracle asked about unknown job")
+    }
+}
+
+/// Runs the trace under the configured policy; returns per-job outcomes
+/// and the utilization timeline.
+///
+/// # Panics
+///
+/// Panics if any job is invalid or larger than the cluster.
+pub fn run_trace(cfg: &SimConfig<'_>, jobs: &[JobSpec]) -> SimResult {
+    for j in jobs {
+        j.validate();
+        assert!(
+            j.req_res <= cfg.total_gpus,
+            "job {} requests more than the cluster",
+            j.id
+        );
+    }
+    let perf = PerfModel::paper_default();
+    let bandwidth = BandwidthModel::paper_default();
+    let nodes = cfg.total_gpus.div_ceil(8).max(1);
+    let topology: Topology = ClusterSpec::new(nodes, 2, 2, 2).build();
+
+    let mut arrivals: Vec<&JobSpec> = jobs.iter().collect();
+    arrivals.sort_by_key(|j| (j.submit_at, j.id));
+    let mut next_arrival = 0usize;
+
+    let mut pending: Vec<JobSpec> = Vec::new();
+    let mut running: BTreeMap<u32, Running> = BTreeMap::new();
+    let mut outcomes: Vec<JobOutcome> = Vec::new();
+    let mut utilization = Series::new(format!("util-{}", cfg.policy.name()));
+    let mut total_adjustments = 0u64;
+    let mut evictions = 0u64;
+    // Survives evictions: (first start, adjustments so far) per job.
+    let mut carry: BTreeMap<u32, (SimTime, u32)> = BTreeMap::new();
+
+    let mut now = SimTime::ZERO;
+    utilization.record(now, 0.0);
+
+    loop {
+        // Next event: earliest arrival, finish, transition completion, or
+        // capacity change. Transition completions re-run the policy once
+        // start/init or an adjustment settles, so freed or newly
+        // productive GPUs are reallocated.
+        let arrival_at = arrivals.get(next_arrival).map(|j| j.submit_at);
+        let finish_at = running.values().map(|r| r.finish_estimate(now)).min();
+        let settle_at = running
+            .values()
+            .filter_map(|r| r.transition.map(|t| t.resume_at))
+            .min();
+        let capacity_at = cfg
+            .capacity
+            .and_then(|c| c.next_change_after(now))
+            // Capacity changes only matter while work remains.
+            .filter(|_| !running.is_empty() || !pending.is_empty() || next_arrival < arrivals.len());
+        let Some(event_at) = [arrival_at, finish_at, settle_at, capacity_at]
+            .into_iter()
+            .flatten()
+            .min()
+        else {
+            break;
+        };
+
+        // Advance everyone to the event.
+        for r in running.values_mut() {
+            r.advance(now, event_at);
+        }
+        now = event_at;
+
+        // Collect finished jobs. The criterion must match the estimate
+        // exactly, or an event could land at `now` without completing any
+        // job and the loop would spin at one instant forever.
+        let finished: Vec<u32> = running
+            .iter()
+            .filter(|(_, r)| r.remaining <= 1e-6 || r.finish_estimate(now) <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in finished {
+            let r = running.remove(&id).expect("finished job exists");
+            let (first_started, prior_adjustments) =
+                carry.remove(&id).unwrap_or((r.started_at, 0));
+            outcomes.push(JobOutcome {
+                id,
+                submit_at: r.spec.submit_at,
+                started_at: first_started,
+                finished_at: now,
+                adjustments: prior_adjustments + r.adjustments,
+            });
+        }
+
+        // Accept arrivals.
+        while arrivals
+            .get(next_arrival)
+            .is_some_and(|j| j.submit_at <= now)
+        {
+            pending.push(arrivals[next_arrival].clone());
+            next_arrival += 1;
+        }
+
+        // Capacity enforcement. Elastic policies shrink gracefully: jobs
+        // caught mid-transition are force-shrunk to min_res (another
+        // ~1s Elan adjustment), and whole-job eviction happens only when
+        // even the min_res floors cannot fit. Static policies cannot
+        // shrink, so a dip evicts the newest-started jobs (checkpoint-
+        // and-requeue, keeping their progress).
+        let total = cfg
+            .capacity
+            .map_or(cfg.total_gpus, |c| c.at(now).min(cfg.total_gpus));
+        let floor = |r: &Running| -> u32 {
+            if cfg.policy.is_elastic() {
+                r.spec.min_res
+            } else {
+                r.allocation
+            }
+        };
+        loop {
+            let floor_sum: u32 = running.values().map(floor).sum();
+            if floor_sum <= total {
+                break;
+            }
+            let &victim = running
+                .iter()
+                .max_by_key(|(id, r)| (r.started_at, **id))
+                .map(|(id, _)| id)
+                .expect("floor_sum > 0 implies a running job");
+            let mut r = running.remove(&victim).expect("victim exists");
+            let entry = carry.entry(victim).or_insert((r.started_at, 0));
+            entry.1 += r.adjustments;
+            // The job keeps its progress (checkpoint semantics) and waits
+            // in queue order again.
+            r.spec.total_samples = r.remaining.max(0.0);
+            pending.push(r.spec);
+            pending.sort_by_key(|p| (p.submit_at, p.id));
+            evictions += 1;
+        }
+        if cfg.policy.is_elastic() {
+            // The policy leaves transitioning jobs alone, but a capacity
+            // dip cannot wait for them: force-shrink the largest ones to
+            // min_res until pinned allocations plus settled floors fit.
+            loop {
+                let pinned_plus_floor: u32 = running
+                    .values()
+                    .map(|r| {
+                        if r.transition.is_some() {
+                            r.allocation
+                        } else {
+                            r.spec.min_res
+                        }
+                    })
+                    .sum();
+                if pinned_plus_floor <= total {
+                    break;
+                }
+                let Some((&victim, _)) = running
+                    .iter()
+                    .filter(|(_, r)| r.transition.is_some() && r.allocation > r.spec.min_res)
+                    .max_by_key(|(id, r)| (r.allocation - r.spec.min_res, **id))
+                else {
+                    break; // nothing shrinkable; min floors already fit
+                };
+                let r = running.get_mut(&victim).expect("victim exists");
+                let workers = r.spec.min_res;
+                let request = AdjustmentRequest::new(
+                    (0..r.allocation).map(GpuId).collect(),
+                    (0..workers).map(GpuId).collect(),
+                )
+                .expect("shrink is a valid request");
+                let ctx = AdjustmentContext {
+                    topology: &topology,
+                    bandwidth: &bandwidth,
+                    perf: &perf,
+                    model: &r.spec.model,
+                    total_batch: r.tbs,
+                    coordination_interval: cfg.coordination_interval,
+                    seed: cfg.seed.wrapping_add(victim as u64).wrapping_add(7777),
+                };
+                let cost = cfg.system.adjust(&request, &ctx);
+                r.allocation = workers;
+                r.tbs = tbs_for(&r.spec, &perf, workers);
+                r.thr = perf.throughput(&r.spec.model, workers, r.tbs);
+                r.transition = Some(Transition {
+                    old_until: now,
+                    resume_at: now + cost.pause,
+                    thr_old: 0.0,
+                });
+                r.adjustments += 1;
+                total_adjustments += 1;
+            }
+        }
+
+        // Run the policy.
+        let pending_views: Vec<PendingView> = pending
+            .iter()
+            .map(|p| PendingView {
+                id: p.id,
+                req_res: p.req_res,
+                min_res: p.min_res,
+                max_res: p.max_res,
+                est_duration: p.total_samples
+                    / perf.throughput(&p.model, p.req_res, p.initial_tbs),
+            })
+            .collect();
+        let running_views: Vec<RunningView> = running
+            .values()
+            .map(|r| RunningView {
+                id: r.spec.id,
+                allocation: r.allocation,
+                min_res: r.spec.min_res,
+                max_res: r.spec.max_res,
+                est_remaining: r.est_remaining_secs(now),
+                in_transition: r.transition.is_some(),
+            })
+            .collect();
+        let actions = {
+            let oracle = Oracle {
+                perf: &perf,
+                jobs: &running,
+                pending: &pending,
+            };
+            policy::schedule(cfg.policy, total, &pending_views, &running_views, &oracle)
+        };
+
+        for action in actions {
+            match action {
+                Action::Admit { job, workers } => {
+                    let idx = pending
+                        .iter()
+                        .position(|p| p.id == job)
+                        .expect("admitted job is pending");
+                    let spec = pending.remove(idx);
+                    let tbs = tbs_for(&spec, &perf, workers);
+                    let thr = perf.throughput(&spec.model, workers, tbs);
+                    running.insert(
+                        job,
+                        Running {
+                            remaining: spec.total_samples,
+                            allocation: workers,
+                            tbs,
+                            thr,
+                            started_at: now,
+                            adjustments: 0,
+                            transition: Some(Transition {
+                                old_until: now,
+                                resume_at: now + cfg.startup,
+                                thr_old: 0.0,
+                            }),
+                            spec,
+                        },
+                    );
+                }
+                Action::Reallocate { job, workers } => {
+                    let r = running.get_mut(&job).expect("reallocated job runs");
+                    if workers == r.allocation {
+                        continue;
+                    }
+                    let request = AdjustmentRequest::new(
+                        (0..r.allocation).map(GpuId).collect(),
+                        (0..workers).map(GpuId).collect(),
+                    )
+                    .expect("allocation change is a valid request");
+                    let ctx = AdjustmentContext {
+                        topology: &topology,
+                        bandwidth: &bandwidth,
+                        perf: &perf,
+                        model: &r.spec.model,
+                        total_batch: r.tbs,
+                        coordination_interval: cfg.coordination_interval,
+                        seed: cfg
+                            .seed
+                            .wrapping_add(job as u64)
+                            .wrapping_add(r.adjustments as u64),
+                    };
+                    let cost = cfg.system.adjust(&request, &ctx);
+                    let thr_old = r.thr;
+                    let tbs = tbs_for(&r.spec, &perf, workers);
+                    r.tbs = tbs;
+                    r.allocation = workers;
+                    r.thr = perf.throughput(&r.spec.model, workers, tbs);
+                    r.transition = Some(Transition {
+                        old_until: now + cost.completion.saturating_sub(cost.pause),
+                        resume_at: now + cost.completion,
+                        thr_old,
+                    });
+                    r.adjustments += 1;
+                    total_adjustments += 1;
+                }
+            }
+        }
+
+        let allocated: u32 = running.values().map(|r| r.allocation).sum();
+        assert!(
+            allocated <= cfg.total_gpus,
+            "policy oversubscribed the cluster: {allocated}/{} at {now}",
+            cfg.total_gpus
+        );
+        utilization.record(now, allocated as f64 / cfg.total_gpus as f64);
+        
+    }
+
+    outcomes.sort_by_key(|o| o.id);
+    SimResult {
+        outcomes,
+        utilization,
+        total_adjustments,
+        evictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{generate_trace, TraceConfig};
+    use elan_core::elasticity::IdealSystem;
+    use elan_core::ElanSystem;
+    use elan_models::zoo;
+
+    fn quick_jobs() -> Vec<JobSpec> {
+        // Three small jobs contending on a small cluster.
+        let model = zoo::resnet50();
+        (0..3)
+            .map(|i| JobSpec {
+                id: i,
+                submit_at: SimTime::from_secs(i as u64 * 10),
+                model: model.clone(),
+                total_samples: 2e5,
+                initial_tbs: 256,
+                req_res: 8,
+                min_res: 2,
+                max_res: 16,
+            })
+            .collect()
+    }
+
+    fn cfg<'a>(policy: PolicyKind, system: &'a dyn ElasticitySystem) -> SimConfig<'a> {
+        SimConfig {
+            total_gpus: 16,
+            policy,
+            system,
+            coordination_interval: 10,
+            startup: SimDuration::from_secs(30),
+            seed: 5,
+            capacity: None,
+        }
+    }
+
+    #[test]
+    fn all_jobs_finish_under_every_policy() {
+        let jobs = quick_jobs();
+        let elan = ElanSystem::new();
+        for policy in [
+            PolicyKind::Fifo,
+            PolicyKind::Backfill,
+            PolicyKind::ElasticFifo,
+            PolicyKind::ElasticBackfill,
+        ] {
+            let result = run_trace(&cfg(policy, &elan), &jobs);
+            assert_eq!(result.outcomes.len(), 3, "{policy:?} lost jobs");
+            for o in &result.outcomes {
+                assert!(o.finished_at > o.started_at);
+                assert!(o.started_at >= o.submit_at);
+            }
+        }
+    }
+
+    #[test]
+    fn elastic_reduces_pending_time() {
+        // With 16 GPUs and 8-GPU requests, FIFO makes job 2 wait; the
+        // elastic policy starts it at min_res immediately.
+        let jobs = quick_jobs();
+        let elan = ElanSystem::new();
+        let fifo = run_trace(&cfg(PolicyKind::Fifo, &elan), &jobs).metrics();
+        let efifo = run_trace(&cfg(PolicyKind::ElasticFifo, &elan), &jobs).metrics();
+        assert!(
+            efifo.avg_jpt() < fifo.avg_jpt(),
+            "E-FIFO jpt {} !< FIFO jpt {}",
+            efifo.avg_jpt(),
+            fifo.avg_jpt()
+        );
+    }
+
+    #[test]
+    fn elastic_uses_idle_gpus() {
+        // A single job on an otherwise empty cluster runs at max_res under
+        // the elastic policy (granted at admission) but stays at req_res
+        // under FIFO — so it finishes sooner.
+        let jobs = vec![quick_jobs().remove(0)];
+        let elan = ElanSystem::new();
+        let fifo = run_trace(&cfg(PolicyKind::Fifo, &elan), &jobs);
+        let efifo = run_trace(&cfg(PolicyKind::ElasticFifo, &elan), &jobs);
+        let tf = fifo.outcomes[0].completion_time();
+        let te = efifo.outcomes[0].completion_time();
+        assert!(te < tf, "elastic {te} !< static {tf}");
+    }
+
+    #[test]
+    fn elastic_rebalances_when_capacity_frees() {
+        // Two jobs share the cluster; when the first finishes, the second
+        // scales out onto the freed GPUs (an actual adjustment).
+        let mut jobs = quick_jobs();
+        jobs.truncate(2);
+        jobs[0].total_samples = 1e5; // finishes first
+        let elan = ElanSystem::new();
+        let out = run_trace(&cfg(PolicyKind::ElasticFifo, &elan), &jobs);
+        assert_eq!(out.outcomes.len(), 2);
+        assert!(out.total_adjustments > 0, "no rebalancing happened");
+    }
+
+    #[test]
+    fn ideal_system_is_no_slower_than_elan_and_snr() {
+        let trace_cfg = TraceConfig {
+            duration: SimDuration::from_secs(4 * 3600),
+            expected_jobs: 24,
+            total_gpus: 32,
+            mean_runtime: SimDuration::from_secs(1200),
+            seed: 9,
+        };
+        let jobs = generate_trace(&trace_cfg);
+        let elan = ElanSystem::new();
+        let ideal = IdealSystem;
+        let snr = elan_baselines::ShutdownRestart::new();
+        fn mk<'a>(sys: &'a dyn ElasticitySystem) -> SimConfig<'a> {
+            SimConfig {
+            total_gpus: 32,
+            policy: PolicyKind::ElasticBackfill,
+            system: sys,
+            coordination_interval: 10,
+            startup: SimDuration::from_secs(30),
+            seed: 5,
+            capacity: None,
+            }
+        }
+        let jct_ideal = run_trace(&mk(&ideal), &jobs).metrics().avg_jct();
+        let jct_elan = run_trace(&mk(&elan), &jobs).metrics().avg_jct();
+        let jct_snr = run_trace(&mk(&snr), &jobs).metrics().avg_jct();
+        assert!(jct_ideal <= jct_elan * 1.001);
+        assert!(jct_elan < jct_snr, "elan {jct_elan} !< snr {jct_snr}");
+    }
+
+    #[test]
+    fn utilization_stays_in_unit_range() {
+        let jobs = quick_jobs();
+        let elan = ElanSystem::new();
+        let result = run_trace(&cfg(PolicyKind::ElasticBackfill, &elan), &jobs);
+        for &(_, u) in result.utilization.points() {
+            assert!((0.0..=1.0).contains(&u), "utilization {u}");
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let jobs = quick_jobs();
+        let elan = ElanSystem::new();
+        let a = run_trace(&cfg(PolicyKind::ElasticBackfill, &elan), &jobs);
+        let b = run_trace(&cfg(PolicyKind::ElasticBackfill, &elan), &jobs);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+}

@@ -1,0 +1,223 @@
+//! Synthetic job-trace generation.
+//!
+//! The paper replays a down-sampled two-day trace from a SenseTime
+//! production cluster (128 GPUs after downscaling); the trace itself is
+//! proprietary, so we generate a statistically similar one: job arrivals
+//! follow an inhomogeneous Poisson process with a diurnal (24 h) intensity
+//! fluctuation, each job randomly draws one of the Table I model
+//! configurations, and resource requests skew small with a heavy tail —
+//! the shape that produces Fig. 1's utilization swings.
+
+use elan_sim::{SeedStream, SimDuration, SimTime};
+use elan_models::{zoo, ModelSpec, PerfModel};
+use rand::Rng;
+
+use crate::job::JobSpec;
+
+/// Trace-generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Span covered by job submissions.
+    pub duration: SimDuration,
+    /// Expected number of jobs over the span.
+    pub expected_jobs: u32,
+    /// Cluster size (bounds `max_res`).
+    pub total_gpus: u32,
+    /// Mean job runtime at the requested allocation.
+    pub mean_runtime: SimDuration,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// The paper's §VI-C setup: a two-day trace, 128 GPUs, loaded heavily
+    /// enough that queues form at the diurnal peaks (as in the paper's
+    /// production cluster).
+    pub fn paper_two_day(seed: u64) -> Self {
+        TraceConfig {
+            duration: SimDuration::from_secs(2 * 24 * 3600),
+            expected_jobs: 180,
+            total_gpus: 128,
+            mean_runtime: SimDuration::from_secs(9000),
+            seed,
+        }
+    }
+
+    /// The Fig. 1 setup: one week of submissions.
+    pub fn one_week(seed: u64) -> Self {
+        TraceConfig {
+            duration: SimDuration::from_secs(7 * 24 * 3600),
+            expected_jobs: 630,
+            total_gpus: 128,
+            mean_runtime: SimDuration::from_secs(9000),
+            seed,
+        }
+    }
+}
+
+/// The diurnal arrival-intensity multiplier at time `t` (peaks mid-day,
+/// troughs at night; period 24 h).
+pub fn diurnal_intensity(t: SimTime) -> f64 {
+    let day_frac = (t.as_secs_f64() % 86_400.0) / 86_400.0;
+    1.0 + 0.8 * (2.0 * std::f64::consts::PI * (day_frac - 0.25)).sin()
+}
+
+/// Generates a trace deterministically from the config.
+///
+/// Jobs are sorted by submission time and validated.
+pub fn generate_trace(cfg: &TraceConfig) -> Vec<JobSpec> {
+    let seeds = SeedStream::new(cfg.seed);
+    let mut arr_rng = seeds.rng("arrivals");
+    let mut job_rng = seeds.rng("jobs");
+    let perf = PerfModel::paper_default();
+
+    // Inhomogeneous Poisson via thinning: peak rate = 1.8x the mean rate.
+    let span = cfg.duration.as_secs_f64();
+    let mean_rate = cfg.expected_jobs as f64 / span;
+    let peak_rate = mean_rate * 1.8;
+
+    let mut jobs = Vec::new();
+    let mut t = 0.0f64;
+    let mut id = 0u32;
+    loop {
+        // Exponential inter-arrival at the peak rate.
+        let u: f64 = arr_rng.gen_range(1e-12..1.0);
+        t += -u.ln() / peak_rate;
+        if t >= span {
+            break;
+        }
+        let submit = SimTime::from_nanos((t * 1e9) as u64);
+        // Thinning: accept with probability intensity/1.8.
+        if arr_rng.gen_range(0.0..1.0) > diurnal_intensity(submit) / 1.8 {
+            continue;
+        }
+        jobs.push(make_job(id, submit, cfg, &perf, &mut job_rng));
+        id += 1;
+    }
+    for j in &jobs {
+        j.validate();
+    }
+    jobs
+}
+
+fn make_job(
+    id: u32,
+    submit_at: SimTime,
+    cfg: &TraceConfig,
+    perf: &PerfModel,
+    rng: &mut impl Rng,
+) -> JobSpec {
+    let model = pick_model(rng);
+    // Requested workers skew small with a heavy tail (powers of two); the
+    // occasional 64-GPU job creates the head-of-line blocking that
+    // motivates backfilling and elasticity.
+    let pool = [2u32, 4, 4, 8, 8, 8, 16, 16, 16, 32, 32, 64];
+    let req_res = pool[rng.gen_range(0..pool.len())];
+    let per_worker = (model.max_batch_per_worker / 2).clamp(8, 64);
+    let initial_tbs = req_res * per_worker;
+
+    // min_res: the fewest workers that fit the batch in GPU memory.
+    let min_res = initial_tbs
+        .div_ceil(model.max_batch_per_worker)
+        .clamp(1, req_res);
+    // max_res: weak scaling must stay within the convergence-safe batch.
+    let safe_factor = (2048 / initial_tbs).max(1);
+    let max_res = (req_res * safe_factor.min(4)).min(cfg.total_gpus).max(req_res);
+
+    // Work: log-uniform runtime around the configured mean.
+    let mean = cfg.mean_runtime.as_secs_f64();
+    let factor = (rng.gen_range(0.0..1.0f64) * 2.0 - 1.0) * 1.2; // +-1.2 decades/e
+    let runtime = (mean * factor.exp()).clamp(300.0, 6.0 * mean);
+    let thr = perf.throughput(&model, req_res, initial_tbs);
+    JobSpec {
+        id,
+        submit_at,
+        model,
+        total_samples: thr * runtime,
+        initial_tbs,
+        req_res,
+        min_res,
+        max_res,
+    }
+}
+
+fn pick_model(rng: &mut impl Rng) -> ModelSpec {
+    let models = zoo::evaluation_models();
+    let weights = [30u32, 10, 25, 15, 20]; // ResNet-heavy, as in CV clusters
+    let total: u32 = weights.iter().sum();
+    let mut draw = rng.gen_range(0..total);
+    for (m, &w) in models.iter().zip(&weights) {
+        if draw < w {
+            return m.clone();
+        }
+        draw -= w;
+    }
+    models[0].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let cfg = TraceConfig::paper_two_day(7);
+        let a = generate_trace(&cfg);
+        let b = generate_trace(&cfg);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn job_count_near_expectation() {
+        let cfg = TraceConfig::paper_two_day(11);
+        let jobs = generate_trace(&cfg);
+        let n = jobs.len() as f64;
+        let expect = cfg.expected_jobs as f64;
+        assert!(
+            (0.6 * expect..1.4 * expect).contains(&n),
+            "generated {n} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn submissions_are_ordered_and_in_span() {
+        let cfg = TraceConfig::paper_two_day(3);
+        let jobs = generate_trace(&cfg);
+        for w in jobs.windows(2) {
+            assert!(w[0].submit_at <= w[1].submit_at);
+        }
+        let end = SimTime::ZERO + cfg.duration;
+        assert!(jobs.iter().all(|j| j.submit_at < end));
+    }
+
+    #[test]
+    fn resources_are_consistent() {
+        for job in generate_trace(&TraceConfig::paper_two_day(5)) {
+            assert!(job.min_res <= job.req_res && job.req_res <= job.max_res);
+            assert!(job.max_res <= 128);
+            // The batch must fit on min_res workers.
+            assert!(job.initial_tbs <= job.min_res * job.model.max_batch_per_worker);
+        }
+    }
+
+    #[test]
+    fn diurnal_intensity_fluctuates() {
+        // Peak mid-day, trough at midnight (phase -0.25 in the sinusoid).
+        let noon = diurnal_intensity(SimTime::from_secs(12 * 3600));
+        let night = diurnal_intensity(SimTime::from_secs(0));
+        assert!(noon > 1.5);
+        assert!(night < 0.5);
+        // Period is 24h.
+        let again = diurnal_intensity(SimTime::from_secs(36 * 3600));
+        assert!((noon - again).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_trace(&TraceConfig::paper_two_day(1));
+        let b = generate_trace(&TraceConfig::paper_two_day(2));
+        assert_ne!(a.len(), 0);
+        assert!(a.len() != b.len() || a.iter().zip(&b).any(|(x, y)| x != y));
+    }
+}

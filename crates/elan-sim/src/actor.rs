@@ -1,0 +1,400 @@
+//! Message-passing actor framework over the event queue.
+//!
+//! The Elan coordination protocol is naturally expressed as actors (an
+//! application master and workers) exchanging timestamped messages. [`World`]
+//! hosts a set of [`Actor`]s, delivers messages in deterministic order, and
+//! lets actors schedule timers and sends through [`Ctx`].
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::event::Scheduler;
+use crate::rng::SeedStream;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies an actor within a [`World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub u32);
+
+impl std::fmt::Display for ActorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// A simulated process that reacts to messages and timers.
+///
+/// Implementations receive a [`Ctx`] giving access to the clock, an RNG
+/// seeded deterministically per actor, and outbound scheduling.
+pub trait Actor<M> {
+    /// Handles a message delivered to this actor at the current sim time.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: ActorId, msg: M);
+
+    /// Called once when the actor is spawned, before any messages arrive.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        let _ = ctx;
+    }
+}
+
+#[derive(Debug)]
+enum Event<M> {
+    Deliver { from: ActorId, to: ActorId, msg: M },
+}
+
+/// Side-channel handed to actors for interacting with the world.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    id: ActorId,
+    now: SimTime,
+    rng: &'a mut StdRng,
+    outbox: &'a mut Vec<(SimDuration, ActorId, ActorId, M)>,
+    stopped: &'a mut bool,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// The id of the actor this context belongs to.
+    pub fn id(&self) -> ActorId {
+        self.id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Deterministic per-actor random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`, arriving after `delay`.
+    pub fn send_after(&mut self, delay: SimDuration, to: ActorId, msg: M) {
+        self.outbox.push((delay, self.id, to, msg));
+    }
+
+    /// Sends `msg` to `to`, arriving immediately (same timestamp, after all
+    /// currently queued same-time events).
+    pub fn send(&mut self, to: ActorId, msg: M) {
+        self.send_after(SimDuration::ZERO, to, msg);
+    }
+
+    /// Schedules `msg` back to this actor after `delay` — a timer.
+    pub fn set_timer(&mut self, delay: SimDuration, msg: M) {
+        self.send_after(delay, self.id, msg);
+    }
+
+    /// Requests the whole simulation to stop after this handler returns.
+    pub fn stop_world(&mut self) {
+        *self.stopped = true;
+    }
+}
+
+/// Hosts actors and runs the simulation to completion.
+///
+/// # Examples
+///
+/// ```
+/// use elan_sim::{Actor, ActorId, Ctx, SimDuration, World};
+///
+/// struct Ping { peer: Option<ActorId>, left: u32 }
+///
+/// impl Actor<u32> for Ping {
+///     fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+///         if let Some(peer) = self.peer {
+///             ctx.send_after(SimDuration::from_millis(1), peer, 0);
+///         }
+///     }
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: ActorId, n: u32) {
+///         self.left = self.left.saturating_sub(1);
+///         if self.left == 0 {
+///             ctx.stop_world();
+///         } else {
+///             ctx.send_after(SimDuration::from_millis(1), from, n + 1);
+///         }
+///     }
+/// }
+///
+/// let mut world: World<u32> = World::new(42);
+/// let a = world.reserve_id();
+/// let b = world.reserve_id();
+/// world.spawn_with_id(a, Ping { peer: Some(b), left: 4 });
+/// world.spawn_with_id(b, Ping { peer: None, left: 4 });
+/// let end = world.run();
+/// assert_eq!(end.as_nanos() % 1_000_000, 0);
+/// ```
+pub struct World<M> {
+    scheduler: Scheduler<Event<M>>,
+    actors: HashMap<ActorId, Box<dyn Actor<M>>>,
+    rngs: HashMap<ActorId, StdRng>,
+    seeds: SeedStream,
+    next_id: u32,
+    started: Vec<ActorId>,
+    stopped: bool,
+    delivered: u64,
+}
+
+impl<M> std::fmt::Debug for World<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("actors", &self.actors.len())
+            .field("pending_events", &self.scheduler.len())
+            .field("now", &self.scheduler.now())
+            .finish()
+    }
+}
+
+impl<M> World<M> {
+    /// Creates an empty world whose randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        World {
+            scheduler: Scheduler::new(),
+            actors: HashMap::new(),
+            rngs: HashMap::new(),
+            seeds: SeedStream::new(seed),
+            next_id: 0,
+            started: Vec::new(),
+            stopped: false,
+            delivered: 0,
+        }
+    }
+
+    /// Allocates an actor id without spawning, for wiring mutually-referencing
+    /// actors.
+    pub fn reserve_id(&mut self) -> ActorId {
+        let id = ActorId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Spawns `actor` under a fresh id and returns the id.
+    pub fn spawn(&mut self, actor: impl Actor<M> + 'static) -> ActorId {
+        let id = self.reserve_id();
+        self.spawn_with_id(id, actor);
+        id
+    }
+
+    /// Spawns `actor` under a previously [reserved](World::reserve_id) id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already occupied.
+    pub fn spawn_with_id(&mut self, id: ActorId, actor: impl Actor<M> + 'static) {
+        assert!(
+            !self.actors.contains_key(&id),
+            "actor id {id} already spawned"
+        );
+        let rng = StdRng::seed_from_u64(self.seeds.derive(&format!("actor-{}", id.0)));
+        self.actors.insert(id, Box::new(actor));
+        self.rngs.insert(id, rng);
+        self.started.push(id);
+    }
+
+    /// Removes an actor; pending messages to it are dropped on delivery.
+    pub fn despawn(&mut self, id: ActorId) {
+        self.actors.remove(&id);
+        self.rngs.remove(&id);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.scheduler.now()
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Injects a message from the outside world (e.g. a scheduler request).
+    pub fn inject(&mut self, delay: SimDuration, to: ActorId, msg: M) {
+        // External messages appear to come from a reserved "environment" id.
+        self.scheduler.schedule_after(
+            delay,
+            Event::Deliver {
+                from: ActorId(u32::MAX),
+                to,
+                msg,
+            },
+        );
+    }
+
+    /// The sender id used for [`World::inject`]ed messages.
+    pub const ENVIRONMENT: ActorId = ActorId(u32::MAX);
+
+    fn flush_starts(&mut self) {
+        while let Some(id) = self.started.pop() {
+            self.with_ctx(id, |actor, ctx| actor.on_start(ctx));
+        }
+    }
+
+    fn with_ctx(
+        &mut self,
+        id: ActorId,
+        f: impl FnOnce(&mut Box<dyn Actor<M>>, &mut Ctx<'_, M>),
+    ) {
+        let Some(mut actor) = self.actors.remove(&id) else {
+            return; // actor despawned; drop the message
+        };
+        let mut rng = self.rngs.remove(&id).expect("rng exists for live actor");
+        let mut outbox = Vec::new();
+        let mut stopped = false;
+        {
+            let mut ctx = Ctx {
+                id,
+                now: self.scheduler.now(),
+                rng: &mut rng,
+                outbox: &mut outbox,
+                stopped: &mut stopped,
+            };
+            f(&mut actor, &mut ctx);
+        }
+        // Only re-insert if the actor did not despawn itself via World-level
+        // operations (not expressible from Ctx, so always re-insert).
+        self.actors.insert(id, actor);
+        self.rngs.insert(id, rng);
+        for (delay, from, to, msg) in outbox {
+            self.scheduler
+                .schedule_after(delay, Event::Deliver { from, to, msg });
+        }
+        if stopped {
+            self.stopped = true;
+        }
+    }
+
+    /// Runs one event; returns false when the queue is exhausted or stopped.
+    pub fn step(&mut self) -> bool {
+        self.flush_starts();
+        if self.stopped {
+            return false;
+        }
+        let Some((_, Event::Deliver { from, to, msg })) = self.scheduler.pop() else {
+            return false;
+        };
+        self.delivered += 1;
+        self.with_ctx(to, |actor, ctx| actor.on_message(ctx, from, msg));
+        self.flush_starts();
+        !self.stopped
+    }
+
+    /// Runs until no events remain or an actor stops the world; returns the
+    /// final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now()
+    }
+
+    /// Runs until the given deadline (events after it stay queued).
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.flush_starts();
+        while !self.stopped {
+            match self.scheduler.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.scheduler.peek_time().map_or(true, |t| t > deadline) && self.now() < deadline {
+            // Advance the clock to the deadline if nothing is left before it.
+            if self.scheduler.peek_time().is_none() {
+                self.scheduler.advance_to(deadline);
+            } else {
+                self.scheduler.advance_to(deadline);
+            }
+        }
+        self.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Tick,
+        Echo(u64),
+    }
+
+    struct Counter {
+        ticks: u64,
+        limit: u64,
+    }
+
+    impl Actor<Msg> for Counter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.set_timer(SimDuration::from_secs(1), Msg::Tick);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ActorId, msg: Msg) {
+            if msg == Msg::Tick {
+                self.ticks += 1;
+                if self.ticks < self.limit {
+                    ctx.set_timer(SimDuration::from_secs(1), Msg::Tick);
+                } else {
+                    ctx.stop_world();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_periodically() {
+        let mut world = World::new(1);
+        world.spawn(Counter { ticks: 0, limit: 5 });
+        let end = world.run();
+        assert_eq!(end, SimTime::from_secs(5));
+        assert_eq!(world.delivered(), 5);
+    }
+
+    struct EchoServer;
+    impl Actor<Msg> for EchoServer {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+            if let Msg::Echo(n) = msg {
+                if from != World::<Msg>::ENVIRONMENT {
+                    return;
+                }
+                let _ = n;
+                ctx.stop_world();
+            }
+        }
+    }
+
+    #[test]
+    fn injection_comes_from_environment() {
+        let mut world = World::new(7);
+        let id = world.spawn(EchoServer);
+        world.inject(SimDuration::from_millis(3), id, Msg::Echo(9));
+        let end = world.run();
+        assert_eq!(end, SimTime::ZERO + SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn messages_to_despawned_actors_are_dropped() {
+        let mut world = World::new(3);
+        let id = world.spawn(EchoServer);
+        world.inject(SimDuration::from_millis(1), id, Msg::Echo(1));
+        world.despawn(id);
+        world.run();
+        assert_eq!(world.delivered(), 1); // popped but handler skipped
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut world = World::new(5);
+        world.spawn(Counter { ticks: 0, limit: 100 });
+        let t = world.run_until(SimTime::from_secs(3));
+        assert_eq!(t, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut world = World::new(11);
+            world.spawn(Counter { ticks: 0, limit: 10 });
+            world.run().as_nanos()
+        };
+        assert_eq!(run(), run());
+    }
+}

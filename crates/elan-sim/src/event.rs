@@ -1,0 +1,230 @@
+//! Time-ordered event queue.
+//!
+//! [`Scheduler`] is the heart of the discrete-event simulation: events are
+//! popped in non-decreasing time order, and events scheduled for the same
+//! instant are delivered in the order they were scheduled (stable FIFO
+//! tie-break), which keeps simulations deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A time-ordered event queue driving a discrete-event simulation.
+///
+/// The queue tracks the current virtual time: popping an event advances the
+/// clock to that event's timestamp. Scheduling in the past is rejected.
+///
+/// # Examples
+///
+/// ```
+/// use elan_sim::{Scheduler, SimDuration};
+///
+/// let mut sched = Scheduler::new();
+/// sched.schedule_after(SimDuration::from_secs(1), "a");
+/// sched.schedule_after(SimDuration::from_secs(1), "b");
+/// // Same-time events pop in insertion order.
+/// assert_eq!(sched.pop().unwrap().1, "a");
+/// assert_eq!(sched.pop().unwrap().1, "b");
+/// assert!(sched.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+        }
+    }
+
+    /// The current virtual time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time — discrete-event
+    /// simulations must never schedule into the past.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} before current time {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` after a relative delay from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the next event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Advances the clock to `at` without delivering events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time or before the next pending
+    /// event (which would reorder history).
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "cannot rewind the clock");
+        if let Some(next) = self.peek_time() {
+            assert!(
+                at <= next,
+                "advance_to({at}) would skip a pending event at {next}"
+            );
+        }
+        self.now = at;
+    }
+
+    /// Drops all pending events, keeping the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(3), 3);
+        s.schedule_at(SimTime::from_secs(1), 1);
+        s.schedule_at(SimTime::from_secs(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_fifo() {
+        let mut s = Scheduler::new();
+        for i in 0..100 {
+            s.schedule_at(SimTime::from_secs(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut s = Scheduler::new();
+        s.schedule_after(SimDuration::from_secs(2), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn rejects_past_events() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(2), ());
+        s.pop();
+        s.schedule_at(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn advance_to_moves_clock() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.advance_to(SimTime::from_secs(10));
+        assert_eq!(s.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "skip a pending event")]
+    fn advance_past_pending_event_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), ());
+        s.advance_to(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_time() {
+        let mut s = Scheduler::new();
+        s.schedule_after(SimDuration::from_secs(1), "first");
+        s.pop();
+        s.schedule_after(SimDuration::from_secs(1), "second");
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn clear_keeps_clock() {
+        let mut s = Scheduler::new();
+        s.schedule_after(SimDuration::from_secs(1), ());
+        s.pop();
+        s.schedule_after(SimDuration::from_secs(1), ());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.now(), SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,222 @@
+//! Bandwidth/latency model per transport (Fig. 8 of the paper).
+//!
+//! Effective bandwidth depends on the transport *and* the message size:
+//! small messages underutilize any link because fixed per-transfer costs
+//! dominate. The model is `t(size) = latency + size / (peak * eff(size))`
+//! with a saturating efficiency ramp `eff(size) = size / (size + ramp)`,
+//! which reproduces the rising-then-flat curves of Fig. 8.
+
+use elan_sim::{Bandwidth, Bytes, SimDuration};
+
+use crate::link::Transport;
+
+/// Per-transport peak bandwidth, base latency, and ramp constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportProfile {
+    /// Peak achievable bandwidth on this transport.
+    pub peak: Bandwidth,
+    /// Fixed per-transfer setup latency.
+    pub latency: SimDuration,
+    /// Message size at which half of peak bandwidth is achieved.
+    pub half_ramp: Bytes,
+}
+
+impl TransportProfile {
+    /// Effective bandwidth for a transfer of `size` bytes.
+    pub fn effective_bandwidth(&self, size: Bytes) -> Bandwidth {
+        let s = size.as_f64();
+        let eff = s / (s + self.half_ramp.as_f64());
+        self.peak.scale(eff)
+    }
+
+    /// Wall time to move `size` bytes, including setup latency.
+    pub fn transfer_time(&self, size: Bytes) -> SimDuration {
+        if size == Bytes::ZERO {
+            return self.latency;
+        }
+        self.latency + SimDuration::from_secs_f64(size.as_f64() / self.peak.as_bytes_per_sec())
+            + SimDuration::from_secs_f64(
+                // The ramp term: fixed extra cost equivalent to moving the
+                // half-ramp size at peak, matching eff(size) asymptotics.
+                self.half_ramp.as_f64() / self.peak.as_bytes_per_sec(),
+            )
+    }
+}
+
+/// The bandwidth model covering all three transports plus auxiliary paths
+/// (host↔device copies, parallel filesystem, TCP side channel).
+///
+/// # Examples
+///
+/// ```
+/// use elan_topology::{BandwidthModel, Transport};
+/// use elan_sim::Bytes;
+///
+/// let bw = BandwidthModel::paper_default();
+/// let big = Bytes::from_mib(256);
+/// let p2p = bw.effective_bandwidth(Transport::P2p, big);
+/// let shm = bw.effective_bandwidth(Transport::Shm, big);
+/// let net = bw.effective_bandwidth(Transport::Net, big);
+/// // Fig. 8: P2P > SHM > NET at every size.
+/// assert!(p2p.as_bytes_per_sec() > shm.as_bytes_per_sec());
+/// assert!(shm.as_bytes_per_sec() > net.as_bytes_per_sec());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthModel {
+    p2p: TransportProfile,
+    shm: TransportProfile,
+    net: TransportProfile,
+    /// GPU ↔ host memory copy over PCIe (used by checkpoints and Litz).
+    pub host_device: TransportProfile,
+    /// Parallel filesystem (Lustre in the paper) for checkpoint IO.
+    pub filesystem: TransportProfile,
+    /// Plain TCP/web-socket side channel used for CPU-state replication.
+    pub side_channel: TransportProfile,
+}
+
+impl BandwidthModel {
+    /// Values calibrated to the paper's testbed: PCIe 3.0 GPUs, 56 Gb/s
+    /// InfiniBand, Lustre, 1000 Mb/s Ethernet side channel.
+    pub fn paper_default() -> Self {
+        BandwidthModel {
+            p2p: TransportProfile {
+                peak: Bandwidth::from_gbytes_per_sec(12.0),
+                latency: SimDuration::from_micros(10),
+                half_ramp: Bytes::from_kib(256),
+            },
+            shm: TransportProfile {
+                peak: Bandwidth::from_gbytes_per_sec(6.0),
+                latency: SimDuration::from_micros(25),
+                half_ramp: Bytes::from_kib(512),
+            },
+            net: TransportProfile {
+                // 56 Gb/s InfiniBand ≈ 7 GB/s raw; ~5 GB/s achievable.
+                peak: Bandwidth::from_gbytes_per_sec(5.0),
+                latency: SimDuration::from_micros(50),
+                half_ramp: Bytes::from_mib(1),
+            },
+            host_device: TransportProfile {
+                peak: Bandwidth::from_gbytes_per_sec(10.0),
+                latency: SimDuration::from_micros(15),
+                half_ramp: Bytes::from_kib(256),
+            },
+            filesystem: TransportProfile {
+                peak: Bandwidth::from_gbytes_per_sec(1.2),
+                latency: SimDuration::from_millis(5),
+                half_ramp: Bytes::from_mib(4),
+            },
+            side_channel: TransportProfile {
+                // 1000 Mb/s Ethernet ≈ 125 MB/s.
+                peak: Bandwidth::from_mbytes_per_sec(110.0),
+                latency: SimDuration::from_micros(200),
+                half_ramp: Bytes::from_kib(64),
+            },
+        }
+    }
+
+    /// The profile for a GPU↔GPU transport.
+    pub fn profile(&self, transport: Transport) -> &TransportProfile {
+        match transport {
+            Transport::P2p => &self.p2p,
+            Transport::Shm => &self.shm,
+            Transport::Net => &self.net,
+        }
+    }
+
+    /// Effective bandwidth of `transport` at message size `size`.
+    pub fn effective_bandwidth(&self, transport: Transport, size: Bytes) -> Bandwidth {
+        self.profile(transport).effective_bandwidth(size)
+    }
+
+    /// Wall time to move `size` bytes over `transport`.
+    pub fn transfer_time(&self, transport: Transport, size: Bytes) -> SimDuration {
+        self.profile(transport).transfer_time(size)
+    }
+
+    /// Overrides a transport profile (for what-if/ablation experiments).
+    pub fn with_profile(mut self, transport: Transport, profile: TransportProfile) -> Self {
+        match transport {
+            Transport::P2p => self.p2p = profile,
+            Transport::Shm => self.shm = profile,
+            Transport::Net => self.net = profile,
+        }
+        self
+    }
+}
+
+impl Default for BandwidthModel {
+    fn default() -> Self {
+        BandwidthModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_holds_across_sizes() {
+        let bw = BandwidthModel::paper_default();
+        for kib in [4u64, 64, 1024, 16 * 1024, 256 * 1024, 1024 * 1024] {
+            let size = Bytes::from_kib(kib);
+            let p = bw.effective_bandwidth(Transport::P2p, size).as_bytes_per_sec();
+            let s = bw.effective_bandwidth(Transport::Shm, size).as_bytes_per_sec();
+            let n = bw.effective_bandwidth(Transport::Net, size).as_bytes_per_sec();
+            assert!(p > s && s > n, "ordering broken at {size}");
+        }
+    }
+
+    #[test]
+    fn effective_bandwidth_grows_with_size() {
+        let bw = BandwidthModel::paper_default();
+        let small = bw.effective_bandwidth(Transport::P2p, Bytes::from_kib(4));
+        let large = bw.effective_bandwidth(Transport::P2p, Bytes::from_gib(1));
+        assert!(large.as_bytes_per_sec() > small.as_bytes_per_sec() * 10.0);
+    }
+
+    #[test]
+    fn effective_bandwidth_saturates_below_peak() {
+        let bw = BandwidthModel::paper_default();
+        let eff = bw.effective_bandwidth(Transport::Net, Bytes::from_gib(4));
+        let peak = bw.profile(Transport::Net).peak;
+        assert!(eff.as_bytes_per_sec() <= peak.as_bytes_per_sec());
+        assert!(eff.as_bytes_per_sec() > peak.as_bytes_per_sec() * 0.99);
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_size() {
+        let bw = BandwidthModel::paper_default();
+        let t1 = bw.transfer_time(Transport::Shm, Bytes::from_mib(10));
+        let t2 = bw.transfer_time(Transport::Shm, Bytes::from_mib(20));
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn zero_size_costs_latency_only() {
+        let bw = BandwidthModel::paper_default();
+        assert_eq!(
+            bw.transfer_time(Transport::Net, Bytes::ZERO),
+            bw.profile(Transport::Net).latency
+        );
+    }
+
+    #[test]
+    fn hundred_mib_over_p2p_is_subsecond() {
+        // Sanity anchor for Fig. 15's ~1s adjustments: ResNet-50-sized
+        // states move in well under a second over P2P.
+        let bw = BandwidthModel::paper_default();
+        let t = bw.transfer_time(Transport::P2p, Bytes::from_mib(100));
+        assert!(t.as_secs_f64() < 0.05, "got {t}");
+    }
+
+    #[test]
+    fn with_profile_overrides() {
+        let slow = TransportProfile {
+            peak: Bandwidth::from_mbytes_per_sec(1.0),
+            latency: SimDuration::from_millis(1),
+            half_ramp: Bytes::from_kib(1),
+        };
+        let bw = BandwidthModel::paper_default().with_profile(Transport::P2p, slow);
+        assert_eq!(bw.profile(Transport::P2p).peak, slow.peak);
+    }
+}

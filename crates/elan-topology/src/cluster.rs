@@ -1,0 +1,299 @@
+//! Cluster structure: nodes, sockets, PCIe switches, GPUs.
+//!
+//! [`ClusterSpec`] is the builder; [`Topology`] is the immutable result that
+//! answers placement and link-level queries.
+
+use std::fmt;
+
+use crate::link::LinkLevel;
+
+/// Identifies a GPU by its global index within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GpuId(pub u32);
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// Identifies a server node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// The physical coordinates of a GPU inside the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GpuLocation {
+    /// Which server node hosts the GPU.
+    pub node: NodeId,
+    /// Socket index within the node.
+    pub socket: u32,
+    /// PCIe switch index within the socket.
+    pub switch: u32,
+    /// GPU slot index under the switch.
+    pub slot: u32,
+}
+
+impl fmt::Display for GpuLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/socket{}/switch{}/slot{}",
+            self.node, self.socket, self.switch, self.slot
+        )
+    }
+}
+
+/// Builder describing a homogeneous cluster.
+///
+/// # Examples
+///
+/// ```
+/// use elan_topology::ClusterSpec;
+///
+/// // The paper's testbed: 8 servers, 8 GPUs each.
+/// let topo = ClusterSpec::paper_testbed().build();
+/// assert_eq!(topo.gpu_count(), 64);
+/// assert_eq!(topo.node_count(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterSpec {
+    nodes: u32,
+    sockets_per_node: u32,
+    switches_per_socket: u32,
+    gpus_per_switch: u32,
+}
+
+impl ClusterSpec {
+    /// Creates a spec with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        nodes: u32,
+        sockets_per_node: u32,
+        switches_per_socket: u32,
+        gpus_per_switch: u32,
+    ) -> Self {
+        assert!(
+            nodes > 0 && sockets_per_node > 0 && switches_per_socket > 0 && gpus_per_switch > 0,
+            "cluster dimensions must be positive"
+        );
+        ClusterSpec {
+            nodes,
+            sockets_per_node,
+            switches_per_socket,
+            gpus_per_switch,
+        }
+    }
+
+    /// The paper's evaluation testbed: 8 servers × 2 sockets × 2 PCIe
+    /// switches × 2 GPUs = 8 GeForce 1080Ti per server, 64 GPUs total.
+    pub fn paper_testbed() -> Self {
+        ClusterSpec::new(8, 2, 2, 2)
+    }
+
+    /// A single 8-GPU server, for small experiments.
+    pub fn single_node() -> Self {
+        ClusterSpec::new(1, 2, 2, 2)
+    }
+
+    /// Overrides the number of nodes.
+    pub fn with_nodes(mut self, nodes: u32) -> Self {
+        assert!(nodes > 0, "cluster dimensions must be positive");
+        self.nodes = nodes;
+        self
+    }
+
+    /// Builds the immutable topology.
+    pub fn build(self) -> Topology {
+        Topology { spec: self }
+    }
+}
+
+/// An immutable cluster topology answering placement and link queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    spec: ClusterSpec,
+}
+
+impl Topology {
+    /// Total GPUs in the cluster.
+    pub fn gpu_count(&self) -> u32 {
+        self.spec.nodes * self.gpus_per_node()
+    }
+
+    /// GPUs hosted by each node.
+    pub fn gpus_per_node(&self) -> u32 {
+        self.spec.sockets_per_node * self.spec.switches_per_socket * self.spec.gpus_per_switch
+    }
+
+    /// Number of server nodes.
+    pub fn node_count(&self) -> u32 {
+        self.spec.nodes
+    }
+
+    /// Sockets per node.
+    pub fn sockets_per_node(&self) -> u32 {
+        self.spec.sockets_per_node
+    }
+
+    /// Iterator over every GPU id in the cluster, in index order.
+    pub fn gpus(&self) -> impl Iterator<Item = GpuId> {
+        (0..self.gpu_count()).map(GpuId)
+    }
+
+    /// True if `gpu` exists in this cluster.
+    pub fn contains(&self, gpu: GpuId) -> bool {
+        gpu.0 < self.gpu_count()
+    }
+
+    /// Decomposes a GPU id into its physical coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu` is out of range for this cluster.
+    pub fn locate(&self, gpu: GpuId) -> GpuLocation {
+        assert!(
+            self.contains(gpu),
+            "{gpu} out of range for a {}-GPU cluster",
+            self.gpu_count()
+        );
+        let per_node = self.gpus_per_node();
+        let per_socket = self.spec.switches_per_socket * self.spec.gpus_per_switch;
+        let per_switch = self.spec.gpus_per_switch;
+        let node = gpu.0 / per_node;
+        let in_node = gpu.0 % per_node;
+        GpuLocation {
+            node: NodeId(node),
+            socket: in_node / per_socket,
+            switch: (in_node % per_socket) / per_switch,
+            slot: in_node % per_switch,
+        }
+    }
+
+    /// The GPU id at the given coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn gpu_at(&self, node: NodeId, socket: u32, switch: u32, slot: u32) -> GpuId {
+        assert!(node.0 < self.spec.nodes, "node out of range");
+        assert!(socket < self.spec.sockets_per_node, "socket out of range");
+        assert!(switch < self.spec.switches_per_socket, "switch out of range");
+        assert!(slot < self.spec.gpus_per_switch, "slot out of range");
+        let per_node = self.gpus_per_node();
+        let per_socket = self.spec.switches_per_socket * self.spec.gpus_per_switch;
+        let per_switch = self.spec.gpus_per_switch;
+        GpuId(node.0 * per_node + socket * per_socket + switch * per_switch + slot)
+    }
+
+    /// Classifies the link between two GPUs into the paper's levels L1–L4.
+    ///
+    /// Two identical ids are defined to be L1 (no transfer needed in
+    /// practice; callers should special-case if relevant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either GPU is out of range.
+    pub fn link_level(&self, a: GpuId, b: GpuId) -> LinkLevel {
+        let la = self.locate(a);
+        let lb = self.locate(b);
+        if la.node != lb.node {
+            LinkLevel::L4
+        } else if la.socket != lb.socket {
+            LinkLevel::L3
+        } else if la.switch != lb.switch {
+            LinkLevel::L2
+        } else {
+            LinkLevel::L1
+        }
+    }
+
+    /// The node hosting a GPU.
+    pub fn node_of(&self, gpu: GpuId) -> NodeId {
+        self.locate(gpu).node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let t = ClusterSpec::paper_testbed().build();
+        assert_eq!(t.gpu_count(), 64);
+        assert_eq!(t.gpus_per_node(), 8);
+        assert_eq!(t.node_count(), 8);
+    }
+
+    #[test]
+    fn locate_roundtrips_with_gpu_at() {
+        let t = ClusterSpec::new(3, 2, 2, 2).build();
+        for gpu in t.gpus() {
+            let loc = t.locate(gpu);
+            assert_eq!(t.gpu_at(loc.node, loc.socket, loc.switch, loc.slot), gpu);
+        }
+    }
+
+    #[test]
+    fn link_levels_follow_hierarchy() {
+        let t = ClusterSpec::new(2, 2, 2, 2).build();
+        // gpu0 & gpu1: same switch -> L1
+        assert_eq!(t.link_level(GpuId(0), GpuId(1)), LinkLevel::L1);
+        // gpu0 & gpu2: same socket, different switch -> L2
+        assert_eq!(t.link_level(GpuId(0), GpuId(2)), LinkLevel::L2);
+        // gpu0 & gpu4: same node, different socket -> L3
+        assert_eq!(t.link_level(GpuId(0), GpuId(4)), LinkLevel::L3);
+        // gpu0 & gpu8: different node -> L4
+        assert_eq!(t.link_level(GpuId(0), GpuId(8)), LinkLevel::L4);
+    }
+
+    #[test]
+    fn link_level_is_symmetric() {
+        let t = ClusterSpec::paper_testbed().build();
+        for a in [0u32, 3, 17, 45] {
+            for b in [1u32, 8, 33, 63] {
+                assert_eq!(
+                    t.link_level(GpuId(a), GpuId(b)),
+                    t.link_level(GpuId(b), GpuId(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_rejects_unknown_gpu() {
+        let t = ClusterSpec::single_node().build();
+        let _ = t.locate(GpuId(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = ClusterSpec::new(0, 2, 2, 2);
+    }
+
+    #[test]
+    fn with_nodes_scales_cluster() {
+        let t = ClusterSpec::single_node().with_nodes(4).build();
+        assert_eq!(t.gpu_count(), 32);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = ClusterSpec::paper_testbed().build();
+        let loc = t.locate(GpuId(13));
+        assert_eq!(loc.to_string(), "node1/socket1/switch0/slot1");
+        assert_eq!(GpuId(13).to_string(), "gpu13");
+    }
+}

@@ -1,0 +1,102 @@
+//! Link levels and transports (Fig. 9 of the paper).
+
+use std::fmt;
+
+/// The four typical levels of links between two GPUs (§IV-2).
+///
+/// Ordering is by "distance": `L1 < L2 < L3 < L4`, so `min_by_key` on a link
+/// level picks the nearest neighbor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LinkLevel {
+    /// Traverses only PCIe switches (same PCIe switch).
+    L1,
+    /// Traverses a PCIe host bridge (same socket, different switch).
+    L2,
+    /// Traverses a socket-level link such as QPI (same node, cross-socket).
+    L3,
+    /// Traverses the network (different nodes).
+    L4,
+}
+
+impl LinkLevel {
+    /// The best transport available on this link level: P2P is only enabled
+    /// on L1; L2 and L3 use CPU shared memory; the network is the only way
+    /// across nodes.
+    pub fn transport(self) -> Transport {
+        match self {
+            LinkLevel::L1 => Transport::P2p,
+            LinkLevel::L2 | LinkLevel::L3 => Transport::Shm,
+            LinkLevel::L4 => Transport::Net,
+        }
+    }
+
+    /// All levels, nearest first.
+    pub const ALL: [LinkLevel; 4] = [LinkLevel::L1, LinkLevel::L2, LinkLevel::L3, LinkLevel::L4];
+}
+
+impl fmt::Display for LinkLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LinkLevel::L1 => "L1",
+            LinkLevel::L2 => "L2",
+            LinkLevel::L3 => "L3",
+            LinkLevel::L4 => "L4",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The three ways to communicate between PCIe-interconnected GPUs (§IV-2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Transport {
+    /// Peer-to-peer GPU memory access over PCIe — the fastest.
+    P2p,
+    /// CPU shared memory as a bridge.
+    Shm,
+    /// The network (InfiniBand with RDMA in the paper's testbed).
+    Net,
+}
+
+impl fmt::Display for Transport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Transport::P2p => "P2P",
+            Transport::Shm => "SHM",
+            Transport::Net => "NET",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_mapping_follows_paper() {
+        assert_eq!(LinkLevel::L1.transport(), Transport::P2p);
+        assert_eq!(LinkLevel::L2.transport(), Transport::Shm);
+        assert_eq!(LinkLevel::L3.transport(), Transport::Shm);
+        assert_eq!(LinkLevel::L4.transport(), Transport::Net);
+    }
+
+    #[test]
+    fn nearer_levels_order_first() {
+        assert!(LinkLevel::L1 < LinkLevel::L2);
+        assert!(LinkLevel::L2 < LinkLevel::L3);
+        assert!(LinkLevel::L3 < LinkLevel::L4);
+    }
+
+    #[test]
+    fn transports_order_by_preference() {
+        // P2P > SHM > NET in bandwidth; Ord is by enum position (preference).
+        assert!(Transport::P2p < Transport::Shm);
+        assert!(Transport::Shm < Transport::Net);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LinkLevel::L3.to_string(), "L3");
+        assert_eq!(Transport::Shm.to_string(), "SHM");
+    }
+}

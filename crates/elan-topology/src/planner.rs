@@ -1,0 +1,436 @@
+//! Concurrent IO-free replication planning (§IV-3).
+//!
+//! Given the set of existing workers (each holding an identical copy of the
+//! training state, a property of data-parallel training) and the set of
+//! newly added workers, the planner:
+//!
+//! 1. picks for every new worker the **nearest** existing worker as its
+//!    replication source — nearest by link level (P2P > SHM > NET), with
+//!    load-balancing across equally-near sources so transfers spread out;
+//! 2. groups transfers into **waves**: transfers within a wave proceed
+//!    concurrently, waves execute in turn. Two transfers conflict (must be
+//!    in different waves) if they share a source GPU, a destination GPU,
+//!    both traverse the same node's socket-level (QPI) link, or both cross
+//!    the same node's NIC.
+//!
+//! The resulting [`ReplicationPlan`] can report its wall-clock duration
+//! under a [`BandwidthModel`], with CPU-state replication overlapped with
+//! GPU-state replication as in §IV-3.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use elan_sim::{Bytes, SimDuration};
+
+use crate::bandwidth::BandwidthModel;
+use crate::cluster::{GpuId, Topology};
+use crate::link::{LinkLevel, Transport};
+
+/// A single state transfer from an existing worker to a new worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Source GPU (an existing worker holding the full state).
+    pub src: GpuId,
+    /// Destination GPU (a joining worker).
+    pub dst: GpuId,
+    /// Link classification between the pair.
+    pub level: LinkLevel,
+    /// Transport used (derived from the level).
+    pub transport: Transport,
+}
+
+/// Errors from [`ReplicationPlanner::plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// There is no existing worker to copy state from.
+    NoSource,
+    /// A GPU id is not part of the topology.
+    UnknownGpu(GpuId),
+    /// A destination is already an existing worker (it has the state).
+    AlreadyMember(GpuId),
+    /// The same GPU appears twice among the joining workers.
+    DuplicateDestination(GpuId),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoSource => write!(f, "no existing worker to replicate from"),
+            PlanError::UnknownGpu(g) => write!(f, "{g} is not part of the cluster"),
+            PlanError::AlreadyMember(g) => {
+                write!(f, "{g} already holds the training state")
+            }
+            PlanError::DuplicateDestination(g) => {
+                write!(f, "{g} listed twice among joining workers")
+            }
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+/// Plans topology-aware concurrent state replication.
+///
+/// # Examples
+///
+/// ```
+/// use elan_topology::{ClusterSpec, GpuId, ReplicationPlanner, Transport};
+///
+/// let topo = ClusterSpec::paper_testbed().build();
+/// let planner = ReplicationPlanner::new(&topo);
+/// // New worker on the same switch as an existing one -> P2P.
+/// let plan = planner.plan(&[GpuId(0)], &[GpuId(1)])?;
+/// assert_eq!(plan.transfers()[0].transport, Transport::P2p);
+/// # Ok::<(), elan_topology::PlanError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicationPlanner<'a> {
+    topology: &'a Topology,
+}
+
+impl<'a> ReplicationPlanner<'a> {
+    /// Creates a planner over `topology`.
+    pub fn new(topology: &'a Topology) -> Self {
+        ReplicationPlanner { topology }
+    }
+
+    /// Plans replication of the training state from `existing` workers to
+    /// every worker in `joining`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if `existing` is empty, any id is outside the
+    /// topology, a joining worker already holds state, or a joining worker
+    /// is listed twice.
+    pub fn plan(&self, existing: &[GpuId], joining: &[GpuId]) -> Result<ReplicationPlan, PlanError> {
+        if existing.is_empty() {
+            return Err(PlanError::NoSource);
+        }
+        for &g in existing.iter().chain(joining) {
+            if !self.topology.contains(g) {
+                return Err(PlanError::UnknownGpu(g));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &d in joining {
+            if existing.contains(&d) {
+                return Err(PlanError::AlreadyMember(d));
+            }
+            if !seen.insert(d) {
+                return Err(PlanError::DuplicateDestination(d));
+            }
+        }
+
+        // 1. Nearest-neighbor source selection with load balancing.
+        let mut load: HashMap<GpuId, u32> = HashMap::new();
+        let mut sorted_existing = existing.to_vec();
+        sorted_existing.sort_unstable();
+        let mut sorted_joining = joining.to_vec();
+        sorted_joining.sort_unstable();
+
+        let mut transfers = Vec::with_capacity(sorted_joining.len());
+        for &dst in &sorted_joining {
+            let &src = sorted_existing
+                .iter()
+                .min_by_key(|&&src| {
+                    (
+                        self.topology.link_level(src, dst),
+                        *load.get(&src).unwrap_or(&0),
+                        src,
+                    )
+                })
+                .expect("existing is non-empty");
+            *load.entry(src).or_insert(0) += 1;
+            let level = self.topology.link_level(src, dst);
+            transfers.push(Transfer {
+                src,
+                dst,
+                level,
+                transport: level.transport(),
+            });
+        }
+
+        // 2. Greedy wave construction: first-fit into the earliest wave with
+        // no conflicting transfer.
+        let mut waves: Vec<Vec<usize>> = Vec::new();
+        for (i, t) in transfers.iter().enumerate() {
+            let slot = waves.iter().position(|wave| {
+                wave.iter()
+                    .all(|&j| !conflicts(self.topology, t, &transfers[j]))
+            });
+            match slot {
+                Some(w) => waves[w].push(i),
+                None => waves.push(vec![i]),
+            }
+        }
+
+        Ok(ReplicationPlan { transfers, waves })
+    }
+}
+
+/// True if two transfers cannot proceed concurrently.
+fn conflicts(topology: &Topology, a: &Transfer, b: &Transfer) -> bool {
+    if a.src == b.src || a.dst == b.dst || a.src == b.dst || a.dst == b.src {
+        return true;
+    }
+    // Socket-level (QPI) links carry at most one replication at a time per
+    // node (§IV-3: "typically when replications traverse L3 ... we perform
+    // them in turn").
+    if a.level == LinkLevel::L3 && b.level == LinkLevel::L3 {
+        let node_a = topology.node_of(a.src);
+        let node_b = topology.node_of(b.src);
+        if node_a == node_b {
+            return true;
+        }
+    }
+    // A node's NIC carries one replication direction at a time.
+    if a.level == LinkLevel::L4 && b.level == LinkLevel::L4 {
+        let (a_out, a_in) = (topology.node_of(a.src), topology.node_of(a.dst));
+        let (b_out, b_in) = (topology.node_of(b.src), topology.node_of(b.dst));
+        if a_out == b_out || a_in == b_in {
+            return true;
+        }
+    }
+    false
+}
+
+/// The output of planning: transfers plus their concurrency structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationPlan {
+    transfers: Vec<Transfer>,
+    waves: Vec<Vec<usize>>,
+}
+
+impl ReplicationPlan {
+    /// All planned transfers, sorted by destination GPU.
+    pub fn transfers(&self) -> &[Transfer] {
+        &self.transfers
+    }
+
+    /// Indices into [`transfers`](Self::transfers) grouped by wave; waves
+    /// run sequentially, members of a wave run concurrently.
+    pub fn waves(&self) -> &[Vec<usize>] {
+        &self.waves
+    }
+
+    /// True when nothing needs replicating (no joining workers).
+    pub fn is_empty(&self) -> bool {
+        self.transfers.is_empty()
+    }
+
+    /// Wall-clock duration of the GPU-state replication: per wave the
+    /// longest member, summed across waves.
+    pub fn gpu_duration(&self, bw: &BandwidthModel, gpu_state: Bytes) -> SimDuration {
+        self.waves
+            .iter()
+            .map(|wave| {
+                wave.iter()
+                    .map(|&i| bw.transfer_time(self.transfers[i].transport, gpu_state))
+                    .fold(SimDuration::ZERO, SimDuration::max)
+            })
+            .sum()
+    }
+
+    /// Wall-clock duration of the CPU-state replication over the TCP side
+    /// channel; all destinations stream concurrently from their sources, so
+    /// the duration is a single transfer time (per §IV-3 CPU states are
+    /// small and fully overlapped).
+    pub fn cpu_duration(&self, bw: &BandwidthModel, cpu_state: Bytes) -> SimDuration {
+        if self.transfers.is_empty() {
+            return SimDuration::ZERO;
+        }
+        bw.side_channel.transfer_time(cpu_state)
+    }
+
+    /// Total replication time: GPU and CPU replication overlap, so the
+    /// total is the maximum of the two.
+    pub fn duration(&self, bw: &BandwidthModel, gpu_state: Bytes, cpu_state: Bytes) -> SimDuration {
+        if self.transfers.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.gpu_duration(bw, gpu_state)
+            .max(self.cpu_duration(bw, cpu_state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterSpec, NodeId};
+
+    fn topo() -> Topology {
+        ClusterSpec::paper_testbed().build()
+    }
+
+    #[test]
+    fn nearest_source_prefers_p2p() {
+        let t = topo();
+        // Existing worker on gpu0; candidates gpu1 (L1), gpu2 (L2), gpu8 (L4).
+        let plan = ReplicationPlanner::new(&t)
+            .plan(&[GpuId(0), GpuId(4)], &[GpuId(1)])
+            .unwrap();
+        assert_eq!(plan.transfers()[0].src, GpuId(0));
+        assert_eq!(plan.transfers()[0].transport, Transport::P2p);
+    }
+
+    #[test]
+    fn paper_figure9_example() {
+        // Fig. 9: existing A,B (same switch), C (other socket, same node),
+        // D (different node). New E close to C under the same socket, F
+        // close to D under the same node. Expect E<-C and F<-D in parallel.
+        let t = topo();
+        let (a, b) = (t.gpu_at(NodeId(0), 0, 0, 0), t.gpu_at(NodeId(0), 0, 0, 1));
+        let c = t.gpu_at(NodeId(0), 1, 0, 0);
+        let d = t.gpu_at(NodeId(1), 0, 0, 0);
+        let e = t.gpu_at(NodeId(0), 1, 0, 1); // same switch as C
+        let f = t.gpu_at(NodeId(1), 0, 1, 0); // same socket as D
+        let plan = ReplicationPlanner::new(&t)
+            .plan(&[a, b, c, d], &[e, f])
+            .unwrap();
+        let by_dst: HashMap<GpuId, GpuId> =
+            plan.transfers().iter().map(|t| (t.dst, t.src)).collect();
+        assert_eq!(by_dst[&e], c);
+        assert_eq!(by_dst[&f], d);
+        // Both transfers proceed concurrently (one wave).
+        assert_eq!(plan.waves().len(), 1);
+        assert_eq!(plan.waves()[0].len(), 2);
+    }
+
+    #[test]
+    fn shared_source_serializes() {
+        let t = topo();
+        // Only one existing worker: both new workers must copy from it, in turn.
+        let plan = ReplicationPlanner::new(&t)
+            .plan(&[GpuId(0)], &[GpuId(1), GpuId(2)])
+            .unwrap();
+        assert_eq!(plan.waves().len(), 2);
+    }
+
+    #[test]
+    fn load_balances_across_equal_sources() {
+        let t = topo();
+        // Two existing on the same switch; two new on that switch's level.
+        let plan = ReplicationPlanner::new(&t)
+            .plan(&[GpuId(0), GpuId(2)], &[GpuId(1), GpuId(3)])
+            .unwrap();
+        let srcs: Vec<GpuId> = plan.transfers().iter().map(|t| t.src).collect();
+        assert!(srcs.contains(&GpuId(0)) && srcs.contains(&GpuId(2)));
+        assert_eq!(plan.waves().len(), 1);
+    }
+
+    #[test]
+    fn l3_transfers_on_same_node_serialize() {
+        let t = topo();
+        // Existing on socket0 of node0 (gpus 0,1); new on socket1 (gpus 4,5):
+        // both transfers cross the QPI link of node0 -> serialized.
+        let plan = ReplicationPlanner::new(&t)
+            .plan(&[GpuId(0), GpuId(1)], &[GpuId(4), GpuId(5)])
+            .unwrap();
+        assert!(plan.transfers().iter().all(|t| t.level == LinkLevel::L3));
+        assert_eq!(plan.waves().len(), 2);
+    }
+
+    #[test]
+    fn nic_contention_serializes_outbound() {
+        let t = topo();
+        // One existing node (node0) feeding two new nodes: both transfers
+        // leave through node0's NIC -> serialized.
+        let src0 = t.gpu_at(NodeId(0), 0, 0, 0);
+        let src1 = t.gpu_at(NodeId(0), 0, 0, 1);
+        let d1 = t.gpu_at(NodeId(1), 0, 0, 0);
+        let d2 = t.gpu_at(NodeId(2), 0, 0, 0);
+        let plan = ReplicationPlanner::new(&t)
+            .plan(&[src0, src1], &[d1, d2])
+            .unwrap();
+        assert!(plan.transfers().iter().all(|t| t.level == LinkLevel::L4));
+        assert_eq!(plan.waves().len(), 2);
+    }
+
+    #[test]
+    fn different_nodes_replicate_concurrently() {
+        let t = topo();
+        // Existing worker on each of node0/node1, new worker beside each:
+        // two independent P2P transfers, one wave.
+        let plan = ReplicationPlanner::new(&t)
+            .plan(
+                &[t.gpu_at(NodeId(0), 0, 0, 0), t.gpu_at(NodeId(1), 0, 0, 0)],
+                &[t.gpu_at(NodeId(0), 0, 0, 1), t.gpu_at(NodeId(1), 0, 0, 1)],
+            )
+            .unwrap();
+        assert_eq!(plan.waves().len(), 1);
+    }
+
+    #[test]
+    fn duration_overlaps_cpu_and_gpu() {
+        let t = topo();
+        let bw = BandwidthModel::paper_default();
+        let plan = ReplicationPlanner::new(&t)
+            .plan(&[GpuId(0)], &[GpuId(1)])
+            .unwrap();
+        let gpu = Bytes::from_mib(100);
+        let cpu = Bytes::from_kib(16);
+        let total = plan.duration(&bw, gpu, cpu);
+        assert_eq!(total, plan.gpu_duration(&bw, gpu).max(plan.cpu_duration(&bw, cpu)));
+        // CPU state is small: it must hide entirely under the GPU transfer.
+        assert_eq!(total, plan.gpu_duration(&bw, gpu));
+    }
+
+    #[test]
+    fn empty_join_is_empty_plan() {
+        let t = topo();
+        let plan = ReplicationPlanner::new(&t).plan(&[GpuId(0)], &[]).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(
+            plan.duration(&BandwidthModel::paper_default(), Bytes::from_mib(1), Bytes::ZERO),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        let t = topo();
+        let p = ReplicationPlanner::new(&t);
+        assert_eq!(p.plan(&[], &[GpuId(1)]), Err(PlanError::NoSource));
+        assert_eq!(
+            p.plan(&[GpuId(0)], &[GpuId(999)]),
+            Err(PlanError::UnknownGpu(GpuId(999)))
+        );
+        assert_eq!(
+            p.plan(&[GpuId(0)], &[GpuId(0)]),
+            Err(PlanError::AlreadyMember(GpuId(0)))
+        );
+        assert_eq!(
+            p.plan(&[GpuId(0)], &[GpuId(1), GpuId(1)]),
+            Err(PlanError::DuplicateDestination(GpuId(1)))
+        );
+    }
+
+    #[test]
+    fn plan_is_deterministic_regardless_of_input_order() {
+        let t = topo();
+        let p = ReplicationPlanner::new(&t);
+        let a = p
+            .plan(&[GpuId(0), GpuId(9)], &[GpuId(1), GpuId(8), GpuId(2)])
+            .unwrap();
+        let b = p
+            .plan(&[GpuId(9), GpuId(0)], &[GpuId(2), GpuId(1), GpuId(8)])
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_destination_served_exactly_once() {
+        let t = topo();
+        let joining: Vec<GpuId> = (8..24).map(GpuId).collect();
+        let existing: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let plan = ReplicationPlanner::new(&t).plan(&existing, &joining).unwrap();
+        let mut dsts: Vec<GpuId> = plan.transfers().iter().map(|t| t.dst).collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, joining);
+        // Every transfer appears in exactly one wave.
+        let mut covered: Vec<usize> = plan.waves().iter().flatten().copied().collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..plan.transfers().len()).collect::<Vec<_>>());
+    }
+}

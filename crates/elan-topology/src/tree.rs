@@ -1,0 +1,232 @@
+//! The topology tree of §IV-3.
+//!
+//! "We construct a topology tree of all workers, and select the nearest
+//! neighbor in the existing workers to replicate states." This module
+//! materializes that tree explicitly: cluster → nodes → sockets → PCIe
+//! switches → GPUs, with lowest-common-ancestor queries that define the
+//! link levels and a renderer used in diagnostics.
+
+use std::fmt::Write as _;
+
+use crate::cluster::{GpuId, Topology};
+use crate::link::LinkLevel;
+
+/// A node in the topology tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeNode {
+    /// The cluster root.
+    Cluster {
+        /// Child server nodes.
+        nodes: Vec<TreeNode>,
+    },
+    /// A server.
+    Node {
+        /// Server index.
+        index: u32,
+        /// Child CPU sockets.
+        sockets: Vec<TreeNode>,
+    },
+    /// A CPU socket.
+    Socket {
+        /// Socket index within the server.
+        index: u32,
+        /// Child PCIe switches.
+        switches: Vec<TreeNode>,
+    },
+    /// A PCIe switch.
+    Switch {
+        /// Switch index within the socket.
+        index: u32,
+        /// GPUs under the switch.
+        gpus: Vec<GpuId>,
+    },
+}
+
+/// An explicit topology tree built from a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyTree {
+    root: TreeNode,
+    topology: Topology,
+}
+
+impl TopologyTree {
+    /// Builds the tree for `topology`.
+    pub fn build(topology: &Topology) -> Self {
+        let mut nodes = Vec::new();
+        for n in 0..topology.node_count() {
+            let mut sockets = Vec::new();
+            for s in 0..topology.sockets_per_node() {
+                let mut switches = Vec::new();
+                let mut sw = 0;
+                loop {
+                    // Probe switch existence via gpu_at panics — instead
+                    // derive counts from the first GPU's coordinates.
+                    let mut gpus = Vec::new();
+                    let mut slot = 0;
+                    loop {
+                        let candidate = (0..topology.gpu_count()).map(GpuId).find(|&g| {
+                            let loc = topology.locate(g);
+                            loc.node.0 == n
+                                && loc.socket == s
+                                && loc.switch == sw
+                                && loc.slot == slot
+                        });
+                        match candidate {
+                            Some(g) => gpus.push(g),
+                            None => break,
+                        }
+                        slot += 1;
+                    }
+                    if gpus.is_empty() {
+                        break;
+                    }
+                    switches.push(TreeNode::Switch { index: sw, gpus });
+                    sw += 1;
+                }
+                sockets.push(TreeNode::Socket {
+                    index: s,
+                    switches,
+                });
+            }
+            nodes.push(TreeNode::Node { index: n, sockets });
+        }
+        TopologyTree {
+            root: TreeNode::Cluster { nodes },
+            topology: *topology,
+        }
+    }
+
+    /// The root of the tree.
+    pub fn root(&self) -> &TreeNode {
+        &self.root
+    }
+
+    /// The depth of the lowest common ancestor of two GPUs: 3 = same
+    /// switch, 2 = same socket, 1 = same node, 0 = cluster root. This is
+    /// the inverse of the link level.
+    pub fn lca_depth(&self, a: GpuId, b: GpuId) -> u32 {
+        match self.topology.link_level(a, b) {
+            LinkLevel::L1 => 3,
+            LinkLevel::L2 => 2,
+            LinkLevel::L3 => 1,
+            LinkLevel::L4 => 0,
+        }
+    }
+
+    /// The nearest GPUs to `target` among `candidates` (all candidates at
+    /// the minimal link level), in id order.
+    pub fn nearest<'a>(
+        &self,
+        target: GpuId,
+        candidates: impl IntoIterator<Item = &'a GpuId>,
+    ) -> Vec<GpuId> {
+        let candidates: Vec<GpuId> = candidates.into_iter().copied().collect();
+        let Some(best) = candidates
+            .iter()
+            .map(|&c| self.topology.link_level(c, target))
+            .min()
+        else {
+            return Vec::new();
+        };
+        let mut out: Vec<GpuId> = candidates
+            .into_iter()
+            .filter(|&c| self.topology.link_level(c, target) == best)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Renders the tree as indented text (diagnostics, `repro fig9`).
+    pub fn render(&self) -> String {
+        let mut out = String::from("cluster\n");
+        let TreeNode::Cluster { nodes } = &self.root else {
+            unreachable!("root is always a cluster");
+        };
+        for node in nodes {
+            let TreeNode::Node { index, sockets } = node else {
+                continue;
+            };
+            let _ = writeln!(out, "└─ node{index}");
+            for socket in sockets {
+                let TreeNode::Socket { index, switches } = socket else {
+                    continue;
+                };
+                let _ = writeln!(out, "   └─ socket{index}");
+                for switch in switches {
+                    let TreeNode::Switch { index, gpus } = switch else {
+                        continue;
+                    };
+                    let names: Vec<String> = gpus.iter().map(|g| g.to_string()).collect();
+                    let _ = writeln!(out, "      └─ switch{index}: {}", names.join(", "));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+
+    #[test]
+    fn tree_covers_every_gpu_once() {
+        let topo = ClusterSpec::paper_testbed().build();
+        let tree = TopologyTree::build(&topo);
+        let mut seen = Vec::new();
+        let TreeNode::Cluster { nodes } = tree.root() else {
+            panic!("bad root")
+        };
+        for n in nodes {
+            let TreeNode::Node { sockets, .. } = n else { panic!() };
+            for s in sockets {
+                let TreeNode::Socket { switches, .. } = s else { panic!() };
+                for sw in switches {
+                    let TreeNode::Switch { gpus, .. } = sw else { panic!() };
+                    seen.extend(gpus.iter().copied());
+                }
+            }
+        }
+        seen.sort_unstable();
+        let expect: Vec<GpuId> = topo.gpus().collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn lca_depth_inverts_link_level() {
+        let topo = ClusterSpec::paper_testbed().build();
+        let tree = TopologyTree::build(&topo);
+        assert_eq!(tree.lca_depth(GpuId(0), GpuId(1)), 3); // same switch
+        assert_eq!(tree.lca_depth(GpuId(0), GpuId(2)), 2); // same socket
+        assert_eq!(tree.lca_depth(GpuId(0), GpuId(4)), 1); // same node
+        assert_eq!(tree.lca_depth(GpuId(0), GpuId(8)), 0); // cross node
+    }
+
+    #[test]
+    fn nearest_returns_all_at_best_level() {
+        let topo = ClusterSpec::paper_testbed().build();
+        let tree = TopologyTree::build(&topo);
+        let candidates = [GpuId(1), GpuId(2), GpuId(3), GpuId(8)];
+        // For gpu0: gpu1 is L1; gpus 2,3 are L2; gpu8 is L4.
+        assert_eq!(tree.nearest(GpuId(0), &candidates), vec![GpuId(1)]);
+        let no_l1 = [GpuId(2), GpuId(3), GpuId(8)];
+        assert_eq!(tree.nearest(GpuId(0), &no_l1), vec![GpuId(2), GpuId(3)]);
+    }
+
+    #[test]
+    fn nearest_of_empty_is_empty() {
+        let topo = ClusterSpec::single_node().build();
+        let tree = TopologyTree::build(&topo);
+        assert!(tree.nearest(GpuId(0), &[]).is_empty());
+    }
+
+    #[test]
+    fn render_shows_hierarchy() {
+        let topo = ClusterSpec::new(1, 1, 2, 2).build();
+        let tree = TopologyTree::build(&topo);
+        let s = tree.render();
+        assert!(s.contains("node0"));
+        assert!(s.contains("switch1: gpu2, gpu3"));
+    }
+}

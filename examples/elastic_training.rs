@@ -1,0 +1,62 @@
+//! Elastic training of ResNet-50 on ImageNet with dynamic batch sizes —
+//! the §VI-B experiment (Figs. 18/19, Table IV).
+//!
+//! ```sh
+//! cargo run --example elastic_training
+//! ```
+
+use elan::core::job::{resnet50_configs, run_elastic_training, ElasticRunConfig};
+use elan::core::ElanSystem;
+use elan::models::convergence::ScalingRule;
+use elan::models::{perf::PerfModel, zoo, AccuracyModel};
+use elan::topology::{BandwidthModel, ClusterSpec};
+
+fn main() {
+    let topology = ClusterSpec::paper_testbed().build();
+    let bandwidth = BandwidthModel::paper_default();
+    let perf = PerfModel::paper_default();
+    let model = zoo::resnet50();
+    let accuracy = AccuracyModel::resnet50_imagenet();
+    let system = ElanSystem::new();
+
+    let configs = [
+        ("512 (16)          ", resnet50_configs::static_512_16()),
+        ("512-2048 (Elastic)", resnet50_configs::elastic_512_2048()),
+        ("512-2048 (64)     ", resnet50_configs::fixed64_512_2048()),
+    ];
+
+    println!("AdaBatch ResNet-50/ImageNet, 90 epochs, batch doubling at 30/60\n");
+    let mut static_time = None;
+    for (name, phases) in configs {
+        let result = run_elastic_training(&ElasticRunConfig {
+            model: &model,
+            perf: &perf,
+            accuracy: &accuracy,
+            rule: ScalingRule::ProgressiveLinear { ramp_iters: 100 },
+            phases,
+            total_epochs: 90,
+            topology: &topology,
+            bandwidth: &bandwidth,
+            system: &system,
+            coordination_interval: 10,
+            seed: 42,
+        });
+        let t75 = result.time_to_accuracy(0.75).expect("reaches 75% top-1");
+        if static_time.is_none() {
+            static_time = Some(t75);
+        }
+        let speedup = static_time.expect("set above").as_secs_f64() / t75.as_secs_f64();
+        println!(
+            "{name}  final {:.2}%  total {:>7.0}s  time-to-75% {:>7.0}s  \
+             speedup {speedup:.2}x  adjustments {}",
+            result.final_accuracy * 100.0,
+            result.total_time().as_secs_f64(),
+            t75.as_secs_f64(),
+            result.adjustments.len(),
+        );
+    }
+    println!(
+        "\n(paper: elastic reaches targets ~20% faster; dynamic batches on \
+         fixed resources barely gain; accuracy within 0.02pt)"
+    );
+}

@@ -1,0 +1,62 @@
+//! The live multi-threaded runtime: real worker threads scale out, in,
+//! and migrate without ever restarting — state replicated by real memcpy
+//! along the topology planner's sources.
+//!
+//! ```sh
+//! cargo run --example live_runtime
+//! ```
+
+use elan::rt::{ElasticRuntime, RuntimeConfig};
+
+fn main() {
+    let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+    println!("started with {:?}", rt.members());
+
+    rt.run_until_iteration(20);
+    println!("iteration 20 reached; scaling out by 2...");
+    rt.scale_out(2);
+    println!("members now {:?}", rt.members());
+
+    rt.run_until_iteration(40);
+    println!("iteration 40; scaling in by 1...");
+    rt.scale_in(1);
+    println!("members now {:?}", rt.members());
+
+    rt.run_until_iteration(60);
+    println!("iteration 60; migrating to fresh workers...");
+    rt.migrate();
+    println!("members now {:?}", rt.members());
+
+    rt.run_until_iteration(80);
+
+    // The live S&R path, for contrast: checkpoint, stop, restore.
+    let snapshot = rt.checkpoint();
+    println!(
+        "\ncheckpoint taken at iteration {} ({} params)",
+        snapshot.iteration,
+        snapshot.params.len()
+    );
+    let report = rt.shutdown();
+    println!(
+        "shutdown: {} workers, {} adjustments, states consistent: {}",
+        report.final_world_size,
+        report.adjustments,
+        report.states_consistent()
+    );
+    for (id, view) in &report.workers {
+        println!(
+            "  {id}: iter {:>3}  cursor {:>6}  checksum {:#018x}  stalled {:>9?}  alive {}",
+            view.iteration, view.data_cursor, view.params_checksum, view.stalled, view.alive
+        );
+    }
+    assert!(report.states_consistent());
+
+    let restored = elan::rt::ElasticRuntime::start_from(RuntimeConfig::small(2), &snapshot);
+    restored.run_until_iteration(snapshot.iteration + 10);
+    let report2 = restored.shutdown();
+    println!(
+        "\nrestored from checkpoint and trained 10 more iterations; consistent: {}",
+        report2.states_consistent()
+    );
+    assert!(report2.states_consistent());
+}

@@ -1,0 +1,59 @@
+//! Quickstart: the core Elan mechanisms in ~50 lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use elan::core::scaling::hybrid_scale;
+use elan::core::{AdjustmentContext, AdjustmentRequest, ElanSystem, ElasticitySystem};
+use elan::models::{perf::PerfModel, zoo};
+use elan::sim::Bytes;
+use elan::topology::{BandwidthModel, ClusterSpec, GpuId, ReplicationPlanner};
+
+fn main() {
+    // The paper's testbed: 8 servers x 8 GPUs, PCIe + QPI + InfiniBand.
+    let topology = ClusterSpec::paper_testbed().build();
+    let bandwidth = BandwidthModel::paper_default();
+    let perf = PerfModel::paper_default();
+    let model = zoo::resnet50();
+
+    // 1. Hybrid scaling (§III): what batch size should a 16-worker,
+    //    TBS-512 ResNet-50 job use after scaling out to 32 workers?
+    let decision = hybrid_scale(512, 16, 32, |tbs| perf.optimal_workers(&model, tbs, 256));
+    println!(
+        "hybrid scaling 16→32 workers: batch 512 → {} ({}), lr x{}",
+        decision.new_total_batch, decision.mode, decision.lr_factor
+    );
+
+    // 2. Concurrent IO-free replication (§IV): plan the state transfers
+    //    for 16 joining workers.
+    let existing: Vec<GpuId> = (0..16).map(GpuId).collect();
+    let joining: Vec<GpuId> = (16..32).map(GpuId).collect();
+    let plan = ReplicationPlanner::new(&topology)
+        .plan(&existing, &joining)
+        .expect("valid placements");
+    let payload = Bytes::new(model.parameters * 4 * 2);
+    println!(
+        "replication: {} transfers in {} concurrent waves, {} of state in {}",
+        plan.transfers().len(),
+        plan.waves().len(),
+        payload,
+        plan.duration(&bandwidth, payload, model.cpu_state_bytes()),
+    );
+
+    // 3. The full adjustment (§V): how long does training pause?
+    let ctx = AdjustmentContext {
+        topology: &topology,
+        bandwidth: &bandwidth,
+        perf: &perf,
+        model: &model,
+        total_batch: 512,
+        coordination_interval: 10,
+        seed: 42,
+    };
+    let cost = ElanSystem::new().adjust(&AdjustmentRequest::contiguous(16, 32), &ctx);
+    println!(
+        "scale-out 16→32: training pauses {} (completion {} — start/init hidden)",
+        cost.pause, cost.completion
+    );
+}

@@ -1,0 +1,63 @@
+//! Explore how cluster topology shapes replication plans (§IV).
+//!
+//! Prints the topology tree, then shows how the planner's source
+//! selection and wave structure change as the joining workers move
+//! farther from the existing ones.
+//!
+//! ```sh
+//! cargo run --example topology_explorer
+//! ```
+
+use elan::models::zoo;
+use elan::sim::Bytes;
+use elan::topology::{
+    BandwidthModel, ClusterSpec, GpuId, NodeId, ReplicationPlanner, TopologyTree,
+};
+
+fn main() {
+    let topo = ClusterSpec::new(4, 2, 2, 2).build();
+    let tree = TopologyTree::build(&topo);
+    println!("topology (4 nodes x 2 sockets x 2 switches x 2 GPUs):\n");
+    println!("{}", tree.render());
+
+    let bw = BandwidthModel::paper_default();
+    let model = zoo::resnet50();
+    let payload = Bytes::new(model.parameters * 4 * 2);
+
+    let existing: Vec<GpuId> = (0..4).map(GpuId).collect(); // node0, socket0
+    let scenarios: [(&str, Vec<GpuId>); 3] = [
+        (
+            "joiners on the same socket (P2P/SHM)",
+            (4..8).map(GpuId).collect(),
+        ),
+        (
+            "joiners on the next node (NET)",
+            (8..12).map(GpuId).collect(),
+        ),
+        (
+            "joiners spread over two nodes",
+            vec![
+                topo.gpu_at(NodeId(2), 0, 0, 0),
+                topo.gpu_at(NodeId(2), 1, 0, 0),
+                topo.gpu_at(NodeId(3), 0, 0, 0),
+                topo.gpu_at(NodeId(3), 1, 0, 0),
+            ],
+        ),
+    ];
+
+    for (label, joining) in scenarios {
+        let plan = ReplicationPlanner::new(&topo)
+            .plan(&existing, &joining)
+            .expect("valid placements");
+        println!("== {label}");
+        for t in plan.transfers() {
+            println!("   {} -> {}  ({} via {})", t.src, t.dst, t.level, t.transport);
+        }
+        println!(
+            "   waves: {}   replication of {}: {}\n",
+            plan.waves().len(),
+            payload,
+            plan.duration(&bw, payload, model.cpu_state_bytes())
+        );
+    }
+}

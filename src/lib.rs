@@ -1,0 +1,33 @@
+//! # Elan — elastic deep-learning training, reproduced in Rust
+//!
+//! This facade crate re-exports the whole reproduction of *"Elan: Towards
+//! Generic and Efficient Elastic Training for Deep Learning"* (ICDCS 2020):
+//!
+//! - [`sim`] — deterministic discrete-event simulation substrate,
+//! - [`topology`] — cluster model and the concurrent IO-free replication
+//!   planner (§IV),
+//! - [`models`] — DL workload, performance, and convergence models (§III),
+//! - [`core`] — the Elan system: hybrid scaling, asynchronous coordination,
+//!   state replication, serial data loading, AM fault tolerance (§III–§V),
+//! - [`rt`] — a live multi-threaded runtime speaking the same protocol,
+//! - [`baselines`] — Shutdown-&-Restart and Litz-style baselines (§VI),
+//! - [`sched`] — elastic job scheduling simulation (§VI-C).
+//!
+//! # Examples
+//!
+//! ```
+//! use elan::topology::{ClusterSpec, GpuId, ReplicationPlanner};
+//!
+//! let topo = ClusterSpec::paper_testbed().build();
+//! let plan = ReplicationPlanner::new(&topo).plan(&[GpuId(0)], &[GpuId(1)])?;
+//! assert_eq!(plan.transfers().len(), 1);
+//! # Ok::<(), elan::topology::PlanError>(())
+//! ```
+
+pub use elan_baselines as baselines;
+pub use elan_core as core;
+pub use elan_models as models;
+pub use elan_rt as rt;
+pub use elan_sched as sched;
+pub use elan_sim as sim;
+pub use elan_topology as topology;

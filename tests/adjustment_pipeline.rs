@@ -1,0 +1,151 @@
+//! Integration: the full adjustment pipeline across crates —
+//! topology planning → cost models → Elan vs. baselines — asserting the
+//! paper's headline comparisons (Fig. 15).
+
+use elan::baselines::{Litz, ShutdownRestart};
+use elan::core::{AdjustmentContext, AdjustmentRequest, ElanSystem, ElasticitySystem};
+use elan::models::{perf::PerfModel, zoo};
+use elan::topology::{BandwidthModel, ClusterSpec, Topology};
+
+struct Fixtures {
+    topology: Topology,
+    bandwidth: BandwidthModel,
+    perf: PerfModel,
+}
+
+fn fixtures() -> Fixtures {
+    Fixtures {
+        topology: ClusterSpec::paper_testbed().build(),
+        bandwidth: BandwidthModel::paper_default(),
+        perf: PerfModel::paper_default(),
+    }
+}
+
+fn ctx<'a>(f: &'a Fixtures, model: &'a elan::models::ModelSpec) -> AdjustmentContext<'a> {
+    AdjustmentContext {
+        topology: &f.topology,
+        bandwidth: &f.bandwidth,
+        perf: &f.perf,
+        model,
+        total_batch: 512,
+        coordination_interval: 10,
+        seed: 42,
+    }
+}
+
+#[test]
+fn elan_pause_is_seconds_scale_everywhere() {
+    // Fig. 15: ~1s adjustments across kinds, scales, and models.
+    let f = fixtures();
+    let elan = ElanSystem::new();
+    for model in zoo::evaluation_models() {
+        let c = ctx(&f, &model);
+        for req in [
+            AdjustmentRequest::contiguous(8, 16),
+            AdjustmentRequest::contiguous(16, 32),
+            AdjustmentRequest::contiguous(32, 64),
+            AdjustmentRequest::contiguous(64, 32),
+            AdjustmentRequest::contiguous(16, 8),
+            AdjustmentRequest::migration(16, 16),
+            AdjustmentRequest::migration(32, 32),
+        ] {
+            let pause = elan.adjust(&req, &c).pause.as_secs_f64();
+            assert!(
+                (0.1..4.0).contains(&pause),
+                "{} {req}: pause {pause:.2}s",
+                model.name
+            );
+        }
+    }
+}
+
+#[test]
+fn snr_scaling_band_matches_paper() {
+    // Fig. 15: S&R is 10-80x slower on scaling in/out.
+    let f = fixtures();
+    let elan = ElanSystem::new();
+    let snr = ShutdownRestart::new();
+    let mut ratios = Vec::new();
+    for model in zoo::evaluation_models() {
+        let c = ctx(&f, &model);
+        for req in [
+            AdjustmentRequest::contiguous(16, 32),
+            AdjustmentRequest::contiguous(32, 64),
+            AdjustmentRequest::contiguous(32, 16),
+            AdjustmentRequest::contiguous(64, 32),
+        ] {
+            let r = snr.adjust(&req, &c).pause.as_secs_f64()
+                / elan.adjust(&req, &c).pause.as_secs_f64();
+            ratios.push(r);
+        }
+    }
+    let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().copied().fold(0.0f64, f64::max);
+    assert!(min > 8.0, "weakest scaling advantage only {min:.1}x");
+    assert!(max < 150.0, "strongest advantage implausible: {max:.1}x");
+    assert!(
+        ratios.iter().any(|r| *r > 30.0),
+        "some configuration should show large (10-80x) gains"
+    );
+}
+
+#[test]
+fn snr_migration_band_matches_paper() {
+    // Fig. 15: migration advantage is smaller (up to ~4x), because S&R
+    // also benefits from asynchronous start there.
+    let f = fixtures();
+    let elan = ElanSystem::new();
+    let snr = ShutdownRestart::new();
+    for model in zoo::evaluation_models() {
+        let c = ctx(&f, &model);
+        let req = AdjustmentRequest::migration(16, 16);
+        let r =
+            snr.adjust(&req, &c).pause.as_secs_f64() / elan.adjust(&req, &c).pause.as_secs_f64();
+        assert!((1.0..12.0).contains(&r), "{}: migration ratio {r:.1}", model.name);
+    }
+}
+
+#[test]
+fn litz_throughput_is_far_below_elan() {
+    // Fig. 16.
+    let f = fixtures();
+    for model in zoo::evaluation_models() {
+        let c = ctx(&f, &model);
+        let r2 = Litz::litz2().relative_throughput(&c, 16);
+        let r4 = Litz::litz4().relative_throughput(&c, 16);
+        assert!(r2 < 0.75, "{}: Litz-2 rel {r2:.2}", model.name);
+        assert!(r4 <= r2 * 1.05, "{}: Litz-4 should not beat Litz-2", model.name);
+    }
+    // Transformer: reduction exceeds 90%.
+    let transformer = zoo::transformer();
+    let c = ctx(&f, &transformer);
+    assert!(Litz::litz4().relative_throughput(&c, 16) < 0.10);
+}
+
+#[test]
+fn overheads_are_negligible_for_elan_and_snr_but_not_litz() {
+    // Fig. 14 vs Fig. 16, as overhead fractions.
+    let f = fixtures();
+    let model = zoo::resnet50();
+    let c = ctx(&f, &model);
+    let elan = ElanSystem::new().runtime_overhead(&c, 32);
+    let snr = ShutdownRestart::new().runtime_overhead(&c, 32);
+    let litz = Litz::litz2().runtime_overhead(&c, 32);
+    assert!(elan < 0.003);
+    assert_eq!(elan, snr);
+    assert!(litz > 0.3);
+}
+
+#[test]
+fn replication_dominates_scale_out_pause_for_large_models() {
+    // VGG-19's 1.1 GiB payload makes replication the dominant pause
+    // component, validating the topology-aware transfer path matters.
+    let f = fixtures();
+    let vgg = zoo::vgg19();
+    let c = ctx(&f, &vgg);
+    let sys = ElanSystem::new();
+    let req = AdjustmentRequest::contiguous(16, 32);
+    let repl = sys.replication_time(&req, &c);
+    let state = sys.state_adjustment_time(32);
+    assert!(repl > state, "replication {repl} vs state adj {state}");
+}

@@ -1,0 +1,142 @@
+//! Integration: the §VI-B elastic-training experiment shapes
+//! (Figs. 18/19, Table IV).
+
+use elan::core::job::{resnet50_configs, run_elastic_training, ElasticRunConfig, ElasticRunResult};
+use elan::core::{ElanSystem, ElasticitySystem};
+use elan::baselines::ShutdownRestart;
+use elan::models::convergence::ScalingRule;
+use elan::models::{perf::PerfModel, zoo, AccuracyModel};
+use elan::topology::{BandwidthModel, ClusterSpec, Topology};
+
+struct Env {
+    topology: Topology,
+    bandwidth: BandwidthModel,
+    perf: PerfModel,
+    model: elan::models::ModelSpec,
+    accuracy: AccuracyModel,
+}
+
+fn env() -> Env {
+    Env {
+        topology: ClusterSpec::paper_testbed().build(),
+        bandwidth: BandwidthModel::paper_default(),
+        perf: PerfModel::paper_default(),
+        model: zoo::resnet50(),
+        accuracy: AccuracyModel::resnet50_imagenet(),
+    }
+}
+
+fn run(env: &Env, system: &dyn ElasticitySystem, phases: Vec<elan::core::job::ElasticPhase>) -> ElasticRunResult {
+    run_elastic_training(&ElasticRunConfig {
+        model: &env.model,
+        perf: &env.perf,
+        accuracy: &env.accuracy,
+        rule: ScalingRule::ProgressiveLinear { ramp_iters: 100 },
+        phases,
+        total_epochs: 90,
+        topology: &env.topology,
+        bandwidth: &env.bandwidth,
+        system,
+        coordination_interval: 10,
+        seed: 42,
+    })
+}
+
+#[test]
+fn table4_shapes_hold() {
+    let e = env();
+    let elan = ElanSystem::new();
+    let s = run(&e, &elan, resnet50_configs::static_512_16());
+    let el = run(&e, &elan, resnet50_configs::elastic_512_2048());
+    let f64c = run(&e, &elan, resnet50_configs::fixed64_512_2048());
+
+    for target in [0.745, 0.750, 0.755] {
+        let ts = s.time_to_accuracy(target).expect("static reaches target");
+        let te = el.time_to_accuracy(target).expect("elastic reaches target");
+        let speedup = ts.as_secs_f64() / te.as_secs_f64();
+        // Paper: ~1.2x. Our interconnect model scales better, so the band
+        // is wider — but the win must be real and not absurd.
+        assert!(
+            (1.05..2.5).contains(&speedup),
+            "target {target}: speedup {speedup:.2}"
+        );
+    }
+    // Dynamic batches on fixed 64 workers: wall-clock may be fine but the
+    // GPU-time cost explodes vs. elastic — elasticity is necessary.
+    let gpu_time = |r: &ElasticRunResult, workers: &[(usize, u32)]| -> f64 {
+        r.epoch_times
+            .iter()
+            .enumerate()
+            .map(|(i, dt)| {
+                let n = workers
+                    .iter()
+                    .rev()
+                    .find(|(start, _)| *start <= i)
+                    .expect("covered")
+                    .1;
+                dt.as_secs_f64() * n as f64
+            })
+            .sum()
+    };
+    let elastic_cost = gpu_time(&el, &[(0, 16), (30, 32), (60, 64)]);
+    let fixed_cost = gpu_time(&f64c, &[(0, 64)]);
+    assert!(elastic_cost < 0.8 * fixed_cost);
+}
+
+#[test]
+fn accuracy_is_preserved_by_hybrid_scaling() {
+    // Fig. 18: 75.89% vs 75.87%.
+    let e = env();
+    let elan = ElanSystem::new();
+    let s = run(&e, &elan, resnet50_configs::static_512_16());
+    let el = run(&e, &elan, resnet50_configs::elastic_512_2048());
+    assert!((s.final_accuracy - el.final_accuracy).abs() < 0.001);
+}
+
+#[test]
+fn snr_adjustments_eat_into_the_speedup() {
+    // The same elastic schedule pays ~40s pauses under S&R instead of ~1s
+    // under Elan — the reason high-performance elasticity matters.
+    let e = env();
+    let elan = ElanSystem::new();
+    let snr = ShutdownRestart::new();
+    let with_elan = run(&e, &elan, resnet50_configs::elastic_512_2048());
+    let with_snr = run(&e, &snr, resnet50_configs::elastic_512_2048());
+    let pe: f64 = with_elan
+        .adjustments
+        .iter()
+        .map(|a| a.pause.as_secs_f64())
+        .sum();
+    let ps: f64 = with_snr
+        .adjustments
+        .iter()
+        .map(|a| a.pause.as_secs_f64())
+        .sum();
+    assert!(ps > 10.0 * pe, "snr pauses {ps:.1}s vs elan {pe:.1}s");
+    assert!(with_snr.total_time() > with_elan.total_time());
+}
+
+#[test]
+fn speedup_grows_with_target() {
+    let e = env();
+    let elan = ElanSystem::new();
+    let s = run(&e, &elan, resnet50_configs::static_512_16());
+    let el = run(&e, &elan, resnet50_configs::elastic_512_2048());
+    let speedup = |t: f64| {
+        s.time_to_accuracy(t).expect("static").as_secs_f64()
+            / el.time_to_accuracy(t).expect("elastic").as_secs_f64()
+    };
+    assert!(speedup(0.755) > speedup(0.745));
+}
+
+#[test]
+fn accuracy_curves_are_plausible_imagenet_curves() {
+    let e = env();
+    let elan = ElanSystem::new();
+    let r = run(&e, &elan, resnet50_configs::static_512_16());
+    // Characteristic staircase: big boost right after each LR decay.
+    let c = &r.curve;
+    assert!(c.accuracy_at(31.0) - c.accuracy_at(30.0) > c.accuracy_at(30.0) - c.accuracy_at(29.0));
+    assert!(c.accuracy_at(29.0) > 0.4 && c.accuracy_at(29.0) < 0.7);
+    assert!(c.accuracy_at(90.0) > 0.75);
+}

@@ -1,0 +1,97 @@
+//! Integration: the coordination protocol end to end — the virtual-time
+//! actor protocol under faults, and the live multi-threaded runtime.
+
+use elan::core::coordination::{run_coordination, CoordinationConfig};
+use elan::core::elasticity::AdjustmentRequest;
+use elan::rt::{ElasticRuntime, RuntimeConfig};
+use elan::sim::SimDuration;
+use elan::topology::GpuId;
+
+#[test]
+fn simulated_and_live_protocols_agree_on_semantics() {
+    // Simulated: 4 workers scale to 6; existing workers never stop.
+    let mut cfg = CoordinationConfig::baseline(4, 30);
+    cfg.request = Some(AdjustmentRequest::contiguous(4, 6));
+    let sim = run_coordination(&cfg);
+    assert!(sim.am.adjustment_completed_at.is_some());
+    for g in 0..4 {
+        assert_eq!(sim.workers[&GpuId(g)].rounds_completed, 30);
+    }
+
+    // Live: the same shape with real threads.
+    let mut rt = ElasticRuntime::start(RuntimeConfig::small(4));
+    rt.run_until_iteration(10);
+    rt.scale_out(2);
+    rt.run_until_iteration(30);
+    let report = rt.shutdown();
+    assert_eq!(report.final_world_size, 6);
+    assert!(report.states_consistent());
+}
+
+#[test]
+fn protocol_survives_combined_loss_and_crash() {
+    let mut cfg = CoordinationConfig::baseline(6, 40);
+    cfg.request = Some(AdjustmentRequest::contiguous(6, 10));
+    cfg.loss_prob = 0.15;
+    cfg.am_crash = Some((SimDuration::from_secs(12), SimDuration::from_secs(4)));
+    let out = run_coordination(&cfg);
+    assert_eq!(out.am.recoveries, 1);
+    assert!(out.total_resends() > 0);
+    assert!(out.am.adjustment_completed_at.is_some());
+    for g in 6..10 {
+        assert!(out.workers[&GpuId(g)].joined, "gpu{g} never joined");
+    }
+    for g in 0..6 {
+        assert_eq!(out.workers[&GpuId(g)].rounds_completed, 40);
+    }
+}
+
+#[test]
+fn pause_stays_bounded_under_faults() {
+    // Even with loss, the per-worker stall is bounded by the adjustment
+    // pause plus retry latencies — orders of magnitude under S&R's ~40s.
+    let mut cfg = CoordinationConfig::baseline(4, 25);
+    cfg.request = Some(AdjustmentRequest::contiguous(4, 8));
+    cfg.loss_prob = 0.1;
+    let out = run_coordination(&cfg);
+    let stall = out.max_stall();
+    assert!(
+        stall < cfg.pause + SimDuration::from_secs(5),
+        "stall {stall} too large"
+    );
+}
+
+#[test]
+fn live_runtime_full_lifecycle_stress() {
+    let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+    for step in 1..=4u32 {
+        rt.run_until_iteration(u64::from(step) * 10);
+        match step % 3 {
+            0 => rt.migrate(),
+            1 => rt.scale_out(step),
+            _ => {
+                if rt.members().len() > 2 {
+                    rt.scale_in(1);
+                }
+            }
+        }
+    }
+    rt.run_until_iteration(60);
+    let report = rt.shutdown();
+    assert!(report.states_consistent());
+    assert!(report.adjustments >= 3);
+}
+
+#[test]
+fn scale_in_frees_threads_promptly() {
+    let mut rt = ElasticRuntime::start(RuntimeConfig::small(6));
+    rt.run_until_iteration(5);
+    rt.scale_in(4);
+    assert_eq!(rt.members().len(), 2);
+    rt.run_until_iteration(20);
+    let report = rt.shutdown();
+    assert_eq!(report.final_world_size, 2);
+    // Every worker that left did so cleanly (telemetry shows not-alive).
+    let dead = report.workers.values().filter(|v| !v.alive).count();
+    assert_eq!(dead, report.workers.len());
+}

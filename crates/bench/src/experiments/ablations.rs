@@ -140,7 +140,12 @@ pub fn ablation_scaling_strategy() -> String {
     let strong = run(phases_for([512, 512, 512]), hybrid_rule);
     let weak_no_rule = run(phases_for([512, 1024, 2048]), ScalingRule::None);
 
-    let mut t = Table::new(vec!["strategy", "final accuracy", "total time", "time to 75%"]);
+    let mut t = Table::new(vec![
+        "strategy",
+        "final accuracy",
+        "total time",
+        "time to 75%",
+    ]);
     for (name, r) in [
         ("hybrid (paper)", &hybrid),
         ("always strong (TBS fixed 512)", &strong),

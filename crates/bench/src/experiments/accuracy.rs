@@ -51,7 +51,10 @@ fn run_three() -> [(String, elan_core::job::ElasticRunResult); 3] {
         })
     };
     [
-        ("512 (16)".to_string(), mk(resnet50_configs::static_512_16())),
+        (
+            "512 (16)".to_string(),
+            mk(resnet50_configs::static_512_16()),
+        ),
         (
             "512-2048 (Elastic)".to_string(),
             mk(resnet50_configs::elastic_512_2048()),
@@ -66,7 +69,12 @@ fn run_three() -> [(String, elan_core::job::ElasticRunResult); 3] {
 /// Fig. 18: final top-1 accuracy of static vs. elastic training.
 pub fn fig18_elastic_accuracy() -> String {
     let runs = run_three();
-    let mut t = Table::new(vec!["configuration", "top-1 accuracy", "epochs", "wall time"]);
+    let mut t = Table::new(vec![
+        "configuration",
+        "top-1 accuracy",
+        "epochs",
+        "wall time",
+    ]);
     for (name, r) in &runs {
         t.row(vec![
             name.clone(),
@@ -93,8 +101,10 @@ pub fn tab4_time_to_solution() -> String {
         "speedup (Elastic vs static)",
     ]);
     for target in [0.745, 0.750, 0.755] {
-        let times: Vec<Option<SimDuration>> =
-            runs.iter().map(|(_, r)| r.time_to_accuracy(target)).collect();
+        let times: Vec<Option<SimDuration>> = runs
+            .iter()
+            .map(|(_, r)| r.time_to_accuracy(target))
+            .collect();
         let fmt = |t: &Option<SimDuration>| {
             t.map_or("n/a".to_string(), |d| format!("{:.0}s", d.as_secs_f64()))
         };
@@ -117,11 +127,7 @@ pub fn tab4_time_to_solution() -> String {
     );
     // The resource-efficiency view of "elasticity is necessary": dynamic
     // batches on fixed 64 workers burn idle GPU-hours at small batches.
-    let worker_plan: [&[(u32, u32)]; 3] = [
-        &[(0, 16)],
-        &[(0, 16), (30, 32), (60, 64)],
-        &[(0, 64)],
-    ];
+    let worker_plan: [&[(u32, u32)]; 3] = [&[(0, 16)], &[(0, 16), (30, 32), (60, 64)], &[(0, 64)]];
     let mut cost = Table::new(vec!["configuration", "GPU-hours (full run)"]);
     for ((name, r), plan) in runs.iter().zip(worker_plan) {
         let hours: f64 = r
@@ -144,7 +150,13 @@ pub fn tab4_time_to_solution() -> String {
     out.push_str(&cost.render());
     // Fig. 19 series: accuracy vs. wall time, downsampled.
     out.push_str("\nFig. 19 series (accuracy at selected wall times):\n");
-    let mut series = Table::new(vec!["configuration", "25% time", "50% time", "75% time", "end"]);
+    let mut series = Table::new(vec![
+        "configuration",
+        "25% time",
+        "50% time",
+        "75% time",
+        "end",
+    ]);
     for (name, r) in &runs {
         let pts = r.accuracy_vs_time();
         let total = r.total_time().as_secs_f64();

@@ -48,7 +48,8 @@ pub fn fig15_adjustment_performance() -> String {
     let tb = Testbed::paper();
     let elan = ElanSystem::new();
     let snr = ShutdownRestart::new();
-    let cases: [(&str, fn() -> AdjustmentRequest); 6] = [
+    type Case = (&'static str, fn() -> AdjustmentRequest);
+    let cases: [Case; 6] = [
         ("migration 16->16", || AdjustmentRequest::migration(16, 16)),
         ("migration 32->32", || AdjustmentRequest::migration(32, 32)),
         ("scale-in 32->16", || AdjustmentRequest::contiguous(32, 16)),
@@ -158,7 +159,10 @@ pub fn straggler_mitigation() -> String {
         let straggler_iter = healthy_iter.mul_f64(slowdown);
         let lost = straggler_iter.saturating_sub(healthy_iter);
         let iters = |pause: SimDuration| {
-            format!("{:.0} iters", (pause.as_secs_f64() / lost.as_secs_f64()).ceil())
+            format!(
+                "{:.0} iters",
+                (pause.as_secs_f64() / lost.as_secs_f64()).ceil()
+            )
         };
         t.row(vec![
             format!("{slowdown}x"),

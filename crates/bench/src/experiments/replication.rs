@@ -12,11 +12,21 @@ use crate::table::Table;
 /// Fig. 8: effective bandwidth of P2P / SHM / NET by message size.
 pub fn fig8_bandwidth() -> String {
     let tb = Testbed::paper();
-    let mut t = Table::new(vec!["message size", "P2P (GB/s)", "SHM (GB/s)", "NET (GB/s)"]);
+    let mut t = Table::new(vec![
+        "message size",
+        "P2P (GB/s)",
+        "SHM (GB/s)",
+        "NET (GB/s)",
+    ]);
     for kib in [4u64, 64, 1024, 16 * 1024, 262_144, 1_048_576] {
         let size = Bytes::from_kib(kib);
         let row = |tr: Transport| {
-            format!("{:.2}", tb.bandwidth.effective_bandwidth(tr, size).as_gbytes_per_sec())
+            format!(
+                "{:.2}",
+                tb.bandwidth
+                    .effective_bandwidth(tr, size)
+                    .as_gbytes_per_sec()
+            )
         };
         t.row(vec![
             size.to_string(),

@@ -19,7 +19,16 @@ pub fn fig3_strong_scaling() -> String {
     let mut out = String::from("Fig. 3: training throughput using strong scaling (samples/s)\n");
     for model in zoo::evaluation_models() {
         out.push_str(&format!("\n[{}]\n", model.name));
-        let mut t = Table::new(vec!["TBS \\ workers", "2", "4", "8", "16", "32", "64", "N_opt"]);
+        let mut t = Table::new(vec![
+            "TBS \\ workers",
+            "2",
+            "4",
+            "8",
+            "16",
+            "32",
+            "64",
+            "N_opt",
+        ]);
         for tbs in [512u32, 1024, 2048] {
             let mut row = vec![tbs.to_string()];
             for n in WORKER_COUNTS {

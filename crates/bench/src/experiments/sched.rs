@@ -1,14 +1,18 @@
 //! Figs. 1, 20, 21, 22 — elastic scheduling.
 
+use elan_baselines::ShutdownRestart;
 use elan_core::elasticity::{ElasticitySystem, IdealSystem};
 use elan_core::ElanSystem;
-use elan_baselines::ShutdownRestart;
-use elan_sim::{SimDuration, Summary};
 use elan_sched::{generate_trace, run_trace, PolicyKind, SimConfig, TraceConfig};
+use elan_sim::{SimDuration, Summary};
 
 use crate::table::Table;
 
-fn sim_config<'a>(policy: PolicyKind, system: &'a dyn ElasticitySystem, seed: u64) -> SimConfig<'a> {
+fn sim_config<'a>(
+    policy: PolicyKind,
+    system: &'a dyn ElasticitySystem,
+    seed: u64,
+) -> SimConfig<'a> {
     SimConfig {
         total_gpus: 128,
         policy,
@@ -170,7 +174,12 @@ pub fn fig22_system_comparison() -> String {
     let ideal = IdealSystem;
     let systems: [(&str, &dyn ElasticitySystem); 3] =
         [("Ideal", &ideal), ("Elan", &elan), ("S&R", &snr)];
-    let mut t = Table::new(vec!["system", "avg JCT (s)", "makespan (s)", "JCT vs Ideal"]);
+    let mut t = Table::new(vec![
+        "system",
+        "avg JCT (s)",
+        "makespan (s)",
+        "JCT vs Ideal",
+    ]);
     let mut base = 0.0;
     for (name, sys) in systems {
         let mut jct = Vec::new();
@@ -179,8 +188,7 @@ pub fn fig22_system_comparison() -> String {
             let mut trace_cfg = TraceConfig::paper_two_day(seed);
             trace_cfg.expected_jobs = 110; // moderate load: high churn
             let jobs = generate_trace(&trace_cfg);
-            let m = run_trace(&sim_config(PolicyKind::ElasticBackfill, sys, seed), &jobs)
-                .metrics();
+            let m = run_trace(&sim_config(PolicyKind::ElasticBackfill, sys, seed), &jobs).metrics();
             jct.push(m.avg_jct());
             makespan.push(m.makespan.as_secs_f64());
         }

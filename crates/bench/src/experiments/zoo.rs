@@ -26,7 +26,10 @@ pub fn tab1_model_zoo() -> String {
             m.param_bytes().to_string(),
         ]);
     }
-    format!("Table I: DL models for scaling-out strategy analysis\n\n{}", t.render())
+    format!(
+        "Table I: DL models for scaling-out strategy analysis\n\n{}",
+        t.render()
+    )
 }
 
 /// Renders Table II: the characteristics of training states — GPU states
@@ -65,7 +68,13 @@ mod tests {
     #[test]
     fn renders_five_models() {
         let s = super::tab1_model_zoo();
-        for name in ["ResNet-50", "VGG-19", "MobileNet-v2", "Seq2Seq", "Transformer"] {
+        for name in [
+            "ResNet-50",
+            "VGG-19",
+            "MobileNet-v2",
+            "Seq2Seq",
+            "Transformer",
+        ] {
             assert!(s.contains(name), "missing {name}");
         }
     }

@@ -161,7 +161,11 @@ impl ShutdownRestart {
     }
 
     /// The full Fig. 11 breakdown for an adjustment to `n_after` workers.
-    pub fn breakdown(&self, request: &AdjustmentRequest, ctx: &AdjustmentContext<'_>) -> SnrBreakdown {
+    pub fn breakdown(
+        &self,
+        request: &AdjustmentRequest,
+        ctx: &AdjustmentContext<'_>,
+    ) -> SnrBreakdown {
         let n_after = request.n_after();
         let (start, init) = self.start_init(ctx, n_after);
         SnrBreakdown {

@@ -313,8 +313,16 @@ mod tests {
         let model = zoo::vgg19(); // big payload amplifies the difference
         let c = ctx(&topo, &bw, &perf, &model);
         let sys = ElanSystem::new();
-        let near = AdjustmentRequest::new(vec![elan_topology::GpuId(0)], vec![elan_topology::GpuId(0), elan_topology::GpuId(1)]).unwrap();
-        let far = AdjustmentRequest::new(vec![elan_topology::GpuId(0)], vec![elan_topology::GpuId(0), elan_topology::GpuId(8)]).unwrap();
+        let near = AdjustmentRequest::new(
+            vec![elan_topology::GpuId(0)],
+            vec![elan_topology::GpuId(0), elan_topology::GpuId(1)],
+        )
+        .unwrap();
+        let far = AdjustmentRequest::new(
+            vec![elan_topology::GpuId(0)],
+            vec![elan_topology::GpuId(0), elan_topology::GpuId(8)],
+        )
+        .unwrap();
         assert!(sys.replication_time(&near, &c) < sys.replication_time(&far, &c));
     }
 

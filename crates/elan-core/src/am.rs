@@ -357,9 +357,15 @@ mod tests {
     #[test]
     fn rejects_unexpected_reports() {
         let mut am = ApplicationMaster::new("j");
-        assert_eq!(am.report(GpuId(9)), Err(AmError::UnexpectedReport(GpuId(9))));
+        assert_eq!(
+            am.report(GpuId(9)),
+            Err(AmError::UnexpectedReport(GpuId(9)))
+        );
         am.request_adjustment(scale_out_2_to_4()).unwrap();
-        assert_eq!(am.report(GpuId(9)), Err(AmError::UnexpectedReport(GpuId(9))));
+        assert_eq!(
+            am.report(GpuId(9)),
+            Err(AmError::UnexpectedReport(GpuId(9)))
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use rand::Rng;
 
 use crate::am::{AmState, ApplicationMaster, CoordinateReply};
 use crate::elasticity::AdjustmentRequest;
-use crate::messages::{DedupFilter, MsgId, MsgIdAllocator, RetryTracker};
+use crate::messages::{DedupFilter, MsgId, MsgIdAllocator, RetryOutcome, RetryTracker};
 use crate::store::ReplicatedStore;
 
 /// What a worker must do after a coordination round.
@@ -264,31 +264,27 @@ impl Actor<ProtoMsg> for WorkerActor {
                     ctx.set_timer(self.retry_timeout * 4, ProtoMsg::AwaitJoinTick);
                 }
             }
-            ProtoMsg::AwaitJoinTick => {
-                if self.phase == WorkerPhase::WaitingJoin {
-                    if self.join_probes_left == 0 {
-                        // The job likely finished without us; stand down.
-                        self.stop(ctx);
-                        return;
-                    }
-                    self.join_probes_left -= 1;
-                    let id = self.ids.next_id();
-                    self.send_tracked(
-                        ctx,
+            ProtoMsg::AwaitJoinTick if self.phase == WorkerPhase::WaitingJoin => {
+                if self.join_probes_left == 0 {
+                    // The job likely finished without us; stand down.
+                    self.stop(ctx);
+                    return;
+                }
+                self.join_probes_left -= 1;
+                let id = self.ids.next_id();
+                self.send_tracked(
+                    ctx,
+                    id,
+                    ProtoMsg::Report {
                         id,
-                        ProtoMsg::Report {
-                            id,
-                            worker: self.gpu,
-                        },
-                    );
-                }
+                        worker: self.gpu,
+                    },
+                );
             }
-            ProtoMsg::Join { round } => {
-                if self.phase == WorkerPhase::WaitingJoin {
-                    self.round = round;
-                    self.stats.borrow_mut().joined = true;
-                    self.begin_round(ctx);
-                }
+            ProtoMsg::Join { round } if self.phase == WorkerPhase::WaitingJoin => {
+                self.round = round;
+                self.stats.borrow_mut().joined = true;
+                self.begin_round(ctx);
             }
             ProtoMsg::RoundDone => {
                 if self.phase != WorkerPhase::Training {
@@ -339,19 +335,21 @@ impl Actor<ProtoMsg> for WorkerActor {
                     }
                 }
             }
-            ProtoMsg::ResumeTraining => {
-                if self.phase == WorkerPhase::Pausing {
-                    self.round += 1;
-                    self.begin_round(ctx);
-                }
+            ProtoMsg::ResumeTraining if self.phase == WorkerPhase::Pausing => {
+                self.round += 1;
+                self.begin_round(ctx);
             }
             ProtoMsg::RetryTick => {
                 self.retry_timer_armed = false;
-                let due = self.retry.due(ctx.now());
-                if !due.is_empty() {
-                    self.stats.borrow_mut().resends += due.len() as u64;
-                    for (_, m) in due {
-                        self.send_lossy(ctx, m);
+                for outcome in self.retry.poll(ctx.now()) {
+                    match outcome {
+                        RetryOutcome::Resend(_, m) => {
+                            self.stats.borrow_mut().resends += 1;
+                            self.send_lossy(ctx, m);
+                        }
+                        // The sim tracker has no attempt budget; give-ups
+                        // cannot occur here.
+                        RetryOutcome::GaveUp(..) => {}
                     }
                 }
                 if self.retry.pending() > 0 && self.phase != WorkerPhase::Stopped {
@@ -404,8 +402,8 @@ impl AmActor {
     /// flag the worker.
     fn observe_coordination(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, worker: GpuId, round: u64) {
         let now = ctx.now();
-        if !self.round_first.contains_key(&round) {
-            self.round_first.insert(round, now);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.round_first.entry(round) {
+            e.insert(now);
             // Arm the failure watchdog for this round.
             ctx.set_timer(self.round_watchdog, ProtoMsg::RoundWatchdog { round });
         }
@@ -808,14 +806,9 @@ pub fn run_coordination(cfg: &CoordinationConfig) -> CoordinationOutcome {
         let stats = Rc::new(RefCell::new(WorkerStats::default()));
         stats_handles.insert(gpu, Rc::clone(&stats));
         let is_new = idx >= existing.len();
-        let span = cfg
-            .init_range
-            .1
-            .saturating_sub(cfg.init_range.0)
-            .as_nanos();
+        let span = cfg.init_range.1.saturating_sub(cfg.init_range.0).as_nanos();
         let mut rng = seeds.rng_indexed("init", gpu.0 as u64);
-        let init_time =
-            cfg.init_range.0 + SimDuration::from_nanos(rng.gen_range(0..=span.max(1)));
+        let init_time = cfg.init_range.0 + SimDuration::from_nanos(rng.gen_range(0..=span.max(1)));
         world.spawn_with_id(
             id,
             WorkerActor {
@@ -1125,10 +1118,7 @@ mod tests {
         cfg.loss_prob = 0.1;
         let a = run_coordination(&cfg);
         let b = run_coordination(&cfg);
-        assert_eq!(
-            a.am.adjustment_completed_at,
-            b.am.adjustment_completed_at
-        );
+        assert_eq!(a.am.adjustment_completed_at, b.am.adjustment_completed_at);
         assert_eq!(a.end_time, b.end_time);
         assert_eq!(a.total_resends(), b.total_resends());
     }

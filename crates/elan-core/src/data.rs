@@ -151,7 +151,10 @@ impl ChunkSampler {
         }
         for (i, frag) in fragments.into_iter().enumerate() {
             let w = (i as u32) % n_workers;
-            self.assignments.get_mut(&w).expect("worker exists").push(frag);
+            self.assignments
+                .get_mut(&w)
+                .expect("worker exists")
+                .push(frag);
         }
     }
 
@@ -169,7 +172,9 @@ impl ChunkSampler {
         };
         let mut out = Vec::with_capacity(per_worker as usize);
         while out.len() < per_worker as usize {
-            let Some(front) = queue.first_mut() else { break };
+            let Some(front) = queue.first_mut() else {
+                break;
+            };
             let (start, len) = *front;
             if len > 0 {
                 out.push(start);

@@ -98,8 +98,12 @@ impl AdjustmentRequest {
         if cur_sorted == tgt_sorted {
             return Err(RequestError::NoChange);
         }
-        let target_is_superset = cur_sorted.iter().all(|g| tgt_sorted.binary_search(g).is_ok());
-        let target_is_subset = tgt_sorted.iter().all(|g| cur_sorted.binary_search(g).is_ok());
+        let target_is_superset = cur_sorted
+            .iter()
+            .all(|g| tgt_sorted.binary_search(g).is_ok());
+        let target_is_subset = tgt_sorted
+            .iter()
+            .all(|g| cur_sorted.binary_search(g).is_ok());
         let kind = if target_is_superset {
             AdjustmentKind::ScaleOut
         } else if target_is_subset {
@@ -187,13 +191,7 @@ impl AdjustmentRequest {
 
 impl fmt::Display for AdjustmentRequest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {}→{}",
-            self.kind,
-            self.n_before(),
-            self.n_after()
-        )
+        write!(f, "{} {}→{}", self.kind, self.n_before(), self.n_after())
     }
 }
 

@@ -18,9 +18,7 @@ use elan_topology::{BandwidthModel, GpuId, Topology};
 use elan_models::convergence::{AccuracyCurve, AccuracyModel, ScalingRule};
 use elan_models::{ModelSpec, PerfModel};
 
-use crate::elasticity::{
-    AdjustmentContext, AdjustmentCost, AdjustmentRequest, ElasticitySystem,
-};
+use crate::elasticity::{AdjustmentContext, AdjustmentCost, AdjustmentRequest, ElasticitySystem};
 
 /// One phase of an elastic training plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,7 +121,12 @@ pub fn run_elastic_training(cfg: &ElasticRunConfig<'_>) -> ElasticRunResult {
     }
 
     // Final accuracy: governed by the largest batch used under the rule.
-    let max_tbs = cfg.phases.iter().map(|p| p.total_batch).max().expect("non-empty");
+    let max_tbs = cfg
+        .phases
+        .iter()
+        .map(|p| p.total_batch)
+        .max()
+        .expect("non-empty");
     let is_dynamic = cfg.phases.iter().any(|p| p.total_batch != max_tbs);
     let mut final_acc = cfg.accuracy.final_accuracy(max_tbs, cfg.rule);
     if is_dynamic {
@@ -142,7 +145,9 @@ pub fn run_elastic_training(cfg: &ElasticRunConfig<'_>) -> ElasticRunResult {
             .rposition(|p| p.start_epoch <= e)
             .expect("phase 0 covers every epoch");
         let phase = cfg.phases[phase_idx];
-        let thr = cfg.perf.throughput(cfg.model, phase.n_workers, phase.total_batch);
+        let thr = cfg
+            .perf
+            .throughput(cfg.model, phase.n_workers, phase.total_batch);
         let mut dt = SimDuration::from_secs_f64(samples_per_epoch / thr);
         // A phase transition at this epoch incurs the adjustment pause.
         if phase.start_epoch == e && phase_idx > 0 {
@@ -274,7 +279,11 @@ mod tests {
         }
     }
 
-    fn run(f: &Fixtures, sys: &dyn ElasticitySystem, phases: Vec<ElasticPhase>) -> ElasticRunResult {
+    fn run(
+        f: &Fixtures,
+        sys: &dyn ElasticitySystem,
+        phases: Vec<ElasticPhase>,
+    ) -> ElasticRunResult {
         run_elastic_training(&ElasticRunConfig {
             model: &f.model,
             perf: &f.perf,
@@ -346,7 +355,10 @@ mod tests {
         };
         let cost_fixed = gpu_seconds(&fixed, &resnet50_configs::fixed64_512_2048());
         let cost_elastic = gpu_seconds(&elastic, &resnet50_configs::elastic_512_2048());
-        assert!(cost_elastic < cost_fixed * 0.75, "{cost_elastic} vs {cost_fixed}");
+        assert!(
+            cost_elastic < cost_fixed * 0.75,
+            "{cost_elastic} vs {cost_fixed}"
+        );
         // And the wall-clock gap is small relative to the resource gap.
         assert!(t_elastic.as_secs_f64() < t_fixed.as_secs_f64() * 1.35);
     }

@@ -45,11 +45,11 @@ pub mod adjustment;
 pub mod am;
 pub mod api;
 pub mod codec;
-pub mod lease;
 pub mod coordination;
 pub mod data;
 pub mod elasticity;
 pub mod job;
+pub mod lease;
 pub mod messages;
 pub mod scaling;
 pub mod state;

@@ -2,17 +2,29 @@
 //!
 //! Every Elan control message carries a unique ID and is resent on
 //! timeout; receivers deduplicate by ID. This module provides the sender-
-//! side [`RetryTracker`] and receiver-side [`DedupFilter`] used by both the
-//! simulated protocol ([`crate::coordination`]) and the live runtime
-//! (`elan-rt`).
+//! side [`RetryTracker`] and receiver-side [`DedupFilter`] /
+//! [`BoundedDedupFilter`] used by both the simulated protocol
+//! ([`crate::coordination`]) and the live runtime (`elan-rt`).
+//!
+//! The tracker is generic over a [`Clock`] so the same code drives the
+//! discrete-event simulator (over [`SimTime`]) and the live threaded
+//! runtime (over [`std::time::Instant`]).
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use elan_sim::{SimDuration, SimTime};
 
 /// A unique message identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MsgId(pub u64);
+
+impl MsgId {
+    /// The sender stream this ID belongs to (see
+    /// [`MsgIdAllocator::for_owner`]).
+    pub fn owner(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 impl std::fmt::Display for MsgId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -48,8 +60,59 @@ impl MsgIdAllocator {
     }
 }
 
+/// A point in time usable by [`RetryTracker`].
+///
+/// Implemented for the simulator's [`SimTime`] and for wall-clock
+/// [`std::time::Instant`], so the same retry logic runs inside the
+/// discrete-event simulation and the live threaded runtime.
+pub trait Clock: Copy + Ord {
+    /// The duration type separating two instants.
+    type Span: Copy + Ord;
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is in
+    /// the future.
+    fn saturating_since(self, earlier: Self) -> Self::Span;
+}
+
+impl Clock for SimTime {
+    type Span = SimDuration;
+
+    fn saturating_since(self, earlier: Self) -> SimDuration {
+        self.saturating_duration_since(earlier)
+    }
+}
+
+impl Clock for std::time::Instant {
+    type Span = std::time::Duration;
+
+    fn saturating_since(self, earlier: Self) -> std::time::Duration {
+        self.saturating_duration_since(earlier)
+    }
+}
+
+/// What [`RetryTracker::poll`] decided about one overdue message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryOutcome<P> {
+    /// The message timed out and should be sent again.
+    Resend(MsgId, P),
+    /// The message exhausted its attempt budget and was dropped from the
+    /// tracker; the peer is presumed dead.
+    GaveUp(MsgId, P),
+}
+
+#[derive(Debug, Clone)]
+struct Inflight<P, T> {
+    sent_at: T,
+    attempts: u32,
+    payload: P,
+}
+
 /// Sender-side bookkeeping: tracks in-flight messages and reports which
 /// are due for resend after the timeout elapses without an ack.
+///
+/// An optional attempt budget ([`RetryTracker::with_max_attempts`]) turns
+/// repeated silence into an explicit [`RetryOutcome::GaveUp`] signal, which
+/// the live runtime uses as a failure detector.
 ///
 /// # Examples
 ///
@@ -67,25 +130,45 @@ impl MsgIdAllocator {
 /// assert!(tracker.due(SimTime::from_secs(99)).is_empty());
 /// ```
 #[derive(Debug, Clone)]
-pub struct RetryTracker<P> {
-    timeout: SimDuration,
-    inflight: BTreeMap<MsgId, (SimTime, P)>,
+pub struct RetryTracker<P, T: Clock = SimTime> {
+    timeout: T::Span,
+    max_attempts: Option<u32>,
+    inflight: BTreeMap<MsgId, Inflight<P, T>>,
     resends: u64,
+    give_ups: u64,
 }
 
-impl<P: Clone> RetryTracker<P> {
-    /// Creates a tracker with the given resend timeout.
-    pub fn new(timeout: SimDuration) -> Self {
+impl<P: Clone, T: Clock> RetryTracker<P, T> {
+    /// Creates a tracker with the given resend timeout and no attempt cap.
+    pub fn new(timeout: T::Span) -> Self {
         RetryTracker {
             timeout,
+            max_attempts: None,
             inflight: BTreeMap::new(),
             resends: 0,
+            give_ups: 0,
         }
     }
 
-    /// Starts tracking a sent message.
-    pub fn track(&mut self, id: MsgId, payload: P, sent_at: SimTime) {
-        self.inflight.insert(id, (sent_at, payload));
+    /// Caps total send attempts per message (first send included). Once a
+    /// message has been attempted `max` times and times out again,
+    /// [`poll`](Self::poll) reports [`RetryOutcome::GaveUp`] and stops
+    /// tracking it. `max` is clamped to at least 1.
+    pub fn with_max_attempts(mut self, max: u32) -> Self {
+        self.max_attempts = Some(max.max(1));
+        self
+    }
+
+    /// Starts tracking a sent message (attempt #1).
+    pub fn track(&mut self, id: MsgId, payload: P, sent_at: T) {
+        self.inflight.insert(
+            id,
+            Inflight {
+                sent_at,
+                attempts: 1,
+                payload,
+            },
+        );
     }
 
     /// Acknowledges a message; returns true if it was in flight.
@@ -93,18 +176,53 @@ impl<P: Clone> RetryTracker<P> {
         self.inflight.remove(&id).is_some()
     }
 
+    /// Examines every in-flight message at `now` and returns an outcome for
+    /// each overdue one: either a resend (timer reset, attempt counted) or a
+    /// give-up (message dropped from the tracker).
+    pub fn poll(&mut self, now: T) -> Vec<RetryOutcome<P>> {
+        let mut out = Vec::new();
+        let mut dead = Vec::new();
+        for (&id, entry) in self.inflight.iter_mut() {
+            if now.saturating_since(entry.sent_at) < self.timeout {
+                continue;
+            }
+            if let Some(max) = self.max_attempts {
+                if entry.attempts >= max {
+                    dead.push(id);
+                    continue;
+                }
+            }
+            entry.sent_at = now;
+            entry.attempts += 1;
+            self.resends += 1;
+            out.push(RetryOutcome::Resend(id, entry.payload.clone()));
+        }
+        for id in dead {
+            let entry = self.inflight.remove(&id).expect("collected above");
+            self.give_ups += 1;
+            out.push(RetryOutcome::GaveUp(id, entry.payload));
+        }
+        out
+    }
+
     /// Messages whose timeout has elapsed at `now`; their timers reset so
     /// they will be reported again one timeout later if still unacked.
-    pub fn due(&mut self, now: SimTime) -> Vec<(MsgId, P)> {
-        let mut out = Vec::new();
-        for (&id, entry) in self.inflight.iter_mut() {
-            if now.saturating_duration_since(entry.0) >= self.timeout {
-                entry.0 = now;
-                out.push((id, entry.1.clone()));
-            }
-        }
-        self.resends += out.len() as u64;
-        out
+    ///
+    /// Compatibility wrapper over [`poll`](Self::poll) that silently drops
+    /// give-ups (they still count in [`give_up_count`](Self::give_up_count)).
+    pub fn due(&mut self, now: T) -> Vec<(MsgId, P)> {
+        self.poll(now)
+            .into_iter()
+            .filter_map(|o| match o {
+                RetryOutcome::Resend(id, p) => Some((id, p)),
+                RetryOutcome::GaveUp(..) => None,
+            })
+            .collect()
+    }
+
+    /// Send attempts recorded for an in-flight message.
+    pub fn attempts(&self, id: MsgId) -> Option<u32> {
+        self.inflight.get(&id).map(|e| e.attempts)
     }
 
     /// Messages still awaiting acknowledgement.
@@ -112,18 +230,28 @@ impl<P: Clone> RetryTracker<P> {
         self.inflight.len()
     }
 
+    /// IDs still awaiting acknowledgement.
+    pub fn pending_ids(&self) -> Vec<MsgId> {
+        self.inflight.keys().copied().collect()
+    }
+
     /// Total resends performed — a fault-injection metric.
     pub fn resend_count(&self) -> u64 {
         self.resends
     }
 
+    /// Messages abandoned after exhausting the attempt budget.
+    pub fn give_up_count(&self) -> u64 {
+        self.give_ups
+    }
+
     /// The configured timeout.
-    pub fn timeout(&self) -> SimDuration {
+    pub fn timeout(&self) -> T::Span {
         self.timeout
     }
 }
 
-/// Receiver-side duplicate suppression by message ID.
+/// Receiver-side duplicate suppression by message ID (unbounded).
 #[derive(Debug, Clone, Default)]
 pub struct DedupFilter {
     seen: HashSet<MsgId>,
@@ -152,9 +280,95 @@ impl DedupFilter {
     }
 }
 
+#[derive(Debug, Clone, Default)]
+struct SenderWindow {
+    /// Every sequence number strictly below this is presumed already seen.
+    floor: u64,
+    /// Recently seen sequence numbers at or above `floor`.
+    seen: BTreeSet<u64>,
+}
+
+/// Receiver-side duplicate suppression with bounded memory.
+///
+/// [`DedupFilter`] remembers every ID forever, which is unacceptable for a
+/// long-lived runtime. This filter keeps a sliding window of at most
+/// `window` IDs **per sender stream** (the high 32 bits of the ID, see
+/// [`MsgIdAllocator::for_owner`]). When a sender's window overflows, the
+/// smallest retained ID is evicted and becomes the stream's high-watermark
+/// floor: anything at or below the floor is treated as a duplicate.
+///
+/// This is safe because senders allocate IDs monotonically and a resend
+/// reuses the original ID — an ID can only fall below the floor after the
+/// sender has pushed `window` newer IDs through, by which point the old
+/// message is either long-acked or abandoned.
+#[derive(Debug, Clone)]
+pub struct BoundedDedupFilter {
+    window: usize,
+    senders: BTreeMap<u32, SenderWindow>,
+    duplicates: u64,
+}
+
+impl BoundedDedupFilter {
+    /// Default per-sender window size.
+    pub const DEFAULT_WINDOW: usize = 512;
+
+    /// Creates a filter retaining at most `window` IDs per sender stream
+    /// (clamped to at least 1).
+    pub fn new(window: usize) -> Self {
+        BoundedDedupFilter {
+            window: window.max(1),
+            senders: BTreeMap::new(),
+            duplicates: 0,
+        }
+    }
+
+    /// Records `id`; returns true if this is the first delivery (the
+    /// message should be processed) and false for duplicates.
+    pub fn first_delivery(&mut self, id: MsgId) -> bool {
+        let stream = self.senders.entry(id.owner()).or_default();
+        let seq = id.0;
+        if seq < stream.floor || !stream.seen.insert(seq) {
+            self.duplicates += 1;
+            return false;
+        }
+        while stream.seen.len() > self.window {
+            let evicted = stream.seen.pop_first().expect("non-empty");
+            stream.floor = evicted + 1;
+        }
+        true
+    }
+
+    /// Duplicates suppressed so far.
+    pub fn duplicate_count(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Total IDs currently retained across every sender stream.
+    pub fn retained(&self) -> usize {
+        self.senders.values().map(|w| w.seen.len()).sum()
+    }
+
+    /// Sender streams currently tracked.
+    pub fn streams(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The configured per-sender window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Default for BoundedDedupFilter {
+    fn default() -> Self {
+        BoundedDedupFilter::new(Self::DEFAULT_WINDOW)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn allocator_never_repeats() {
@@ -164,6 +378,13 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    fn owner_roundtrip() {
+        let mut a = MsgIdAllocator::for_owner(42);
+        assert_eq!(a.next_id().owner(), 42);
+        assert_eq!(a.next_id().owner(), 42);
     }
 
     #[test]
@@ -197,11 +418,117 @@ mod tests {
     }
 
     #[test]
+    fn give_up_after_attempt_budget() {
+        let mut t: RetryTracker<&str> =
+            RetryTracker::new(SimDuration::from_secs(1)).with_max_attempts(3);
+        t.track(MsgId(5), "probe", SimTime::ZERO);
+        // Attempts 2 and 3 are resends.
+        assert_eq!(
+            t.poll(SimTime::from_secs(1)),
+            vec![RetryOutcome::Resend(MsgId(5), "probe")]
+        );
+        assert_eq!(
+            t.poll(SimTime::from_secs(2)),
+            vec![RetryOutcome::Resend(MsgId(5), "probe")]
+        );
+        assert_eq!(t.attempts(MsgId(5)), Some(3));
+        // Budget exhausted: the next timeout is a give-up, then silence.
+        assert_eq!(
+            t.poll(SimTime::from_secs(3)),
+            vec![RetryOutcome::GaveUp(MsgId(5), "probe")]
+        );
+        assert_eq!(t.pending(), 0);
+        assert_eq!(t.give_up_count(), 1);
+        assert!(t.poll(SimTime::from_secs(9)).is_empty());
+    }
+
+    #[test]
+    fn give_up_does_not_affect_acked_or_fresh_messages() {
+        let mut t: RetryTracker<u8> =
+            RetryTracker::new(SimDuration::from_secs(1)).with_max_attempts(1);
+        t.track(MsgId(1), 1, SimTime::ZERO);
+        t.track(MsgId(2), 2, SimTime::ZERO);
+        t.ack(MsgId(1));
+        let out = t.poll(SimTime::from_secs(1));
+        assert_eq!(out, vec![RetryOutcome::GaveUp(MsgId(2), 2)]);
+        assert_eq!(t.give_up_count(), 1);
+        assert_eq!(t.resend_count(), 0);
+    }
+
+    #[test]
+    fn wall_clock_instantiation() {
+        let t0 = Instant::now();
+        let mut t: RetryTracker<&str, Instant> = RetryTracker::new(Duration::from_millis(50));
+        t.track(MsgId(9), "wall", t0);
+        assert!(t.poll(t0 + Duration::from_millis(10)).is_empty());
+        assert_eq!(
+            t.poll(t0 + Duration::from_millis(50)),
+            vec![RetryOutcome::Resend(MsgId(9), "wall")]
+        );
+    }
+
+    #[test]
     fn dedup_filters_replays() {
         let mut d = DedupFilter::new();
         assert!(d.first_delivery(MsgId(1)));
         assert!(!d.first_delivery(MsgId(1)));
         assert!(d.first_delivery(MsgId(2)));
         assert_eq!(d.duplicate_count(), 1);
+    }
+
+    #[test]
+    fn bounded_dedup_filters_replays_within_window() {
+        let mut d = BoundedDedupFilter::new(8);
+        let mut ids = MsgIdAllocator::for_owner(3);
+        let a = ids.next_id();
+        let b = ids.next_id();
+        assert!(d.first_delivery(a));
+        assert!(d.first_delivery(b));
+        assert!(!d.first_delivery(a));
+        assert!(!d.first_delivery(b));
+        assert_eq!(d.duplicate_count(), 2);
+    }
+
+    #[test]
+    fn bounded_dedup_memory_stays_bounded() {
+        let window = 64;
+        let mut d = BoundedDedupFilter::new(window);
+        let mut streams: Vec<MsgIdAllocator> = (0..4).map(MsgIdAllocator::for_owner).collect();
+        for round in 0..10_000u64 {
+            let alloc = &mut streams[(round % 4) as usize];
+            assert!(d.first_delivery(alloc.next_id()));
+            // Memory is bounded regardless of traffic volume.
+            assert!(d.retained() <= window * 4, "retained {} ids", d.retained());
+        }
+        assert_eq!(d.streams(), 4);
+        assert!(d.retained() <= window * 4);
+        assert_eq!(d.duplicate_count(), 0);
+    }
+
+    #[test]
+    fn bounded_dedup_watermark_rejects_ancient_ids() {
+        let mut d = BoundedDedupFilter::new(4);
+        let mut ids = MsgIdAllocator::for_owner(1);
+        let ancient = ids.next_id();
+        assert!(d.first_delivery(ancient));
+        // Push enough newer ids to evict `ancient` from the window.
+        for _ in 0..16 {
+            assert!(d.first_delivery(ids.next_id()));
+        }
+        // A very late replay of the ancient id is still suppressed.
+        assert!(!d.first_delivery(ancient));
+    }
+
+    #[test]
+    fn bounded_dedup_streams_are_independent() {
+        let mut d = BoundedDedupFilter::new(4);
+        let a0 = MsgIdAllocator::for_owner(10).next_id();
+        // Saturate stream 20; stream 10's window must be untouched.
+        let mut other = MsgIdAllocator::for_owner(20);
+        assert!(d.first_delivery(a0));
+        for _ in 0..32 {
+            assert!(d.first_delivery(other.next_id()));
+        }
+        assert!(!d.first_delivery(a0), "still remembered in its own stream");
     }
 }

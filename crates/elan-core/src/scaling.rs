@@ -80,7 +80,10 @@ pub fn hybrid_scale(
     mut n_opt: impl FnMut(u32) -> u32,
 ) -> ScalingDecision {
     assert!(total_batch > 0, "batch size must be positive");
-    assert!(n_before > 0 && n_after > 0, "worker counts must be positive");
+    assert!(
+        n_before > 0 && n_after > 0,
+        "worker counts must be positive"
+    );
 
     // Scaling in (or no change): strong scaling never under-utilizes fewer
     // workers, so the batch stays put.

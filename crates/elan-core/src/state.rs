@@ -64,7 +64,12 @@ pub struct TrainingState {
 
 impl TrainingState {
     /// A fresh state at iteration zero for a new job.
-    pub fn initial(gpu_bytes: Bytes, comm_group: Vec<WorkerId>, total_batch_size: u32, lr: f64) -> Self {
+    pub fn initial(
+        gpu_bytes: Bytes,
+        comm_group: Vec<WorkerId>,
+        total_batch_size: u32,
+        lr: f64,
+    ) -> Self {
         TrainingState {
             gpu_bytes,
             cpu_bytes: Bytes::from_kib(64),
@@ -283,7 +288,12 @@ mod tests {
 
     #[test]
     fn initial_state_is_clean() {
-        let s = TrainingState::initial(Bytes::from_mib(300), vec![WorkerId(0), WorkerId(1)], 256, 0.1);
+        let s = TrainingState::initial(
+            Bytes::from_mib(300),
+            vec![WorkerId(0), WorkerId(1)],
+            256,
+            0.1,
+        );
         assert_eq!(s.runtime.iteration, 0);
         assert_eq!(s.data_cursor, 0);
         assert_eq!(s.comm_group.len(), 2);

@@ -141,7 +141,12 @@ impl AccuracyCurve {
     ///
     /// Panics if the shapes are inconsistent (one target per phase,
     /// strictly increasing boundaries) or values are out of range.
-    pub fn new(final_accuracy: f64, boundaries: Vec<u32>, phase_targets: Vec<f64>, tau: f64) -> Self {
+    pub fn new(
+        final_accuracy: f64,
+        boundaries: Vec<u32>,
+        phase_targets: Vec<f64>,
+        tau: f64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&final_accuracy));
         assert!(!boundaries.is_empty(), "need at least one phase");
         assert_eq!(

@@ -90,7 +90,10 @@ mod tests {
     #[test]
     fn single_worker_needs_no_communication() {
         let ic = InterconnectModel::paper_default();
-        assert_eq!(ic.allreduce_time(Bytes::from_mib(100), 1), SimDuration::ZERO);
+        assert_eq!(
+            ic.allreduce_time(Bytes::from_mib(100), 1),
+            SimDuration::ZERO
+        );
         assert_eq!(ic.sync_time(1), SimDuration::ZERO);
     }
 
@@ -120,7 +123,9 @@ mod tests {
         // Calibration anchor: 97.5 MiB gradients over the effective
         // 0.8 GB/s fabric ≈ 0.24–0.26 s for large rings.
         let ic = InterconnectModel::paper_default();
-        let t = ic.allreduce_time(Bytes::new(25_557_032 * 4), 32).as_secs_f64();
+        let t = ic
+            .allreduce_time(Bytes::new(25_557_032 * 4), 32)
+            .as_secs_f64();
         assert!((0.2..0.3).contains(&t), "got {t:.3}s");
     }
 

@@ -71,7 +71,12 @@ impl PerfModel {
     /// # Panics
     ///
     /// Panics if `n_workers` is zero or `total_batch` is zero.
-    pub fn iteration_time(&self, model: &ModelSpec, n_workers: u32, total_batch: u32) -> SimDuration {
+    pub fn iteration_time(
+        &self,
+        model: &ModelSpec,
+        n_workers: u32,
+        total_batch: u32,
+    ) -> SimDuration {
         assert!(n_workers > 0, "need at least one worker");
         assert!(total_batch > 0, "need a positive batch size");
         let per_worker = total_batch as f64 / n_workers as f64;
@@ -84,7 +89,9 @@ impl PerfModel {
 
     /// Training throughput in samples per second.
     pub fn throughput(&self, model: &ModelSpec, n_workers: u32, total_batch: u32) -> f64 {
-        let t = self.iteration_time(model, n_workers, total_batch).as_secs_f64();
+        let t = self
+            .iteration_time(model, n_workers, total_batch)
+            .as_secs_f64();
         total_batch as f64 / t
     }
 

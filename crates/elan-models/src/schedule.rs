@@ -69,7 +69,11 @@ impl BatchSchedule {
 
     /// The largest batch size the schedule ever uses.
     pub fn max_tbs(&self) -> u32 {
-        self.phases.iter().map(|&(_, b)| b).max().expect("non-empty")
+        self.phases
+            .iter()
+            .map(|&(_, b)| b)
+            .max()
+            .expect("non-empty")
     }
 
     /// The phases as `(start_epoch, total_batch)` pairs.

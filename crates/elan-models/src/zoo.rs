@@ -182,7 +182,13 @@ pub fn bert_large() -> ModelSpec {
 /// The five models used in the adjustment-performance experiments
 /// (Fig. 15 labels A–E).
 pub fn evaluation_models() -> Vec<ModelSpec> {
-    vec![resnet50(), vgg19(), mobilenet_v2(), seq2seq(), transformer()]
+    vec![
+        resnet50(),
+        vgg19(),
+        mobilenet_v2(),
+        seq2seq(),
+        transformer(),
+    ]
 }
 
 /// Looks up a model by its display name.

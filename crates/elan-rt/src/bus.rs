@@ -3,16 +3,26 @@
 //! Stands in for the paper's ZeroMQ sockets (§V-D). Each participant owns
 //! an [`Endpoint`] (its receive queue); anyone holding the [`Bus`] can
 //! send to any endpoint by id. Per-receiver FIFO ordering is inherited
-//! from the underlying channel.
+//! from the underlying channel — unless a [`ChaosPolicy`] is attached, in
+//! which case messages may be dropped, duplicated, or delayed, and the
+//! [`crate::reliable`] layer is responsible for masking the damage.
+//!
+//! The bus also keeps per-endpoint delivery statistics and a dead-letter
+//! counter (sends to unregistered or departed endpoints), which the
+//! shutdown report surfaces.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
+use elan_core::messages::{MsgId, MsgIdAllocator};
 use elan_core::state::WorkerId;
+
+use crate::chaos::{ChaosEngine, ChaosPolicy, ChaosStats};
 
 /// Identifies a bus endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -50,8 +60,12 @@ pub enum RtMsg {
         /// Its current iteration.
         iteration: u64,
     },
-    /// AM → worker: continue training unchanged.
-    Proceed,
+    /// AM → worker: continue training unchanged. Tagged with the boundary
+    /// iteration so a chaos-delayed release cannot un-park a later round.
+    Proceed {
+        /// The boundary iteration being released.
+        boundary: u64,
+    },
     /// AM → worker: replicate state to `dst` (step ④), then report done.
     TransferOrder {
         /// Destination worker.
@@ -61,6 +75,8 @@ pub enum RtMsg {
     TransferDone {
         /// The source that completed its transfer.
         src: WorkerId,
+        /// The destination it served (src == dst marks a checkpoint).
+        dst: WorkerId,
     },
     /// Source worker → new worker: the replicated training state.
     StateTransfer {
@@ -82,29 +98,97 @@ pub enum RtMsg {
     Leave,
     /// Controller → AM: adjust to this membership.
     AdjustTo {
+        /// Controller-side operation sequence number (idempotence across
+        /// AM failovers).
+        seq: u64,
         /// Workers after the adjustment.
         target: Vec<WorkerId>,
     },
     /// Controller → AM: stop the job at the next boundary.
-    Stop,
+    Stop {
+        /// Operation sequence number.
+        seq: u64,
+    },
     /// Controller → AM: snapshot the training state at the next boundary.
-    Checkpoint,
+    Checkpoint {
+        /// Operation sequence number.
+        seq: u64,
+    },
     /// AM → worker: send your state to the controller (checkpoint), then
-    /// report `TransferDone`.
-    CheckpointOrder,
-    /// AM → controller: the last requested operation finished.
-    Ack,
+    /// report `TransferDone` with `src == dst`.
+    CheckpointOrder {
+        /// The checkpoint request being served.
+        seq: u64,
+    },
+    /// AM → controller: operation `seq` finished.
+    Ack {
+        /// The completed operation.
+        seq: u64,
+    },
+    /// Transport-level acknowledgement of one received message.
+    MsgAck {
+        /// The message being acknowledged.
+        of: MsgId,
+    },
+    /// Worker → AM: liveness beacon (unreliable by design).
+    Heartbeat {
+        /// The beaconing worker.
+        worker: WorkerId,
+        /// Its current iteration.
+        iteration: u64,
+    },
+    /// Replacement AM → everyone: a new AM epoch has begun; parked workers
+    /// re-send `Coordinate`, joining workers re-send `Report`.
+    AmReset {
+        /// The new AM epoch.
+        epoch: u64,
+    },
+}
+
+/// One message in flight on the bus: the body plus the reliable-messaging
+/// metadata every send carries.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Unique message id (stable across resends).
+    pub id: MsgId,
+    /// The sending endpoint.
+    pub from: EndpointId,
+    /// Send attempt, starting at 1; resends increment it so fault
+    /// injection rolls fresh dice.
+    pub attempt: u32,
+    /// The payload.
+    pub body: RtMsg,
+}
+
+/// Per-destination delivery counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Sends addressed to this endpoint.
+    pub sent: u64,
+    /// Messages actually enqueued (post-chaos, endpoint registered).
+    pub delivered: u64,
+    /// Messages addressed to an unregistered or departed endpoint.
+    pub dead_letters: u64,
+}
+
+#[derive(Default)]
+struct BusInner {
+    senders: RwLock<HashMap<EndpointId, Sender<Envelope>>>,
+    stats: Mutex<HashMap<EndpointId, EndpointStats>>,
+    chaos: Option<Mutex<ChaosEngine>>,
+    /// Id stream for bare [`Bus::send`] calls (owner `u32::MAX`).
+    raw_ids: Mutex<MsgIdAllocator>,
 }
 
 /// A shared registry of endpoint senders.
 #[derive(Clone, Default)]
 pub struct Bus {
-    senders: Arc<RwLock<HashMap<EndpointId, Sender<RtMsg>>>>,
+    inner: Arc<BusInner>,
 }
 
 impl fmt::Debug for Bus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Bus({} endpoints)", self.senders.read().len())
+        write!(f, "Bus({} endpoints)", self.inner.senders.read().len())
     }
 }
 
@@ -112,13 +196,24 @@ impl fmt::Debug for Bus {
 #[derive(Debug)]
 pub struct Endpoint {
     id: EndpointId,
-    receiver: Receiver<RtMsg>,
+    receiver: Receiver<Envelope>,
 }
 
 impl Bus {
-    /// Creates an empty bus.
+    /// Creates an empty bus with no fault injection.
     pub fn new() -> Self {
         Bus::default()
+    }
+
+    /// Creates a bus whose sends run through the given chaos policy.
+    pub fn with_chaos(policy: ChaosPolicy) -> Self {
+        Bus {
+            inner: Arc::new(BusInner {
+                chaos: Some(Mutex::new(ChaosEngine::new(policy))),
+                raw_ids: Mutex::new(MsgIdAllocator::for_owner(u32::MAX)),
+                ..BusInner::default()
+            }),
+        }
     }
 
     /// Registers `id` and returns its endpoint.
@@ -128,34 +223,107 @@ impl Bus {
     /// Panics if the id is already registered.
     pub fn register(&self, id: EndpointId) -> Endpoint {
         let (tx, rx) = unbounded();
-        let prev = self.senders.write().insert(id, tx);
+        let prev = self.inner.senders.write().insert(id, tx);
         assert!(prev.is_none(), "endpoint {id} registered twice");
         Endpoint { id, receiver: rx }
     }
 
-    /// Removes an endpoint; subsequent sends to it report failure.
+    /// Removes an endpoint; subsequent sends to it become dead letters.
     pub fn unregister(&self, id: EndpointId) {
-        self.senders.write().remove(&id);
+        self.inner.senders.write().remove(&id);
     }
 
-    /// Sends `msg` to `to`. Returns false if the endpoint is gone (the
-    /// runtime equivalent of a lost peer; callers decide how to react).
-    pub fn send(&self, to: EndpointId, msg: RtMsg) -> bool {
-        let guard = self.senders.read();
-        match guard.get(&to) {
-            Some(tx) => tx.send(msg).is_ok(),
-            None => false,
+    /// Sends a bare message with bus-allocated id and attempt 1 — for
+    /// traffic outside any reliable endpoint (tests, fire-and-forget).
+    /// Returns false if the destination is unregistered.
+    pub fn send(&self, to: EndpointId, body: RtMsg) -> bool {
+        let id = self.inner.raw_ids.lock().next_id();
+        self.send_envelope(
+            to,
+            Envelope {
+                id,
+                from: EndpointId::Controller,
+                attempt: 1,
+                body,
+            },
+        )
+    }
+
+    /// Sends a full envelope through fault injection (if any) to `to`.
+    /// Returns whether the destination endpoint is currently registered —
+    /// a chaos drop still reports true, because a real sender cannot
+    /// observe in-network loss.
+    pub fn send_envelope(&self, to: EndpointId, env: Envelope) -> bool {
+        {
+            let mut stats = self.inner.stats.lock();
+            stats.entry(to).or_default().sent += 1;
         }
+        let deliveries = match &self.inner.chaos {
+            Some(engine) => engine.lock().route(to, env),
+            None => vec![(to, env)],
+        };
+        for (dst, envelope) in deliveries {
+            let delivered = match self.inner.senders.read().get(&dst) {
+                Some(tx) => tx.send(envelope).is_ok(),
+                None => false,
+            };
+            let mut stats = self.inner.stats.lock();
+            let entry = stats.entry(dst).or_default();
+            if delivered {
+                entry.delivered += 1;
+            } else {
+                entry.dead_letters += 1;
+            }
+        }
+        self.inner.senders.read().contains_key(&to)
+    }
+
+    /// Delivery counters for one destination.
+    pub fn stats(&self, id: EndpointId) -> EndpointStats {
+        self.inner
+            .stats
+            .lock()
+            .get(&id)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All per-destination counters, sorted by endpoint.
+    pub fn all_stats(&self) -> Vec<(EndpointId, EndpointStats)> {
+        let mut v: Vec<_> = self
+            .inner
+            .stats
+            .lock()
+            .iter()
+            .map(|(&k, &s)| (k, s))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Total messages that could not be delivered anywhere.
+    pub fn total_dead_letters(&self) -> u64 {
+        self.inner
+            .stats
+            .lock()
+            .values()
+            .map(|s| s.dead_letters)
+            .sum()
+    }
+
+    /// Fault-injection counters, if a chaos policy is attached.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.inner.chaos.as_ref().map(|e| e.lock().stats())
     }
 
     /// Registered endpoint count.
     pub fn len(&self) -> usize {
-        self.senders.read().len()
+        self.inner.senders.read().len()
     }
 
     /// True when no endpoints are registered.
     pub fn is_empty(&self) -> bool {
-        self.senders.read().is_empty()
+        self.inner.senders.read().is_empty()
     }
 }
 
@@ -171,14 +339,19 @@ impl Endpoint {
     ///
     /// Panics if every sender has been dropped — a protocol bug, since the
     /// bus itself holds the senders until unregistered.
-    pub fn recv(&self) -> RtMsg {
+    pub fn recv(&self) -> Envelope {
         self.receiver
             .recv()
             .expect("bus dropped while endpoint alive")
     }
 
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        self.receiver.recv_timeout(timeout).ok()
+    }
+
     /// Non-blocking receive.
-    pub fn try_recv(&self) -> Option<RtMsg> {
+    pub fn try_recv(&self) -> Option<Envelope> {
         self.receiver.try_recv().ok()
     }
 }
@@ -192,19 +365,24 @@ mod tests {
         let bus = Bus::new();
         let am = bus.register(EndpointId::Am);
         let _w = bus.register(EndpointId::Worker(WorkerId(0)));
-        assert!(bus.send(EndpointId::Am, RtMsg::Report {
-            worker: WorkerId(0)
-        }));
-        match am.recv() {
+        assert!(bus.send(
+            EndpointId::Am,
+            RtMsg::Report {
+                worker: WorkerId(0)
+            }
+        ));
+        match am.recv().body {
             RtMsg::Report { worker } => assert_eq!(worker, WorkerId(0)),
             other => panic!("unexpected {other:?}"),
         }
     }
 
     #[test]
-    fn send_to_missing_endpoint_fails_gracefully() {
+    fn send_to_missing_endpoint_is_a_dead_letter() {
         let bus = Bus::new();
-        assert!(!bus.send(EndpointId::Am, RtMsg::Stop));
+        assert!(!bus.send(EndpointId::Am, RtMsg::Stop { seq: 0 }));
+        assert_eq!(bus.stats(EndpointId::Am).dead_letters, 1);
+        assert_eq!(bus.total_dead_letters(), 1);
     }
 
     #[test]
@@ -214,7 +392,7 @@ mod tests {
         assert_eq!(bus.len(), 1);
         bus.unregister(EndpointId::Controller);
         assert!(bus.is_empty());
-        assert!(!bus.send(EndpointId::Controller, RtMsg::Ack));
+        assert!(!bus.send(EndpointId::Controller, RtMsg::Ack { seq: 0 }));
     }
 
     #[test]
@@ -229,10 +407,13 @@ mod tests {
     fn per_receiver_fifo_order() {
         let bus = Bus::new();
         let w = bus.register(EndpointId::Worker(WorkerId(1)));
-        bus.send(EndpointId::Worker(WorkerId(1)), RtMsg::Proceed);
+        bus.send(
+            EndpointId::Worker(WorkerId(1)),
+            RtMsg::Proceed { boundary: 1 },
+        );
         bus.send(EndpointId::Worker(WorkerId(1)), RtMsg::Leave);
-        assert!(matches!(w.recv(), RtMsg::Proceed));
-        assert!(matches!(w.recv(), RtMsg::Leave));
+        assert!(matches!(w.recv().body, RtMsg::Proceed { .. }));
+        assert!(matches!(w.recv().body, RtMsg::Leave));
     }
 
     #[test]
@@ -240,5 +421,50 @@ mod tests {
         let bus = Bus::new();
         let w = bus.register(EndpointId::Worker(WorkerId(2)));
         assert!(w.try_recv().is_none());
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let bus = Bus::new();
+        let w = bus.register(EndpointId::Worker(WorkerId(3)));
+        assert!(w.recv_timeout(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn stats_count_sends_and_deliveries() {
+        let bus = Bus::new();
+        let _w = bus.register(EndpointId::Worker(WorkerId(0)));
+        for _ in 0..3 {
+            bus.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
+        }
+        bus.send(EndpointId::Am, RtMsg::Leave); // dead letter
+        let s = bus.stats(EndpointId::Worker(WorkerId(0)));
+        assert_eq!(s.sent, 3);
+        assert_eq!(s.delivered, 3);
+        assert_eq!(s.dead_letters, 0);
+        assert_eq!(bus.stats(EndpointId::Am).dead_letters, 1);
+        assert_eq!(bus.all_stats().len(), 2);
+    }
+
+    #[test]
+    fn envelopes_survive_unregistered_receiver_drop() {
+        // Receiver dropped without unregister (crashed worker): sends
+        // become dead letters, not panics.
+        let bus = Bus::new();
+        let w = bus.register(EndpointId::Worker(WorkerId(7)));
+        drop(w);
+        assert!(bus.send(EndpointId::Worker(WorkerId(7)), RtMsg::Leave));
+        assert_eq!(bus.stats(EndpointId::Worker(WorkerId(7))).dead_letters, 1);
+    }
+
+    #[test]
+    fn chaotic_bus_reports_stats() {
+        use crate::chaos::ChaosPolicy;
+        let bus = Bus::with_chaos(ChaosPolicy::new(9).drop(1.0));
+        let w = bus.register(EndpointId::Worker(WorkerId(0)));
+        bus.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
+        assert!(w.try_recv().is_none());
+        let chaos = bus.chaos_stats().unwrap();
+        assert_eq!(chaos.dropped, 1);
     }
 }

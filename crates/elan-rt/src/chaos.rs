@@ -1,0 +1,305 @@
+//! Deterministic, seeded fault injection for the control-plane bus.
+//!
+//! A [`ChaosPolicy`] describes per-edge probabilities of dropping,
+//! duplicating, and delaying messages; the bus consults the policy on
+//! every send. The fate of a message is a **pure function** of
+//! `(seed, edge, message id, attempt)`, so a chaotic run is exactly
+//! reproducible from its seed, and — crucially — a *resend* of a dropped
+//! message (same id, higher attempt) rolls new dice instead of being
+//! dropped forever.
+//!
+//! Delays are modeled without timers: a delayed message sits in a limbo
+//! buffer and is released only after `delay_ticks` further messages have
+//! flowed through the bus, which also reorders it behind younger traffic.
+
+use std::collections::HashMap;
+
+use crate::bus::{EndpointId, Envelope};
+
+/// Fault probabilities for one directed bus edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeChaos {
+    /// Probability the message silently vanishes.
+    pub drop_p: f64,
+    /// Probability the message is delivered twice.
+    pub dup_p: f64,
+    /// Probability the message is held back and reordered.
+    pub delay_p: f64,
+    /// How many subsequent bus sends a delayed message waits out.
+    pub delay_ticks: u32,
+}
+
+impl Default for EdgeChaos {
+    fn default() -> Self {
+        EdgeChaos {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            delay_ticks: 3,
+        }
+    }
+}
+
+/// A seeded, per-edge fault-injection policy.
+///
+/// # Examples
+///
+/// ```
+/// use elan_rt::chaos::ChaosPolicy;
+///
+/// // 20% drop, 10% duplicate, 10% delay on every edge, seed 42.
+/// let policy = ChaosPolicy::new(42).drop(0.2).duplicate(0.1).delay(0.1, 3);
+/// assert_eq!(policy.seed, 42);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPolicy {
+    /// Seed making every fate decision reproducible.
+    pub seed: u64,
+    /// Faults applied to edges without a specific override.
+    pub default_edge: EdgeChaos,
+    /// Per-edge overrides, keyed by `(from, to)`.
+    pub edges: HashMap<(EndpointId, EndpointId), EdgeChaos>,
+}
+
+impl ChaosPolicy {
+    /// A policy with no faults (until probabilities are set).
+    pub fn new(seed: u64) -> Self {
+        ChaosPolicy {
+            seed,
+            ..ChaosPolicy::default()
+        }
+    }
+
+    /// Sets the default drop probability.
+    pub fn drop(mut self, p: f64) -> Self {
+        self.default_edge.drop_p = p;
+        self
+    }
+
+    /// Sets the default duplication probability.
+    pub fn duplicate(mut self, p: f64) -> Self {
+        self.default_edge.dup_p = p;
+        self
+    }
+
+    /// Sets the default delay probability and hold-back span.
+    pub fn delay(mut self, p: f64, ticks: u32) -> Self {
+        self.default_edge.delay_p = p;
+        self.default_edge.delay_ticks = ticks;
+        self
+    }
+
+    /// Overrides the faults on one directed edge.
+    pub fn edge(mut self, from: EndpointId, to: EndpointId, chaos: EdgeChaos) -> Self {
+        self.edges.insert((from, to), chaos);
+        self
+    }
+
+    fn edge_for(&self, from: EndpointId, to: EndpointId) -> EdgeChaos {
+        self.edges
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_edge)
+    }
+}
+
+/// Counters of every fate the engine has decided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Messages passed through untouched.
+    pub delivered: u64,
+    /// Messages silently discarded.
+    pub dropped: u64,
+    /// Extra copies injected.
+    pub duplicated: u64,
+    /// Messages held back and reordered.
+    pub delayed: u64,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn endpoint_code(e: EndpointId) -> u64 {
+    match e {
+        EndpointId::Am => 1,
+        EndpointId::Controller => 2,
+        EndpointId::Worker(w) => 16 + w.0 as u64,
+    }
+}
+
+/// The mutable fault-injection state attached to one bus.
+#[derive(Debug)]
+pub(crate) struct ChaosEngine {
+    policy: ChaosPolicy,
+    stats: ChaosStats,
+    /// Delayed messages: (sends remaining before release, destination, msg).
+    limbo: Vec<(u32, EndpointId, Envelope)>,
+}
+
+impl ChaosEngine {
+    pub(crate) fn new(policy: ChaosPolicy) -> Self {
+        ChaosEngine {
+            policy,
+            stats: ChaosStats::default(),
+            limbo: Vec::new(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+
+    /// A uniform value in `[0, 1)` that is a pure function of the message
+    /// coordinates and the decision `salt`.
+    fn unit(&self, salt: u64, from: EndpointId, to: EndpointId, env: &Envelope) -> f64 {
+        let mut x = self.policy.seed ^ salt.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        x = mix(x ^ (endpoint_code(from) << 40) ^ (endpoint_code(to) << 20));
+        x = mix(x ^ env.id.0);
+        x = mix(x ^ (env.attempt as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+        (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Decides the fate of `env` heading to `to` and advances limbo.
+    /// Returns every delivery the bus should now perform (possibly zero,
+    /// one, or two copies of `env`, plus any released delayed messages).
+    pub(crate) fn route(&mut self, to: EndpointId, env: Envelope) -> Vec<(EndpointId, Envelope)> {
+        // Every send is a tick that ages the limbo buffer.
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.limbo.len() {
+            if self.limbo[i].0 <= 1 {
+                let (_, dst, delayed) = self.limbo.swap_remove(i);
+                out.push((dst, delayed));
+            } else {
+                self.limbo[i].0 -= 1;
+                i += 1;
+            }
+        }
+
+        let edge = self.policy.edge_for(env.from, to);
+        if self.unit(1, env.from, to, &env) < edge.drop_p {
+            self.stats.dropped += 1;
+            return out;
+        }
+        if self.unit(2, env.from, to, &env) < edge.delay_p {
+            self.stats.delayed += 1;
+            self.limbo.push((edge.delay_ticks.max(1), to, env));
+            return out;
+        }
+        self.stats.delivered += 1;
+        if self.unit(3, env.from, to, &env) < edge.dup_p {
+            self.stats.duplicated += 1;
+            out.push((to, env.clone()));
+        }
+        out.push((to, env));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::RtMsg;
+    use elan_core::messages::MsgId;
+    use elan_core::state::WorkerId;
+
+    fn env(id: u64, attempt: u32) -> Envelope {
+        Envelope {
+            id: MsgId(id),
+            from: EndpointId::Controller,
+            attempt,
+            body: RtMsg::Stop { seq: 0 },
+        }
+    }
+
+    fn count_fates(seed: u64, policy: ChaosPolicy, n: u64) -> ChaosStats {
+        let _ = seed;
+        let mut engine = ChaosEngine::new(policy);
+        for i in 0..n {
+            let _ = engine.route(EndpointId::Am, env(i, 1));
+        }
+        engine.stats()
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let p = ChaosPolicy::new(7).drop(0.3).duplicate(0.2).delay(0.1, 2);
+        let a = count_fates(7, p.clone(), 500);
+        let b = count_fates(7, p, 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = count_fates(1, ChaosPolicy::new(1).drop(0.3), 500);
+        let b = count_fates(2, ChaosPolicy::new(2).drop(0.3), 500);
+        assert_ne!(a.dropped, b.dropped);
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let stats = count_fates(3, ChaosPolicy::new(3).drop(0.25), 4000);
+        let rate = stats.dropped as f64 / 4000.0;
+        assert!((0.20..0.30).contains(&rate), "drop rate {rate}");
+    }
+
+    #[test]
+    fn resend_attempt_rolls_new_dice() {
+        // A message dropped at attempt 1 must not be doomed forever: across
+        // many ids, at least one dropped first attempt survives on retry.
+        let policy = ChaosPolicy::new(11).drop(0.5);
+        let mut engine = ChaosEngine::new(policy);
+        let mut saved_by_retry = 0;
+        for i in 0..200 {
+            if engine.route(EndpointId::Am, env(i, 1)).is_empty()
+                && !engine.route(EndpointId::Am, env(i, 2)).is_empty()
+            {
+                saved_by_retry += 1;
+            }
+        }
+        assert!(saved_by_retry > 0);
+    }
+
+    #[test]
+    fn delayed_messages_release_after_ticks() {
+        let policy = ChaosPolicy::new(0).delay(1.0, 2); // always delay 2 ticks
+        let mut engine = ChaosEngine::new(policy);
+        assert!(engine.route(EndpointId::Am, env(1, 1)).is_empty());
+        // Tick 1: msg 2 also delayed; msg 1 ages.
+        assert!(engine.route(EndpointId::Am, env(2, 1)).is_empty());
+        // Tick 2: msg 1 releases (behind msg 2 — reordered).
+        let out = engine.route(EndpointId::Am, env(3, 1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.id, MsgId(1));
+    }
+
+    #[test]
+    fn duplicates_deliver_two_copies() {
+        let policy = ChaosPolicy::new(0).duplicate(1.0);
+        let mut engine = ChaosEngine::new(policy);
+        let out = engine.route(EndpointId::Am, env(9, 1));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1.id, out[1].1.id);
+    }
+
+    #[test]
+    fn per_edge_override_wins() {
+        let w = EndpointId::Worker(WorkerId(0));
+        let policy = ChaosPolicy::new(5).drop(1.0).edge(
+            EndpointId::Controller,
+            w,
+            EdgeChaos::default(), // pristine edge
+        );
+        let mut engine = ChaosEngine::new(policy);
+        // Default edge drops everything…
+        assert!(engine.route(EndpointId::Am, env(1, 1)).is_empty());
+        // …but the overridden edge is clean.
+        let mut clean = env(2, 1);
+        clean.from = EndpointId::Controller;
+        assert_eq!(engine.route(w, clean).len(), 1);
+    }
+}

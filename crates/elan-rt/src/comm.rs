@@ -13,16 +13,28 @@
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
 use elan_core::state::WorkerId;
 
+/// How often a blocked allreduce caller's `on_wait` callback fires.
+const WAIT_SLICE: Duration = Duration::from_millis(50);
+
 /// Outcome of one allreduce call.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AllreduceOutcome {
     /// Every member contributed; here is the element-wise sum.
-    Sum(Arc<Vec<f32>>),
+    Sum {
+        /// Element-wise sum across the members of the completed round.
+        sum: Arc<Vec<f32>>,
+        /// How many members contributed to (or were counted in) the round
+        /// when it completed — captured atomically with the sum, so a
+        /// concurrent eviction can never make callers divide by a stale
+        /// world size.
+        world: u32,
+    },
     /// The caller is not a member of the current generation (it was
     /// removed by an adjustment and should leave the data plane).
     NotMember,
@@ -41,6 +53,26 @@ struct GroupState {
     /// Result of the last completed round.
     result: Arc<Vec<f32>>,
     result_round: u64,
+    /// World size captured when the last round completed.
+    result_world: u32,
+}
+
+impl GroupState {
+    /// Sums the full contribution set, publishes it, and opens the next
+    /// round. Summing in worker-id order keeps the f32 result
+    /// bit-deterministic regardless of thread arrival order.
+    fn complete_round(&mut self) {
+        let mut sum = vec![0.0f32; self.vec_len];
+        for contribution in std::mem::take(&mut self.contributions).into_values() {
+            for (a, d) in sum.iter_mut().zip(contribution) {
+                *a += d;
+            }
+        }
+        self.result = Arc::new(sum);
+        self.result_round = self.round;
+        self.result_world = self.members.len() as u32;
+        self.round += 1;
+    }
 }
 
 /// A dynamic-membership allreduce group.
@@ -84,6 +116,7 @@ impl CommGroup {
                 vec_len: len,
                 result: Arc::new(vec![0.0; len]),
                 result_round: u64::MAX,
+                result_world: 0,
             }),
             cvar: Condvar::new(),
         }
@@ -111,6 +144,27 @@ impl CommGroup {
     ///
     /// Panics if `data` length differs from the group's vector length.
     pub fn allreduce(&self, worker: WorkerId, data: &[f32]) -> AllreduceOutcome {
+        self.allreduce_with(worker, data, || {})
+    }
+
+    /// Like [`allreduce`](CommGroup::allreduce), but invokes `on_wait`
+    /// (with the group lock released) roughly every 50 ms while blocked
+    /// waiting for slower members.
+    ///
+    /// This is how live workers keep heartbeating the application master
+    /// from inside the data plane: without it, one dead member would make
+    /// every survivor fall silent too, and the failure detector could not
+    /// tell the victim from the hostages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` length differs from the group's vector length.
+    pub fn allreduce_with(
+        &self,
+        worker: WorkerId,
+        data: &[f32],
+        mut on_wait: impl FnMut(),
+    ) -> AllreduceOutcome {
         let mut st = self.state.lock();
         if !st.members.contains(&worker) {
             return AllreduceOutcome::NotMember;
@@ -125,25 +179,52 @@ impl CommGroup {
         let my_round = st.round;
 
         if st.contributions.len() == st.members.len() {
-            // Last arriver publishes and opens the next round. Summing in
-            // worker-id order keeps the f32 result bit-deterministic.
-            let mut sum = vec![0.0f32; st.vec_len];
-            for contribution in std::mem::take(&mut st.contributions).into_values() {
-                for (a, d) in sum.iter_mut().zip(contribution) {
-                    *a += d;
-                }
-            }
-            st.result = Arc::new(sum);
-            st.result_round = my_round;
-            st.round += 1;
+            // Last arriver publishes and opens the next round.
+            st.complete_round();
             self.cvar.notify_all();
-            return AllreduceOutcome::Sum(Arc::clone(&st.result));
+            return AllreduceOutcome::Sum {
+                sum: Arc::clone(&st.result),
+                world: st.result_world,
+            };
         }
-        // Wait for the round to publish.
+        // Wait for the round to publish, surfacing periodic wait ticks.
         while st.result_round != my_round {
-            self.cvar.wait(&mut st);
+            if self.cvar.wait_for(&mut st, WAIT_SLICE).timed_out() {
+                drop(st);
+                on_wait();
+                st = self.state.lock();
+            }
         }
-        AllreduceOutcome::Sum(Arc::clone(&st.result))
+        AllreduceOutcome::Sum {
+            sum: Arc::clone(&st.result),
+            world: st.result_world,
+        }
+    }
+
+    /// Removes a (presumed dead) member mid-generation, discarding any
+    /// contribution it made to the in-flight round; returns whether it was
+    /// a member.
+    ///
+    /// If the victim was the only member the round was still waiting for,
+    /// eviction completes the round on the spot, releasing the surviving
+    /// members with a sum over the survivors — [`AllreduceOutcome::Sum`]
+    /// carries the shrunken `world` so their averages stay correct. This
+    /// is the data-plane half of failure-driven scale-in: the control
+    /// plane evicts first so nobody blocks, then reconfigures the group at
+    /// the next boundary.
+    pub fn evict(&self, worker: WorkerId) -> bool {
+        let mut st = self.state.lock();
+        let was_member = st.members.remove(&worker);
+        st.contributions.remove(&worker);
+        if was_member
+            && !st.members.is_empty()
+            && !st.contributions.is_empty()
+            && st.contributions.len() == st.members.len()
+        {
+            st.complete_round();
+            self.cvar.notify_all();
+        }
+        was_member
     }
 
     /// Reconstructs the communication group (step ⑤): replaces the member
@@ -189,7 +270,10 @@ mod tests {
             .collect();
         for h in handles {
             match h.join().unwrap() {
-                AllreduceOutcome::Sum(sum) => assert!(sum.iter().all(|&v| v == 6.0)),
+                AllreduceOutcome::Sum { sum, world } => {
+                    assert!(sum.iter().all(|&v| v == 6.0));
+                    assert_eq!(world, 4);
+                }
                 other => panic!("unexpected {other:?}"),
             }
         }
@@ -204,7 +288,7 @@ mod tests {
             let b = h.join().unwrap();
             assert_eq!(a, b);
             match a {
-                AllreduceOutcome::Sum(s) => assert_eq!(s[0], round as f32 + 1.0),
+                AllreduceOutcome::Sum { sum, .. } => assert_eq!(sum[0], round as f32 + 1.0),
                 _ => panic!("not a sum"),
             }
         }
@@ -241,11 +325,71 @@ mod tests {
         let h2 = spawn_allreduce(&group, WorkerId(2), vec![1.0; 4]);
         let a = group.allreduce(WorkerId(0), &[1.0; 4]);
         match a {
-            AllreduceOutcome::Sum(s) => assert_eq!(s[0], 3.0),
+            AllreduceOutcome::Sum { sum, world } => {
+                assert_eq!(sum[0], 3.0);
+                assert_eq!(world, 3);
+            }
             _ => panic!("not a sum"),
         }
         h1.join().unwrap();
         h2.join().unwrap();
+    }
+
+    #[test]
+    fn evict_unblocks_a_waiting_round() {
+        // Three members; only two contribute; the third is evicted. The
+        // eviction must complete the round with world == 2.
+        let group = Arc::new(CommGroup::new((0..3).map(WorkerId), 4));
+        let h0 = spawn_allreduce(&group, WorkerId(0), vec![1.0; 4]);
+        let h1 = spawn_allreduce(&group, WorkerId(1), vec![2.0; 4]);
+        // Give both threads time to park in the round.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let st = group.state.lock();
+                if st.contributions.len() == 2 {
+                    break;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "contributions stuck");
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(group.evict(WorkerId(2)));
+        for h in [h0, h1] {
+            match h.join().unwrap() {
+                AllreduceOutcome::Sum { sum, world } => {
+                    assert_eq!(sum[0], 3.0);
+                    assert_eq!(world, 2);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(group.world_size(), 2);
+    }
+
+    #[test]
+    fn evict_non_member_is_a_noop() {
+        let group = CommGroup::new([WorkerId(0)], 2);
+        assert!(!group.evict(WorkerId(9)));
+        assert_eq!(group.world_size(), 1);
+    }
+
+    #[test]
+    fn on_wait_fires_while_blocked() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let group = Arc::new(CommGroup::new([WorkerId(0), WorkerId(1)], 2));
+        let ticks = Arc::new(AtomicU32::new(0));
+        let (g, t) = (Arc::clone(&group), Arc::clone(&ticks));
+        let h = thread::spawn(move || {
+            g.allreduce_with(WorkerId(0), &[1.0; 2], || {
+                t.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        // Hold the round open long enough for at least one wait slice.
+        thread::sleep(Duration::from_millis(160));
+        group.allreduce(WorkerId(1), &[1.0; 2]);
+        h.join().unwrap();
+        assert!(ticks.load(Ordering::SeqCst) >= 1, "no wait ticks observed");
     }
 
     #[test]
@@ -268,7 +412,7 @@ mod tests {
                     for r in 0..rounds {
                         let data = vec![(i as f32) + (r as f32); 16];
                         match g.allreduce(WorkerId(i), &data) {
-                            AllreduceOutcome::Sum(s) => acc += s[0] as f64,
+                            AllreduceOutcome::Sum { sum, .. } => acc += sum[0] as f64,
                             _ => panic!("membership lost"),
                         }
                     }

@@ -24,10 +24,16 @@
 //! ```
 
 pub mod bus;
+pub mod chaos;
 pub mod comm;
+pub mod liveness;
+pub mod reliable;
 pub mod runtime;
 pub mod worker;
 
-pub use bus::{Bus, Endpoint, EndpointId, RtMsg};
-pub use comm::CommGroup;
+pub use bus::{Bus, Endpoint, EndpointId, EndpointStats, Envelope, RtMsg};
+pub use chaos::{ChaosPolicy, ChaosStats, EdgeChaos};
+pub use comm::{AllreduceOutcome, CommGroup};
+pub use liveness::CrashPoint;
+pub use reliable::{ReliableEndpoint, RtMetrics, RtMetricsSnapshot};
 pub use runtime::{CheckpointSnapshot, ElasticRuntime, RuntimeConfig, ShutdownReport};

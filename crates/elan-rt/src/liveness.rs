@@ -1,0 +1,360 @@
+//! Liveness machinery for the live runtime: the AM lease, the durable AM
+//! state record, and the worker heartbeat monitor.
+//!
+//! The design follows Elan §V-D: the application master persists every
+//! state transition to a [`ReplicatedStore`] *before* acting on it, and
+//! proves its own liveness by refreshing a lease in a [`LeaseManager`]
+//! shared with a watchdog. When the lease lapses — because the AM thread
+//! died or was deliberately crashed by a test — the watchdog elects a
+//! replacement AM at a higher epoch, which reads the durable record back
+//! and resumes whatever adjustment was in flight.
+//!
+//! Workers prove their liveness with periodic heartbeats; the AM-side
+//! [`HeartbeatMonitor`] turns missed heartbeats into failure-driven
+//! scale-in decisions.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+use elan_core::lease::{LeaseId, LeaseManager, LeaseState};
+use elan_core::state::WorkerId;
+use elan_core::store::ReplicatedStore;
+use elan_sim::SimTime;
+
+use crate::reliable::RtMetrics;
+
+/// The store key under which the live AM persists its durable record.
+pub const AM_STORE_KEY: &str = "am/rt";
+
+/// Where an armed AM crash fires (test hook for recovery scenarios).
+///
+/// The runtime's [`arm_am_crash`](crate::ElasticRuntime::arm_am_crash)
+/// plants one of these; the AM thread checks the flag at the matching
+/// point of its adjustment pipeline and, if set, simply returns — without
+/// revoking its lease — so the watchdog must notice the silence and elect
+/// a replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die right after persisting `Transferring`, before sending any
+    /// transfer orders: the replacement must re-derive and re-send them.
+    OnAdjustStart,
+    /// Die right after persisting `Resuming`, before sending
+    /// `Resume`/`Leave`: the replacement must re-issue the resume wave.
+    OnResume,
+}
+
+/// What stage of an adjustment the durable AM record is in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AmPhase {
+    /// No adjustment in flight.
+    Steady,
+    /// Transfer orders are (about to be) outstanding for a move to
+    /// `target`. `seq: None` marks a failure-driven adjustment with no
+    /// controller op to acknowledge.
+    Transferring {
+        /// The membership being moved to.
+        target: Vec<WorkerId>,
+        /// Controller op being served, if any.
+        seq: Option<u64>,
+    },
+    /// State transfer finished; the resume wave (`Leave` + `Resume`) for
+    /// comm-group `generation` is (about to be) outstanding.
+    Resuming {
+        /// The membership being moved to.
+        target: Vec<WorkerId>,
+        /// Controller op being served, if any.
+        seq: Option<u64>,
+        /// The comm-group generation workers must resume into.
+        generation: u64,
+    },
+}
+
+/// A controller-requested (or failure-driven) adjustment not yet started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingOp {
+    /// Controller op sequence to acknowledge, or `None` for an internal
+    /// failure-driven adjustment.
+    pub seq: Option<u64>,
+    /// The membership to adjust to.
+    pub target: Vec<WorkerId>,
+}
+
+/// Everything a replacement AM needs to take over mid-flight.
+///
+/// The AM persists this record to the [`ReplicatedStore`] *before* every
+/// externally visible action, so the record is always at or ahead of the
+/// cluster's observed state and replaying from it is safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AmDurable {
+    /// The epoch of the AM that last wrote the record.
+    pub epoch: u64,
+    /// Current active membership.
+    pub members: Vec<WorkerId>,
+    /// Adjustment stage.
+    pub phase: AmPhase,
+    /// Next adjustment waiting behind the in-flight one.
+    pub pending: Option<PendingOp>,
+    /// A `Stop{seq}` being served, if any.
+    pub stopping: Option<u64>,
+    /// Highest controller op sequence fully completed (for idempotent
+    /// re-acknowledgement of duplicate ops).
+    pub seq_done: u64,
+}
+
+impl AmDurable {
+    /// A fresh record for a founding membership.
+    pub fn founding(members: Vec<WorkerId>) -> Self {
+        AmDurable {
+            epoch: 0,
+            members,
+            phase: AmPhase::Steady,
+            pending: None,
+            stopping: None,
+            seq_done: 0,
+        }
+    }
+}
+
+/// Control-plane state shared by the controller, AM, watchdog, and tests.
+///
+/// This is the "etcd" of the miniature cluster: the replicated store with
+/// the durable AM record, the lease table, crash-injection flags, and the
+/// authoritative membership view.
+pub struct SharedControl {
+    /// Durable AM state (persist-before-act).
+    pub store: Mutex<ReplicatedStore<AmDurable>>,
+    /// Lease table proving AM liveness.
+    pub leases: Mutex<LeaseManager>,
+    /// Wall-clock origin mapped onto the lease manager's [`SimTime`] axis.
+    lease_origin: Instant,
+    /// The lease currently held by the active AM.
+    pub current_lease: Mutex<Option<LeaseId>>,
+    /// Monotone AM incarnation counter; bumped by the watchdog on takeover.
+    pub epoch: AtomicU64,
+    /// Authoritative current membership (updated by the AM on resume).
+    pub members: Mutex<Vec<WorkerId>>,
+    /// Set once at shutdown; every loop exits when it observes this.
+    pub shutdown: AtomicBool,
+    /// Armed AM crash point, taken (once) by the AM thread.
+    pub am_crash: Mutex<Option<CrashPoint>>,
+    /// Workers ordered to play dead (stop heartbeating and training).
+    pub worker_crash: RwLock<HashSet<WorkerId>>,
+    /// Join handles of every AM incarnation (original + replacements).
+    pub am_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Shared reliability metrics.
+    pub metrics: Arc<RtMetrics>,
+}
+
+impl SharedControl {
+    /// Creates the shared control plane with the given AM lease TTL.
+    pub fn new(lease_ttl: Duration, metrics: Arc<RtMetrics>) -> Self {
+        SharedControl {
+            store: Mutex::new(ReplicatedStore::new()),
+            leases: Mutex::new(LeaseManager::new(elan_sim::SimDuration::from_nanos(
+                lease_ttl.as_nanos().max(1) as u64,
+            ))),
+            lease_origin: Instant::now(),
+            current_lease: Mutex::new(None),
+            epoch: AtomicU64::new(0),
+            members: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            am_crash: Mutex::new(None),
+            worker_crash: RwLock::new(HashSet::new()),
+            am_handles: Mutex::new(Vec::new()),
+            metrics,
+        }
+    }
+
+    /// Wall-clock "now" projected onto the lease manager's time axis.
+    pub fn now_sim(&self) -> SimTime {
+        SimTime::from_nanos(self.lease_origin.elapsed().as_nanos() as u64)
+    }
+
+    /// Grants a fresh AM lease and records it as current.
+    pub fn grant_lease(&self) -> LeaseId {
+        let id = self.leases.lock().grant(self.now_sim());
+        *self.current_lease.lock() = Some(id);
+        id
+    }
+
+    /// Refreshes `id`; an `Err` means the holder must abdicate.
+    pub fn keep_alive(&self, id: LeaseId) -> Result<(), elan_core::lease::LeaseError> {
+        self.leases.lock().keep_alive(id, self.now_sim())
+    }
+
+    /// True if the current lease (if any) has expired — i.e. the active
+    /// AM has stopped proving liveness and a takeover is warranted.
+    pub fn lease_expired(&self) -> bool {
+        let current = *self.current_lease.lock();
+        match current {
+            None => false,
+            Some(id) => matches!(
+                self.leases.lock().state(id, self.now_sim()),
+                None | Some(LeaseState::Expired { .. })
+            ),
+        }
+    }
+
+    /// Persists the durable AM record (the persist-before-act write).
+    pub fn persist(&self, record: &AmDurable) {
+        self.store.lock().put(AM_STORE_KEY, record.clone());
+    }
+
+    /// Reads the durable AM record back (for takeover or inspection).
+    pub fn recover(&self) -> Option<AmDurable> {
+        self.store.lock().get(AM_STORE_KEY).map(|v| v.value.clone())
+    }
+
+    /// Takes an armed AM crash point, if any (one-shot).
+    pub fn take_am_crash(&self) -> Option<CrashPoint> {
+        self.am_crash.lock().take()
+    }
+
+    /// True if `worker` has been ordered to play dead.
+    pub fn worker_crashed(&self, worker: WorkerId) -> bool {
+        self.worker_crash.read().contains(&worker)
+    }
+
+    /// True once shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// AM-side failure detector over worker heartbeats.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::{Duration, Instant};
+/// use elan_core::state::WorkerId;
+/// use elan_rt::liveness::HeartbeatMonitor;
+///
+/// let mut hb = HeartbeatMonitor::new(Duration::from_millis(100));
+/// let t0 = Instant::now();
+/// hb.note(WorkerId(0), t0);
+/// assert!(hb.dead(&[WorkerId(0)], t0 + Duration::from_millis(50)).is_empty());
+/// assert_eq!(
+///     hb.dead(&[WorkerId(0)], t0 + Duration::from_millis(200)),
+///     vec![WorkerId(0)]
+/// );
+/// ```
+#[derive(Debug)]
+pub struct HeartbeatMonitor {
+    last: HashMap<WorkerId, Instant>,
+    timeout: Duration,
+}
+
+impl HeartbeatMonitor {
+    /// A monitor declaring workers dead after `timeout` of silence.
+    pub fn new(timeout: Duration) -> Self {
+        HeartbeatMonitor {
+            last: HashMap::new(),
+            timeout,
+        }
+    }
+
+    /// Records a liveness proof from `worker` at `now`.
+    ///
+    /// Any message from a worker counts — heartbeats are just the
+    /// guaranteed minimum traffic.
+    pub fn note(&mut self, worker: WorkerId, now: Instant) {
+        self.last.insert(worker, now);
+    }
+
+    /// The subset of `members` whose last proof is older than the timeout.
+    ///
+    /// A member never heard from at all is given the benefit of the doubt
+    /// by starting its clock at first observation: `dead` seeds `now` for
+    /// unknown members instead of condemning them immediately.
+    pub fn dead(&mut self, members: &[WorkerId], now: Instant) -> Vec<WorkerId> {
+        members
+            .iter()
+            .copied()
+            .filter(|w| {
+                let last = *self.last.entry(*w).or_insert(now);
+                now.saturating_duration_since(last) > self.timeout
+            })
+            .collect()
+    }
+
+    /// Forgets a worker (it left or was declared dead).
+    pub fn forget(&mut self, worker: WorkerId) {
+        self.last.remove(&worker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn founding_record_is_steady() {
+        let rec = AmDurable::founding(vec![WorkerId(0), WorkerId(1)]);
+        assert_eq!(rec.phase, AmPhase::Steady);
+        assert_eq!(rec.seq_done, 0);
+        assert!(rec.pending.is_none());
+    }
+
+    #[test]
+    fn persist_recover_roundtrip() {
+        let ctrl = SharedControl::new(Duration::from_millis(100), Arc::new(RtMetrics::default()));
+        assert!(ctrl.recover().is_none());
+        let mut rec = AmDurable::founding(vec![WorkerId(0)]);
+        rec.phase = AmPhase::Transferring {
+            target: vec![WorkerId(0), WorkerId(1)],
+            seq: Some(3),
+        };
+        ctrl.persist(&rec);
+        assert_eq!(ctrl.recover(), Some(rec));
+    }
+
+    #[test]
+    fn lease_expiry_is_observable() {
+        let ctrl = SharedControl::new(Duration::from_millis(20), Arc::new(RtMetrics::default()));
+        assert!(!ctrl.lease_expired(), "no lease yet");
+        let id = ctrl.grant_lease();
+        assert!(ctrl.keep_alive(id).is_ok());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(ctrl.lease_expired());
+        assert!(ctrl.keep_alive(id).is_err());
+    }
+
+    #[test]
+    fn heartbeat_monitor_declares_only_silent_members() {
+        let mut hb = HeartbeatMonitor::new(Duration::from_millis(50));
+        let t0 = Instant::now();
+        hb.note(WorkerId(0), t0);
+        hb.note(WorkerId(1), t0 + Duration::from_millis(100));
+        let dead = hb.dead(&[WorkerId(0), WorkerId(1)], t0 + Duration::from_millis(120));
+        assert_eq!(dead, vec![WorkerId(0)]);
+    }
+
+    #[test]
+    fn unknown_members_get_a_grace_period() {
+        let mut hb = HeartbeatMonitor::new(Duration::from_millis(50));
+        let t0 = Instant::now();
+        // Never heard from, but first observation seeds the clock.
+        assert!(hb.dead(&[WorkerId(7)], t0).is_empty());
+        assert!(hb
+            .dead(&[WorkerId(7)], t0 + Duration::from_millis(20))
+            .is_empty());
+        assert_eq!(
+            hb.dead(&[WorkerId(7)], t0 + Duration::from_millis(80)),
+            vec![WorkerId(7)]
+        );
+    }
+
+    #[test]
+    fn crash_point_is_one_shot() {
+        let ctrl = SharedControl::new(Duration::from_millis(100), Arc::new(RtMetrics::default()));
+        *ctrl.am_crash.lock() = Some(CrashPoint::OnAdjustStart);
+        assert_eq!(ctrl.take_am_crash(), Some(CrashPoint::OnAdjustStart));
+        assert_eq!(ctrl.take_am_crash(), None);
+    }
+}

@@ -1,0 +1,380 @@
+//! Reliable messaging over the (possibly chaotic) bus.
+//!
+//! Implements the paper's §V-D recipe on the live runtime: every message
+//! carries a unique id, the sender resends on timeout until acked, and
+//! the receiver deduplicates with bounded memory. [`ReliableEndpoint`]
+//! wraps a raw [`Endpoint`] with:
+//!
+//! - an owner-scoped [`MsgIdAllocator`] (the AM's owner encodes its epoch,
+//!   so a replacement AM is a *fresh* sender stream at every receiver),
+//! - a wall-clock [`RetryTracker`] with an optional give-up budget — the
+//!   runtime's failure detector,
+//! - automatic transport acks ([`RtMsg::MsgAck`]) for received messages,
+//! - a [`BoundedDedupFilter`] suppressing chaos- and resend-duplicates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use elan_core::messages::{BoundedDedupFilter, MsgId, MsgIdAllocator, RetryOutcome, RetryTracker};
+
+use crate::bus::{Bus, Endpoint, EndpointId, Envelope, RtMsg};
+
+/// Shared fault-tolerance counters, aggregated across every endpoint.
+#[derive(Debug, Default)]
+pub struct RtMetrics {
+    /// Transport-level resends after ack timeouts.
+    pub resends: AtomicU64,
+    /// Duplicate deliveries suppressed by receivers.
+    pub duplicates: AtomicU64,
+    /// Messages abandoned after the attempt budget (peer presumed dead).
+    pub give_ups: AtomicU64,
+    /// Replacement AMs elected by the watchdog.
+    pub am_recoveries: AtomicU64,
+    /// Failure-driven scale-ins executed after missed heartbeats.
+    pub failure_scale_ins: AtomicU64,
+}
+
+/// A point-in-time copy of [`RtMetrics`] plus bus-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RtMetricsSnapshot {
+    /// Transport-level resends after ack timeouts.
+    pub resends: u64,
+    /// Duplicate deliveries suppressed by receivers.
+    pub duplicates: u64,
+    /// Messages abandoned after the attempt budget.
+    pub give_ups: u64,
+    /// Replacement AMs elected by the watchdog.
+    pub am_recoveries: u64,
+    /// Failure-driven scale-ins executed after missed heartbeats.
+    pub failure_scale_ins: u64,
+    /// Sends to unregistered/departed endpoints (from the bus).
+    pub dead_letters: u64,
+}
+
+impl RtMetrics {
+    /// Snapshots the counters; `dead_letters` is supplied by the caller
+    /// (it lives on the bus).
+    pub fn snapshot(&self, dead_letters: u64) -> RtMetricsSnapshot {
+        RtMetricsSnapshot {
+            resends: self.resends.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            give_ups: self.give_ups.load(Ordering::Relaxed),
+            am_recoveries: self.am_recoveries.load(Ordering::Relaxed),
+            failure_scale_ins: self.failure_scale_ins.load(Ordering::Relaxed),
+            dead_letters,
+        }
+    }
+}
+
+/// A message the endpoint gave up on: the peer never acked within the
+/// attempt budget.
+#[derive(Debug, Clone)]
+pub struct GiveUp {
+    /// The abandoned message id.
+    pub id: MsgId,
+    /// The unresponsive destination.
+    pub to: EndpointId,
+    /// The abandoned payload.
+    pub body: RtMsg,
+}
+
+/// An endpoint with at-least-once delivery and duplicate suppression.
+pub struct ReliableEndpoint {
+    bus: Bus,
+    endpoint: Endpoint,
+    ids: MsgIdAllocator,
+    retry: RetryTracker<(EndpointId, RtMsg), Instant>,
+    dedup: BoundedDedupFilter,
+    metrics: Arc<RtMetrics>,
+}
+
+impl std::fmt::Debug for ReliableEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReliableEndpoint")
+            .field("id", &self.endpoint.id())
+            .field("pending", &self.retry.pending())
+            .finish()
+    }
+}
+
+impl ReliableEndpoint {
+    /// Wraps `endpoint` with reliable semantics. `owner` scopes the id
+    /// stream; `max_attempts` of `None` retries forever.
+    pub fn new(
+        bus: Bus,
+        endpoint: Endpoint,
+        owner: u32,
+        retry_timeout: Duration,
+        max_attempts: Option<u32>,
+        metrics: Arc<RtMetrics>,
+    ) -> Self {
+        let mut retry = RetryTracker::new(retry_timeout);
+        if let Some(max) = max_attempts {
+            retry = retry.with_max_attempts(max);
+        }
+        ReliableEndpoint {
+            bus,
+            endpoint,
+            ids: MsgIdAllocator::for_owner(owner),
+            retry,
+            dedup: BoundedDedupFilter::default(),
+            metrics,
+        }
+    }
+
+    /// This endpoint's bus id.
+    pub fn id(&self) -> EndpointId {
+        self.endpoint.id()
+    }
+
+    /// The underlying bus (for stats or bare sends).
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Sends `body` reliably: it will be resent every timeout until the
+    /// receiver acks (or the attempt budget runs out). Returns the id.
+    pub fn send(&mut self, to: EndpointId, body: RtMsg) -> MsgId {
+        let id = self.ids.next_id();
+        self.retry.track(id, (to, body.clone()), Instant::now());
+        self.bus.send_envelope(
+            to,
+            Envelope {
+                id,
+                from: self.endpoint.id(),
+                attempt: 1,
+                body,
+            },
+        );
+        id
+    }
+
+    /// Sends `body` once, fire-and-forget (heartbeats, acks).
+    pub fn send_unreliable(&mut self, to: EndpointId, body: RtMsg) -> MsgId {
+        let id = self.ids.next_id();
+        self.bus.send_envelope(
+            to,
+            Envelope {
+                id,
+                from: self.endpoint.id(),
+                attempt: 1,
+                body,
+            },
+        );
+        id
+    }
+
+    /// Resends every overdue message and returns the ones given up on.
+    /// Call this regularly (every receive timeout at least).
+    pub fn tick(&mut self) -> Vec<GiveUp> {
+        let mut gave_up = Vec::new();
+        for outcome in self.retry.poll(Instant::now()) {
+            match outcome {
+                RetryOutcome::Resend(id, (to, body)) => {
+                    let attempt = self.retry.attempts(id).unwrap_or(2);
+                    self.metrics.resends.fetch_add(1, Ordering::Relaxed);
+                    self.bus.send_envelope(
+                        to,
+                        Envelope {
+                            id,
+                            from: self.endpoint.id(),
+                            attempt,
+                            body,
+                        },
+                    );
+                }
+                RetryOutcome::GaveUp(id, (to, body)) => {
+                    self.metrics.give_ups.fetch_add(1, Ordering::Relaxed);
+                    gave_up.push(GiveUp { id, to, body });
+                }
+            }
+        }
+        gave_up
+    }
+
+    /// Receives the next *fresh* application message, waiting up to
+    /// `timeout`. Transport acks are absorbed (they settle the retry
+    /// tracker), incoming messages are acked automatically, and duplicates
+    /// are suppressed. Returns `None` on timeout.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<(EndpointId, RtMsg)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let env = self.endpoint.recv_timeout(remaining)?;
+            match &env.body {
+                RtMsg::MsgAck { of } => {
+                    self.retry.ack(*of);
+                    continue;
+                }
+                // Heartbeats are unreliable by design: no ack traffic.
+                RtMsg::Heartbeat { .. } => {}
+                _ => {
+                    // Ack first — even duplicates need re-acking, because a
+                    // resend means our previous ack was lost.
+                    let ack_id = self.ids.next_id();
+                    self.bus.send_envelope(
+                        env.from,
+                        Envelope {
+                            id: ack_id,
+                            from: self.endpoint.id(),
+                            attempt: 1,
+                            body: RtMsg::MsgAck { of: env.id },
+                        },
+                    );
+                }
+            }
+            if !self.dedup.first_delivery(env.id) {
+                self.metrics.duplicates.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            return Some((env.from, env.body));
+        }
+    }
+
+    /// Messages awaiting acknowledgement.
+    pub fn pending(&self) -> usize {
+        self.retry.pending()
+    }
+
+    /// Resends performed by this endpoint.
+    pub fn resend_count(&self) -> u64 {
+        self.retry.resend_count()
+    }
+
+    /// Duplicates suppressed by this endpoint.
+    pub fn duplicate_count(&self) -> u64 {
+        self.dedup.duplicate_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::ChaosPolicy;
+    use elan_core::state::WorkerId;
+
+    fn pair(bus: &Bus, metrics: &Arc<RtMetrics>) -> (ReliableEndpoint, ReliableEndpoint) {
+        let a = ReliableEndpoint::new(
+            bus.clone(),
+            bus.register(EndpointId::Am),
+            1,
+            Duration::from_millis(20),
+            None,
+            Arc::clone(metrics),
+        );
+        let b = ReliableEndpoint::new(
+            bus.clone(),
+            bus.register(EndpointId::Worker(WorkerId(0))),
+            16,
+            Duration::from_millis(20),
+            None,
+            Arc::clone(metrics),
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn delivery_and_ack_settle_the_tracker() {
+        let bus = Bus::new();
+        let metrics = Arc::new(RtMetrics::default());
+        let (mut am, mut w) = pair(&bus, &metrics);
+        am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
+        assert_eq!(am.pending(), 1);
+        // Worker receives (and acks)...
+        let (from, msg) = w.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(from, EndpointId::Am);
+        assert!(matches!(msg, RtMsg::Leave));
+        // ...AM absorbs the ack on its next receive attempt.
+        assert!(am.recv_timeout(Duration::from_millis(50)).is_none());
+        assert_eq!(am.pending(), 0);
+    }
+
+    #[test]
+    fn lost_messages_are_resent_until_acked() {
+        // Over half the traffic vanishes; retries must win eventually.
+        let bus = Bus::with_chaos(ChaosPolicy::new(3).drop(0.55));
+        let metrics = Arc::new(RtMetrics::default());
+        let (mut am, mut w) = pair(&bus, &metrics);
+        for _ in 0..10 {
+            am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut got = 0;
+        while got < 10 && Instant::now() < deadline {
+            am.tick();
+            w.tick();
+            if w.recv_timeout(Duration::from_millis(5)).is_some() {
+                got += 1;
+            }
+            // Let the AM absorb acks.
+            while am.recv_timeout(Duration::from_millis(1)).is_some() {}
+        }
+        assert_eq!(got, 10, "all messages eventually delivered");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while am.pending() > 0 && Instant::now() < deadline {
+            am.tick();
+            // Keep pumping the worker: duplicates are absorbed but re-acked,
+            // which is what finally settles the AM when acks themselves drop.
+            let _ = w.recv_timeout(Duration::from_millis(1));
+            let _ = am.recv_timeout(Duration::from_millis(5));
+        }
+        assert_eq!(am.pending(), 0, "all sends eventually acked");
+        assert!(metrics.resends.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let bus = Bus::with_chaos(ChaosPolicy::new(5).duplicate(1.0));
+        let metrics = Arc::new(RtMetrics::default());
+        let (mut am, mut w) = pair(&bus, &metrics);
+        am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
+        assert!(w.recv_timeout(Duration::from_millis(50)).is_some());
+        // The duplicate copy is absorbed, not surfaced.
+        assert!(w.recv_timeout(Duration::from_millis(30)).is_none());
+        assert_eq!(w.duplicate_count(), 1);
+        assert!(metrics.duplicates.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn give_up_after_budget_surfaces_the_peer() {
+        let bus = Bus::new();
+        let metrics = Arc::new(RtMetrics::default());
+        // No receiver registered for the worker: acks never come.
+        let mut am = ReliableEndpoint::new(
+            bus.clone(),
+            bus.register(EndpointId::Am),
+            1,
+            Duration::from_millis(5),
+            Some(3),
+            Arc::clone(&metrics),
+        );
+        am.send(EndpointId::Worker(WorkerId(9)), RtMsg::Leave);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut gave_up = Vec::new();
+        while gave_up.is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(6));
+            gave_up = am.tick();
+        }
+        assert_eq!(gave_up.len(), 1);
+        assert_eq!(gave_up[0].to, EndpointId::Worker(WorkerId(9)));
+        assert_eq!(metrics.give_ups.load(Ordering::Relaxed), 1);
+        assert_eq!(am.pending(), 0);
+    }
+
+    #[test]
+    fn resent_message_is_not_reprocessed() {
+        // Ack dropped → sender resends → receiver must suppress the dup.
+        let bus = Bus::new();
+        let metrics = Arc::new(RtMetrics::default());
+        let (mut am, mut w) = pair(&bus, &metrics);
+        am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
+        assert!(w.recv_timeout(Duration::from_millis(50)).is_some());
+        // Simulate a lost ack: force a resend by waiting out the timeout
+        // without letting the AM read its queue.
+        std::thread::sleep(Duration::from_millis(25));
+        am.tick();
+        assert!(w.recv_timeout(Duration::from_millis(30)).is_none());
+        assert_eq!(w.duplicate_count(), 1);
+    }
+}

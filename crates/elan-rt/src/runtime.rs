@@ -1,28 +1,54 @@
-//! The elastic runtime: the public handle plus the AM service thread.
+//! The elastic runtime: the public handle, the AM service thread, the
+//! lease watchdog, and the failure detector.
 //!
 //! [`ElasticRuntime`] is what a framework integration would hold: it
 //! launches the job, requests scale-out/scale-in/migration, and shuts the
-//! job down — all while worker threads keep training. The AM thread runs
-//! the same `ApplicationMaster` state
-//! machine as the simulator and orchestrates the 5-step adjustment
-//! procedure over the bus, using the topology planner to pick replication
-//! sources.
+//! job down — all while worker threads keep training. The AM thread
+//! orchestrates the 5-step adjustment procedure over the bus, using the
+//! topology planner to pick replication sources.
+//!
+//! Fault tolerance (§V-D) is layered on top:
+//!
+//! - every control message rides a [`ReliableEndpoint`] (ids, acks,
+//!   resend-on-timeout, bounded dedup), so the job survives a lossy,
+//!   duplicating, reordering bus ([`Bus::with_chaos`]);
+//! - the AM persists its durable record ([`AmDurable`]) to the shared
+//!   [`SharedControl`] store *before* every externally visible action and
+//!   proves liveness by refreshing a lease; a watchdog thread elects a
+//!   replacement AM at a higher epoch when the lease lapses, and the
+//!   replacement recovers the in-flight adjustment from the store;
+//! - workers heartbeat the AM (even from inside a blocked allreduce); the
+//!   AM turns missed heartbeats into a failure-driven scale-in: evict from
+//!   the collective, rebuild the communication group at the next boundary,
+//!   and keep training on the survivors.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use elan_core::elasticity::AdjustmentRequest;
+use elan_core::lease::LeaseId;
 use elan_core::state::WorkerId;
-use elan_core::ApplicationMaster;
 use elan_topology::{ClusterSpec, GpuId, ReplicationPlanner, Topology};
 
 use crate::bus::{Bus, Endpoint, EndpointId, RtMsg};
+use crate::chaos::{ChaosPolicy, ChaosStats};
 use crate::comm::CommGroup;
+use crate::liveness::{AmDurable, AmPhase, CrashPoint, HeartbeatMonitor, PendingOp, SharedControl};
+use crate::reliable::{ReliableEndpoint, RtMetrics, RtMetricsSnapshot};
 use crate::worker::{run_worker, Telemetry, WorkerConfig, WorkerRole, WorkerView};
+
+/// High bit of the AM's message-id owner: replacement AMs get fresh
+/// sender streams (`AM_OWNER_FLAG | epoch`), so their messages are never
+/// mistaken for their predecessor's at any receiver's dedup filter.
+const AM_OWNER_FLAG: u32 = 1 << 31;
+
+/// How often the controller re-issues an unacknowledged operation at the
+/// application level (covers AM failovers that swallowed the original).
+const OP_RESEND_EVERY: Duration = Duration::from_millis(400);
 
 /// Configuration of a live elastic job.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +63,20 @@ pub struct RuntimeConfig {
     pub learning_rate: f32,
     /// Samples consumed per iteration.
     pub total_batch: u32,
+    /// Worker liveness-beacon period (ms).
+    pub hb_period_ms: u64,
+    /// Silence after which the AM declares a worker dead (ms).
+    pub hb_timeout_ms: u64,
+    /// AM lease TTL (ms); the watchdog elects a replacement past this.
+    pub lease_ttl_ms: u64,
+    /// Watchdog poll period (ms).
+    pub watchdog_poll_ms: u64,
+    /// Reliable-messaging ack timeout before a resend (ms).
+    pub retry_timeout_ms: u64,
+    /// AM-side send attempts before presuming the peer dead.
+    pub retry_max_attempts: u32,
+    /// Control-loop receive-poll granularity (ms).
+    pub tick_ms: u64,
 }
 
 impl RuntimeConfig {
@@ -48,7 +88,18 @@ impl RuntimeConfig {
             coordination_interval: 5,
             learning_rate: 0.05,
             total_batch: 128,
+            hb_period_ms: 25,
+            hb_timeout_ms: 400,
+            lease_ttl_ms: 200,
+            watchdog_poll_ms: 40,
+            retry_timeout_ms: 60,
+            retry_max_attempts: 8,
+            tick_ms: 20,
         }
+    }
+
+    fn tick(&self) -> Duration {
+        Duration::from_millis(self.tick_ms)
     }
 }
 
@@ -74,8 +125,12 @@ pub struct ShutdownReport {
     pub final_world_size: u32,
     /// Last telemetry of every worker that ever participated.
     pub workers: BTreeMap<WorkerId, WorkerView>,
-    /// Total adjustments the job went through.
+    /// Total controller-requested adjustments the job went through.
     pub adjustments: u64,
+    /// Fault-tolerance counters (resends, duplicates, recoveries, …).
+    pub metrics: RtMetricsSnapshot,
+    /// Fault-injection counters, when the job ran on a chaotic bus.
+    pub chaos: Option<ChaosStats>,
 }
 
 impl ShutdownReport {
@@ -104,20 +159,21 @@ impl ShutdownReport {
 pub struct ElasticRuntime {
     cfg: RuntimeConfig,
     bus: Bus,
-    controller: Endpoint,
+    rep: ReliableEndpoint,
     comm: Arc<CommGroup>,
     telemetry: Telemetry,
-    members: Vec<WorkerId>,
+    ctrl: Arc<SharedControl>,
     next_worker: u32,
+    next_seq: u64,
     adjustments: u64,
-    am_handle: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     worker_handles: HashMap<WorkerId, JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ElasticRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ElasticRuntime")
-            .field("members", &self.members)
+            .field("members", &self.members())
             .field("adjustments", &self.adjustments)
             .finish()
     }
@@ -130,7 +186,14 @@ impl ElasticRuntime {
     ///
     /// Panics if the configuration has zero workers or empty parameters.
     pub fn start(cfg: RuntimeConfig) -> Self {
-        Self::launch(cfg, None)
+        Self::launch(cfg, None, None)
+    }
+
+    /// Launches the job on a fault-injecting bus: messages are dropped,
+    /// duplicated, and delayed per `policy`, and the reliable-messaging
+    /// layer must mask all of it.
+    pub fn start_with_chaos(cfg: RuntimeConfig, policy: ChaosPolicy) -> Self {
+        Self::launch(cfg, None, Some(policy))
     }
 
     /// Restarts a job from a [`CheckpointSnapshot`] — the live
@@ -147,41 +210,64 @@ impl ElasticRuntime {
             cfg.param_elems,
             "snapshot does not match the configuration"
         );
-        Self::launch(cfg, Some(snapshot.clone()))
+        Self::launch(cfg, Some(snapshot.clone()), None)
     }
 
-    fn launch(cfg: RuntimeConfig, restore: Option<CheckpointSnapshot>) -> Self {
+    fn launch(
+        cfg: RuntimeConfig,
+        restore: Option<CheckpointSnapshot>,
+        chaos: Option<ChaosPolicy>,
+    ) -> Self {
         assert!(cfg.initial_workers > 0, "need at least one worker");
         assert!(cfg.param_elems > 0, "parameters must be non-empty");
         assert!(cfg.coordination_interval > 0, "interval must be positive");
 
-        let bus = Bus::new();
-        let controller = bus.register(EndpointId::Controller);
+        let bus = match chaos {
+            Some(policy) => Bus::with_chaos(policy),
+            None => Bus::new(),
+        };
+        let metrics = Arc::new(RtMetrics::default());
+        let ctrl = Arc::new(SharedControl::new(
+            Duration::from_millis(cfg.lease_ttl_ms),
+            Arc::clone(&metrics),
+        ));
         let members: Vec<WorkerId> = (0..cfg.initial_workers).map(WorkerId).collect();
+        *ctrl.members.lock() = members.clone();
+        // Seed the durable record before anything can crash.
+        ctrl.persist(&AmDurable::founding(members.clone()));
+
         let comm = Arc::new(CommGroup::new(members.iter().copied(), cfg.param_elems));
         let telemetry: Telemetry = Arc::new(Mutex::new(HashMap::new()));
+        let rep = ReliableEndpoint::new(
+            bus.clone(),
+            bus.register(EndpointId::Controller),
+            1,
+            Duration::from_millis(cfg.retry_timeout_ms),
+            None, // the controller retries forever — failover will answer
+            Arc::clone(&metrics),
+        );
 
-        let am_endpoint = bus.register(EndpointId::Am);
-        let am_handle = {
-            let bus = bus.clone();
-            let comm = Arc::clone(&comm);
-            let members = members.clone();
+        let am_handle = spawn_am(cfg, &bus, &comm, &ctrl, 0);
+        ctrl.am_handles.lock().push(am_handle);
+        let watchdog = {
+            let (bus, comm, ctrl) = (bus.clone(), Arc::clone(&comm), Arc::clone(&ctrl));
             thread::Builder::new()
-                .name("elan-am".into())
-                .spawn(move || am_thread(bus, am_endpoint, comm, members))
-                .expect("spawn AM thread")
+                .name("elan-watchdog".into())
+                .spawn(move || watchdog_thread(cfg, bus, comm, ctrl))
+                .expect("spawn watchdog thread")
         };
 
         let mut rt = ElasticRuntime {
             cfg,
             bus,
-            controller,
+            rep,
             comm,
             telemetry,
-            members: members.clone(),
+            ctrl,
             next_worker: cfg.initial_workers,
+            next_seq: 1,
             adjustments: 0,
-            am_handle: Some(am_handle),
+            watchdog: Some(watchdog),
             worker_handles: HashMap::new(),
         };
         for &w in &members {
@@ -199,51 +285,38 @@ impl ElasticRuntime {
         rt
     }
 
-    /// Snapshots the full training state at the next coordination
-    /// boundary (rank 0 streams its buffers to the controller) — the
-    /// checkpoint half of Shutdown-&-Restart, done live.
-    pub fn checkpoint(&mut self) -> CheckpointSnapshot {
-        self.bus.send(EndpointId::Am, RtMsg::Checkpoint);
-        loop {
-            if let RtMsg::StateTransfer {
-                params,
-                momentum,
-                iteration,
-                data_cursor,
-            } = self.controller.recv()
-            {
-                return CheckpointSnapshot {
-                    params,
-                    momentum,
-                    iteration,
-                    data_cursor,
-                };
-            }
-        }
-    }
-
     fn spawn_worker(&mut self, id: WorkerId, role: WorkerRole) {
-        let endpoint = self.bus.register(EndpointId::Worker(id));
+        let rep = ReliableEndpoint::new(
+            self.bus.clone(),
+            self.bus.register(EndpointId::Worker(id)),
+            16 + id.0,
+            Duration::from_millis(self.cfg.retry_timeout_ms),
+            None, // workers retry forever; the AM decides who is dead
+            Arc::clone(&self.ctrl.metrics),
+        );
         let cfg = WorkerConfig {
             id,
             param_elems: self.cfg.param_elems,
             coordination_interval: self.cfg.coordination_interval,
             learning_rate: self.cfg.learning_rate,
             total_batch: self.cfg.total_batch,
+            hb_period: Duration::from_millis(self.cfg.hb_period_ms),
+            tick: self.cfg.tick(),
         };
-        let bus = self.bus.clone();
         let comm = Arc::clone(&self.comm);
         let telemetry = Arc::clone(&self.telemetry);
+        let ctrl = Arc::clone(&self.ctrl);
         let handle = thread::Builder::new()
             .name(format!("elan-{id}"))
-            .spawn(move || run_worker(cfg, bus, endpoint, comm, telemetry, role))
+            .spawn(move || run_worker(cfg, rep, comm, telemetry, role, ctrl))
             .expect("spawn worker thread");
         self.worker_handles.insert(id, handle);
     }
 
-    /// Current members.
-    pub fn members(&self) -> &[WorkerId] {
-        &self.members
+    /// Current members (the authoritative control-plane view, which also
+    /// reflects failure-driven scale-ins).
+    pub fn members(&self) -> Vec<WorkerId> {
+        self.ctrl.members.lock().clone()
     }
 
     /// A snapshot of every worker's latest telemetry.
@@ -255,13 +328,50 @@ impl ElasticRuntime {
             .collect()
     }
 
+    /// Fault-tolerance counters so far.
+    pub fn metrics(&self) -> RtMetricsSnapshot {
+        self.ctrl.metrics.snapshot(self.bus.total_dead_letters())
+    }
+
+    /// Fault-injection counters, when running on a chaotic bus.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.bus.chaos_stats()
+    }
+
+    /// Arms a one-shot AM crash at the given point of the next adjustment
+    /// — the AM thread simply stops, without cleanup, and the watchdog
+    /// must elect a replacement that recovers from the durable record.
+    pub fn arm_am_crash(&self, point: CrashPoint) {
+        *self.ctrl.am_crash.lock() = Some(point);
+    }
+
+    /// Orders `worker` to play dead: it stops heartbeating, training, and
+    /// responding, exactly like a crashed process. The AM's failure
+    /// detector must notice and scale the job in around it.
+    pub fn crash_worker(&self, worker: WorkerId) {
+        self.ctrl.worker_crash.write().insert(worker);
+    }
+
+    /// Blocks until the membership reaches exactly `n` workers, or until
+    /// `timeout`; returns whether it happened.
+    pub fn wait_for_members(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.ctrl.members.lock().len() == n {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
     /// Blocks until every live member has completed `iteration`.
     pub fn run_until_iteration(&self, iteration: u64) {
         loop {
             {
+                let members = self.ctrl.members.lock().clone();
                 let t = self.telemetry.lock();
-                let live: Vec<_> = self
-                    .members
+                let live: Vec<_> = members
                     .iter()
                     .filter_map(|w| t.get(w))
                     .filter(|v| v.alive)
@@ -274,14 +384,78 @@ impl ElasticRuntime {
         }
     }
 
+    fn take_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Sends an operation and blocks until its `Ack{seq}` arrives,
+    /// re-issuing it at the application level so an AM failover between
+    /// transport-ack and execution cannot strand the controller.
+    fn op_roundtrip(&mut self, body: RtMsg, seq: u64) {
+        self.rep.send(EndpointId::Am, body.clone());
+        let mut last_send = Instant::now();
+        loop {
+            let _ = self.rep.tick();
+            if let Some((_, RtMsg::Ack { seq: s })) = self.rep.recv_timeout(self.cfg.tick()) {
+                if s == seq {
+                    return;
+                }
+            }
+            if last_send.elapsed() >= OP_RESEND_EVERY {
+                last_send = Instant::now();
+                self.rep.send(EndpointId::Am, body.clone());
+            }
+        }
+    }
+
+    /// Snapshots the full training state at the next coordination
+    /// boundary (rank 0 streams its buffers to the controller) — the
+    /// checkpoint half of Shutdown-&-Restart, done live.
+    pub fn checkpoint(&mut self) -> CheckpointSnapshot {
+        // Drain stale traffic (e.g. a duplicate snapshot from a recovered
+        // AM replaying a previous checkpoint order).
+        while self.rep.recv_timeout(Duration::from_millis(1)).is_some() {}
+        let seq = self.take_seq();
+        self.rep.send(EndpointId::Am, RtMsg::Checkpoint { seq });
+        let mut last_send = Instant::now();
+        loop {
+            let _ = self.rep.tick();
+            if let Some((
+                _,
+                RtMsg::StateTransfer {
+                    params,
+                    momentum,
+                    iteration,
+                    data_cursor,
+                },
+            )) = self.rep.recv_timeout(self.cfg.tick())
+            {
+                return CheckpointSnapshot {
+                    params,
+                    momentum,
+                    iteration,
+                    data_cursor,
+                };
+            }
+            if last_send.elapsed() >= OP_RESEND_EVERY {
+                // The checkpoint request is deliberately not durable AM
+                // state; the controller just asks again.
+                last_send = Instant::now();
+                self.rep.send(EndpointId::Am, RtMsg::Checkpoint { seq });
+            }
+        }
+    }
+
     fn adjust_to(&mut self, target: Vec<WorkerId>) {
+        let current = self.members();
         let joining: Vec<WorkerId> = target
             .iter()
             .copied()
-            .filter(|w| !self.members.contains(w))
+            .filter(|w| !current.contains(w))
             .collect();
-        let leaving: Vec<WorkerId> = self
-            .members
+        let leaving: Vec<WorkerId> = current
             .iter()
             .copied()
             .filter(|w| !target.contains(w))
@@ -289,18 +463,14 @@ impl ElasticRuntime {
         for &w in &joining {
             self.spawn_worker(w, WorkerRole::Joining);
         }
-        self.bus.send(
-            EndpointId::Am,
+        let seq = self.take_seq();
+        self.op_roundtrip(
             RtMsg::AdjustTo {
+                seq,
                 target: target.clone(),
             },
+            seq,
         );
-        // Wait for the AM's acknowledgement of a completed adjustment.
-        loop {
-            if matches!(self.controller.recv(), RtMsg::Ack) {
-                break;
-            }
-        }
         // Reap leavers.
         for w in leaving {
             if let Some(h) = self.worker_handles.remove(&w) {
@@ -308,7 +478,6 @@ impl ElasticRuntime {
             }
             self.bus.unregister(EndpointId::Worker(w));
         }
-        self.members = target;
         self.adjustments += 1;
     }
 
@@ -316,7 +485,7 @@ impl ElasticRuntime {
     /// existing workers keep training meanwhile.
     pub fn scale_out(&mut self, n: u32) {
         assert!(n > 0, "scale-out of zero workers");
-        let mut target = self.members.clone();
+        let mut target = self.members();
         for _ in 0..n {
             target.push(WorkerId(self.next_worker));
             self.next_worker += 1;
@@ -330,18 +499,19 @@ impl ElasticRuntime {
     ///
     /// Panics if `n` would leave no workers.
     pub fn scale_in(&mut self, n: u32) {
+        let members = self.members();
         assert!(
-            (n as usize) < self.members.len(),
+            (n as usize) < members.len(),
             "scale-in would remove every worker"
         );
-        let target = self.members[..self.members.len() - n as usize].to_vec();
+        let target = members[..members.len() - n as usize].to_vec();
         self.adjust_to(target);
     }
 
     /// Migrates the job onto an entirely fresh set of workers of the same
     /// size.
     pub fn migrate(&mut self) {
-        let n = self.members.len() as u32;
+        let n = self.members().len() as u32;
         let mut target = Vec::with_capacity(n as usize);
         for _ in 0..n {
             target.push(WorkerId(self.next_worker));
@@ -353,20 +523,21 @@ impl ElasticRuntime {
     /// Stops the job at the next coordination boundary and returns the
     /// final report.
     pub fn shutdown(mut self) -> ShutdownReport {
-        self.bus.send(EndpointId::Am, RtMsg::Stop);
-        loop {
-            if matches!(self.controller.recv(), RtMsg::Ack) {
-                break;
-            }
-        }
+        let seq = self.take_seq();
+        self.op_roundtrip(RtMsg::Stop { seq }, seq);
+        self.ctrl.shutdown.store(true, Ordering::SeqCst);
         for (_, h) in self.worker_handles.drain() {
             h.join().expect("worker thread exits cleanly");
         }
-        if let Some(h) = self.am_handle.take() {
+        if let Some(h) = self.watchdog.take() {
+            h.join().expect("watchdog thread exits cleanly");
+        }
+        let ams: Vec<JoinHandle<()>> = self.ctrl.am_handles.lock().drain(..).collect();
+        for h in ams {
             h.join().expect("AM thread exits cleanly");
         }
         ShutdownReport {
-            final_world_size: self.members.len() as u32,
+            final_world_size: self.ctrl.members.lock().len() as u32,
             workers: self
                 .telemetry
                 .lock()
@@ -374,6 +545,8 @@ impl ElasticRuntime {
                 .map(|(&k, &v)| (k, v))
                 .collect(),
             adjustments: self.adjustments,
+            metrics: self.ctrl.metrics.snapshot(self.bus.total_dead_letters()),
+            chaos: self.bus.chaos_stats(),
         }
     }
 }
@@ -383,164 +556,560 @@ fn planning_topology() -> Topology {
     ClusterSpec::new(64, 2, 2, 2).build() // 512 GPU slots
 }
 
-fn am_thread(bus: Bus, endpoint: Endpoint, comm: Arc<CommGroup>, mut members: Vec<WorkerId>) {
-    let mut am = ApplicationMaster::new("rt-job");
-    am.set_members(members.iter().map(|w| GpuId(w.0)).collect());
-    let topology = planning_topology();
+/// Spawns one AM incarnation; epoch 0 is the founding AM.
+fn spawn_am(
+    cfg: RuntimeConfig,
+    bus: &Bus,
+    comm: &Arc<CommGroup>,
+    ctrl: &Arc<SharedControl>,
+    epoch: u64,
+) -> JoinHandle<()> {
+    let endpoint = bus.register(EndpointId::Am);
+    let lease = ctrl.grant_lease();
+    let (bus, comm, ctrl) = (bus.clone(), Arc::clone(comm), Arc::clone(ctrl));
+    thread::Builder::new()
+        .name(format!("elan-am-e{epoch}"))
+        .spawn(move || am_thread(cfg, bus, endpoint, comm, ctrl, epoch, lease))
+        .expect("spawn AM thread")
+}
 
-    let mut pending_target: Option<Vec<WorkerId>> = None;
-    let mut reported: BTreeSet<WorkerId> = BTreeSet::new();
-    let mut coordinated: BTreeSet<WorkerId> = BTreeSet::new();
-    let mut stopping = false;
-    let mut checkpoint_pending = false;
-
+/// Polls the AM lease; when it lapses (the AM died or was crashed), bumps
+/// the epoch and elects a replacement AM that recovers from the durable
+/// record — Elan's watchdog-driven AM failover.
+fn watchdog_thread(cfg: RuntimeConfig, bus: Bus, comm: Arc<CommGroup>, ctrl: Arc<SharedControl>) {
     loop {
-        match endpoint.recv() {
-            RtMsg::Checkpoint => checkpoint_pending = true,
-            RtMsg::AdjustTo { target } => {
-                let request = AdjustmentRequest::new(
-                    members.iter().map(|w| GpuId(w.0)).collect(),
-                    target.iter().map(|w| GpuId(w.0)).collect(),
-                )
-                .expect("controller sends valid adjustments");
-                am.request_adjustment(request)
-                    .expect("controller serializes adjustments");
-                pending_target = Some(target);
-            }
-            RtMsg::Stop => stopping = true,
-            RtMsg::Report { worker } => {
-                let _ = am.report(GpuId(worker.0));
-                reported.insert(worker);
-            }
-            RtMsg::Coordinate { worker, .. } => {
-                coordinated.insert(worker);
-                if coordinated.len() < members.len() {
-                    continue;
-                }
-                // A full coordination boundary: everyone is parked.
-                coordinated.clear();
-                if checkpoint_pending {
-                    checkpoint_pending = false;
-                    if let Some(&first) = members.first() {
-                        bus.send(EndpointId::Worker(first), RtMsg::CheckpointOrder);
-                        loop {
-                            match endpoint.recv() {
-                                RtMsg::TransferDone { .. } => break,
-                                RtMsg::Report { worker } => {
-                                    let _ = am.report(GpuId(worker.0));
-                                    reported.insert(worker);
-                                }
-                                RtMsg::AdjustTo { target } => {
-                                    // Queue it; handled at a later boundary.
-                                    let request = AdjustmentRequest::new(
-                                        members.iter().map(|w| GpuId(w.0)).collect(),
-                                        target.iter().map(|w| GpuId(w.0)).collect(),
-                                    )
-                                    .expect("controller sends valid adjustments");
-                                    am.request_adjustment(request)
-                                        .expect("controller serializes adjustments");
-                                    pending_target = Some(target);
-                                }
-                                RtMsg::Stop => stopping = true,
-                                RtMsg::Checkpoint => checkpoint_pending = true,
-                                _ => {}
-                            }
-                        }
-                    }
-                }
-                if stopping {
-                    for &w in &members {
-                        bus.send(EndpointId::Worker(w), RtMsg::Leave);
-                    }
-                    bus.send(EndpointId::Controller, RtMsg::Ack);
-                    return;
-                }
-                let ready = pending_target.as_ref().is_some_and(|t| {
-                    t.iter()
-                        .filter(|w| !members.contains(w))
-                        .all(|w| reported.contains(w))
-                });
-                if !ready {
-                    for &w in &members {
-                        bus.send(EndpointId::Worker(w), RtMsg::Proceed);
-                    }
-                    continue;
-                }
-                let target = pending_target.take().expect("checked above");
-                execute_adjustment(&bus, &endpoint, &comm, &topology, &mut am, &members, &target, &mut reported);
-                members = target;
-            }
-            _ => {}
+        thread::sleep(Duration::from_millis(cfg.watchdog_poll_ms));
+        if ctrl.shutting_down() {
+            return;
         }
+        if !ctrl.lease_expired() {
+            continue;
+        }
+        // Takeover: supersede the silent AM and install a replacement.
+        let epoch = ctrl.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        ctrl.metrics.am_recoveries.fetch_add(1, Ordering::Relaxed);
+        bus.unregister(EndpointId::Am);
+        let handle = spawn_am(cfg, &bus, &comm, &ctrl, epoch);
+        ctrl.am_handles.lock().push(handle);
     }
 }
 
-/// Steps ④ and ⑤ of the adjustment procedure, orchestrated over the bus.
-#[allow(clippy::too_many_arguments)]
-fn execute_adjustment(
-    bus: &Bus,
-    endpoint: &Endpoint,
-    comm: &Arc<CommGroup>,
-    topology: &Topology,
-    am: &mut ApplicationMaster,
-    members: &[WorkerId],
-    target: &[WorkerId],
-    reported: &mut BTreeSet<WorkerId>,
+fn am_thread(
+    cfg: RuntimeConfig,
+    bus: Bus,
+    endpoint: Endpoint,
+    comm: Arc<CommGroup>,
+    ctrl: Arc<SharedControl>,
+    epoch: u64,
+    lease: LeaseId,
 ) {
-    // Drive the state machine: the coordination that begins adjustment.
-    let _ = am.coordinate();
+    let rep = ReliableEndpoint::new(
+        bus,
+        endpoint,
+        AM_OWNER_FLAG | epoch as u32,
+        Duration::from_millis(cfg.retry_timeout_ms),
+        Some(cfg.retry_max_attempts),
+        Arc::clone(&ctrl.metrics),
+    );
+    let mut durable = ctrl
+        .recover()
+        .expect("durable AM record was seeded at launch");
+    // Mark ownership before acting (persist-before-act).
+    durable.epoch = epoch;
+    ctrl.persist(&durable);
+    let metrics = Arc::clone(&ctrl.metrics);
+    AmCore {
+        cfg,
+        rep,
+        comm,
+        ctrl,
+        metrics,
+        epoch,
+        lease,
+        durable,
+        hb: HeartbeatMonitor::new(Duration::from_millis(cfg.hb_timeout_ms)),
+        dead: BTreeSet::new(),
+        coordinated: BTreeMap::new(),
+        reported: BTreeSet::new(),
+        outstanding: BTreeSet::new(),
+        transfers_started: false,
+        last_boundary: 0,
+        checkpoint_req: None,
+        awaiting_checkpoint: None,
+        topology: planning_topology(),
+    }
+    .run();
+}
 
-    let joining: Vec<WorkerId> = target
-        .iter()
-        .copied()
-        .filter(|w| !members.contains(w))
-        .collect();
-    let leaving: Vec<WorkerId> = members
-        .iter()
-        .copied()
-        .filter(|w| !target.contains(w))
-        .collect();
+/// Whether the AM loop keeps going.
+enum Step {
+    Continue,
+    Exit,
+}
 
-    // Step ④: concurrent IO-free replication along planner sources.
-    if !joining.is_empty() {
-        let sources: Vec<GpuId> = members.iter().map(|w| GpuId(w.0)).collect();
-        let dests: Vec<GpuId> = joining.iter().map(|w| GpuId(w.0)).collect();
-        let plan = ReplicationPlanner::new(topology)
-            .plan(&sources, &dests)
-            .expect("valid placements");
-        let mut outstanding = 0u32;
-        for t in plan.transfers() {
-            bus.send(
-                EndpointId::Worker(WorkerId(t.src.0)),
-                RtMsg::TransferOrder {
-                    dst: WorkerId(t.dst.0),
-                },
-            );
-            outstanding += 1;
+/// One AM incarnation: protocol state machine + failure detector.
+struct AmCore {
+    cfg: RuntimeConfig,
+    rep: ReliableEndpoint,
+    comm: Arc<CommGroup>,
+    ctrl: Arc<SharedControl>,
+    metrics: Arc<RtMetrics>,
+    epoch: u64,
+    lease: LeaseId,
+    /// The persist-before-act record (authoritative copy in the store).
+    durable: AmDurable,
+    hb: HeartbeatMonitor,
+    /// Members declared dead this incarnation (volatile; re-detected by
+    /// heartbeat silence after a failover).
+    dead: BTreeSet<WorkerId>,
+    /// Boundary iteration each live member is parked at.
+    coordinated: BTreeMap<WorkerId, u64>,
+    /// Joiners that have reported readiness (step ②).
+    reported: BTreeSet<WorkerId>,
+    /// Transfer orders in flight: (src, dst).
+    outstanding: BTreeSet<(WorkerId, WorkerId)>,
+    /// False until this incarnation has issued the transfer orders of the
+    /// current `Transferring` phase (a recovered AM re-issues them only
+    /// once the boundary has been re-established by `AmReset` replies).
+    transfers_started: bool,
+    /// Last boundary released or adjusted at — stale `Coordinate`s at or
+    /// below it are ignored.
+    last_boundary: u64,
+    /// A `Checkpoint{seq}` waiting for the next boundary.
+    checkpoint_req: Option<u64>,
+    /// A `CheckpointOrder{seq}` whose snapshot has not landed yet.
+    awaiting_checkpoint: Option<u64>,
+    topology: Topology,
+}
+
+impl AmCore {
+    fn live(&self) -> Vec<WorkerId> {
+        self.durable
+            .members
+            .iter()
+            .copied()
+            .filter(|w| !self.dead.contains(w))
+            .collect()
+    }
+
+    /// Consumes the armed crash flag iff it matches `point`.
+    fn crash_if(&self, point: CrashPoint) -> bool {
+        let mut armed = self.ctrl.am_crash.lock();
+        if *armed == Some(point) {
+            *armed = None;
+            true
+        } else {
+            false
         }
-        while outstanding > 0 {
-            match endpoint.recv() {
-                RtMsg::TransferDone { .. } => outstanding -= 1,
-                RtMsg::Report { worker } => {
-                    let _ = am.report(GpuId(worker.0));
-                    reported.insert(worker);
+    }
+
+    fn run(mut self) {
+        if self.epoch > 0 {
+            // Takeover: the predecessor's inbox died with it. Broadcast the
+            // new epoch so parked workers re-send `Coordinate` and joiners
+            // re-send `Report` (the paper's re-solicitation on AM restart).
+            let mut audience: BTreeSet<WorkerId> = self.durable.members.iter().copied().collect();
+            match &self.durable.phase {
+                AmPhase::Transferring { target, .. } | AmPhase::Resuming { target, .. } => {
+                    audience.extend(target.iter().copied());
                 }
-                _ => {}
+                AmPhase::Steady => {}
+            }
+            if let Some(p) = &self.durable.pending {
+                audience.extend(p.target.iter().copied());
+            }
+            for w in audience {
+                self.rep
+                    .send(EndpointId::Worker(w), RtMsg::AmReset { epoch: self.epoch });
+            }
+        }
+        loop {
+            if self.ctrl.shutting_down() {
+                return;
+            }
+            // Prove liveness; abdicate the moment the lease is lost or a
+            // newer epoch exists (never act on a lapsed lease).
+            if self.ctrl.keep_alive(self.lease).is_err() {
+                return;
+            }
+            if self.ctrl.epoch.load(Ordering::SeqCst) != self.epoch {
+                return;
+            }
+            // Transport retries; a give-up means the peer is dead.
+            for give_up in self.rep.tick() {
+                if let EndpointId::Worker(w) = give_up.to {
+                    self.declare_dead(w);
+                }
+            }
+            // Heartbeat-based failure detection.
+            let now = Instant::now();
+            for w in self.hb.dead(&self.live(), now) {
+                self.declare_dead(w);
+            }
+            if matches!(self.try_progress(), Step::Exit) {
+                return;
+            }
+            if let Some((from, msg)) = self.rep.recv_timeout(self.cfg.tick()) {
+                if let EndpointId::Worker(w) = from {
+                    // Any traffic proves liveness, not just heartbeats.
+                    self.hb.note(w, Instant::now());
+                }
+                self.handle(msg);
             }
         }
     }
 
-    // Step ⑤: communication-group reconstruction, then resume/leave.
-    let generation = comm.reconfigure(target.iter().copied());
-    for &w in &leaving {
-        bus.send(EndpointId::Worker(w), RtMsg::Leave);
+    fn handle(&mut self, msg: RtMsg) {
+        match msg {
+            RtMsg::AdjustTo { seq, target } => {
+                if seq <= self.durable.seq_done {
+                    // Duplicate of a completed op (AM failover replay).
+                    self.rep.send(EndpointId::Controller, RtMsg::Ack { seq });
+                } else if self.in_flight_seq() == Some(seq)
+                    || self
+                        .durable
+                        .pending
+                        .as_ref()
+                        .is_some_and(|p| p.seq == Some(seq))
+                {
+                    // Already queued or executing: ignore the duplicate.
+                } else {
+                    let target: Vec<WorkerId> = target
+                        .into_iter()
+                        .filter(|w| !self.dead.contains(w))
+                        .collect();
+                    self.durable.pending = Some(PendingOp {
+                        seq: Some(seq),
+                        target,
+                    });
+                    self.ctrl.persist(&self.durable);
+                }
+            }
+            RtMsg::Stop { seq } => {
+                if seq <= self.durable.seq_done {
+                    self.rep.send(EndpointId::Controller, RtMsg::Ack { seq });
+                } else if self.durable.stopping != Some(seq) {
+                    self.durable.stopping = Some(seq);
+                    self.ctrl.persist(&self.durable);
+                }
+            }
+            RtMsg::Checkpoint { seq } if self.awaiting_checkpoint.is_none() => {
+                self.checkpoint_req = Some(seq);
+            }
+            RtMsg::Report { worker } => {
+                self.reported.insert(worker);
+            }
+            RtMsg::Coordinate { worker, iteration } if iteration > self.last_boundary => {
+                let entry = self.coordinated.entry(worker).or_insert(iteration);
+                if *entry < iteration {
+                    *entry = iteration;
+                }
+            }
+            RtMsg::TransferDone { src, dst } => {
+                if src == dst {
+                    self.awaiting_checkpoint = None;
+                } else {
+                    self.outstanding.remove(&(src, dst));
+                }
+            }
+            RtMsg::Heartbeat { .. } => {} // already noted in run()
+            _ => {}
+        }
     }
-    for &w in target {
-        bus.send(EndpointId::Worker(w), RtMsg::Resume { generation });
+
+    fn in_flight_seq(&self) -> Option<u64> {
+        match &self.durable.phase {
+            AmPhase::Transferring { seq, .. } | AmPhase::Resuming { seq, .. } => *seq,
+            AmPhase::Steady => None,
+        }
     }
-    am.adjustment_complete().expect("adjustment was executing");
-    reported.clear();
-    bus.send(EndpointId::Controller, RtMsg::Ack);
+
+    /// A boundary is actionable when every live member is parked at the
+    /// same iteration, newer than the last released boundary.
+    fn boundary_ready(&self) -> Option<u64> {
+        let live = self.live();
+        let first = *self.coordinated.get(live.first()?)?;
+        for w in &live[1..] {
+            if *self.coordinated.get(w)? != first {
+                return None;
+            }
+        }
+        (first > self.last_boundary).then_some(first)
+    }
+
+    /// Drives the adjustment pipeline as far as it can go right now.
+    fn try_progress(&mut self) -> Step {
+        loop {
+            match &self.durable.phase {
+                AmPhase::Transferring { .. } => {
+                    if !self.transfers_started {
+                        // (Recovered incarnation.) Wait until AmReset
+                        // replies re-establish the boundary, then re-derive
+                        // and re-send the orders — transfers at a boundary
+                        // are idempotent, so replaying is safe.
+                        if self.boundary_ready().is_none() {
+                            return Step::Continue;
+                        }
+                        self.start_transfers();
+                        continue;
+                    }
+                    if !self.outstanding.is_empty() {
+                        return Step::Continue; // waiting on TransferDone
+                    }
+                    let Some(boundary) = self.boundary_ready() else {
+                        return Step::Continue;
+                    };
+                    let AmPhase::Transferring { target, seq } = self.durable.phase.clone() else {
+                        unreachable!("matched above");
+                    };
+                    let target: Vec<WorkerId> = target
+                        .into_iter()
+                        .filter(|w| !self.dead.contains(w))
+                        .collect();
+                    if target.is_empty() {
+                        // Everyone in the target died: drop the op.
+                        self.durable.phase = AmPhase::Steady;
+                        self.ctrl.persist(&self.durable);
+                        continue;
+                    }
+                    let generation = self.comm.generation() + 1;
+                    self.durable.phase = AmPhase::Resuming {
+                        target,
+                        seq,
+                        generation,
+                    };
+                    self.ctrl.persist(&self.durable);
+                    if self.crash_if(CrashPoint::OnResume) {
+                        return Step::Exit; // die without cleanup
+                    }
+                    self.resume_wave(boundary);
+                }
+                AmPhase::Resuming { .. } => {
+                    // (Recovered incarnation: the resume wave never went
+                    // out.) Once the boundary is re-established, replay it.
+                    let Some(boundary) = self.boundary_ready() else {
+                        return Step::Continue;
+                    };
+                    self.resume_wave(boundary);
+                }
+                AmPhase::Steady => {
+                    let Some(boundary) = self.boundary_ready() else {
+                        return Step::Continue;
+                    };
+                    let live = self.live();
+                    if self.awaiting_checkpoint.is_some() {
+                        return Step::Continue; // snapshot in flight
+                    }
+                    if let Some(seq) = self.checkpoint_req.take() {
+                        let rank0 = live[0];
+                        self.rep
+                            .send(EndpointId::Worker(rank0), RtMsg::CheckpointOrder { seq });
+                        self.awaiting_checkpoint = Some(seq);
+                        return Step::Continue;
+                    }
+                    if let Some(seq) = self.durable.stopping {
+                        return self.execute_stop(seq);
+                    }
+                    if let Some(op) = self.durable.pending.clone() {
+                        let ready = op
+                            .target
+                            .iter()
+                            .filter(|w| !self.durable.members.contains(w))
+                            .all(|w| self.reported.contains(w));
+                        if ready {
+                            self.durable.pending = None;
+                            self.durable.phase = AmPhase::Transferring {
+                                target: op.target,
+                                seq: op.seq,
+                            };
+                            self.ctrl.persist(&self.durable);
+                            if self.crash_if(CrashPoint::OnAdjustStart) {
+                                return Step::Exit; // die without cleanup
+                            }
+                            self.start_transfers();
+                            continue;
+                        }
+                    }
+                    // Nothing to adjust: release the boundary.
+                    for &w in &live {
+                        self.rep
+                            .send(EndpointId::Worker(w), RtMsg::Proceed { boundary });
+                    }
+                    self.coordinated.clear();
+                    self.last_boundary = boundary;
+                    return Step::Continue;
+                }
+            }
+        }
+    }
+
+    /// Step ④ kickoff: plan replication along the topology and order the
+    /// transfers. Idempotent — a recovered AM calls it again.
+    fn start_transfers(&mut self) {
+        self.transfers_started = true;
+        self.outstanding.clear();
+        let AmPhase::Transferring { target, .. } = &self.durable.phase else {
+            return;
+        };
+        let joining: Vec<WorkerId> = target
+            .iter()
+            .copied()
+            .filter(|w| !self.durable.members.contains(w) && !self.dead.contains(w))
+            .collect();
+        if joining.is_empty() {
+            return;
+        }
+        let sources: Vec<GpuId> = self.live().iter().map(|w| GpuId(w.0)).collect();
+        let dests: Vec<GpuId> = joining.iter().map(|w| GpuId(w.0)).collect();
+        let plan = ReplicationPlanner::new(&self.topology)
+            .plan(&sources, &dests)
+            .expect("valid placements");
+        for t in plan.transfers() {
+            let (src, dst) = (WorkerId(t.src.0), WorkerId(t.dst.0));
+            self.outstanding.insert((src, dst));
+            self.rep
+                .send(EndpointId::Worker(src), RtMsg::TransferOrder { dst });
+        }
+    }
+
+    /// Step ⑤: reconfigure the communication group (unless a previous
+    /// incarnation already did) and broadcast Leave/Resume; completes the
+    /// in-flight operation.
+    fn resume_wave(&mut self, boundary: u64) {
+        let AmPhase::Resuming {
+            target,
+            seq,
+            generation,
+        } = self.durable.phase.clone()
+        else {
+            return;
+        };
+        let target: Vec<WorkerId> = target
+            .into_iter()
+            .filter(|w| !self.dead.contains(w))
+            .collect();
+        if target.is_empty() {
+            self.durable.phase = AmPhase::Steady;
+            self.ctrl.persist(&self.durable);
+            return;
+        }
+        if self.comm.generation() < generation {
+            let g = self.comm.reconfigure(target.iter().copied());
+            debug_assert_eq!(g, generation, "generation replay diverged");
+        }
+        for &w in &self.durable.members {
+            if !target.contains(&w) && !self.dead.contains(&w) {
+                self.rep.send(EndpointId::Worker(w), RtMsg::Leave);
+            }
+        }
+        for &w in &target {
+            self.rep
+                .send(EndpointId::Worker(w), RtMsg::Resume { generation });
+        }
+        self.durable.members = target.clone();
+        *self.ctrl.members.lock() = target;
+        match seq {
+            Some(s) => {
+                self.durable.seq_done = self.durable.seq_done.max(s);
+                self.rep.send(EndpointId::Controller, RtMsg::Ack { seq: s });
+            }
+            None => {
+                // Failure-driven scale-in: no controller op to ack.
+                self.metrics
+                    .failure_scale_ins
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.durable.phase = AmPhase::Steady;
+        self.ctrl.persist(&self.durable);
+        self.reported.clear();
+        self.coordinated.clear();
+        self.outstanding.clear();
+        self.transfers_started = false;
+        self.last_boundary = boundary;
+    }
+
+    /// Serves `Stop{seq}` at a boundary: everyone leaves, the controller
+    /// gets its ack, the lease is surrendered cleanly.
+    fn execute_stop(&mut self, seq: u64) -> Step {
+        for &w in &self.live() {
+            self.rep.send(EndpointId::Worker(w), RtMsg::Leave);
+        }
+        // Drain until every Leave is transport-acked (workers only exit
+        // after acking), so no survivor can be stranded mid-park.
+        self.drain_pending(Duration::from_secs(10));
+        self.durable.seq_done = self.durable.seq_done.max(seq);
+        self.durable.stopping = None;
+        self.ctrl.persist(&self.durable);
+        self.rep.send(EndpointId::Controller, RtMsg::Ack { seq });
+        self.drain_pending(Duration::from_secs(5));
+        // Clean exit: surrender the lease so the watchdog stays quiet.
+        *self.ctrl.current_lease.lock() = None;
+        self.ctrl.leases.lock().revoke(self.lease);
+        Step::Exit
+    }
+
+    fn drain_pending(&mut self, budget: Duration) {
+        let deadline = Instant::now() + budget;
+        while self.rep.pending() > 0 && Instant::now() < deadline {
+            for give_up in self.rep.tick() {
+                if let EndpointId::Worker(w) = give_up.to {
+                    self.declare_dead(w);
+                }
+            }
+            let _ = self.rep.recv_timeout(Duration::from_millis(5));
+        }
+    }
+
+    /// The failure detector's verdict: evict from the data plane so no
+    /// survivor blocks, then fold the death into whatever operation is in
+    /// (or next in) flight — or start a failure-driven scale-in.
+    fn declare_dead(&mut self, w: WorkerId) {
+        let is_member = self.durable.members.contains(&w);
+        let in_target = match &self.durable.phase {
+            AmPhase::Transferring { target, .. } | AmPhase::Resuming { target, .. } => {
+                target.contains(&w)
+            }
+            AmPhase::Steady => false,
+        } || self
+            .durable
+            .pending
+            .as_ref()
+            .is_some_and(|p| p.target.contains(&w));
+        if !is_member && !in_target {
+            return; // already out of the job (e.g. post-Leave give-up)
+        }
+        if !self.dead.insert(w) {
+            return;
+        }
+        // Unblock the survivors immediately: remove the victim (and its
+        // stale contribution) from the collective.
+        self.comm.evict(w);
+        self.coordinated.remove(&w);
+        self.reported.remove(&w);
+        self.hb.forget(w);
+        if let Some(p) = &mut self.durable.pending {
+            p.target.retain(|x| *x != w);
+        }
+        match &mut self.durable.phase {
+            AmPhase::Transferring { target, .. } | AmPhase::Resuming { target, .. } => {
+                target.retain(|x| *x != w);
+            }
+            AmPhase::Steady => {
+                if is_member && self.durable.pending.is_none() && self.durable.stopping.is_none() {
+                    let live = self.live();
+                    if !live.is_empty() {
+                        // Failure-driven scale-in around the victim.
+                        self.durable.pending = Some(PendingOp {
+                            seq: None,
+                            target: live,
+                        });
+                    }
+                }
+            }
+        }
+        self.ctrl.persist(&self.durable);
+    }
 }
 
 #[cfg(test)]

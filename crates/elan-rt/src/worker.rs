@@ -10,16 +10,26 @@
 //! identical starting parameters, all live workers hold bit-identical
 //! state at every iteration — the invariant the shutdown report checks
 //! and the property state replication relies on (§IV-1).
+//!
+//! Fault tolerance (§V-D): every control message travels through a
+//! [`ReliableEndpoint`] (ids, acks, resends, dedup), the worker beacons a
+//! `Heartbeat` every `hb_period` — including from *inside* a blocked
+//! allreduce, via [`CommGroup::allreduce_with`] — and an `AmReset` from a
+//! replacement application master makes the worker re-send whatever
+//! request it is parked on, so an AM crash can never strand it.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use elan_core::state::WorkerId;
 
-use crate::bus::{Bus, Endpoint, EndpointId, RtMsg};
+use crate::bus::{EndpointId, RtMsg};
 use crate::comm::{AllreduceOutcome, CommGroup};
+use crate::liveness::SharedControl;
+use crate::reliable::ReliableEndpoint;
 
 /// Per-worker observable state, published after every iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,6 +63,10 @@ pub struct WorkerConfig {
     pub learning_rate: f32,
     /// Samples consumed per iteration (advances the data cursor).
     pub total_batch: u32,
+    /// Liveness-beacon period.
+    pub hb_period: Duration,
+    /// Receive-poll granularity (also paces retry ticks while parked).
+    pub tick: Duration,
 }
 
 /// How a worker enters the job.
@@ -125,22 +139,33 @@ pub fn simulate_training(
 
 /// Bit-exact checksum of a float buffer.
 pub fn checksum(buf: &[f32]) -> u64 {
-    buf.iter().fold(0u64, |acc, &v| {
-        acc.rotate_left(7) ^ u64::from(v.to_bits())
-    })
+    buf.iter()
+        .fold(0u64, |acc, &v| acc.rotate_left(7) ^ u64::from(v.to_bits()))
 }
 
-/// Runs the worker until it is told to leave.
+/// True (and rearms the timer) when a heartbeat is due.
+fn heartbeat_due(last: &mut Instant, period: Duration) -> bool {
+    if last.elapsed() >= period {
+        *last = Instant::now();
+        true
+    } else {
+        false
+    }
+}
+
+/// Runs the worker until it is told to leave (or until a chaos test
+/// orders it to play dead, in which case it exits *silently* — a crashed
+/// process does not say goodbye).
 ///
 /// The worker publishes [`WorkerView`]s into `telemetry` every iteration
-/// and marks itself not-alive when it exits.
+/// and marks itself not-alive when it exits cleanly.
 pub fn run_worker(
     cfg: WorkerConfig,
-    bus: Bus,
-    endpoint: Endpoint,
+    mut rep: ReliableEndpoint,
     comm: Arc<CommGroup>,
     telemetry: Telemetry,
     role: WorkerRole,
+    ctrl: Arc<SharedControl>,
 ) {
     let mut params = vec![0.5f32; cfg.param_elems];
     let mut momentum = vec![0.0f32; cfg.param_elems];
@@ -148,6 +173,12 @@ pub fn run_worker(
     let mut iteration: u64 = 0;
     let mut data_cursor: u64 = 0;
     let mut stalled = std::time::Duration::ZERO;
+    // Heartbeat immediately so the failure detector sees us early.
+    let mut last_hb = Instant::now()
+        .checked_sub(cfg.hb_period)
+        .unwrap_or_else(Instant::now);
+    // Resume-wave staleness guard: only newer generations un-park us.
+    let mut last_seen_gen: u64 = comm.generation();
 
     if let WorkerRole::Restored {
         params: p,
@@ -164,58 +195,172 @@ pub fn run_worker(
     if matches!(role, WorkerRole::Joining) {
         // Step ②: report readiness after "initialization" (the buffer
         // allocation above), then wait for state replication (step ④).
-        bus.send(EndpointId::Am, RtMsg::Report { worker: cfg.id });
+        rep.send(EndpointId::Am, RtMsg::Report { worker: cfg.id });
+        let mut have_state = false;
+        let mut pending_resume: Option<u64> = None;
         loop {
-            match endpoint.recv() {
+            if ctrl.worker_crashed(cfg.id) {
+                return;
+            }
+            let _ = rep.tick();
+            if heartbeat_due(&mut last_hb, cfg.hb_period) {
+                rep.send_unreliable(
+                    EndpointId::Am,
+                    RtMsg::Heartbeat {
+                        worker: cfg.id,
+                        iteration,
+                    },
+                );
+            }
+            let Some((_, msg)) = rep.recv_timeout(cfg.tick) else {
+                continue;
+            };
+            match msg {
                 RtMsg::StateTransfer {
                     params: p,
                     momentum: m,
                     iteration: it,
                     data_cursor: dc,
                 } => {
-                    params.copy_from_slice(&p);
-                    momentum.copy_from_slice(&m);
-                    iteration = it;
-                    data_cursor = dc;
+                    // A duplicate transfer from an AM-recovery replay is
+                    // harmless (state is bit-identical at a boundary), but
+                    // never step backwards.
+                    if it >= iteration {
+                        params.copy_from_slice(&p);
+                        momentum.copy_from_slice(&m);
+                        iteration = it;
+                        data_cursor = dc;
+                        have_state = true;
+                    }
+                    if let Some(generation) = pending_resume.take() {
+                        last_seen_gen = generation;
+                        break;
+                    }
                 }
-                RtMsg::Resume { .. } => break,
+                RtMsg::Resume { generation } if generation > last_seen_gen => {
+                    if have_state {
+                        last_seen_gen = generation;
+                        break;
+                    }
+                    // Resume overtook the transfer (reordered bus): hold it
+                    // until the state lands.
+                    pending_resume = Some(pending_resume.map_or(generation, |g| g.max(generation)));
+                }
                 RtMsg::Leave => {
-                    publish(&telemetry, cfg.id, iteration, data_cursor, &params, false, stalled);
+                    publish(
+                        &telemetry,
+                        cfg.id,
+                        iteration,
+                        data_cursor,
+                        &params,
+                        false,
+                        stalled,
+                    );
                     return;
+                }
+                RtMsg::AmReset { .. } => {
+                    // A replacement AM solicits state afresh (§V-D).
+                    rep.send(EndpointId::Am, RtMsg::Report { worker: cfg.id });
                 }
                 _ => {}
             }
         }
     }
-    publish(&telemetry, cfg.id, iteration, data_cursor, &params, true, stalled);
+    publish(
+        &telemetry,
+        cfg.id,
+        iteration,
+        data_cursor,
+        &params,
+        true,
+        stalled,
+    );
 
     loop {
+        if ctrl.worker_crashed(cfg.id) {
+            return;
+        }
+        let _ = rep.tick();
+        if heartbeat_due(&mut last_hb, cfg.hb_period) {
+            rep.send_unreliable(
+                EndpointId::Am,
+                RtMsg::Heartbeat {
+                    worker: cfg.id,
+                    iteration,
+                },
+            );
+        }
         // Forward/backward: the synthetic kernel.
         gradient(cfg.id, iteration, &mut grad);
-        // Gradient aggregation over the collective group.
-        let sum = match comm.allreduce(cfg.id, &grad) {
-            AllreduceOutcome::Sum(s) => s,
+        // Gradient aggregation over the collective group. While blocked on
+        // slower members we keep heartbeating so the failure detector can
+        // tell a victim from its hostages.
+        let outcome = {
+            let rep = &mut rep;
+            let last_hb = &mut last_hb;
+            let ctrl = &ctrl;
+            comm.allreduce_with(cfg.id, &grad, move || {
+                // Keep the retry tracker running while blocked: a joiner we
+                // owe a (dropped) StateTransfer may be the very member this
+                // round is waiting on — without resends here the round can
+                // never complete.
+                let _ = rep.tick();
+                if !ctrl.worker_crashed(cfg.id) && heartbeat_due(last_hb, cfg.hb_period) {
+                    rep.send_unreliable(
+                        EndpointId::Am,
+                        RtMsg::Heartbeat {
+                            worker: cfg.id,
+                            iteration,
+                        },
+                    );
+                }
+            })
+        };
+        let (sum, world) = match outcome {
+            AllreduceOutcome::Sum { sum, world } => (sum, world.max(1) as f32),
             AllreduceOutcome::NotMember => {
-                // Safety net: membership changed without a Leave (bug),
-                // leave quietly rather than deadlock the group.
-                publish(&telemetry, cfg.id, iteration, data_cursor, &params, false, stalled);
+                // Evicted (declared dead) or membership changed without a
+                // Leave: exit quietly rather than deadlock the group.
+                if !ctrl.worker_crashed(cfg.id) {
+                    publish(
+                        &telemetry,
+                        cfg.id,
+                        iteration,
+                        data_cursor,
+                        &params,
+                        false,
+                        stalled,
+                    );
+                }
                 return;
             }
         };
-        // Optimizer step: SGD with momentum on the averaged gradient.
-        let world = comm.world_size() as f32;
+        // Optimizer step: SGD with momentum on the averaged gradient. The
+        // world size is the one captured with this round's sum, so an
+        // eviction mid-round cannot skew the average.
         for ((w, m), &s) in params.iter_mut().zip(momentum.iter_mut()).zip(sum.iter()) {
             *m = 0.9 * *m + s / world;
             *w -= cfg.learning_rate * *m;
         }
         iteration += 1;
         data_cursor += cfg.total_batch as u64;
-        publish(&telemetry, cfg.id, iteration, data_cursor, &params, true, stalled);
+        if ctrl.worker_crashed(cfg.id) {
+            return;
+        }
+        publish(
+            &telemetry,
+            cfg.id,
+            iteration,
+            data_cursor,
+            &params,
+            true,
+            stalled,
+        );
 
         // Coordination boundary (step ③).
-        if iteration % cfg.coordination_interval == 0 {
-            let parked_at = std::time::Instant::now();
-            bus.send(
+        if iteration.is_multiple_of(cfg.coordination_interval) {
+            let parked_at = Instant::now();
+            rep.send(
                 EndpointId::Am,
                 RtMsg::Coordinate {
                     worker: cfg.id,
@@ -223,11 +368,33 @@ pub fn run_worker(
                 },
             );
             loop {
-                match endpoint.recv() {
-                    RtMsg::Proceed | RtMsg::Resume { .. } => break,
+                if ctrl.worker_crashed(cfg.id) {
+                    return;
+                }
+                let _ = rep.tick();
+                if heartbeat_due(&mut last_hb, cfg.hb_period) {
+                    rep.send_unreliable(
+                        EndpointId::Am,
+                        RtMsg::Heartbeat {
+                            worker: cfg.id,
+                            iteration,
+                        },
+                    );
+                }
+                let Some((_, msg)) = rep.recv_timeout(cfg.tick) else {
+                    continue;
+                };
+                match msg {
+                    // Only the release of *this* boundary counts — a
+                    // chaos-delayed Proceed from an earlier round is stale.
+                    RtMsg::Proceed { boundary } if boundary == iteration => break,
+                    RtMsg::Resume { generation } if generation > last_seen_gen => {
+                        last_seen_gen = generation;
+                        break;
+                    }
                     RtMsg::TransferOrder { dst } => {
                         // Step ④: replicate training state to the joiner.
-                        bus.send(
+                        rep.send(
                             EndpointId::Worker(dst),
                             RtMsg::StateTransfer {
                                 params: Arc::new(params.clone()),
@@ -236,11 +403,11 @@ pub fn run_worker(
                                 data_cursor,
                             },
                         );
-                        bus.send(EndpointId::Am, RtMsg::TransferDone { src: cfg.id });
+                        rep.send(EndpointId::Am, RtMsg::TransferDone { src: cfg.id, dst });
                     }
-                    RtMsg::CheckpointOrder => {
+                    RtMsg::CheckpointOrder { .. } => {
                         // The S&R path, live: snapshot to the controller.
-                        bus.send(
+                        rep.send(
                             EndpointId::Controller,
                             RtMsg::StateTransfer {
                                 params: Arc::new(params.clone()),
@@ -249,12 +416,37 @@ pub fn run_worker(
                                 data_cursor,
                             },
                         );
-                        bus.send(EndpointId::Am, RtMsg::TransferDone { src: cfg.id });
+                        rep.send(
+                            EndpointId::Am,
+                            RtMsg::TransferDone {
+                                src: cfg.id,
+                                dst: cfg.id,
+                            },
+                        );
                     }
                     RtMsg::Leave => {
                         stalled += parked_at.elapsed();
-                        publish(&telemetry, cfg.id, iteration, data_cursor, &params, false, stalled);
+                        publish(
+                            &telemetry,
+                            cfg.id,
+                            iteration,
+                            data_cursor,
+                            &params,
+                            false,
+                            stalled,
+                        );
                         return;
+                    }
+                    RtMsg::AmReset { .. } => {
+                        // A replacement AM lost its predecessor's inbox:
+                        // re-announce that we are parked at this boundary.
+                        rep.send(
+                            EndpointId::Am,
+                            RtMsg::Coordinate {
+                                worker: cfg.id,
+                                iteration,
+                            },
+                        );
                     }
                     _ => {}
                 }
@@ -317,5 +509,12 @@ mod tests {
         let mut g = vec![0.0; 256];
         gradient(WorkerId(3), 99, &mut g);
         assert!(g.iter().all(|v| (-0.5..=0.5).contains(v)));
+    }
+
+    #[test]
+    fn heartbeat_timer_rearms() {
+        let mut last = Instant::now() - Duration::from_millis(100);
+        assert!(heartbeat_due(&mut last, Duration::from_millis(50)));
+        assert!(!heartbeat_due(&mut last, Duration::from_millis(50)));
     }
 }

@@ -88,15 +88,16 @@ impl CapacitySchedule {
 
     /// The next change strictly after `t`, if any.
     pub fn next_change_after(&self, t: SimTime) -> Option<SimTime> {
-        self.points
-            .iter()
-            .map(|&(at, _)| at)
-            .find(|&at| at > t)
+        self.points.iter().map(|&(at, _)| at).find(|&at| at > t)
     }
 
     /// The largest capacity the schedule ever offers.
     pub fn peak(&self) -> u32 {
-        self.points.iter().map(|&(_, c)| c).max().expect("non-empty")
+        self.points
+            .iter()
+            .map(|&(_, c)| c)
+            .max()
+            .expect("non-empty")
     }
 }
 
@@ -121,7 +122,10 @@ mod tests {
     #[test]
     fn next_change_walks_points() {
         let s = CapacitySchedule::new(vec![(SimTime::ZERO, 10), (SimTime::from_secs(5), 6)]);
-        assert_eq!(s.next_change_after(SimTime::ZERO), Some(SimTime::from_secs(5)));
+        assert_eq!(
+            s.next_change_after(SimTime::ZERO),
+            Some(SimTime::from_secs(5))
+        );
         assert_eq!(s.next_change_after(SimTime::from_secs(5)), None);
     }
 

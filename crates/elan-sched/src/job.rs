@@ -1,7 +1,7 @@
 //! Job descriptions and outcomes.
 
-use elan_sim::{SimDuration, SimTime};
 use elan_models::ModelSpec;
+use elan_sim::{SimDuration, SimTime};
 
 /// A training job submitted to the cluster.
 #[derive(Debug, Clone, PartialEq)]

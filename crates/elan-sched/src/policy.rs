@@ -247,8 +247,7 @@ fn elastic(
     // Allocation: min_res for everyone, then greedy marginal gain.
     let mut alloc: BTreeMap<u32, u32> =
         participants.iter().map(|&(id, min, _)| (id, min)).collect();
-    let max_res: BTreeMap<u32, u32> =
-        participants.iter().map(|&(id, _, max)| (id, max)).collect();
+    let max_res: BTreeMap<u32, u32> = participants.iter().map(|&(id, _, max)| (id, max)).collect();
     budget -= min_sum;
     while budget > 0 {
         let mut best: Option<(u32, f64)> = None;
@@ -261,7 +260,7 @@ fn elastic(
             let t_now = rem / oracle.throughput(id, cur);
             let t_next = rem / oracle.throughput(id, cur + 1);
             let gain = t_now - t_next;
-            if gain > 0.0 && best.map_or(true, |(_, g)| gain > g) {
+            if gain > 0.0 && best.is_none_or(|(_, g)| gain > g) {
                 best = Some((id, gain));
             }
         }
@@ -282,8 +281,7 @@ fn elastic(
                 .find(|r| r.id == id)
                 .expect("running participant")
                 .allocation;
-            if workers < current
-                || (workers > current && workers - current >= (current / 4).max(1))
+            if workers < current || (workers > current && workers - current >= (current / 4).max(1))
             {
                 actions.push(Action::Reallocate { job: id, workers });
             }
@@ -386,7 +384,13 @@ mod tests {
         // FIFO would block (req 16 > 8 free); elastic starts at min 4.
         let pending = [pend(1, 16, 4, 32, 100.0)];
         let running = [run(0, 120, 4, 120, 500.0)];
-        let actions = schedule(PolicyKind::ElasticFifo, 128, &pending, &running, &FlatOracle);
+        let actions = schedule(
+            PolicyKind::ElasticFifo,
+            128,
+            &pending,
+            &running,
+            &FlatOracle,
+        );
         assert!(actions
             .iter()
             .any(|a| matches!(a, Action::Admit { job: 1, workers } if *workers >= 4)));
@@ -404,7 +408,13 @@ mod tests {
         let mut pinned = run(0, 120, 4, 120, 500.0);
         pinned.in_transition = true;
         let running = [pinned];
-        let f = schedule(PolicyKind::ElasticFifo, 128, &pending, &running, &FlatOracle);
+        let f = schedule(
+            PolicyKind::ElasticFifo,
+            128,
+            &pending,
+            &running,
+            &FlatOracle,
+        );
         assert!(!f.iter().any(|a| matches!(a, Action::Admit { job: 2, .. })));
         let b = schedule(
             PolicyKind::ElasticBackfill,

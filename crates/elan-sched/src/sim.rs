@@ -10,9 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use elan_core::elasticity::{
-    AdjustmentContext, AdjustmentRequest, ElasticitySystem,
-};
+use elan_core::elasticity::{AdjustmentContext, AdjustmentRequest, ElasticitySystem};
 use elan_core::scaling::hybrid_scale;
 use elan_models::PerfModel;
 use elan_sim::{Series, SimDuration, SimTime};
@@ -242,7 +240,9 @@ pub fn run_trace(cfg: &SimConfig<'_>, jobs: &[JobSpec]) -> SimResult {
             .capacity
             .and_then(|c| c.next_change_after(now))
             // Capacity changes only matter while work remains.
-            .filter(|_| !running.is_empty() || !pending.is_empty() || next_arrival < arrivals.len());
+            .filter(|_| {
+                !running.is_empty() || !pending.is_empty() || next_arrival < arrivals.len()
+            });
         let Some(event_at) = [arrival_at, finish_at, settle_at, capacity_at]
             .into_iter()
             .flatten()
@@ -267,8 +267,7 @@ pub fn run_trace(cfg: &SimConfig<'_>, jobs: &[JobSpec]) -> SimResult {
             .collect();
         for id in finished {
             let r = running.remove(&id).expect("finished job exists");
-            let (first_started, prior_adjustments) =
-                carry.remove(&id).unwrap_or((r.started_at, 0));
+            let (first_started, prior_adjustments) = carry.remove(&id).unwrap_or((r.started_at, 0));
             outcomes.push(JobOutcome {
                 id,
                 submit_at: r.spec.submit_at,
@@ -386,8 +385,7 @@ pub fn run_trace(cfg: &SimConfig<'_>, jobs: &[JobSpec]) -> SimResult {
                 req_res: p.req_res,
                 min_res: p.min_res,
                 max_res: p.max_res,
-                est_duration: p.total_samples
-                    / perf.throughput(&p.model, p.req_res, p.initial_tbs),
+                est_duration: p.total_samples / perf.throughput(&p.model, p.req_res, p.initial_tbs),
             })
             .collect();
         let running_views: Vec<RunningView> = running
@@ -484,7 +482,6 @@ pub fn run_trace(cfg: &SimConfig<'_>, jobs: &[JobSpec]) -> SimResult {
             cfg.total_gpus
         );
         utilization.record(now, allocated as f64 / cfg.total_gpus as f64);
-        
     }
 
     outcomes.sort_by_key(|o| o.id);
@@ -610,13 +607,13 @@ mod tests {
         let snr = elan_baselines::ShutdownRestart::new();
         fn mk<'a>(sys: &'a dyn ElasticitySystem) -> SimConfig<'a> {
             SimConfig {
-            total_gpus: 32,
-            policy: PolicyKind::ElasticBackfill,
-            system: sys,
-            coordination_interval: 10,
-            startup: SimDuration::from_secs(30),
-            seed: 5,
-            capacity: None,
+                total_gpus: 32,
+                policy: PolicyKind::ElasticBackfill,
+                system: sys,
+                coordination_interval: 10,
+                startup: SimDuration::from_secs(30),
+                seed: 5,
+                capacity: None,
             }
         }
         let jct_ideal = run_trace(&mk(&ideal), &jobs).metrics().avg_jct();

@@ -8,8 +8,8 @@
 //! configurations, and resource requests skew small with a heavy tail —
 //! the shape that produces Fig. 1's utilization swings.
 
-use elan_sim::{SeedStream, SimDuration, SimTime};
 use elan_models::{zoo, ModelSpec, PerfModel};
+use elan_sim::{SeedStream, SimDuration, SimTime};
 use rand::Rng;
 
 use crate::job::JobSpec;
@@ -112,7 +112,9 @@ fn make_job(
     // occasional 64-GPU job creates the head-of-line blocking that
     // motivates backfilling and elasticity.
     let pool = [2u32, 4, 4, 8, 8, 8, 16, 16, 16, 32, 32, 64];
-    let req_res = pool[rng.gen_range(0..pool.len())];
+    // A draw can exceed a small test cluster; requests are capped at the
+    // cluster size (a real scheduler would reject them at submission).
+    let req_res = pool[rng.gen_range(0..pool.len())].min(cfg.total_gpus.max(1));
     let per_worker = (model.max_batch_per_worker / 2).clamp(8, 64);
     let initial_tbs = req_res * per_worker;
 
@@ -122,7 +124,9 @@ fn make_job(
         .clamp(1, req_res);
     // max_res: weak scaling must stay within the convergence-safe batch.
     let safe_factor = (2048 / initial_tbs).max(1);
-    let max_res = (req_res * safe_factor.min(4)).min(cfg.total_gpus).max(req_res);
+    let max_res = (req_res * safe_factor.min(4))
+        .min(cfg.total_gpus)
+        .max(req_res);
 
     // Work: log-uniform runtime around the configured mean.
     let mean = cfg.mean_runtime.as_secs_f64();

@@ -229,11 +229,7 @@ impl<M> World<M> {
         }
     }
 
-    fn with_ctx(
-        &mut self,
-        id: ActorId,
-        f: impl FnOnce(&mut Box<dyn Actor<M>>, &mut Ctx<'_, M>),
-    ) {
+    fn with_ctx(&mut self, id: ActorId, f: impl FnOnce(&mut Box<dyn Actor<M>>, &mut Ctx<'_, M>)) {
         let Some(mut actor) = self.actors.remove(&id) else {
             return; // actor despawned; drop the message
         };
@@ -296,13 +292,9 @@ impl<M> World<M> {
                 _ => break,
             }
         }
-        if self.scheduler.peek_time().map_or(true, |t| t > deadline) && self.now() < deadline {
+        if self.scheduler.peek_time().is_none_or(|t| t > deadline) && self.now() < deadline {
             // Advance the clock to the deadline if nothing is left before it.
-            if self.scheduler.peek_time().is_none() {
-                self.scheduler.advance_to(deadline);
-            } else {
-                self.scheduler.advance_to(deadline);
-            }
+            self.scheduler.advance_to(deadline);
         }
         self.now()
     }
@@ -383,7 +375,10 @@ mod tests {
     #[test]
     fn run_until_respects_deadline() {
         let mut world = World::new(5);
-        world.spawn(Counter { ticks: 0, limit: 100 });
+        world.spawn(Counter {
+            ticks: 0,
+            limit: 100,
+        });
         let t = world.run_until(SimTime::from_secs(3));
         assert_eq!(t, SimTime::from_secs(3));
     }
@@ -392,7 +387,10 @@ mod tests {
     fn deterministic_across_runs() {
         let run = || {
             let mut world = World::new(11);
-            world.spawn(Counter { ticks: 0, limit: 10 });
+            world.spawn(Counter {
+                ticks: 0,
+                limit: 10,
+            });
             world.run().as_nanos()
         };
         assert_eq!(run(), run());

@@ -261,7 +261,10 @@ mod tests {
     fn display_formats() {
         assert_eq!(Bytes::new(512).to_string(), "512 B");
         assert_eq!(Bytes::from_kib(2).to_string(), "2.00 KiB");
-        assert_eq!(Bandwidth::from_gbytes_per_sec(12.5).to_string(), "12.50 GB/s");
+        assert_eq!(
+            Bandwidth::from_gbytes_per_sec(12.5).to_string(),
+            "12.50 GB/s"
+        );
     }
 
     #[test]

@@ -34,7 +34,8 @@ impl TransportProfile {
         if size == Bytes::ZERO {
             return self.latency;
         }
-        self.latency + SimDuration::from_secs_f64(size.as_f64() / self.peak.as_bytes_per_sec())
+        self.latency
+            + SimDuration::from_secs_f64(size.as_f64() / self.peak.as_bytes_per_sec())
             + SimDuration::from_secs_f64(
                 // The ramp term: fixed extra cost equivalent to moving the
                 // half-ramp size at peak, matching eff(size) asymptotics.
@@ -159,9 +160,15 @@ mod tests {
         let bw = BandwidthModel::paper_default();
         for kib in [4u64, 64, 1024, 16 * 1024, 256 * 1024, 1024 * 1024] {
             let size = Bytes::from_kib(kib);
-            let p = bw.effective_bandwidth(Transport::P2p, size).as_bytes_per_sec();
-            let s = bw.effective_bandwidth(Transport::Shm, size).as_bytes_per_sec();
-            let n = bw.effective_bandwidth(Transport::Net, size).as_bytes_per_sec();
+            let p = bw
+                .effective_bandwidth(Transport::P2p, size)
+                .as_bytes_per_sec();
+            let s = bw
+                .effective_bandwidth(Transport::Shm, size)
+                .as_bytes_per_sec();
+            let n = bw
+                .effective_bandwidth(Transport::Net, size)
+                .as_bytes_per_sec();
             assert!(p > s && s > n, "ordering broken at {size}");
         }
     }

@@ -187,7 +187,10 @@ impl Topology {
     pub fn gpu_at(&self, node: NodeId, socket: u32, switch: u32, slot: u32) -> GpuId {
         assert!(node.0 < self.spec.nodes, "node out of range");
         assert!(socket < self.spec.sockets_per_node, "socket out of range");
-        assert!(switch < self.spec.switches_per_socket, "switch out of range");
+        assert!(
+            switch < self.spec.switches_per_socket,
+            "switch out of range"
+        );
         assert!(slot < self.spec.gpus_per_switch, "slot out of range");
         let per_node = self.gpus_per_node();
         let per_socket = self.spec.switches_per_socket * self.spec.gpus_per_switch;

@@ -103,7 +103,11 @@ impl<'a> ReplicationPlanner<'a> {
     /// Returns [`PlanError`] if `existing` is empty, any id is outside the
     /// topology, a joining worker already holds state, or a joining worker
     /// is listed twice.
-    pub fn plan(&self, existing: &[GpuId], joining: &[GpuId]) -> Result<ReplicationPlan, PlanError> {
+    pub fn plan(
+        &self,
+        existing: &[GpuId],
+        joining: &[GpuId],
+    ) -> Result<ReplicationPlan, PlanError> {
         if existing.is_empty() {
             return Err(PlanError::NoSource);
         }
@@ -371,7 +375,10 @@ mod tests {
         let gpu = Bytes::from_mib(100);
         let cpu = Bytes::from_kib(16);
         let total = plan.duration(&bw, gpu, cpu);
-        assert_eq!(total, plan.gpu_duration(&bw, gpu).max(plan.cpu_duration(&bw, cpu)));
+        assert_eq!(
+            total,
+            plan.gpu_duration(&bw, gpu).max(plan.cpu_duration(&bw, cpu))
+        );
         // CPU state is small: it must hide entirely under the GPU transfer.
         assert_eq!(total, plan.gpu_duration(&bw, gpu));
     }
@@ -382,7 +389,11 @@ mod tests {
         let plan = ReplicationPlanner::new(&t).plan(&[GpuId(0)], &[]).unwrap();
         assert!(plan.is_empty());
         assert_eq!(
-            plan.duration(&BandwidthModel::paper_default(), Bytes::from_mib(1), Bytes::ZERO),
+            plan.duration(
+                &BandwidthModel::paper_default(),
+                Bytes::from_mib(1),
+                Bytes::ZERO
+            ),
             SimDuration::ZERO
         );
     }
@@ -424,7 +435,9 @@ mod tests {
         let t = topo();
         let joining: Vec<GpuId> = (8..24).map(GpuId).collect();
         let existing: Vec<GpuId> = (0..8).map(GpuId).collect();
-        let plan = ReplicationPlanner::new(&t).plan(&existing, &joining).unwrap();
+        let plan = ReplicationPlanner::new(&t)
+            .plan(&existing, &joining)
+            .unwrap();
         let mut dsts: Vec<GpuId> = plan.transfers().iter().map(|t| t.dst).collect();
         dsts.sort_unstable();
         assert_eq!(dsts, joining);

@@ -83,10 +83,7 @@ impl TopologyTree {
                     switches.push(TreeNode::Switch { index: sw, gpus });
                     sw += 1;
                 }
-                sockets.push(TreeNode::Socket {
-                    index: s,
-                    switches,
-                });
+                sockets.push(TreeNode::Socket { index: s, switches });
             }
             nodes.push(TreeNode::Node { index: n, sockets });
         }
@@ -179,11 +176,17 @@ mod tests {
             panic!("bad root")
         };
         for n in nodes {
-            let TreeNode::Node { sockets, .. } = n else { panic!() };
+            let TreeNode::Node { sockets, .. } = n else {
+                panic!()
+            };
             for s in sockets {
-                let TreeNode::Socket { switches, .. } = s else { panic!() };
+                let TreeNode::Socket { switches, .. } = s else {
+                    panic!()
+                };
                 for sw in switches {
-                    let TreeNode::Switch { gpus, .. } = sw else { panic!() };
+                    let TreeNode::Switch { gpus, .. } = sw else {
+                        panic!()
+                    };
                     seen.extend(gpus.iter().copied());
                 }
             }

@@ -51,7 +51,10 @@ fn main() {
             .expect("valid placements");
         println!("== {label}");
         for t in plan.transfers() {
-            println!("   {} -> {}  ({} via {})", t.src, t.dst, t.level, t.transport);
+            println!(
+                "   {} -> {}  ({} via {})",
+                t.src, t.dst, t.level, t.transport
+            );
         }
         println!(
             "   waves: {}   replication of {}: {}\n",

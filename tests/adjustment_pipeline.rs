@@ -101,7 +101,11 @@ fn snr_migration_band_matches_paper() {
         let req = AdjustmentRequest::migration(16, 16);
         let r =
             snr.adjust(&req, &c).pause.as_secs_f64() / elan.adjust(&req, &c).pause.as_secs_f64();
-        assert!((1.0..12.0).contains(&r), "{}: migration ratio {r:.1}", model.name);
+        assert!(
+            (1.0..12.0).contains(&r),
+            "{}: migration ratio {r:.1}",
+            model.name
+        );
     }
 }
 
@@ -114,7 +118,11 @@ fn litz_throughput_is_far_below_elan() {
         let r2 = Litz::litz2().relative_throughput(&c, 16);
         let r4 = Litz::litz4().relative_throughput(&c, 16);
         assert!(r2 < 0.75, "{}: Litz-2 rel {r2:.2}", model.name);
-        assert!(r4 <= r2 * 1.05, "{}: Litz-4 should not beat Litz-2", model.name);
+        assert!(
+            r4 <= r2 * 1.05,
+            "{}: Litz-4 should not beat Litz-2",
+            model.name
+        );
     }
     // Transformer: reduction exceeds 90%.
     let transformer = zoo::transformer();

@@ -1,9 +1,9 @@
 //! Integration: the §VI-B elastic-training experiment shapes
 //! (Figs. 18/19, Table IV).
 
+use elan::baselines::ShutdownRestart;
 use elan::core::job::{resnet50_configs, run_elastic_training, ElasticRunConfig, ElasticRunResult};
 use elan::core::{ElanSystem, ElasticitySystem};
-use elan::baselines::ShutdownRestart;
 use elan::models::convergence::ScalingRule;
 use elan::models::{perf::PerfModel, zoo, AccuracyModel};
 use elan::topology::{BandwidthModel, ClusterSpec, Topology};
@@ -26,7 +26,11 @@ fn env() -> Env {
     }
 }
 
-fn run(env: &Env, system: &dyn ElasticitySystem, phases: Vec<elan::core::job::ElasticPhase>) -> ElasticRunResult {
+fn run(
+    env: &Env,
+    system: &dyn ElasticitySystem,
+    phases: Vec<elan::core::job::ElasticPhase>,
+) -> ElasticRunResult {
     run_elastic_training(&ElasticRunConfig {
         model: &env.model,
         perf: &env.perf,

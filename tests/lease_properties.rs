@@ -1,0 +1,123 @@
+//! Property-based tests for the AM lease (the liveness primitive behind
+//! watchdog-driven agent-master failover, §V-D).
+//!
+//! The invariants the runtime's correctness rests on:
+//!
+//! - a lease is never simultaneously alive and expired at one instant;
+//! - expiry is monotone in the refresh time: refreshing *later* never
+//!   makes the lease expire *earlier*;
+//! - `keep_alive` succeeds exactly when the lease is still alive, and a
+//!   successful refresh extends expiry to `refresh + ttl`.
+
+use proptest::prelude::*;
+
+use elan::core::lease::{LeaseManager, LeaseState};
+use elan::sim::{SimDuration, SimTime};
+
+fn t(nanos: u64) -> SimTime {
+    SimTime::from_nanos(nanos)
+}
+
+proptest! {
+    /// At any probe instant, the lease is in exactly one of {Alive,
+    /// Expired} — never both views at once, and the boundary is exact:
+    /// Alive strictly before `grant + ttl`, Expired from it on.
+    #[test]
+    fn never_alive_and_expired_at_once(
+        ttl in 1u64..10_000_000,
+        granted_at in 0u64..10_000_000,
+        probe_offsets in prop::collection::vec(0u64..20_000_000, 1..20),
+    ) {
+        let mut mgr = LeaseManager::new(SimDuration::from_nanos(ttl));
+        let id = mgr.grant(t(granted_at));
+        for &off in &probe_offsets {
+            let now = t(granted_at + off);
+            let state = mgr.state(id, now).expect("granted lease is known");
+            let alive = matches!(state, LeaseState::Alive { .. });
+            let expired = matches!(state, LeaseState::Expired { .. });
+            prop_assert!(alive ^ expired, "lease is both or neither at {now:?}");
+            // The boundary itself is deterministic.
+            prop_assert_eq!(alive, off < ttl, "wrong side of the ttl boundary");
+            match state {
+                LeaseState::Alive { expires_at } =>
+                    prop_assert_eq!(expires_at, t(granted_at + ttl)),
+                LeaseState::Expired { expired_at } =>
+                    prop_assert_eq!(expired_at, t(granted_at + ttl)),
+            }
+        }
+    }
+
+    /// Expiry is monotone in refresh time: for two refresh instants
+    /// `a <= b` (both while alive), the expiry after refreshing at `b` is
+    /// `>=` the expiry after refreshing at `a`.
+    #[test]
+    fn expiry_is_monotone_in_refresh_time(
+        ttl in 1u64..10_000_000,
+        granted_at in 0u64..10_000_000,
+        raw_a in 0u64..10_000_000,
+        raw_b in 0u64..10_000_000,
+    ) {
+        // Keep both refreshes inside the alive window, ordered a <= b.
+        let (offset_a, offset_b) = ((raw_a % ttl).min(raw_b % ttl), (raw_a % ttl).max(raw_b % ttl));
+
+        let expiry_after = |off: u64| -> SimTime {
+            let mut mgr = LeaseManager::new(SimDuration::from_nanos(ttl));
+            let id = mgr.grant(t(granted_at));
+            mgr.keep_alive(id, t(granted_at + off)).expect("refresh while alive");
+            match mgr.state(id, t(granted_at + off)).unwrap() {
+                LeaseState::Alive { expires_at } => expires_at,
+                LeaseState::Expired { .. } => unreachable!("just refreshed"),
+            }
+        };
+        let ea = expiry_after(offset_a);
+        let eb = expiry_after(offset_b);
+        prop_assert!(eb >= ea, "later refresh expired earlier: {eb:?} < {ea:?}");
+        // And the refresh is exact: expiry == refresh + ttl.
+        prop_assert_eq!(ea, t(granted_at + offset_a + ttl));
+        prop_assert_eq!(eb, t(granted_at + offset_b + ttl));
+    }
+
+    /// `keep_alive` succeeds iff the lease is alive at that instant, and
+    /// a chain of in-window refreshes keeps the lease alive indefinitely
+    /// while a single missed window kills it for good.
+    #[test]
+    fn keep_alive_agrees_with_state(
+        ttl in 1u64..1_000_000,
+        granted_at in 0u64..1_000_000,
+        advances in prop::collection::vec(0u64..2_000_000, 1..30),
+        refresh_bits in prop::collection::vec(prop::bool::ANY, 30..31),
+    ) {
+        let mut mgr = LeaseManager::new(SimDuration::from_nanos(ttl));
+        let id = mgr.grant(t(granted_at));
+        let mut now = granted_at;
+        for (i, &advance) in advances.iter().enumerate() {
+            let refresh = refresh_bits[i];
+            now += advance;
+            let alive_before =
+                matches!(mgr.state(id, t(now)), Some(LeaseState::Alive { .. }));
+            if refresh {
+                let ok = mgr.keep_alive(id, t(now)).is_ok();
+                prop_assert_eq!(
+                    ok, alive_before,
+                    "keep_alive result disagrees with state at {now}"
+                );
+            }
+        }
+    }
+
+    /// Revocation is terminal: a revoked lease has no state and refuses
+    /// refreshes, at every later instant.
+    #[test]
+    fn revoked_leases_stay_dead(
+        ttl in 1u64..1_000_000,
+        granted_at in 0u64..1_000_000,
+        probe in 0u64..2_000_000,
+    ) {
+        let mut mgr = LeaseManager::new(SimDuration::from_nanos(ttl));
+        let id = mgr.grant(t(granted_at));
+        prop_assert!(mgr.revoke(id));
+        prop_assert!(!mgr.revoke(id), "double revoke must be a no-op");
+        prop_assert!(mgr.state(id, t(granted_at + probe)).is_none());
+        prop_assert!(mgr.keep_alive(id, t(granted_at + probe)).is_err());
+    }
+}

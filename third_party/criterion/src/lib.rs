@@ -1,0 +1,139 @@
+//! Offline shim for the `criterion` API surface this workspace uses.
+//!
+//! Supports `black_box`, `Criterion::{default, sample_size, measurement_time,
+//! warm_up_time, bench_function}`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Benchmarks run the closure a
+//! small, fixed number of iterations and print mean wall time — enough to
+//! keep `cargo bench` compiling and producing sane numbers offline, without
+//! the statistical machinery of upstream criterion.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Per-benchmark timing loop handle.
+pub struct Bencher {
+    iters: u64,
+    /// Mean time per iteration from the last `iter` call.
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up pass.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.last_mean = start.elapsed() / self.iters as u32;
+    }
+}
+
+/// Benchmark harness configuration (all knobs accepted, mostly advisory).
+pub struct Criterion {
+    sample_size: usize,
+    #[allow(dead_code)]
+    measurement_time: Duration,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs `f` under the timing loop and prints the mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {id:<40} ~{:?}/iter", b.last_mean);
+        self
+    }
+}
+
+/// Declares a benchmark group; both the `name/config/targets` and plain forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_add(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = bench_add
+    );
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+
+    #[test]
+    fn plain_group_form_compiles() {
+        criterion_group!(simple, bench_add);
+        simple();
+    }
+}

@@ -1,0 +1,80 @@
+//! Data-plane benchmark harness: chunked cooperative allreduce and
+//! chunked pipelined state replication versus their naive baselines.
+//!
+//! ```text
+//! dataplane [--quick] [--out PATH]     run the sweep, write a JSON report
+//! dataplane --validate PATH            schema-check an existing report
+//! ```
+//!
+//! The default output path is `BENCH_dataplane.json` in the current
+//! directory. `--quick` runs a reduced grid suitable for CI smoke runs.
+//! `--validate` exits non-zero if the file does not conform to the
+//! report schema (used by CI after the smoke run).
+
+use std::process::ExitCode;
+
+use bench::dataplane;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = String::from("BENCH_dataplane.json");
+    let mut validate: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage("--out requires a path"),
+            },
+            "--validate" => match args.next() {
+                Some(path) => validate = Some(path),
+                None => return usage("--validate requires a path"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: dataplane [--quick] [--out PATH] | dataplane --validate PATH");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    if let Some(path) = validate {
+        return match std::fs::read_to_string(&path) {
+            Ok(text) => match dataplane::validate_json(&text) {
+                Ok(()) => {
+                    eprintln!("{path}: ok");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: schema violation: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = dataplane::run(quick, |line| eprintln!("{line}"));
+    let json = report.to_json();
+    if let Err(e) = dataplane::validate_json(&json) {
+        eprintln!("internal error: emitted report fails its own schema: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: dataplane [--quick] [--out PATH] | dataplane --validate PATH");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,623 @@
+//! Data-plane benchmarks: allreduce throughput and state-replication
+//! makespan, chunked vs. the naive pre-overhaul baselines.
+//!
+//! This is the measurement side of the data-plane performance overhaul:
+//! the live runtime's chunked cooperative [`CommGroup`] and chunked,
+//! `Arc`-shared state replication are raced against the exact code they
+//! replaced — the flat lock-held [`naive::NaiveCommGroup`] and the
+//! clone-both-buffers-per-destination monolithic transfer — on the same
+//! inputs. Results serialize to `BENCH_dataplane.json` (see
+//! [`Report::to_json`]) so CI and the README can track the trajectory.
+//!
+//! Everything here is free of external dependencies: the JSON emitter is
+//! a few `format!`s, and [`validate_json`] carries a small recursive-
+//! descent parser so the CI smoke job can check the schema offline.
+
+use std::sync::Barrier;
+use std::thread;
+use std::time::Instant;
+
+use elan_core::state::WorkerId;
+use elan_rt::comm::{naive::NaiveCommGroup, AllreduceOutcome, CommGroup};
+use elan_rt::worker::{build_state_chunks, SnapshotAssembly};
+
+/// Warm-up rounds excluded from every allreduce timing (they also fill
+/// the chunked group's buffer pool, so the timed region is the
+/// zero-allocation steady state).
+const WARMUP_ROUNDS: u64 = 2;
+
+/// One allreduce measurement: both implementations on identical inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct AllreducePoint {
+    /// Workers in the group.
+    pub world: u32,
+    /// Elements per gradient vector.
+    pub len: usize,
+    /// Timed rounds (after warm-up).
+    pub rounds: u64,
+    /// Naive flat allreduce throughput, in contributed elements/second
+    /// (`world × len × rounds / elapsed`).
+    pub naive_elems_per_s: f64,
+    /// Chunked cooperative allreduce throughput, same metric.
+    pub chunked_elems_per_s: f64,
+}
+
+impl AllreducePoint {
+    /// Chunked over naive.
+    pub fn speedup(&self) -> f64 {
+        self.chunked_elems_per_s / self.naive_elems_per_s
+    }
+}
+
+/// One replication measurement: monolithic vs. chunked makespan.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicationPoint {
+    /// Elements per state buffer (params and momentum each).
+    pub param_elems: usize,
+    /// Destinations served at the boundary.
+    pub destinations: usize,
+    /// Elements per chunk in the chunked path.
+    pub chunk_elems: usize,
+    /// Monolithic makespan (clone both buffers per destination), ms.
+    pub monolithic_ms: f64,
+    /// Chunked makespan (one chunking pass, `Arc`-shared), ms.
+    pub chunked_ms: f64,
+}
+
+impl ReplicationPoint {
+    /// Monolithic over chunked (≥ 1 means chunked wins).
+    pub fn speedup(&self) -> f64 {
+        self.monolithic_ms / self.chunked_ms
+    }
+}
+
+/// A full harness run, serializable to `BENCH_dataplane.json`.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// `"full"` or `"quick"`.
+    pub mode: String,
+    /// Allreduce sweep.
+    pub allreduce: Vec<AllreducePoint>,
+    /// Replication sweep.
+    pub replication: Vec<ReplicationPoint>,
+}
+
+/// Deterministic mixed-magnitude input buffer.
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s & 0xFFFF) as f32 / 65536.0) - 0.5
+        })
+        .collect()
+}
+
+/// Times `rounds` collective rounds of `run` across `world` threads and
+/// returns throughput in contributed elements/second. The timer starts at
+/// a barrier *after* the warm-up rounds, so thread spawn and pool
+/// warm-up are excluded.
+fn time_rounds<F>(world: u32, len: usize, rounds: u64, run: F) -> f64
+where
+    F: Fn(WorkerId, &[f32]) -> AllreduceOutcome + Sync,
+{
+    let inputs: Vec<Vec<f32>> = (0..world).map(|w| fill(w as u64 + 1, len)).collect();
+    let barrier = Barrier::new(world as usize + 1);
+    let secs = thread::scope(|s| {
+        let handles: Vec<_> = (0..world as usize)
+            .map(|w| {
+                let run = &run;
+                let input = &inputs[w];
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let id = WorkerId(w as u32);
+                    for _ in 0..WARMUP_ROUNDS {
+                        let _ = std::hint::black_box(run(id, input));
+                    }
+                    barrier.wait();
+                    for _ in 0..rounds {
+                        match run(id, input) {
+                            AllreduceOutcome::Sum { sum, .. } => {
+                                std::hint::black_box(sum[0]);
+                            }
+                            other => panic!("allreduce failed: {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        for h in handles {
+            h.join().expect("bench worker");
+        }
+        t0.elapsed().as_secs_f64()
+    });
+    (world as f64) * (len as f64) * (rounds as f64) / secs
+}
+
+/// Benchmarks both allreduce implementations at one `(world, len)` point.
+pub fn bench_allreduce(world: u32, len: usize, rounds: u64) -> AllreducePoint {
+    let members: Vec<WorkerId> = (0..world).map(WorkerId).collect();
+    let naive_group = NaiveCommGroup::new(members.iter().copied(), len);
+    let naive = time_rounds(world, len, rounds, |w, d| naive_group.allreduce(w, d));
+    let chunked_group = CommGroup::new(members.iter().copied(), len);
+    let chunked = time_rounds(world, len, rounds, |w, d| chunked_group.allreduce(w, d));
+    AllreducePoint {
+        world,
+        len,
+        rounds,
+        naive_elems_per_s: naive,
+        chunked_elems_per_s: chunked,
+    }
+}
+
+/// Benchmarks boundary state replication to `destinations` receivers.
+///
+/// *Monolithic* reproduces the pre-overhaul worker: it clones both full
+/// buffers once **per destination** (the `Arc::new(params.clone())` the
+/// old `StateTransfer` arm performed) before each receiver copies them
+/// in. *Chunked* performs one chunking pass per boundary and serves
+/// every destination `Arc`-shared chunks, which receivers assemble with
+/// [`SnapshotAssembly`] — the live runtime's actual replication path.
+pub fn bench_replication(
+    param_elems: usize,
+    destinations: usize,
+    chunk_elems: usize,
+    iters: u32,
+) -> ReplicationPoint {
+    let params = fill(7, param_elems);
+    let momentum = fill(9, param_elems);
+    let mut dst_p: Vec<Vec<f32>> = (0..destinations).map(|_| vec![0.0; param_elems]).collect();
+    let mut dst_m: Vec<Vec<f32>> = (0..destinations).map(|_| vec![0.0; param_elems]).collect();
+
+    // Monolithic: clone both buffers per destination, then copy in.
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for d in 0..destinations {
+            let p = std::hint::black_box(params.clone());
+            let m = std::hint::black_box(momentum.clone());
+            dst_p[d].copy_from_slice(&p);
+            dst_m[d].copy_from_slice(&m);
+        }
+    }
+    let monolithic_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+
+    // Chunked: one chunking pass per boundary, Arc-shared across
+    // destinations, receivers assemble.
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let chunks = build_state_chunks(&params, &momentum, chunk_elems);
+        for d in 0..destinations {
+            let mut asm = SnapshotAssembly::new();
+            let mut finished = false;
+            for &(kind, index, total, offset, ref data) in &chunks {
+                if asm
+                    .offer(
+                        kind,
+                        1,
+                        0,
+                        index,
+                        total,
+                        offset,
+                        data,
+                        &mut dst_p[d],
+                        &mut dst_m[d],
+                    )
+                    .is_some()
+                {
+                    finished = true;
+                }
+            }
+            assert!(finished, "chunked snapshot did not complete");
+        }
+    }
+    let chunked_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+
+    for d in 0..destinations {
+        assert_eq!(dst_p[d], params, "replication corrupted params");
+        assert_eq!(dst_m[d], momentum, "replication corrupted momentum");
+    }
+    ReplicationPoint {
+        param_elems,
+        destinations,
+        chunk_elems,
+        monolithic_ms,
+        chunked_ms,
+    }
+}
+
+/// Timed rounds per vector length — long vectors need few rounds for a
+/// stable mean, short ones need many to rise above timer noise.
+pub fn rounds_for(len: usize, quick: bool) -> u64 {
+    let full = match len {
+        0..=4_096 => 256,
+        4_097..=131_072 => 48,
+        131_073..=1_048_576 => 10,
+        _ => 4,
+    };
+    if quick {
+        (full / 8).max(2)
+    } else {
+        full
+    }
+}
+
+/// Runs the whole sweep. `quick` shrinks the grid for CI smoke runs.
+pub fn run(quick: bool, mut progress: impl FnMut(&str)) -> Report {
+    let (worlds, lens): (Vec<u32>, Vec<usize>) = if quick {
+        (vec![2, 4], vec![1_024, 65_536])
+    } else {
+        (vec![2, 4, 8, 16], vec![1_024, 65_536, 1_048_576, 4_194_304])
+    };
+    let mut allreduce = Vec::new();
+    for &len in &lens {
+        for &world in &worlds {
+            let rounds = rounds_for(len, quick);
+            let p = bench_allreduce(world, len, rounds);
+            progress(&format!(
+                "allreduce world={:2} len={:>9} rounds={:>3}  naive={:>12.0} elems/s  chunked={:>12.0} elems/s  speedup={:.2}x",
+                p.world, p.len, p.rounds, p.naive_elems_per_s, p.chunked_elems_per_s, p.speedup()
+            ));
+            allreduce.push(p);
+        }
+    }
+    let repl_cfgs: Vec<(usize, usize, usize, u32)> = if quick {
+        vec![(65_536, 2, 8_192, 3)]
+    } else {
+        vec![(1_048_576, 4, 65_536, 6), (4_194_304, 4, 65_536, 3)]
+    };
+    let mut replication = Vec::new();
+    for (elems, dests, chunk, iters) in repl_cfgs {
+        let p = bench_replication(elems, dests, chunk, iters);
+        progress(&format!(
+            "replication elems={:>9} dests={} chunk={:>6}  monolithic={:>8.2} ms  chunked={:>8.2} ms  speedup={:.2}x",
+            p.param_elems, p.destinations, p.chunk_elems, p.monolithic_ms, p.chunked_ms, p.speedup()
+        ));
+        replication.push(p);
+    }
+    Report {
+        mode: if quick { "quick" } else { "full" }.into(),
+        allreduce,
+        replication,
+    }
+}
+
+impl Report {
+    /// Serializes the report as pretty-printed JSON (schema version 1).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema_version\": 1,\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str("  \"allreduce\": [\n");
+        for (i, p) in self.allreduce.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"world\": {}, \"len\": {}, \"rounds\": {}, \"naive_elems_per_s\": {:.1}, \"chunked_elems_per_s\": {:.1}, \"speedup\": {:.4}}}{}\n",
+                p.world,
+                p.len,
+                p.rounds,
+                p.naive_elems_per_s,
+                p.chunked_elems_per_s,
+                p.speedup(),
+                if i + 1 < self.allreduce.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"replication\": [\n");
+        for (i, p) in self.replication.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"param_elems\": {}, \"destinations\": {}, \"chunk_elems\": {}, \"monolithic_ms\": {:.4}, \"chunked_ms\": {:.4}, \"speedup\": {:.4}}}{}\n",
+                p.param_elems,
+                p.destinations,
+                p.chunk_elems,
+                p.monolithic_ms,
+                p.chunked_ms,
+                p.speedup(),
+                if i + 1 < self.replication.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// A minimal JSON value for schema validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escapes decoded naively).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document (recursive descent, no external deps).
+///
+/// # Errors
+///
+/// Returns a position-annotated message on malformed input.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut at = 0usize;
+    let v = parse_value(bytes, &mut at)?;
+    skip_ws(bytes, &mut at);
+    if at != bytes.len() {
+        return Err(format!("trailing garbage at byte {at}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], at: &mut usize) {
+    while *at < b.len() && matches!(b[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn expect(b: &[u8], at: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, at);
+    if *at < b.len() && b[*at] == c {
+        *at += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, at))
+    }
+}
+
+fn parse_value(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(b, at);
+    match b.get(*at) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *at += 1;
+            let mut members = Vec::new();
+            skip_ws(b, at);
+            if b.get(*at) == Some(&b'}') {
+                *at += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, at);
+                let key = match parse_value(b, at)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                expect(b, at, b':')?;
+                let val = parse_value(b, at)?;
+                members.push((key, val));
+                skip_ws(b, at);
+                match b.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b'}') => {
+                        *at += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {at}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *at += 1;
+            let mut items = Vec::new();
+            skip_ws(b, at);
+            if b.get(*at) == Some(&b']') {
+                *at += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, at)?);
+                skip_ws(b, at);
+                match b.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b']') => {
+                        *at += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {at}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *at += 1;
+            let mut s = String::new();
+            while *at < b.len() {
+                match b[*at] {
+                    b'"' => {
+                        *at += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    b'\\' => {
+                        *at += 1;
+                        let esc = *b.get(*at).ok_or("unterminated escape")?;
+                        s.push(match esc {
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'r' => '\r',
+                            other => other as char,
+                        });
+                        *at += 1;
+                    }
+                    c => {
+                        s.push(c as char);
+                        *at += 1;
+                    }
+                }
+            }
+            Err("unterminated string".into())
+        }
+        Some(b't') if b[*at..].starts_with(b"true") => {
+            *at += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*at..].starts_with(b"false") => {
+            *at += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*at..].starts_with(b"null") => {
+            *at += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *at;
+            while *at < b.len() && matches!(b[*at], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *at += 1;
+            }
+            std::str::from_utf8(&b[start..*at])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+    }
+}
+
+/// Validates a `BENCH_dataplane.json` document: schema keys present,
+/// every throughput/makespan strictly positive, arrays non-empty.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let schema = doc
+        .get("schema_version")
+        .and_then(Json::as_num)
+        .ok_or("missing schema_version")?;
+    if schema < 1.0 {
+        return Err(format!("bad schema_version {schema}"));
+    }
+    match doc.get("mode") {
+        Some(Json::Str(m)) if m == "full" || m == "quick" => {}
+        other => return Err(format!("bad mode: {other:?}")),
+    }
+    let require_pos = |obj: &Json, key: &str| -> Result<f64, String> {
+        let v = obj
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric key {key:?}"))?;
+        if v > 0.0 && v.is_finite() {
+            Ok(v)
+        } else {
+            Err(format!("key {key:?} must be positive and finite, got {v}"))
+        }
+    };
+    let Some(Json::Arr(points)) = doc.get("allreduce") else {
+        return Err("missing allreduce array".into());
+    };
+    if points.is_empty() {
+        return Err("allreduce array is empty".into());
+    }
+    for p in points {
+        for key in [
+            "world",
+            "len",
+            "rounds",
+            "naive_elems_per_s",
+            "chunked_elems_per_s",
+            "speedup",
+        ] {
+            require_pos(p, key)?;
+        }
+    }
+    let Some(Json::Arr(points)) = doc.get("replication") else {
+        return Err("missing replication array".into());
+    };
+    if points.is_empty() {
+        return Err("replication array is empty".into());
+    }
+    for p in points {
+        for key in [
+            "param_elems",
+            "destinations",
+            "chunk_elems",
+            "monolithic_ms",
+            "chunked_ms",
+            "speedup",
+        ] {
+            require_pos(p, key)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickest_sweep_emits_valid_json() {
+        // The smallest possible measurement exercises the whole pipeline.
+        let report = Report {
+            mode: "quick".into(),
+            allreduce: vec![bench_allreduce(2, 256, 3)],
+            replication: vec![bench_replication(1_024, 2, 256, 2)],
+        };
+        validate_json(&report.to_json()).expect("emitted JSON validates");
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json("not json").is_err());
+        assert!(validate_json(r#"{"schema_version": 1, "mode": "full"}"#).is_err());
+        // Zero throughput is a schema violation, not a shrug.
+        let bad = r#"{"schema_version": 1, "mode": "quick",
+            "allreduce": [{"world": 2, "len": 4, "rounds": 1,
+                "naive_elems_per_s": 0.0, "chunked_elems_per_s": 1.0, "speedup": 1.0}],
+            "replication": [{"param_elems": 1, "destinations": 1, "chunk_elems": 1,
+                "monolithic_ms": 1.0, "chunked_ms": 1.0, "speedup": 1.0}]}"#;
+        assert!(validate_json(bad)
+            .unwrap_err()
+            .contains("naive_elems_per_s"));
+    }
+
+    #[test]
+    fn json_parser_handles_the_grammar() {
+        let v =
+            parse_json(r#"{"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "e": "x"}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-300.0)])
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Null));
+        assert_eq!(v.get("e"), Some(&Json::Str("x".into())));
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{\"a\": 1} extra").is_err());
+    }
+
+    #[test]
+    fn replication_bench_is_bit_exact() {
+        let p = bench_replication(2_000, 3, 333, 1);
+        assert!(p.monolithic_ms > 0.0 && p.chunked_ms > 0.0);
+    }
+}

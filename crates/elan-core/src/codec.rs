@@ -13,8 +13,41 @@ use crate::state::{RuntimeInfo, TrainingState, WorkerId};
 
 /// Magic bytes opening every snapshot.
 const MAGIC: &[u8; 4] = b"ELAN";
-/// Current format version.
-const VERSION: u16 = 1;
+/// Current format version: v2 appends a CRC32 integrity trailer. v1
+/// buffers (no trailer) are still decoded.
+const VERSION: u16 = 2;
+
+/// CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) lookup table,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes` — the integrity checksum carried in every
+/// v2 snapshot's 4-byte little-endian trailer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
 
 /// Errors from decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +58,14 @@ pub enum DecodeError {
     BadMagic,
     /// The format version is unsupported.
     UnsupportedVersion(u16),
+    /// The CRC32 trailer does not match the body — bit rot, a torn
+    /// write, or tampering.
+    Corrupt {
+        /// CRC32 recorded in the trailer.
+        expected: u32,
+        /// CRC32 computed over the received body.
+        actual: u32,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -33,6 +74,10 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "snapshot truncated"),
             DecodeError::BadMagic => write!(f, "not an Elan snapshot"),
             DecodeError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            DecodeError::Corrupt { expected, actual } => write!(
+                f,
+                "snapshot corrupt: trailer crc32 {expected:#010x}, body crc32 {actual:#010x}"
+            ),
         }
     }
 }
@@ -107,9 +152,17 @@ impl<'a> Reader<'a> {
 /// # Ok::<(), elan_core::codec::DecodeError>(())
 /// ```
 pub fn encode_state(state: &TrainingState) -> Vec<u8> {
+    let mut buf = encode_body(state, VERSION);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Encodes the magic, version, and fields — everything but the trailer.
+fn encode_body(state: &TrainingState, version: u16) -> Vec<u8> {
     let mut w = Writer::new();
     w.buf.extend_from_slice(MAGIC);
-    w.u16(VERSION);
+    w.u16(version);
     w.u64(state.gpu_bytes.as_u64());
     w.u64(state.cpu_bytes.as_u64());
     w.u64(state.params_checksum);
@@ -125,21 +178,39 @@ pub fn encode_state(state: &TrainingState) -> Vec<u8> {
     w.buf
 }
 
-/// Decodes a snapshot produced by [`encode_state`].
+/// Decodes a snapshot produced by [`encode_state`] — either the current
+/// v2 format (CRC32 trailer, verified before any field is trusted) or a
+/// legacy v1 buffer (no trailer).
 ///
 /// # Errors
 ///
-/// Returns [`DecodeError`] for truncated, foreign, or future-versioned
-/// buffers.
+/// Returns [`DecodeError`] for truncated, foreign, future-versioned, or
+/// checksum-failing buffers.
 pub fn decode_state(bytes: &[u8]) -> Result<TrainingState, DecodeError> {
-    let mut r = Reader::new(bytes);
-    if r.take(4)? != MAGIC {
+    // Peek the header to learn the version, then bound the body.
+    let mut peek = Reader::new(bytes);
+    if peek.take(4)? != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let version = r.u16()?;
-    if version != VERSION {
-        return Err(DecodeError::UnsupportedVersion(version));
-    }
+    let version = peek.u16()?;
+    let body = match version {
+        1 => bytes, // legacy: no trailer
+        VERSION => {
+            // bytes.len() >= 6 here, so the subtraction cannot underflow;
+            // a buffer too short to even hold the trailer fails the CRC.
+            let (body, trailer) = bytes.split_at(bytes.len() - 4);
+            let expected = u32::from_le_bytes(trailer.try_into().expect("len 4"));
+            let actual = crc32(body);
+            if actual != expected {
+                return Err(DecodeError::Corrupt { expected, actual });
+            }
+            body
+        }
+        v => return Err(DecodeError::UnsupportedVersion(v)),
+    };
+    let mut r = Reader::new(body);
+    let _ = r.take(4)?; // magic — validated above
+    let _ = r.u16()?; // version — validated above
     let gpu_bytes = Bytes::new(r.u64()?);
     let cpu_bytes = Bytes::new(r.u64()?);
     let params_checksum = r.u64()?;
@@ -220,8 +291,59 @@ mod tests {
     fn truncation_is_detected_at_every_length() {
         let bytes = encode_state(&sample());
         for cut in 0..bytes.len() {
+            let err = decode_state(&bytes[..cut]).expect_err("truncated buffer decoded");
+            // Before the version is readable the cut looks truncated;
+            // after it, the CRC trailer no longer matches the body.
+            assert!(
+                matches!(err, DecodeError::Truncated | DecodeError::Corrupt { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        let good = encode_state(&sample());
+        for at in 0..good.len() {
+            let mut bytes = good.clone();
+            bytes[at] ^= 0x40;
+            let err = decode_state(&bytes).expect_err("corrupt buffer decoded");
+            // Magic/version damage is caught structurally; everything
+            // else (fields *and* the trailer itself) by the CRC.
+            assert!(
+                matches!(
+                    err,
+                    DecodeError::BadMagic
+                        | DecodeError::UnsupportedVersion(_)
+                        | DecodeError::Corrupt { .. }
+                ),
+                "flip at {at}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_error_reports_both_checksums() {
+        let mut bytes = encode_state(&sample());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        match decode_state(&bytes) {
+            Err(DecodeError::Corrupt { expected, actual }) => assert_ne!(expected, actual),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_v1_snapshots_still_decode() {
+        // A v1 buffer has no trailer — exactly what yesterday's encoder
+        // produced.
+        let s = sample();
+        let v1 = encode_body(&s, 1);
+        assert_eq!(decode_state(&v1).unwrap(), s);
+        // And v1 truncation still reports Truncated precisely.
+        for cut in 0..v1.len() {
             assert_eq!(
-                decode_state(&bytes[..cut]),
+                decode_state(&v1[..cut]),
                 Err(DecodeError::Truncated),
                 "cut at {cut}"
             );
@@ -229,10 +351,29 @@ mod tests {
     }
 
     #[test]
+    fn v2_is_v1_plus_trailer() {
+        let s = sample();
+        let v2 = encode_state(&s);
+        let body = encode_body(&s, VERSION);
+        assert_eq!(&v2[..v2.len() - 4], &body[..]);
+        assert_eq!(
+            u32::from_le_bytes(v2[v2.len() - 4..].try_into().unwrap()),
+            crc32(&body)
+        );
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
     fn encoding_is_compact() {
-        // Fixed header + 4 bytes per member: no bloat.
+        // Fixed header + 4 bytes per member + 4-byte CRC trailer.
         let s = sample();
         let bytes = encode_state(&s);
-        assert_eq!(bytes.len(), 4 + 2 + 8 * 4 + 4 + 8 + 8 + 4 + 4 + 16 * 4);
+        assert_eq!(bytes.len(), 4 + 2 + 8 * 4 + 4 + 8 + 8 + 4 + 4 + 16 * 4 + 4);
     }
 }

@@ -365,6 +365,163 @@ impl Default for BoundedDedupFilter {
     }
 }
 
+/// Which training-state stream a replicated chunk belongs to.
+///
+/// Elan (§IV) overlaps GPU-state replication with CPU-state replication;
+/// in this reproduction the model parameters stand in for GPU state and
+/// the optimizer (momentum) buffers for CPU state. Chunked state transfer
+/// interleaves the two streams so they pipeline on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StateKind {
+    /// Model parameters (the paper's GPU-resident state).
+    Params,
+    /// Optimizer momentum (the paper's CPU-resident state).
+    Momentum,
+}
+
+impl std::fmt::Display for StateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateKind::Params => write!(f, "params"),
+            StateKind::Momentum => write!(f, "momentum"),
+        }
+    }
+}
+
+/// How a state buffer of `total_elems` elements is split into fixed-size
+/// chunks for streaming replication.
+///
+/// Every sender and receiver of a stream derives the identical plan from
+/// `(total_elems, chunk_elems)`, so a chunk index alone pins down its
+/// element range — chunks can arrive in any order, be duplicated, or be
+/// resent individually without ambiguity.
+///
+/// # Examples
+///
+/// ```
+/// use elan_core::messages::ChunkPlan;
+///
+/// let plan = ChunkPlan::new(10, 4);
+/// assert_eq!(plan.n_chunks(), 3);
+/// assert_eq!(plan.range(0), 0..4);
+/// assert_eq!(plan.range(2), 8..10); // final chunk is short
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkPlan {
+    total_elems: usize,
+    chunk_elems: usize,
+}
+
+impl ChunkPlan {
+    /// Creates a plan splitting `total_elems` into chunks of at most
+    /// `chunk_elems` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(total_elems: usize, chunk_elems: usize) -> Self {
+        assert!(total_elems > 0, "empty stream");
+        assert!(chunk_elems > 0, "zero chunk size");
+        ChunkPlan {
+            total_elems,
+            chunk_elems,
+        }
+    }
+
+    /// Total elements in the stream.
+    pub fn total_elems(&self) -> usize {
+        self.total_elems
+    }
+
+    /// Elements per full chunk.
+    pub fn chunk_elems(&self) -> usize {
+        self.chunk_elems
+    }
+
+    /// Number of chunks (the last may be short).
+    pub fn n_chunks(&self) -> usize {
+        self.total_elems.div_ceil(self.chunk_elems)
+    }
+
+    /// Element range of chunk `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= n_chunks()`.
+    pub fn range(&self, index: usize) -> std::ops::Range<usize> {
+        assert!(index < self.n_chunks(), "chunk index out of range");
+        let start = index * self.chunk_elems;
+        start..(start + self.chunk_elems).min(self.total_elems)
+    }
+
+    /// Iterates `(index, range)` over every chunk.
+    pub fn ranges(&self) -> impl Iterator<Item = (usize, std::ops::Range<usize>)> + '_ {
+        (0..self.n_chunks()).map(|i| (i, self.range(i)))
+    }
+}
+
+/// Receiver-side bookkeeping for one chunked state stream: which chunks
+/// have landed, which are still missing, and when the stream is complete.
+///
+/// `accept` is idempotent (duplicate chunks — chaos or resends — report
+/// `false` and change nothing), and `missing` makes an interrupted
+/// transfer *resumable*: a replacement source only needs to send the
+/// chunks the receiver never got.
+#[derive(Debug, Clone)]
+pub struct ChunkAssembler {
+    received: Vec<bool>,
+    remaining: usize,
+}
+
+impl ChunkAssembler {
+    /// Creates an assembler expecting `n_chunks` chunks.
+    pub fn new(n_chunks: usize) -> Self {
+        ChunkAssembler {
+            received: vec![false; n_chunks],
+            remaining: n_chunks,
+        }
+    }
+
+    /// Records chunk `index`; returns true on first delivery, false for
+    /// duplicates or out-of-range indices.
+    pub fn accept(&mut self, index: usize) -> bool {
+        match self.received.get_mut(index) {
+            Some(slot) if !*slot => {
+                *slot = true;
+                self.remaining -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True once every chunk has landed.
+    pub fn is_complete(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Chunks received so far.
+    pub fn received_count(&self) -> usize {
+        self.received.len() - self.remaining
+    }
+
+    /// Indices still outstanding, in ascending order.
+    pub fn missing(&self) -> Vec<usize> {
+        self.received
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &got)| (!got).then_some(i))
+            .collect()
+    }
+
+    /// Forgets all progress (a newer stream superseded this one),
+    /// reusing the existing allocation.
+    pub fn reset(&mut self) {
+        self.received.iter_mut().for_each(|b| *b = false);
+        self.remaining = self.received.len();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +674,51 @@ mod tests {
         }
         // A very late replay of the ancient id is still suppressed.
         assert!(!d.first_delivery(ancient));
+    }
+
+    #[test]
+    fn chunk_plan_covers_every_element_exactly_once() {
+        for (total, chunk) in [(1, 1), (10, 4), (4096, 4096), (4097, 4096), (1000, 1)] {
+            let plan = ChunkPlan::new(total, chunk);
+            let mut covered = vec![0u8; total];
+            for (i, range) in plan.ranges() {
+                assert_eq!(range, plan.range(i));
+                for e in range {
+                    covered[e] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "{total}/{chunk}");
+            assert_eq!(plan.n_chunks(), total.div_ceil(chunk));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk index out of range")]
+    fn chunk_plan_rejects_out_of_range_index() {
+        let _ = ChunkPlan::new(10, 4).range(3);
+    }
+
+    #[test]
+    fn chunk_assembler_tracks_and_dedups() {
+        let mut asm = ChunkAssembler::new(3);
+        assert!(!asm.is_complete());
+        assert!(asm.accept(1));
+        assert!(!asm.accept(1), "duplicate rejected");
+        assert!(!asm.accept(9), "out of range rejected");
+        assert_eq!(asm.missing(), vec![0, 2]);
+        assert!(asm.accept(0));
+        assert!(asm.accept(2));
+        assert!(asm.is_complete());
+        assert_eq!(asm.received_count(), 3);
+        asm.reset();
+        assert!(!asm.is_complete());
+        assert_eq!(asm.missing(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn state_kind_displays() {
+        assert_eq!(StateKind::Params.to_string(), "params");
+        assert_eq!(StateKind::Momentum.to_string(), "momentum");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
-use elan_core::messages::{MsgId, MsgIdAllocator};
+use elan_core::messages::{MsgId, MsgIdAllocator, StateKind};
 use elan_core::state::WorkerId;
 
 use crate::chaos::{ChaosEngine, ChaosPolicy, ChaosStats};
@@ -78,16 +78,31 @@ pub enum RtMsg {
         /// The destination it served (src == dst marks a checkpoint).
         dst: WorkerId,
     },
-    /// Source worker → new worker: the replicated training state.
-    StateTransfer {
-        /// Model parameters (really copied between threads).
-        params: Arc<Vec<f32>>,
-        /// Optimizer (momentum) state.
-        momentum: Arc<Vec<f32>>,
-        /// Iteration to resume from.
+    /// Source worker → new worker: one chunk of the replicated training
+    /// state. Replication is streamed — parameter ("GPU-state") and
+    /// momentum ("CPU-state") chunks interleave on the wire so the two
+    /// streams overlap per §IV, and because every chunk rides its own
+    /// reliable envelope (id + ack + resend), a lossy bus retransmits
+    /// only the missing chunks: the transfer is resumable per-chunk
+    /// rather than all-or-nothing.
+    StateChunk {
+        /// Which state buffer this chunk belongs to.
+        kind: StateKind,
+        /// Iteration the snapshot was taken at (also the stream id — all
+        /// chunks of one snapshot carry the same boundary iteration).
         iteration: u64,
         /// Serial data-loading cursor (§V-C: one integer).
         data_cursor: u64,
+        /// Chunk index within this `kind`'s stream.
+        index: u32,
+        /// Total chunks in this `kind`'s stream.
+        total: u32,
+        /// Element offset of this chunk within the full buffer.
+        offset: u64,
+        /// The chunk payload — `Arc`-shared across destinations, so a
+        /// boundary with several joiners copies the state once, not once
+        /// per joiner.
+        data: Arc<Vec<f32>>,
     },
     /// AM → worker: training resumes under the new membership (step ⑤).
     Resume {

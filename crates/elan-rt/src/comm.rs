@@ -1,26 +1,57 @@
-//! A real allreduce for threads: generation-versioned collective group.
+//! A real allreduce for threads: generation-versioned collective group
+//! with a **chunked, cooperative, zero-copy** reduction engine.
 //!
 //! Data-parallel training synchronizes gradients with collective
-//! communication; the live runtime implements it for worker *threads*: a
-//! shared accumulation buffer guarded by a mutex, a condvar barrier, and a
-//! **generation** number that changes on every communication-group
-//! reconstruction (step ⑤ of an adjustment), so workers can never mix
-//! rounds across memberships.
+//! communication; the live runtime implements it for worker *threads*.
+//! The naive scheme (kept as [`naive::NaiveCommGroup`] for benchmarks and
+//! regression tests) has the last arriver serially sum `world × len`
+//! floats while holding the group lock, with every caller heap-copying
+//! its gradient on entry — exactly the flat-reduction bottleneck the
+//! paper's data plane avoids (§IV, §VI). This module replaces it with:
 //!
-//! Reconfiguration must happen while no allreduce is in flight — Elan
-//! guarantees this by adjusting only at coordination boundaries, where
-//! every worker is parked in the control plane, not the data plane.
+//! - **Zero-copy contributions** — a caller is *blocked* inside
+//!   [`CommGroup::allreduce_with`] until its round publishes, so its
+//!   gradient slice outlives the round by construction; the group records
+//!   a borrowed view ([`SharedSlice`]) instead of `data.to_vec()`.
+//! - **Chunked cooperative reduction** — when the last member arrives,
+//!   the round's inputs are split into cache-sized chunks
+//!   ([`ChunkPlan`]); *every blocked waiter* (plus the last arriver, plus
+//!   an evicting thread if eviction completes the round) claims chunks
+//!   from an atomic work-stealing cursor and reduces them **outside the
+//!   group lock**. Each chunk sums its contributions in ascending
+//!   worker-id order, so every output element sees the identical f32
+//!   addition sequence regardless of chunk size, thread count, or arrival
+//!   order — the reduction is bit-deterministic (the EasyScale
+//!   requirement) while the accumulator chunk stays hot in L1.
+//! - **A round-buffer pool** — result accumulators are recycled once all
+//!   holders of a published sum drop their `Arc`, so the steady-state hot
+//!   path performs no `O(len)` heap allocation per round
+//!   ([`CommGroup::pool_allocations`] is asserted flat in tests).
+//!
+//! A **generation** number changes on every communication-group
+//! reconstruction (step ⑤ of an adjustment), so workers can never mix
+//! rounds across memberships. Reconfiguration must happen while no
+//! allreduce is in flight — Elan guarantees this by adjusting only at
+//! coordination boundaries, where every worker is parked in the control
+//! plane, not the data plane.
 
+use std::cell::UnsafeCell;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use elan_core::messages::ChunkPlan;
 use elan_core::state::WorkerId;
 
 /// How often a blocked allreduce caller's `on_wait` callback fires.
 const WAIT_SLICE: Duration = Duration::from_millis(50);
+
+/// Default reduction chunk size: 4096 f32 = 16 KiB, sized so one
+/// accumulator chunk plus a contribution chunk fit comfortably in L1.
+pub const DEFAULT_CHUNK_ELEMS: usize = 4096;
 
 /// Outcome of one allreduce call.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,41 +69,109 @@ pub enum AllreduceOutcome {
     /// The caller is not a member of the current generation (it was
     /// removed by an adjustment and should leave the data plane).
     NotMember,
+    /// The caller already contributed to the in-flight round. This is a
+    /// protocol violation (one contribution per member per round); the
+    /// duplicate is rejected rather than silently overwriting the
+    /// original, in release builds too.
+    DuplicateContribution,
 }
+
+/// A borrowed view of a blocked contributor's gradient slice.
+///
+/// # Safety contract
+///
+/// A `SharedSlice` is only ever read between the moment its round's
+/// reduction is published (all contributions present, under the group
+/// lock) and the moment the round's result is published. The contributing
+/// thread is blocked inside `allreduce_with` for that entire window — it
+/// cannot return (and thus cannot invalidate the slice) until
+/// `result_round` reaches its round, which happens strictly *after* the
+/// final chunk reduction completes. Eviction removes a contribution only
+/// under the group lock and only before the round's reduction starts.
+#[derive(Debug, Clone, Copy)]
+struct SharedSlice {
+    ptr: *const f32,
+    len: usize,
+}
+
+// SAFETY: the raw pointer is only dereferenced under the lifecycle
+// contract documented on `SharedSlice` (the owner is parked for the whole
+// read window), and f32 data is Plain Old Data.
+unsafe impl Send for SharedSlice {}
+unsafe impl Sync for SharedSlice {}
+
+impl SharedSlice {
+    fn new(data: &[f32]) -> Self {
+        SharedSlice {
+            ptr: data.as_ptr(),
+            len: data.len(),
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must uphold the `SharedSlice` lifecycle contract: the
+    /// owning contributor is still parked in its allreduce call.
+    unsafe fn slice(&self) -> &[f32] {
+        std::slice::from_raw_parts(self.ptr, self.len)
+    }
+}
+
+/// Lock-free work-stealing state of the in-flight cooperative reduction.
+///
+/// All fields are (re)written under the group lock by `publish_round`
+/// *before* `cursor` is reset with `Release` ordering; helpers claim
+/// chunks with an `AcqRel` `fetch_add` on `cursor`, which
+/// synchronizes-with the reset and therefore observes the fresh `inputs`
+/// and `out` values.
+struct ReduceSlots {
+    /// The active round's contributions, sorted by worker id.
+    inputs: UnsafeCell<Vec<SharedSlice>>,
+    /// Base pointer of the pooled output accumulator.
+    out: AtomicPtr<f32>,
+    /// Next chunk index to claim (work-stealing cursor).
+    cursor: AtomicUsize,
+    /// Chunks fully reduced so far.
+    done: AtomicUsize,
+}
+
+// SAFETY: `inputs` is written only under the group lock while no helper
+// can hold a claimed chunk (a new round cannot be published until the
+// previous round's chunks are all done), and read only by helpers that
+// claimed a chunk after the publishing `Release` store.
+unsafe impl Send for ReduceSlots {}
+unsafe impl Sync for ReduceSlots {}
 
 #[derive(Debug)]
 struct GroupState {
     generation: u64,
     members: BTreeSet<WorkerId>,
     round: u64,
-    /// Per-member contributions of the in-flight round. Kept separate and
-    /// summed in worker-id order when the round completes, so the f32 sum
-    /// is bit-deterministic regardless of thread arrival order.
-    contributions: std::collections::BTreeMap<WorkerId, Vec<f32>>,
-    vec_len: usize,
+    /// Per-member borrowed contributions of the open round, sorted by
+    /// worker id (sorted insertion), so the reduction consumes them in
+    /// worker-id order and the f32 sum is bit-deterministic regardless of
+    /// thread arrival order. Cleared (capacity retained) when the round's
+    /// reduction is published.
+    contributions: Vec<(WorkerId, SharedSlice)>,
+    /// `Some(round)` while that round's cooperative reduction is in
+    /// flight (published but not yet finished).
+    reducing: Option<u64>,
+    /// World size captured when the in-flight round was published.
+    reducing_world: u32,
+    /// The accumulator being reduced into — uniquely owned here (plus the
+    /// raw pointer in the slots) until the round finishes.
+    out_buf: Option<Arc<Vec<f32>>>,
+    /// Recycled accumulator buffers. An entry is reusable once its strong
+    /// count returns to 1 (every consumer of that round's sum dropped its
+    /// handle and the result pointer moved on).
+    pool: Vec<Arc<Vec<f32>>>,
+    /// Fresh `O(len)` buffer allocations performed — flat after warm-up.
+    pool_fresh: u64,
     /// Result of the last completed round.
     result: Arc<Vec<f32>>,
     result_round: u64,
     /// World size captured when the last round completed.
     result_world: u32,
-}
-
-impl GroupState {
-    /// Sums the full contribution set, publishes it, and opens the next
-    /// round. Summing in worker-id order keeps the f32 result
-    /// bit-deterministic regardless of thread arrival order.
-    fn complete_round(&mut self) {
-        let mut sum = vec![0.0f32; self.vec_len];
-        for contribution in std::mem::take(&mut self.contributions).into_values() {
-            for (a, d) in sum.iter_mut().zip(contribution) {
-                *a += d;
-            }
-        }
-        self.result = Arc::new(sum);
-        self.result_round = self.round;
-        self.result_world = self.members.len() as u32;
-        self.round += 1;
-    }
 }
 
 /// A dynamic-membership allreduce group.
@@ -91,34 +190,73 @@ impl GroupState {
 /// let b = t.join().unwrap();
 /// assert_eq!(a, b);
 /// ```
-#[derive(Debug)]
 pub struct CommGroup {
     state: Mutex<GroupState>,
     cvar: Condvar,
+    slots: ReduceSlots,
+    plan: ChunkPlan,
+}
+
+impl std::fmt::Debug for CommGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("CommGroup")
+            .field("generation", &st.generation)
+            .field("members", &st.members)
+            .field("round", &st.round)
+            .field("chunk_elems", &self.plan.chunk_elems())
+            .finish()
+    }
 }
 
 impl CommGroup {
-    /// Creates a group over `members` reducing vectors of `len` elements.
+    /// Creates a group over `members` reducing vectors of `len` elements
+    /// with the default ([`DEFAULT_CHUNK_ELEMS`]) reduction chunk size.
     ///
     /// # Panics
     ///
     /// Panics if `members` is empty or `len` is zero.
     pub fn new(members: impl IntoIterator<Item = WorkerId>, len: usize) -> Self {
+        Self::with_chunk_elems(members, len, DEFAULT_CHUNK_ELEMS)
+    }
+
+    /// Creates a group with an explicit reduction chunk size (elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or `len` or `chunk_elems` is zero.
+    pub fn with_chunk_elems(
+        members: impl IntoIterator<Item = WorkerId>,
+        len: usize,
+        chunk_elems: usize,
+    ) -> Self {
         let members: BTreeSet<WorkerId> = members.into_iter().collect();
         assert!(!members.is_empty(), "group needs at least one member");
         assert!(len > 0, "vectors must be non-empty");
+        assert!(chunk_elems > 0, "chunk size must be non-zero");
         CommGroup {
             state: Mutex::new(GroupState {
                 generation: 0,
                 members,
                 round: 0,
-                contributions: std::collections::BTreeMap::new(),
-                vec_len: len,
+                contributions: Vec::new(),
+                reducing: None,
+                reducing_world: 0,
+                out_buf: None,
+                pool: Vec::new(),
+                pool_fresh: 0,
                 result: Arc::new(vec![0.0; len]),
                 result_round: u64::MAX,
                 result_world: 0,
             }),
             cvar: Condvar::new(),
+            slots: ReduceSlots {
+                inputs: UnsafeCell::new(Vec::new()),
+                out: AtomicPtr::new(std::ptr::null_mut()),
+                cursor: AtomicUsize::new(usize::MAX),
+                done: AtomicUsize::new(0),
+            },
+            plan: ChunkPlan::new(len, chunk_elems),
         }
     }
 
@@ -135,6 +273,18 @@ impl CommGroup {
     /// World size of the current generation.
     pub fn world_size(&self) -> u32 {
         self.state.lock().members.len() as u32
+    }
+
+    /// The reduction chunk size in elements.
+    pub fn chunk_elems(&self) -> usize {
+        self.plan.chunk_elems()
+    }
+
+    /// Fresh `O(len)` accumulator allocations performed so far. Flat
+    /// after warm-up: the steady-state hot path recycles pooled buffers
+    /// instead of allocating per round.
+    pub fn pool_allocations(&self) -> u64 {
+        self.state.lock().pool_fresh
     }
 
     /// Contributes `data` to the current round and blocks until every
@@ -156,6 +306,10 @@ impl CommGroup {
     /// every survivor fall silent too, and the failure detector could not
     /// tell the victim from the hostages.
     ///
+    /// While blocked, the caller also *works*: once the round's inputs
+    /// are complete, every parked caller claims reduction chunks from the
+    /// shared cursor instead of idling on the condvar.
+    ///
     /// # Panics
     ///
     /// Panics if `data` length differs from the group's vector length.
@@ -169,26 +323,35 @@ impl CommGroup {
         if !st.members.contains(&worker) {
             return AllreduceOutcome::NotMember;
         }
-        assert_eq!(st.vec_len, data.len(), "vector length mismatch");
-        debug_assert!(
-            !st.contributions.contains_key(&worker),
-            "{worker} contributed twice to round {}",
-            st.round
+        assert_eq!(
+            self.plan.total_elems(),
+            data.len(),
+            "vector length mismatch"
         );
-        st.contributions.insert(worker, data.to_vec());
+        match st.contributions.binary_search_by_key(&worker, |(w, _)| *w) {
+            Ok(_) => return AllreduceOutcome::DuplicateContribution,
+            Err(pos) => st
+                .contributions
+                .insert(pos, (worker, SharedSlice::new(data))),
+        }
         let my_round = st.round;
 
         if st.contributions.len() == st.members.len() {
-            // Last arriver publishes and opens the next round.
-            st.complete_round();
-            self.cvar.notify_all();
-            return AllreduceOutcome::Sum {
-                sum: Arc::clone(&st.result),
-                world: st.result_world,
-            };
+            // Last arriver: publish the reduction and join the helpers.
+            self.publish_round(&mut st);
         }
-        // Wait for the round to publish, surfacing periodic wait ticks.
+        // Wait for the round to publish its result, helping with the
+        // reduction when it is in flight and surfacing periodic wait
+        // ticks otherwise.
+        let mut helped = false;
         while st.result_round != my_round {
+            if !helped && st.reducing == Some(my_round) {
+                drop(st);
+                self.help_reduce();
+                helped = true;
+                st = self.state.lock();
+                continue;
+            }
             if self.cvar.wait_for(&mut st, WAIT_SLICE).timed_out() {
                 drop(st);
                 on_wait();
@@ -201,6 +364,96 @@ impl CommGroup {
         }
     }
 
+    /// Transitions the open round into the cooperative-reduction phase.
+    /// Must be called with the lock held and a complete contribution set.
+    fn publish_round(&self, st: &mut GroupState) {
+        debug_assert!(st.reducing.is_none(), "previous reduction still active");
+        debug_assert!(!st.contributions.is_empty());
+        // Acquire an output accumulator: recycle a pooled buffer whose
+        // previous consumers have all dropped their handles, else allocate.
+        let mut buf = match st.pool.iter().position(|b| Arc::strong_count(b) == 1) {
+            Some(i) => st.pool.swap_remove(i),
+            None => {
+                st.pool_fresh += 1;
+                Arc::new(vec![0.0f32; self.plan.total_elems()])
+            }
+        };
+        let out_ptr = Arc::get_mut(&mut buf)
+            .expect("pooled buffer uniquely owned")
+            .as_mut_ptr();
+        // SAFETY: no helper holds a claimed chunk (the previous round's
+        // chunks were all done before its result published, and a new
+        // round cannot publish before the previous result does), so we
+        // have exclusive access to `inputs` under the lock.
+        let inputs = unsafe { &mut *self.slots.inputs.get() };
+        inputs.clear();
+        inputs.extend(st.contributions.iter().map(|(_, s)| *s));
+        st.contributions.clear();
+        self.slots.out.store(out_ptr, Ordering::Relaxed);
+        self.slots.done.store(0, Ordering::Relaxed);
+        // The Release reset publishes `inputs`/`out`/`done` to every
+        // helper whose claiming fetch_add observes it.
+        self.slots.cursor.store(0, Ordering::Release);
+        st.out_buf = Some(buf);
+        st.reducing = Some(st.round);
+        st.reducing_world = st.members.len() as u32;
+        // Wake parked waiters so they become reduction helpers.
+        self.cvar.notify_all();
+    }
+
+    /// Claims and reduces chunks until the cursor is exhausted. The
+    /// thread that completes the final chunk publishes the result.
+    fn help_reduce(&self) {
+        let n_chunks = self.plan.n_chunks();
+        loop {
+            let c = self.slots.cursor.fetch_add(1, Ordering::AcqRel);
+            if c >= n_chunks {
+                return;
+            }
+            let range = self.plan.range(c);
+            // SAFETY: chunk `c` was claimed by exactly this thread (the
+            // fetch_add is a unique ticket), so the output range is
+            // written by one thread only; the inputs are borrowed slices
+            // of contributors parked for the whole round (see
+            // `SharedSlice`); the AcqRel claim synchronizes-with the
+            // publishing Release store, making `inputs`/`out` visible.
+            unsafe {
+                let out_base = self.slots.out.load(Ordering::Relaxed);
+                let inputs = &*self.slots.inputs.get();
+                let out = std::slice::from_raw_parts_mut(out_base.add(range.start), range.len());
+                // Sum in ascending worker-id order: initialize from the
+                // first contribution (no zeroing pass), then accumulate.
+                // Per element this is the exact addition sequence of
+                // `reference_sum`, so the result is bit-deterministic.
+                out.copy_from_slice(&inputs[0].slice()[range.clone()]);
+                for inp in &inputs[1..] {
+                    let src = &inp.slice()[range.clone()];
+                    for (o, &v) in out.iter_mut().zip(src) {
+                        *o += v;
+                    }
+                }
+            }
+            if self.slots.done.fetch_add(1, Ordering::AcqRel) + 1 == n_chunks {
+                self.finish_round();
+            }
+        }
+    }
+
+    /// Publishes the finished accumulator as the round result and opens
+    /// the next round. Called by whichever helper reduced the last chunk.
+    fn finish_round(&self) {
+        let mut st = self.state.lock();
+        let buf = st.out_buf.take().expect("reducing buffer present");
+        // Keep a pool handle so the buffer is recycled once every
+        // consumer of this sum drops its Arc.
+        st.pool.push(Arc::clone(&buf));
+        st.result = buf;
+        st.result_round = st.reducing.take().expect("round was reducing");
+        st.result_world = st.reducing_world;
+        st.round = st.result_round + 1;
+        self.cvar.notify_all();
+    }
+
     /// Removes a (presumed dead) member mid-generation, discarding any
     /// contribution it made to the in-flight round; returns whether it was
     /// a member.
@@ -211,18 +464,24 @@ impl CommGroup {
     /// carries the shrunken `world` so their averages stay correct. This
     /// is the data-plane half of failure-driven scale-in: the control
     /// plane evicts first so nobody blocks, then reconfigures the group at
-    /// the next boundary.
+    /// the next boundary. The evicting thread itself helps reduce, so the
+    /// round is guaranteed to complete even if every survivor is
+    /// momentarily outside the lock in its `on_wait` callback.
     pub fn evict(&self, worker: WorkerId) -> bool {
         let mut st = self.state.lock();
         let was_member = st.members.remove(&worker);
-        st.contributions.remove(&worker);
+        if let Ok(pos) = st.contributions.binary_search_by_key(&worker, |(w, _)| *w) {
+            st.contributions.remove(pos);
+        }
         if was_member
             && !st.members.is_empty()
+            && st.reducing.is_none()
             && !st.contributions.is_empty()
             && st.contributions.len() == st.members.len()
         {
-            st.complete_round();
-            self.cvar.notify_all();
+            self.publish_round(&mut st);
+            drop(st);
+            self.help_reduce();
         }
         was_member
     }
@@ -232,12 +491,12 @@ impl CommGroup {
     ///
     /// # Panics
     ///
-    /// Panics if called while contributions are pending, or with an empty
-    /// member set.
+    /// Panics if called while contributions are pending or a reduction is
+    /// in flight, or with an empty member set.
     pub fn reconfigure(&self, members: impl IntoIterator<Item = WorkerId>) -> u64 {
         let mut st = self.state.lock();
         assert!(
-            st.contributions.is_empty(),
+            st.contributions.is_empty() && st.reducing.is_none(),
             "reconfigure raced an in-flight allreduce round"
         );
         let members: BTreeSet<WorkerId> = members.into_iter().collect();
@@ -245,6 +504,132 @@ impl CommGroup {
         st.members = members;
         st.generation += 1;
         st.generation
+    }
+}
+
+/// The bit-exact reference reduction: element-wise sum of `inputs` in the
+/// order given (callers pass contributions sorted by worker id). Every
+/// output element sees the additions `((in₀ + in₁) + in₂) + …` — the
+/// sequence [`CommGroup`] reproduces chunk-by-chunk.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or lengths differ.
+pub fn reference_sum<S: AsRef<[f32]>>(inputs: &[S]) -> Vec<f32> {
+    let first = inputs.first().expect("at least one input").as_ref();
+    let mut sum = first.to_vec();
+    for inp in &inputs[1..] {
+        let inp = inp.as_ref();
+        assert_eq!(inp.len(), sum.len(), "input length mismatch");
+        for (a, &d) in sum.iter_mut().zip(inp) {
+            *a += d;
+        }
+    }
+    sum
+}
+
+/// The pre-optimization flat allreduce, preserved verbatim as the
+/// benchmark baseline and regression reference.
+///
+/// Every caller heap-copies its contribution (`data.to_vec()`), and the
+/// last arriver allocates a fresh accumulator and serially sums
+/// `world × len` floats **while holding the group lock** — the naive
+/// data plane the chunked [`CommGroup`] is measured against in
+/// `BENCH_dataplane.json`. Not used by the live runtime.
+pub mod naive {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[derive(Debug)]
+    struct NaiveState {
+        members: BTreeSet<WorkerId>,
+        round: u64,
+        contributions: BTreeMap<WorkerId, Vec<f32>>,
+        vec_len: usize,
+        result: Arc<Vec<f32>>,
+        result_round: u64,
+        result_world: u32,
+    }
+
+    /// Flat, lock-held, copy-on-entry allreduce (benchmark baseline).
+    #[derive(Debug)]
+    pub struct NaiveCommGroup {
+        state: Mutex<NaiveState>,
+        cvar: Condvar,
+    }
+
+    impl NaiveCommGroup {
+        /// Creates a group over `members` reducing vectors of `len`
+        /// elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `members` is empty or `len` is zero.
+        pub fn new(members: impl IntoIterator<Item = WorkerId>, len: usize) -> Self {
+            let members: BTreeSet<WorkerId> = members.into_iter().collect();
+            assert!(!members.is_empty(), "group needs at least one member");
+            assert!(len > 0, "vectors must be non-empty");
+            NaiveCommGroup {
+                state: Mutex::new(NaiveState {
+                    members,
+                    round: 0,
+                    contributions: BTreeMap::new(),
+                    vec_len: len,
+                    result: Arc::new(vec![0.0; len]),
+                    result_round: u64::MAX,
+                    result_world: 0,
+                }),
+                cvar: Condvar::new(),
+            }
+        }
+
+        /// World size.
+        pub fn world_size(&self) -> u32 {
+            self.state.lock().members.len() as u32
+        }
+
+        /// The flat allreduce: copy in, last arriver sums under the lock.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `data` length differs from the group's vector length.
+        pub fn allreduce(&self, worker: WorkerId, data: &[f32]) -> AllreduceOutcome {
+            let mut st = self.state.lock();
+            if !st.members.contains(&worker) {
+                return AllreduceOutcome::NotMember;
+            }
+            assert_eq!(st.vec_len, data.len(), "vector length mismatch");
+            if st.contributions.contains_key(&worker) {
+                return AllreduceOutcome::DuplicateContribution;
+            }
+            st.contributions.insert(worker, data.to_vec());
+            let my_round = st.round;
+            if st.contributions.len() == st.members.len() {
+                // Last arriver sums everything serially under the lock.
+                let mut sum = vec![0.0f32; st.vec_len];
+                for contribution in std::mem::take(&mut st.contributions).into_values() {
+                    for (a, d) in sum.iter_mut().zip(contribution) {
+                        *a += d;
+                    }
+                }
+                st.result = Arc::new(sum);
+                st.result_round = st.round;
+                st.result_world = st.members.len() as u32;
+                st.round += 1;
+                self.cvar.notify_all();
+                return AllreduceOutcome::Sum {
+                    sum: Arc::clone(&st.result),
+                    world: st.result_world,
+                };
+            }
+            while st.result_round != my_round {
+                self.cvar.wait(&mut st);
+            }
+            AllreduceOutcome::Sum {
+                sum: Arc::clone(&st.result),
+                world: st.result_world,
+            }
+        }
     }
 }
 
@@ -301,6 +686,34 @@ mod tests {
             group.allreduce(WorkerId(9), &[0.0; 2]),
             AllreduceOutcome::NotMember
         );
+    }
+
+    #[test]
+    fn duplicate_contribution_is_rejected_not_overwritten() {
+        // Worker 0 contributes and blocks in a background thread; a bogus
+        // second contribution from worker 0 must be rejected as an error,
+        // and the round must still complete with the *original* data.
+        let group = Arc::new(CommGroup::new([WorkerId(0), WorkerId(1)], 4));
+        let h = spawn_allreduce(&group, WorkerId(0), vec![5.0; 4]);
+        // Wait for the first contribution to land.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while group.state.lock().contributions.is_empty() {
+            assert!(std::time::Instant::now() < deadline, "contribution stuck");
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            group.allreduce(WorkerId(0), &[99.0; 4]),
+            AllreduceOutcome::DuplicateContribution
+        );
+        // The round completes with the original value, not the duplicate.
+        match group.allreduce(WorkerId(1), &[1.0; 4]) {
+            AllreduceOutcome::Sum { sum, world } => {
+                assert!(sum.iter().all(|&v| v == 6.0));
+                assert_eq!(world, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        h.join().unwrap();
     }
 
     #[test]
@@ -403,7 +816,8 @@ mod tests {
     fn many_threads_many_rounds_stress() {
         let n = 8u32;
         let rounds = 50u64;
-        let group = Arc::new(CommGroup::new((0..n).map(WorkerId), 16));
+        // Small chunks force multi-chunk cooperative rounds every time.
+        let group = Arc::new(CommGroup::with_chunk_elems((0..n).map(WorkerId), 16, 3));
         let handles: Vec<_> = (0..n)
             .map(|i| {
                 let g = Arc::clone(&group);
@@ -425,5 +839,147 @@ mod tests {
         for r in &results[1..] {
             assert_eq!(*r, results[0]);
         }
+    }
+
+    #[test]
+    fn chunked_matches_reference_bitwise() {
+        // Irregular length with a chunk size that does not divide it.
+        let len = 1030;
+        let world = 5u32;
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|w| {
+                (0..len)
+                    .map(|j| ((w as f32 + 1.3) * 0.1 + j as f32 * 1e-3).sin())
+                    .collect()
+            })
+            .collect();
+        let expect = reference_sum(&inputs);
+        let group = Arc::new(CommGroup::with_chunk_elems(
+            (0..world).map(WorkerId),
+            len,
+            64,
+        ));
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(w, data)| spawn_allreduce(&group, WorkerId(w as u32), data.clone()))
+            .collect();
+        for h in handles {
+            match h.join().unwrap() {
+                AllreduceOutcome::Sum { sum, .. } => {
+                    let got: Vec<u32> = sum.iter().map(|v| v.to_bits()).collect();
+                    let want: Vec<u32> = expect.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(got, want, "bitwise mismatch");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn naive_and_chunked_agree() {
+        let len = 257;
+        let world = 4u32;
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|w| {
+                (0..len)
+                    .map(|j| (w * 1000 + j as u32) as f32 * 1e-4)
+                    .collect()
+            })
+            .collect();
+        let chunked = Arc::new(CommGroup::with_chunk_elems(
+            (0..world).map(WorkerId),
+            len,
+            32,
+        ));
+        let flat = Arc::new(naive::NaiveCommGroup::new((0..world).map(WorkerId), len));
+        let mut sums = Vec::new();
+        for group in 0..2 {
+            let handles: Vec<_> = inputs
+                .iter()
+                .enumerate()
+                .map(|(w, data)| {
+                    let data = data.clone();
+                    let (c, f) = (Arc::clone(&chunked), Arc::clone(&flat));
+                    thread::spawn(move || {
+                        if group == 0 {
+                            c.allreduce(WorkerId(w as u32), &data)
+                        } else {
+                            f.allreduce(WorkerId(w as u32), &data)
+                        }
+                    })
+                })
+                .collect();
+            let mut outs = Vec::new();
+            for h in handles {
+                match h.join().unwrap() {
+                    AllreduceOutcome::Sum { sum, .. } => outs.push(sum),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            sums.push(outs.pop().unwrap());
+        }
+        let a: Vec<u32> = sums[0].iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = sums[1].iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "naive and chunked diverge");
+    }
+
+    #[test]
+    fn steady_state_reuses_pooled_buffers() {
+        // After warm-up the pool must satisfy every round: the fresh
+        // allocation counter goes flat (zero O(len) allocations/round).
+        let n = 4u32;
+        let warmup = 5u64;
+        let rounds = 60u64;
+        let group = Arc::new(CommGroup::new((0..n).map(WorkerId), 4096));
+        let run = |rounds: u64| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let g = Arc::clone(&group);
+                    thread::spawn(move || {
+                        for r in 0..rounds {
+                            let data = vec![r as f32; 4096];
+                            // Drop the sum before the next round, as the
+                            // training loop does after its optimizer step.
+                            match g.allreduce(WorkerId(i), &data) {
+                                AllreduceOutcome::Sum { .. } => {}
+                                other => panic!("unexpected {other:?}"),
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        };
+        run(warmup);
+        let after_warmup = group.pool_allocations();
+        run(rounds);
+        assert_eq!(
+            group.pool_allocations(),
+            after_warmup,
+            "steady-state rounds allocated fresh buffers"
+        );
+        assert!(after_warmup <= 3, "warm-up needed {after_warmup} buffers");
+    }
+
+    #[test]
+    fn single_member_group_reduces_alone() {
+        let group = CommGroup::with_chunk_elems([WorkerId(0)], 10, 4);
+        match group.allreduce(WorkerId(0), &[2.5; 10]) {
+            AllreduceOutcome::Sum { sum, world } => {
+                assert!(sum.iter().all(|&v| v == 2.5));
+                assert_eq!(world, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reference_sum_matches_manual() {
+        let a = [1.0f32, 2.0];
+        let b = [10.0f32, 20.0];
+        assert_eq!(reference_sum(&[a, b]), vec![11.0, 22.0]);
     }
 }

@@ -33,7 +33,7 @@ pub mod worker;
 
 pub use bus::{Bus, Endpoint, EndpointId, EndpointStats, Envelope, RtMsg};
 pub use chaos::{ChaosPolicy, ChaosStats, EdgeChaos};
-pub use comm::{AllreduceOutcome, CommGroup};
+pub use comm::{reference_sum, AllreduceOutcome, CommGroup, DEFAULT_CHUNK_ELEMS};
 pub use liveness::CrashPoint;
 pub use reliable::{ReliableEndpoint, RtMetrics, RtMetricsSnapshot};
 pub use runtime::{CheckpointSnapshot, ElasticRuntime, RuntimeConfig, ShutdownReport};

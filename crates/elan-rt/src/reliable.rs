@@ -33,6 +33,9 @@ pub struct RtMetrics {
     pub am_recoveries: AtomicU64,
     /// Failure-driven scale-ins executed after missed heartbeats.
     pub failure_scale_ins: AtomicU64,
+    /// State chunks sent while replicating training state (first sends
+    /// only; chunk *re*sends are counted under `resends`).
+    pub state_chunks: AtomicU64,
 }
 
 /// A point-in-time copy of [`RtMetrics`] plus bus-level counters.
@@ -48,6 +51,8 @@ pub struct RtMetricsSnapshot {
     pub am_recoveries: u64,
     /// Failure-driven scale-ins executed after missed heartbeats.
     pub failure_scale_ins: u64,
+    /// State chunks sent while replicating training state.
+    pub state_chunks: u64,
     /// Sends to unregistered/departed endpoints (from the bus).
     pub dead_letters: u64,
 }
@@ -62,6 +67,7 @@ impl RtMetrics {
             give_ups: self.give_ups.load(Ordering::Relaxed),
             am_recoveries: self.am_recoveries.load(Ordering::Relaxed),
             failure_scale_ins: self.failure_scale_ins.load(Ordering::Relaxed),
+            state_chunks: self.state_chunks.load(Ordering::Relaxed),
             dead_letters,
         }
     }
@@ -137,6 +143,9 @@ impl ReliableEndpoint {
     /// receiver acks (or the attempt budget runs out). Returns the id.
     pub fn send(&mut self, to: EndpointId, body: RtMsg) -> MsgId {
         let id = self.ids.next_id();
+        if matches!(body, RtMsg::StateChunk { .. }) {
+            self.metrics.state_chunks.fetch_add(1, Ordering::Relaxed);
+        }
         self.retry.track(id, (to, body.clone()), Instant::now());
         self.bus.send_envelope(
             to,

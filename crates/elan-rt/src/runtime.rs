@@ -39,7 +39,9 @@ use crate::chaos::{ChaosPolicy, ChaosStats};
 use crate::comm::CommGroup;
 use crate::liveness::{AmDurable, AmPhase, CrashPoint, HeartbeatMonitor, PendingOp, SharedControl};
 use crate::reliable::{ReliableEndpoint, RtMetrics, RtMetricsSnapshot};
-use crate::worker::{run_worker, Telemetry, WorkerConfig, WorkerRole, WorkerView};
+use crate::worker::{
+    run_worker, SnapshotAssembly, Telemetry, WorkerConfig, WorkerRole, WorkerView,
+};
 
 /// High bit of the AM's message-id owner: replacement AMs get fresh
 /// sender streams (`AM_OWNER_FLAG | epoch`), so their messages are never
@@ -77,6 +79,8 @@ pub struct RuntimeConfig {
     pub retry_max_attempts: u32,
     /// Control-loop receive-poll granularity (ms).
     pub tick_ms: u64,
+    /// Elements per `StateChunk` message when replicating state.
+    pub replication_chunk_elems: usize,
 }
 
 impl RuntimeConfig {
@@ -95,6 +99,9 @@ impl RuntimeConfig {
             retry_timeout_ms: 60,
             retry_max_attempts: 8,
             tick_ms: 20,
+            // 1024-elem test configs stream 4 chunks per buffer, so the
+            // chunked path is exercised even by the small profile.
+            replication_chunk_elems: 256,
         }
     }
 
@@ -302,6 +309,7 @@ impl ElasticRuntime {
             total_batch: self.cfg.total_batch,
             hb_period: Duration::from_millis(self.cfg.hb_period_ms),
             tick: self.cfg.tick(),
+            replication_chunk_elems: self.cfg.replication_chunk_elems,
         };
         let comm = Arc::clone(&self.comm);
         let telemetry = Arc::clone(&self.telemetry);
@@ -414,30 +422,48 @@ impl ElasticRuntime {
     /// boundary (rank 0 streams its buffers to the controller) — the
     /// checkpoint half of Shutdown-&-Restart, done live.
     pub fn checkpoint(&mut self) -> CheckpointSnapshot {
-        // Drain stale traffic (e.g. a duplicate snapshot from a recovered
-        // AM replaying a previous checkpoint order).
+        // Drain stale traffic (e.g. duplicate snapshot chunks from a
+        // recovered AM replaying a previous checkpoint order).
         while self.rep.recv_timeout(Duration::from_millis(1)).is_some() {}
         let seq = self.take_seq();
         self.rep.send(EndpointId::Am, RtMsg::Checkpoint { seq });
         let mut last_send = Instant::now();
+        let mut params = vec![0.0f32; self.cfg.param_elems];
+        let mut momentum = vec![0.0f32; self.cfg.param_elems];
+        let mut assembly = SnapshotAssembly::new();
         loop {
             let _ = self.rep.tick();
             if let Some((
                 _,
-                RtMsg::StateTransfer {
-                    params,
-                    momentum,
+                RtMsg::StateChunk {
+                    kind,
                     iteration,
                     data_cursor,
+                    index,
+                    total,
+                    offset,
+                    data,
                 },
             )) = self.rep.recv_timeout(self.cfg.tick())
             {
-                return CheckpointSnapshot {
-                    params,
-                    momentum,
+                if let Some((iteration, data_cursor)) = assembly.offer(
+                    kind,
                     iteration,
                     data_cursor,
-                };
+                    index,
+                    total,
+                    offset,
+                    &data,
+                    &mut params,
+                    &mut momentum,
+                ) {
+                    return CheckpointSnapshot {
+                        params: Arc::new(params),
+                        momentum: Arc::new(momentum),
+                        iteration,
+                        data_cursor,
+                    };
+                }
             }
             if last_send.elapsed() >= OP_RESEND_EVERY {
                 // The checkpoint request is deliberately not durable AM
@@ -632,6 +658,8 @@ fn am_thread(
         coordinated: BTreeMap::new(),
         reported: BTreeSet::new(),
         outstanding: BTreeSet::new(),
+        transfer_waves: Vec::new(),
+        next_wave: 0,
         transfers_started: false,
         last_boundary: 0,
         checkpoint_req: None,
@@ -668,6 +696,12 @@ struct AmCore {
     reported: BTreeSet<WorkerId>,
     /// Transfer orders in flight: (src, dst).
     outstanding: BTreeSet<(WorkerId, WorkerId)>,
+    /// The planner's wave schedule for the current `Transferring` phase:
+    /// transfers within a wave share no contended link (GPU, same-node
+    /// QPI/L3, NIC) and run concurrently; waves are issued in turn.
+    transfer_waves: Vec<Vec<(WorkerId, WorkerId)>>,
+    /// Next wave of `transfer_waves` to issue.
+    next_wave: usize,
     /// False until this incarnation has issued the transfer orders of the
     /// current `Transferring` phase (a recovered AM re-issues them only
     /// once the boundary has been re-established by `AmReset` replies).
@@ -856,6 +890,12 @@ impl AmCore {
                     if !self.outstanding.is_empty() {
                         return Step::Continue; // waiting on TransferDone
                     }
+                    if self.next_wave < self.transfer_waves.len() {
+                        // The current wave drained: issue the next one.
+                        // Link-conflicting transfers never overlap.
+                        self.issue_next_wave();
+                        continue;
+                    }
                     let Some(boundary) = self.boundary_ready() else {
                         return Step::Continue;
                     };
@@ -943,11 +983,17 @@ impl AmCore {
         }
     }
 
-    /// Step ④ kickoff: plan replication along the topology and order the
-    /// transfers. Idempotent — a recovered AM calls it again.
+    /// Step ④ kickoff: plan replication along the topology and issue the
+    /// first wave of transfer orders; the remaining waves go out as each
+    /// wave's `TransferDone`s drain (`issue_next_wave`), so transfers the
+    /// planner found to contend on a link (shared source/destination GPU,
+    /// same-node QPI/L3 or NIC edge) are serialized while disjoint ones
+    /// overlap. Idempotent — a recovered AM calls it again.
     fn start_transfers(&mut self) {
         self.transfers_started = true;
         self.outstanding.clear();
+        self.transfer_waves.clear();
+        self.next_wave = 0;
         let AmPhase::Transferring { target, .. } = &self.durable.phase else {
             return;
         };
@@ -964,8 +1010,26 @@ impl AmCore {
         let plan = ReplicationPlanner::new(&self.topology)
             .plan(&sources, &dests)
             .expect("valid placements");
-        for t in plan.transfers() {
-            let (src, dst) = (WorkerId(t.src.0), WorkerId(t.dst.0));
+        let transfers = plan.transfers();
+        self.transfer_waves = plan
+            .waves()
+            .iter()
+            .map(|wave| {
+                wave.iter()
+                    .map(|&i| (WorkerId(transfers[i].src.0), WorkerId(transfers[i].dst.0)))
+                    .collect()
+            })
+            .collect();
+        self.issue_next_wave();
+    }
+
+    /// Issues the next wave of transfer orders, if any.
+    fn issue_next_wave(&mut self) {
+        let Some(wave) = self.transfer_waves.get(self.next_wave).cloned() else {
+            return;
+        };
+        self.next_wave += 1;
+        for (src, dst) in wave {
             self.outstanding.insert((src, dst));
             self.rep
                 .send(EndpointId::Worker(src), RtMsg::TransferOrder { dst });
@@ -1025,6 +1089,8 @@ impl AmCore {
         self.reported.clear();
         self.coordinated.clear();
         self.outstanding.clear();
+        self.transfer_waves.clear();
+        self.next_wave = 0;
         self.transfers_started = false;
         self.last_boundary = boundary;
     }
@@ -1088,6 +1154,29 @@ impl AmCore {
         self.coordinated.remove(&w);
         self.reported.remove(&w);
         self.hb.forget(w);
+        // If the victim was serving (or scheduled to serve) a transfer as
+        // its source, its `TransferDone` will never come: drop the stale
+        // schedule and let the `Transferring` recovery path re-plan from
+        // the survivors once the boundary is re-established. A victim
+        // that was only a *destination* is simply dropped from the wave.
+        let was_src = self.outstanding.iter().any(|&(s, _)| s == w)
+            || self
+                .transfer_waves
+                .iter()
+                .skip(self.next_wave)
+                .flatten()
+                .any(|&(s, _)| s == w);
+        if was_src {
+            self.outstanding.clear();
+            self.transfer_waves.clear();
+            self.next_wave = 0;
+            self.transfers_started = false;
+        } else {
+            self.outstanding.retain(|&(_, d)| d != w);
+            for wave in &mut self.transfer_waves {
+                wave.retain(|&(_, d)| d != w);
+            }
+        }
         if let Some(p) = &mut self.durable.pending {
             p.target.retain(|x| *x != w);
         }

@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use elan_core::messages::{ChunkAssembler, ChunkPlan, StateKind};
 use elan_core::state::WorkerId;
 
 use crate::bus::{EndpointId, RtMsg};
@@ -67,6 +68,8 @@ pub struct WorkerConfig {
     pub hb_period: Duration,
     /// Receive-poll granularity (also paces retry ticks while parked).
     pub tick: Duration,
+    /// Elements per [`RtMsg::StateChunk`] when replicating state.
+    pub replication_chunk_elems: usize,
 }
 
 /// How a worker enters the job.
@@ -143,6 +146,145 @@ pub fn checksum(buf: &[f32]) -> u64 {
         .fold(0u64, |acc, &v| acc.rotate_left(7) ^ u64::from(v.to_bits()))
 }
 
+/// One prepared state chunk: `(kind, index, total, offset, payload)`.
+pub type PreparedChunk = (StateKind, u32, u32, u64, Arc<Vec<f32>>);
+
+/// Splits the two state buffers into *interleaved* chunk messages
+/// (params chunk `i`, then momentum chunk `i`, …) so the "GPU-state" and
+/// "CPU-state" streams overlap on the wire instead of serializing one
+/// whole buffer after the other (§IV). The result is built **once per
+/// boundary** and `Arc`-shared: each additional destination costs chunk
+/// headers plus `Arc` clones, not another full copy of the state.
+pub fn build_state_chunks(
+    params: &[f32],
+    momentum: &[f32],
+    chunk_elems: usize,
+) -> Vec<PreparedChunk> {
+    let plan = ChunkPlan::new(params.len(), chunk_elems);
+    let total = plan.n_chunks() as u32;
+    let mut out = Vec::with_capacity(2 * plan.n_chunks());
+    for (i, range) in plan.ranges() {
+        out.push((
+            StateKind::Params,
+            i as u32,
+            total,
+            range.start as u64,
+            Arc::new(params[range.clone()].to_vec()),
+        ));
+        out.push((
+            StateKind::Momentum,
+            i as u32,
+            total,
+            range.start as u64,
+            Arc::new(momentum[range].to_vec()),
+        ));
+    }
+    out
+}
+
+/// Streams a prepared snapshot to `to`, one reliable envelope per chunk —
+/// per-chunk acks and resends make the transfer resumable: a lossy bus
+/// retransmits only the chunks that actually went missing.
+pub(crate) fn send_snapshot(
+    rep: &mut ReliableEndpoint,
+    to: EndpointId,
+    chunks: &[PreparedChunk],
+    iteration: u64,
+    data_cursor: u64,
+) {
+    for &(kind, index, total, offset, ref data) in chunks {
+        rep.send(
+            to,
+            RtMsg::StateChunk {
+                kind,
+                iteration,
+                data_cursor,
+                index,
+                total,
+                offset,
+                data: Arc::clone(data),
+            },
+        );
+    }
+}
+
+/// Reassembles a streamed snapshot from [`RtMsg::StateChunk`] messages.
+///
+/// Tracks one snapshot at a time, keyed by its boundary iteration:
+/// chunks of a *newer* snapshot restart the assembly, chunks of an older
+/// one (an AM-recovery replay) are ignored, and duplicates are absorbed
+/// by the per-kind [`ChunkAssembler`]s. [`offer`](Self::offer) returns
+/// the completed snapshot's `(iteration, data_cursor)` exactly once,
+/// when both streams are whole.
+#[derive(Debug, Default)]
+pub struct SnapshotAssembly {
+    assembling: Option<u64>,
+    done: bool,
+    params: Option<ChunkAssembler>,
+    momentum: Option<ChunkAssembler>,
+}
+
+impl SnapshotAssembly {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one chunk to the destination buffers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn offer(
+        &mut self,
+        kind: StateKind,
+        iteration: u64,
+        data_cursor: u64,
+        index: u32,
+        total: u32,
+        offset: u64,
+        data: &[f32],
+        params: &mut [f32],
+        momentum: &mut [f32],
+    ) -> Option<(u64, u64)> {
+        match self.assembling {
+            Some(cur) if iteration < cur => return None, // stale replay
+            Some(cur) if iteration == cur => {
+                if self.done {
+                    return None; // late duplicate of a finished stream
+                }
+            }
+            _ => {
+                // First chunk seen, or a newer snapshot: restart.
+                self.assembling = Some(iteration);
+                self.params = None;
+                self.momentum = None;
+                self.done = false;
+            }
+        }
+        let asm = match kind {
+            StateKind::Params => self
+                .params
+                .get_or_insert_with(|| ChunkAssembler::new(total as usize)),
+            StateKind::Momentum => self
+                .momentum
+                .get_or_insert_with(|| ChunkAssembler::new(total as usize)),
+        };
+        if asm.accept(index as usize) {
+            let off = offset as usize;
+            let dst = match kind {
+                StateKind::Params => params,
+                StateKind::Momentum => momentum,
+            };
+            dst[off..off + data.len()].copy_from_slice(data);
+        }
+        let complete = self.params.as_ref().is_some_and(|a| a.is_complete())
+            && self.momentum.as_ref().is_some_and(|a| a.is_complete());
+        if complete {
+            self.done = true;
+            Some((iteration, data_cursor))
+        } else {
+            None
+        }
+    }
+}
+
 /// True (and rearms the timer) when a heartbeat is due.
 fn heartbeat_due(last: &mut Instant, period: Duration) -> bool {
     if last.elapsed() >= period {
@@ -198,6 +340,7 @@ pub fn run_worker(
         rep.send(EndpointId::Am, RtMsg::Report { worker: cfg.id });
         let mut have_state = false;
         let mut pending_resume: Option<u64> = None;
+        let mut assembly = SnapshotAssembly::new();
         loop {
             if ctrl.worker_crashed(cfg.id) {
                 return;
@@ -216,25 +359,39 @@ pub fn run_worker(
                 continue;
             };
             match msg {
-                RtMsg::StateTransfer {
-                    params: p,
-                    momentum: m,
+                RtMsg::StateChunk {
+                    kind,
                     iteration: it,
                     data_cursor: dc,
+                    index,
+                    total,
+                    offset,
+                    data,
                 } => {
-                    // A duplicate transfer from an AM-recovery replay is
-                    // harmless (state is bit-identical at a boundary), but
-                    // never step backwards.
-                    if it >= iteration {
-                        params.copy_from_slice(&p);
-                        momentum.copy_from_slice(&m);
-                        iteration = it;
-                        data_cursor = dc;
-                        have_state = true;
-                    }
-                    if let Some(generation) = pending_resume.take() {
-                        last_seen_gen = generation;
-                        break;
+                    // Chunks assemble incrementally; a duplicate stream
+                    // from an AM-recovery replay is harmless (state is
+                    // bit-identical at a boundary) and dedup'd per chunk.
+                    // Never step backwards.
+                    if let Some((it, dc)) = assembly.offer(
+                        kind,
+                        it,
+                        dc,
+                        index,
+                        total,
+                        offset,
+                        &data,
+                        &mut params,
+                        &mut momentum,
+                    ) {
+                        if it >= iteration {
+                            iteration = it;
+                            data_cursor = dc;
+                            have_state = true;
+                        }
+                        if let Some(generation) = pending_resume.take() {
+                            last_seen_gen = generation;
+                            break;
+                        }
                     }
                 }
                 RtMsg::Resume { generation } if generation > last_seen_gen => {
@@ -301,7 +458,7 @@ pub fn run_worker(
             let ctrl = &ctrl;
             comm.allreduce_with(cfg.id, &grad, move || {
                 // Keep the retry tracker running while blocked: a joiner we
-                // owe a (dropped) StateTransfer may be the very member this
+                // owe (dropped) StateChunks may be the very member this
                 // round is waiting on — without resends here the round can
                 // never complete.
                 let _ = rep.tick();
@@ -334,6 +491,22 @@ pub fn run_worker(
                 }
                 return;
             }
+            AllreduceOutcome::DuplicateContribution => {
+                // We already contributed to this round — a protocol bug
+                // (or a replayed thread). The group rejected the second
+                // contribution rather than overwriting the first; exit
+                // rather than train on a sum we never observed.
+                publish(
+                    &telemetry,
+                    cfg.id,
+                    iteration,
+                    data_cursor,
+                    &params,
+                    false,
+                    stalled,
+                );
+                return;
+            }
         };
         // Optimizer step: SGD with momentum on the averaged gradient. The
         // world size is the one captured with this round's sum, so an
@@ -360,6 +533,11 @@ pub fn run_worker(
         // Coordination boundary (step ③).
         if iteration.is_multiple_of(cfg.coordination_interval) {
             let parked_at = Instant::now();
+            // Chunked snapshot of this boundary's state, built lazily on
+            // the first transfer/checkpoint order and shared (`Arc`)
+            // across every destination served at this boundary — the old
+            // path cloned both full buffers per destination.
+            let mut chunk_cache: Option<Vec<PreparedChunk>> = None;
             rep.send(
                 EndpointId::Am,
                 RtMsg::Coordinate {
@@ -393,28 +571,32 @@ pub fn run_worker(
                         break;
                     }
                     RtMsg::TransferOrder { dst } => {
-                        // Step ④: replicate training state to the joiner.
-                        rep.send(
+                        // Step ④: stream training state to the joiner as
+                        // interleaved params/momentum chunks.
+                        let chunks = chunk_cache.get_or_insert_with(|| {
+                            build_state_chunks(&params, &momentum, cfg.replication_chunk_elems)
+                        });
+                        send_snapshot(
+                            &mut rep,
                             EndpointId::Worker(dst),
-                            RtMsg::StateTransfer {
-                                params: Arc::new(params.clone()),
-                                momentum: Arc::new(momentum.clone()),
-                                iteration,
-                                data_cursor,
-                            },
+                            chunks,
+                            iteration,
+                            data_cursor,
                         );
                         rep.send(EndpointId::Am, RtMsg::TransferDone { src: cfg.id, dst });
                     }
                     RtMsg::CheckpointOrder { .. } => {
-                        // The S&R path, live: snapshot to the controller.
-                        rep.send(
+                        // The S&R path, live: stream the snapshot to the
+                        // controller, chunked like any other replication.
+                        let chunks = chunk_cache.get_or_insert_with(|| {
+                            build_state_chunks(&params, &momentum, cfg.replication_chunk_elems)
+                        });
+                        send_snapshot(
+                            &mut rep,
                             EndpointId::Controller,
-                            RtMsg::StateTransfer {
-                                params: Arc::new(params.clone()),
-                                momentum: Arc::new(momentum.clone()),
-                                iteration,
-                                data_cursor,
-                            },
+                            chunks,
+                            iteration,
+                            data_cursor,
                         );
                         rep.send(
                             EndpointId::Am,
@@ -509,6 +691,61 @@ mod tests {
         let mut g = vec![0.0; 256];
         gradient(WorkerId(3), 99, &mut g);
         assert!(g.iter().all(|v| (-0.5..=0.5).contains(v)));
+    }
+
+    #[test]
+    fn chunked_snapshot_roundtrips_out_of_order_with_duplicates() {
+        let params: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let momentum: Vec<f32> = (0..100).map(|i| -(i as f32)).collect();
+        let chunks = build_state_chunks(&params, &momentum, 33);
+        assert_eq!(chunks.len(), 2 * 4); // ceil(100/33) chunks per stream
+        let mut p = vec![0.0f32; 100];
+        let mut m = vec![0.0f32; 100];
+        let mut asm = SnapshotAssembly::new();
+        let mut finished = None;
+        // Deliver in reverse order, every chunk twice (chaos reorder+dup).
+        for &(kind, index, total, offset, ref data) in chunks.iter().rev() {
+            for _ in 0..2 {
+                if let Some(done) =
+                    asm.offer(kind, 7, 42, index, total, offset, data, &mut p, &mut m)
+                {
+                    assert!(finished.is_none(), "completed twice");
+                    finished = Some(done);
+                }
+            }
+        }
+        assert_eq!(finished, Some((7, 42)));
+        assert_eq!(p, params);
+        assert_eq!(m, momentum);
+    }
+
+    #[test]
+    fn snapshot_assembly_restarts_on_newer_and_ignores_stale() {
+        let old = vec![1.0f32; 10];
+        let new = vec![2.0f32; 10];
+        let mut p = vec![0.0f32; 10];
+        let mut m = vec![0.0f32; 10];
+        let mut asm = SnapshotAssembly::new();
+        let old_chunks = build_state_chunks(&old, &old, 10);
+        let new_chunks = build_state_chunks(&new, &new, 10);
+        // One chunk of the old snapshot lands first…
+        let (k, i, t, o, ref d) = old_chunks[0];
+        assert!(asm.offer(k, 5, 0, i, t, o, d, &mut p, &mut m).is_none());
+        // …then the new snapshot completes…
+        let mut done = None;
+        for &(k, i, t, o, ref d) in &new_chunks {
+            if let Some(f) = asm.offer(k, 10, 99, i, t, o, d, &mut p, &mut m) {
+                done = Some(f);
+            }
+        }
+        assert_eq!(done, Some((10, 99)));
+        assert_eq!(p, new);
+        // …and a stale replay of the old one cannot clobber it.
+        for &(k, i, t, o, ref d) in &old_chunks {
+            assert!(asm.offer(k, 5, 0, i, t, o, d, &mut p, &mut m).is_none());
+        }
+        assert_eq!(p, new);
+        assert_eq!(m, new);
     }
 
     #[test]

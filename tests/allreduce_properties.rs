@@ -1,0 +1,121 @@
+//! Property-based tests for the chunked cooperative allreduce.
+//!
+//! The data-plane overhaul (chunking, work-stealing helpers, buffer
+//! pooling) is only admissible if it is *bit-deterministic*: training
+//! reproducibility (EasyScale's requirement, and this repo's
+//! `states_consistent` invariant) rests on every worker observing the
+//! exact same f32 sum, bit for bit, no matter how threads raced to the
+//! rendezvous or how the vector was chunked.
+//!
+//! The property: for random world sizes, vector lengths, chunk sizes,
+//! input magnitudes, and thread arrival orders, every worker's result is
+//! bit-identical to the naive ascending-worker-id reference sum.
+
+use std::thread;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use elan::core::state::WorkerId;
+use elan::rt::comm::{reference_sum, AllreduceOutcome, CommGroup};
+
+/// Deterministic f32 generator with wildly mixed magnitudes (2^-20 ..
+/// 2^20) — the regime where float addition is least associative, so any
+/// reordering bug in the chunked reduction shows up as a bit flip.
+struct F32Gen(u64);
+
+impl F32Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn next_f32(&mut self) -> f32 {
+        let bits = self.next_u64();
+        let mantissa = ((bits & 0xFFFF) as f32 / 65536.0) - 0.5;
+        let exp = ((bits >> 16) % 41) as i32 - 20;
+        mantissa * (exp as f32).exp2()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chunked cooperative reduction == naive reference, bitwise, for
+    /// every worker, across random shapes and arrival orders — and
+    /// across consecutive rounds, so the pooled-buffer reuse path is
+    /// crossed too.
+    #[test]
+    fn chunked_allreduce_is_bit_identical_to_reference(
+        world in 1usize..=8,
+        len in 1usize..=257,
+        chunk in 1usize..=64,
+        seed in 0u64..1_000_000_000,
+        rounds in 1usize..=3,
+    ) {
+        let members: Vec<WorkerId> = (0..world as u32).map(WorkerId).collect();
+        let group = CommGroup::with_chunk_elems(members.iter().copied(), len, chunk);
+        let mut gen = F32Gen(seed | 1);
+
+        for round in 0..rounds {
+            let inputs: Vec<Vec<f32>> = (0..world)
+                .map(|_| (0..len).map(|_| gen.next_f32()).collect())
+                .collect();
+            let expect: Vec<u32> = reference_sum(&inputs)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            // Randomize the rendezvous: every worker shows up after its
+            // own jitter, so the publisher/helper roles shuffle freely.
+            let delays: Vec<u64> = (0..world).map(|_| gen.next_u64() % 4).collect();
+
+            let results: Vec<Vec<u32>> = thread::scope(|s| {
+                let handles: Vec<_> = (0..world)
+                    .map(|w| {
+                        let group = &group;
+                        let input = &inputs[w];
+                        let delay = delays[w];
+                        s.spawn(move || {
+                            thread::sleep(Duration::from_micros(delay * 150));
+                            match group.allreduce(WorkerId(w as u32), input) {
+                                AllreduceOutcome::Sum { sum, world: n } => {
+                                    assert_eq!(n as usize, world, "wrong captured world");
+                                    sum.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+                                }
+                                other => panic!("unexpected outcome {other:?}"),
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("allreduce thread"))
+                    .collect()
+            });
+
+            for (w, got) in results.iter().enumerate() {
+                prop_assert_eq!(
+                    got,
+                    &expect,
+                    "worker {} diverged at round {} (world={}, len={}, chunk={})",
+                    w,
+                    round,
+                    world,
+                    len,
+                    chunk
+                );
+            }
+        }
+        // Buffer pooling never balloons: the pool alternates between two
+        // buffers at steady state (one published result, one in flight).
+        prop_assert!(
+            group.pool_allocations() <= 3,
+            "pool allocated {} buffers over {} rounds",
+            group.pool_allocations(),
+            rounds
+        );
+    }
+}

@@ -4,7 +4,7 @@
 //! This is the measurement side of the data-plane performance overhaul:
 //! the live runtime's chunked cooperative [`CommGroup`] and chunked,
 //! `Arc`-shared state replication are raced against the exact code they
-//! replaced — the flat lock-held [`naive::NaiveCommGroup`] and the
+//! replaced — the flat lock-held [`NaiveCommGroup`] and the
 //! clone-both-buffers-per-destination monolithic transfer — on the same
 //! inputs. Results serialize to `BENCH_dataplane.json` (see
 //! [`Report::to_json`]) so CI and the README can track the trajectory.
@@ -17,9 +17,11 @@ use std::sync::Barrier;
 use std::thread;
 use std::time::Instant;
 
+use elan_core::obs::AdjustmentPhase;
 use elan_core::state::WorkerId;
 use elan_rt::comm::{naive::NaiveCommGroup, AllreduceOutcome, CommGroup};
 use elan_rt::worker::{build_state_chunks, SnapshotAssembly};
+use elan_rt::{ElasticRuntime, RuntimeConfig};
 
 /// Warm-up rounds excluded from every allreduce timing (they also fill
 /// the chunked group's buffer pool, so the timed region is the
@@ -49,7 +51,8 @@ impl AllreducePoint {
     }
 }
 
-/// One replication measurement: monolithic vs. chunked makespan.
+/// One replication measurement: monolithic vs. chunked makespan, with the
+/// chunked path split into its two phases.
 #[derive(Debug, Clone, Copy)]
 pub struct ReplicationPoint {
     /// Elements per state buffer (params and momentum each).
@@ -62,6 +65,10 @@ pub struct ReplicationPoint {
     pub monolithic_ms: f64,
     /// Chunked makespan (one chunking pass, `Arc`-shared), ms.
     pub chunked_ms: f64,
+    /// Chunked phase ①: the once-per-boundary chunking pass, ms.
+    pub chunked_prepare_ms: f64,
+    /// Chunked phase ②: per-destination chunk assembly/apply, ms.
+    pub chunked_apply_ms: f64,
 }
 
 impl ReplicationPoint {
@@ -69,6 +76,32 @@ impl ReplicationPoint {
     pub fn speedup(&self) -> f64 {
         self.monolithic_ms / self.chunked_ms
     }
+}
+
+/// One live adjustment's per-phase latency, read back from the runtime's
+/// event journal (the observability layer's `AdjustmentTrace`).
+#[derive(Debug, Clone)]
+pub struct AdjustmentPoint {
+    /// `"scale-out"`, `"scale-in"`, `"migrate"`, or `"failure-scale-in"`.
+    pub kind: String,
+    /// World size after the adjustment completed.
+    pub world_after: u32,
+    /// Step ① (request) ms.
+    pub request_ms: f64,
+    /// Step ② (report) ms.
+    pub report_ms: f64,
+    /// Step ③ (coordinate) ms.
+    pub coordinate_ms: f64,
+    /// Step ④ (replicate) ms.
+    pub replicate_ms: f64,
+    /// Step ⑤ (adjust) ms.
+    pub adjust_ms: f64,
+    /// First phase start to last phase end, ms.
+    pub total_ms: f64,
+    /// Replication waves the planner scheduled.
+    pub waves: u32,
+    /// Point-to-point transfers planned.
+    pub transfers: u32,
 }
 
 /// A full harness run, serializable to `BENCH_dataplane.json`.
@@ -80,6 +113,8 @@ pub struct Report {
     pub allreduce: Vec<AllreducePoint>,
     /// Replication sweep.
     pub replication: Vec<ReplicationPoint>,
+    /// Live-runtime adjustment latency breakdown (per pipeline phase).
+    pub adjustment: Vec<AdjustmentPoint>,
 }
 
 /// Deterministic mixed-magnitude input buffer.
@@ -186,10 +221,16 @@ pub fn bench_replication(
     let monolithic_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
 
     // Chunked: one chunking pass per boundary, Arc-shared across
-    // destinations, receivers assemble.
+    // destinations, receivers assemble. The two phases are timed
+    // separately so the report can attribute the makespan.
+    let mut prepare_s = 0.0f64;
+    let mut apply_s = 0.0f64;
     let t0 = Instant::now();
     for _ in 0..iters {
+        let tp = Instant::now();
         let chunks = build_state_chunks(&params, &momentum, chunk_elems);
+        prepare_s += tp.elapsed().as_secs_f64();
+        let ta = Instant::now();
         for d in 0..destinations {
             let mut asm = SnapshotAssembly::new();
             let mut finished = false;
@@ -213,8 +254,11 @@ pub fn bench_replication(
             }
             assert!(finished, "chunked snapshot did not complete");
         }
+        apply_s += ta.elapsed().as_secs_f64();
     }
     let chunked_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+    let chunked_prepare_ms = prepare_s * 1e3 / f64::from(iters);
+    let chunked_apply_ms = apply_s * 1e3 / f64::from(iters);
 
     for d in 0..destinations {
         assert_eq!(dst_p[d], params, "replication corrupted params");
@@ -226,7 +270,48 @@ pub fn bench_replication(
         chunk_elems,
         monolithic_ms,
         chunked_ms,
+        chunked_prepare_ms,
+        chunked_apply_ms,
     }
+}
+
+/// Runs a short live elastic job and reads each adjustment's per-phase
+/// latency back from the runtime's event journal ([`AdjustmentTrace`]s
+/// exposed through the shutdown report) — the observability layer is the
+/// measurement instrument, not a separate stopwatch.
+///
+/// [`AdjustmentTrace`]: elan_rt::AdjustmentTrace
+pub fn bench_adjustment(quick: bool) -> Vec<AdjustmentPoint> {
+    let mut cfg = RuntimeConfig::small(2);
+    cfg.param_elems = if quick { 4_096 } else { 65_536 };
+    cfg.replication_chunk_elems = cfg.param_elems / 8;
+    let mut rt = ElasticRuntime::builder()
+        .config(cfg)
+        .start()
+        .expect("valid bench configuration");
+    rt.run_until_iteration(10);
+    rt.scale_out(2);
+    rt.run_until_iteration(20);
+    rt.scale_in(1);
+    rt.run_until_iteration(30);
+    let report = rt.shutdown();
+    report
+        .traces
+        .iter()
+        .filter(|t| t.completed)
+        .map(|t| AdjustmentPoint {
+            kind: t.kind.name().to_string(),
+            world_after: t.final_world,
+            request_ms: t.phase_us(AdjustmentPhase::Request) as f64 / 1e3,
+            report_ms: t.phase_us(AdjustmentPhase::Report) as f64 / 1e3,
+            coordinate_ms: t.phase_us(AdjustmentPhase::Coordinate) as f64 / 1e3,
+            replicate_ms: t.phase_us(AdjustmentPhase::Replicate) as f64 / 1e3,
+            adjust_ms: t.phase_us(AdjustmentPhase::Adjust) as f64 / 1e3,
+            total_ms: t.total_us() as f64 / 1e3,
+            waves: t.waves,
+            transfers: t.transfers,
+        })
+        .collect()
 }
 
 /// Timed rounds per vector length — long vectors need few rounds for a
@@ -273,24 +358,38 @@ pub fn run(quick: bool, mut progress: impl FnMut(&str)) -> Report {
     for (elems, dests, chunk, iters) in repl_cfgs {
         let p = bench_replication(elems, dests, chunk, iters);
         progress(&format!(
-            "replication elems={:>9} dests={} chunk={:>6}  monolithic={:>8.2} ms  chunked={:>8.2} ms  speedup={:.2}x",
-            p.param_elems, p.destinations, p.chunk_elems, p.monolithic_ms, p.chunked_ms, p.speedup()
+            "replication elems={:>9} dests={} chunk={:>6}  monolithic={:>8.2} ms  chunked={:>8.2} ms (prepare={:.2} apply={:.2})  speedup={:.2}x",
+            p.param_elems, p.destinations, p.chunk_elems, p.monolithic_ms, p.chunked_ms,
+            p.chunked_prepare_ms, p.chunked_apply_ms, p.speedup()
         ));
         replication.push(p);
+    }
+    let adjustment = bench_adjustment(quick);
+    for a in &adjustment {
+        progress(&format!(
+            "adjustment {:<10} ->{}  request={:.2} report={:.2} coordinate={:.2} replicate={:.2} adjust={:.2}  total={:.2} ms",
+            a.kind, a.world_after, a.request_ms, a.report_ms, a.coordinate_ms,
+            a.replicate_ms, a.adjust_ms, a.total_ms
+        ));
     }
     Report {
         mode: if quick { "quick" } else { "full" }.into(),
         allreduce,
         replication,
+        adjustment,
     }
 }
 
 impl Report {
-    /// Serializes the report as pretty-printed JSON (schema version 1).
+    /// Serializes the report as pretty-printed JSON (schema version 2).
+    ///
+    /// Schema 2 adds the chunked replication phase split
+    /// (`chunked_prepare_ms` / `chunked_apply_ms`) and the `adjustment`
+    /// array carrying the live runtime's per-phase latency breakdown.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema_version\": 1,\n");
+        s.push_str("  \"schema_version\": 2,\n");
         s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         s.push_str("  \"allreduce\": [\n");
         for (i, p) in self.allreduce.iter().enumerate() {
@@ -309,14 +408,34 @@ impl Report {
         s.push_str("  \"replication\": [\n");
         for (i, p) in self.replication.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"param_elems\": {}, \"destinations\": {}, \"chunk_elems\": {}, \"monolithic_ms\": {:.4}, \"chunked_ms\": {:.4}, \"speedup\": {:.4}}}{}\n",
+                "    {{\"param_elems\": {}, \"destinations\": {}, \"chunk_elems\": {}, \"monolithic_ms\": {:.4}, \"chunked_ms\": {:.4}, \"chunked_prepare_ms\": {:.4}, \"chunked_apply_ms\": {:.4}, \"speedup\": {:.4}}}{}\n",
                 p.param_elems,
                 p.destinations,
                 p.chunk_elems,
                 p.monolithic_ms,
                 p.chunked_ms,
+                p.chunked_prepare_ms,
+                p.chunked_apply_ms,
                 p.speedup(),
                 if i + 1 < self.replication.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"adjustment\": [\n");
+        for (i, a) in self.adjustment.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"kind\": \"{}\", \"world_after\": {}, \"request_ms\": {:.4}, \"report_ms\": {:.4}, \"coordinate_ms\": {:.4}, \"replicate_ms\": {:.4}, \"adjust_ms\": {:.4}, \"total_ms\": {:.4}, \"waves\": {}, \"transfers\": {}}}{}\n",
+                a.kind,
+                a.world_after,
+                a.request_ms,
+                a.report_ms,
+                a.coordinate_ms,
+                a.replicate_ms,
+                a.adjust_ms,
+                a.total_ms,
+                a.waves,
+                a.transfers,
+                if i + 1 < self.adjustment.len() { "," } else { "" }
             ));
         }
         s.push_str("  ]\n");
@@ -501,7 +620,11 @@ fn parse_value(b: &[u8], at: &mut usize) -> Result<Json, String> {
 }
 
 /// Validates a `BENCH_dataplane.json` document: schema keys present,
-/// every throughput/makespan strictly positive, arrays non-empty.
+/// every throughput/makespan strictly positive, per-phase adjustment
+/// latencies non-negative, arrays non-empty.
+///
+/// Requires schema version ≥ 2 (the phase-split replication timings and
+/// the `adjustment` latency section are mandatory).
 ///
 /// # Errors
 ///
@@ -512,8 +635,8 @@ pub fn validate_json(text: &str) -> Result<(), String> {
         .get("schema_version")
         .and_then(Json::as_num)
         .ok_or("missing schema_version")?;
-    if schema < 1.0 {
-        return Err(format!("bad schema_version {schema}"));
+    if schema < 2.0 {
+        return Err(format!("bad schema_version {schema} (need >= 2)"));
     }
     match doc.get("mode") {
         Some(Json::Str(m)) if m == "full" || m == "quick" => {}
@@ -561,9 +684,49 @@ pub fn validate_json(text: &str) -> Result<(), String> {
             "chunk_elems",
             "monolithic_ms",
             "chunked_ms",
+            "chunked_prepare_ms",
+            "chunked_apply_ms",
             "speedup",
         ] {
             require_pos(p, key)?;
+        }
+    }
+    let require_nonneg = |obj: &Json, key: &str| -> Result<f64, String> {
+        let v = obj
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric key {key:?}"))?;
+        if v >= 0.0 && v.is_finite() {
+            Ok(v)
+        } else {
+            Err(format!(
+                "key {key:?} must be non-negative and finite, got {v}"
+            ))
+        }
+    };
+    let Some(Json::Arr(points)) = doc.get("adjustment") else {
+        return Err("missing adjustment array".into());
+    };
+    if points.is_empty() {
+        return Err("adjustment array is empty".into());
+    }
+    for p in points {
+        match p.get("kind") {
+            Some(Json::Str(k)) if !k.is_empty() => {}
+            other => return Err(format!("bad adjustment kind: {other:?}")),
+        }
+        require_pos(p, "world_after")?;
+        require_pos(p, "total_ms")?;
+        for key in [
+            "request_ms",
+            "report_ms",
+            "coordinate_ms",
+            "replicate_ms",
+            "adjust_ms",
+            "waves",
+            "transfers",
+        ] {
+            require_nonneg(p, key)?;
         }
     }
     Ok(())
@@ -573,6 +736,23 @@ pub fn validate_json(text: &str) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    /// A plausible synthetic adjustment point for schema tests (running
+    /// the live runtime in every unit test would be slow on CI).
+    fn synthetic_adjustment() -> AdjustmentPoint {
+        AdjustmentPoint {
+            kind: "scale-out".into(),
+            world_after: 4,
+            request_ms: 0.0,
+            report_ms: 1.5,
+            coordinate_ms: 0.2,
+            replicate_ms: 3.0,
+            adjust_ms: 0.8,
+            total_ms: 5.5,
+            waves: 1,
+            transfers: 2,
+        }
+    }
+
     #[test]
     fn quickest_sweep_emits_valid_json() {
         // The smallest possible measurement exercises the whole pipeline.
@@ -580,24 +760,62 @@ mod tests {
             mode: "quick".into(),
             allreduce: vec![bench_allreduce(2, 256, 3)],
             replication: vec![bench_replication(1_024, 2, 256, 2)],
+            adjustment: vec![synthetic_adjustment()],
         };
         validate_json(&report.to_json()).expect("emitted JSON validates");
+    }
+
+    #[test]
+    fn live_adjustment_bench_round_trips_through_the_schema() {
+        let adjustment = bench_adjustment(true);
+        assert!(
+            adjustment.len() >= 2,
+            "expected scale-out + scale-in traces, got {adjustment:?}"
+        );
+        assert!(adjustment.iter().any(|a| a.kind == "scale-out"));
+        assert!(adjustment.iter().any(|a| a.kind == "scale-in"));
+        let report = Report {
+            mode: "quick".into(),
+            allreduce: vec![bench_allreduce(2, 256, 2)],
+            replication: vec![bench_replication(1_024, 2, 256, 1)],
+            adjustment,
+        };
+        validate_json(&report.to_json()).expect("live adjustment JSON validates");
     }
 
     #[test]
     fn validator_rejects_broken_documents() {
         assert!(validate_json("{}").is_err());
         assert!(validate_json("not json").is_err());
-        assert!(validate_json(r#"{"schema_version": 1, "mode": "full"}"#).is_err());
+        assert!(validate_json(r#"{"schema_version": 2, "mode": "full"}"#).is_err());
+        // Pre-overhaul documents (schema 1) are rejected outright.
+        assert!(validate_json(r#"{"schema_version": 1, "mode": "full"}"#)
+            .unwrap_err()
+            .contains("schema_version"));
         // Zero throughput is a schema violation, not a shrug.
-        let bad = r#"{"schema_version": 1, "mode": "quick",
+        let bad = r#"{"schema_version": 2, "mode": "quick",
             "allreduce": [{"world": 2, "len": 4, "rounds": 1,
                 "naive_elems_per_s": 0.0, "chunked_elems_per_s": 1.0, "speedup": 1.0}],
             "replication": [{"param_elems": 1, "destinations": 1, "chunk_elems": 1,
-                "monolithic_ms": 1.0, "chunked_ms": 1.0, "speedup": 1.0}]}"#;
+                "monolithic_ms": 1.0, "chunked_ms": 1.0,
+                "chunked_prepare_ms": 0.5, "chunked_apply_ms": 0.5, "speedup": 1.0}],
+            "adjustment": [{"kind": "scale-out", "world_after": 4,
+                "request_ms": 0.0, "report_ms": 1.0, "coordinate_ms": 0.1,
+                "replicate_ms": 2.0, "adjust_ms": 0.5, "total_ms": 3.6,
+                "waves": 1, "transfers": 2}]}"#;
         assert!(validate_json(bad)
             .unwrap_err()
             .contains("naive_elems_per_s"));
+        // A missing adjustment section is a schema violation too.
+        let no_adj = bad
+            .replace("\"naive_elems_per_s\": 0.0", "\"naive_elems_per_s\": 1.0")
+            .replace("\"adjustment\": [", "\"ignored\": [");
+        assert!(validate_json(&no_adj).unwrap_err().contains("adjustment"));
+        // Negative phase latency is impossible and rejected.
+        let neg = bad
+            .replace("\"naive_elems_per_s\": 0.0", "\"naive_elems_per_s\": 1.0")
+            .replace("\"replicate_ms\": 2.0", "\"replicate_ms\": -2.0");
+        assert!(validate_json(&neg).unwrap_err().contains("replicate_ms"));
     }
 
     #[test]

@@ -13,9 +13,10 @@
 
 use elan_topology::GpuId;
 
-use crate::am::{AmError, ApplicationMaster, CoordinateReply};
+use crate::am::{ApplicationMaster, CoordinateReply};
 use crate::data::SerialSampler;
-use crate::elasticity::{AdjustmentRequest, RequestError};
+use crate::elasticity::AdjustmentRequest;
+use crate::error::ElanError;
 use crate::state::{HookRegistry, StateHook};
 
 /// One framework-facing Elan instance for a training job.
@@ -42,7 +43,7 @@ use crate::state::{HookRegistry, StateHook};
 /// api.scale_out((4..8).map(GpuId).collect())?;
 /// for g in 4..8 { api.worker_ready(GpuId(g))?; }
 /// assert!(api.coordinate().is_adjustment());
-/// # Ok::<(), elan_core::api::ApiError>(())
+/// # Ok::<(), elan_core::ElanError>(())
 /// ```
 #[derive(Debug)]
 pub struct ElanJobApi {
@@ -52,36 +53,11 @@ pub struct ElanJobApi {
 }
 
 /// Errors surfaced by the facade.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ApiError {
-    /// The adjustment request was malformed.
-    BadRequest(RequestError),
-    /// The AM rejected the operation.
-    Am(AmError),
-}
-
-impl std::fmt::Display for ApiError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ApiError::BadRequest(e) => write!(f, "bad request: {e}"),
-            ApiError::Am(e) => write!(f, "application master: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ApiError {}
-
-impl From<RequestError> for ApiError {
-    fn from(e: RequestError) -> Self {
-        ApiError::BadRequest(e)
-    }
-}
-
-impl From<AmError> for ApiError {
-    fn from(e: AmError) -> Self {
-        ApiError::Am(e)
-    }
-}
+///
+/// Superseded by the unified [`ElanError`] — this alias keeps old
+/// signatures compiling for one release.
+#[deprecated(since = "0.3.0", note = "use `elan_core::ElanError` instead")]
+pub type ApiError = ElanError;
 
 /// What [`ElanJobApi::coordinate`] tells the training loop to do.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,8 +105,8 @@ impl ElanJobApi {
     ///
     /// # Errors
     ///
-    /// Returns [`ApiError`] for malformed requests or a busy AM.
-    pub fn scale_out(&mut self, target: Vec<GpuId>) -> Result<(), ApiError> {
+    /// Returns [`ElanError`] for malformed requests or a busy AM.
+    pub fn scale_out(&mut self, target: Vec<GpuId>) -> Result<(), ElanError> {
         let req = AdjustmentRequest::new(self.am.members().to_vec(), target)?;
         self.am.request_adjustment(req)?;
         Ok(())
@@ -140,8 +116,8 @@ impl ElanJobApi {
     ///
     /// # Errors
     ///
-    /// Returns [`ApiError`] for malformed requests or a busy AM.
-    pub fn scale_in(&mut self, target: Vec<GpuId>) -> Result<(), ApiError> {
+    /// Returns [`ElanError`] for malformed requests or a busy AM.
+    pub fn scale_in(&mut self, target: Vec<GpuId>) -> Result<(), ElanError> {
         self.scale_out(target) // kind is inferred from the placements
     }
 
@@ -149,8 +125,8 @@ impl ElanJobApi {
     ///
     /// # Errors
     ///
-    /// Returns [`ApiError`] for malformed requests or a busy AM.
-    pub fn migrate(&mut self, target: Vec<GpuId>) -> Result<(), ApiError> {
+    /// Returns [`ElanError`] for malformed requests or a busy AM.
+    pub fn migrate(&mut self, target: Vec<GpuId>) -> Result<(), ElanError> {
         self.scale_out(target)
     }
 
@@ -158,9 +134,9 @@ impl ElanJobApi {
     ///
     /// # Errors
     ///
-    /// Returns [`ApiError`] if the worker is not part of a pending
+    /// Returns [`ElanError`] if the worker is not part of a pending
     /// adjustment.
-    pub fn worker_ready(&mut self, worker: GpuId) -> Result<(), ApiError> {
+    pub fn worker_ready(&mut self, worker: GpuId) -> Result<(), ElanError> {
         self.am.report(worker)?;
         Ok(())
     }
@@ -180,8 +156,8 @@ impl ElanJobApi {
     ///
     /// # Errors
     ///
-    /// Returns [`ApiError`] when no adjustment is executing.
-    pub fn adjustment_complete(&mut self) -> Result<(), ApiError> {
+    /// Returns [`ElanError`] when no adjustment is executing.
+    pub fn adjustment_complete(&mut self) -> Result<(), ElanError> {
         self.am.adjustment_complete()?;
         Ok(())
     }
@@ -205,6 +181,7 @@ impl ElanJobApi {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::elasticity::RequestError;
 
     struct Nop;
     impl StateHook for Nop {
@@ -244,14 +221,14 @@ mod tests {
         let mut api = ElanJobApi::new("j", (0..2).map(GpuId).collect(), 1000);
         api.scale_out((0..4).map(GpuId).collect()).unwrap();
         let err = api.scale_out((0..8).map(GpuId).collect()).unwrap_err();
-        assert!(matches!(err, ApiError::Am(_)));
+        assert!(matches!(err, ElanError::Am(_)));
     }
 
     #[test]
     fn malformed_request_is_rejected() {
         let mut api = ElanJobApi::new("j", (0..2).map(GpuId).collect(), 1000);
         let err = api.migrate((0..2).map(GpuId).collect()).unwrap_err();
-        assert!(matches!(err, ApiError::BadRequest(RequestError::NoChange)));
+        assert!(matches!(err, ElanError::BadRequest(RequestError::NoChange)));
     }
 
     #[test]

@@ -48,9 +48,11 @@ pub mod codec;
 pub mod coordination;
 pub mod data;
 pub mod elasticity;
+pub mod error;
 pub mod job;
 pub mod lease;
 pub mod messages;
+pub mod obs;
 pub mod scaling;
 pub mod state;
 pub mod store;
@@ -59,6 +61,11 @@ pub use adjustment::ElanSystem;
 pub use am::{AmState, ApplicationMaster, CoordinateReply};
 pub use elasticity::{
     AdjustmentContext, AdjustmentCost, AdjustmentKind, AdjustmentRequest, ElasticitySystem,
+};
+pub use error::ElanError;
+pub use obs::{
+    AdjustmentPhase, Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot,
+    PhaseWindow,
 };
 pub use scaling::{hybrid_scale, ProgressiveLrRamp, ScalingDecision, ScalingMode};
 pub use state::{HookRegistry, StateHook, TrainingState, WorkerId};

@@ -23,6 +23,7 @@ use elan_core::messages::{MsgId, MsgIdAllocator, StateKind};
 use elan_core::state::WorkerId;
 
 use crate::chaos::{ChaosEngine, ChaosPolicy, ChaosStats};
+use crate::obs::{EventJournal, EventKind};
 
 /// Identifies a bus endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -191,6 +192,11 @@ struct BusInner {
     senders: RwLock<HashMap<EndpointId, Sender<Envelope>>>,
     stats: Mutex<HashMap<EndpointId, EndpointStats>>,
     chaos: Option<Mutex<ChaosEngine>>,
+    /// The runtime's event journal, when observability is attached: the
+    /// bus emits dead-letter and chaos events, and every component that
+    /// holds the bus (reliable endpoints, workers) reaches the journal
+    /// through [`Bus::journal`] without any extra plumbing.
+    journal: Option<Arc<EventJournal>>,
     /// Id stream for bare [`Bus::send`] calls (owner `u32::MAX`).
     raw_ids: Mutex<MsgIdAllocator>,
 }
@@ -222,13 +228,25 @@ impl Bus {
 
     /// Creates a bus whose sends run through the given chaos policy.
     pub fn with_chaos(policy: ChaosPolicy) -> Self {
+        Bus::with_options(Some(policy), None)
+    }
+
+    /// Creates a bus with optional fault injection and an optional event
+    /// journal (the runtime builder's entry point).
+    pub fn with_options(chaos: Option<ChaosPolicy>, journal: Option<Arc<EventJournal>>) -> Self {
         Bus {
             inner: Arc::new(BusInner {
-                chaos: Some(Mutex::new(ChaosEngine::new(policy))),
+                chaos: chaos.map(|policy| Mutex::new(ChaosEngine::new(policy))),
+                journal,
                 raw_ids: Mutex::new(MsgIdAllocator::for_owner(u32::MAX)),
                 ..BusInner::default()
             }),
         }
+    }
+
+    /// The attached event journal, if observability is wired up.
+    pub fn journal(&self) -> Option<&Arc<EventJournal>> {
+        self.inner.journal.as_ref()
     }
 
     /// Registers `id` and returns its endpoint.
@@ -273,11 +291,27 @@ impl Bus {
             let mut stats = self.inner.stats.lock();
             stats.entry(to).or_default().sent += 1;
         }
+        // Heartbeats and transport acks dominate chaotic traffic; their
+        // fates stay out of the journal so the ring retains the events
+        // that matter for adjustment forensics.
+        let noisy = matches!(env.body, RtMsg::Heartbeat { .. } | RtMsg::MsgAck { .. });
         let deliveries = match &self.inner.chaos {
-            Some(engine) => engine.lock().route(to, env),
+            Some(engine) => {
+                let (deliveries, fate) = engine.lock().route(to, env);
+                if let (Some(fate), Some(journal), false) =
+                    (fate, self.inner.journal.as_ref(), noisy)
+                {
+                    journal.emit(EventKind::ChaosInjected { fate, to });
+                }
+                deliveries
+            }
             None => vec![(to, env)],
         };
         for (dst, envelope) in deliveries {
+            let env_noisy = matches!(
+                envelope.body,
+                RtMsg::Heartbeat { .. } | RtMsg::MsgAck { .. }
+            );
             let delivered = match self.inner.senders.read().get(&dst) {
                 Some(tx) => tx.send(envelope).is_ok(),
                 None => false,
@@ -288,6 +322,9 @@ impl Bus {
                 entry.delivered += 1;
             } else {
                 entry.dead_letters += 1;
+                if let (Some(journal), false) = (self.inner.journal.as_ref(), env_noisy) {
+                    journal.emit(EventKind::DeadLetter { to: dst });
+                }
             }
         }
         self.inner.senders.read().contains_key(&to)

@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use crate::bus::{EndpointId, Envelope};
+use crate::obs::ChaosFate;
 
 /// Fault probabilities for one directed bus edge.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -165,8 +166,15 @@ impl ChaosEngine {
 
     /// Decides the fate of `env` heading to `to` and advances limbo.
     /// Returns every delivery the bus should now perform (possibly zero,
-    /// one, or two copies of `env`, plus any released delayed messages).
-    pub(crate) fn route(&mut self, to: EndpointId, env: Envelope) -> Vec<(EndpointId, Envelope)> {
+    /// one, or two copies of `env`, plus any released delayed messages),
+    /// together with the fate the engine chose for `env` itself (`None`
+    /// when the message passed through untouched) — the bus turns
+    /// non-trivial fates into journal events.
+    pub(crate) fn route(
+        &mut self,
+        to: EndpointId,
+        env: Envelope,
+    ) -> (Vec<(EndpointId, Envelope)>, Option<ChaosFate>) {
         // Every send is a tick that ages the limbo buffer.
         let mut out = Vec::new();
         let mut i = 0;
@@ -183,20 +191,22 @@ impl ChaosEngine {
         let edge = self.policy.edge_for(env.from, to);
         if self.unit(1, env.from, to, &env) < edge.drop_p {
             self.stats.dropped += 1;
-            return out;
+            return (out, Some(ChaosFate::Dropped));
         }
         if self.unit(2, env.from, to, &env) < edge.delay_p {
             self.stats.delayed += 1;
             self.limbo.push((edge.delay_ticks.max(1), to, env));
-            return out;
+            return (out, Some(ChaosFate::Delayed));
         }
         self.stats.delivered += 1;
+        let mut fate = None;
         if self.unit(3, env.from, to, &env) < edge.dup_p {
             self.stats.duplicated += 1;
+            fate = Some(ChaosFate::Duplicated);
             out.push((to, env.clone()));
         }
         out.push((to, env));
-        out
+        (out, fate)
     }
 }
 
@@ -255,8 +265,8 @@ mod tests {
         let mut engine = ChaosEngine::new(policy);
         let mut saved_by_retry = 0;
         for i in 0..200 {
-            if engine.route(EndpointId::Am, env(i, 1)).is_empty()
-                && !engine.route(EndpointId::Am, env(i, 2)).is_empty()
+            if engine.route(EndpointId::Am, env(i, 1)).0.is_empty()
+                && !engine.route(EndpointId::Am, env(i, 2)).0.is_empty()
             {
                 saved_by_retry += 1;
             }
@@ -268,11 +278,11 @@ mod tests {
     fn delayed_messages_release_after_ticks() {
         let policy = ChaosPolicy::new(0).delay(1.0, 2); // always delay 2 ticks
         let mut engine = ChaosEngine::new(policy);
-        assert!(engine.route(EndpointId::Am, env(1, 1)).is_empty());
+        assert!(engine.route(EndpointId::Am, env(1, 1)).0.is_empty());
         // Tick 1: msg 2 also delayed; msg 1 ages.
-        assert!(engine.route(EndpointId::Am, env(2, 1)).is_empty());
+        assert!(engine.route(EndpointId::Am, env(2, 1)).0.is_empty());
         // Tick 2: msg 1 releases (behind msg 2 — reordered).
-        let out = engine.route(EndpointId::Am, env(3, 1));
+        let (out, _) = engine.route(EndpointId::Am, env(3, 1));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].1.id, MsgId(1));
     }
@@ -281,7 +291,8 @@ mod tests {
     fn duplicates_deliver_two_copies() {
         let policy = ChaosPolicy::new(0).duplicate(1.0);
         let mut engine = ChaosEngine::new(policy);
-        let out = engine.route(EndpointId::Am, env(9, 1));
+        let (out, fate) = engine.route(EndpointId::Am, env(9, 1));
+        assert_eq!(fate, Some(ChaosFate::Duplicated));
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].1.id, out[1].1.id);
     }
@@ -296,10 +307,10 @@ mod tests {
         );
         let mut engine = ChaosEngine::new(policy);
         // Default edge drops everything…
-        assert!(engine.route(EndpointId::Am, env(1, 1)).is_empty());
+        assert!(engine.route(EndpointId::Am, env(1, 1)).0.is_empty());
         // …but the overridden edge is clean.
         let mut clean = env(2, 1);
         clean.from = EndpointId::Controller;
-        assert_eq!(engine.route(w, clean).len(), 1);
+        assert_eq!(engine.route(w, clean).0.len(), 1);
     }
 }

@@ -12,7 +12,8 @@
 //! - **Zero-copy contributions** — a caller is *blocked* inside
 //!   [`CommGroup::allreduce_with`] until its round publishes, so its
 //!   gradient slice outlives the round by construction; the group records
-//!   a borrowed view ([`SharedSlice`]) instead of `data.to_vec()`.
+//!   a borrowed view (the internal `SharedSlice`) instead of
+//!   `data.to_vec()`.
 //! - **Chunked cooperative reduction** — when the last member arrives,
 //!   the round's inputs are split into cache-sized chunks
 //!   ([`ChunkPlan`]); *every blocked waiter* (plus the last arriver, plus
@@ -41,10 +42,14 @@ use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use std::sync::OnceLock;
+
 use parking_lot::{Condvar, Mutex};
 
 use elan_core::messages::ChunkPlan;
 use elan_core::state::WorkerId;
+
+use crate::obs::{EventJournal, EventKind};
 
 /// How often a blocked allreduce caller's `on_wait` callback fires.
 const WAIT_SLICE: Duration = Duration::from_millis(50);
@@ -195,6 +200,9 @@ pub struct CommGroup {
     cvar: Condvar,
     slots: ReduceSlots,
     plan: ChunkPlan,
+    /// Set once by the runtime builder; rounds/evictions/reconfigurations
+    /// emit journal events when present.
+    journal: OnceLock<Arc<EventJournal>>,
 }
 
 impl std::fmt::Debug for CommGroup {
@@ -257,7 +265,15 @@ impl CommGroup {
                 done: AtomicUsize::new(0),
             },
             plan: ChunkPlan::new(len, chunk_elems),
+            journal: OnceLock::new(),
         }
+    }
+
+    /// Attaches the runtime's event journal (one-shot; later calls are
+    /// ignored). Rounds, evictions, and reconfigurations then emit
+    /// [`EventKind::AllreduceRound`]-family events.
+    pub fn set_journal(&self, journal: Arc<EventJournal>) {
+        let _ = self.journal.set(journal);
     }
 
     /// Current generation (bumps on every reconfiguration).
@@ -451,6 +467,12 @@ impl CommGroup {
         st.result_round = st.reducing.take().expect("round was reducing");
         st.result_world = st.reducing_world;
         st.round = st.result_round + 1;
+        if let Some(journal) = self.journal.get() {
+            journal.emit(EventKind::AllreduceRound {
+                round: st.result_round,
+                world: st.result_world,
+            });
+        }
         self.cvar.notify_all();
     }
 
@@ -470,6 +492,11 @@ impl CommGroup {
     pub fn evict(&self, worker: WorkerId) -> bool {
         let mut st = self.state.lock();
         let was_member = st.members.remove(&worker);
+        if was_member {
+            if let Some(journal) = self.journal.get() {
+                journal.emit(EventKind::WorkerEvicted { worker });
+            }
+        }
         if let Ok(pos) = st.contributions.binary_search_by_key(&worker, |(w, _)| *w) {
             st.contributions.remove(pos);
         }
@@ -503,6 +530,12 @@ impl CommGroup {
         assert!(!members.is_empty(), "group needs at least one member");
         st.members = members;
         st.generation += 1;
+        if let Some(journal) = self.journal.get() {
+            journal.emit(EventKind::CommReconfigured {
+                generation: st.generation,
+                world: st.members.len() as u32,
+            });
+        }
         st.generation
     }
 }

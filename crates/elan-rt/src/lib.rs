@@ -9,24 +9,33 @@
 //! without ever stopping the existing workers outside the adjustment
 //! pause.
 //!
+//! Everything the runtime does is observable: a structured [`EventJournal`]
+//! records bus faults, replication waves, allreduce rounds, and the
+//! adjustment pipeline itself, while a [`TraceRecorder`] spans each
+//! adjustment's five phases (request → report → coordinate → replicate →
+//! adjust) for the latency breakdown of [`ElasticRuntime::trace_report`].
+//!
 //! # Examples
 //!
 //! ```
-//! use elan_rt::{ElasticRuntime, RuntimeConfig};
+//! use elan_rt::ElasticRuntime;
 //!
-//! let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+//! let mut rt = ElasticRuntime::builder().workers(2).start().unwrap();
 //! rt.run_until_iteration(20);
 //! rt.scale_out(2);           // two workers join without a restart
 //! rt.run_until_iteration(40);
 //! let report = rt.shutdown();
 //! assert_eq!(report.final_world_size, 4);
 //! assert!(report.states_consistent());
+//! assert!(report.traces.iter().all(|t| t.is_well_formed()));
+//! println!("{}", report.trace_report());
 //! ```
 
 pub mod bus;
 pub mod chaos;
 pub mod comm;
 pub mod liveness;
+pub mod obs;
 pub mod reliable;
 pub mod runtime;
 pub mod worker;
@@ -35,5 +44,11 @@ pub use bus::{Bus, Endpoint, EndpointId, EndpointStats, Envelope, RtMsg};
 pub use chaos::{ChaosPolicy, ChaosStats, EdgeChaos};
 pub use comm::{reference_sum, AllreduceOutcome, CommGroup, DEFAULT_CHUNK_ELEMS};
 pub use liveness::CrashPoint;
+pub use obs::{
+    render_trace_report, AdjustmentTrace, ChaosFate, Event, EventJournal, EventKind, EventSink,
+    JournalSummary, Obs, RingBufferSink, TraceKind, TraceRecorder, DEFAULT_RING_CAPACITY,
+};
 pub use reliable::{ReliableEndpoint, RtMetrics, RtMetricsSnapshot};
-pub use runtime::{CheckpointSnapshot, ElasticRuntime, RuntimeConfig, ShutdownReport};
+pub use runtime::{
+    CheckpointSnapshot, ElasticRuntime, RuntimeBuilder, RuntimeConfig, ShutdownReport,
+};

@@ -26,6 +26,7 @@ use elan_core::state::WorkerId;
 use elan_core::store::ReplicatedStore;
 use elan_sim::SimTime;
 
+use crate::obs::Obs;
 use crate::reliable::RtMetrics;
 
 /// The store key under which the live AM persists its durable record.
@@ -146,13 +147,16 @@ pub struct SharedControl {
     pub worker_crash: RwLock<HashSet<WorkerId>>,
     /// Join handles of every AM incarnation (original + replacements).
     pub am_handles: Mutex<Vec<JoinHandle<()>>>,
-    /// Shared reliability metrics.
+    /// Shared observability bundle (journal + traces + metrics registry).
+    pub obs: Arc<Obs>,
+    /// Shared reliability metrics (alias of `obs.rt`, kept for ergonomics).
     pub metrics: Arc<RtMetrics>,
 }
 
 impl SharedControl {
     /// Creates the shared control plane with the given AM lease TTL.
-    pub fn new(lease_ttl: Duration, metrics: Arc<RtMetrics>) -> Self {
+    pub fn new(lease_ttl: Duration, obs: Arc<Obs>) -> Self {
+        let metrics = Arc::clone(&obs.rt);
         SharedControl {
             store: Mutex::new(ReplicatedStore::new()),
             leases: Mutex::new(LeaseManager::new(elan_sim::SimDuration::from_nanos(
@@ -166,6 +170,7 @@ impl SharedControl {
             am_crash: Mutex::new(None),
             worker_crash: RwLock::new(HashSet::new()),
             am_handles: Mutex::new(Vec::new()),
+            obs,
             metrics,
         }
     }
@@ -303,7 +308,7 @@ mod tests {
 
     #[test]
     fn persist_recover_roundtrip() {
-        let ctrl = SharedControl::new(Duration::from_millis(100), Arc::new(RtMetrics::default()));
+        let ctrl = SharedControl::new(Duration::from_millis(100), Obs::new_default());
         assert!(ctrl.recover().is_none());
         let mut rec = AmDurable::founding(vec![WorkerId(0)]);
         rec.phase = AmPhase::Transferring {
@@ -316,7 +321,7 @@ mod tests {
 
     #[test]
     fn lease_expiry_is_observable() {
-        let ctrl = SharedControl::new(Duration::from_millis(20), Arc::new(RtMetrics::default()));
+        let ctrl = SharedControl::new(Duration::from_millis(20), Obs::new_default());
         assert!(!ctrl.lease_expired(), "no lease yet");
         let id = ctrl.grant_lease();
         assert!(ctrl.keep_alive(id).is_ok());
@@ -352,7 +357,7 @@ mod tests {
 
     #[test]
     fn crash_point_is_one_shot() {
-        let ctrl = SharedControl::new(Duration::from_millis(100), Arc::new(RtMetrics::default()));
+        let ctrl = SharedControl::new(Duration::from_millis(100), Obs::new_default());
         *ctrl.am_crash.lock() = Some(CrashPoint::OnAdjustStart);
         assert_eq!(ctrl.take_am_crash(), Some(CrashPoint::OnAdjustStart));
         assert_eq!(ctrl.take_am_crash(), None);

@@ -1,0 +1,970 @@
+//! Observability for the live runtime: the structured event journal, the
+//! adjustment-latency tracer, and the metrics registry wiring (§VI).
+//!
+//! The paper's evaluation hinges on attributing elastic overhead to the
+//! phases of the 5-step adjustment pipeline (§V-B: request → report →
+//! coordinate → replicate → adjust) and to the replication waves of §IV.
+//! This module is that instrumentation spine:
+//!
+//! - every interesting runtime action emits a structured [`Event`] into an
+//!   [`EventJournal`] (a bounded [`RingBufferSink`] plus optional extra
+//!   [`EventSink`]s),
+//! - the in-flight adjustment is traced span-style by a [`TraceRecorder`]
+//!   into an [`AdjustmentTrace`] with one
+//!   [`PhaseWindow`] per pipeline phase —
+//!   idempotent under AM failover, so a replacement AM continues its
+//!   predecessor's trace instead of opening a new one,
+//! - counters live in a shared
+//!   [`MetricsRegistry`] that absorbs the
+//!   old ad-hoc `RtMetrics` struct (its fields are now registry-backed
+//!   [`Counter`](elan_core::obs::Counter) handles).
+//!
+//! [`render_trace_report`] turns recorded traces into the per-phase
+//! latency breakdown printed by `examples/fault_tolerance.rs` and exported
+//! as JSON for the `bench` crate.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use elan_core::obs::{json_escape, AdjustmentPhase, MetricsRegistry, MetricsSnapshot, PhaseWindow};
+use elan_core::state::WorkerId;
+
+use crate::bus::EndpointId;
+use crate::reliable::RtMetrics;
+
+/// What a chaos engine did to one message (mirrors
+/// [`ChaosStats`](crate::chaos::ChaosStats) fates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFate {
+    /// The message vanished.
+    Dropped,
+    /// An extra copy was injected.
+    Duplicated,
+    /// The message was held back and reordered.
+    Delayed,
+}
+
+impl ChaosFate {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosFate::Dropped => "dropped",
+            ChaosFate::Duplicated => "duplicated",
+            ChaosFate::Delayed => "delayed",
+        }
+    }
+}
+
+/// Why an adjustment ran — the service-API verb, or the failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Controller-requested growth.
+    ScaleOut,
+    /// Controller-requested shrink.
+    ScaleIn,
+    /// Controller-requested migration.
+    Migrate,
+    /// Failure-driven scale-in after missed heartbeats / give-ups.
+    FailureScaleIn,
+}
+
+impl TraceKind {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::ScaleOut => "scale-out",
+            TraceKind::ScaleIn => "scale-in",
+            TraceKind::Migrate => "migrate",
+            TraceKind::FailureScaleIn => "failure-scale-in",
+        }
+    }
+}
+
+/// One structured journal entry.
+///
+/// The variant set is `#[non_exhaustive]`: match with a wildcard arm.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// The controller (or failure detector) requested an adjustment.
+    AdjustmentRequested {
+        /// Trace id this adjustment is recorded under.
+        trace: u64,
+        /// Why.
+        kind: TraceKind,
+        /// Controller op sequence, `None` for failure-driven ops.
+        seq: Option<u64>,
+        /// World size being adjusted to.
+        target_world: u32,
+    },
+    /// A pipeline phase of the in-flight adjustment opened.
+    PhaseStarted {
+        /// The trace being extended.
+        trace: u64,
+        /// Which of the five phases.
+        phase: AdjustmentPhase,
+    },
+    /// A pipeline phase of the in-flight adjustment closed.
+    PhaseEnded {
+        /// The trace being extended.
+        trace: u64,
+        /// Which of the five phases.
+        phase: AdjustmentPhase,
+    },
+    /// The adjustment finished: membership switched, training resumed.
+    AdjustmentCompleted {
+        /// The finished trace.
+        trace: u64,
+        /// New communication-group generation.
+        generation: u64,
+        /// New world size.
+        world: u32,
+    },
+    /// A joining worker reported readiness (step ②).
+    WorkerReported {
+        /// The reporting worker.
+        worker: WorkerId,
+    },
+    /// Every live member parked at the same boundary and was released
+    /// unchanged (no adjustment pending).
+    BoundaryReleased {
+        /// The released boundary iteration.
+        boundary: u64,
+        /// Members released.
+        world: u32,
+    },
+    /// The topology planner produced a replication schedule (§IV).
+    ReplicationPlanned {
+        /// Contention-free waves in the schedule.
+        waves: u32,
+        /// Total point-to-point transfers.
+        transfers: u32,
+    },
+    /// One wave of transfer orders went out.
+    WaveIssued {
+        /// Wave index (0-based).
+        wave: u32,
+        /// Transfers in this wave.
+        transfers: u32,
+    },
+    /// A source finished streaming state to a destination.
+    TransferDone {
+        /// Source worker.
+        src: WorkerId,
+        /// Destination worker (== `src` for checkpoints).
+        dst: WorkerId,
+    },
+    /// A source finished chunking + sending one snapshot.
+    SnapshotStreamed {
+        /// The streaming source.
+        worker: WorkerId,
+        /// Chunks sent (params + momentum).
+        chunks: u32,
+    },
+    /// A destination finished assembling + applying one snapshot.
+    SnapshotApplied {
+        /// The receiving worker.
+        worker: WorkerId,
+        /// Iteration the snapshot was taken at.
+        iteration: u64,
+    },
+    /// One allreduce round completed.
+    AllreduceRound {
+        /// The finished round number.
+        round: u64,
+        /// Contributors reduced over.
+        world: u32,
+    },
+    /// The communication group was rebuilt (step ⑤).
+    CommReconfigured {
+        /// The new generation.
+        generation: u64,
+        /// The new world size.
+        world: u32,
+    },
+    /// A member was evicted from the collective mid-generation.
+    WorkerEvicted {
+        /// The evicted member.
+        worker: WorkerId,
+    },
+    /// The reliable layer resent an unacked message.
+    MessageResent {
+        /// The destination being retried.
+        to: EndpointId,
+        /// The attempt number of the resend.
+        attempt: u32,
+    },
+    /// The reliable layer gave up on a peer (attempt budget exhausted).
+    MessageGaveUp {
+        /// The presumed-dead destination.
+        to: EndpointId,
+    },
+    /// A receiver suppressed a duplicate delivery.
+    DuplicateSuppressed {
+        /// Where the duplicate came from.
+        from: EndpointId,
+    },
+    /// A send addressed an unregistered or departed endpoint.
+    DeadLetter {
+        /// The missing destination.
+        to: EndpointId,
+    },
+    /// The chaos engine interfered with a message.
+    ChaosInjected {
+        /// What it did.
+        fate: ChaosFate,
+        /// The edge destination.
+        to: EndpointId,
+    },
+    /// The failure detector declared a worker dead.
+    WorkerDeclaredDead {
+        /// The victim.
+        worker: WorkerId,
+    },
+    /// The watchdog elected a replacement AM.
+    AmElected {
+        /// The new AM epoch.
+        epoch: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case name of the variant (used for summary counts and
+    /// JSON export).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::AdjustmentRequested { .. } => "adjustment_requested",
+            EventKind::PhaseStarted { .. } => "phase_started",
+            EventKind::PhaseEnded { .. } => "phase_ended",
+            EventKind::AdjustmentCompleted { .. } => "adjustment_completed",
+            EventKind::WorkerReported { .. } => "worker_reported",
+            EventKind::BoundaryReleased { .. } => "boundary_released",
+            EventKind::ReplicationPlanned { .. } => "replication_planned",
+            EventKind::WaveIssued { .. } => "wave_issued",
+            EventKind::TransferDone { .. } => "transfer_done",
+            EventKind::SnapshotStreamed { .. } => "snapshot_streamed",
+            EventKind::SnapshotApplied { .. } => "snapshot_applied",
+            EventKind::AllreduceRound { .. } => "allreduce_round",
+            EventKind::CommReconfigured { .. } => "comm_reconfigured",
+            EventKind::WorkerEvicted { .. } => "worker_evicted",
+            EventKind::MessageResent { .. } => "message_resent",
+            EventKind::MessageGaveUp { .. } => "message_gave_up",
+            EventKind::DuplicateSuppressed { .. } => "duplicate_suppressed",
+            EventKind::DeadLetter { .. } => "dead_letter",
+            EventKind::ChaosInjected { .. } => "chaos_injected",
+            EventKind::WorkerDeclaredDead { .. } => "worker_declared_dead",
+            EventKind::AmElected { .. } => "am_elected",
+        }
+    }
+}
+
+/// One recorded event: a sequence number, a timestamp on the journal's
+/// microsecond clock, and the structured payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global emission order (gapless per journal).
+    pub seq: u64,
+    /// Microseconds since the journal's epoch.
+    pub at_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The event as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"at_us\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+            self.seq,
+            self.at_us,
+            self.kind.name(),
+            json_escape(&format!("{:?}", self.kind)),
+        )
+    }
+}
+
+/// A consumer of journal events. Implementations must be cheap and
+/// non-blocking: sinks run inline on runtime threads.
+pub trait EventSink: Send + Sync {
+    /// Called once per emitted event, in emission order per thread.
+    fn record(&self, event: &Event);
+}
+
+/// The default sink: a bounded ring buffer with overwrite semantics.
+///
+/// Holding the last `capacity` events bounds memory under chaos storms;
+/// [`RingBufferSink::overwritten`] counts what was lost.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: Mutex<std::collections::VecDeque<Event>>,
+    overwritten: AtomicU64,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(std::collections::VecDeque::with_capacity(capacity.max(1))),
+            overwritten: AtomicU64::new(0),
+        }
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Events discarded to make room.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten.load(Ordering::Relaxed)
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn record(&self, event: &Event) {
+        let mut q = self.events.lock();
+        if q.len() == self.capacity {
+            q.pop_front();
+            self.overwritten.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(event.clone());
+    }
+}
+
+/// Journal totals for post-mortem assertions (rides the shutdown report,
+/// so tests never race the teardown).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalSummary {
+    /// Events ever emitted.
+    pub total: u64,
+    /// Events the ring discarded to make room.
+    pub overwritten: u64,
+    /// Emission counts per [`EventKind::name`].
+    pub counts: BTreeMap<String, u64>,
+}
+
+impl JournalSummary {
+    /// Count for one kind name (0 when never emitted).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counts.get(kind).copied().unwrap_or(0)
+    }
+
+    /// The summary as one JSON object.
+    pub fn to_json(&self) -> String {
+        let counts: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v))
+            .collect();
+        format!(
+            "{{\"total\":{},\"overwritten\":{},\"counts\":{{{}}}}}",
+            self.total,
+            self.overwritten,
+            counts.join(",")
+        )
+    }
+}
+
+/// The event journal: stamps events with a shared microsecond clock and
+/// fans them out to the ring sink plus any extra sinks.
+pub struct EventJournal {
+    epoch: Instant,
+    seq: AtomicU64,
+    ring: RingBufferSink,
+    extra: Vec<Arc<dyn EventSink>>,
+    counts: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl std::fmt::Debug for EventJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventJournal")
+            .field("total", &self.seq.load(Ordering::Relaxed))
+            .field("extra_sinks", &self.extra.len())
+            .finish()
+    }
+}
+
+impl EventJournal {
+    /// A journal whose ring retains `ring_capacity` events, teeing every
+    /// event to `extra` sinks after the ring.
+    pub fn new(ring_capacity: usize, extra: Vec<Arc<dyn EventSink>>) -> Self {
+        EventJournal {
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            ring: RingBufferSink::new(ring_capacity),
+            extra,
+            counts: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Microseconds since the journal epoch — the timestamp axis every
+    /// event and [`PhaseWindow`] shares.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records `kind` now; returns the stamped event's sequence number.
+    pub fn emit(&self, kind: EventKind) -> u64 {
+        self.emit_at(self.now_us(), kind)
+    }
+
+    /// Records `kind` with an explicit timestamp (for callers that already
+    /// read the clock).
+    pub fn emit_at(&self, at_us: u64, kind: EventKind) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        *self.counts.lock().entry(kind.name()).or_insert(0) += 1;
+        let event = Event { seq, at_us, kind };
+        self.ring.record(&event);
+        for sink in &self.extra {
+            sink.record(&event);
+        }
+        seq
+    }
+
+    /// A copy of the ring's retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.events()
+    }
+
+    /// Totals and per-kind counts since launch.
+    pub fn summary(&self) -> JournalSummary {
+        JournalSummary {
+            total: self.seq.load(Ordering::Relaxed),
+            overwritten: self.ring.overwritten(),
+            counts: self
+                .counts
+                .lock()
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        EventJournal::new(DEFAULT_RING_CAPACITY, Vec::new())
+    }
+}
+
+/// Default ring capacity: generous enough that a chaotic e2e run keeps
+/// every adjustment-relevant event.
+pub const DEFAULT_RING_CAPACITY: usize = 16_384;
+
+/// One adjustment's span: per-phase windows on the journal's microsecond
+/// clock, plus outcome metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdjustmentTrace {
+    /// Trace id (1-based, in request order).
+    pub id: u64,
+    /// Why the adjustment ran.
+    pub kind: TraceKind,
+    /// Controller op sequence (`None` for failure-driven ops).
+    pub seq: Option<u64>,
+    /// World size requested.
+    pub target_world: u32,
+    /// World size after completion (0 until completed).
+    pub final_world: u32,
+    /// Communication-group generation after completion.
+    pub generation: u64,
+    /// Whether the adjustment ran to completion.
+    pub completed: bool,
+    /// Replication waves planned (§IV).
+    pub waves: u32,
+    /// Point-to-point transfers planned.
+    pub transfers: u32,
+    phases: [Option<PhaseWindow>; 5],
+}
+
+impl AdjustmentTrace {
+    fn new(id: u64, kind: TraceKind, seq: Option<u64>, target_world: u32) -> Self {
+        AdjustmentTrace {
+            id,
+            kind,
+            seq,
+            target_world,
+            final_world: 0,
+            generation: 0,
+            completed: false,
+            waves: 0,
+            transfers: 0,
+            phases: [None; 5],
+        }
+    }
+
+    /// The recorded window of one phase, if it opened.
+    pub fn phase(&self, phase: AdjustmentPhase) -> Option<PhaseWindow> {
+        self.phases[phase.index()]
+    }
+
+    /// Microseconds spent in one phase (0 when the phase never opened).
+    pub fn phase_us(&self, phase: AdjustmentPhase) -> u64 {
+        self.phase(phase).map(|w| w.micros()).unwrap_or(0)
+    }
+
+    /// End-to-end microseconds: first phase start to last phase end.
+    pub fn total_us(&self) -> u64 {
+        let start = self
+            .phases
+            .iter()
+            .flatten()
+            .map(|w| w.start_us)
+            .min()
+            .unwrap_or(0);
+        let end = self
+            .phases
+            .iter()
+            .flatten()
+            .map(|w| w.end_us)
+            .max()
+            .unwrap_or(0);
+        end.saturating_sub(start)
+    }
+
+    /// Structural validity: every opened phase has `start <= end`, a
+    /// completed trace has all five phases, and phase *starts* are ordered
+    /// along the pipeline (request ≤ report ≤ coordinate ≤ … ≤ adjust).
+    pub fn is_well_formed(&self) -> bool {
+        for w in self.phases.iter().flatten() {
+            if w.start_us > w.end_us {
+                return false;
+            }
+        }
+        if self.completed && self.phases.iter().any(|p| p.is_none()) {
+            return false;
+        }
+        let starts: Vec<u64> = self.phases.iter().flatten().map(|w| w.start_us).collect();
+        starts.windows(2).all(|p| p[0] <= p[1])
+    }
+
+    /// The trace as one JSON object with per-phase millisecond fields.
+    pub fn to_json(&self) -> String {
+        let phases: Vec<String> = AdjustmentPhase::ALL
+            .iter()
+            .map(|&p| {
+                format!(
+                    "\"{}_ms\":{:.3}",
+                    p.name(),
+                    self.phase_us(p) as f64 / 1000.0
+                )
+            })
+            .collect();
+        format!(
+            "{{\"id\":{},\"kind\":\"{}\",\"seq\":{},\"target_world\":{},\"final_world\":{},\"generation\":{},\"completed\":{},\"waves\":{},\"transfers\":{},{},\"total_ms\":{:.3}}}",
+            self.id,
+            self.kind.name(),
+            self.seq.map(|s| s.to_string()).unwrap_or_else(|| "null".into()),
+            self.target_world,
+            self.final_world,
+            self.generation,
+            self.completed,
+            self.waves,
+            self.transfers,
+            phases.join(","),
+            self.total_us() as f64 / 1000.0,
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    traces: Vec<AdjustmentTrace>,
+    /// Index of the in-flight trace, if any.
+    active: Option<usize>,
+}
+
+/// Records adjustment spans. Shared (via `SharedControl`) by the
+/// controller, every AM incarnation, and the watchdog, so a replacement
+/// AM *continues* the in-flight trace: `phase_start` is first-wins,
+/// `phase_end` is max-wins, and `complete` is one-shot.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    state: Mutex<TraceState>,
+}
+
+impl TraceRecorder {
+    /// Opens a new trace (unless one is already in flight with the same
+    /// `seq`, as happens when a failover replays the request). Returns the
+    /// trace id and whether it was freshly opened.
+    pub fn begin(
+        &self,
+        kind: TraceKind,
+        seq: Option<u64>,
+        target_world: u32,
+        at_us: u64,
+    ) -> (u64, bool) {
+        let mut st = self.state.lock();
+        if let Some(i) = st.active {
+            let t = &st.traces[i];
+            if seq.is_some() && t.seq == seq {
+                return (t.id, false); // failover replay of the same op
+            }
+            if seq.is_none() || t.seq.is_none() {
+                // An adjustment is already being traced; fold the new
+                // request into it rather than orphaning a span.
+                return (t.id, false);
+            }
+            return (t.id, false);
+        }
+        let id = st.traces.len() as u64 + 1;
+        let mut trace = AdjustmentTrace::new(id, kind, seq, target_world);
+        trace.phases[AdjustmentPhase::Request.index()] = Some(PhaseWindow {
+            start_us: at_us,
+            end_us: at_us,
+        });
+        st.traces.push(trace);
+        st.active = Some(st.traces.len() - 1);
+        (id, true)
+    }
+
+    /// The id of the in-flight trace, if any.
+    pub fn active_id(&self) -> Option<u64> {
+        let st = self.state.lock();
+        st.active.map(|i| st.traces[i].id)
+    }
+
+    /// Opens `phase` at `at_us` (first-wins; replays keep the original
+    /// timestamp). Returns the trace id when a trace is in flight.
+    pub fn phase_start(&self, phase: AdjustmentPhase, at_us: u64) -> Option<u64> {
+        let mut st = self.state.lock();
+        let i = st.active?;
+        let t = &mut st.traces[i];
+        let slot = &mut t.phases[phase.index()];
+        if slot.is_none() {
+            *slot = Some(PhaseWindow {
+                start_us: at_us,
+                end_us: at_us,
+            });
+        }
+        Some(t.id)
+    }
+
+    /// Closes `phase` at `at_us` (max-wins; opens the phase zero-length if
+    /// it never started, so no end is orphaned). Returns the trace id.
+    pub fn phase_end(&self, phase: AdjustmentPhase, at_us: u64) -> Option<u64> {
+        let mut st = self.state.lock();
+        let i = st.active?;
+        let t = &mut st.traces[i];
+        let slot = &mut t.phases[phase.index()];
+        match slot {
+            Some(w) => w.end_us = w.end_us.max(at_us),
+            None => {
+                *slot = Some(PhaseWindow {
+                    start_us: at_us,
+                    end_us: at_us,
+                })
+            }
+        }
+        Some(t.id)
+    }
+
+    /// Extends the report phase to cover a readiness report arriving at
+    /// `at_us` (joiners may report before the AM even sees the request —
+    /// the window clamps rather than going backwards).
+    pub fn note_report(&self, at_us: u64) {
+        let mut st = self.state.lock();
+        let Some(i) = st.active else { return };
+        let t = &mut st.traces[i];
+        let slot = &mut t.phases[AdjustmentPhase::Report.index()];
+        match slot {
+            Some(w) => w.end_us = w.end_us.max(at_us),
+            None => {
+                *slot = Some(PhaseWindow {
+                    start_us: at_us,
+                    end_us: at_us,
+                })
+            }
+        }
+    }
+
+    /// Records the replication schedule shape on the in-flight trace.
+    pub fn set_plan(&self, waves: u32, transfers: u32) {
+        let mut st = self.state.lock();
+        let Some(i) = st.active else { return };
+        let t = &mut st.traces[i];
+        t.waves = t.waves.max(waves);
+        t.transfers = t.transfers.max(transfers);
+    }
+
+    /// Completes the in-flight trace: closes every still-open phase at
+    /// `at_us`, fills the outcome, and clears the active slot. One-shot —
+    /// a second call (failover replay) is a no-op. Returns the trace id.
+    pub fn complete(&self, generation: u64, world: u32, at_us: u64) -> Option<u64> {
+        let mut st = self.state.lock();
+        let i = st.active.take()?;
+        let t = &mut st.traces[i];
+        for phase in AdjustmentPhase::ALL {
+            let slot = &mut t.phases[phase.index()];
+            match slot {
+                Some(w) => w.end_us = w.end_us.max(w.start_us),
+                None => {
+                    *slot = Some(PhaseWindow {
+                        start_us: at_us,
+                        end_us: at_us,
+                    })
+                }
+            }
+        }
+        t.phases[AdjustmentPhase::Adjust.index()]
+            .as_mut()
+            .expect("filled above")
+            .end_us = at_us;
+        t.completed = true;
+        t.generation = generation;
+        t.final_world = world;
+        Some(t.id)
+    }
+
+    /// Copies of every trace recorded so far (completed and in-flight).
+    pub fn all(&self) -> Vec<AdjustmentTrace> {
+        self.state.lock().traces.clone()
+    }
+}
+
+/// The runtime's observability bundle: one journal, one trace recorder,
+/// one metrics registry, and the registry-backed [`RtMetrics`] handles.
+///
+/// Shared by the controller handle, every AM incarnation, the watchdog,
+/// and all workers (through `SharedControl` and the bus).
+#[derive(Debug)]
+pub struct Obs {
+    /// The structured event journal.
+    pub journal: Arc<EventJournal>,
+    /// Span-style adjustment traces.
+    pub traces: Arc<TraceRecorder>,
+    /// Named counters/gauges/histograms.
+    pub registry: MetricsRegistry,
+    /// Reliable-messaging counters, registered in `registry` under
+    /// `rt.*` names.
+    pub rt: Arc<RtMetrics>,
+}
+
+impl Obs {
+    /// Builds the bundle with the given journal ring capacity and extra
+    /// sinks.
+    pub fn new(ring_capacity: usize, sinks: Vec<Arc<dyn EventSink>>) -> Arc<Self> {
+        let registry = MetricsRegistry::default();
+        let rt = Arc::new(RtMetrics::registered(&registry));
+        Arc::new(Obs {
+            journal: Arc::new(EventJournal::new(ring_capacity, sinks)),
+            traces: Arc::new(TraceRecorder::default()),
+            registry,
+            rt,
+        })
+    }
+
+    /// A default bundle (for tests and standalone components).
+    pub fn new_default() -> Arc<Self> {
+        Obs::new(DEFAULT_RING_CAPACITY, Vec::new())
+    }
+
+    /// Point-in-time snapshot of the metrics registry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Everything as one JSON object: registry snapshot, journal summary,
+    /// and every adjustment trace (consumed by `crates/bench`).
+    pub fn to_json(&self) -> String {
+        let traces: Vec<String> = self.all_traces().iter().map(|t| t.to_json()).collect();
+        format!(
+            "{{\"metrics\":{},\"journal\":{},\"traces\":[{}]}}",
+            self.metrics().to_json(),
+            self.journal.summary().to_json(),
+            traces.join(",")
+        )
+    }
+
+    fn all_traces(&self) -> Vec<AdjustmentTrace> {
+        self.traces.all()
+    }
+}
+
+/// Renders the per-phase adjustment-latency breakdown (§VI style) from
+/// recorded traces — the table `trace_report()` returns and
+/// `examples/fault_tolerance.rs` prints.
+///
+/// Columns are milliseconds per pipeline phase; `total` is first phase
+/// start to last phase end, directly comparable against the end-to-end
+/// adjustment costs of the S&R and Litz baselines in `elan-baselines`.
+pub fn render_trace_report(traces: &[AdjustmentTrace]) -> String {
+    let mut out =
+        String::from("adjustment latency breakdown (from the event journal; ms per phase)\n");
+    out.push_str(&format!(
+        "{:<4} {:<17} {:<7} {:>9} {:>9} {:>11} {:>10} {:>8} {:>9}\n",
+        "#", "kind", "world", "request", "report", "coordinate", "replicate", "adjust", "total"
+    ));
+    for t in traces {
+        let world = if t.completed {
+            format!("->{}", t.final_world)
+        } else {
+            format!("->{}?", t.target_world)
+        };
+        out.push_str(&format!(
+            "{:<4} {:<17} {:<7} {:>9.2} {:>9.2} {:>11.2} {:>10.2} {:>8.2} {:>9.2}\n",
+            t.id,
+            t.kind.name(),
+            world,
+            t.phase_us(AdjustmentPhase::Request) as f64 / 1000.0,
+            t.phase_us(AdjustmentPhase::Report) as f64 / 1000.0,
+            t.phase_us(AdjustmentPhase::Coordinate) as f64 / 1000.0,
+            t.phase_us(AdjustmentPhase::Replicate) as f64 / 1000.0,
+            t.phase_us(AdjustmentPhase::Adjust) as f64 / 1000.0,
+            t.total_us() as f64 / 1000.0,
+        ));
+    }
+    if traces.is_empty() {
+        out.push_str("(no adjustments recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_sink_overwrites_oldest() {
+        let sink = RingBufferSink::new(2);
+        let journal = EventJournal::new(2, Vec::new());
+        for epoch in 0..3 {
+            journal.emit(EventKind::AmElected { epoch });
+        }
+        let events = journal.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0].kind, EventKind::AmElected { epoch: 1 }));
+        assert_eq!(journal.summary().total, 3);
+        assert_eq!(journal.summary().overwritten, 1);
+        drop(sink);
+    }
+
+    #[test]
+    fn journal_seq_is_gapless_and_counts_by_kind() {
+        let journal = EventJournal::default();
+        journal.emit(EventKind::WorkerReported {
+            worker: WorkerId(1),
+        });
+        journal.emit(EventKind::WorkerReported {
+            worker: WorkerId(2),
+        });
+        journal.emit(EventKind::AmElected { epoch: 1 });
+        let events = journal.events();
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let summary = journal.summary();
+        assert_eq!(summary.count("worker_reported"), 2);
+        assert_eq!(summary.count("am_elected"), 1);
+        assert_eq!(summary.count("dead_letter"), 0);
+    }
+
+    #[test]
+    fn extra_sinks_see_every_event() {
+        let tee = Arc::new(RingBufferSink::new(8));
+        let journal = EventJournal::new(4, vec![tee.clone() as Arc<dyn EventSink>]);
+        journal.emit(EventKind::AmElected { epoch: 9 });
+        assert_eq!(tee.events().len(), 1);
+    }
+
+    #[test]
+    fn trace_lifecycle_produces_well_formed_spans() {
+        let tr = TraceRecorder::default();
+        let (id, fresh) = tr.begin(TraceKind::ScaleOut, Some(1), 4, 10);
+        assert!(fresh);
+        tr.phase_end(AdjustmentPhase::Request, 20);
+        tr.phase_start(AdjustmentPhase::Report, 20);
+        tr.note_report(35);
+        tr.phase_start(AdjustmentPhase::Coordinate, 40);
+        tr.phase_start(AdjustmentPhase::Replicate, 45);
+        tr.set_plan(2, 2);
+        tr.phase_end(AdjustmentPhase::Replicate, 60);
+        tr.phase_end(AdjustmentPhase::Coordinate, 62);
+        tr.phase_start(AdjustmentPhase::Adjust, 62);
+        assert_eq!(tr.complete(1, 4, 70), Some(id));
+        let traces = tr.all();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert!(t.completed);
+        assert!(t.is_well_formed(), "trace not well-formed: {t:?}");
+        assert_eq!(t.phase_us(AdjustmentPhase::Report), 15);
+        assert_eq!(t.total_us(), 60);
+        assert_eq!(t.waves, 2);
+    }
+
+    #[test]
+    fn begin_is_idempotent_across_failover() {
+        let tr = TraceRecorder::default();
+        let (id, fresh) = tr.begin(TraceKind::ScaleOut, Some(7), 4, 5);
+        assert!(fresh);
+        // The replacement AM replays the same op: no new trace.
+        let (id2, fresh2) = tr.begin(TraceKind::ScaleOut, Some(7), 4, 99);
+        assert_eq!(id, id2);
+        assert!(!fresh2);
+        // phase_start replays keep the original timestamp.
+        tr.phase_start(AdjustmentPhase::Report, 10);
+        tr.phase_start(AdjustmentPhase::Report, 50);
+        tr.complete(1, 4, 60);
+        let t = &tr.all()[0];
+        assert_eq!(t.phase(AdjustmentPhase::Report).unwrap().start_us, 10);
+        // complete is one-shot.
+        assert_eq!(tr.complete(2, 8, 99), None);
+    }
+
+    #[test]
+    fn early_reports_clamp_instead_of_orphaning() {
+        let tr = TraceRecorder::default();
+        tr.begin(TraceKind::ScaleOut, Some(1), 3, 100);
+        // A joiner reports before the AM saw AdjustTo.
+        tr.note_report(90);
+        tr.phase_start(AdjustmentPhase::Report, 110); // first-wins loses to 90
+        let t = &tr.all()[0];
+        let w = t.phase(AdjustmentPhase::Report).unwrap();
+        assert!(w.start_us <= w.end_us);
+    }
+
+    #[test]
+    fn incomplete_trace_renders_with_question_mark() {
+        let tr = TraceRecorder::default();
+        tr.begin(TraceKind::Migrate, Some(3), 2, 0);
+        let report = render_trace_report(&tr.all());
+        assert!(report.contains("migrate"));
+        assert!(report.contains("->2?"));
+        assert!(render_trace_report(&[]).contains("no adjustments"));
+    }
+
+    #[test]
+    fn obs_json_export_is_wellformed() {
+        let obs = Obs::new_default();
+        obs.journal.emit(EventKind::AmElected { epoch: 1 });
+        obs.rt.resends.inc();
+        obs.traces.begin(TraceKind::ScaleOut, Some(1), 2, 0);
+        obs.traces.complete(1, 2, 10);
+        let json = obs.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"metrics\""));
+        assert!(json.contains("\"traces\""));
+        assert!(json.contains("\"request_ms\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn failure_driven_begin_does_not_shadow_active_trace() {
+        let tr = TraceRecorder::default();
+        let (id, _) = tr.begin(TraceKind::ScaleOut, Some(1), 4, 0);
+        let (id2, fresh) = tr.begin(TraceKind::FailureScaleIn, None, 3, 5);
+        assert_eq!(id, id2);
+        assert!(!fresh);
+        tr.complete(1, 3, 10);
+        // Now a failure-driven op can open its own trace.
+        let (id3, fresh3) = tr.begin(TraceKind::FailureScaleIn, None, 2, 20);
+        assert!(fresh3);
+        assert_eq!(id3, 2);
+    }
+}

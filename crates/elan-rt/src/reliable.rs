@@ -12,30 +12,52 @@
 //! - automatic transport acks ([`RtMsg::MsgAck`]) for received messages,
 //! - a [`BoundedDedupFilter`] suppressing chaos- and resend-duplicates.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use elan_core::messages::{BoundedDedupFilter, MsgId, MsgIdAllocator, RetryOutcome, RetryTracker};
+use elan_core::obs::{Counter, MetricsRegistry};
 
 use crate::bus::{Bus, Endpoint, EndpointId, Envelope, RtMsg};
+use crate::obs::EventKind;
 
 /// Shared fault-tolerance counters, aggregated across every endpoint.
+///
+/// Since the observability redesign the fields are registry-backed
+/// [`Counter`] handles: construct with [`RtMetrics::registered`] to share
+/// the atomics with a [`MetricsRegistry`] (under `rt.*` names), or use
+/// `Default` for standalone counters in tests.
 #[derive(Debug, Default)]
 pub struct RtMetrics {
     /// Transport-level resends after ack timeouts.
-    pub resends: AtomicU64,
+    pub resends: Counter,
     /// Duplicate deliveries suppressed by receivers.
-    pub duplicates: AtomicU64,
+    pub duplicates: Counter,
     /// Messages abandoned after the attempt budget (peer presumed dead).
-    pub give_ups: AtomicU64,
+    pub give_ups: Counter,
     /// Replacement AMs elected by the watchdog.
-    pub am_recoveries: AtomicU64,
+    pub am_recoveries: Counter,
     /// Failure-driven scale-ins executed after missed heartbeats.
-    pub failure_scale_ins: AtomicU64,
+    pub failure_scale_ins: Counter,
     /// State chunks sent while replicating training state (first sends
     /// only; chunk *re*sends are counted under `resends`).
-    pub state_chunks: AtomicU64,
+    pub state_chunks: Counter,
+}
+
+impl RtMetrics {
+    /// Counters registered in (and shared with) `registry` under the
+    /// `rt.resends`, `rt.duplicates`, … names, so a registry snapshot and
+    /// this struct always agree.
+    pub fn registered(registry: &MetricsRegistry) -> Self {
+        RtMetrics {
+            resends: registry.counter("rt.resends"),
+            duplicates: registry.counter("rt.duplicates"),
+            give_ups: registry.counter("rt.give_ups"),
+            am_recoveries: registry.counter("rt.am_recoveries"),
+            failure_scale_ins: registry.counter("rt.failure_scale_ins"),
+            state_chunks: registry.counter("rt.state_chunks"),
+        }
+    }
 }
 
 /// A point-in-time copy of [`RtMetrics`] plus bus-level counters.
@@ -62,12 +84,12 @@ impl RtMetrics {
     /// (it lives on the bus).
     pub fn snapshot(&self, dead_letters: u64) -> RtMetricsSnapshot {
         RtMetricsSnapshot {
-            resends: self.resends.load(Ordering::Relaxed),
-            duplicates: self.duplicates.load(Ordering::Relaxed),
-            give_ups: self.give_ups.load(Ordering::Relaxed),
-            am_recoveries: self.am_recoveries.load(Ordering::Relaxed),
-            failure_scale_ins: self.failure_scale_ins.load(Ordering::Relaxed),
-            state_chunks: self.state_chunks.load(Ordering::Relaxed),
+            resends: self.resends.get(),
+            duplicates: self.duplicates.get(),
+            give_ups: self.give_ups.get(),
+            am_recoveries: self.am_recoveries.get(),
+            failure_scale_ins: self.failure_scale_ins.get(),
+            state_chunks: self.state_chunks.get(),
             dead_letters,
         }
     }
@@ -144,7 +166,7 @@ impl ReliableEndpoint {
     pub fn send(&mut self, to: EndpointId, body: RtMsg) -> MsgId {
         let id = self.ids.next_id();
         if matches!(body, RtMsg::StateChunk { .. }) {
-            self.metrics.state_chunks.fetch_add(1, Ordering::Relaxed);
+            self.metrics.state_chunks.inc();
         }
         self.retry.track(id, (to, body.clone()), Instant::now());
         self.bus.send_envelope(
@@ -182,7 +204,10 @@ impl ReliableEndpoint {
             match outcome {
                 RetryOutcome::Resend(id, (to, body)) => {
                     let attempt = self.retry.attempts(id).unwrap_or(2);
-                    self.metrics.resends.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.resends.inc();
+                    if let Some(journal) = self.bus.journal() {
+                        journal.emit(EventKind::MessageResent { to, attempt });
+                    }
                     self.bus.send_envelope(
                         to,
                         Envelope {
@@ -194,7 +219,10 @@ impl ReliableEndpoint {
                     );
                 }
                 RetryOutcome::GaveUp(id, (to, body)) => {
-                    self.metrics.give_ups.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.give_ups.inc();
+                    if let Some(journal) = self.bus.journal() {
+                        journal.emit(EventKind::MessageGaveUp { to });
+                    }
                     gave_up.push(GiveUp { id, to, body });
                 }
             }
@@ -234,7 +262,14 @@ impl ReliableEndpoint {
                 }
             }
             if !self.dedup.first_delivery(env.id) {
-                self.metrics.duplicates.fetch_add(1, Ordering::Relaxed);
+                self.metrics.duplicates.inc();
+                // Heartbeat duplicates are pure chaos noise; keep them out
+                // of the journal so the ring retains adjustment events.
+                if !matches!(env.body, RtMsg::Heartbeat { .. }) {
+                    if let Some(journal) = self.bus.journal() {
+                        journal.emit(EventKind::DuplicateSuppressed { from: env.from });
+                    }
+                }
                 continue;
             }
             return Some((env.from, env.body));
@@ -329,7 +364,7 @@ mod tests {
             let _ = am.recv_timeout(Duration::from_millis(5));
         }
         assert_eq!(am.pending(), 0, "all sends eventually acked");
-        assert!(metrics.resends.load(Ordering::Relaxed) > 0);
+        assert!(metrics.resends.get() > 0);
     }
 
     #[test]
@@ -342,7 +377,7 @@ mod tests {
         // The duplicate copy is absorbed, not surfaced.
         assert!(w.recv_timeout(Duration::from_millis(30)).is_none());
         assert_eq!(w.duplicate_count(), 1);
-        assert!(metrics.duplicates.load(Ordering::Relaxed) >= 1);
+        assert!(metrics.duplicates.get() >= 1);
     }
 
     #[test]
@@ -367,7 +402,7 @@ mod tests {
         }
         assert_eq!(gave_up.len(), 1);
         assert_eq!(gave_up[0].to, EndpointId::Worker(WorkerId(9)));
-        assert_eq!(metrics.give_ups.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.give_ups.get(), 1);
         assert_eq!(am.pending(), 0);
     }
 

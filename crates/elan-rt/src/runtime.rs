@@ -31,13 +31,19 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use elan_core::lease::LeaseId;
+use elan_core::obs::{AdjustmentPhase, MetricsSnapshot};
 use elan_core::state::WorkerId;
+use elan_core::ElanError;
 use elan_topology::{ClusterSpec, GpuId, ReplicationPlanner, Topology};
 
 use crate::bus::{Bus, Endpoint, EndpointId, RtMsg};
 use crate::chaos::{ChaosPolicy, ChaosStats};
 use crate::comm::CommGroup;
 use crate::liveness::{AmDurable, AmPhase, CrashPoint, HeartbeatMonitor, PendingOp, SharedControl};
+use crate::obs::{
+    render_trace_report, AdjustmentTrace, Event, EventKind, EventSink, JournalSummary, Obs,
+    TraceKind, DEFAULT_RING_CAPACITY,
+};
 use crate::reliable::{ReliableEndpoint, RtMetrics, RtMetricsSnapshot};
 use crate::worker::{
     run_worker, SnapshotAssembly, Telemetry, WorkerConfig, WorkerRole, WorkerView,
@@ -126,6 +132,11 @@ pub struct CheckpointSnapshot {
 }
 
 /// Final state of a finished job.
+///
+/// Beyond the training outcome, the report carries the full observability
+/// post-mortem — a [`MetricsSnapshot`], the [`JournalSummary`], every
+/// [`AdjustmentTrace`], and the retained [`Event`]s — captured *after* all
+/// threads joined, so assertions on it can never race the teardown.
 #[derive(Debug, Clone)]
 pub struct ShutdownReport {
     /// Workers in the job when it stopped.
@@ -138,9 +149,24 @@ pub struct ShutdownReport {
     pub metrics: RtMetricsSnapshot,
     /// Fault-injection counters, when the job ran on a chaotic bus.
     pub chaos: Option<ChaosStats>,
+    /// Final snapshot of the metrics registry (`rt.*` counters and any
+    /// component-registered instruments).
+    pub registry: MetricsSnapshot,
+    /// Journal totals and per-kind event counts.
+    pub journal: JournalSummary,
+    /// Every adjustment span recorded over the job's lifetime.
+    pub traces: Vec<AdjustmentTrace>,
+    /// The events still retained by the journal ring, oldest first.
+    pub events: Vec<Event>,
 }
 
 impl ShutdownReport {
+    /// The per-phase adjustment-latency table rendered from
+    /// [`ShutdownReport::traces`].
+    pub fn trace_report(&self) -> String {
+        render_trace_report(&self.traces)
+    }
+
     /// True when every worker that reached the final iteration holds
     /// bit-identical parameters — the data-parallel invariant.
     pub fn states_consistent(&self) -> bool {
@@ -186,57 +212,198 @@ impl std::fmt::Debug for ElasticRuntime {
     }
 }
 
+/// Fluent launch configuration for an [`ElasticRuntime`].
+///
+/// Obtained from [`ElasticRuntime::builder`]; every knob is optional and
+/// [`RuntimeBuilder::start`] validates the whole configuration at once,
+/// returning [`ElanError`] instead of panicking.
+///
+/// # Examples
+///
+/// ```
+/// use elan_rt::ElasticRuntime;
+///
+/// let mut rt = ElasticRuntime::builder().workers(2).start().unwrap();
+/// rt.run_until_iteration(10);
+/// let report = rt.shutdown();
+/// assert_eq!(report.final_world_size, 2);
+/// ```
+pub struct RuntimeBuilder {
+    cfg: RuntimeConfig,
+    chaos: Option<ChaosPolicy>,
+    restore: Option<CheckpointSnapshot>,
+    sinks: Vec<Arc<dyn EventSink>>,
+    ring_capacity: usize,
+}
+
+impl std::fmt::Debug for RuntimeBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeBuilder")
+            .field("cfg", &self.cfg)
+            .field("chaos", &self.chaos.is_some())
+            .field("restore", &self.restore.is_some())
+            .field("sinks", &self.sinks.len())
+            .field("ring_capacity", &self.ring_capacity)
+            .finish()
+    }
+}
+
+impl RuntimeBuilder {
+    fn new() -> Self {
+        RuntimeBuilder {
+            cfg: RuntimeConfig::small(2),
+            chaos: None,
+            restore: None,
+            sinks: Vec::new(),
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Sets the number of founding workers (keeps every other knob of the
+    /// current configuration).
+    pub fn workers(mut self, n: u32) -> Self {
+        self.cfg.initial_workers = n;
+        self
+    }
+
+    /// Replaces the whole [`RuntimeConfig`].
+    pub fn config(mut self, cfg: RuntimeConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Runs the job on a fault-injecting bus: messages are dropped,
+    /// duplicated, and delayed per `policy`, and the reliable-messaging
+    /// layer must mask all of it.
+    pub fn chaos(mut self, policy: ChaosPolicy) -> Self {
+        self.chaos = Some(policy);
+        self
+    }
+
+    /// Restarts from a [`CheckpointSnapshot`] — the live
+    /// Shutdown-&-Restart path. Training resumes bit-exactly where the
+    /// snapshot was taken.
+    pub fn restore(mut self, snapshot: &CheckpointSnapshot) -> Self {
+        self.restore = Some(snapshot.clone());
+        self
+    }
+
+    /// Tees every journal event to an extra [`EventSink`] (additive; may
+    /// be called multiple times).
+    pub fn sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Caps how many events the journal ring retains
+    /// ([`DEFAULT_RING_CAPACITY`] unless set).
+    pub fn ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    /// Validates the configuration and launches the job.
+    ///
+    /// # Errors
+    ///
+    /// [`ElanError::Config`] when the configuration is unusable (zero
+    /// workers, empty parameters, or a zero coordination interval), and
+    /// [`ElanError::SnapshotMismatch`] when a restore snapshot's parameter
+    /// length differs from the configuration.
+    pub fn start(self) -> Result<ElasticRuntime, ElanError> {
+        if self.cfg.initial_workers == 0 {
+            return Err(ElanError::Config("need at least one worker".into()));
+        }
+        if self.cfg.param_elems == 0 {
+            return Err(ElanError::Config("parameters must be non-empty".into()));
+        }
+        if self.cfg.coordination_interval == 0 {
+            return Err(ElanError::Config(
+                "coordination interval must be positive".into(),
+            ));
+        }
+        if let Some(snapshot) = &self.restore {
+            if snapshot.params.len() != self.cfg.param_elems {
+                return Err(ElanError::SnapshotMismatch {
+                    expected: self.cfg.param_elems,
+                    actual: snapshot.params.len(),
+                });
+            }
+        }
+        Ok(ElasticRuntime::launch(
+            self.cfg,
+            self.restore,
+            self.chaos,
+            self.ring_capacity,
+            self.sinks,
+        ))
+    }
+}
+
 impl ElasticRuntime {
+    /// Starts building a runtime: `ElasticRuntime::builder().workers(4)
+    /// .chaos(policy).sink(sink).start()`.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
+    }
+
     /// Launches the job with `cfg.initial_workers` founding workers.
     ///
     /// # Panics
     ///
     /// Panics if the configuration has zero workers or empty parameters.
+    #[deprecated(since = "0.3.0", note = "use ElasticRuntime::builder() instead")]
     pub fn start(cfg: RuntimeConfig) -> Self {
-        Self::launch(cfg, None, None)
+        Self::builder()
+            .config(cfg)
+            .start()
+            .expect("invalid runtime configuration")
     }
 
-    /// Launches the job on a fault-injecting bus: messages are dropped,
-    /// duplicated, and delayed per `policy`, and the reliable-messaging
-    /// layer must mask all of it.
+    /// Launches the job on a fault-injecting bus.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use ElasticRuntime::builder().chaos(policy) instead"
+    )]
     pub fn start_with_chaos(cfg: RuntimeConfig, policy: ChaosPolicy) -> Self {
-        Self::launch(cfg, None, Some(policy))
+        Self::builder()
+            .config(cfg)
+            .chaos(policy)
+            .start()
+            .expect("invalid runtime configuration")
     }
 
-    /// Restarts a job from a [`CheckpointSnapshot`] — the live
-    /// Shutdown-&-Restart path. Training resumes bit-exactly where the
-    /// snapshot was taken.
+    /// Restarts a job from a [`CheckpointSnapshot`].
     ///
     /// # Panics
     ///
     /// Panics if the snapshot's parameter length differs from the
     /// configuration.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use ElasticRuntime::builder().restore(&snapshot) instead"
+    )]
     pub fn start_from(cfg: RuntimeConfig, snapshot: &CheckpointSnapshot) -> Self {
-        assert_eq!(
-            snapshot.params.len(),
-            cfg.param_elems,
-            "snapshot does not match the configuration"
-        );
-        Self::launch(cfg, Some(snapshot.clone()), None)
+        Self::builder()
+            .config(cfg)
+            .restore(snapshot)
+            .start()
+            .expect("snapshot does not match the configuration")
     }
 
     fn launch(
         cfg: RuntimeConfig,
         restore: Option<CheckpointSnapshot>,
         chaos: Option<ChaosPolicy>,
+        ring_capacity: usize,
+        sinks: Vec<Arc<dyn EventSink>>,
     ) -> Self {
-        assert!(cfg.initial_workers > 0, "need at least one worker");
-        assert!(cfg.param_elems > 0, "parameters must be non-empty");
-        assert!(cfg.coordination_interval > 0, "interval must be positive");
-
-        let bus = match chaos {
-            Some(policy) => Bus::with_chaos(policy),
-            None => Bus::new(),
-        };
-        let metrics = Arc::new(RtMetrics::default());
+        let obs = Obs::new(ring_capacity, sinks);
+        let bus = Bus::with_options(chaos, Some(Arc::clone(&obs.journal)));
+        let metrics = Arc::clone(&obs.rt);
         let ctrl = Arc::new(SharedControl::new(
             Duration::from_millis(cfg.lease_ttl_ms),
-            Arc::clone(&metrics),
+            obs,
         ));
         let members: Vec<WorkerId> = (0..cfg.initial_workers).map(WorkerId).collect();
         *ctrl.members.lock() = members.clone();
@@ -244,6 +411,7 @@ impl ElasticRuntime {
         ctrl.persist(&AmDurable::founding(members.clone()));
 
         let comm = Arc::new(CommGroup::new(members.iter().copied(), cfg.param_elems));
+        comm.set_journal(Arc::clone(&ctrl.obs.journal));
         let telemetry: Telemetry = Arc::new(Mutex::new(HashMap::new()));
         let rep = ReliableEndpoint::new(
             bus.clone(),
@@ -344,6 +512,39 @@ impl ElasticRuntime {
     /// Fault-injection counters, when running on a chaotic bus.
     pub fn chaos_stats(&self) -> Option<ChaosStats> {
         self.bus.chaos_stats()
+    }
+
+    /// The runtime's observability bundle (journal, traces, registry).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.ctrl.obs
+    }
+
+    /// The events currently retained by the journal ring, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ctrl.obs.journal.events()
+    }
+
+    /// Journal totals and per-kind event counts so far.
+    pub fn journal_summary(&self) -> JournalSummary {
+        self.ctrl.obs.journal.summary()
+    }
+
+    /// Every adjustment span recorded so far (completed and in-flight).
+    pub fn traces(&self) -> Vec<AdjustmentTrace> {
+        self.ctrl.obs.traces.all()
+    }
+
+    /// The per-phase adjustment-latency breakdown, rendered from the event
+    /// journal's traces.
+    pub fn trace_report(&self) -> String {
+        render_trace_report(&self.traces())
+    }
+
+    /// The full observability bundle as one JSON object (metrics registry,
+    /// journal summary, and per-adjustment traces) — what `crates/bench`
+    /// consumes.
+    pub fn obs_json(&self) -> String {
+        self.ctrl.obs.to_json()
     }
 
     /// Arms a one-shot AM crash at the given point of the next adjustment
@@ -474,7 +675,7 @@ impl ElasticRuntime {
         }
     }
 
-    fn adjust_to(&mut self, target: Vec<WorkerId>) {
+    fn adjust_to(&mut self, target: Vec<WorkerId>, kind: TraceKind) {
         let current = self.members();
         let joining: Vec<WorkerId> = target
             .iter()
@@ -486,10 +687,34 @@ impl ElasticRuntime {
             .copied()
             .filter(|w| !target.contains(w))
             .collect();
+        let seq = self.take_seq();
+        // Step ① (request): open the adjustment span before anything else
+        // observable happens, so the trace covers the whole pipeline.
+        let obs = Arc::clone(&self.ctrl.obs);
+        let at = obs.journal.now_us();
+        let target_world = target.len() as u32;
+        let (trace, fresh) = obs.traces.begin(kind, Some(seq), target_world, at);
+        if fresh {
+            obs.journal.emit_at(
+                at,
+                EventKind::AdjustmentRequested {
+                    trace,
+                    kind,
+                    seq: Some(seq),
+                    target_world,
+                },
+            );
+            obs.journal.emit_at(
+                at,
+                EventKind::PhaseStarted {
+                    trace,
+                    phase: AdjustmentPhase::Request,
+                },
+            );
+        }
         for &w in &joining {
             self.spawn_worker(w, WorkerRole::Joining);
         }
-        let seq = self.take_seq();
         self.op_roundtrip(
             RtMsg::AdjustTo {
                 seq,
@@ -516,7 +741,7 @@ impl ElasticRuntime {
             target.push(WorkerId(self.next_worker));
             self.next_worker += 1;
         }
-        self.adjust_to(target);
+        self.adjust_to(target, TraceKind::ScaleOut);
     }
 
     /// Removes the last `n` workers (scale-in).
@@ -531,7 +756,7 @@ impl ElasticRuntime {
             "scale-in would remove every worker"
         );
         let target = members[..members.len() - n as usize].to_vec();
-        self.adjust_to(target);
+        self.adjust_to(target, TraceKind::ScaleIn);
     }
 
     /// Migrates the job onto an entirely fresh set of workers of the same
@@ -543,7 +768,7 @@ impl ElasticRuntime {
             target.push(WorkerId(self.next_worker));
             self.next_worker += 1;
         }
-        self.adjust_to(target);
+        self.adjust_to(target, TraceKind::Migrate);
     }
 
     /// Stops the job at the next coordination boundary and returns the
@@ -562,6 +787,7 @@ impl ElasticRuntime {
         for h in ams {
             h.join().expect("AM thread exits cleanly");
         }
+        let obs = Arc::clone(&self.ctrl.obs);
         ShutdownReport {
             final_world_size: self.ctrl.members.lock().len() as u32,
             workers: self
@@ -573,6 +799,10 @@ impl ElasticRuntime {
             adjustments: self.adjustments,
             metrics: self.ctrl.metrics.snapshot(self.bus.total_dead_letters()),
             chaos: self.bus.chaos_stats(),
+            registry: obs.metrics(),
+            journal: obs.journal.summary(),
+            traces: obs.traces.all(),
+            events: obs.journal.events(),
         }
     }
 }
@@ -613,7 +843,8 @@ fn watchdog_thread(cfg: RuntimeConfig, bus: Bus, comm: Arc<CommGroup>, ctrl: Arc
         }
         // Takeover: supersede the silent AM and install a replacement.
         let epoch = ctrl.epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        ctrl.metrics.am_recoveries.fetch_add(1, Ordering::Relaxed);
+        ctrl.metrics.am_recoveries.inc();
+        ctrl.obs.journal.emit(EventKind::AmElected { epoch });
         bus.unregister(EndpointId::Am);
         let handle = spawn_am(cfg, &bus, &comm, &ctrl, epoch);
         ctrl.am_handles.lock().push(handle);
@@ -817,6 +1048,28 @@ impl AmCore {
                         target,
                     });
                     self.ctrl.persist(&self.durable);
+                    // Step ① done: the AM owns the request; joiner reports
+                    // (step ②) are what we wait for next.
+                    let obs = Arc::clone(&self.ctrl.obs);
+                    let now = obs.journal.now_us();
+                    if let Some(trace) = obs.traces.phase_end(AdjustmentPhase::Request, now) {
+                        obs.journal.emit_at(
+                            now,
+                            EventKind::PhaseEnded {
+                                trace,
+                                phase: AdjustmentPhase::Request,
+                            },
+                        );
+                    }
+                    if let Some(trace) = obs.traces.phase_start(AdjustmentPhase::Report, now) {
+                        obs.journal.emit_at(
+                            now,
+                            EventKind::PhaseStarted {
+                                trace,
+                                phase: AdjustmentPhase::Report,
+                            },
+                        );
+                    }
                 }
             }
             RtMsg::Stop { seq } => {
@@ -832,6 +1085,11 @@ impl AmCore {
             }
             RtMsg::Report { worker } => {
                 self.reported.insert(worker);
+                let obs = Arc::clone(&self.ctrl.obs);
+                let now = obs.journal.now_us();
+                obs.traces.note_report(now);
+                obs.journal
+                    .emit_at(now, EventKind::WorkerReported { worker });
             }
             RtMsg::Coordinate { worker, iteration } if iteration > self.last_boundary => {
                 let entry = self.coordinated.entry(worker).or_insert(iteration);
@@ -840,6 +1098,10 @@ impl AmCore {
                 }
             }
             RtMsg::TransferDone { src, dst } => {
+                self.ctrl
+                    .obs
+                    .journal
+                    .emit(EventKind::TransferDone { src, dst });
                 if src == dst {
                     self.awaiting_checkpoint = None;
                 } else {
@@ -919,6 +1181,25 @@ impl AmCore {
                         generation,
                     };
                     self.ctrl.persist(&self.durable);
+                    // Steps ③+④ done (replication drained at a coherent
+                    // boundary); step ⑤ (adjust) begins.
+                    let obs = Arc::clone(&self.ctrl.obs);
+                    let now = obs.journal.now_us();
+                    for phase in [AdjustmentPhase::Replicate, AdjustmentPhase::Coordinate] {
+                        if let Some(trace) = obs.traces.phase_end(phase, now) {
+                            obs.journal
+                                .emit_at(now, EventKind::PhaseEnded { trace, phase });
+                        }
+                    }
+                    if let Some(trace) = obs.traces.phase_start(AdjustmentPhase::Adjust, now) {
+                        obs.journal.emit_at(
+                            now,
+                            EventKind::PhaseStarted {
+                                trace,
+                                phase: AdjustmentPhase::Adjust,
+                            },
+                        );
+                    }
                     if self.crash_if(CrashPoint::OnResume) {
                         return Step::Exit; // die without cleanup
                     }
@@ -963,6 +1244,31 @@ impl AmCore {
                                 seq: op.seq,
                             };
                             self.ctrl.persist(&self.durable);
+                            // Step ② done, step ③ (coordinate at the
+                            // boundary) begins.
+                            let obs = Arc::clone(&self.ctrl.obs);
+                            let now = obs.journal.now_us();
+                            if let Some(trace) = obs.traces.phase_end(AdjustmentPhase::Report, now)
+                            {
+                                obs.journal.emit_at(
+                                    now,
+                                    EventKind::PhaseEnded {
+                                        trace,
+                                        phase: AdjustmentPhase::Report,
+                                    },
+                                );
+                            }
+                            if let Some(trace) =
+                                obs.traces.phase_start(AdjustmentPhase::Coordinate, now)
+                            {
+                                obs.journal.emit_at(
+                                    now,
+                                    EventKind::PhaseStarted {
+                                        trace,
+                                        phase: AdjustmentPhase::Coordinate,
+                                    },
+                                );
+                            }
                             if self.crash_if(CrashPoint::OnAdjustStart) {
                                 return Step::Exit; // die without cleanup
                             }
@@ -971,6 +1277,10 @@ impl AmCore {
                         }
                     }
                     // Nothing to adjust: release the boundary.
+                    self.ctrl.obs.journal.emit(EventKind::BoundaryReleased {
+                        boundary,
+                        world: live.len() as u32,
+                    });
                     for &w in &live {
                         self.rep
                             .send(EndpointId::Worker(w), RtMsg::Proceed { boundary });
@@ -1003,6 +1313,28 @@ impl AmCore {
             .filter(|w| !self.durable.members.contains(w) && !self.dead.contains(w))
             .collect();
         if joining.is_empty() {
+            // Nothing to replicate (pure scale-in / failure eviction):
+            // step ④ still opens and closes on the record, as an
+            // explicitly empty plan.
+            let obs = Arc::clone(&self.ctrl.obs);
+            obs.traces.set_plan(0, 0);
+            let now = obs.journal.now_us();
+            obs.journal.emit_at(
+                now,
+                EventKind::ReplicationPlanned {
+                    waves: 0,
+                    transfers: 0,
+                },
+            );
+            if let Some(trace) = obs.traces.phase_start(AdjustmentPhase::Replicate, now) {
+                obs.journal.emit_at(
+                    now,
+                    EventKind::PhaseStarted {
+                        trace,
+                        phase: AdjustmentPhase::Replicate,
+                    },
+                );
+            }
             return;
         }
         let sources: Vec<GpuId> = self.live().iter().map(|w| GpuId(w.0)).collect();
@@ -1020,6 +1352,28 @@ impl AmCore {
                     .collect()
             })
             .collect();
+        // Step ④ (replicate) opens with the planner's schedule on record.
+        let waves = self.transfer_waves.len() as u32;
+        let total = transfers.len() as u32;
+        let obs = Arc::clone(&self.ctrl.obs);
+        obs.traces.set_plan(waves, total);
+        let now = obs.journal.now_us();
+        obs.journal.emit_at(
+            now,
+            EventKind::ReplicationPlanned {
+                waves,
+                transfers: total,
+            },
+        );
+        if let Some(trace) = obs.traces.phase_start(AdjustmentPhase::Replicate, now) {
+            obs.journal.emit_at(
+                now,
+                EventKind::PhaseStarted {
+                    trace,
+                    phase: AdjustmentPhase::Replicate,
+                },
+            );
+        }
         self.issue_next_wave();
     }
 
@@ -1028,6 +1382,10 @@ impl AmCore {
         let Some(wave) = self.transfer_waves.get(self.next_wave).cloned() else {
             return;
         };
+        self.ctrl.obs.journal.emit(EventKind::WaveIssued {
+            wave: self.next_wave as u32,
+            transfers: wave.len() as u32,
+        });
         self.next_wave += 1;
         for (src, dst) in wave {
             self.outstanding.insert((src, dst));
@@ -1075,17 +1433,43 @@ impl AmCore {
         match seq {
             Some(s) => {
                 self.durable.seq_done = self.durable.seq_done.max(s);
-                self.rep.send(EndpointId::Controller, RtMsg::Ack { seq: s });
             }
             None => {
                 // Failure-driven scale-in: no controller op to ack.
-                self.metrics
-                    .failure_scale_ins
-                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics.failure_scale_ins.inc();
             }
         }
         self.durable.phase = AmPhase::Steady;
         self.ctrl.persist(&self.durable);
+        // Step ⑤ done: close the span (idempotent across failovers).
+        let world = self.durable.members.len() as u32;
+        let obs = Arc::clone(&self.ctrl.obs);
+        let now = obs.journal.now_us();
+        if let Some(trace) = obs.traces.phase_end(AdjustmentPhase::Adjust, now) {
+            obs.journal.emit_at(
+                now,
+                EventKind::PhaseEnded {
+                    trace,
+                    phase: AdjustmentPhase::Adjust,
+                },
+            );
+        }
+        if let Some(trace) = obs.traces.complete(generation, world, now) {
+            obs.journal.emit_at(
+                now,
+                EventKind::AdjustmentCompleted {
+                    trace,
+                    generation,
+                    world,
+                },
+            );
+        }
+        // Only after the span is closed may the controller unblock —
+        // acking first would let the *next* adjustment race `begin`
+        // against this trace's `complete` and fold into it.
+        if let Some(s) = seq {
+            self.rep.send(EndpointId::Controller, RtMsg::Ack { seq: s });
+        }
         self.reported.clear();
         self.coordinated.clear();
         self.outstanding.clear();
@@ -1148,6 +1532,10 @@ impl AmCore {
         if !self.dead.insert(w) {
             return;
         }
+        self.ctrl
+            .obs
+            .journal
+            .emit(EventKind::WorkerDeclaredDead { worker: w });
         // Unblock the survivors immediately: remove the victim (and its
         // stale contribution) from the collective.
         self.comm.evict(w);
@@ -1188,7 +1576,53 @@ impl AmCore {
                 if is_member && self.durable.pending.is_none() && self.durable.stopping.is_none() {
                     let live = self.live();
                     if !live.is_empty() {
-                        // Failure-driven scale-in around the victim.
+                        // Failure-driven scale-in around the victim. Open a
+                        // trace for it (folds into the active one if a
+                        // controller adjustment is already in flight).
+                        let target_world = live.len() as u32;
+                        let obs = Arc::clone(&self.ctrl.obs);
+                        let at = obs.journal.now_us();
+                        let (trace, fresh) =
+                            obs.traces
+                                .begin(TraceKind::FailureScaleIn, None, target_world, at);
+                        if fresh {
+                            obs.journal.emit_at(
+                                at,
+                                EventKind::AdjustmentRequested {
+                                    trace,
+                                    kind: TraceKind::FailureScaleIn,
+                                    seq: None,
+                                    target_world,
+                                },
+                            );
+                            obs.journal.emit_at(
+                                at,
+                                EventKind::PhaseStarted {
+                                    trace,
+                                    phase: AdjustmentPhase::Request,
+                                },
+                            );
+                            // A failure-driven op has no controller
+                            // round-trip and no joiners: steps ① and ②
+                            // are zero-length at detection time, but the
+                            // journal still carries the full bracket.
+                            obs.traces.phase_end(AdjustmentPhase::Request, at);
+                            obs.journal.emit_at(
+                                at,
+                                EventKind::PhaseEnded {
+                                    trace,
+                                    phase: AdjustmentPhase::Request,
+                                },
+                            );
+                            obs.traces.phase_start(AdjustmentPhase::Report, at);
+                            obs.journal.emit_at(
+                                at,
+                                EventKind::PhaseStarted {
+                                    trace,
+                                    phase: AdjustmentPhase::Report,
+                                },
+                            );
+                        }
                         self.durable.pending = Some(PendingOp {
                             seq: None,
                             target: live,
@@ -1207,7 +1641,7 @@ mod tests {
 
     #[test]
     fn steady_training_is_consistent() {
-        let mut rt = ElasticRuntime::start(RuntimeConfig::small(3));
+        let mut rt = ElasticRuntime::builder().workers(3).start().unwrap();
         rt.run_until_iteration(25);
         let _ = &mut rt;
         let report = rt.shutdown();
@@ -1218,7 +1652,7 @@ mod tests {
 
     #[test]
     fn scale_out_preserves_state() {
-        let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+        let mut rt = ElasticRuntime::builder().workers(2).start().unwrap();
         rt.run_until_iteration(10);
         rt.scale_out(2);
         assert_eq!(rt.members().len(), 4);
@@ -1231,7 +1665,7 @@ mod tests {
 
     #[test]
     fn scale_in_releases_workers() {
-        let mut rt = ElasticRuntime::start(RuntimeConfig::small(4));
+        let mut rt = ElasticRuntime::builder().workers(4).start().unwrap();
         rt.run_until_iteration(10);
         rt.scale_in(2);
         assert_eq!(rt.members().len(), 2);
@@ -1246,7 +1680,7 @@ mod tests {
 
     #[test]
     fn migration_moves_to_fresh_workers() {
-        let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+        let mut rt = ElasticRuntime::builder().workers(2).start().unwrap();
         rt.run_until_iteration(10);
         let before: Vec<WorkerId> = rt.members().to_vec();
         rt.migrate();
@@ -1259,7 +1693,7 @@ mod tests {
 
     #[test]
     fn repeated_adjustments_compose() {
-        let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+        let mut rt = ElasticRuntime::builder().workers(2).start().unwrap();
         rt.run_until_iteration(5);
         rt.scale_out(2);
         rt.run_until_iteration(15);
@@ -1277,7 +1711,7 @@ mod tests {
     fn checkpoint_restore_is_bit_exact() {
         use crate::worker::simulate_training;
         let cfg = RuntimeConfig::small(3);
-        let mut a = ElasticRuntime::start(cfg);
+        let mut a = ElasticRuntime::builder().config(cfg).start().unwrap();
         a.run_until_iteration(20);
         let cp = a.checkpoint();
         let _ = a.shutdown();
@@ -1295,7 +1729,11 @@ mod tests {
         assert_eq!(cp.data_cursor, expect_cursor);
 
         // A restored job continues bit-exactly.
-        let mut b = ElasticRuntime::start_from(cfg, &cp);
+        let mut b = ElasticRuntime::builder()
+            .config(cfg)
+            .restore(&cp)
+            .start()
+            .unwrap();
         b.run_until_iteration(cp.iteration + 10);
         let cp2 = b.checkpoint();
         let (expect2, _, _) = simulate_training(
@@ -1317,7 +1755,7 @@ mod tests {
         // pipeline (gradients, deterministic allreduce, optimizer) is
         // bit-identical to the sequential reference.
         let cfg = RuntimeConfig::small(4);
-        let mut rt = ElasticRuntime::start(cfg);
+        let mut rt = ElasticRuntime::builder().config(cfg).start().unwrap();
         rt.run_until_iteration(15);
         let cp = rt.checkpoint();
         let _ = rt.shutdown();
@@ -1333,7 +1771,7 @@ mod tests {
 
     #[test]
     fn data_cursor_replicates_exactly() {
-        let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+        let mut rt = ElasticRuntime::builder().workers(2).start().unwrap();
         rt.run_until_iteration(10);
         rt.scale_out(1);
         rt.run_until_iteration(20);

@@ -30,6 +30,7 @@ use elan_core::state::WorkerId;
 use crate::bus::{EndpointId, RtMsg};
 use crate::comm::{AllreduceOutcome, CommGroup};
 use crate::liveness::SharedControl;
+use crate::obs::EventKind;
 use crate::reliable::ReliableEndpoint;
 
 /// Per-worker observable state, published after every iteration.
@@ -383,6 +384,12 @@ pub fn run_worker(
                         &mut params,
                         &mut momentum,
                     ) {
+                        if let Some(journal) = rep.bus().journal() {
+                            journal.emit(EventKind::SnapshotApplied {
+                                worker: cfg.id,
+                                iteration: it,
+                            });
+                        }
                         if it >= iteration {
                             iteration = it;
                             data_cursor = dc;
@@ -583,6 +590,13 @@ pub fn run_worker(
                             iteration,
                             data_cursor,
                         );
+                        let sent = chunks.len() as u32;
+                        if let Some(journal) = rep.bus().journal() {
+                            journal.emit(EventKind::SnapshotStreamed {
+                                worker: cfg.id,
+                                chunks: sent,
+                            });
+                        }
                         rep.send(EndpointId::Am, RtMsg::TransferDone { src: cfg.id, dst });
                     }
                     RtMsg::CheckpointOrder { .. } => {
@@ -598,6 +612,13 @@ pub fn run_worker(
                             iteration,
                             data_cursor,
                         );
+                        let sent = chunks.len() as u32;
+                        if let Some(journal) = rep.bus().journal() {
+                            journal.emit(EventKind::SnapshotStreamed {
+                                worker: cfg.id,
+                                chunks: sent,
+                            });
+                        }
                         rep.send(
                             EndpointId::Am,
                             RtMsg::TransferDone {

@@ -69,7 +69,11 @@ fn live() {
         .drop(0.20)
         .delay(0.20, 3)
         .duplicate(0.10);
-    let mut rt = ElasticRuntime::start_with_chaos(RuntimeConfig::small(2), chaos);
+    let mut rt = ElasticRuntime::builder()
+        .config(RuntimeConfig::small(2))
+        .chaos(chaos)
+        .start()
+        .expect("valid runtime configuration");
     rt.run_until_iteration(10);
     rt.arm_am_crash(CrashPoint::OnAdjustStart);
     rt.scale_out(2); // blocks until the (recovered) adjustment completes
@@ -95,6 +99,33 @@ fn live() {
         );
     }
 
+    // The adjustment-latency breakdown: every number below is read back
+    // from the runtime's structured event journal (the AdjustmentTrace
+    // spans), not from a stopwatch wrapped around the calls above.
+    println!();
+    println!("{}", report.trace_report());
+    let scale_out = report
+        .traces
+        .iter()
+        .find(|t| t.kind == elan::rt::TraceKind::ScaleOut && t.completed)
+        .expect("the chaos-ridden scale-out must leave a completed trace");
+    println!(
+        "scale-out under chaos  : request={}us report={}us coordinate={}us replicate={}us adjust={}us (total {}us)",
+        scale_out.phase_us(elan::core::obs::AdjustmentPhase::Request),
+        scale_out.phase_us(elan::core::obs::AdjustmentPhase::Report),
+        scale_out.phase_us(elan::core::obs::AdjustmentPhase::Coordinate),
+        scale_out.phase_us(elan::core::obs::AdjustmentPhase::Replicate),
+        scale_out.phase_us(elan::core::obs::AdjustmentPhase::Adjust),
+        scale_out.total_us()
+    );
+    println!(
+        "journal                : {} events recorded ({} chaos injections, {} resends, {} AM elections)",
+        report.journal.total,
+        report.journal.count("chaos_injected"),
+        report.journal.count("message_resent"),
+        report.journal.count("am_elected"),
+    );
+
     assert_eq!(report.final_world_size, 4);
     assert!(
         report.metrics.am_recoveries >= 1,
@@ -102,6 +133,10 @@ fn live() {
     );
     assert!(report.metrics.resends > 0, "loss must have forced resends");
     assert!(report.states_consistent(), "replicas diverged");
+    assert!(
+        scale_out.is_well_formed(),
+        "the recovered adjustment trace must still be well-formed"
+    );
     println!("\nall invariants held: bit-identical replicas despite chaos and a dead AM");
 }
 

@@ -9,7 +9,10 @@
 use elan::rt::{ElasticRuntime, RuntimeConfig};
 
 fn main() {
-    let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+    let mut rt = ElasticRuntime::builder()
+        .config(RuntimeConfig::small(2))
+        .start()
+        .expect("valid runtime configuration");
     println!("started with {:?}", rt.members());
 
     rt.run_until_iteration(20);
@@ -43,6 +46,8 @@ fn main() {
         report.adjustments,
         report.states_consistent()
     );
+    println!();
+    println!("{}", report.trace_report());
     for (id, view) in &report.workers {
         println!(
             "  {id}: iter {:>3}  cursor {:>6}  checksum {:#018x}  stalled {:>9?}  alive {}",
@@ -51,7 +56,11 @@ fn main() {
     }
     assert!(report.states_consistent());
 
-    let restored = elan::rt::ElasticRuntime::start_from(RuntimeConfig::small(2), &snapshot);
+    let restored = elan::rt::ElasticRuntime::builder()
+        .config(RuntimeConfig::small(2))
+        .restore(&snapshot)
+        .start()
+        .expect("snapshot matches configuration");
     restored.run_until_iteration(snapshot.iteration + 10);
     let report2 = restored.shutdown();
     println!(

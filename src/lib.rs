@@ -13,6 +13,11 @@
 //! - [`baselines`] — Shutdown-&-Restart and Litz-style baselines (§VI),
 //! - [`sched`] — elastic job scheduling simulation (§VI-C).
 //!
+//! The most common entry points are re-exported at the root: build a live
+//! job with [`ElasticRuntime::builder`], observe it through [`EventSink`]s
+//! and the [`MetricsRegistry`], and handle every failure as one
+//! [`ElanError`].
+//!
 //! # Examples
 //!
 //! ```
@@ -23,6 +28,16 @@
 //! assert_eq!(plan.transfers().len(), 1);
 //! # Ok::<(), elan::topology::PlanError>(())
 //! ```
+//!
+//! Launching a live elastic job through the facade:
+//!
+//! ```
+//! let mut rt = elan::ElasticRuntime::builder().workers(2).start()?;
+//! rt.run_until_iteration(10);
+//! let report = rt.shutdown();
+//! assert!(report.states_consistent());
+//! # Ok::<(), elan::ElanError>(())
+//! ```
 
 pub use elan_baselines as baselines;
 pub use elan_core as core;
@@ -31,3 +46,10 @@ pub use elan_rt as rt;
 pub use elan_sched as sched;
 pub use elan_sim as sim;
 pub use elan_topology as topology;
+
+pub use elan_core::obs::{MetricsRegistry, MetricsSnapshot};
+pub use elan_core::ElanError;
+pub use elan_rt::{
+    render_trace_report, AdjustmentTrace, ElasticRuntime, Event, EventKind, EventSink,
+    JournalSummary, RingBufferSink, RuntimeBuilder, RuntimeConfig, ShutdownReport,
+};

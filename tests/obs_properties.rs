@@ -1,0 +1,76 @@
+//! Property-based tests for the observability layer: every adjustment the
+//! live runtime performs — scale-out, scale-in, under arbitrary chaos
+//! seeds — must leave a **well-formed 5-phase trace** in the journal:
+//!
+//! - all five phases present, each with `start ≤ end` (monotone
+//!   timestamps), laid out in pipeline order;
+//! - no orphan phases: a completed trace has no open `(start, None)`
+//!   windows dangling past completion;
+//! - the journal's event stream and the trace spans agree (each completed
+//!   trace has its `adjustment_requested` and `adjustment_completed`
+//!   bracket in the journal).
+//!
+//! Live runs spawn real threads, so the case count is deliberately small;
+//! the chaos seed is the interesting degree of freedom (it reshuffles
+//! drops/delays/duplicates, which reorder and repeat the control
+//! messages feeding the trace recorder).
+
+use proptest::prelude::*;
+
+use elan::rt::{ChaosPolicy, ElasticRuntime, EventKind, RuntimeConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        ..ProptestConfig::default()
+    })]
+
+    /// Scale-out then scale-in on a chaotic bus: every completed trace is
+    /// well-formed and bracketed by its journal events.
+    #[test]
+    fn every_adjustment_leaves_a_well_formed_trace(
+        seed in 0u64..1_000_000,
+        out in 1u32..3,
+        drop_pct in 0u32..16,
+    ) {
+        let mut cfg = RuntimeConfig::small(2);
+        cfg.retry_max_attempts = 12;
+        let chaos = ChaosPolicy::new(seed)
+            .drop(f64::from(drop_pct) / 100.0)
+            .delay(0.10, 2)
+            .duplicate(0.05);
+        let mut rt = ElasticRuntime::builder()
+            .config(cfg)
+            .chaos(chaos)
+            .start()
+            .unwrap();
+        rt.run_until_iteration(5);
+        rt.scale_out(out);
+        rt.run_until_iteration(10);
+        rt.scale_in(1);
+        rt.run_until_iteration(15);
+        let report = rt.shutdown();
+
+        prop_assert!(report.states_consistent(), "replicas diverged");
+        let completed: Vec<_> = report.traces.iter().filter(|t| t.completed).collect();
+        prop_assert!(
+            completed.len() >= 2,
+            "expected at least scale-out + scale-in traces, got {:?}",
+            report.traces
+        );
+        for t in &completed {
+            // Well-formed: 5 phases, monotone, ordered, no orphans.
+            prop_assert!(t.is_well_formed(), "malformed trace: {t:?}");
+            prop_assert!(t.total_us() < u64::MAX, "unbounded span: {t:?}");
+            // Journal agreement: the requested/completed bracket exists.
+            let requested = report.events.iter().any(|e| matches!(
+                e.kind, EventKind::AdjustmentRequested { trace, .. } if trace == t.id));
+            let finished = report.events.iter().any(|e| matches!(
+                e.kind, EventKind::AdjustmentCompleted { trace, .. } if trace == t.id));
+            prop_assert!(requested, "trace {} never requested in journal", t.id);
+            prop_assert!(finished, "trace {} never completed in journal", t.id);
+        }
+        // The summary's totals cover at least the events we still hold.
+        prop_assert!(report.journal.total >= report.events.len() as u64);
+    }
+}

@@ -3,7 +3,7 @@
 
 use elan::core::coordination::{run_coordination, CoordinationConfig};
 use elan::core::elasticity::AdjustmentRequest;
-use elan::rt::{ElasticRuntime, RuntimeConfig};
+use elan::rt::ElasticRuntime;
 use elan::sim::SimDuration;
 use elan::topology::GpuId;
 
@@ -19,7 +19,7 @@ fn simulated_and_live_protocols_agree_on_semantics() {
     }
 
     // Live: the same shape with real threads.
-    let mut rt = ElasticRuntime::start(RuntimeConfig::small(4));
+    let mut rt = ElasticRuntime::builder().workers(4).start().unwrap();
     rt.run_until_iteration(10);
     rt.scale_out(2);
     rt.run_until_iteration(30);
@@ -63,7 +63,7 @@ fn pause_stays_bounded_under_faults() {
 
 #[test]
 fn live_runtime_full_lifecycle_stress() {
-    let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+    let mut rt = ElasticRuntime::builder().workers(2).start().unwrap();
     for step in 1..=4u32 {
         rt.run_until_iteration(u64::from(step) * 10);
         match step % 3 {
@@ -84,7 +84,7 @@ fn live_runtime_full_lifecycle_stress() {
 
 #[test]
 fn scale_in_frees_threads_promptly() {
-    let mut rt = ElasticRuntime::start(RuntimeConfig::small(6));
+    let mut rt = ElasticRuntime::builder().workers(6).start().unwrap();
     rt.run_until_iteration(5);
     rt.scale_in(4);
     assert_eq!(rt.members().len(), 2);

@@ -14,10 +14,20 @@
 //!    responding; the AM's failure detector must notice and execute a
 //!    failure-driven scale-in (evict from the allreduce group, rebuild the
 //!    comm group, repartition) without deadlocking the survivors.
+//!
+//! Since the observability overhaul these tests assert on the **event
+//! journal**: the exact sequence the runtime *says* happened (adjustment
+//! requested → phases → completed, chaos injections, resends, elections,
+//! dead-worker declarations) rather than polling runtime state and
+//! inferring. The journal and trace spans ride the shutdown report, so
+//! none of the assertions race shutdown.
 
 use std::time::Duration;
 
-use elan::rt::{ChaosPolicy, CrashPoint, ElasticRuntime, RuntimeConfig};
+use elan::core::obs::AdjustmentPhase;
+use elan::rt::{
+    ChaosPolicy, CrashPoint, ElasticRuntime, EventKind, RuntimeConfig, ShutdownReport, TraceKind,
+};
 
 /// The issue's canonical chaos mix: 20% drop, 20% delay (plus a little
 /// duplication so the dedup path is provably exercised every run).
@@ -37,9 +47,67 @@ fn lossy_cfg(n: u32) -> RuntimeConfig {
     cfg
 }
 
+/// Asserts the journal recorded a complete 5-phase pipeline for `kind`:
+/// requested, every phase opened *and* closed in order, then completed —
+/// the event-sequence formulation of "the adjustment worked".
+fn assert_pipeline_events(report: &ShutdownReport, kind: TraceKind) {
+    let trace = report
+        .traces
+        .iter()
+        .find(|t| t.kind == kind && t.completed)
+        .unwrap_or_else(|| panic!("no completed {kind:?} trace: {:?}", report.traces));
+    assert!(trace.is_well_formed(), "trace not well-formed: {trace:?}");
+    let id = trace.id;
+    // Project this trace's pipeline events out of the journal, in order.
+    let mut seq: Vec<String> = Vec::new();
+    for e in &report.events {
+        match &e.kind {
+            EventKind::AdjustmentRequested { trace, .. } if *trace == id => {
+                seq.push("requested".into());
+            }
+            EventKind::PhaseStarted { trace, phase } if *trace == id => {
+                seq.push(format!("start:{}", phase.name()));
+            }
+            EventKind::PhaseEnded { trace, phase } if *trace == id => {
+                seq.push(format!("end:{}", phase.name()));
+            }
+            EventKind::AdjustmentCompleted { trace, .. } if *trace == id => {
+                seq.push("completed".into());
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(
+        seq.first().map(String::as_str),
+        Some("requested"),
+        "{seq:?}"
+    );
+    assert_eq!(seq.last().map(String::as_str), Some("completed"), "{seq:?}");
+    for phase in [
+        AdjustmentPhase::Request,
+        AdjustmentPhase::Report,
+        AdjustmentPhase::Coordinate,
+        AdjustmentPhase::Replicate,
+        AdjustmentPhase::Adjust,
+    ] {
+        let start = format!("start:{}", phase.name());
+        let end = format!("end:{}", phase.name());
+        let si = seq.iter().position(|s| *s == start);
+        let ei = seq.iter().rposition(|s| *s == end);
+        match (si, ei) {
+            (Some(s), Some(e)) => assert!(s <= e, "phase {phase:?} ends before it starts: {seq:?}"),
+            _ => panic!("phase {phase:?} missing from sequence {seq:?}"),
+        }
+    }
+}
+
 #[test]
 fn scale_out_completes_on_a_lossy_bus() {
-    let mut rt = ElasticRuntime::start_with_chaos(lossy_cfg(2), lossy(42));
+    let mut rt = ElasticRuntime::builder()
+        .config(lossy_cfg(2))
+        .chaos(lossy(42))
+        .start()
+        .unwrap();
     rt.run_until_iteration(10);
     rt.scale_out(2);
     assert_eq!(rt.members().len(), 4, "scale-out must complete");
@@ -50,22 +118,36 @@ fn scale_out_completes_on_a_lossy_bus() {
     assert!(report.states_consistent(), "replicas diverged: {report:?}");
     assert_eq!(report.adjustments, 1);
 
-    // The fault-injection actually happened and the reliability layer
-    // actually worked — not a vacuous pass.
+    // The journal must tell the full story of the adjustment...
+    assert_pipeline_events(&report, TraceKind::ScaleOut);
+    // ...and of the chaos the reliability layer masked — not a vacuous
+    // pass. Fault injection, resends, and dedup are all *recorded events*.
+    let j = &report.journal;
+    assert!(
+        j.count("chaos_injected") > 0,
+        "chaos injected nothing: {j:?}"
+    );
+    assert!(
+        j.count("message_resent") > 0,
+        "drops never forced a resend: {j:?}"
+    );
+    assert!(
+        j.count("duplicate_suppressed") > 0,
+        "dup'd deliveries never hit the dedup filter: {j:?}"
+    );
+    // Joiners streamed and applied snapshots through the replication path.
+    assert!(j.count("replication_planned") >= 1, "{j:?}");
+    assert!(
+        j.count("snapshot_applied") >= 2,
+        "two joiners must apply: {j:?}"
+    );
+    // The legacy counters still agree with the journal's view.
     let chaos = report.chaos.expect("job ran on a chaotic bus");
     assert!(chaos.dropped > 0, "chaos dropped nothing: {chaos:?}");
     assert!(chaos.delayed > 0, "chaos delayed nothing: {chaos:?}");
     assert!(chaos.duplicated > 0, "chaos duplicated nothing: {chaos:?}");
-    assert!(
-        report.metrics.resends > 0,
-        "drops must force resends: {:?}",
-        report.metrics
-    );
-    assert!(
-        report.metrics.duplicates > 0,
-        "dup'd deliveries must hit the dedup filter: {:?}",
-        report.metrics
-    );
+    assert!(report.metrics.resends > 0, "{:?}", report.metrics);
+    assert!(report.metrics.duplicates > 0, "{:?}", report.metrics);
     // Give-ups can only stem from departed workers (a dropped ack on a
     // final `Leave` makes the AM — correctly — presume the peer dead);
     // they must never have cost the job a live member.
@@ -82,19 +164,24 @@ fn lossy_bus_is_deterministic_per_seed() {
     // the per-(edge, msg, attempt) hashing is pure. (Timing still differs,
     // so we only compare that both runs converged to the same membership.)
     for seed in [7, 7] {
-        let mut rt = ElasticRuntime::start_with_chaos(lossy_cfg(2), lossy(seed));
+        let mut rt = ElasticRuntime::builder()
+            .config(lossy_cfg(2))
+            .chaos(lossy(seed))
+            .start()
+            .unwrap();
         rt.run_until_iteration(8);
         rt.scale_out(1);
         assert_eq!(rt.members().len(), 3);
         rt.run_until_iteration(16);
         let report = rt.shutdown();
         assert!(report.states_consistent());
+        assert_pipeline_events(&report, TraceKind::ScaleOut);
     }
 }
 
 #[test]
 fn am_crash_mid_adjustment_is_recovered_by_watchdog() {
-    let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+    let mut rt = ElasticRuntime::builder().workers(2).start().unwrap();
     rt.run_until_iteration(10);
 
     // The AM will die right after persisting `Transferring` — before any
@@ -108,16 +195,20 @@ fn am_crash_mid_adjustment_is_recovered_by_watchdog() {
     let report = rt.shutdown();
     assert_eq!(report.final_world_size, 4);
     assert!(report.states_consistent(), "recovery diverged: {report:?}");
+    // The election is itself a journal event, and the trace the dead AM
+    // opened must still close well-formed under its replacement.
     assert!(
-        report.metrics.am_recoveries >= 1,
+        report.journal.count("am_elected") >= 1,
         "watchdog never fired: {:?}",
-        report.metrics
+        report.journal
     );
+    assert!(report.metrics.am_recoveries >= 1);
+    assert_pipeline_events(&report, TraceKind::ScaleOut);
 }
 
 #[test]
 fn am_crash_before_resume_is_recovered_by_watchdog() {
-    let mut rt = ElasticRuntime::start(RuntimeConfig::small(2));
+    let mut rt = ElasticRuntime::builder().workers(2).start().unwrap();
     rt.run_until_iteration(10);
 
     // Later crash point: state transfers are done and `Resuming` is
@@ -131,14 +222,20 @@ fn am_crash_before_resume_is_recovered_by_watchdog() {
     let report = rt.shutdown();
     assert_eq!(report.final_world_size, 3);
     assert!(report.states_consistent(), "recovery diverged: {report:?}");
+    assert!(report.journal.count("am_elected") >= 1);
     assert!(report.metrics.am_recoveries >= 1);
+    assert_pipeline_events(&report, TraceKind::ScaleOut);
 }
 
 #[test]
 fn am_crash_under_lossy_bus_still_recovers() {
     // The acceptance gauntlet: kill the AM mid-adjustment *while* the bus
     // is dropping a fifth of all traffic.
-    let mut rt = ElasticRuntime::start_with_chaos(lossy_cfg(2), lossy(11));
+    let mut rt = ElasticRuntime::builder()
+        .config(lossy_cfg(2))
+        .chaos(lossy(11))
+        .start()
+        .unwrap();
     rt.run_until_iteration(8);
     rt.arm_am_crash(CrashPoint::OnAdjustStart);
     rt.scale_out(1);
@@ -146,13 +243,16 @@ fn am_crash_under_lossy_bus_still_recovers() {
     rt.run_until_iteration(20);
     let report = rt.shutdown();
     assert!(report.states_consistent(), "diverged: {report:?}");
+    assert!(report.journal.count("am_elected") >= 1);
+    assert!(report.journal.count("message_resent") > 0);
     assert!(report.metrics.am_recoveries >= 1);
     assert!(report.metrics.resends > 0);
+    assert_pipeline_events(&report, TraceKind::ScaleOut);
 }
 
 #[test]
 fn worker_crash_triggers_failure_scale_in() {
-    let rt = ElasticRuntime::start(RuntimeConfig::small(3));
+    let rt = ElasticRuntime::builder().workers(3).start().unwrap();
     rt.run_until_iteration(10);
     let victim = rt.members()[2];
 
@@ -171,6 +271,16 @@ fn worker_crash_triggers_failure_scale_in() {
     let report = rt.shutdown();
     assert_eq!(report.final_world_size, 2);
     assert!(report.states_consistent(), "survivors diverged: {report:?}");
+    // The journal names the victim and records the failure-driven
+    // adjustment as a first-class 5-phase pipeline of its own.
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::WorkerDeclaredDead { worker, .. } if worker == victim
+        )),
+        "no worker_declared_dead event for {victim:?}"
+    );
+    assert_pipeline_events(&report, TraceKind::FailureScaleIn);
     assert!(
         report.metrics.failure_scale_ins >= 1,
         "failure path not taken: {:?}",
@@ -180,10 +290,11 @@ fn worker_crash_triggers_failure_scale_in() {
 
 #[test]
 fn worker_crash_during_lossy_run_is_survived() {
-    let rt = ElasticRuntime::start_with_chaos(
-        RuntimeConfig::small(3),
-        ChaosPolicy::new(23).drop(0.10).delay(0.10, 2),
-    );
+    let rt = ElasticRuntime::builder()
+        .config(RuntimeConfig::small(3))
+        .chaos(ChaosPolicy::new(23).drop(0.10).delay(0.10, 2))
+        .start()
+        .unwrap();
     rt.run_until_iteration(8);
     let victim = rt.members()[0];
     rt.crash_worker(victim);
@@ -195,5 +306,7 @@ fn worker_crash_during_lossy_run_is_survived() {
     let report = rt.shutdown();
     assert_eq!(report.final_world_size, 2);
     assert!(report.states_consistent());
+    assert!(report.journal.count("worker_declared_dead") >= 1);
     assert!(report.metrics.failure_scale_ins >= 1);
+    assert_pipeline_events(&report, TraceKind::FailureScaleIn);
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Snapshot the workspace's public API surface.
+#
+# Emits one line per `pub` item (functions, types, traits, constants,
+# modules, re-exports) across the facade crate and every workspace
+# library crate, prefixed with its file. The committed snapshot
+# (api_surface.txt) is diffed against a fresh run in CI, so any change
+# to the public API shows up in review as an explicit snapshot update —
+# the offline stand-in for cargo-public-api.
+#
+# Usage:
+#   tools/api_surface.sh                 # print to stdout
+#   tools/api_surface.sh > api_surface.txt   # refresh the snapshot
+set -eu
+cd "$(dirname "$0")/.."
+
+find src crates -name '*.rs' -path '*/src/*' ! -path '*/target/*' \
+    | LC_ALL=C sort \
+    | while IFS= read -r f; do
+    # Trim indentation, keep only public item declarations. Trailing
+    # braces/parens are cut so body edits don't churn the snapshot.
+    sed -n -E 's/^[[:space:]]*(pub (fn|async fn|const fn|unsafe fn|struct|enum|union|trait|type|const|static|mod|use) [^={(]*).*/\1/p' "$f" \
+        | sed -E 's/[[:space:]]+$//' \
+        | LC_ALL=C sort -u \
+        | sed "s|^|$f: |"
+done

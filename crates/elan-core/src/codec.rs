@@ -124,16 +124,32 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
     fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        let b = self
+            .take(2)?
+            .try_into()
+            .map_err(|_| DecodeError::Truncated)?;
+        Ok(u16::from_le_bytes(b))
     }
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        let b = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| DecodeError::Truncated)?;
+        Ok(u32::from_le_bytes(b))
     }
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        let b = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| DecodeError::Truncated)?;
+        Ok(u64::from_le_bytes(b))
     }
     fn f64(&mut self) -> Result<f64, DecodeError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        let b = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| DecodeError::Truncated)?;
+        Ok(f64::from_le_bytes(b))
     }
 }
 
@@ -199,7 +215,8 @@ pub fn decode_state(bytes: &[u8]) -> Result<TrainingState, DecodeError> {
             // bytes.len() >= 6 here, so the subtraction cannot underflow;
             // a buffer too short to even hold the trailer fails the CRC.
             let (body, trailer) = bytes.split_at(bytes.len() - 4);
-            let expected = u32::from_le_bytes(trailer.try_into().expect("len 4"));
+            let trailer: [u8; 4] = trailer.try_into().map_err(|_| DecodeError::Truncated)?;
+            let expected = u32::from_le_bytes(trailer);
             let actual = crc32(body);
             if actual != expected {
                 return Err(DecodeError::Corrupt { expected, actual });

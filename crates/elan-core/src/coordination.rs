@@ -412,7 +412,9 @@ impl AmActor {
         if arrived.len() < self.am.members().len() {
             return;
         }
-        let first = self.round_first.remove(&round).expect("inserted above");
+        let Some(first) = self.round_first.remove(&round) else {
+            return;
+        };
         self.round_arrived.remove(&round);
         let spread = now.saturating_duration_since(first);
         let prev_spread = match self.last_spread {
@@ -649,7 +651,10 @@ impl Actor<ProtoMsg> for AmActor {
                 let AmState::Adjusting { request } = self.am.state().clone() else {
                     return;
                 };
-                let join_round = self.adjust_round().expect("pinned before executing") + 1;
+                let Some(pinned_round) = self.adjust_round() else {
+                    return;
+                };
+                let join_round = pinned_round + 1;
                 for g in request.joining() {
                     self.meta.put(format!("join/{}", g.0), join_round);
                     let msg = ProtoMsg::Join { round: join_round };

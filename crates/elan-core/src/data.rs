@@ -151,10 +151,7 @@ impl ChunkSampler {
         }
         for (i, frag) in fragments.into_iter().enumerate() {
             let w = (i as u32) % n_workers;
-            self.assignments
-                .get_mut(&w)
-                .expect("worker exists")
-                .push(frag);
+            self.assignments.entry(w).or_default().push(frag);
         }
     }
 

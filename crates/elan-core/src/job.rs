@@ -121,12 +121,7 @@ pub fn run_elastic_training(cfg: &ElasticRunConfig<'_>) -> ElasticRunResult {
     }
 
     // Final accuracy: governed by the largest batch used under the rule.
-    let max_tbs = cfg
-        .phases
-        .iter()
-        .map(|p| p.total_batch)
-        .max()
-        .expect("non-empty");
+    let max_tbs = cfg.phases.iter().map(|p| p.total_batch).max().unwrap_or(1);
     let is_dynamic = cfg.phases.iter().any(|p| p.total_batch != max_tbs);
     let mut final_acc = cfg.accuracy.final_accuracy(max_tbs, cfg.rule);
     if is_dynamic {
@@ -143,7 +138,7 @@ pub fn run_elastic_training(cfg: &ElasticRunConfig<'_>) -> ElasticRunResult {
             .phases
             .iter()
             .rposition(|p| p.start_epoch <= e)
-            .expect("phase 0 covers every epoch");
+            .unwrap_or(0);
         let phase = cfg.phases[phase_idx];
         let thr = cfg
             .perf

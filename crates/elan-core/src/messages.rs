@@ -18,11 +18,15 @@ use elan_sim::{SimDuration, SimTime};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MsgId(pub u64);
 
+/// Bit position of the owner tag inside a [`MsgId`]: the high 32 bits
+/// carry the sender stream, the low 32 bits the per-stream counter.
+pub const OWNER_SHIFT: u32 = 32;
+
 impl MsgId {
     /// The sender stream this ID belongs to (see
     /// [`MsgIdAllocator::for_owner`]).
     pub fn owner(self) -> u32 {
-        (self.0 >> 32) as u32
+        (self.0 >> OWNER_SHIFT) as u32
     }
 }
 
@@ -48,7 +52,7 @@ impl MsgIdAllocator {
     /// so IDs from different senders never collide at a shared receiver.
     pub fn for_owner(owner: u32) -> Self {
         MsgIdAllocator {
-            next: (owner as u64) << 32,
+            next: (owner as u64) << OWNER_SHIFT,
         }
     }
 
@@ -198,7 +202,9 @@ impl<P: Clone, T: Clock> RetryTracker<P, T> {
             out.push(RetryOutcome::Resend(id, entry.payload.clone()));
         }
         for id in dead {
-            let entry = self.inflight.remove(&id).expect("collected above");
+            let Some(entry) = self.inflight.remove(&id) else {
+                continue;
+            };
             self.give_ups += 1;
             out.push(RetryOutcome::GaveUp(id, entry.payload));
         }
@@ -332,7 +338,9 @@ impl BoundedDedupFilter {
             return false;
         }
         while stream.seen.len() > self.window {
-            let evicted = stream.seen.pop_first().expect("non-empty");
+            let Some(evicted) = stream.seen.pop_first() else {
+                break;
+            };
             stream.floor = evicted + 1;
         }
         true
@@ -542,6 +550,17 @@ mod tests {
         let mut a = MsgIdAllocator::for_owner(42);
         assert_eq!(a.next_id().owner(), 42);
         assert_eq!(a.next_id().owner(), 42);
+    }
+
+    #[test]
+    fn owner_shift_partitions_id_space() {
+        // The owner tag and the per-stream counter must split the u64
+        // exactly at OWNER_SHIFT: counters from different owners can
+        // never collide, and the counter half is the full low word.
+        assert_eq!(OWNER_SHIFT, u64::BITS / 2);
+        let id = MsgIdAllocator::for_owner(u32::MAX).next_id();
+        assert_eq!(id.owner(), u32::MAX);
+        assert_eq!(id.0 & ((1u64 << OWNER_SHIFT) - 1), 0, "counter starts at 0");
     }
 
     #[test]

@@ -282,25 +282,37 @@ impl MetricsRegistry {
 
     /// Returns (creating if needed) the counter named `name`.
     pub fn counter(&self, name: impl Into<String>) -> Counter {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.counters.entry(name.into()).or_default().clone()
     }
 
     /// Returns (creating if needed) the gauge named `name`.
     pub fn gauge(&self, name: impl Into<String>) -> Gauge {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.gauges.entry(name.into()).or_default().clone()
     }
 
     /// Returns (creating if needed) the histogram named `name`.
     pub fn histogram(&self, name: impl Into<String>) -> Histogram {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.histograms.entry(name.into()).or_default().clone()
     }
 
     /// A point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         MetricsSnapshot {
             counters: inner
                 .counters

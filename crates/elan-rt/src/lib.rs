@@ -31,6 +31,12 @@
 //! println!("{}", report.trace_report());
 //! ```
 
+// Panic hygiene (DESIGN.md §11): runtime code must not unwrap/expect
+// outside tests. Every exception carries a per-function `#[allow]` whose
+// justification lives in the workspace-root `verify-allow.toml`, and
+// `elan-verify` re-checks the same sites structurally in CI.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bus;
 pub mod chaos;
 pub mod comm;

@@ -711,10 +711,9 @@ impl TraceRecorder {
                 }
             }
         }
-        t.phases[AdjustmentPhase::Adjust.index()]
-            .as_mut()
-            .expect("filled above")
-            .end_us = at_us;
+        if let Some(w) = t.phases[AdjustmentPhase::Adjust.index()].as_mut() {
+            w.end_us = at_us;
+        }
         t.completed = true;
         t.generation = generation;
         t.final_world = world;

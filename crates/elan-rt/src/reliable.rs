@@ -95,6 +95,12 @@ impl RtMetrics {
     }
 }
 
+/// Attempt number stamped on the first *resend* of a message. The
+/// original transmission is attempt 1; if the tracker has already
+/// forgotten the entry by poll time we conservatively report the second
+/// attempt rather than inventing attempt 0/1.
+const FIRST_RESEND_ATTEMPT: u32 = 2;
+
 /// A message the endpoint gave up on: the peer never acked within the
 /// attempt budget.
 #[derive(Debug, Clone)]
@@ -203,7 +209,7 @@ impl ReliableEndpoint {
         for outcome in self.retry.poll(Instant::now()) {
             match outcome {
                 RetryOutcome::Resend(id, (to, body)) => {
-                    let attempt = self.retry.attempts(id).unwrap_or(2);
+                    let attempt = self.retry.attempts(id).unwrap_or(FIRST_RESEND_ATTEMPT);
                     self.metrics.resends.inc();
                     if let Some(journal) = self.bus.journal() {
                         journal.emit(EventKind::MessageResent { to, attempt });

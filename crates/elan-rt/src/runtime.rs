@@ -353,6 +353,7 @@ impl ElasticRuntime {
     ///
     /// Panics if the configuration has zero workers or empty parameters.
     #[deprecated(since = "0.3.0", note = "use ElasticRuntime::builder() instead")]
+    #[allow(clippy::expect_used)] // waived: see verify-allow.toml (deprecated panicking shim)
     pub fn start(cfg: RuntimeConfig) -> Self {
         Self::builder()
             .config(cfg)
@@ -365,6 +366,7 @@ impl ElasticRuntime {
         since = "0.3.0",
         note = "use ElasticRuntime::builder().chaos(policy) instead"
     )]
+    #[allow(clippy::expect_used)] // waived: see verify-allow.toml (deprecated panicking shim)
     pub fn start_with_chaos(cfg: RuntimeConfig, policy: ChaosPolicy) -> Self {
         Self::builder()
             .config(cfg)
@@ -383,6 +385,7 @@ impl ElasticRuntime {
         since = "0.3.0",
         note = "use ElasticRuntime::builder().restore(&snapshot) instead"
     )]
+    #[allow(clippy::expect_used)] // waived: see verify-allow.toml (deprecated panicking shim)
     pub fn start_from(cfg: RuntimeConfig, snapshot: &CheckpointSnapshot) -> Self {
         Self::builder()
             .config(cfg)
@@ -391,6 +394,7 @@ impl ElasticRuntime {
             .expect("snapshot does not match the configuration")
     }
 
+    #[allow(clippy::expect_used)] // waived: see verify-allow.toml (OS thread spawn)
     fn launch(
         cfg: RuntimeConfig,
         restore: Option<CheckpointSnapshot>,
@@ -460,6 +464,7 @@ impl ElasticRuntime {
         rt
     }
 
+    #[allow(clippy::expect_used)] // waived: see verify-allow.toml (OS thread spawn)
     fn spawn_worker(&mut self, id: WorkerId, role: WorkerRole) {
         let rep = ReliableEndpoint::new(
             self.bus.clone(),
@@ -675,6 +680,7 @@ impl ElasticRuntime {
         }
     }
 
+    #[allow(clippy::expect_used)] // waived: see verify-allow.toml (worker join)
     fn adjust_to(&mut self, target: Vec<WorkerId>, kind: TraceKind) {
         let current = self.members();
         let joining: Vec<WorkerId> = target
@@ -773,6 +779,7 @@ impl ElasticRuntime {
 
     /// Stops the job at the next coordination boundary and returns the
     /// final report.
+    #[allow(clippy::expect_used)] // waived: see verify-allow.toml (teardown joins)
     pub fn shutdown(mut self) -> ShutdownReport {
         let seq = self.take_seq();
         self.op_roundtrip(RtMsg::Stop { seq }, seq);
@@ -813,6 +820,7 @@ fn planning_topology() -> Topology {
 }
 
 /// Spawns one AM incarnation; epoch 0 is the founding AM.
+#[allow(clippy::expect_used)] // waived: see verify-allow.toml (OS thread spawn)
 fn spawn_am(
     cfg: RuntimeConfig,
     bus: &Bus,
@@ -851,6 +859,7 @@ fn watchdog_thread(cfg: RuntimeConfig, bus: Bus, comm: Arc<CommGroup>, ctrl: Arc
     }
 }
 
+#[allow(clippy::expect_used)] // waived: see verify-allow.toml (seeded durable record)
 fn am_thread(
     cfg: RuntimeConfig,
     bus: Bus,
@@ -1299,6 +1308,7 @@ impl AmCore {
     /// planner found to contend on a link (shared source/destination GPU,
     /// same-node QPI/L3 or NIC edge) are serialized while disjoint ones
     /// overlap. Idempotent — a recovered AM calls it again.
+    #[allow(clippy::expect_used)] // waived: see verify-allow.toml (validated placements)
     fn start_transfers(&mut self) {
         self.transfers_started = true;
         self.outstanding.clear();

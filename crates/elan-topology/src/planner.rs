@@ -144,7 +144,7 @@ impl<'a> ReplicationPlanner<'a> {
                         src,
                     )
                 })
-                .expect("existing is non-empty");
+                .ok_or(PlanError::NoSource)?;
             *load.entry(src).or_insert(0) += 1;
             let level = self.topology.link_level(src, dst);
             transfers.push(Transfer {
@@ -268,18 +268,17 @@ mod tests {
     }
 
     #[test]
-    fn nearest_source_prefers_p2p() {
+    fn nearest_source_prefers_p2p() -> Result<(), PlanError> {
         let t = topo();
         // Existing worker on gpu0; candidates gpu1 (L1), gpu2 (L2), gpu8 (L4).
-        let plan = ReplicationPlanner::new(&t)
-            .plan(&[GpuId(0), GpuId(4)], &[GpuId(1)])
-            .unwrap();
+        let plan = ReplicationPlanner::new(&t).plan(&[GpuId(0), GpuId(4)], &[GpuId(1)])?;
         assert_eq!(plan.transfers()[0].src, GpuId(0));
         assert_eq!(plan.transfers()[0].transport, Transport::P2p);
+        Ok(())
     }
 
     #[test]
-    fn paper_figure9_example() {
+    fn paper_figure9_example() -> Result<(), PlanError> {
         // Fig. 9: existing A,B (same switch), C (other socket, same node),
         // D (different node). New E close to C under the same socket, F
         // close to D under the same node. Expect E<-C and F<-D in parallel.
@@ -289,9 +288,7 @@ mod tests {
         let d = t.gpu_at(NodeId(1), 0, 0, 0);
         let e = t.gpu_at(NodeId(0), 1, 0, 1); // same switch as C
         let f = t.gpu_at(NodeId(1), 0, 1, 0); // same socket as D
-        let plan = ReplicationPlanner::new(&t)
-            .plan(&[a, b, c, d], &[e, f])
-            .unwrap();
+        let plan = ReplicationPlanner::new(&t).plan(&[a, b, c, d], &[e, f])?;
         let by_dst: HashMap<GpuId, GpuId> =
             plan.transfers().iter().map(|t| (t.dst, t.src)).collect();
         assert_eq!(by_dst[&e], c);
@@ -299,44 +296,44 @@ mod tests {
         // Both transfers proceed concurrently (one wave).
         assert_eq!(plan.waves().len(), 1);
         assert_eq!(plan.waves()[0].len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn shared_source_serializes() {
+    fn shared_source_serializes() -> Result<(), PlanError> {
         let t = topo();
         // Only one existing worker: both new workers must copy from it, in turn.
-        let plan = ReplicationPlanner::new(&t)
-            .plan(&[GpuId(0)], &[GpuId(1), GpuId(2)])
-            .unwrap();
+        let plan = ReplicationPlanner::new(&t).plan(&[GpuId(0)], &[GpuId(1), GpuId(2)])?;
         assert_eq!(plan.waves().len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn load_balances_across_equal_sources() {
+    fn load_balances_across_equal_sources() -> Result<(), PlanError> {
         let t = topo();
         // Two existing on the same switch; two new on that switch's level.
-        let plan = ReplicationPlanner::new(&t)
-            .plan(&[GpuId(0), GpuId(2)], &[GpuId(1), GpuId(3)])
-            .unwrap();
+        let plan =
+            ReplicationPlanner::new(&t).plan(&[GpuId(0), GpuId(2)], &[GpuId(1), GpuId(3)])?;
         let srcs: Vec<GpuId> = plan.transfers().iter().map(|t| t.src).collect();
         assert!(srcs.contains(&GpuId(0)) && srcs.contains(&GpuId(2)));
         assert_eq!(plan.waves().len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn l3_transfers_on_same_node_serialize() {
+    fn l3_transfers_on_same_node_serialize() -> Result<(), PlanError> {
         let t = topo();
         // Existing on socket0 of node0 (gpus 0,1); new on socket1 (gpus 4,5):
         // both transfers cross the QPI link of node0 -> serialized.
-        let plan = ReplicationPlanner::new(&t)
-            .plan(&[GpuId(0), GpuId(1)], &[GpuId(4), GpuId(5)])
-            .unwrap();
+        let plan =
+            ReplicationPlanner::new(&t).plan(&[GpuId(0), GpuId(1)], &[GpuId(4), GpuId(5)])?;
         assert!(plan.transfers().iter().all(|t| t.level == LinkLevel::L3));
         assert_eq!(plan.waves().len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn nic_contention_serializes_outbound() {
+    fn nic_contention_serializes_outbound() -> Result<(), PlanError> {
         let t = topo();
         // One existing node (node0) feeding two new nodes: both transfers
         // leave through node0's NIC -> serialized.
@@ -344,34 +341,30 @@ mod tests {
         let src1 = t.gpu_at(NodeId(0), 0, 0, 1);
         let d1 = t.gpu_at(NodeId(1), 0, 0, 0);
         let d2 = t.gpu_at(NodeId(2), 0, 0, 0);
-        let plan = ReplicationPlanner::new(&t)
-            .plan(&[src0, src1], &[d1, d2])
-            .unwrap();
+        let plan = ReplicationPlanner::new(&t).plan(&[src0, src1], &[d1, d2])?;
         assert!(plan.transfers().iter().all(|t| t.level == LinkLevel::L4));
         assert_eq!(plan.waves().len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn different_nodes_replicate_concurrently() {
+    fn different_nodes_replicate_concurrently() -> Result<(), PlanError> {
         let t = topo();
         // Existing worker on each of node0/node1, new worker beside each:
         // two independent P2P transfers, one wave.
-        let plan = ReplicationPlanner::new(&t)
-            .plan(
-                &[t.gpu_at(NodeId(0), 0, 0, 0), t.gpu_at(NodeId(1), 0, 0, 0)],
-                &[t.gpu_at(NodeId(0), 0, 0, 1), t.gpu_at(NodeId(1), 0, 0, 1)],
-            )
-            .unwrap();
+        let plan = ReplicationPlanner::new(&t).plan(
+            &[t.gpu_at(NodeId(0), 0, 0, 0), t.gpu_at(NodeId(1), 0, 0, 0)],
+            &[t.gpu_at(NodeId(0), 0, 0, 1), t.gpu_at(NodeId(1), 0, 0, 1)],
+        )?;
         assert_eq!(plan.waves().len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn duration_overlaps_cpu_and_gpu() {
+    fn duration_overlaps_cpu_and_gpu() -> Result<(), PlanError> {
         let t = topo();
         let bw = BandwidthModel::paper_default();
-        let plan = ReplicationPlanner::new(&t)
-            .plan(&[GpuId(0)], &[GpuId(1)])
-            .unwrap();
+        let plan = ReplicationPlanner::new(&t).plan(&[GpuId(0)], &[GpuId(1)])?;
         let gpu = Bytes::from_mib(100);
         let cpu = Bytes::from_kib(16);
         let total = plan.duration(&bw, gpu, cpu);
@@ -381,12 +374,13 @@ mod tests {
         );
         // CPU state is small: it must hide entirely under the GPU transfer.
         assert_eq!(total, plan.gpu_duration(&bw, gpu));
+        Ok(())
     }
 
     #[test]
-    fn empty_join_is_empty_plan() {
+    fn empty_join_is_empty_plan() -> Result<(), PlanError> {
         let t = topo();
-        let plan = ReplicationPlanner::new(&t).plan(&[GpuId(0)], &[]).unwrap();
+        let plan = ReplicationPlanner::new(&t).plan(&[GpuId(0)], &[])?;
         assert!(plan.is_empty());
         assert_eq!(
             plan.duration(
@@ -396,6 +390,7 @@ mod tests {
             ),
             SimDuration::ZERO
         );
+        Ok(())
     }
 
     #[test]
@@ -418,26 +413,21 @@ mod tests {
     }
 
     #[test]
-    fn plan_is_deterministic_regardless_of_input_order() {
+    fn plan_is_deterministic_regardless_of_input_order() -> Result<(), PlanError> {
         let t = topo();
         let p = ReplicationPlanner::new(&t);
-        let a = p
-            .plan(&[GpuId(0), GpuId(9)], &[GpuId(1), GpuId(8), GpuId(2)])
-            .unwrap();
-        let b = p
-            .plan(&[GpuId(9), GpuId(0)], &[GpuId(2), GpuId(1), GpuId(8)])
-            .unwrap();
+        let a = p.plan(&[GpuId(0), GpuId(9)], &[GpuId(1), GpuId(8), GpuId(2)])?;
+        let b = p.plan(&[GpuId(9), GpuId(0)], &[GpuId(2), GpuId(1), GpuId(8)])?;
         assert_eq!(a, b);
+        Ok(())
     }
 
     #[test]
-    fn every_destination_served_exactly_once() {
+    fn every_destination_served_exactly_once() -> Result<(), PlanError> {
         let t = topo();
         let joining: Vec<GpuId> = (8..24).map(GpuId).collect();
         let existing: Vec<GpuId> = (0..8).map(GpuId).collect();
-        let plan = ReplicationPlanner::new(&t)
-            .plan(&existing, &joining)
-            .unwrap();
+        let plan = ReplicationPlanner::new(&t).plan(&existing, &joining)?;
         let mut dsts: Vec<GpuId> = plan.transfers().iter().map(|t| t.dst).collect();
         dsts.sort_unstable();
         assert_eq!(dsts, joining);
@@ -445,5 +435,6 @@ mod tests {
         let mut covered: Vec<usize> = plan.waves().iter().flatten().copied().collect();
         covered.sort_unstable();
         assert_eq!(covered, (0..plan.transfers().len()).collect::<Vec<_>>());
+        Ok(())
     }
 }

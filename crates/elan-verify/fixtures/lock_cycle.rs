@@ -1,0 +1,31 @@
+// expect: LOCK_ORDER_CYCLE
+//
+// Known-bad: two methods acquire the same pair of mutexes in opposite
+// orders. Two threads running `ab` and `ba` concurrently deadlock. The
+// checker must report exactly one cycle (a -> b -> a, canonicalised).
+//
+// This file is a checker fixture, not part of the build: it is compiled
+// only by `elan-verify --self-test` / `--fixture`, never by cargo.
+
+use std::sync::Mutex;
+
+struct Shared {
+    a: Mutex<State>,
+    b: Mutex<State>,
+}
+
+impl Shared {
+    fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    fn ba(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        drop(ga);
+        drop(gb);
+    }
+}

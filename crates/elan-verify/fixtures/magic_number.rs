@@ -1,0 +1,12 @@
+// expect: MAGIC_NUMBER
+//
+// Known-bad: a reliability bound written as a bare literal. Dedup
+// window sizes and retry budgets must live in named consts so the
+// sender's and receiver's idea of the bound cannot drift apart when
+// one call site is edited (§V-D bounded-memory dedup).
+//
+// This file is a checker fixture, not part of the build.
+
+fn dedup_window_len() -> usize {
+    64
+}

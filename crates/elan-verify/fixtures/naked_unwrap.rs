@@ -1,0 +1,12 @@
+// expect: PANIC_HYGIENE
+//
+// Known-bad: a bare `.unwrap()` in non-test runtime code. A lost
+// message or a crashed peer turns this into a panic that takes the
+// whole process down instead of a typed ElanError the scheduler loop
+// can react to. Either return an error or add a justified waiver.
+//
+// This file is a checker fixture, not part of the build.
+
+fn current_epoch(progress: Option<Epoch>) -> Epoch {
+    progress.unwrap()
+}

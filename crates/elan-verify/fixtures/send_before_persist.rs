@@ -1,0 +1,17 @@
+// expect: PERSIST_BEFORE_ACT
+//
+// Known-bad: the AM mutates its durable record and then tells a worker
+// about the new phase *before* persisting. If the AM crashes between
+// the send and the persist, the replacement AM recovers a record that
+// never heard of the in-flight adjustment while a worker is already
+// acting on it (§V-D). Persist must dominate the send.
+//
+// This file is a checker fixture, not part of the build.
+
+impl Am {
+    fn begin_adjust(&mut self, worker: EndpointId) {
+        self.durable.phase = Phase::Adjusting;
+        self.rep.send_envelope(worker, adjust_msg());
+        self.ctrl.persist(&self.durable);
+    }
+}

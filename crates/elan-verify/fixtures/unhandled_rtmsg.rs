@@ -1,0 +1,23 @@
+// expect: PROTOCOL_UNHANDLED_MSG
+//
+// Known-bad: the dispatch loop matches `RtMsg::Ping` but never matches
+// `RtMsg::Pong` in any pattern, so a peer sending Pong is silently
+// swallowed by the catch-all arm. Every protocol variant must appear in
+// pattern position somewhere (§V-D: unhandled control messages are how
+// adjustments wedge).
+//
+// This file is a checker fixture, not part of the build.
+
+enum RtMsg {
+    Ping,
+    Pong,
+}
+
+fn dispatch(m: RtMsg) {
+    match m {
+        RtMsg::Ping => on_ping(),
+        _ => {}
+    }
+}
+
+fn on_ping() {}

@@ -1,0 +1,347 @@
+//! A lightweight Rust lexer sufficient for invariant analysis.
+//!
+//! This is deliberately *not* a full Rust lexer. It tokenises identifiers,
+//! punctuation, and literals while stripping comments and string contents so
+//! that the higher-level model extraction (functions, enums, match arms, lock
+//! acquisition sites) can operate on a clean token stream with accurate line
+//! numbers. It handles the constructs that would otherwise corrupt brace
+//! matching: line/block comments (nested), string literals with escapes, raw
+//! strings with hash fences, char literals vs. lifetimes, and multi-character
+//! operators such as `=>`, `::`, `->`, `..=`.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `match`, `self`, `foo_bar`, ...).
+    Ident,
+    /// Integer or float literal (value content preserved in `text`).
+    Number,
+    /// String, raw string, char, or byte literal (content replaced by a
+    /// canonical placeholder so embedded braces cannot confuse matching).
+    Literal,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Single punctuation character: `{ } ( ) [ ] ; , . & * + - / % ! ? < > = | ^ @ # $ : `
+    Punct,
+    /// Multi-character operator: `:: -> => == != <= >= && || .. ..= ... << >> += -= *= /=`
+    Op,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Lex `src` into a token vector. Never fails: unknown bytes are skipped.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::with_capacity(src.len() / 4);
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    macro_rules! push {
+        ($kind:expr, $text:expr) => {
+            toks.push(Tok {
+                kind: $kind,
+                text: $text,
+                line,
+            })
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                // line comment (incl. doc comments)
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // block comment, possibly nested
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // string literal
+                i += 1;
+                while i < n {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                push!(TokKind::Literal, "\"\"".to_string());
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                // r"...", r#"..."#, br"...", b"..."
+                let start_line = line;
+                let mut j = i;
+                if b[j] == 'b' {
+                    j += 1;
+                }
+                let raw = j < n && b[j] == 'r';
+                if raw {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while raw && j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                // b[j] == '"'
+                j += 1;
+                loop {
+                    if j >= n {
+                        break;
+                    }
+                    match b[j] {
+                        '\n' => {
+                            line += 1;
+                            j += 1;
+                        }
+                        '\\' if !raw => j += 2,
+                        '"' => {
+                            // check closing hash fence
+                            let mut k = j + 1;
+                            let mut seen = 0usize;
+                            while seen < hashes && k < n && b[k] == '#' {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break;
+                            }
+                            j += 1;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                i = j;
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"\"".to_string(),
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // char literal or lifetime
+                if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                    // could be 'a (lifetime) or 'a' (char)
+                    let mut j = i + 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '\'' && j == i + 2 {
+                        // 'x' char literal
+                        push!(TokKind::Literal, "''".to_string());
+                        i = j + 1;
+                    } else {
+                        // lifetime
+                        let text: String = b[i..j].iter().collect();
+                        push!(TokKind::Lifetime, text);
+                        i = j;
+                    }
+                } else {
+                    // escaped or symbol char literal: '\n', '\'', '{'
+                    let mut j = i + 1;
+                    if j < n && b[j] == '\\' {
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                    // consume closing quote if present
+                    if j < n && b[j] == '\'' {
+                        j += 1;
+                    }
+                    push!(TokKind::Literal, "''".to_string());
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n
+                    && (b[j].is_ascii_alphanumeric()
+                        || b[j] == '_'
+                        || b[j] == '.' && {
+                            // only part of number if followed by digit (avoid `1.method()` and `1..2`)
+                            j + 1 < n && b[j + 1].is_ascii_digit()
+                        })
+                {
+                    j += 1;
+                }
+                let text: String = b[i..j].iter().collect();
+                push!(TokKind::Number, text);
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let text: String = b[i..j].iter().collect();
+                push!(TokKind::Ident, text);
+                i = j;
+            }
+            _ => {
+                // punctuation, possibly multi-char
+                let two: String = b[i..(i + 2).min(n)].iter().collect();
+                let three: String = b[i..(i + 3).min(n)].iter().collect();
+                if three == "..=" || three == "..." {
+                    push!(TokKind::Op, three);
+                    i += 3;
+                } else if matches!(
+                    two.as_str(),
+                    "::" | "->"
+                        | "=>"
+                        | "=="
+                        | "!="
+                        | "<="
+                        | ">="
+                        | "&&"
+                        | "||"
+                        | ".."
+                        | "<<"
+                        | ">>"
+                        | "+="
+                        | "-="
+                        | "*="
+                        | "/="
+                        | "%="
+                        | "&="
+                        | "|="
+                        | "^="
+                ) {
+                    push!(TokKind::Op, two);
+                    i += 2;
+                } else {
+                    push!(TokKind::Punct, c.to_string());
+                    i += 1;
+                }
+            }
+        }
+    }
+    toks
+}
+
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j >= n {
+            return false;
+        }
+    }
+    if b[j] == 'r' {
+        j += 1;
+        while j < n && b[j] == '#' {
+            j += 1;
+        }
+    }
+    // must now be at a quote and must not be a plain identifier like `run`
+    if j >= n || b[j] != '"' {
+        return false;
+    }
+    // ensure the prefix chars were only b/r/#
+    b[i..j].iter().all(|&c| c == 'b' || c == 'r' || c == '#')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let toks = lex("fn a() { /* {not} */ let s = \"}{\"; // }\n }");
+        let braces: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.text == "{" || t.text == "}")
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(braces, vec!["{", "}"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        // 'x' and '\n' are char literals; "str" is an ident.
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_strings() {
+        let toks = lex("let x = r#\"hello \"{\" world\"#; let y = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("y")));
+        assert!(!toks.iter().any(|t| t.text == "{"));
+    }
+
+    #[test]
+    fn multi_char_ops() {
+        let toks = lex("a => b :: c -> d ..= e << f");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Op)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ops, vec!["=>", "::", "->", "..=", "<<"]);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = lex("a\nb\nc");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+}

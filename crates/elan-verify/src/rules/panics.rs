@@ -1,0 +1,91 @@
+//! Panic hygiene (PANIC_HYGIENE): no `unwrap()`, `expect(..)`, or `panic!`
+//! in non-test code of the runtime-critical crates. A panicking AM or worker
+//! thread silently breaks the liveness story the paper's §V-D depends on —
+//! failures must surface as typed `ElanError`s (handled) or heartbeats going
+//! quiet (detected), never as a poisoned invariant. Deliberate panics stay
+//! possible via a justified `[[waiver]]` entry in `verify-allow.toml`.
+
+use crate::model::Workspace;
+use crate::report::{rules, Diagnostic};
+
+/// Crates under panic discipline.
+const SCOPE_CRATES: [&str; 3] = ["elan-rt", "elan-core", "elan-topology"];
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if !ws.fixture_mode && !SCOPE_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            let kind = if (t.is_ident("unwrap") || t.is_ident("expect"))
+                && i > 0
+                && toks[i - 1].is(".")
+                && i + 1 < toks.len()
+                && toks[i + 1].is("(")
+            {
+                Some(t.text.as_str().to_string())
+            } else if t.is_ident("panic") && i + 1 < toks.len() && toks[i + 1].is("!") {
+                Some("panic!".to_string())
+            } else {
+                None
+            };
+            let Some(kind) = kind else { continue };
+            if file.is_test_at(i) {
+                continue;
+            }
+            let func = file
+                .enclosing_fn(i)
+                .map(|f| f.qual.clone())
+                .unwrap_or_default();
+            diags.push(Diagnostic::new(
+                rules::PANIC_HYGIENE,
+                file.rel.clone(),
+                t.line,
+                func,
+                kind.clone(),
+                format!("`{kind}` in non-test runtime code"),
+                "return a typed ElanError (or add a [[waiver]] with a justification in \
+                 verify-allow.toml if the panic is a checked invariant)",
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::parse_source;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace {
+            files: vec![parse_source(src, "t.rs".into(), String::new())],
+            fixture_mode: true,
+        }
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic() {
+        let d = run(&ws("fn f(x: Option<u32>) -> u32 { let a = x.unwrap(); \
+             let b = x.expect(\"present\"); if a == b { panic!(\"boom\") } a }"));
+        let kinds: Vec<&str> = d.iter().map(|d| d.detail.as_str()).collect();
+        assert_eq!(kinds, vec!["unwrap", "expect", "panic!"]);
+    }
+
+    #[test]
+    fn unwrap_or_is_fine() {
+        let d = run(&ws("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }"));
+        assert!(d.is_empty(), "got {d:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let d = run(&ws(
+            "#[cfg(test)] mod tests { #[test] fn t() { None::<u32>.unwrap(); } }",
+        ));
+        assert!(d.is_empty(), "got {d:?}");
+    }
+}

@@ -1,0 +1,246 @@
+//! `verify-allow.toml` parsing and waiver application.
+//!
+//! The waiver file is the *only* way to silence a diagnostic, and it is
+//! diffed in CI like `api_surface.txt`, so waivers can only grow with review.
+//! The parser handles the TOML subset the file actually uses — `[[waiver]]`
+//! array tables with string/integer values and `#` comments — because the
+//! build environment is offline and the checker must stay dependency-free.
+
+use std::fs;
+use std::path::Path;
+
+use crate::report::Diagnostic;
+
+/// One `[[waiver]]` entry.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule ID this waiver applies to (required).
+    pub rule: String,
+    /// Suffix-matched against the diagnostic's file path (required).
+    pub file: String,
+    /// Exact match against the diagnostic's qualified or simple function
+    /// name. Empty = any function.
+    pub func: String,
+    /// Substring match against the diagnostic's `detail`. Empty = any.
+    pub detail: String,
+    /// Maximum number of diagnostics this entry may absorb (default 1).
+    pub count: u32,
+    /// Human justification (required, must be non-empty).
+    pub reason: String,
+    /// Line in the waiver file, for error reporting.
+    pub line: u32,
+    /// How many diagnostics this entry absorbed during application.
+    pub used: u32,
+}
+
+/// Parse a waiver file. Returns `Err` with a description on malformed input
+/// or on entries missing `rule`, `file`, or a non-empty `reason`.
+pub fn parse_waivers(path: &Path) -> Result<Vec<Waiver>, String> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read waiver file {}: {e}", path.display()))?;
+    parse_waivers_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+pub fn parse_waivers_str(text: &str) -> Result<Vec<Waiver>, String> {
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut in_entry = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            if let Some(prev) = waivers.last() {
+                validate(prev)?;
+            }
+            waivers.push(Waiver {
+                rule: String::new(),
+                file: String::new(),
+                func: String::new(),
+                detail: String::new(),
+                count: 1,
+                reason: String::new(),
+                line: lineno,
+                used: 0,
+            });
+            in_entry = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {lineno}: unsupported table {line:?} (only [[waiver]] is recognised)"
+            ));
+        }
+        if !in_entry {
+            return Err(format!(
+                "line {lineno}: key/value outside a [[waiver]] table"
+            ));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`, got {line:?}"))?;
+        let key = key.trim();
+        let value = value.trim();
+        let entry = waivers
+            .last_mut()
+            .ok_or_else(|| format!("line {lineno}: no open [[waiver]] entry"))?;
+        match key {
+            "rule" => entry.rule = parse_string(value, lineno)?,
+            "file" => entry.file = parse_string(value, lineno)?,
+            "func" => entry.func = parse_string(value, lineno)?,
+            "detail" => entry.detail = parse_string(value, lineno)?,
+            "reason" => entry.reason = parse_string(value, lineno)?,
+            "count" => {
+                entry.count = value
+                    .parse::<u32>()
+                    .map_err(|_| format!("line {lineno}: count must be an integer"))?;
+            }
+            other => {
+                return Err(format!("line {lineno}: unknown waiver key {other:?}"));
+            }
+        }
+    }
+    if let Some(prev) = waivers.last() {
+        validate(prev)?;
+    }
+    Ok(waivers)
+}
+
+fn validate(w: &Waiver) -> Result<(), String> {
+    if w.rule.is_empty() {
+        return Err(format!("waiver at line {}: missing `rule`", w.line));
+    }
+    if w.file.is_empty() {
+        return Err(format!("waiver at line {}: missing `file`", w.line));
+    }
+    if w.reason.trim().is_empty() {
+        return Err(format!(
+            "waiver at line {}: missing `reason` — every waiver needs a justification",
+            w.line
+        ));
+    }
+    if w.count == 0 {
+        return Err(format!("waiver at line {}: count must be >= 1", w.line));
+    }
+    Ok(())
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` only starts a comment outside quotes in this subset; the waiver
+    // file does not use `#` inside strings, but be safe anyway.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: u32) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        let inner = &v[1..v.len() - 1];
+        // unescape the small set TOML basic strings allow and we use
+        Ok(inner
+            .replace("\\\"", "\"")
+            .replace("\\\\", "\\")
+            .replace("\\n", "\n"))
+    } else {
+        Err(format!(
+            "line {lineno}: expected a double-quoted string, got {v:?}"
+        ))
+    }
+}
+
+impl Waiver {
+    fn matches(&self, d: &Diagnostic) -> bool {
+        self.rule == d.rule
+            && d.file.ends_with(&self.file)
+            && (self.func.is_empty()
+                || d.func == self.func
+                || d.func.ends_with(&format!("::{}", self.func)))
+            && (self.detail.is_empty() || d.detail.contains(&self.detail))
+    }
+}
+
+/// Mark diagnostics waived in place. Each waiver absorbs at most `count`
+/// matching diagnostics, in file order. Returns the waivers with their
+/// `used` counters filled in so the caller can report unused entries.
+pub fn apply_waivers(diags: &mut [Diagnostic], mut waivers: Vec<Waiver>) -> Vec<Waiver> {
+    for d in diags.iter_mut() {
+        if d.waived {
+            continue;
+        }
+        for w in waivers.iter_mut() {
+            if w.used < w.count && w.matches(d) {
+                d.waived = true;
+                d.waived_reason = Some(w.reason.clone());
+                w.used += 1;
+                break;
+            }
+        }
+    }
+    waivers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{rules, Diagnostic};
+
+    const SAMPLE: &str = r#"
+# comment
+[[waiver]]
+rule = "PANIC_HYGIENE"
+file = "crates/elan-rt/src/comm.rs"
+func = "CommGroup::finish_round"
+count = 2
+reason = "pool invariant"
+
+[[waiver]]
+rule = "PROTOCOL_UNCONSTRUCTED_ERROR"
+file = "crates/elan-core/src/error.rs"
+detail = "ShuttingDown"
+reason = "reserved for the drain path"
+"#;
+
+    #[test]
+    fn parses_entries() {
+        let ws = parse_waivers_str(SAMPLE).expect("parses");
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].count, 2);
+        assert_eq!(ws[1].detail, "ShuttingDown");
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        let bad = "[[waiver]]\nrule = \"PANIC_HYGIENE\"\nfile = \"x.rs\"\n";
+        assert!(parse_waivers_str(bad).is_err());
+    }
+
+    #[test]
+    fn applies_with_count_budget() {
+        let ws = parse_waivers_str(SAMPLE).expect("parses");
+        let mk = |line| {
+            Diagnostic::new(
+                rules::PANIC_HYGIENE,
+                "crates/elan-rt/src/comm.rs",
+                line,
+                "CommGroup::finish_round",
+                "expect",
+                "m",
+                "h",
+            )
+        };
+        let mut diags = vec![mk(1), mk(2), mk(3)];
+        let used = apply_waivers(&mut diags, ws);
+        assert!(diags[0].waived && diags[1].waived);
+        assert!(!diags[2].waived, "count budget exhausted");
+        assert_eq!(used[0].used, 2);
+        assert_eq!(used[1].used, 0);
+    }
+}

@@ -24,6 +24,7 @@ use elan_core::state::WorkerId;
 
 use crate::chaos::{ChaosEngine, ChaosPolicy, ChaosStats};
 use crate::obs::{EventJournal, EventKind};
+use crate::time::TimeSource;
 
 /// Identifies a bus endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -199,6 +200,10 @@ struct BusInner {
     journal: Option<Arc<EventJournal>>,
     /// Id stream for bare [`Bus::send`] calls (owner `u32::MAX`).
     raw_ids: Mutex<MsgIdAllocator>,
+    /// The runtime's clock. Every component holding the bus (reliable
+    /// endpoints, workers, the comm group) reads time through
+    /// [`Bus::time`], so one runtime ticks on exactly one source.
+    time: TimeSource,
 }
 
 /// A shared registry of endpoint senders.
@@ -218,6 +223,7 @@ impl fmt::Debug for Bus {
 pub struct Endpoint {
     id: EndpointId,
     receiver: Receiver<Envelope>,
+    time: TimeSource,
 }
 
 impl Bus {
@@ -228,17 +234,23 @@ impl Bus {
 
     /// Creates a bus whose sends run through the given chaos policy.
     pub fn with_chaos(policy: ChaosPolicy) -> Self {
-        Bus::with_options(Some(policy), None)
+        Bus::with_options(Some(policy), None, TimeSource::real())
     }
 
-    /// Creates a bus with optional fault injection and an optional event
-    /// journal (the runtime builder's entry point).
-    pub fn with_options(chaos: Option<ChaosPolicy>, journal: Option<Arc<EventJournal>>) -> Self {
+    /// Creates a bus with optional fault injection, an optional event
+    /// journal, and the runtime's clock (the runtime builder's entry
+    /// point).
+    pub fn with_options(
+        chaos: Option<ChaosPolicy>,
+        journal: Option<Arc<EventJournal>>,
+        time: TimeSource,
+    ) -> Self {
         Bus {
             inner: Arc::new(BusInner {
                 chaos: chaos.map(|policy| Mutex::new(ChaosEngine::new(policy))),
                 journal,
                 raw_ids: Mutex::new(MsgIdAllocator::for_owner(u32::MAX)),
+                time,
                 ..BusInner::default()
             }),
         }
@@ -247,6 +259,11 @@ impl Bus {
     /// The attached event journal, if observability is wired up.
     pub fn journal(&self) -> Option<&Arc<EventJournal>> {
         self.inner.journal.as_ref()
+    }
+
+    /// The clock this bus (and the runtime around it) ticks on.
+    pub fn time(&self) -> &TimeSource {
+        &self.inner.time
     }
 
     /// Registers `id` and returns its endpoint.
@@ -258,7 +275,11 @@ impl Bus {
         let (tx, rx) = unbounded();
         let prev = self.inner.senders.write().insert(id, tx);
         assert!(prev.is_none(), "endpoint {id} registered twice");
-        Endpoint { id, receiver: rx }
+        Endpoint {
+            id,
+            receiver: rx,
+            time: self.inner.time.clone(),
+        }
     }
 
     /// Removes an endpoint; subsequent sends to it become dead letters.
@@ -327,7 +348,12 @@ impl Bus {
                 }
             }
         }
-        self.inner.senders.read().contains_key(&to)
+        let registered = self.inner.senders.read().contains_key(&to);
+        // Under virtual time, parked receivers re-check their queues only
+        // when woken; publish the delivery. (No bus lock is held here, and
+        // `wake_all` only flips scheduler states — it never blocks.)
+        self.inner.time.wake_all();
+        registered
     }
 
     /// Delivery counters for one destination.
@@ -393,14 +419,44 @@ impl Endpoint {
     /// bus itself holds the senders until unregistered.
     #[allow(clippy::expect_used)] // waived: see verify-allow.toml (Endpoint::recv)
     pub fn recv(&self) -> Envelope {
+        if self.time.is_virtual() {
+            loop {
+                if let Some(env) = self.try_recv() {
+                    return env;
+                }
+                // Woken by the sender's `wake_all`; if no sender can ever
+                // exist again the clock reports a virtual deadlock, which
+                // surfaces the same protocol bug as the real-time expect.
+                self.time.park();
+            }
+        }
         self.receiver
             .recv()
             .expect("bus dropped while endpoint alive")
     }
 
-    /// Blocks up to `timeout` for a message.
+    /// Blocks up to `timeout` for a message. Under virtual time this parks
+    /// the calling thread; the wait costs zero wall-clock time once every
+    /// other runtime thread is quiescent.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        if self.time.is_virtual() {
+            let deadline = self.time.deadline_after(timeout);
+            loop {
+                if let Some(env) = self.try_recv() {
+                    return Some(env);
+                }
+                if self.time.now() >= deadline {
+                    return None;
+                }
+                self.time.park_until(deadline);
+            }
+        }
         self.receiver.recv_timeout(timeout).ok()
+    }
+
+    /// The clock of the bus this endpoint was registered on.
+    pub fn time(&self) -> &TimeSource {
+        &self.time
     }
 
     /// Non-blocking receive.

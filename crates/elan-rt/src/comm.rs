@@ -50,6 +50,7 @@ use elan_core::messages::ChunkPlan;
 use elan_core::state::WorkerId;
 
 use crate::obs::{EventJournal, EventKind};
+use crate::time::{std_to_sim, TimeSource};
 
 /// How often a blocked allreduce caller's `on_wait` callback fires.
 const WAIT_SLICE: Duration = Duration::from_millis(50);
@@ -203,6 +204,10 @@ pub struct CommGroup {
     /// Set once by the runtime builder; rounds/evictions/reconfigurations
     /// emit journal events when present.
     journal: OnceLock<Arc<EventJournal>>,
+    /// Set once by the runtime builder. Under a virtual [`TimeSource`]
+    /// blocked callers park on the clock (deterministic, zero wall time)
+    /// instead of on the condvar.
+    time: OnceLock<TimeSource>,
 }
 
 impl std::fmt::Debug for CommGroup {
@@ -266,6 +271,7 @@ impl CommGroup {
             },
             plan: ChunkPlan::new(len, chunk_elems),
             journal: OnceLock::new(),
+            time: OnceLock::new(),
         }
     }
 
@@ -274,6 +280,38 @@ impl CommGroup {
     /// [`EventKind::AllreduceRound`]-family events.
     pub fn set_journal(&self, journal: Arc<EventJournal>) {
         let _ = self.journal.set(journal);
+    }
+
+    /// Attaches the runtime's clock (one-shot; later calls are ignored).
+    /// Required for deterministic simulation: virtual-time callers must
+    /// park on the clock so the scheduler can account for them.
+    pub fn set_time(&self, time: TimeSource) {
+        let _ = self.time.set(time);
+    }
+
+    /// The attached virtual clock, if any (`None` in real time — the
+    /// condvar path needs no clock).
+    fn virtual_time(&self) -> Option<&TimeSource> {
+        self.time.get().filter(|t| t.is_virtual())
+    }
+
+    /// Wakes parked virtual-time callers after publishing state they may
+    /// be waiting on (pairs every `cvar.notify_all`).
+    fn wake_virtual(&self) {
+        if let Some(t) = self.virtual_time() {
+            t.wake_all();
+        }
+    }
+
+    /// Test-only: blocks on the condvar (no sleep-polling) until the open
+    /// round holds at least `n` contributions. Contribution inserts notify
+    /// the condvar, so this returns as soon as the `n`-th one lands.
+    #[cfg(test)]
+    fn wait_for_contributions(&self, n: usize) {
+        let mut st = self.state.lock();
+        while st.contributions.len() < n {
+            self.cvar.wait(&mut st);
+        }
     }
 
     /// Current generation (bumps on every reconfiguration).
@@ -351,6 +389,10 @@ impl CommGroup {
                 .insert(pos, (worker, SharedSlice::new(data))),
         }
         let my_round = st.round;
+        // Announce the contribution: waiters re-check their predicates
+        // (and the test helpers waiting for a partial round see it land
+        // without polling).
+        self.cvar.notify_all();
 
         if st.contributions.len() == st.members.len() {
             // Last arriver: publish the reduction and join the helpers.
@@ -368,10 +410,25 @@ impl CommGroup {
                 st = self.state.lock();
                 continue;
             }
-            if self.cvar.wait_for(&mut st, WAIT_SLICE).timed_out() {
-                drop(st);
-                on_wait();
-                st = self.state.lock();
+            match self.virtual_time() {
+                Some(time) => {
+                    // Virtual time: park on the clock (releasing the group
+                    // lock) so the scheduler knows this thread is blocked;
+                    // a round completion wakes us early via `wake_virtual`,
+                    // otherwise the wait-slice deadline fires `on_wait`.
+                    let deadline = time.now() + std_to_sim(WAIT_SLICE);
+                    drop(st);
+                    time.park_until(deadline);
+                    on_wait();
+                    st = self.state.lock();
+                }
+                None => {
+                    if self.cvar.wait_for(&mut st, WAIT_SLICE).timed_out() {
+                        drop(st);
+                        on_wait();
+                        st = self.state.lock();
+                    }
+                }
             }
         }
         AllreduceOutcome::Sum {
@@ -416,6 +473,7 @@ impl CommGroup {
         st.reducing_world = st.members.len() as u32;
         // Wake parked waiters so they become reduction helpers.
         self.cvar.notify_all();
+        self.wake_virtual();
     }
 
     /// Claims and reduces chunks until the cursor is exhausted. The
@@ -476,6 +534,7 @@ impl CommGroup {
             });
         }
         self.cvar.notify_all();
+        self.wake_virtual();
     }
 
     /// Removes a (presumed dead) member mid-generation, discarding any
@@ -731,12 +790,8 @@ mod tests {
         // and the round must still complete with the *original* data.
         let group = Arc::new(CommGroup::new([WorkerId(0), WorkerId(1)], 4));
         let h = spawn_allreduce(&group, WorkerId(0), vec![5.0; 4]);
-        // Wait for the first contribution to land.
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while group.state.lock().contributions.is_empty() {
-            assert!(std::time::Instant::now() < deadline, "contribution stuck");
-            thread::sleep(Duration::from_millis(1));
-        }
+        // Wait for the first contribution to land (condvar, no polling).
+        group.wait_for_contributions(1);
         assert_eq!(
             group.allreduce(WorkerId(0), &[99.0; 4]),
             AllreduceOutcome::DuplicateContribution
@@ -791,18 +846,8 @@ mod tests {
         let group = Arc::new(CommGroup::new((0..3).map(WorkerId), 4));
         let h0 = spawn_allreduce(&group, WorkerId(0), vec![1.0; 4]);
         let h1 = spawn_allreduce(&group, WorkerId(1), vec![2.0; 4]);
-        // Give both threads time to park in the round.
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        loop {
-            {
-                let st = group.state.lock();
-                if st.contributions.len() == 2 {
-                    break;
-                }
-            }
-            assert!(std::time::Instant::now() < deadline, "contributions stuck");
-            thread::sleep(Duration::from_millis(1));
-        }
+        // Both contributions must land before the eviction (condvar wait).
+        group.wait_for_contributions(2);
         assert!(group.evict(WorkerId(2)));
         for h in [h0, h1] {
             match h.join().unwrap() {
@@ -825,20 +870,23 @@ mod tests {
 
     #[test]
     fn on_wait_fires_while_blocked() {
-        use std::sync::atomic::{AtomicU32, Ordering};
+        // The blocked caller signals each wait tick through a channel; the
+        // test blocks on the channel (no sleeps) until at least one tick
+        // has provably fired, then completes the round.
         let group = Arc::new(CommGroup::new([WorkerId(0), WorkerId(1)], 2));
-        let ticks = Arc::new(AtomicU32::new(0));
-        let (g, t) = (Arc::clone(&group), Arc::clone(&ticks));
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let g = Arc::clone(&group);
         let h = thread::spawn(move || {
             g.allreduce_with(WorkerId(0), &[1.0; 2], || {
-                t.fetch_add(1, Ordering::SeqCst);
+                let _ = tx.send(());
             })
         });
-        // Hold the round open long enough for at least one wait slice.
-        thread::sleep(Duration::from_millis(160));
+        rx.recv().expect("waiter must surface wait ticks");
         group.allreduce(WorkerId(1), &[1.0; 2]);
-        h.join().unwrap();
-        assert!(ticks.load(Ordering::SeqCst) >= 1, "no wait ticks observed");
+        assert!(matches!(
+            h.join().unwrap(),
+            AllreduceOutcome::Sum { world: 2, .. }
+        ));
     }
 
     #[test]

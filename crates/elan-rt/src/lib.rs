@@ -44,6 +44,7 @@ pub mod liveness;
 pub mod obs;
 pub mod reliable;
 pub mod runtime;
+pub mod time;
 pub mod worker;
 
 pub use bus::{Bus, Endpoint, EndpointId, EndpointStats, Envelope, RtMsg};
@@ -58,3 +59,4 @@ pub use reliable::{ReliableEndpoint, RtMetrics, RtMetricsSnapshot};
 pub use runtime::{
     CheckpointSnapshot, ElasticRuntime, RuntimeBuilder, RuntimeConfig, ShutdownReport,
 };
+pub use time::{SlotGuard, ThreadSlot, TimeSource, VirtualClock};

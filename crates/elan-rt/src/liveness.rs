@@ -17,17 +17,18 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
 use elan_core::lease::{LeaseId, LeaseManager, LeaseState};
 use elan_core::state::WorkerId;
 use elan_core::store::ReplicatedStore;
-use elan_sim::SimTime;
+use elan_sim::{SimDuration, SimTime};
 
 use crate::obs::Obs;
 use crate::reliable::RtMetrics;
+use crate::time::{std_to_sim, TimeSource};
 
 /// The store key under which the live AM persists its durable record.
 pub const AM_STORE_KEY: &str = "am/rt";
@@ -131,8 +132,10 @@ pub struct SharedControl {
     pub store: Mutex<ReplicatedStore<AmDurable>>,
     /// Lease table proving AM liveness.
     pub leases: Mutex<LeaseManager>,
-    /// Wall-clock origin mapped onto the lease manager's [`SimTime`] axis.
-    lease_origin: Instant,
+    /// The runtime clock the lease table (and heartbeat reasoning) ticks
+    /// on — one [`SimTime`] axis shared with the bus, the retry trackers
+    /// and the event journal.
+    time: TimeSource,
     /// The lease currently held by the active AM.
     pub current_lease: Mutex<Option<LeaseId>>,
     /// Monotone AM incarnation counter; bumped by the watchdog on takeover.
@@ -154,15 +157,22 @@ pub struct SharedControl {
 }
 
 impl SharedControl {
-    /// Creates the shared control plane with the given AM lease TTL.
+    /// Creates the shared control plane with the given AM lease TTL, on a
+    /// private real-time clock (tests); the runtime builder uses
+    /// [`SharedControl::with_time`].
     pub fn new(lease_ttl: Duration, obs: Arc<Obs>) -> Self {
+        SharedControl::with_time(lease_ttl, obs, TimeSource::real())
+    }
+
+    /// Creates the shared control plane ticking on the runtime's clock.
+    pub fn with_time(lease_ttl: Duration, obs: Arc<Obs>, time: TimeSource) -> Self {
         let metrics = Arc::clone(&obs.rt);
         SharedControl {
             store: Mutex::new(ReplicatedStore::new()),
-            leases: Mutex::new(LeaseManager::new(elan_sim::SimDuration::from_nanos(
+            leases: Mutex::new(LeaseManager::new(SimDuration::from_nanos(
                 lease_ttl.as_nanos().max(1) as u64,
             ))),
-            lease_origin: Instant::now(),
+            time,
             current_lease: Mutex::new(None),
             epoch: AtomicU64::new(0),
             members: Mutex::new(Vec::new()),
@@ -175,9 +185,14 @@ impl SharedControl {
         }
     }
 
-    /// Wall-clock "now" projected onto the lease manager's time axis.
+    /// "Now" on the runtime's shared time axis (real or virtual).
     pub fn now_sim(&self) -> SimTime {
-        SimTime::from_nanos(self.lease_origin.elapsed().as_nanos() as u64)
+        self.time.now()
+    }
+
+    /// The clock this control plane ticks on.
+    pub fn time(&self) -> &TimeSource {
+        &self.time
     }
 
     /// Grants a fresh AM lease and records it as current.
@@ -233,26 +248,32 @@ impl SharedControl {
 
 /// AM-side failure detector over worker heartbeats.
 ///
+/// Ticks on the runtime's shared [`SimTime`] axis — the AM feeds it
+/// readings from the same [`TimeSource`] the bus and lease table use, so
+/// under virtual time the failure threshold is exact and testable to the
+/// nanosecond.
+///
 /// # Examples
 ///
 /// ```
-/// use std::time::{Duration, Instant};
+/// use std::time::Duration;
 /// use elan_core::state::WorkerId;
 /// use elan_rt::liveness::HeartbeatMonitor;
+/// use elan_sim::{SimDuration, SimTime};
 ///
 /// let mut hb = HeartbeatMonitor::new(Duration::from_millis(100));
-/// let t0 = Instant::now();
+/// let t0 = SimTime::ZERO;
 /// hb.note(WorkerId(0), t0);
-/// assert!(hb.dead(&[WorkerId(0)], t0 + Duration::from_millis(50)).is_empty());
+/// assert!(hb.dead(&[WorkerId(0)], t0 + SimDuration::from_millis(50)).is_empty());
 /// assert_eq!(
-///     hb.dead(&[WorkerId(0)], t0 + Duration::from_millis(200)),
+///     hb.dead(&[WorkerId(0)], t0 + SimDuration::from_millis(200)),
 ///     vec![WorkerId(0)]
 /// );
 /// ```
 #[derive(Debug)]
 pub struct HeartbeatMonitor {
-    last: HashMap<WorkerId, Instant>,
-    timeout: Duration,
+    last: HashMap<WorkerId, SimTime>,
+    timeout: SimDuration,
 }
 
 impl HeartbeatMonitor {
@@ -260,7 +281,7 @@ impl HeartbeatMonitor {
     pub fn new(timeout: Duration) -> Self {
         HeartbeatMonitor {
             last: HashMap::new(),
-            timeout,
+            timeout: std_to_sim(timeout),
         }
     }
 
@@ -268,7 +289,7 @@ impl HeartbeatMonitor {
     ///
     /// Any message from a worker counts — heartbeats are just the
     /// guaranteed minimum traffic.
-    pub fn note(&mut self, worker: WorkerId, now: Instant) {
+    pub fn note(&mut self, worker: WorkerId, now: SimTime) {
         self.last.insert(worker, now);
     }
 
@@ -277,7 +298,7 @@ impl HeartbeatMonitor {
     /// A member never heard from at all is given the benefit of the doubt
     /// by starting its clock at first observation: `dead` seeds `now` for
     /// unknown members instead of condemning them immediately.
-    pub fn dead(&mut self, members: &[WorkerId], now: Instant) -> Vec<WorkerId> {
+    pub fn dead(&mut self, members: &[WorkerId], now: SimTime) -> Vec<WorkerId> {
         members
             .iter()
             .copied()
@@ -321,38 +342,119 @@ mod tests {
 
     #[test]
     fn lease_expiry_is_observable() {
-        let ctrl = SharedControl::new(Duration::from_millis(20), Obs::new_default());
+        // Virtual time: the 40 ms of lease silence costs no wall clock and
+        // expires at a *known* instant instead of "roughly after a sleep".
+        let time = TimeSource::virtual_seeded(2);
+        time.register_current();
+        let ctrl =
+            SharedControl::with_time(Duration::from_millis(20), Obs::new_default(), time.clone());
         assert!(!ctrl.lease_expired(), "no lease yet");
         let id = ctrl.grant_lease();
         assert!(ctrl.keep_alive(id).is_ok());
-        std::thread::sleep(Duration::from_millis(40));
+        time.sleep(Duration::from_millis(40));
         assert!(ctrl.lease_expired());
         assert!(ctrl.keep_alive(id).is_err());
+        time.deregister();
     }
 
     #[test]
     fn heartbeat_monitor_declares_only_silent_members() {
         let mut hb = HeartbeatMonitor::new(Duration::from_millis(50));
-        let t0 = Instant::now();
+        let t0 = SimTime::ZERO;
         hb.note(WorkerId(0), t0);
-        hb.note(WorkerId(1), t0 + Duration::from_millis(100));
-        let dead = hb.dead(&[WorkerId(0), WorkerId(1)], t0 + Duration::from_millis(120));
+        hb.note(WorkerId(1), t0 + SimDuration::from_millis(100));
+        let dead = hb.dead(
+            &[WorkerId(0), WorkerId(1)],
+            t0 + SimDuration::from_millis(120),
+        );
         assert_eq!(dead, vec![WorkerId(0)]);
     }
 
     #[test]
     fn unknown_members_get_a_grace_period() {
         let mut hb = HeartbeatMonitor::new(Duration::from_millis(50));
-        let t0 = Instant::now();
+        let t0 = SimTime::ZERO;
         // Never heard from, but first observation seeds the clock.
         assert!(hb.dead(&[WorkerId(7)], t0).is_empty());
         assert!(hb
-            .dead(&[WorkerId(7)], t0 + Duration::from_millis(20))
+            .dead(&[WorkerId(7)], t0 + SimDuration::from_millis(20))
             .is_empty());
         assert_eq!(
-            hb.dead(&[WorkerId(7)], t0 + Duration::from_millis(80)),
+            hb.dead(&[WorkerId(7)], t0 + SimDuration::from_millis(80)),
             vec![WorkerId(7)]
         );
+    }
+
+    #[test]
+    fn heartbeat_exactly_at_threshold_is_alive_one_tick_past_is_dead() {
+        // Boundary semantics: a worker is dead only *strictly after* the
+        // timeout — silence of exactly `timeout` still counts as alive, one
+        // nanosecond more does not. Exact on virtual time.
+        let timeout = SimDuration::from_millis(50);
+        let mut hb = HeartbeatMonitor::new(Duration::from_millis(50));
+        let t0 = SimTime::ZERO;
+        hb.note(WorkerId(3), t0);
+        assert!(hb.dead(&[WorkerId(3)], t0 + timeout).is_empty());
+        assert_eq!(
+            hb.dead(&[WorkerId(3)], t0 + timeout + SimDuration::from_nanos(1)),
+            vec![WorkerId(3)]
+        );
+        // A beat arriving one tick past the threshold revives the worker
+        // for a full fresh window (failure detection is not latched).
+        let late = t0 + timeout + SimDuration::from_nanos(1);
+        hb.note(WorkerId(3), late);
+        assert!(hb.dead(&[WorkerId(3)], late + timeout).is_empty());
+        assert_eq!(
+            hb.dead(&[WorkerId(3)], late + timeout + SimDuration::from_nanos(1)),
+            vec![WorkerId(3)]
+        );
+    }
+
+    #[test]
+    fn lease_expiring_exactly_at_the_watchdog_poll_tick() {
+        // The lease TTL and the watchdog poll land on the same virtual
+        // instant: `LeaseManager::state` treats `expires_at == now` as
+        // expired (a lease is valid for [grant, grant+ttl)), so the poll
+        // that coincides with the boundary must already observe expiry —
+        // and one tick earlier must not.
+        let time = TimeSource::virtual_seeded(4);
+        time.register_current();
+        let ttl = Duration::from_millis(30);
+        let ctrl = SharedControl::with_time(ttl, Obs::new_default(), time.clone());
+        let id = ctrl.grant_lease();
+        time.sleep(Duration::from_nanos(30_000_000 - 1));
+        assert!(!ctrl.lease_expired(), "one tick before the boundary");
+        time.sleep(Duration::from_nanos(1));
+        assert!(ctrl.lease_expired(), "poll exactly at grant+ttl");
+        assert!(ctrl.keep_alive(id).is_err());
+        time.deregister();
+    }
+
+    #[test]
+    fn double_election_after_am_replacement_is_keyed_to_current_lease() {
+        // Two watchdog-style observers race after an AM death: the first
+        // election grants a fresh lease and installs it as current; the
+        // second observer re-checking `lease_expired()` must now see a
+        // healthy lease and stand down instead of electing again.
+        let time = TimeSource::virtual_seeded(6);
+        time.register_current();
+        let ctrl =
+            SharedControl::with_time(Duration::from_millis(20), Obs::new_default(), time.clone());
+        let first = ctrl.grant_lease();
+        time.sleep(Duration::from_millis(25));
+        // Both observers see the dead AM...
+        assert!(ctrl.lease_expired());
+        assert!(ctrl.lease_expired());
+        // ...observer A wins the election and grants the replacement lease.
+        let second = ctrl.grant_lease();
+        assert_ne!(first, second);
+        // Observer B's re-check after A's takeover: no second election.
+        assert!(!ctrl.lease_expired(), "second observer must stand down");
+        // The dead incarnation's lease stays dead even if its thread limps
+        // back and tries to keep alive.
+        assert!(ctrl.keep_alive(first).is_err());
+        assert!(ctrl.keep_alive(second).is_ok());
+        time.deregister();
     }
 
     #[test]

@@ -26,7 +26,6 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use parking_lot::Mutex;
 
@@ -35,6 +34,7 @@ use elan_core::state::WorkerId;
 
 use crate::bus::EndpointId;
 use crate::reliable::RtMetrics;
+use crate::time::TimeSource;
 
 /// What a chaos engine did to one message (mirrors
 /// [`ChaosStats`](crate::chaos::ChaosStats) fates).
@@ -371,10 +371,15 @@ impl JournalSummary {
     }
 }
 
-/// The event journal: stamps events with a shared microsecond clock and
+/// The event journal: stamps events with the runtime's shared clock and
 /// fans them out to the ring sink plus any extra sinks.
+///
+/// The timestamp axis is whatever [`TimeSource`] the journal was built
+/// with. Under a seeded `VirtualClock` the stamps are logical, which makes
+/// *same seed ⇒ byte-identical journal* a checkable invariant (the
+/// `seedsweep` fuzzer and the chaos e2e suite both assert it).
 pub struct EventJournal {
-    epoch: Instant,
+    time: TimeSource,
     seq: AtomicU64,
     ring: RingBufferSink,
     extra: Vec<Arc<dyn EventSink>>,
@@ -392,10 +397,23 @@ impl std::fmt::Debug for EventJournal {
 
 impl EventJournal {
     /// A journal whose ring retains `ring_capacity` events, teeing every
-    /// event to `extra` sinks after the ring.
+    /// event to `extra` sinks after the ring. Ticks on a private real-time
+    /// epoch; the runtime builder uses [`EventJournal::with_time`] so the
+    /// journal shares the runtime's clock instead.
     pub fn new(ring_capacity: usize, extra: Vec<Arc<dyn EventSink>>) -> Self {
+        EventJournal::with_time(ring_capacity, extra, TimeSource::real())
+    }
+
+    /// A journal stamping events from the given [`TimeSource`] — the old
+    /// construction-time wall-clock epoch coupling is gone: the journal
+    /// holds no clock of its own.
+    pub fn with_time(
+        ring_capacity: usize,
+        extra: Vec<Arc<dyn EventSink>>,
+        time: TimeSource,
+    ) -> Self {
         EventJournal {
-            epoch: Instant::now(),
+            time,
             seq: AtomicU64::new(0),
             ring: RingBufferSink::new(ring_capacity),
             extra,
@@ -403,10 +421,15 @@ impl EventJournal {
         }
     }
 
-    /// Microseconds since the journal epoch — the timestamp axis every
+    /// Microseconds since the runtime epoch — the timestamp axis every
     /// event and [`PhaseWindow`] shares.
     pub fn now_us(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
+        self.time.now().as_nanos() / 1_000
+    }
+
+    /// The clock this journal stamps events from.
+    pub fn time(&self) -> &TimeSource {
+        &self.time
     }
 
     /// Records `kind` now; returns the stamped event's sequence number.
@@ -746,12 +769,23 @@ pub struct Obs {
 
 impl Obs {
     /// Builds the bundle with the given journal ring capacity and extra
-    /// sinks.
+    /// sinks, on a private real-time epoch.
     pub fn new(ring_capacity: usize, sinks: Vec<Arc<dyn EventSink>>) -> Arc<Self> {
+        Obs::with_time(ring_capacity, sinks, TimeSource::real())
+    }
+
+    /// Builds the bundle on the runtime's clock (the builder's entry
+    /// point): journal timestamps, trace phase windows, and metrics all
+    /// share one time axis.
+    pub fn with_time(
+        ring_capacity: usize,
+        sinks: Vec<Arc<dyn EventSink>>,
+        time: TimeSource,
+    ) -> Arc<Self> {
         let registry = MetricsRegistry::default();
         let rt = Arc::new(RtMetrics::registered(&registry));
         Arc::new(Obs {
-            journal: Arc::new(EventJournal::new(ring_capacity, sinks)),
+            journal: Arc::new(EventJournal::with_time(ring_capacity, sinks, time)),
             traces: Arc::new(TraceRecorder::default()),
             registry,
             rt,

@@ -7,19 +7,21 @@
 //!
 //! - an owner-scoped [`MsgIdAllocator`] (the AM's owner encodes its epoch,
 //!   so a replacement AM is a *fresh* sender stream at every receiver),
-//! - a wall-clock [`RetryTracker`] with an optional give-up budget — the
-//!   runtime's failure detector,
+//! - a [`RetryTracker`] ticking on the bus's [`TimeSource`] (wall clock in
+//!   production, virtual time in simulation) with an optional give-up
+//!   budget — the runtime's failure detector,
 //! - automatic transport acks ([`RtMsg::MsgAck`]) for received messages,
 //! - a [`BoundedDedupFilter`] suppressing chaos- and resend-duplicates.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use elan_core::messages::{BoundedDedupFilter, MsgId, MsgIdAllocator, RetryOutcome, RetryTracker};
 use elan_core::obs::{Counter, MetricsRegistry};
 
 use crate::bus::{Bus, Endpoint, EndpointId, Envelope, RtMsg};
 use crate::obs::EventKind;
+use crate::time::{sim_to_std, std_to_sim, TimeSource};
 
 /// Shared fault-tolerance counters, aggregated across every endpoint.
 ///
@@ -118,7 +120,7 @@ pub struct ReliableEndpoint {
     bus: Bus,
     endpoint: Endpoint,
     ids: MsgIdAllocator,
-    retry: RetryTracker<(EndpointId, RtMsg), Instant>,
+    retry: RetryTracker<(EndpointId, RtMsg)>,
     dedup: BoundedDedupFilter,
     metrics: Arc<RtMetrics>,
 }
@@ -143,7 +145,7 @@ impl ReliableEndpoint {
         max_attempts: Option<u32>,
         metrics: Arc<RtMetrics>,
     ) -> Self {
-        let mut retry = RetryTracker::new(retry_timeout);
+        let mut retry = RetryTracker::new(std_to_sim(retry_timeout));
         if let Some(max) = max_attempts {
             retry = retry.with_max_attempts(max);
         }
@@ -167,6 +169,11 @@ impl ReliableEndpoint {
         &self.bus
     }
 
+    /// The clock this endpoint's retry timers tick on (the bus clock).
+    pub fn time(&self) -> &TimeSource {
+        self.bus.time()
+    }
+
     /// Sends `body` reliably: it will be resent every timeout until the
     /// receiver acks (or the attempt budget runs out). Returns the id.
     pub fn send(&mut self, to: EndpointId, body: RtMsg) -> MsgId {
@@ -174,7 +181,8 @@ impl ReliableEndpoint {
         if matches!(body, RtMsg::StateChunk { .. }) {
             self.metrics.state_chunks.inc();
         }
-        self.retry.track(id, (to, body.clone()), Instant::now());
+        let sent_at = self.bus.time().now();
+        self.retry.track(id, (to, body.clone()), sent_at);
         self.bus.send_envelope(
             to,
             Envelope {
@@ -206,7 +214,8 @@ impl ReliableEndpoint {
     /// Call this regularly (every receive timeout at least).
     pub fn tick(&mut self) -> Vec<GiveUp> {
         let mut gave_up = Vec::new();
-        for outcome in self.retry.poll(Instant::now()) {
+        let now = self.bus.time().now();
+        for outcome in self.retry.poll(now) {
             match outcome {
                 RetryOutcome::Resend(id, (to, body)) => {
                     let attempt = self.retry.attempts(id).unwrap_or(FIRST_RESEND_ATTEMPT);
@@ -241,9 +250,13 @@ impl ReliableEndpoint {
     /// tracker), incoming messages are acked automatically, and duplicates
     /// are suppressed. Returns `None` on timeout.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Option<(EndpointId, RtMsg)> {
-        let deadline = Instant::now() + timeout;
+        let deadline = self.bus.time().deadline_after(timeout);
         loop {
-            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let now = self.bus.time().now();
+            if now >= deadline {
+                return None;
+            }
+            let remaining = sim_to_std(deadline - now);
             let env = self.endpoint.recv_timeout(remaining)?;
             match &env.body {
                 RtMsg::MsgAck { of } => {
@@ -304,6 +317,15 @@ mod tests {
     use crate::chaos::ChaosPolicy;
     use elan_core::state::WorkerId;
 
+    /// A virtual-time bus with the test thread registered as the only
+    /// schedulable thread: every `recv_timeout`/`sleep` auto-advances the
+    /// clock, so these tests take zero wall-clock waiting.
+    fn vbus(seed: u64, policy: Option<ChaosPolicy>) -> (Bus, TimeSource) {
+        let time = TimeSource::virtual_seeded(seed);
+        time.register_current();
+        (Bus::with_options(policy, None, time.clone()), time)
+    }
+
     fn pair(bus: &Bus, metrics: &Arc<RtMetrics>) -> (ReliableEndpoint, ReliableEndpoint) {
         let a = ReliableEndpoint::new(
             bus.clone(),
@@ -326,7 +348,7 @@ mod tests {
 
     #[test]
     fn delivery_and_ack_settle_the_tracker() {
-        let bus = Bus::new();
+        let (bus, time) = vbus(1, None);
         let metrics = Arc::new(RtMetrics::default());
         let (mut am, mut w) = pair(&bus, &metrics);
         am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
@@ -338,20 +360,22 @@ mod tests {
         // ...AM absorbs the ack on its next receive attempt.
         assert!(am.recv_timeout(Duration::from_millis(50)).is_none());
         assert_eq!(am.pending(), 0);
+        time.deregister();
     }
 
     #[test]
     fn lost_messages_are_resent_until_acked() {
         // Over half the traffic vanishes; retries must win eventually.
-        let bus = Bus::with_chaos(ChaosPolicy::new(3).drop(0.55));
+        // Virtual time: five "seconds" of retrying cost no wall clock.
+        let (bus, time) = vbus(3, Some(ChaosPolicy::new(3).drop(0.55)));
         let metrics = Arc::new(RtMetrics::default());
         let (mut am, mut w) = pair(&bus, &metrics);
         for _ in 0..10 {
             am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
         }
-        let deadline = Instant::now() + Duration::from_secs(5);
+        let deadline = time.deadline_after(Duration::from_secs(5));
         let mut got = 0;
-        while got < 10 && Instant::now() < deadline {
+        while got < 10 && time.now() < deadline {
             am.tick();
             w.tick();
             if w.recv_timeout(Duration::from_millis(5)).is_some() {
@@ -361,8 +385,8 @@ mod tests {
             while am.recv_timeout(Duration::from_millis(1)).is_some() {}
         }
         assert_eq!(got, 10, "all messages eventually delivered");
-        let deadline = Instant::now() + Duration::from_secs(2);
-        while am.pending() > 0 && Instant::now() < deadline {
+        let deadline = time.deadline_after(Duration::from_secs(2));
+        while am.pending() > 0 && time.now() < deadline {
             am.tick();
             // Keep pumping the worker: duplicates are absorbed but re-acked,
             // which is what finally settles the AM when acks themselves drop.
@@ -371,11 +395,12 @@ mod tests {
         }
         assert_eq!(am.pending(), 0, "all sends eventually acked");
         assert!(metrics.resends.get() > 0);
+        time.deregister();
     }
 
     #[test]
     fn duplicates_are_suppressed() {
-        let bus = Bus::with_chaos(ChaosPolicy::new(5).duplicate(1.0));
+        let (bus, time) = vbus(5, Some(ChaosPolicy::new(5).duplicate(1.0)));
         let metrics = Arc::new(RtMetrics::default());
         let (mut am, mut w) = pair(&bus, &metrics);
         am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
@@ -384,11 +409,12 @@ mod tests {
         assert!(w.recv_timeout(Duration::from_millis(30)).is_none());
         assert_eq!(w.duplicate_count(), 1);
         assert!(metrics.duplicates.get() >= 1);
+        time.deregister();
     }
 
     #[test]
     fn give_up_after_budget_surfaces_the_peer() {
-        let bus = Bus::new();
+        let (bus, time) = vbus(7, None);
         let metrics = Arc::new(RtMetrics::default());
         // No receiver registered for the worker: acks never come.
         let mut am = ReliableEndpoint::new(
@@ -400,31 +426,58 @@ mod tests {
             Arc::clone(&metrics),
         );
         am.send(EndpointId::Worker(WorkerId(9)), RtMsg::Leave);
-        let deadline = Instant::now() + Duration::from_secs(2);
+        let deadline = time.deadline_after(Duration::from_secs(2));
         let mut gave_up = Vec::new();
-        while gave_up.is_empty() && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(6));
+        while gave_up.is_empty() && time.now() < deadline {
+            time.sleep(Duration::from_millis(6));
             gave_up = am.tick();
         }
         assert_eq!(gave_up.len(), 1);
         assert_eq!(gave_up[0].to, EndpointId::Worker(WorkerId(9)));
         assert_eq!(metrics.give_ups.get(), 1);
         assert_eq!(am.pending(), 0);
+        time.deregister();
     }
 
     #[test]
     fn resent_message_is_not_reprocessed() {
         // Ack dropped → sender resends → receiver must suppress the dup.
-        let bus = Bus::new();
+        let (bus, time) = vbus(9, None);
         let metrics = Arc::new(RtMetrics::default());
         let (mut am, mut w) = pair(&bus, &metrics);
         am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
         assert!(w.recv_timeout(Duration::from_millis(50)).is_some());
         // Simulate a lost ack: force a resend by waiting out the timeout
         // without letting the AM read its queue.
-        std::thread::sleep(Duration::from_millis(25));
+        time.sleep(Duration::from_millis(25));
         am.tick();
         assert!(w.recv_timeout(Duration::from_millis(30)).is_none());
         assert_eq!(w.duplicate_count(), 1);
+        time.deregister();
+    }
+
+    #[test]
+    fn retry_timers_tick_on_the_bus_clock() {
+        // Regression (clock unification): a resend must fire exactly when
+        // *virtual* time crosses the retry timeout, independent of wall
+        // time and of how often `tick()` is called.
+        let (bus, time) = vbus(11, None);
+        let metrics = Arc::new(RtMetrics::default());
+        let (mut am, _w) = pair(&bus, &metrics);
+        am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
+        // Many ticks with no time passage: nothing is overdue.
+        for _ in 0..100 {
+            assert!(am.tick().is_empty());
+        }
+        assert_eq!(am.resend_count(), 0);
+        // One nanosecond short of the 20 ms timeout: still nothing.
+        time.sleep(Duration::from_nanos(20_000_000 - 1));
+        am.tick();
+        assert_eq!(am.resend_count(), 0);
+        // Crossing the timeout fires exactly one resend.
+        time.sleep(Duration::from_nanos(1));
+        am.tick();
+        assert_eq!(am.resend_count(), 1);
+        time.deregister();
     }
 }

@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -34,6 +34,7 @@ use elan_core::lease::LeaseId;
 use elan_core::obs::{AdjustmentPhase, MetricsSnapshot};
 use elan_core::state::WorkerId;
 use elan_core::ElanError;
+use elan_sim::SimDuration;
 use elan_topology::{ClusterSpec, GpuId, ReplicationPlanner, Topology};
 
 use crate::bus::{Bus, Endpoint, EndpointId, RtMsg};
@@ -45,6 +46,7 @@ use crate::obs::{
     TraceKind, DEFAULT_RING_CAPACITY,
 };
 use crate::reliable::{ReliableEndpoint, RtMetrics, RtMetricsSnapshot};
+use crate::time::TimeSource;
 use crate::worker::{
     run_worker, SnapshotAssembly, Telemetry, WorkerConfig, WorkerRole, WorkerView,
 };
@@ -56,7 +58,7 @@ const AM_OWNER_FLAG: u32 = 1 << 31;
 
 /// How often the controller re-issues an unacknowledged operation at the
 /// application level (covers AM failovers that swallowed the original).
-const OP_RESEND_EVERY: Duration = Duration::from_millis(400);
+const OP_RESEND_EVERY: SimDuration = SimDuration::from_millis(400);
 
 /// Configuration of a live elastic job.
 #[derive(Debug, Clone, Copy)]
@@ -200,7 +202,10 @@ pub struct ElasticRuntime {
     next_seq: u64,
     adjustments: u64,
     watchdog: Option<JoinHandle<()>>,
-    worker_handles: HashMap<WorkerId, JoinHandle<()>>,
+    /// Ordered so teardown joins workers in a deterministic order — a
+    /// hashed order would make the virtual-clock schedule (and thus the
+    /// journal) vary across runs of the same seed.
+    worker_handles: BTreeMap<WorkerId, JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ElasticRuntime {
@@ -234,6 +239,7 @@ pub struct RuntimeBuilder {
     restore: Option<CheckpointSnapshot>,
     sinks: Vec<Arc<dyn EventSink>>,
     ring_capacity: usize,
+    time: TimeSource,
 }
 
 impl std::fmt::Debug for RuntimeBuilder {
@@ -244,6 +250,7 @@ impl std::fmt::Debug for RuntimeBuilder {
             .field("restore", &self.restore.is_some())
             .field("sinks", &self.sinks.len())
             .field("ring_capacity", &self.ring_capacity)
+            .field("time", &self.time)
             .finish()
     }
 }
@@ -256,6 +263,7 @@ impl RuntimeBuilder {
             restore: None,
             sinks: Vec::new(),
             ring_capacity: DEFAULT_RING_CAPACITY,
+            time: TimeSource::real(),
         }
     }
 
@@ -302,6 +310,21 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Runs the job on the given [`TimeSource`].
+    ///
+    /// With [`TimeSource::virtual_seeded`] the whole control plane —
+    /// heartbeats, leases, retry timers, the watchdog, every parked wait —
+    /// runs on deterministic virtual time: the same seed yields the same
+    /// thread schedule and a byte-identical event journal, and a test that
+    /// "waits" 400 virtual milliseconds finishes in microseconds of wall
+    /// time. The calling thread is registered with the clock for the
+    /// lifetime of the runtime and released by
+    /// [`ElasticRuntime::shutdown`].
+    pub fn time(mut self, time: TimeSource) -> Self {
+        self.time = time;
+        self
+    }
+
     /// Validates the configuration and launches the job.
     ///
     /// # Errors
@@ -336,6 +359,7 @@ impl RuntimeBuilder {
             self.chaos,
             self.ring_capacity,
             self.sinks,
+            self.time,
         ))
     }
 }
@@ -401,13 +425,19 @@ impl ElasticRuntime {
         chaos: Option<ChaosPolicy>,
         ring_capacity: usize,
         sinks: Vec<Arc<dyn EventSink>>,
+        time: TimeSource,
     ) -> Self {
-        let obs = Obs::new(ring_capacity, sinks);
-        let bus = Bus::with_options(chaos, Some(Arc::clone(&obs.journal)));
+        // The controller (this thread) joins the clock first, so that on a
+        // virtual clock every thread spawned below is scheduled
+        // deterministically from the very first instruction.
+        time.register_current();
+        let obs = Obs::with_time(ring_capacity, sinks, time.clone());
+        let bus = Bus::with_options(chaos, Some(Arc::clone(&obs.journal)), time.clone());
         let metrics = Arc::clone(&obs.rt);
-        let ctrl = Arc::new(SharedControl::new(
+        let ctrl = Arc::new(SharedControl::with_time(
             Duration::from_millis(cfg.lease_ttl_ms),
             obs,
+            time.clone(),
         ));
         let members: Vec<WorkerId> = (0..cfg.initial_workers).map(WorkerId).collect();
         *ctrl.members.lock() = members.clone();
@@ -416,6 +446,7 @@ impl ElasticRuntime {
 
         let comm = Arc::new(CommGroup::new(members.iter().copied(), cfg.param_elems));
         comm.set_journal(Arc::clone(&ctrl.obs.journal));
+        comm.set_time(time.clone());
         let telemetry: Telemetry = Arc::new(Mutex::new(HashMap::new()));
         let rep = ReliableEndpoint::new(
             bus.clone(),
@@ -430,9 +461,14 @@ impl ElasticRuntime {
         ctrl.am_handles.lock().push(am_handle);
         let watchdog = {
             let (bus, comm, ctrl) = (bus.clone(), Arc::clone(&comm), Arc::clone(&ctrl));
+            let time = time.clone();
+            let slot = time.create_thread();
             thread::Builder::new()
                 .name("elan-watchdog".into())
-                .spawn(move || watchdog_thread(cfg, bus, comm, ctrl))
+                .spawn(move || {
+                    let _clock = time.adopt(slot);
+                    watchdog_thread(cfg, bus, comm, ctrl)
+                })
                 .expect("spawn watchdog thread")
         };
 
@@ -447,7 +483,7 @@ impl ElasticRuntime {
             next_seq: 1,
             adjustments: 0,
             watchdog: Some(watchdog),
-            worker_handles: HashMap::new(),
+            worker_handles: BTreeMap::new(),
         };
         for &w in &members {
             let role = match &restore {
@@ -487,11 +523,21 @@ impl ElasticRuntime {
         let comm = Arc::clone(&self.comm);
         let telemetry = Arc::clone(&self.telemetry);
         let ctrl = Arc::clone(&self.ctrl);
+        let time = self.bus.time().clone();
+        let slot = time.create_thread();
         let handle = thread::Builder::new()
             .name(format!("elan-{id}"))
-            .spawn(move || run_worker(cfg, rep, comm, telemetry, role, ctrl))
+            .spawn(move || {
+                let _clock = time.adopt(slot);
+                run_worker(cfg, rep, comm, telemetry, role, ctrl)
+            })
             .expect("spawn worker thread");
         self.worker_handles.insert(id, handle);
+    }
+
+    /// The clock this runtime runs on.
+    pub fn time(&self) -> &TimeSource {
+        self.bus.time()
     }
 
     /// Current members (the authoritative control-plane view, which also
@@ -569,12 +615,13 @@ impl ElasticRuntime {
     /// Blocks until the membership reaches exactly `n` workers, or until
     /// `timeout`; returns whether it happened.
     pub fn wait_for_members(&self, n: usize, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        while Instant::now() < deadline {
+        let time = self.bus.time().clone();
+        let deadline = time.deadline_after(timeout);
+        while time.now() < deadline {
             if self.ctrl.members.lock().len() == n {
                 return true;
             }
-            thread::sleep(Duration::from_millis(2));
+            time.sleep(Duration::from_millis(2));
         }
         false
     }
@@ -594,7 +641,7 @@ impl ElasticRuntime {
                     return;
                 }
             }
-            thread::sleep(Duration::from_micros(200));
+            self.bus.time().sleep(Duration::from_micros(200));
         }
     }
 
@@ -608,8 +655,9 @@ impl ElasticRuntime {
     /// re-issuing it at the application level so an AM failover between
     /// transport-ack and execution cannot strand the controller.
     fn op_roundtrip(&mut self, body: RtMsg, seq: u64) {
+        let time = self.bus.time().clone();
         self.rep.send(EndpointId::Am, body.clone());
-        let mut last_send = Instant::now();
+        let mut last_send = time.now();
         loop {
             let _ = self.rep.tick();
             if let Some((_, RtMsg::Ack { seq: s })) = self.rep.recv_timeout(self.cfg.tick()) {
@@ -617,8 +665,8 @@ impl ElasticRuntime {
                     return;
                 }
             }
-            if last_send.elapsed() >= OP_RESEND_EVERY {
-                last_send = Instant::now();
+            if time.now().saturating_duration_since(last_send) >= OP_RESEND_EVERY {
+                last_send = time.now();
                 self.rep.send(EndpointId::Am, body.clone());
             }
         }
@@ -631,9 +679,10 @@ impl ElasticRuntime {
         // Drain stale traffic (e.g. duplicate snapshot chunks from a
         // recovered AM replaying a previous checkpoint order).
         while self.rep.recv_timeout(Duration::from_millis(1)).is_some() {}
+        let time = self.bus.time().clone();
         let seq = self.take_seq();
         self.rep.send(EndpointId::Am, RtMsg::Checkpoint { seq });
-        let mut last_send = Instant::now();
+        let mut last_send = time.now();
         let mut params = vec![0.0f32; self.cfg.param_elems];
         let mut momentum = vec![0.0f32; self.cfg.param_elems];
         let mut assembly = SnapshotAssembly::new();
@@ -671,10 +720,10 @@ impl ElasticRuntime {
                     };
                 }
             }
-            if last_send.elapsed() >= OP_RESEND_EVERY {
+            if time.now().saturating_duration_since(last_send) >= OP_RESEND_EVERY {
                 // The checkpoint request is deliberately not durable AM
                 // state; the controller just asks again.
-                last_send = Instant::now();
+                last_send = time.now();
                 self.rep.send(EndpointId::Am, RtMsg::Checkpoint { seq });
             }
         }
@@ -728,10 +777,14 @@ impl ElasticRuntime {
             },
             seq,
         );
-        // Reap leavers.
+        // Reap leavers. The join is an OS-blocking wait on a thread that
+        // may still need to be scheduled to finish, so on a virtual clock
+        // it must run as an external section.
+        let time = self.bus.time().clone();
         for w in leaving {
             if let Some(h) = self.worker_handles.remove(&w) {
-                h.join().expect("worker thread exits cleanly");
+                time.blocking(|| h.join())
+                    .expect("worker thread exits cleanly");
             }
             self.bus.unregister(EndpointId::Worker(w));
         }
@@ -784,16 +837,22 @@ impl ElasticRuntime {
         let seq = self.take_seq();
         self.op_roundtrip(RtMsg::Stop { seq }, seq);
         self.ctrl.shutdown.store(true, Ordering::SeqCst);
-        for (_, h) in self.worker_handles.drain() {
-            h.join().expect("worker thread exits cleanly");
+        let time = self.bus.time().clone();
+        for (_, h) in std::mem::take(&mut self.worker_handles) {
+            time.blocking(|| h.join())
+                .expect("worker thread exits cleanly");
         }
         if let Some(h) = self.watchdog.take() {
-            h.join().expect("watchdog thread exits cleanly");
+            time.blocking(|| h.join())
+                .expect("watchdog thread exits cleanly");
         }
         let ams: Vec<JoinHandle<()>> = self.ctrl.am_handles.lock().drain(..).collect();
         for h in ams {
-            h.join().expect("AM thread exits cleanly");
+            time.blocking(|| h.join()).expect("AM thread exits cleanly");
         }
+        // Release the controller thread from the (virtual) clock: the
+        // runtime is gone and the caller's thread must not stay scheduled.
+        time.deregister();
         let obs = Arc::clone(&self.ctrl.obs);
         ShutdownReport {
             final_world_size: self.ctrl.members.lock().len() as u32,
@@ -830,10 +889,15 @@ fn spawn_am(
 ) -> JoinHandle<()> {
     let endpoint = bus.register(EndpointId::Am);
     let lease = ctrl.grant_lease();
+    let time = bus.time().clone();
+    let slot = time.create_thread();
     let (bus, comm, ctrl) = (bus.clone(), Arc::clone(comm), Arc::clone(ctrl));
     thread::Builder::new()
         .name(format!("elan-am-e{epoch}"))
-        .spawn(move || am_thread(cfg, bus, endpoint, comm, ctrl, epoch, lease))
+        .spawn(move || {
+            let _clock = time.adopt(slot);
+            am_thread(cfg, bus, endpoint, comm, ctrl, epoch, lease)
+        })
         .expect("spawn AM thread")
 }
 
@@ -842,7 +906,8 @@ fn spawn_am(
 /// record — Elan's watchdog-driven AM failover.
 fn watchdog_thread(cfg: RuntimeConfig, bus: Bus, comm: Arc<CommGroup>, ctrl: Arc<SharedControl>) {
     loop {
-        thread::sleep(Duration::from_millis(cfg.watchdog_poll_ms));
+        bus.time()
+            .sleep(Duration::from_millis(cfg.watchdog_poll_ms));
         if ctrl.shutting_down() {
             return;
         }
@@ -1015,8 +1080,10 @@ impl AmCore {
                     self.declare_dead(w);
                 }
             }
-            // Heartbeat-based failure detection.
-            let now = Instant::now();
+            // Heartbeat-based failure detection — on the bus clock, so the
+            // detector ticks on the same axis as the lease and the retry
+            // timers.
+            let now = self.rep.time().now();
             for w in self.hb.dead(&self.live(), now) {
                 self.declare_dead(w);
             }
@@ -1026,7 +1093,8 @@ impl AmCore {
             if let Some((from, msg)) = self.rep.recv_timeout(self.cfg.tick()) {
                 if let EndpointId::Worker(w) = from {
                     // Any traffic proves liveness, not just heartbeats.
-                    self.hb.note(w, Instant::now());
+                    let at = self.rep.time().now();
+                    self.hb.note(w, at);
                 }
                 self.handle(msg);
             }
@@ -1510,8 +1578,9 @@ impl AmCore {
     }
 
     fn drain_pending(&mut self, budget: Duration) {
-        let deadline = Instant::now() + budget;
-        while self.rep.pending() > 0 && Instant::now() < deadline {
+        let time = self.rep.time().clone();
+        let deadline = time.deadline_after(budget);
+        while self.rep.pending() > 0 && time.now() < deadline {
             for give_up in self.rep.tick() {
                 if let EndpointId::Worker(w) = give_up.to {
                     self.declare_dead(w);
@@ -1777,6 +1846,45 @@ mod tests {
             cfg.total_batch,
         );
         assert_eq!(*cp.params, expect);
+    }
+
+    #[test]
+    fn virtual_time_runs_the_full_pipeline() {
+        let mut rt = ElasticRuntime::builder()
+            .workers(2)
+            .time(TimeSource::virtual_seeded(17))
+            .start()
+            .unwrap();
+        rt.run_until_iteration(10);
+        rt.scale_out(1);
+        rt.run_until_iteration(20);
+        let report = rt.shutdown();
+        assert_eq!(report.final_world_size, 3);
+        assert!(report.states_consistent());
+        assert!(report.traces.iter().all(|t| t.is_well_formed()));
+    }
+
+    /// Same seed ⇒ same thread schedule ⇒ byte-identical journal.
+    #[test]
+    fn same_seed_produces_identical_journals() {
+        fn journal(seed: u64) -> Vec<String> {
+            let mut rt = ElasticRuntime::builder()
+                .workers(2)
+                .time(TimeSource::virtual_seeded(seed))
+                .start()
+                .unwrap();
+            rt.run_until_iteration(10);
+            rt.scale_out(2);
+            rt.run_until_iteration(20);
+            rt.scale_in(1);
+            rt.run_until_iteration(30);
+            let report = rt.shutdown();
+            report.events.iter().map(|e| format!("{e:?}")).collect()
+        }
+        let a = journal(23);
+        let b = journal(23);
+        assert_eq!(a, b, "one seed, two different histories");
+        assert!(!a.is_empty());
     }
 
     #[test]

@@ -20,18 +20,20 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use elan_core::messages::{ChunkAssembler, ChunkPlan, StateKind};
 use elan_core::state::WorkerId;
+use elan_sim::{SimDuration, SimTime};
 
 use crate::bus::{EndpointId, RtMsg};
 use crate::comm::{AllreduceOutcome, CommGroup};
 use crate::liveness::SharedControl;
 use crate::obs::EventKind;
 use crate::reliable::ReliableEndpoint;
+use crate::time::{sim_to_std, std_to_sim, TimeSource};
 
 /// Per-worker observable state, published after every iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -287,12 +289,19 @@ impl SnapshotAssembly {
 }
 
 /// True (and rearms the timer) when a heartbeat is due.
-fn heartbeat_due(last: &mut Instant, period: Duration) -> bool {
-    if last.elapsed() >= period {
-        *last = Instant::now();
-        true
-    } else {
-        false
+///
+/// A fresh timer (`None`) fires immediately — which is how the worker
+/// beacons at startup *without* back-dating a timestamp. (The old code
+/// subtracted `hb_period` from the current wall-clock reading to fake an
+/// overdue timer, which underflows near the epoch and reads the clock
+/// twice; on a virtual clock at t=0 it would simply panic.)
+fn heartbeat_due(last: &mut Option<SimTime>, now: SimTime, period: SimDuration) -> bool {
+    match *last {
+        Some(at) if now.saturating_duration_since(at) < period => false,
+        _ => {
+            *last = Some(now);
+            true
+        }
     }
 }
 
@@ -310,16 +319,17 @@ pub fn run_worker(
     role: WorkerRole,
     ctrl: Arc<SharedControl>,
 ) {
+    let time: TimeSource = rep.time().clone();
+    let hb_period = std_to_sim(cfg.hb_period);
     let mut params = vec![0.5f32; cfg.param_elems];
     let mut momentum = vec![0.0f32; cfg.param_elems];
     let mut grad = vec![0.0f32; cfg.param_elems];
     let mut iteration: u64 = 0;
     let mut data_cursor: u64 = 0;
     let mut stalled = std::time::Duration::ZERO;
-    // Heartbeat immediately so the failure detector sees us early.
-    let mut last_hb = Instant::now()
-        .checked_sub(cfg.hb_period)
-        .unwrap_or_else(Instant::now);
+    // A fresh (`None`) timer beacons immediately so the failure detector
+    // sees us early.
+    let mut last_hb: Option<SimTime> = None;
     // Resume-wave staleness guard: only newer generations un-park us.
     let mut last_seen_gen: u64 = comm.generation();
 
@@ -347,7 +357,7 @@ pub fn run_worker(
                 return;
             }
             let _ = rep.tick();
-            if heartbeat_due(&mut last_hb, cfg.hb_period) {
+            if heartbeat_due(&mut last_hb, time.now(), hb_period) {
                 rep.send_unreliable(
                     EndpointId::Am,
                     RtMsg::Heartbeat {
@@ -445,7 +455,7 @@ pub fn run_worker(
             return;
         }
         let _ = rep.tick();
-        if heartbeat_due(&mut last_hb, cfg.hb_period) {
+        if heartbeat_due(&mut last_hb, time.now(), hb_period) {
             rep.send_unreliable(
                 EndpointId::Am,
                 RtMsg::Heartbeat {
@@ -463,13 +473,14 @@ pub fn run_worker(
             let rep = &mut rep;
             let last_hb = &mut last_hb;
             let ctrl = &ctrl;
+            let time = &time;
             comm.allreduce_with(cfg.id, &grad, move || {
                 // Keep the retry tracker running while blocked: a joiner we
                 // owe (dropped) StateChunks may be the very member this
                 // round is waiting on — without resends here the round can
                 // never complete.
                 let _ = rep.tick();
-                if !ctrl.worker_crashed(cfg.id) && heartbeat_due(last_hb, cfg.hb_period) {
+                if !ctrl.worker_crashed(cfg.id) && heartbeat_due(last_hb, time.now(), hb_period) {
                     rep.send_unreliable(
                         EndpointId::Am,
                         RtMsg::Heartbeat {
@@ -539,7 +550,7 @@ pub fn run_worker(
 
         // Coordination boundary (step ③).
         if iteration.is_multiple_of(cfg.coordination_interval) {
-            let parked_at = Instant::now();
+            let parked_at = time.now();
             // Chunked snapshot of this boundary's state, built lazily on
             // the first transfer/checkpoint order and shared (`Arc`)
             // across every destination served at this boundary — the old
@@ -557,7 +568,7 @@ pub fn run_worker(
                     return;
                 }
                 let _ = rep.tick();
-                if heartbeat_due(&mut last_hb, cfg.hb_period) {
+                if heartbeat_due(&mut last_hb, time.now(), hb_period) {
                     rep.send_unreliable(
                         EndpointId::Am,
                         RtMsg::Heartbeat {
@@ -628,7 +639,7 @@ pub fn run_worker(
                         );
                     }
                     RtMsg::Leave => {
-                        stalled += parked_at.elapsed();
+                        stalled += sim_to_std(time.now().saturating_duration_since(parked_at));
                         publish(
                             &telemetry,
                             cfg.id,
@@ -654,7 +665,7 @@ pub fn run_worker(
                     _ => {}
                 }
             }
-            stalled += parked_at.elapsed();
+            stalled += sim_to_std(time.now().saturating_duration_since(parked_at));
         }
     }
 }
@@ -771,8 +782,27 @@ mod tests {
 
     #[test]
     fn heartbeat_timer_rearms() {
-        let mut last = Instant::now() - Duration::from_millis(100);
-        assert!(heartbeat_due(&mut last, Duration::from_millis(50)));
-        assert!(!heartbeat_due(&mut last, Duration::from_millis(50)));
+        let period = SimDuration::from_millis(50);
+        let mut last = Some(SimTime::ZERO);
+        // 100ms after the last beacon: due, and the timer rearms to `now`.
+        let now = SimTime::ZERO + SimDuration::from_millis(100);
+        assert!(heartbeat_due(&mut last, now, period));
+        assert_eq!(last, Some(now));
+        assert!(!heartbeat_due(&mut last, now, period));
+        // Exactly one period later: due again.
+        assert!(heartbeat_due(&mut last, now + period, period));
+    }
+
+    #[test]
+    fn fresh_heartbeat_timer_fires_immediately_even_at_the_epoch() {
+        // Regression: the worker used to fake "already overdue" by
+        // back-dating a wall-clock reading one period into the past — on a
+        // clock whose epoch is t=0 (the virtual clock) that subtraction
+        // underflows. A `None` timer must be due at t=0 with no arithmetic.
+        let period = SimDuration::from_millis(50);
+        let mut last: Option<SimTime> = None;
+        assert!(heartbeat_due(&mut last, SimTime::ZERO, period));
+        assert_eq!(last, Some(SimTime::ZERO));
+        assert!(!heartbeat_due(&mut last, SimTime::ZERO, period));
     }
 }

@@ -19,6 +19,10 @@
 //!   non-test runtime code without a justified waiver.
 //! - **Magic numbers** (`MAGIC_NUMBER`): reliability bounds live in named
 //!   consts, not literals.
+//! - **Wall-clock discipline** (`WALL_CLOCK`): inside `elan-rt`, only
+//!   `time.rs` may read the OS clock or block the scheduler; everything
+//!   else routes through `TimeSource`, test code included, so seeded
+//!   virtual-time runs stay deterministic (DESIGN.md §12).
 //!
 //! Diagnostics carry `file:line`, an invariant ID, and a fix hint; waivers
 //! come from `verify-allow.toml` (diffed in CI so they only grow with
@@ -33,6 +37,7 @@ pub mod rules {
     pub mod panics;
     pub mod persist;
     pub mod protocol;
+    pub mod wallclock;
 }
 pub mod waiver;
 
@@ -52,6 +57,7 @@ pub fn run_all(ws: &Workspace) -> Result<Vec<Diagnostic>, String> {
     diags.extend(rules::persist::run(ws));
     diags.extend(rules::panics::run(ws));
     diags.extend(rules::magic::run(ws));
+    diags.extend(rules::wallclock::run(ws));
     diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(diags)
 }

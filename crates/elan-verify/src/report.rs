@@ -13,9 +13,10 @@ pub mod rules {
     pub const PERSIST_BEFORE_ACT: &str = "PERSIST_BEFORE_ACT";
     pub const PANIC_HYGIENE: &str = "PANIC_HYGIENE";
     pub const MAGIC_NUMBER: &str = "MAGIC_NUMBER";
+    pub const WALL_CLOCK: &str = "WALL_CLOCK";
 
     /// All rule IDs, for `--self-test` cross-checking.
-    pub const ALL: [&str; 8] = [
+    pub const ALL: [&str; 9] = [
         LOCK_ORDER_CYCLE,
         LOCK_ACROSS_SEND,
         PROTOCOL_UNHANDLED_MSG,
@@ -24,6 +25,7 @@ pub mod rules {
         PERSIST_BEFORE_ACT,
         PANIC_HYGIENE,
         MAGIC_NUMBER,
+        WALL_CLOCK,
     ];
 }
 

@@ -1,0 +1,141 @@
+//! Wall-clock discipline (WALL_CLOCK): inside `elan-rt`, the only file
+//! allowed to read the machine clock or block the OS scheduler is
+//! `time.rs` — everything else must go through `TimeSource`, or the
+//! deterministic simulation mode silently stops being deterministic. One
+//! stray `Instant::now()` in a worker loop re-introduces wall-clock
+//! jitter into journal timestamps; one stray `thread::sleep` stalls the
+//! virtual clock's quiescence detection and deadlocks seeded runs.
+//!
+//! Unlike PANIC_HYGIENE, **test code is not exempt**: a test that sleeps
+//! is exactly the flakiness the virtual clock exists to remove, and a
+//! test that reads `Instant` cannot assert on virtual timestamps. The
+//! only exemption is file-level — `elan-rt/src/time.rs` itself, where
+//! the real-time backend legitimately calls through to the OS.
+
+use crate::model::Workspace;
+use crate::report::{rules, Diagnostic};
+
+/// The crate under wall-clock discipline. Other crates (`elan-sim`,
+/// `bench`) are simulation- or harness-side and may time themselves.
+const SCOPE_CRATE: &str = "elan-rt";
+
+/// The single file allowed to touch the OS clock: the `TimeSource`
+/// implementation, whose real backend must call the real thing.
+const EXEMPT_FILE: &str = "elan-rt/src/time.rs";
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if !ws.fixture_mode && file.crate_name != SCOPE_CRATE {
+            continue;
+        }
+        if file.rel.ends_with(EXEMPT_FILE) {
+            continue;
+        }
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            // `Instant::now()` / `SystemTime::now()`
+            let call = if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+                && i + 2 < toks.len()
+                && toks[i + 1].is("::")
+                && toks[i + 2].is_ident("now")
+            {
+                Some(format!("{}::now", t.text))
+            // `thread::sleep(..)` (also matches `std::thread::sleep`)
+            } else if t.is_ident("sleep")
+                && i >= 2
+                && toks[i - 1].is("::")
+                && toks[i - 2].is_ident("thread")
+            {
+                Some("thread::sleep".to_string())
+            } else {
+                None
+            };
+            let Some(call) = call else { continue };
+            // Deliberately NO `is_test_at` exemption: test code is in scope.
+            let func = file
+                .enclosing_fn(i)
+                .map(|f| f.qual.clone())
+                .unwrap_or_default();
+            diags.push(Diagnostic::new(
+                rules::WALL_CLOCK,
+                file.rel.clone(),
+                t.line,
+                func,
+                call.clone(),
+                format!("`{call}` outside time.rs breaks deterministic simulation"),
+                "read the clock via TimeSource::now()/deadline_after() and block via \
+                 TimeSource::sleep()/park_until() so virtual-time runs stay seeded-deterministic \
+                 (see DESIGN.md §12)",
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::parse_source;
+
+    fn ws_named(src: &str, rel: &str) -> Workspace {
+        Workspace {
+            files: vec![parse_source(src, rel.into(), String::new())],
+            fixture_mode: true,
+        }
+    }
+
+    fn ws(src: &str) -> Workspace {
+        ws_named(src, "t.rs")
+    }
+
+    #[test]
+    fn flags_instant_systemtime_and_sleep() {
+        let d = run(&ws(
+            "fn f() { let t = Instant::now(); let s = SystemTime::now(); \
+             thread::sleep(Duration::from_millis(PERIOD_MS)); }",
+        ));
+        let kinds: Vec<&str> = d.iter().map(|d| d.detail.as_str()).collect();
+        assert_eq!(
+            kinds,
+            vec!["Instant::now", "SystemTime::now", "thread::sleep"]
+        );
+    }
+
+    #[test]
+    fn std_qualified_sleep_is_flagged() {
+        let d = run(&ws("fn f() { std::thread::sleep(D); }"));
+        assert_eq!(d.len(), 1, "got {d:?}");
+        assert_eq!(d[0].detail, "thread::sleep");
+    }
+
+    #[test]
+    fn test_code_is_not_exempt() {
+        let d = run(&ws(
+            "#[cfg(test)] mod tests { #[test] fn t() { thread::sleep(D); } }",
+        ));
+        assert_eq!(
+            d.len(),
+            1,
+            "sleeping tests are the flakiness this rule removes"
+        );
+    }
+
+    #[test]
+    fn time_rs_is_exempt() {
+        let d = run(&ws_named(
+            "fn real_now() -> Instant { Instant::now() }",
+            "crates/elan-rt/src/time.rs",
+        ));
+        assert!(d.is_empty(), "got {d:?}");
+    }
+
+    #[test]
+    fn virtual_sleep_and_yield_are_fine() {
+        let d = run(&ws(
+            "fn f(time: &TimeSource) { time.sleep(D); thread::yield_now(); let s = v.sleep; }",
+        ));
+        assert!(d.is_empty(), "got {d:?}");
+    }
+}

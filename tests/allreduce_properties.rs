@@ -10,9 +10,14 @@
 //! The property: for random world sizes, vector lengths, chunk sizes,
 //! input magnitudes, and thread arrival orders, every worker's result is
 //! bit-identical to the naive ascending-worker-id reference sum.
+//!
+//! Arrival order is shuffled *without wall-clock sleeps*: workers are
+//! spawned in a seeded permutation and stagger themselves with scheduler
+//! yields. The result must be bit-identical under **every** interleaving,
+//! so the property is meaningful regardless of how the OS actually
+//! schedules the racers — the shuffle just diversifies the coverage.
 
 use std::thread;
-use std::time::Duration;
 
 use proptest::prelude::*;
 
@@ -68,22 +73,31 @@ proptest! {
                 .iter()
                 .map(|v| v.to_bits())
                 .collect();
-            // Randomize the rendezvous: every worker shows up after its
-            // own jitter, so the publisher/helper roles shuffle freely.
-            let delays: Vec<u64> = (0..world).map(|_| gen.next_u64() % 4).collect();
+            // Randomize the rendezvous without any wall-clock sleeps:
+            // spawn workers in a seeded permutation and let each one
+            // stagger itself with scheduler yields, so the
+            // publisher/helper roles shuffle freely.
+            let yields: Vec<u64> = (0..world).map(|_| gen.next_u64() % 4).collect();
+            let mut order: Vec<usize> = (0..world).collect();
+            for i in (1..world).rev() {
+                order.swap(i, (gen.next_u64() % (i as u64 + 1)) as usize);
+            }
 
-            let results: Vec<Vec<u32>> = thread::scope(|s| {
-                let handles: Vec<_> = (0..world)
-                    .map(|w| {
+            let mut results: Vec<(usize, Vec<u32>)> = thread::scope(|s| {
+                let handles: Vec<_> = order
+                    .iter()
+                    .map(|&w| {
                         let group = &group;
                         let input = &inputs[w];
-                        let delay = delays[w];
+                        let n_yields = yields[w];
                         s.spawn(move || {
-                            thread::sleep(Duration::from_micros(delay * 150));
+                            for _ in 0..n_yields {
+                                thread::yield_now();
+                            }
                             match group.allreduce(WorkerId(w as u32), input) {
                                 AllreduceOutcome::Sum { sum, world: n } => {
                                     assert_eq!(n as usize, world, "wrong captured world");
-                                    sum.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+                                    (w, sum.iter().map(|v| v.to_bits()).collect::<Vec<u32>>())
                                 }
                                 other => panic!("unexpected outcome {other:?}"),
                             }
@@ -95,6 +109,8 @@ proptest! {
                     .map(|h| h.join().expect("allreduce thread"))
                     .collect()
             });
+            results.sort_by_key(|(w, _)| *w);
+            let results: Vec<Vec<u32>> = results.into_iter().map(|(_, sum)| sum).collect();
 
             for (w, got) in results.iter().enumerate() {
                 prop_assert_eq!(

@@ -15,9 +15,13 @@
 //! drops/delays/duplicates, which reorder and repeat the control
 //! messages feeding the trace recorder).
 
+//! Runs ride a [`TimeSource::virtual_seeded`] clock keyed to the chaos
+//! seed, so each proptest case is wall-clock-free *and* individually
+//! replayable: a failing seed reproduces its exact schedule.
+
 use proptest::prelude::*;
 
-use elan::rt::{ChaosPolicy, ElasticRuntime, EventKind, RuntimeConfig};
+use elan::rt::{ChaosPolicy, ElasticRuntime, EventKind, RuntimeConfig, TimeSource};
 
 proptest! {
     #![proptest_config(ProptestConfig {
@@ -42,6 +46,7 @@ proptest! {
         let mut rt = ElasticRuntime::builder()
             .config(cfg)
             .chaos(chaos)
+            .time(TimeSource::virtual_seeded(seed))
             .start()
             .unwrap();
         rt.run_until_iteration(5);
@@ -72,5 +77,30 @@ proptest! {
         }
         // The summary's totals cover at least the events we still hold.
         prop_assert!(report.journal.total >= report.events.len() as u64);
+    }
+
+    /// Determinism as a *property*: for any seed, two in-process runs of
+    /// the same chaotic scenario under virtual time yield byte-identical
+    /// journals (timestamps included).
+    #[test]
+    fn journal_is_a_pure_function_of_the_seed(seed in 0u64..1_000_000) {
+        fn run(seed: u64) -> Vec<String> {
+            let mut cfg = RuntimeConfig::small(2);
+            cfg.retry_max_attempts = 12;
+            let mut rt = ElasticRuntime::builder()
+                .config(cfg)
+                .chaos(ChaosPolicy::new(seed).drop(0.10).delay(0.10, 2).duplicate(0.05))
+                .time(TimeSource::virtual_seeded(seed))
+                .start()
+                .unwrap();
+            rt.run_until_iteration(5);
+            rt.scale_out(1);
+            rt.run_until_iteration(10);
+            let report = rt.shutdown();
+            report.events.iter().map(|e| format!("{e:?}")).collect()
+        }
+        let a = run(seed);
+        prop_assert!(!a.is_empty());
+        prop_assert_eq!(a, run(seed), "seed {} diverged across runs", seed);
     }
 }

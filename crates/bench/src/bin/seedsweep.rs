@@ -1,26 +1,38 @@
 //! Determinism fuzzer for the virtual-time runtime (`elan-rt`).
 //!
 //! ```text
-//! seedsweep [--quick] [--seeds N] [--start S] [--out PATH]
+//! seedsweep [--quick] [--seeds N] [--start S] [--scenario NAME] [--out PATH]
 //! ```
 //!
-//! For each seed the chaos end-to-end scenario (lossy + delaying +
-//! duplicating bus, scale-out mid-run) is executed **twice** on a
-//! [`TimeSource::virtual_seeded`] clock and each run's event journal is
-//! hashed (FNV-1a over the rendered event lines, virtual timestamps
+//! For each seed the selected end-to-end scenario is executed **twice**
+//! on a [`TimeSource::virtual_seeded`] clock and each run's event journal
+//! is hashed (FNV-1a over the rendered event lines, virtual timestamps
 //! included). Determinism means the two hashes are equal for every seed;
 //! any divergent seed is replayed twice more to confirm the divergence is
 //! reproducible, and its journals ride the JSON report so CI can upload
 //! them as an artifact. A seed whose run panics is a failure too — the
 //! panic message is captured into the report.
 //!
+//! Scenarios:
+//!
+//! - `chaos` (default) — lossy + delaying + duplicating bus with a
+//!   scale-out mid-run;
+//! - `partition` — a scripted 500ms window isolating the acting AM while
+//!   a scale-out is requested: the watchdog must elect a term-fenced
+//!   successor that completes the adjustment, and on top of the journal
+//!   hash every run is replayed through [`check_term_safety`] (at most
+//!   one AM acting per term, no post-fence effects).
+//!
 //! `--quick` sweeps 64 seeds (the CI smoke configuration); the default
 //! sweep is 256. Exit status is non-zero iff any seed diverged or failed.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
+use std::time::Duration;
 
-use elan_rt::{ChaosPolicy, ElasticRuntime, RuntimeConfig, TimeSource};
+use elan_rt::{
+    check_term_safety, ChaosPolicy, ElasticRuntime, EndpointId, RuntimeConfig, TimeSource,
+};
 
 /// FNV-1a offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -44,10 +56,28 @@ fn fnv1a(lines: &[String]) -> u64 {
     h
 }
 
+/// Which end-to-end scenario the sweep replays per seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    /// Lossy/delaying/duplicating bus with a scale-out mid-run.
+    Chaos,
+    /// Scripted partition isolating the acting AM mid-adjustment.
+    Partition,
+}
+
+impl Scenario {
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::Chaos => "chaos",
+            Scenario::Partition => "partition",
+        }
+    }
+}
+
 /// The chaos e2e scenario under virtual time: a lossy, delaying,
 /// duplicating bus and a live scale-out. Returns the journal, rendered
 /// line-by-line.
-fn scenario(seed: u64) -> Vec<String> {
+fn chaos_scenario(seed: u64) -> Vec<String> {
     let mut cfg = RuntimeConfig::small(2);
     cfg.retry_max_attempts = 12;
     let chaos = ChaosPolicy::new(seed)
@@ -68,13 +98,62 @@ fn scenario(seed: u64) -> Vec<String> {
     report.events.iter().map(|e| format!("{e:?}")).collect()
 }
 
+/// The partition e2e scenario: a 500ms scripted window cuts the acting
+/// AM off from workers, controller, and store while a scale-out is
+/// requested. The lease lapses, a successor is elected at a higher
+/// fencing term, the old AM's persist-before-act probe bounces, and the
+/// adjustment completes under the new term. On top of the determinism
+/// hash, the journal is replayed through the term-safety checker.
+fn partition_scenario(seed: u64) -> Vec<String> {
+    let mut cfg = RuntimeConfig::small(3);
+    cfg.retry_max_attempts = 12;
+    // The policy scripts no probabilistic fates: the partition *is* the
+    // chaos, so every journal difference across seeds comes from the
+    // virtual-clock schedule alone.
+    let mut rt = ElasticRuntime::builder()
+        .config(cfg)
+        .chaos(ChaosPolicy::new(seed))
+        .time(TimeSource::virtual_seeded(seed))
+        .start()
+        .expect("valid sweep configuration");
+    rt.run_until_iteration(8);
+    assert!(
+        rt.partition(
+            "am-isolated",
+            vec![vec![EndpointId::Am]],
+            Duration::from_millis(500),
+        ),
+        "partition scripting needs a chaos engine"
+    );
+    rt.scale_out(1);
+    rt.run_until_iteration(16);
+    let report = rt.shutdown();
+    assert!(report.states_consistent(), "replicas diverged");
+    assert!(
+        report.journal.count("term_bump") >= 2,
+        "no fenced failover: {:?}",
+        report.journal
+    );
+    assert!(
+        report.journal.count("stale_term_rejected") >= 1,
+        "old AM never fenced: {:?}",
+        report.journal
+    );
+    let safety = check_term_safety(&report.events);
+    assert!(safety.is_safe(), "term safety violated: {safety}");
+    report.events.iter().map(|e| format!("{e:?}")).collect()
+}
+
 /// One run, panic-safe. `Err` carries the panic payload as text.
-fn run_once(seed: u64) -> Result<Vec<String>, String> {
+fn run_once(seed: u64, scenario: Scenario) -> Result<Vec<String>, String> {
     // A panicking run may leave the controller thread registered with the
     // (abandoned) virtual clock's thread-local id; clear it so the next
     // seed starts clean.
     let guard = TimeSource::virtual_seeded(seed);
-    let out = catch_unwind(AssertUnwindSafe(|| scenario(seed)));
+    let out = catch_unwind(AssertUnwindSafe(|| match scenario {
+        Scenario::Chaos => chaos_scenario(seed),
+        Scenario::Partition => partition_scenario(seed),
+    }));
     out.map_err(|e| {
         guard.deregister();
         match e.downcast::<String>() {
@@ -102,8 +181,8 @@ enum Verdict {
     Failed { message: String, prior: Vec<String> },
 }
 
-fn sweep_seed(seed: u64) -> Verdict {
-    let a = match run_once(seed) {
+fn sweep_seed(seed: u64, scenario: Scenario) -> Verdict {
+    let a = match run_once(seed, scenario) {
         Ok(lines) => lines,
         Err(message) => {
             return Verdict::Failed {
@@ -112,7 +191,7 @@ fn sweep_seed(seed: u64) -> Verdict {
             }
         }
     };
-    let b = match run_once(seed) {
+    let b = match run_once(seed, scenario) {
         Ok(lines) => lines,
         Err(message) => return Verdict::Failed { message, prior: a },
     };
@@ -123,8 +202,8 @@ fn sweep_seed(seed: u64) -> Verdict {
     // Confirm: a divergence should reproduce — replay twice more so the
     // report can say whether the seed is unstable or the first pair was a
     // one-off (either way it is a bug; the replay hashes aid triage).
-    let ra = run_once(seed).map(|l| fnv1a(&l)).unwrap_or(0);
-    let rb = run_once(seed).map(|l| fnv1a(&l)).unwrap_or(0);
+    let ra = run_once(seed, scenario).map(|l| fnv1a(&l)).unwrap_or(0);
+    let rb = run_once(seed, scenario).map(|l| fnv1a(&l)).unwrap_or(0);
     Verdict::Divergent {
         hashes: (ha, hb),
         replay: (ra, rb),
@@ -159,6 +238,7 @@ fn push_lines(s: &mut String, key: &str, lines: &[String], indent: &str) {
 
 struct Report {
     mode: &'static str,
+    scenario: Scenario,
     start: u64,
     results: Vec<(u64, Verdict)>,
 }
@@ -176,6 +256,7 @@ impl Report {
         s.push_str("{\n");
         s.push_str("  \"schema_version\": 1,\n");
         s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str(&format!("  \"scenario\": \"{}\",\n", self.scenario.name()));
         s.push_str(&format!("  \"start_seed\": {},\n", self.start));
         s.push_str(&format!("  \"seeds\": {},\n", self.results.len()));
         s.push_str(&format!("  \"bad_seeds\": {},\n", self.bad_seeds()));
@@ -252,6 +333,7 @@ fn main() -> ExitCode {
     let mut n: Option<u64> = None;
     let mut start = 0u64;
     let mut quick = false;
+    let mut scenario = Scenario::Chaos;
     let mut out = String::from("BENCH_seedsweep.json");
 
     let mut args = std::env::args().skip(1);
@@ -266,12 +348,17 @@ fn main() -> ExitCode {
                 Some(v) => start = v,
                 None => return usage("--start requires a seed"),
             },
+            "--scenario" => match args.next().as_deref() {
+                Some("chaos") => scenario = Scenario::Chaos,
+                Some("partition") => scenario = Scenario::Partition,
+                _ => return usage("--scenario requires 'chaos' or 'partition'"),
+            },
             "--out" => match args.next() {
                 Some(path) => out = path,
                 None => return usage("--out requires a path"),
             },
             "--help" | "-h" => {
-                eprintln!("usage: seedsweep [--quick] [--seeds N] [--start S] [--out PATH]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument '{other}'")),
@@ -282,7 +369,7 @@ fn main() -> ExitCode {
 
     let mut results = Vec::with_capacity(n as usize);
     for seed in start..start + n {
-        let verdict = sweep_seed(seed);
+        let verdict = sweep_seed(seed, scenario);
         match &verdict {
             Verdict::Ok { hash } => eprintln!("seed {seed}: ok {hash:016x}"),
             Verdict::Divergent { hashes, .. } => eprintln!(
@@ -298,6 +385,7 @@ fn main() -> ExitCode {
 
     let report = Report {
         mode,
+        scenario,
         start,
         results,
     };
@@ -318,8 +406,11 @@ fn main() -> ExitCode {
     }
 }
 
+const USAGE: &str =
+    "usage: seedsweep [--quick] [--seeds N] [--start S] [--scenario chaos|partition] [--out PATH]";
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
-    eprintln!("usage: seedsweep [--quick] [--seeds N] [--start S] [--out PATH]");
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
 }

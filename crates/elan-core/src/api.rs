@@ -52,13 +52,6 @@ pub struct ElanJobApi {
     sampler: SerialSampler,
 }
 
-/// Errors surfaced by the facade.
-///
-/// Superseded by the unified [`ElanError`] — this alias keeps old
-/// signatures compiling for one release.
-#[deprecated(since = "0.3.0", note = "use `elan_core::ElanError` instead")]
-pub type ApiError = ElanError;
-
 /// What [`ElanJobApi::coordinate`] tells the training loop to do.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoordinateOutcome {

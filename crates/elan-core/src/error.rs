@@ -1,8 +1,8 @@
 //! The unified error surface of the Elan workspace.
 //!
-//! Historically elan-core exposed `api::ApiError` while elan-rt returned
-//! ad-hoc failures (panics, `String`s, silently-ignored requests). This
-//! module converges both on one `#[non_exhaustive]` enum, [`ElanError`],
+//! Historically elan-core exposed a separate facade error type while
+//! elan-rt returned ad-hoc failures (panics, `String`s, silently-ignored
+//! requests). This module converges both on one `#[non_exhaustive]` enum, [`ElanError`],
 //! which is re-exported from the root `elan` facade crate. Downstream
 //! matches must keep a wildcard arm, which lets future PRs add variants
 //! (scheduler rejections, accelerator faults) without a breaking release.

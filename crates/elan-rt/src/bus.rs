@@ -22,7 +22,7 @@ use parking_lot::{Mutex, RwLock};
 use elan_core::messages::{MsgId, MsgIdAllocator, StateKind};
 use elan_core::state::WorkerId;
 
-use crate::chaos::{ChaosEngine, ChaosPolicy, ChaosStats};
+use crate::chaos::{ChaosEngine, ChaosPolicy, ChaosStats, PartitionWindow};
 use crate::obs::{EventJournal, EventKind};
 use crate::time::TimeSource;
 
@@ -67,11 +67,15 @@ pub enum RtMsg {
     Proceed {
         /// The boundary iteration being released.
         boundary: u64,
+        /// The sending AM's fencing term.
+        term: u64,
     },
     /// AM → worker: replicate state to `dst` (step ④), then report done.
     TransferOrder {
         /// Destination worker.
         dst: WorkerId,
+        /// The sending AM's fencing term.
+        term: u64,
     },
     /// Worker → AM: the ordered transfer finished.
     TransferDone {
@@ -110,9 +114,14 @@ pub enum RtMsg {
     Resume {
         /// The new communication-group generation.
         generation: u64,
+        /// The sending AM's fencing term.
+        term: u64,
     },
     /// AM → worker: leave the job (scale-in / migration / shutdown).
-    Leave,
+    Leave {
+        /// The sending AM's fencing term.
+        term: u64,
+    },
     /// Controller → AM: adjust to this membership.
     AdjustTo {
         /// Controller-side operation sequence number (idempotence across
@@ -136,6 +145,8 @@ pub enum RtMsg {
     CheckpointOrder {
         /// The checkpoint request being served.
         seq: u64,
+        /// The sending AM's fencing term.
+        term: u64,
     },
     /// AM → controller: operation `seq` finished.
     Ack {
@@ -159,6 +170,21 @@ pub enum RtMsg {
     AmReset {
         /// The new AM epoch.
         epoch: u64,
+        /// The sending AM's fencing term.
+        term: u64,
+    },
+    /// Restarted worker → AM: request re-admission after a crash,
+    /// presenting the last term it observed and the boundary iteration of
+    /// its last applied state (its snapshot version). The AM either admits
+    /// it (re-replicating state at the next boundary) or fences it via the
+    /// term in its reply traffic.
+    Rejoin {
+        /// The worker asking back in.
+        worker: WorkerId,
+        /// Highest AM term the worker saw before crashing.
+        term: u64,
+        /// Boundary iteration of its last applied snapshot/state.
+        iteration: u64,
     },
 }
 
@@ -318,11 +344,24 @@ impl Bus {
         let noisy = matches!(env.body, RtMsg::Heartbeat { .. } | RtMsg::MsgAck { .. });
         let deliveries = match &self.inner.chaos {
             Some(engine) => {
-                let (deliveries, fate) = engine.lock().route(to, env);
-                if let (Some(fate), Some(journal), false) =
-                    (fate, self.inner.journal.as_ref(), noisy)
-                {
-                    journal.emit(EventKind::ChaosInjected { fate, to });
+                let now = self.inner.time.now();
+                let mut engine = engine.lock();
+                // Window lifecycle transitions are observed on sends; with
+                // heartbeats flowing constantly that pins the journal event
+                // to within one beacon period of the scripted instant.
+                let (started, healed) = engine.poll_windows(now);
+                let (deliveries, fate) = engine.route(now, to, env);
+                drop(engine);
+                if let Some(journal) = self.inner.journal.as_ref() {
+                    for name in started {
+                        journal.emit(EventKind::PartitionStart { name });
+                    }
+                    for name in healed {
+                        journal.emit(EventKind::PartitionHeal { name });
+                    }
+                    if let (Some(fate), false) = (fate, noisy) {
+                        journal.emit(EventKind::ChaosInjected { fate, to });
+                    }
                 }
                 deliveries
             }
@@ -392,6 +431,28 @@ impl Bus {
     /// Fault-injection counters, if a chaos policy is attached.
     pub fn chaos_stats(&self) -> Option<ChaosStats> {
         self.inner.chaos.as_ref().map(|e| e.lock().stats())
+    }
+
+    /// Whether an open partition window currently cuts the `a`↔`b` edge.
+    /// Always false on a bus without fault injection.
+    pub fn is_partitioned(&self, a: EndpointId, b: EndpointId) -> bool {
+        match &self.inner.chaos {
+            Some(engine) => engine.lock().is_partitioned(self.inner.time.now(), a, b),
+            None => false,
+        }
+    }
+
+    /// Injects a partition window at runtime (in addition to any windows
+    /// scripted in the policy). Returns false when the bus has no chaos
+    /// engine to carry it.
+    pub(crate) fn add_partition(&self, window: PartitionWindow) -> bool {
+        match &self.inner.chaos {
+            Some(engine) => {
+                engine.lock().add_window(window);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Registered endpoint count.
@@ -518,11 +579,14 @@ mod tests {
         let w = bus.register(EndpointId::Worker(WorkerId(1)));
         bus.send(
             EndpointId::Worker(WorkerId(1)),
-            RtMsg::Proceed { boundary: 1 },
+            RtMsg::Proceed {
+                boundary: 1,
+                term: 1,
+            },
         );
-        bus.send(EndpointId::Worker(WorkerId(1)), RtMsg::Leave);
+        bus.send(EndpointId::Worker(WorkerId(1)), RtMsg::Leave { term: 1 });
         assert!(matches!(w.recv().body, RtMsg::Proceed { .. }));
-        assert!(matches!(w.recv().body, RtMsg::Leave));
+        assert!(matches!(w.recv().body, RtMsg::Leave { .. }));
     }
 
     #[test]
@@ -544,9 +608,9 @@ mod tests {
         let bus = Bus::new();
         let _w = bus.register(EndpointId::Worker(WorkerId(0)));
         for _ in 0..3 {
-            bus.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
+            bus.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave { term: 0 });
         }
-        bus.send(EndpointId::Am, RtMsg::Leave); // dead letter
+        bus.send(EndpointId::Am, RtMsg::Leave { term: 0 }); // dead letter
         let s = bus.stats(EndpointId::Worker(WorkerId(0)));
         assert_eq!(s.sent, 3);
         assert_eq!(s.delivered, 3);
@@ -562,7 +626,7 @@ mod tests {
         let bus = Bus::new();
         let w = bus.register(EndpointId::Worker(WorkerId(7)));
         drop(w);
-        assert!(bus.send(EndpointId::Worker(WorkerId(7)), RtMsg::Leave));
+        assert!(bus.send(EndpointId::Worker(WorkerId(7)), RtMsg::Leave { term: 0 }));
         assert_eq!(bus.stats(EndpointId::Worker(WorkerId(7))).dead_letters, 1);
     }
 
@@ -571,7 +635,7 @@ mod tests {
         use crate::chaos::ChaosPolicy;
         let bus = Bus::with_chaos(ChaosPolicy::new(9).drop(1.0));
         let w = bus.register(EndpointId::Worker(WorkerId(0)));
-        bus.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
+        bus.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave { term: 0 });
         assert!(w.try_recv().is_none());
         let chaos = bus.chaos_stats().unwrap();
         assert_eq!(chaos.dropped, 1);

@@ -11,11 +11,60 @@
 //! Delays are modeled without timers: a delayed message sits in a limbo
 //! buffer and is released only after `delay_ticks` further messages have
 //! flowed through the bus, which also reorders it behind younger traffic.
+//!
+//! Partitions are *scripted*, not rolled: a [`PartitionWindow`] names a
+//! bidirectional edge cut between endpoint groups over a virtual-time
+//! interval. While a window is open, every message crossing the cut is
+//! discarded (fate [`ChaosFate::Partitioned`]) — deterministically, by
+//! the clock rather than the dice — and on heal the reliable layer's
+//! resends flow again. Windows compose with the per-edge fates: a message
+//! that survives the cut still rolls for drop/delay/duplicate.
 
 use std::collections::HashMap;
+use std::time::Duration;
+
+use elan_sim::SimTime;
 
 use crate::bus::{EndpointId, Envelope};
 use crate::obs::ChaosFate;
+use crate::time::std_to_sim;
+
+/// One named, scripted partition: a bidirectional edge cut between
+/// `groups` that is open for virtual times in `[from, until)`.
+///
+/// Endpoints listed in *different* groups cannot exchange messages while
+/// the window is open; an endpoint not listed in any group is cut from
+/// every listed endpoint (so `[[Am]]` isolates the AM from the whole
+/// world) but unlisted↔unlisted traffic flows freely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionWindow {
+    /// Human-readable label (journal events carry it implicitly by order).
+    pub name: String,
+    /// The sides of the cut.
+    pub groups: Vec<Vec<EndpointId>>,
+    /// Virtual time the cut opens.
+    pub from: SimTime,
+    /// Virtual time the cut heals (exclusive).
+    pub until: SimTime,
+}
+
+impl PartitionWindow {
+    fn contains(&self, now: SimTime) -> bool {
+        self.from <= now && now < self.until
+    }
+
+    fn group_of(&self, e: EndpointId) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&e))
+    }
+
+    /// Whether this window cuts the `a`↔`b` edge (direction-agnostic).
+    fn cuts(&self, a: EndpointId, b: EndpointId) -> bool {
+        match (self.group_of(a), self.group_of(b)) {
+            (None, None) => false,
+            (ga, gb) => ga != gb,
+        }
+    }
+}
 
 /// Fault probabilities for one directed bus edge.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +109,8 @@ pub struct ChaosPolicy {
     pub default_edge: EdgeChaos,
     /// Per-edge overrides, keyed by `(from, to)`.
     pub edges: HashMap<(EndpointId, EndpointId), EdgeChaos>,
+    /// Scripted partition windows on the virtual-time axis.
+    pub partitions: Vec<PartitionWindow>,
 }
 
 impl ChaosPolicy {
@@ -96,6 +147,25 @@ impl ChaosPolicy {
         self
     }
 
+    /// Scripts a named partition: endpoints in different `groups` cannot
+    /// exchange messages while the virtual clock is in `[from, until)`.
+    /// Multiple windows may overlap; each opens and heals independently.
+    pub fn partition(
+        mut self,
+        name: impl Into<String>,
+        groups: Vec<Vec<EndpointId>>,
+        from: Duration,
+        until: Duration,
+    ) -> Self {
+        self.partitions.push(PartitionWindow {
+            name: name.into(),
+            groups,
+            from: SimTime::ZERO + std_to_sim(from),
+            until: SimTime::ZERO + std_to_sim(until),
+        });
+        self
+    }
+
     fn edge_for(&self, from: EndpointId, to: EndpointId) -> EdgeChaos {
         self.edges
             .get(&(from, to))
@@ -113,8 +183,13 @@ pub struct ChaosStats {
     pub dropped: u64,
     /// Extra copies injected.
     pub duplicated: u64,
-    /// Messages held back and reordered.
+    /// Messages held back in limbo.
     pub delayed: u64,
+    /// Delayed messages that were actually released *behind* traffic sent
+    /// after them — the observable reordering the delay fate exists for.
+    pub reordered: u64,
+    /// Messages discarded by an open [`PartitionWindow`].
+    pub partitioned: u64,
 }
 
 fn mix(mut x: u64) -> u64 {
@@ -132,26 +207,87 @@ fn endpoint_code(e: EndpointId) -> u64 {
     }
 }
 
+/// Where a partition window is in its lifecycle — tracked so the bus can
+/// journal `PartitionStart`/`PartitionHeal` exactly once per window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WindowPhase {
+    Pending,
+    Active,
+    Healed,
+}
+
+/// One delayed message sitting in limbo.
+#[derive(Debug)]
+struct Limbo {
+    /// Sends remaining before release.
+    ticks: u32,
+    /// `stats.delivered` when the message entered limbo — if the counter
+    /// grew by release time, younger traffic overtook it (a reorder).
+    delivered_then: u64,
+    to: EndpointId,
+    env: Envelope,
+}
+
 /// The mutable fault-injection state attached to one bus.
 #[derive(Debug)]
 pub(crate) struct ChaosEngine {
     policy: ChaosPolicy,
     stats: ChaosStats,
-    /// Delayed messages: (sends remaining before release, destination, msg).
-    limbo: Vec<(u32, EndpointId, Envelope)>,
+    limbo: Vec<Limbo>,
+    /// Partition windows (scripted plus runtime-injected) and their phase.
+    windows: Vec<(PartitionWindow, WindowPhase)>,
 }
 
 impl ChaosEngine {
     pub(crate) fn new(policy: ChaosPolicy) -> Self {
+        let windows = policy
+            .partitions
+            .iter()
+            .cloned()
+            .map(|w| (w, WindowPhase::Pending))
+            .collect();
         ChaosEngine {
             policy,
             stats: ChaosStats::default(),
             limbo: Vec::new(),
+            windows,
         }
     }
 
     pub(crate) fn stats(&self) -> ChaosStats {
         self.stats
+    }
+
+    /// Injects a partition window at runtime (e.g. mid-adjustment, from a
+    /// test that wants the cut anchored to a protocol state rather than a
+    /// pre-scripted instant).
+    pub(crate) fn add_window(&mut self, window: PartitionWindow) {
+        self.windows.push((window, WindowPhase::Pending));
+    }
+
+    /// Whether any open window cuts the `a`↔`b` edge at `now`.
+    pub(crate) fn is_partitioned(&self, now: SimTime, a: EndpointId, b: EndpointId) -> bool {
+        self.windows
+            .iter()
+            .any(|(w, _)| w.contains(now) && w.cuts(a, b))
+    }
+
+    /// Advances window lifecycles to `now`; returns the names of windows
+    /// that just opened and just healed (for journal events). A window
+    /// whose whole span elapsed between polls reports both transitions.
+    pub(crate) fn poll_windows(&mut self, now: SimTime) -> (Vec<String>, Vec<String>) {
+        let (mut started, mut healed) = (Vec::new(), Vec::new());
+        for (w, phase) in &mut self.windows {
+            if *phase == WindowPhase::Pending && now >= w.from {
+                *phase = WindowPhase::Active;
+                started.push(w.name.clone());
+            }
+            if *phase == WindowPhase::Active && now >= w.until {
+                *phase = WindowPhase::Healed;
+                healed.push(w.name.clone());
+            }
+        }
+        (started, healed)
     }
 
     /// A uniform value in `[0, 1)` that is a pure function of the message
@@ -172,6 +308,7 @@ impl ChaosEngine {
     /// non-trivial fates into journal events.
     pub(crate) fn route(
         &mut self,
+        now: SimTime,
         to: EndpointId,
         env: Envelope,
     ) -> (Vec<(EndpointId, Envelope)>, Option<ChaosFate>) {
@@ -179,15 +316,30 @@ impl ChaosEngine {
         let mut out = Vec::new();
         let mut i = 0;
         while i < self.limbo.len() {
-            if self.limbo[i].0 <= 1 {
-                let (_, dst, delayed) = self.limbo.swap_remove(i);
-                out.push((dst, delayed));
+            if self.limbo[i].ticks <= 1 {
+                let released = self.limbo.swap_remove(i);
+                // A message released from limbo still has to survive any
+                // window that opened while it was held back.
+                if self.is_partitioned(now, released.env.from, released.to) {
+                    self.stats.partitioned += 1;
+                    continue;
+                }
+                if self.stats.delivered > released.delivered_then {
+                    self.stats.reordered += 1;
+                }
+                out.push((released.to, released.env));
             } else {
-                self.limbo[i].0 -= 1;
+                self.limbo[i].ticks -= 1;
                 i += 1;
             }
         }
 
+        // Scripted cuts come first: while a window is open the edge is
+        // simply gone, no dice involved — resends after heal get through.
+        if self.is_partitioned(now, env.from, to) {
+            self.stats.partitioned += 1;
+            return (out, Some(ChaosFate::Partitioned));
+        }
         let edge = self.policy.edge_for(env.from, to);
         if self.unit(1, env.from, to, &env) < edge.drop_p {
             self.stats.dropped += 1;
@@ -195,7 +347,12 @@ impl ChaosEngine {
         }
         if self.unit(2, env.from, to, &env) < edge.delay_p {
             self.stats.delayed += 1;
-            self.limbo.push((edge.delay_ticks.max(1), to, env));
+            self.limbo.push(Limbo {
+                ticks: edge.delay_ticks.max(1),
+                delivered_then: self.stats.delivered,
+                to,
+                env,
+            });
             return (out, Some(ChaosFate::Delayed));
         }
         self.stats.delivered += 1;
@@ -230,7 +387,7 @@ mod tests {
         let _ = seed;
         let mut engine = ChaosEngine::new(policy);
         for i in 0..n {
-            let _ = engine.route(EndpointId::Am, env(i, 1));
+            let _ = engine.route(SimTime::ZERO, EndpointId::Am, env(i, 1));
         }
         engine.stats()
     }
@@ -265,8 +422,14 @@ mod tests {
         let mut engine = ChaosEngine::new(policy);
         let mut saved_by_retry = 0;
         for i in 0..200 {
-            if engine.route(EndpointId::Am, env(i, 1)).0.is_empty()
-                && !engine.route(EndpointId::Am, env(i, 2)).0.is_empty()
+            if engine
+                .route(SimTime::ZERO, EndpointId::Am, env(i, 1))
+                .0
+                .is_empty()
+                && !engine
+                    .route(SimTime::ZERO, EndpointId::Am, env(i, 2))
+                    .0
+                    .is_empty()
             {
                 saved_by_retry += 1;
             }
@@ -278,20 +441,67 @@ mod tests {
     fn delayed_messages_release_after_ticks() {
         let policy = ChaosPolicy::new(0).delay(1.0, 2); // always delay 2 ticks
         let mut engine = ChaosEngine::new(policy);
-        assert!(engine.route(EndpointId::Am, env(1, 1)).0.is_empty());
+        assert!(engine
+            .route(SimTime::ZERO, EndpointId::Am, env(1, 1))
+            .0
+            .is_empty());
         // Tick 1: msg 2 also delayed; msg 1 ages.
-        assert!(engine.route(EndpointId::Am, env(2, 1)).0.is_empty());
+        assert!(engine
+            .route(SimTime::ZERO, EndpointId::Am, env(2, 1))
+            .0
+            .is_empty());
         // Tick 2: msg 1 releases (behind msg 2 — reordered).
-        let (out, _) = engine.route(EndpointId::Am, env(3, 1));
+        let (out, _) = engine.route(SimTime::ZERO, EndpointId::Am, env(3, 1));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].1.id, MsgId(1));
+    }
+
+    #[test]
+    fn release_behind_younger_traffic_counts_as_reorder() {
+        // Only the Controller→Am edge delays; Controller→Worker is clean.
+        let w = EndpointId::Worker(WorkerId(0));
+        let delayed_edge = EdgeChaos {
+            delay_p: 1.0,
+            delay_ticks: 2,
+            ..EdgeChaos::default()
+        };
+        let policy = ChaosPolicy::new(0).edge(EndpointId::Controller, EndpointId::Am, delayed_edge);
+        let mut engine = ChaosEngine::new(policy);
+        // Msg 1 → Am goes into limbo.
+        let (out, fate) = engine.route(SimTime::ZERO, EndpointId::Am, env(1, 1));
+        assert!(out.is_empty());
+        assert_eq!(fate, Some(ChaosFate::Delayed));
+        // Msg 2 → worker delivers immediately (younger traffic overtakes).
+        assert_eq!(engine.route(SimTime::ZERO, w, env(2, 1)).0.len(), 1);
+        // Msg 3 ages msg 1 out of limbo: it lands *behind* msg 2.
+        let (out, _) = engine.route(SimTime::ZERO, w, env(3, 1));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1.id, MsgId(1), "released delayed message first");
+        let stats = engine.stats();
+        assert_eq!(stats.delayed, 1);
+        assert_eq!(stats.reordered, 1, "overtaken release must count");
+        assert_eq!(stats.delivered, 2);
+    }
+
+    #[test]
+    fn delayed_release_without_overtaking_is_not_a_reorder() {
+        // Everything is delayed, so nothing ever overtakes the limbo.
+        let policy = ChaosPolicy::new(0).delay(1.0, 1);
+        let mut engine = ChaosEngine::new(policy);
+        assert!(engine
+            .route(SimTime::ZERO, EndpointId::Am, env(1, 1))
+            .0
+            .is_empty());
+        let (out, _) = engine.route(SimTime::ZERO, EndpointId::Am, env(2, 1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(engine.stats().reordered, 0);
     }
 
     #[test]
     fn duplicates_deliver_two_copies() {
         let policy = ChaosPolicy::new(0).duplicate(1.0);
         let mut engine = ChaosEngine::new(policy);
-        let (out, fate) = engine.route(EndpointId::Am, env(9, 1));
+        let (out, fate) = engine.route(SimTime::ZERO, EndpointId::Am, env(9, 1));
         assert_eq!(fate, Some(ChaosFate::Duplicated));
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].1.id, out[1].1.id);
@@ -307,10 +517,138 @@ mod tests {
         );
         let mut engine = ChaosEngine::new(policy);
         // Default edge drops everything…
-        assert!(engine.route(EndpointId::Am, env(1, 1)).0.is_empty());
+        assert!(engine
+            .route(SimTime::ZERO, EndpointId::Am, env(1, 1))
+            .0
+            .is_empty());
         // …but the overridden edge is clean.
         let mut clean = env(2, 1);
         clean.from = EndpointId::Controller;
-        assert_eq!(engine.route(w, clean).0.len(), 1);
+        assert_eq!(engine.route(SimTime::ZERO, w, clean).0.len(), 1);
+    }
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::ZERO + std_to_sim(Duration::from_millis(ms))
+    }
+
+    #[test]
+    fn partition_window_cuts_both_directions_and_heals() {
+        let w = EndpointId::Worker(WorkerId(0));
+        let policy = ChaosPolicy::new(0).partition(
+            "am-isolated",
+            vec![vec![EndpointId::Am]],
+            Duration::from_millis(100),
+            Duration::from_millis(200),
+        );
+        let mut engine = ChaosEngine::new(policy);
+        // Before the window: traffic flows.
+        assert_eq!(
+            engine.route(at_ms(50), EndpointId::Am, env(1, 1)).0.len(),
+            1
+        );
+        assert!(!engine.is_partitioned(at_ms(50), EndpointId::Am, w));
+        // Open: both directions are cut.
+        let mut from_am = env(2, 1);
+        from_am.from = EndpointId::Am;
+        let (out, fate) = engine.route(at_ms(150), w, from_am);
+        assert!(out.is_empty());
+        assert_eq!(fate, Some(ChaosFate::Partitioned));
+        let (out, fate) = engine.route(at_ms(150), EndpointId::Am, env(3, 1));
+        assert!(out.is_empty());
+        assert_eq!(fate, Some(ChaosFate::Partitioned));
+        assert!(engine.is_partitioned(at_ms(150), EndpointId::Am, w));
+        // Unlisted endpoints still talk to each other under [[Am]].
+        let mut c_to_w = env(4, 1);
+        c_to_w.from = EndpointId::Controller;
+        assert_eq!(engine.route(at_ms(150), w, c_to_w).0.len(), 1);
+        // Healed: a resend of the cut message gets through.
+        assert_eq!(
+            engine.route(at_ms(250), EndpointId::Am, env(3, 2)).0.len(),
+            1
+        );
+        assert_eq!(engine.stats().partitioned, 2);
+    }
+
+    #[test]
+    fn partition_groups_cut_across_but_not_within() {
+        let w0 = EndpointId::Worker(WorkerId(0));
+        let w1 = EndpointId::Worker(WorkerId(1));
+        let policy = ChaosPolicy::new(0).partition(
+            "split",
+            vec![vec![EndpointId::Am, w0], vec![w1]],
+            Duration::ZERO,
+            Duration::from_millis(100),
+        );
+        let engine = ChaosEngine::new(policy);
+        let now = at_ms(10);
+        assert!(!engine.is_partitioned(now, EndpointId::Am, w0), "same side");
+        assert!(engine.is_partitioned(now, EndpointId::Am, w1), "across");
+        assert!(engine.is_partitioned(now, w0, w1), "across");
+        // w1 is also cut from unlisted endpoints (different group vs None).
+        assert!(engine.is_partitioned(now, EndpointId::Controller, w1));
+    }
+
+    #[test]
+    fn window_phases_report_start_and_heal_once() {
+        let policy = ChaosPolicy::new(0).partition(
+            "w",
+            vec![vec![EndpointId::Am]],
+            Duration::from_millis(100),
+            Duration::from_millis(200),
+        );
+        let mut engine = ChaosEngine::new(policy);
+        assert_eq!(engine.poll_windows(at_ms(50)), (vec![], vec![]));
+        assert_eq!(
+            engine.poll_windows(at_ms(100)),
+            (vec!["w".to_string()], vec![])
+        );
+        assert_eq!(engine.poll_windows(at_ms(150)), (vec![], vec![]));
+        assert_eq!(
+            engine.poll_windows(at_ms(200)),
+            (vec![], vec!["w".to_string()])
+        );
+        assert_eq!(engine.poll_windows(at_ms(300)), (vec![], vec![]));
+        // A whole span elapsing between polls reports both transitions.
+        let mut engine = ChaosEngine::new(ChaosPolicy::new(0).partition(
+            "fast",
+            vec![vec![EndpointId::Am]],
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+        ));
+        assert_eq!(
+            engine.poll_windows(at_ms(500)),
+            (vec!["fast".to_string()], vec!["fast".to_string()])
+        );
+    }
+
+    #[test]
+    fn delayed_message_released_into_open_window_is_cut() {
+        // The message enters limbo before the window opens, but the window
+        // is open by the time it would be released: it must not leak
+        // through the cut.
+        let delayed_edge = EdgeChaos {
+            delay_p: 1.0,
+            delay_ticks: 1,
+            ..EdgeChaos::default()
+        };
+        let policy = ChaosPolicy::new(0)
+            .edge(EndpointId::Controller, EndpointId::Am, delayed_edge)
+            .partition(
+                "late",
+                vec![vec![EndpointId::Am]],
+                Duration::from_millis(100),
+                Duration::from_millis(200),
+            );
+        let mut engine = ChaosEngine::new(policy);
+        assert!(engine
+            .route(at_ms(50), EndpointId::Am, env(1, 1))
+            .0
+            .is_empty());
+        // The aging tick happens inside the window: the release is cut.
+        let mut c_to_w = env(2, 1);
+        c_to_w.from = EndpointId::Controller;
+        let (out, _) = engine.route(at_ms(150), EndpointId::Worker(WorkerId(0)), c_to_w);
+        assert_eq!(out.len(), 1, "only the worker-bound message survives");
+        assert_eq!(engine.stats().partitioned, 1);
     }
 }

@@ -44,11 +44,12 @@ pub mod liveness;
 pub mod obs;
 pub mod reliable;
 pub mod runtime;
+pub mod safety;
 pub mod time;
 pub mod worker;
 
 pub use bus::{Bus, Endpoint, EndpointId, EndpointStats, Envelope, RtMsg};
-pub use chaos::{ChaosPolicy, ChaosStats, EdgeChaos};
+pub use chaos::{ChaosPolicy, ChaosStats, EdgeChaos, PartitionWindow};
 pub use comm::{reference_sum, AllreduceOutcome, CommGroup, DEFAULT_CHUNK_ELEMS};
 pub use liveness::CrashPoint;
 pub use obs::{
@@ -59,4 +60,5 @@ pub use reliable::{ReliableEndpoint, RtMetrics, RtMetricsSnapshot};
 pub use runtime::{
     CheckpointSnapshot, ElasticRuntime, RuntimeBuilder, RuntimeConfig, ShutdownReport,
 };
+pub use safety::{check_term_safety, TermSafetyReport, TermViolation};
 pub use time::{SlotGuard, ThreadSlot, TimeSource, VirtualClock};

@@ -26,7 +26,7 @@ use elan_core::state::WorkerId;
 use elan_core::store::ReplicatedStore;
 use elan_sim::{SimDuration, SimTime};
 
-use crate::obs::Obs;
+use crate::obs::{EventKind, Obs};
 use crate::reliable::RtMetrics;
 use crate::time::{std_to_sim, TimeSource};
 
@@ -48,6 +48,19 @@ pub enum CrashPoint {
     /// Die right after persisting `Resuming`, before sending
     /// `Resume`/`Leave`: the replacement must re-issue the resume wave.
     OnResume,
+    /// Worker-side: `worker` dies at its first coordination boundary at or
+    /// past `iteration` — after the SGD step, *before* sending
+    /// `Coordinate`. Survivors have the complete reduced state of that
+    /// boundary, so a restarted incarnation can be re-fed bit-identical
+    /// state via the `Rejoin` handshake. Armed through
+    /// [`crash_worker_at`](crate::ElasticRuntime::crash_worker_at), not
+    /// `arm_am_crash`.
+    WorkerAtBoundary {
+        /// The victim.
+        worker: WorkerId,
+        /// Crash at the first boundary whose iteration is ≥ this.
+        iteration: u64,
+    },
 }
 
 /// What stage of an adjustment the durable AM record is in.
@@ -95,6 +108,11 @@ pub struct PendingOp {
 pub struct AmDurable {
     /// The epoch of the AM that last wrote the record.
     pub epoch: u64,
+    /// Monotonic fencing term: bumped (via CAS) by every AM incarnation
+    /// before it acts. Writes carrying an older term are rejected by
+    /// [`SharedControl::persist`], so a partitioned predecessor cannot
+    /// clobber the record after a takeover.
+    pub term: u64,
     /// Current active membership.
     pub members: Vec<WorkerId>,
     /// Adjustment stage.
@@ -113,6 +131,7 @@ impl AmDurable {
     pub fn founding(members: Vec<WorkerId>) -> Self {
         AmDurable {
             epoch: 0,
+            term: 0,
             members,
             phase: AmPhase::Steady,
             pending: None,
@@ -148,6 +167,12 @@ pub struct SharedControl {
     pub am_crash: Mutex<Option<CrashPoint>>,
     /// Workers ordered to play dead (stop heartbeating and training).
     pub worker_crash: RwLock<HashSet<WorkerId>>,
+    /// Armed worker boundary crashes ([`CrashPoint::WorkerAtBoundary`]),
+    /// taken by the matching worker when it reaches the boundary.
+    pub worker_crash_points: Mutex<Vec<CrashPoint>>,
+    /// Last-known `(term, boundary iteration)` of workers that crashed at
+    /// a boundary — what a restarted incarnation presents in `Rejoin`.
+    pub crash_info: Mutex<HashMap<WorkerId, (u64, u64)>>,
     /// Join handles of every AM incarnation (original + replacements).
     pub am_handles: Mutex<Vec<JoinHandle<()>>>,
     /// Shared observability bundle (journal + traces + metrics registry).
@@ -179,6 +204,8 @@ impl SharedControl {
             shutdown: AtomicBool::new(false),
             am_crash: Mutex::new(None),
             worker_crash: RwLock::new(HashSet::new()),
+            worker_crash_points: Mutex::new(Vec::new()),
+            crash_info: Mutex::new(HashMap::new()),
             am_handles: Mutex::new(Vec::new()),
             obs,
             metrics,
@@ -220,9 +247,53 @@ impl SharedControl {
         }
     }
 
-    /// Persists the durable AM record (the persist-before-act write).
-    pub fn persist(&self, record: &AmDurable) {
-        self.store.lock().put(AM_STORE_KEY, record.clone());
+    /// Persists the durable AM record — the persist-before-act write, now
+    /// term-fenced: the write lands only while `record.term` is still the
+    /// newest term the store has seen. Returns false (and journals
+    /// [`EventKind::StaleTermRejected`]) when a newer term owns the
+    /// record, in which case the caller was superseded and must abdicate
+    /// *without* taking the externally visible action the write guards.
+    pub fn persist(&self, record: &AmDurable) -> bool {
+        let stored_term = {
+            let mut store = self.store.lock();
+            let stored = store.get(AM_STORE_KEY).map(|v| v.value.term);
+            match stored {
+                Some(term) if term > record.term => term,
+                _ => {
+                    store.put(AM_STORE_KEY, record.clone());
+                    return true;
+                }
+            }
+        };
+        self.obs.journal.emit(EventKind::StaleTermRejected {
+            term: stored_term,
+            stale: record.term,
+        });
+        false
+    }
+
+    /// Atomically bumps the fencing term (and stamps `epoch`) on the
+    /// durable record — the first thing every AM incarnation does, so
+    /// that any still-running predecessor's next [`persist`](Self::persist)
+    /// is fenced. Returns the updated record, or `None` when the record
+    /// was never seeded.
+    pub fn bump_term(&self, epoch: u64) -> Option<AmDurable> {
+        let mut store = self.store.lock();
+        loop {
+            let (version, mut rec) = store
+                .get(AM_STORE_KEY)
+                .map(|v| (v.version, v.value.clone()))?;
+            rec.term += 1;
+            rec.epoch = epoch;
+            // CAS rather than blind put: the version check makes the bump
+            // safe even against a store whose lock is not this mutex.
+            if store
+                .compare_and_put(AM_STORE_KEY, version, rec.clone())
+                .is_ok()
+            {
+                return Some(rec);
+            }
+        }
     }
 
     /// Reads the durable AM record back (for takeover or inspection).
@@ -238,6 +309,29 @@ impl SharedControl {
     /// True if `worker` has been ordered to play dead.
     pub fn worker_crashed(&self, worker: WorkerId) -> bool {
         self.worker_crash.read().contains(&worker)
+    }
+
+    /// Consumes the armed boundary crash for `worker` once `iteration`
+    /// has reached it (one-shot).
+    pub fn take_worker_boundary_crash(&self, worker: WorkerId, iteration: u64) -> bool {
+        let mut points = self.worker_crash_points.lock();
+        let before = points.len();
+        points.retain(|p| {
+            !matches!(p, CrashPoint::WorkerAtBoundary { worker: w, iteration: i }
+                if *w == worker && iteration >= *i)
+        });
+        points.len() != before
+    }
+
+    /// Records what a boundary-crashed worker knew when it died; its
+    /// restarted incarnation presents this in its `Rejoin`.
+    pub fn record_worker_crash(&self, worker: WorkerId, term: u64, iteration: u64) {
+        self.crash_info.lock().insert(worker, (term, iteration));
+    }
+
+    /// Takes the recorded `(term, iteration)` of a crashed worker.
+    pub fn take_crash_info(&self, worker: WorkerId) -> Option<(u64, u64)> {
+        self.crash_info.lock().remove(&worker)
     }
 
     /// True once shutdown has been requested.
@@ -336,8 +430,71 @@ mod tests {
             target: vec![WorkerId(0), WorkerId(1)],
             seq: Some(3),
         };
-        ctrl.persist(&rec);
+        assert!(ctrl.persist(&rec));
         assert_eq!(ctrl.recover(), Some(rec));
+    }
+
+    #[test]
+    fn stale_term_persist_is_fenced() {
+        let ctrl = SharedControl::new(Duration::from_millis(100), Obs::new_default());
+        let mut rec = AmDurable::founding(vec![WorkerId(0)]);
+        rec.term = 3;
+        assert!(ctrl.persist(&rec));
+        // A predecessor still holding term 2 must be rejected, leaving
+        // the newer record untouched.
+        let mut stale = rec.clone();
+        stale.term = 2;
+        stale.seq_done = 99;
+        assert!(!ctrl.persist(&stale));
+        assert_eq!(ctrl.recover(), Some(rec.clone()));
+        // Same term (the incumbent itself) still writes.
+        rec.seq_done = 1;
+        assert!(ctrl.persist(&rec));
+        assert_eq!(ctrl.recover().map(|r| r.seq_done), Some(1));
+    }
+
+    #[test]
+    fn bump_term_is_monotonic_and_stamps_epoch() {
+        let ctrl = SharedControl::new(Duration::from_millis(100), Obs::new_default());
+        assert!(ctrl.bump_term(1).is_none(), "nothing seeded yet");
+        assert!(ctrl.persist(&AmDurable::founding(vec![WorkerId(0)])));
+        let first = ctrl.bump_term(1).expect("record was seeded");
+        assert_eq!((first.term, first.epoch), (1, 1));
+        let second = ctrl.bump_term(5).expect("record still present");
+        assert_eq!((second.term, second.epoch), (2, 5));
+        assert_eq!(ctrl.recover(), Some(second));
+        // The fenced-out first incarnation can no longer write.
+        assert!(!ctrl.persist(&first));
+    }
+
+    #[test]
+    fn boundary_crash_point_fires_at_or_after_armed_iteration() {
+        let ctrl = SharedControl::new(Duration::from_millis(100), Obs::new_default());
+        ctrl.worker_crash_points
+            .lock()
+            .push(CrashPoint::WorkerAtBoundary {
+                worker: WorkerId(2),
+                iteration: 10,
+            });
+        assert!(!ctrl.take_worker_boundary_crash(WorkerId(2), 9));
+        assert!(
+            !ctrl.take_worker_boundary_crash(WorkerId(1), 10),
+            "wrong worker"
+        );
+        assert!(ctrl.take_worker_boundary_crash(WorkerId(2), 11));
+        assert!(
+            !ctrl.take_worker_boundary_crash(WorkerId(2), 12),
+            "one-shot"
+        );
+    }
+
+    #[test]
+    fn crash_info_roundtrip_is_one_shot() {
+        let ctrl = SharedControl::new(Duration::from_millis(100), Obs::new_default());
+        assert!(ctrl.take_crash_info(WorkerId(4)).is_none());
+        ctrl.record_worker_crash(WorkerId(4), 2, 17);
+        assert_eq!(ctrl.take_crash_info(WorkerId(4)), Some((2, 17)));
+        assert!(ctrl.take_crash_info(WorkerId(4)).is_none());
     }
 
     #[test]

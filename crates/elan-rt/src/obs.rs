@@ -46,6 +46,8 @@ pub enum ChaosFate {
     Duplicated,
     /// The message was held back and reordered.
     Delayed,
+    /// The message crossed an open partition cut and was discarded.
+    Partitioned,
 }
 
 impl ChaosFate {
@@ -55,6 +57,7 @@ impl ChaosFate {
             ChaosFate::Dropped => "dropped",
             ChaosFate::Duplicated => "duplicated",
             ChaosFate::Delayed => "delayed",
+            ChaosFate::Partitioned => "partitioned",
         }
     }
 }
@@ -136,6 +139,8 @@ pub enum EventKind {
         boundary: u64,
         /// Members released.
         world: u32,
+        /// The AM term that released it (fencing audit trail).
+        term: u64,
     },
     /// The topology planner produced a replication schedule (§IV).
     ReplicationPlanned {
@@ -230,6 +235,36 @@ pub enum EventKind {
         /// The new AM epoch.
         epoch: u64,
     },
+    /// A scripted partition window opened: the named edge cut is live.
+    PartitionStart {
+        /// The window's name from the [`ChaosPolicy`](crate::chaos::ChaosPolicy).
+        name: String,
+    },
+    /// A scripted partition window healed: the cut edges flow again.
+    PartitionHeal {
+        /// The window's name.
+        name: String,
+    },
+    /// An AM incarnation won the term CAS and now owns the job.
+    TermBump {
+        /// The new (strictly higher) term.
+        term: u64,
+    },
+    /// Stale-term traffic was fenced (store write or worker-side message).
+    StaleTermRejected {
+        /// The current term at the rejecting side.
+        term: u64,
+        /// The stale term that was rejected.
+        stale: u64,
+    },
+    /// A crashed-and-restarted worker was re-admitted via the Rejoin
+    /// handshake.
+    WorkerRejoin {
+        /// The rejoining worker.
+        worker: WorkerId,
+        /// The term that admitted it.
+        term: u64,
+    },
 }
 
 impl EventKind {
@@ -258,6 +293,11 @@ impl EventKind {
             EventKind::ChaosInjected { .. } => "chaos_injected",
             EventKind::WorkerDeclaredDead { .. } => "worker_declared_dead",
             EventKind::AmElected { .. } => "am_elected",
+            EventKind::PartitionStart { .. } => "partition_start",
+            EventKind::PartitionHeal { .. } => "partition_heal",
+            EventKind::TermBump { .. } => "term_bump",
+            EventKind::StaleTermRejected { .. } => "stale_term_rejected",
+            EventKind::WorkerRejoin { .. } => "worker_rejoin",
         }
     }
 }

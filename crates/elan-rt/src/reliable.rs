@@ -295,6 +295,50 @@ impl ReliableEndpoint {
         }
     }
 
+    /// Non-blocking receive: drains acks and duplicates, returns the
+    /// first payload already sitting in the queue, or `None` when the
+    /// queue is empty *right now*. Unlike [`recv_timeout`], this never
+    /// parks — under a virtual clock a hot system (every thread
+    /// runnable) never advances time, so a pure-timeout wait on an
+    /// empty queue would starve; use this where "whatever is queued at
+    /// this instant" is the actual requirement.
+    ///
+    /// [`recv_timeout`]: Self::recv_timeout
+    pub fn try_recv(&mut self) -> Option<(EndpointId, RtMsg)> {
+        loop {
+            let env = self.endpoint.try_recv()?;
+            match &env.body {
+                RtMsg::MsgAck { of } => {
+                    self.retry.ack(*of);
+                    continue;
+                }
+                RtMsg::Heartbeat { .. } => {}
+                _ => {
+                    let ack_id = self.ids.next_id();
+                    self.bus.send_envelope(
+                        env.from,
+                        Envelope {
+                            id: ack_id,
+                            from: self.endpoint.id(),
+                            attempt: 1,
+                            body: RtMsg::MsgAck { of: env.id },
+                        },
+                    );
+                }
+            }
+            if !self.dedup.first_delivery(env.id) {
+                self.metrics.duplicates.inc();
+                if !matches!(env.body, RtMsg::Heartbeat { .. }) {
+                    if let Some(journal) = self.bus.journal() {
+                        journal.emit(EventKind::DuplicateSuppressed { from: env.from });
+                    }
+                }
+                continue;
+            }
+            return Some((env.from, env.body));
+        }
+    }
+
     /// Messages awaiting acknowledgement.
     pub fn pending(&self) -> usize {
         self.retry.pending()
@@ -351,12 +395,12 @@ mod tests {
         let (bus, time) = vbus(1, None);
         let metrics = Arc::new(RtMetrics::default());
         let (mut am, mut w) = pair(&bus, &metrics);
-        am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
+        am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave { term: 0 });
         assert_eq!(am.pending(), 1);
         // Worker receives (and acks)...
         let (from, msg) = w.recv_timeout(Duration::from_millis(100)).unwrap();
         assert_eq!(from, EndpointId::Am);
-        assert!(matches!(msg, RtMsg::Leave));
+        assert!(matches!(msg, RtMsg::Leave { term: 0 }));
         // ...AM absorbs the ack on its next receive attempt.
         assert!(am.recv_timeout(Duration::from_millis(50)).is_none());
         assert_eq!(am.pending(), 0);
@@ -371,7 +415,7 @@ mod tests {
         let metrics = Arc::new(RtMetrics::default());
         let (mut am, mut w) = pair(&bus, &metrics);
         for _ in 0..10 {
-            am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
+            am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave { term: 0 });
         }
         let deadline = time.deadline_after(Duration::from_secs(5));
         let mut got = 0;
@@ -403,7 +447,7 @@ mod tests {
         let (bus, time) = vbus(5, Some(ChaosPolicy::new(5).duplicate(1.0)));
         let metrics = Arc::new(RtMetrics::default());
         let (mut am, mut w) = pair(&bus, &metrics);
-        am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
+        am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave { term: 0 });
         assert!(w.recv_timeout(Duration::from_millis(50)).is_some());
         // The duplicate copy is absorbed, not surfaced.
         assert!(w.recv_timeout(Duration::from_millis(30)).is_none());
@@ -425,7 +469,7 @@ mod tests {
             Some(3),
             Arc::clone(&metrics),
         );
-        am.send(EndpointId::Worker(WorkerId(9)), RtMsg::Leave);
+        am.send(EndpointId::Worker(WorkerId(9)), RtMsg::Leave { term: 0 });
         let deadline = time.deadline_after(Duration::from_secs(2));
         let mut gave_up = Vec::new();
         while gave_up.is_empty() && time.now() < deadline {
@@ -445,7 +489,7 @@ mod tests {
         let (bus, time) = vbus(9, None);
         let metrics = Arc::new(RtMetrics::default());
         let (mut am, mut w) = pair(&bus, &metrics);
-        am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
+        am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave { term: 0 });
         assert!(w.recv_timeout(Duration::from_millis(50)).is_some());
         // Simulate a lost ack: force a resend by waiting out the timeout
         // without letting the AM read its queue.
@@ -464,7 +508,7 @@ mod tests {
         let (bus, time) = vbus(11, None);
         let metrics = Arc::new(RtMetrics::default());
         let (mut am, _w) = pair(&bus, &metrics);
-        am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave);
+        am.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave { term: 0 });
         // Many ticks with no time passage: nothing is overdue.
         for _ in 0..100 {
             assert!(am.tick().is_empty());

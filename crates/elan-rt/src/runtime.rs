@@ -38,7 +38,7 @@ use elan_sim::SimDuration;
 use elan_topology::{ClusterSpec, GpuId, ReplicationPlanner, Topology};
 
 use crate::bus::{Bus, Endpoint, EndpointId, RtMsg};
-use crate::chaos::{ChaosPolicy, ChaosStats};
+use crate::chaos::{ChaosPolicy, ChaosStats, PartitionWindow};
 use crate::comm::CommGroup;
 use crate::liveness::{AmDurable, AmPhase, CrashPoint, HeartbeatMonitor, PendingOp, SharedControl};
 use crate::obs::{
@@ -46,7 +46,7 @@ use crate::obs::{
     TraceKind, DEFAULT_RING_CAPACITY,
 };
 use crate::reliable::{ReliableEndpoint, RtMetrics, RtMetricsSnapshot};
-use crate::time::TimeSource;
+use crate::time::{std_to_sim, TimeSource};
 use crate::worker::{
     run_worker, SnapshotAssembly, Telemetry, WorkerConfig, WorkerRole, WorkerView,
 };
@@ -371,53 +371,6 @@ impl ElasticRuntime {
         RuntimeBuilder::new()
     }
 
-    /// Launches the job with `cfg.initial_workers` founding workers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration has zero workers or empty parameters.
-    #[deprecated(since = "0.3.0", note = "use ElasticRuntime::builder() instead")]
-    #[allow(clippy::expect_used)] // waived: see verify-allow.toml (deprecated panicking shim)
-    pub fn start(cfg: RuntimeConfig) -> Self {
-        Self::builder()
-            .config(cfg)
-            .start()
-            .expect("invalid runtime configuration")
-    }
-
-    /// Launches the job on a fault-injecting bus.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use ElasticRuntime::builder().chaos(policy) instead"
-    )]
-    #[allow(clippy::expect_used)] // waived: see verify-allow.toml (deprecated panicking shim)
-    pub fn start_with_chaos(cfg: RuntimeConfig, policy: ChaosPolicy) -> Self {
-        Self::builder()
-            .config(cfg)
-            .chaos(policy)
-            .start()
-            .expect("invalid runtime configuration")
-    }
-
-    /// Restarts a job from a [`CheckpointSnapshot`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the snapshot's parameter length differs from the
-    /// configuration.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use ElasticRuntime::builder().restore(&snapshot) instead"
-    )]
-    #[allow(clippy::expect_used)] // waived: see verify-allow.toml (deprecated panicking shim)
-    pub fn start_from(cfg: RuntimeConfig, snapshot: &CheckpointSnapshot) -> Self {
-        Self::builder()
-            .config(cfg)
-            .restore(snapshot)
-            .start()
-            .expect("snapshot does not match the configuration")
-    }
-
     #[allow(clippy::expect_used)] // waived: see verify-allow.toml (OS thread spawn)
     fn launch(
         cfg: RuntimeConfig,
@@ -612,6 +565,80 @@ impl ElasticRuntime {
         self.ctrl.worker_crash.write().insert(worker);
     }
 
+    /// Arms a one-shot crash of `worker` at its first coordination
+    /// boundary at or after `iteration`: the thread dies after the SGD
+    /// step but *before* sending `Coordinate`, leaving the boundary
+    /// hanging until the worker is restarted
+    /// ([`restart_worker`](Self::restart_worker)) or declared dead.
+    pub fn crash_worker_at(&self, worker: WorkerId, iteration: u64) {
+        self.ctrl
+            .worker_crash_points
+            .lock()
+            .push(CrashPoint::WorkerAtBoundary { worker, iteration });
+    }
+
+    /// Restarts a crashed worker: reaps the dead thread, recycles its
+    /// bus endpoint, and spawns a fresh incarnation that runs the
+    /// `Rejoin` handshake with the crash incarnation's last-known term
+    /// and boundary iteration, then resumes bit-exactly once the AM
+    /// re-replicates state to it.
+    ///
+    /// # Panics
+    ///
+    /// If `worker` was never ordered to crash (no play-dead flag and no
+    /// armed boundary crash point): joining a live worker thread would
+    /// block forever, so the misuse is rejected loudly instead.
+    #[allow(clippy::expect_used)] // waived: see verify-allow.toml (worker join)
+    pub fn restart_worker(&mut self, worker: WorkerId) {
+        // Crash evidence lives in one of three places depending on how far
+        // the crash has progressed: the play-dead flag, a still-armed
+        // boundary crash point, or the credentials a fired boundary crash
+        // recorded on its way out.
+        let crashed = self.ctrl.worker_crashed(worker)
+            || self.ctrl.crash_info.lock().contains_key(&worker)
+            || self.ctrl.worker_crash_points.lock().iter().any(
+                |p| matches!(p, CrashPoint::WorkerAtBoundary { worker: w, .. } if *w == worker),
+            );
+        assert!(
+            crashed,
+            "restart_worker({worker:?}): worker was never ordered to crash; \
+             joining its live thread would hang forever"
+        );
+        let time = self.bus.time().clone();
+        if let Some(h) = self.worker_handles.remove(&worker) {
+            time.blocking(|| h.join())
+                .expect("crashed worker thread exits");
+        }
+        self.bus.unregister(EndpointId::Worker(worker));
+        // A worker that died before recording credentials (or was ordered
+        // to play dead) rejoins from scratch: term 0, iteration 0.
+        let (term, iteration) = self.ctrl.take_crash_info(worker).unwrap_or((0, 0));
+        self.ctrl.worker_crash.write().remove(&worker);
+        self.spawn_worker(worker, WorkerRole::Rejoin { term, iteration });
+    }
+
+    /// Opens a named partition window *now*, cutting every bus edge
+    /// between the given endpoint groups — and between listed and
+    /// unlisted endpoints — for `duration` of (virtual) time, then
+    /// healing automatically. Composes with whatever per-edge chaos
+    /// fates the policy already scripts. Returns false when the runtime
+    /// was not launched with a chaos policy (there is no engine to
+    /// script).
+    pub fn partition(
+        &self,
+        name: impl Into<String>,
+        groups: Vec<Vec<EndpointId>>,
+        duration: Duration,
+    ) -> bool {
+        let now = self.bus.time().now();
+        self.bus.add_partition(PartitionWindow {
+            name: name.into(),
+            groups,
+            from: now,
+            until: now + std_to_sim(duration),
+        })
+    }
+
     /// Blocks until the membership reaches exactly `n` workers, or until
     /// `timeout`; returns whether it happened.
     pub fn wait_for_members(&self, n: usize, timeout: Duration) -> bool {
@@ -677,8 +704,10 @@ impl ElasticRuntime {
     /// checkpoint half of Shutdown-&-Restart, done live.
     pub fn checkpoint(&mut self) -> CheckpointSnapshot {
         // Drain stale traffic (e.g. duplicate snapshot chunks from a
-        // recovered AM replaying a previous checkpoint order).
-        while self.rep.recv_timeout(Duration::from_millis(1)).is_some() {}
+        // recovered AM replaying a previous checkpoint order). This must
+        // not park: under a virtual clock a healthy hot job never
+        // advances time, so a timeout-based drain would starve here.
+        while self.rep.try_recv().is_some() {}
         let time = self.bus.time().clone();
         let seq = self.take_seq();
         self.rep.send(EndpointId::Am, RtMsg::Checkpoint { seq });
@@ -942,12 +971,15 @@ fn am_thread(
         Some(cfg.retry_max_attempts),
         Arc::clone(&ctrl.metrics),
     );
-    let mut durable = ctrl
-        .recover()
+    // Mark ownership before acting (persist-before-act): atomically bump
+    // the fencing term, so any still-running predecessor's next persist
+    // is rejected at the store.
+    let durable = ctrl
+        .bump_term(epoch)
         .expect("durable AM record was seeded at launch");
-    // Mark ownership before acting (persist-before-act).
-    durable.epoch = epoch;
-    ctrl.persist(&durable);
+    ctrl.obs
+        .journal
+        .emit(EventKind::TermBump { term: durable.term });
     let metrics = Arc::clone(&ctrl.metrics);
     AmCore {
         cfg,
@@ -960,6 +992,8 @@ fn am_thread(
         durable,
         hb: HeartbeatMonitor::new(Duration::from_millis(cfg.hb_timeout_ms)),
         dead: BTreeSet::new(),
+        fenced: false,
+        rejoining: BTreeSet::new(),
         coordinated: BTreeMap::new(),
         reported: BTreeSet::new(),
         outstanding: BTreeSet::new(),
@@ -995,6 +1029,13 @@ struct AmCore {
     /// Members declared dead this incarnation (volatile; re-detected by
     /// heartbeat silence after a failover).
     dead: BTreeSet<WorkerId>,
+    /// Latched when a persist was rejected by the term fence: a
+    /// successor owns the record and this incarnation must abdicate.
+    fenced: bool,
+    /// Crashed-and-restarted workers mid-`Rejoin` handshake: admitted,
+    /// exempt from the boundary quorum, and owed a state transfer in
+    /// the adjustment that folds them back in.
+    rejoining: BTreeSet<WorkerId>,
     /// Boundary iteration each live member is parked at.
     coordinated: BTreeMap<WorkerId, u64>,
     /// Joiners that have reported readiness (step ②).
@@ -1042,6 +1083,19 @@ impl AmCore {
         }
     }
 
+    /// Persist-before-act through the term fence. Returns false when a
+    /// successor incarnation has bumped the term — the write was
+    /// rejected, the `fenced` flag is latched, and the caller must not
+    /// take the externally visible action the write guards.
+    fn persist_fenced(&mut self) -> bool {
+        if self.ctrl.persist(&self.durable) {
+            true
+        } else {
+            self.fenced = true;
+            false
+        }
+    }
+
     fn run(mut self) {
         if self.epoch > 0 {
             // Takeover: the predecessor's inbox died with it. Broadcast the
@@ -1058,21 +1112,40 @@ impl AmCore {
                 audience.extend(p.target.iter().copied());
             }
             for w in audience {
-                self.rep
-                    .send(EndpointId::Worker(w), RtMsg::AmReset { epoch: self.epoch });
+                self.rep.send(
+                    EndpointId::Worker(w),
+                    RtMsg::AmReset {
+                        epoch: self.epoch,
+                        term: self.durable.term,
+                    },
+                );
             }
         }
         loop {
             if self.ctrl.shutting_down() {
                 return;
             }
-            // Prove liveness; abdicate the moment the lease is lost or a
-            // newer epoch exists (never act on a lapsed lease).
-            if self.ctrl.keep_alive(self.lease).is_err() {
-                return;
+            if self.fenced {
+                return; // superseded: a persist was rejected by the fence
             }
-            if self.ctrl.epoch.load(Ordering::SeqCst) != self.epoch {
-                return;
+            // A partitioned AM still computes, but cannot reach the
+            // control quorum: it can neither refresh its lease (so the
+            // watchdog elects a successor) nor observe the election. The
+            // term fence at the store is what stops it from acting once
+            // superseded.
+            let isolated = self
+                .rep
+                .bus()
+                .is_partitioned(EndpointId::Am, EndpointId::Controller);
+            if !isolated {
+                // Prove liveness; abdicate the moment the lease is lost or
+                // a newer epoch exists (never act on a lapsed lease).
+                if self.ctrl.keep_alive(self.lease).is_err() {
+                    return;
+                }
+                if self.ctrl.epoch.load(Ordering::SeqCst) != self.epoch {
+                    return;
+                }
             }
             // Transport retries; a give-up means the peer is dead.
             for give_up in self.rep.tick() {
@@ -1124,7 +1197,9 @@ impl AmCore {
                         seq: Some(seq),
                         target,
                     });
-                    self.ctrl.persist(&self.durable);
+                    if !self.persist_fenced() {
+                        return;
+                    }
                     // Step ① done: the AM owns the request; joiner reports
                     // (step ②) are what we wait for next.
                     let obs = Arc::clone(&self.ctrl.obs);
@@ -1154,14 +1229,16 @@ impl AmCore {
                     self.rep.send(EndpointId::Controller, RtMsg::Ack { seq });
                 } else if self.durable.stopping != Some(seq) {
                     self.durable.stopping = Some(seq);
-                    self.ctrl.persist(&self.durable);
+                    self.persist_fenced();
                 }
             }
             RtMsg::Checkpoint { seq } if self.awaiting_checkpoint.is_none() => {
                 self.checkpoint_req = Some(seq);
             }
-            RtMsg::Report { worker } => {
-                self.reported.insert(worker);
+            // Joiners re-announce at heartbeat cadence until admitted; only
+            // the first delivery is a protocol event (the guard's insert
+            // returns false for repeats, which then fall through harmlessly).
+            RtMsg::Report { worker } if self.reported.insert(worker) => {
                 let obs = Arc::clone(&self.ctrl.obs);
                 let now = obs.journal.now_us();
                 obs.traces.note_report(now);
@@ -1185,9 +1262,54 @@ impl AmCore {
                     self.outstanding.remove(&(src, dst));
                 }
             }
+            RtMsg::Rejoin {
+                worker,
+                term,
+                iteration,
+            } => self.handle_rejoin(worker, term, iteration),
             RtMsg::Heartbeat { .. } => {} // already noted in run()
             _ => {}
         }
+    }
+
+    /// Admits (or defers) a crashed-and-restarted worker's `Rejoin`
+    /// handshake. Admission is deferred — the worker re-announces on a
+    /// timer — unless the AM is steady with nothing queued, so a rejoin
+    /// can never interleave with an in-flight adjustment; a duplicated
+    /// or reordered `Rejoin` envelope is absorbed by the `rejoining`
+    /// set, admitting the worker exactly once. The presented
+    /// credentials (`_term`, `_iteration`) are the crash incarnation's
+    /// last knowledge; admission always replicates fresh state under
+    /// the *current* term, so they are informational.
+    fn handle_rejoin(&mut self, worker: WorkerId, _term: u64, _iteration: u64) {
+        if self.rejoining.contains(&worker) {
+            return; // duplicate envelope: already admitted
+        }
+        if !matches!(self.durable.phase, AmPhase::Steady)
+            || self.durable.pending.is_some()
+            || self.durable.stopping.is_some()
+        {
+            return; // busy: the worker's resend timer will try again
+        }
+        let mut target = self.durable.members.clone();
+        if !target.contains(&worker) {
+            // Declared dead and scaled out meanwhile: rejoin as a fresh
+            // joiner (the Rejoin doubles as its readiness report).
+            target.push(worker);
+        }
+        self.rejoining.insert(worker);
+        self.reported.insert(worker);
+        self.dead.remove(&worker);
+        let now = self.rep.time().now();
+        self.hb.note(worker, now);
+        self.durable.pending = Some(PendingOp { seq: None, target });
+        if !self.persist_fenced() {
+            return;
+        }
+        self.ctrl.obs.journal.emit(EventKind::WorkerRejoin {
+            worker,
+            term: self.durable.term,
+        });
     }
 
     fn in_flight_seq(&self) -> Option<u64> {
@@ -1198,9 +1320,16 @@ impl AmCore {
     }
 
     /// A boundary is actionable when every live member is parked at the
-    /// same iteration, newer than the last released boundary.
+    /// same iteration, newer than the last released boundary. Workers
+    /// mid-`Rejoin` are exempt from the quorum: they are parked in the
+    /// handshake, not at a boundary, and get their state replicated by
+    /// the adjustment the survivors' boundary triggers.
     fn boundary_ready(&self) -> Option<u64> {
-        let live = self.live();
+        let live: Vec<WorkerId> = self
+            .live()
+            .into_iter()
+            .filter(|w| !self.rejoining.contains(w))
+            .collect();
         let first = *self.coordinated.get(live.first()?)?;
         for w in &live[1..] {
             if *self.coordinated.get(w)? != first {
@@ -1213,6 +1342,9 @@ impl AmCore {
     /// Drives the adjustment pipeline as far as it can go right now.
     fn try_progress(&mut self) -> Step {
         loop {
+            if self.fenced {
+                return Step::Exit;
+            }
             match &self.durable.phase {
                 AmPhase::Transferring { .. } => {
                     if !self.transfers_started {
@@ -1248,7 +1380,7 @@ impl AmCore {
                     if target.is_empty() {
                         // Everyone in the target died: drop the op.
                         self.durable.phase = AmPhase::Steady;
-                        self.ctrl.persist(&self.durable);
+                        self.persist_fenced();
                         continue;
                     }
                     let generation = self.comm.generation() + 1;
@@ -1257,7 +1389,9 @@ impl AmCore {
                         seq,
                         generation,
                     };
-                    self.ctrl.persist(&self.durable);
+                    if !self.persist_fenced() {
+                        return Step::Exit;
+                    }
                     // Steps ③+④ done (replication drained at a coherent
                     // boundary); step ⑤ (adjust) begins.
                     let obs = Arc::clone(&self.ctrl.obs);
@@ -1291,6 +1425,16 @@ impl AmCore {
                     self.resume_wave(boundary);
                 }
                 AmPhase::Steady => {
+                    // A pending stop with no live members can never see a
+                    // boundary again (the quorum is empty — typically a
+                    // successor elected mid-shutdown after every worker
+                    // already left); serve it directly so the controller's
+                    // ack is not stranded behind a vacuous boundary wait.
+                    if let Some(seq) = self.durable.stopping {
+                        if self.live().is_empty() {
+                            return self.execute_stop(seq);
+                        }
+                    }
                     let Some(boundary) = self.boundary_ready() else {
                         return Step::Continue;
                     };
@@ -1300,8 +1444,13 @@ impl AmCore {
                     }
                     if let Some(seq) = self.checkpoint_req.take() {
                         let rank0 = live[0];
-                        self.rep
-                            .send(EndpointId::Worker(rank0), RtMsg::CheckpointOrder { seq });
+                        self.rep.send(
+                            EndpointId::Worker(rank0),
+                            RtMsg::CheckpointOrder {
+                                seq,
+                                term: self.durable.term,
+                            },
+                        );
                         self.awaiting_checkpoint = Some(seq);
                         return Step::Continue;
                     }
@@ -1320,7 +1469,9 @@ impl AmCore {
                                 target: op.target,
                                 seq: op.seq,
                             };
-                            self.ctrl.persist(&self.durable);
+                            if !self.persist_fenced() {
+                                return Step::Exit;
+                            }
                             // Step ② done, step ③ (coordinate at the
                             // boundary) begins.
                             let obs = Arc::clone(&self.ctrl.obs);
@@ -1353,14 +1504,27 @@ impl AmCore {
                             continue;
                         }
                     }
-                    // Nothing to adjust: release the boundary.
+                    // Nothing to adjust: release the boundary. The release
+                    // is an externally visible action, so it goes through
+                    // the persist-before-act fence first — a superseded
+                    // incarnation abdicates here instead of racing its
+                    // successor's release.
+                    if !self.persist_fenced() {
+                        return Step::Exit;
+                    }
                     self.ctrl.obs.journal.emit(EventKind::BoundaryReleased {
                         boundary,
                         world: live.len() as u32,
+                        term: self.durable.term,
                     });
                     for &w in &live {
-                        self.rep
-                            .send(EndpointId::Worker(w), RtMsg::Proceed { boundary });
+                        self.rep.send(
+                            EndpointId::Worker(w),
+                            RtMsg::Proceed {
+                                boundary,
+                                term: self.durable.term,
+                            },
+                        );
                     }
                     self.coordinated.clear();
                     self.last_boundary = boundary;
@@ -1388,7 +1552,10 @@ impl AmCore {
         let joining: Vec<WorkerId> = target
             .iter()
             .copied()
-            .filter(|w| !self.durable.members.contains(w) && !self.dead.contains(w))
+            .filter(|w| {
+                (!self.durable.members.contains(w) || self.rejoining.contains(w))
+                    && !self.dead.contains(w)
+            })
             .collect();
         if joining.is_empty() {
             // Nothing to replicate (pure scale-in / failure eviction):
@@ -1415,7 +1582,13 @@ impl AmCore {
             }
             return;
         }
-        let sources: Vec<GpuId> = self.live().iter().map(|w| GpuId(w.0)).collect();
+        // Rejoiners hold void state — they are destinations, never sources.
+        let sources: Vec<GpuId> = self
+            .live()
+            .iter()
+            .filter(|w| !self.rejoining.contains(w))
+            .map(|w| GpuId(w.0))
+            .collect();
         let dests: Vec<GpuId> = joining.iter().map(|w| GpuId(w.0)).collect();
         let plan = ReplicationPlanner::new(&self.topology)
             .plan(&sources, &dests)
@@ -1467,8 +1640,13 @@ impl AmCore {
         self.next_wave += 1;
         for (src, dst) in wave {
             self.outstanding.insert((src, dst));
-            self.rep
-                .send(EndpointId::Worker(src), RtMsg::TransferOrder { dst });
+            self.rep.send(
+                EndpointId::Worker(src),
+                RtMsg::TransferOrder {
+                    dst,
+                    term: self.durable.term,
+                },
+            );
         }
     }
 
@@ -1490,7 +1668,14 @@ impl AmCore {
             .collect();
         if target.is_empty() {
             self.durable.phase = AmPhase::Steady;
-            self.ctrl.persist(&self.durable);
+            self.persist_fenced();
+            return;
+        }
+        // Fence probe (persist-before-act): a superseded incarnation
+        // must learn it *here*, before it reconfigures the collective or
+        // sends a single Leave/Resume — this is what stops a
+        // partitioned-but-alive old AM from split-braining the wave.
+        if !self.persist_fenced() {
             return;
         }
         if self.comm.generation() < generation {
@@ -1499,12 +1684,22 @@ impl AmCore {
         }
         for &w in &self.durable.members {
             if !target.contains(&w) && !self.dead.contains(&w) {
-                self.rep.send(EndpointId::Worker(w), RtMsg::Leave);
+                self.rep.send(
+                    EndpointId::Worker(w),
+                    RtMsg::Leave {
+                        term: self.durable.term,
+                    },
+                );
             }
         }
         for &w in &target {
-            self.rep
-                .send(EndpointId::Worker(w), RtMsg::Resume { generation });
+            self.rep.send(
+                EndpointId::Worker(w),
+                RtMsg::Resume {
+                    generation,
+                    term: self.durable.term,
+                },
+            );
         }
         self.durable.members = target.clone();
         *self.ctrl.members.lock() = target;
@@ -1513,12 +1708,13 @@ impl AmCore {
                 self.durable.seq_done = self.durable.seq_done.max(s);
             }
             None => {
-                // Failure-driven scale-in: no controller op to ack.
+                // Failure-driven (or rejoin-driven) adjustment: no
+                // controller op to ack.
                 self.metrics.failure_scale_ins.inc();
             }
         }
         self.durable.phase = AmPhase::Steady;
-        self.ctrl.persist(&self.durable);
+        self.persist_fenced();
         // Step ⑤ done: close the span (idempotent across failovers).
         let world = self.durable.members.len() as u32;
         let obs = Arc::clone(&self.ctrl.obs);
@@ -1549,6 +1745,7 @@ impl AmCore {
             self.rep.send(EndpointId::Controller, RtMsg::Ack { seq: s });
         }
         self.reported.clear();
+        self.rejoining.clear();
         self.coordinated.clear();
         self.outstanding.clear();
         self.transfer_waves.clear();
@@ -1561,14 +1758,21 @@ impl AmCore {
     /// gets its ack, the lease is surrendered cleanly.
     fn execute_stop(&mut self, seq: u64) -> Step {
         for &w in &self.live() {
-            self.rep.send(EndpointId::Worker(w), RtMsg::Leave);
+            self.rep.send(
+                EndpointId::Worker(w),
+                RtMsg::Leave {
+                    term: self.durable.term,
+                },
+            );
         }
         // Drain until every Leave is transport-acked (workers only exit
         // after acking), so no survivor can be stranded mid-park.
         self.drain_pending(Duration::from_secs(10));
         self.durable.seq_done = self.durable.seq_done.max(seq);
         self.durable.stopping = None;
-        self.ctrl.persist(&self.durable);
+        if !self.persist_fenced() {
+            return Step::Exit; // the successor completes the stop
+        }
         self.rep.send(EndpointId::Controller, RtMsg::Ack { seq });
         self.drain_pending(Duration::from_secs(5));
         // Clean exit: surrender the lease so the watchdog stays quiet.
@@ -1581,6 +1785,14 @@ impl AmCore {
         let time = self.rep.time().clone();
         let deadline = time.deadline_after(budget);
         while self.rep.pending() > 0 && time.now() < deadline {
+            // Draining can outlast the lease under chaos (every Leave may
+            // need its full retry budget), and a lapsed lease mid-stop
+            // triggers a pointless succession; keep proving liveness. A
+            // failed renewal means a successor already owns the job — stop
+            // draining and let the fence abort whatever comes next.
+            if self.ctrl.keep_alive(self.lease).is_err() {
+                return;
+            }
             for give_up in self.rep.tick() {
                 if let EndpointId::Worker(w) = give_up.to {
                     self.declare_dead(w);
@@ -1608,6 +1820,13 @@ impl AmCore {
         if !is_member && !in_target {
             return; // already out of the job (e.g. post-Leave give-up)
         }
+        // Fence probe (persist-before-act): a superseded incarnation —
+        // e.g. a partitioned old AM whose resends to unreachable workers
+        // just gave up — must not evict a live worker from the
+        // collective on behalf of a job it no longer owns.
+        if !self.persist_fenced() {
+            return;
+        }
         if !self.dead.insert(w) {
             return;
         }
@@ -1620,6 +1839,7 @@ impl AmCore {
         self.comm.evict(w);
         self.coordinated.remove(&w);
         self.reported.remove(&w);
+        self.rejoining.remove(&w);
         self.hb.forget(w);
         // If the victim was serving (or scheduled to serve) a transfer as
         // its source, its `TransferDone` will never come: drop the stale
@@ -1710,7 +1930,7 @@ impl AmCore {
                 }
             }
         }
-        self.ctrl.persist(&self.durable);
+        self.persist_fenced();
     }
 }
 

@@ -1,0 +1,375 @@
+//! Post-hoc term-fencing safety checker over the [`EventJournal`].
+//!
+//! Chaos tests prove *liveness* by finishing; this module proves the
+//! *safety* half of AM failover: replaying a run's retained events, it
+//! checks that at most one AM acted per fencing term and that no effect
+//! from a stale (fenced) AM landed after its successor's term bump —
+//! the split-brain freedom the persist-before-act store is supposed to
+//! guarantee under scripted partitions.
+//!
+//! The checker is deliberately conservative about the journal being a
+//! bounded ring: an effect carrying a term *newer* than the last
+//! retained `TermBump` means the bump itself was evicted, not that the
+//! protocol misbehaved, so the checker adopts it as the new baseline
+//! instead of flagging it.
+//!
+//! [`EventJournal`]: crate::obs::EventJournal
+
+use crate::obs::{Event, EventKind};
+
+/// One safety violation found in a journal replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TermViolation {
+    /// A `TermBump` did not strictly increase the term — two AM
+    /// incarnations claimed the same (or an older) term.
+    NonMonotonicTermBump {
+        /// Journal sequence of the offending event.
+        seq: u64,
+        /// The highest term bumped before it.
+        prev: u64,
+        /// The term it claimed.
+        next: u64,
+    },
+    /// An `AmElected` did not strictly increase the epoch.
+    NonMonotonicElection {
+        /// Journal sequence of the offending event.
+        seq: u64,
+        /// The highest epoch elected before it.
+        prev: u64,
+        /// The epoch it claimed.
+        next: u64,
+    },
+    /// A term-carrying effect (boundary release, rejoin admission)
+    /// landed *after* a successor bumped past its term: a fenced AM
+    /// still acted.
+    StaleTermEffect {
+        /// Journal sequence of the offending event.
+        seq: u64,
+        /// The effect's event kind (`EventKind::name`).
+        kind: &'static str,
+        /// The stale term the effect was issued under.
+        term: u64,
+        /// The term in force when it landed.
+        current: u64,
+    },
+    /// A `StaleTermRejected` whose rejected term was not actually older
+    /// than the fencing term — the fence fired on non-stale traffic.
+    MalformedRejection {
+        /// Journal sequence of the offending event.
+        seq: u64,
+        /// The fencing term.
+        term: u64,
+        /// The term that was rejected.
+        stale: u64,
+    },
+}
+
+impl std::fmt::Display for TermViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TermViolation::NonMonotonicTermBump { seq, prev, next } => {
+                write!(
+                    f,
+                    "event #{seq}: term bump {prev} -> {next} is not an increase"
+                )
+            }
+            TermViolation::NonMonotonicElection { seq, prev, next } => {
+                write!(
+                    f,
+                    "event #{seq}: election epoch {prev} -> {next} is not an increase"
+                )
+            }
+            TermViolation::StaleTermEffect {
+                seq,
+                kind,
+                term,
+                current,
+            } => write!(
+                f,
+                "event #{seq}: {kind} under stale term {term} after bump to {current}"
+            ),
+            TermViolation::MalformedRejection { seq, term, stale } => write!(
+                f,
+                "event #{seq}: rejection of term {stale} under term {term} is not stale"
+            ),
+        }
+    }
+}
+
+/// The outcome of a journal safety replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TermSafetyReport {
+    /// Every violation found, in journal order.
+    pub violations: Vec<TermViolation>,
+    /// `TermBump` events replayed.
+    pub terms_seen: u64,
+    /// Term-carrying effects audited against the fence.
+    pub effects_checked: u64,
+}
+
+impl TermSafetyReport {
+    /// True when the replay found no violation.
+    pub fn is_safe(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for TermSafetyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} violations over {} term(s), {} effect(s)",
+            self.violations.len(),
+            self.terms_seen,
+            self.effects_checked
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Replays `events` (e.g. [`ShutdownReport::events`]) and proves the
+/// term-fencing invariants: terms and election epochs are strictly
+/// monotonic, every term-carrying effect was issued under the term in
+/// force, and every logged rejection really was of stale traffic.
+///
+/// [`ShutdownReport::events`]: crate::runtime::ShutdownReport
+pub fn check_term_safety(events: &[Event]) -> TermSafetyReport {
+    let mut violations = Vec::new();
+    let mut terms_seen = 0u64;
+    let mut effects_checked = 0u64;
+    // The term/epoch in force; None until the first bump/election is
+    // seen (the ring may have evicted the run's opening events).
+    let mut current_term: Option<u64> = None;
+    let mut current_epoch: Option<u64> = None;
+    let audit = |seq: u64,
+                 kind: &'static str,
+                 term: u64,
+                 current_term: &mut Option<u64>,
+                 violations: &mut Vec<TermViolation>| {
+        match *current_term {
+            Some(current) if term < current => violations.push(TermViolation::StaleTermEffect {
+                seq,
+                kind,
+                term,
+                current,
+            }),
+            Some(current) if term > current => *current_term = Some(term), // evicted bump
+            Some(_) => {}
+            None => *current_term = Some(term),
+        }
+    };
+    for event in events {
+        match &event.kind {
+            EventKind::TermBump { term } => {
+                terms_seen += 1;
+                match current_term {
+                    Some(prev) if *term <= prev => {
+                        violations.push(TermViolation::NonMonotonicTermBump {
+                            seq: event.seq,
+                            prev,
+                            next: *term,
+                        });
+                    }
+                    _ => current_term = Some(*term),
+                }
+            }
+            EventKind::AmElected { epoch } => match current_epoch {
+                Some(prev) if *epoch <= prev => {
+                    violations.push(TermViolation::NonMonotonicElection {
+                        seq: event.seq,
+                        prev,
+                        next: *epoch,
+                    });
+                }
+                _ => current_epoch = Some(*epoch),
+            },
+            EventKind::BoundaryReleased { term, .. } => {
+                effects_checked += 1;
+                audit(
+                    event.seq,
+                    event.kind.name(),
+                    *term,
+                    &mut current_term,
+                    &mut violations,
+                );
+            }
+            EventKind::WorkerRejoin { term, .. } => {
+                effects_checked += 1;
+                audit(
+                    event.seq,
+                    event.kind.name(),
+                    *term,
+                    &mut current_term,
+                    &mut violations,
+                );
+            }
+            EventKind::StaleTermRejected { term, stale } if stale >= term => {
+                violations.push(TermViolation::MalformedRejection {
+                    seq: event.seq,
+                    term: *term,
+                    stale: *stale,
+                });
+            }
+            _ => {}
+        }
+    }
+    TermSafetyReport {
+        violations,
+        terms_seen,
+        effects_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, kind: EventKind) -> Event {
+        Event {
+            seq,
+            at_us: seq * 10,
+            kind,
+        }
+    }
+
+    #[test]
+    fn clean_history_is_safe() {
+        let events = vec![
+            ev(0, EventKind::TermBump { term: 1 }),
+            ev(
+                1,
+                EventKind::BoundaryReleased {
+                    boundary: 5,
+                    world: 2,
+                    term: 1,
+                },
+            ),
+            ev(2, EventKind::AmElected { epoch: 1 }),
+            ev(3, EventKind::TermBump { term: 2 }),
+            ev(4, EventKind::StaleTermRejected { term: 2, stale: 1 }),
+            ev(
+                5,
+                EventKind::BoundaryReleased {
+                    boundary: 10,
+                    world: 2,
+                    term: 2,
+                },
+            ),
+        ];
+        let report = check_term_safety(&events);
+        assert!(report.is_safe(), "{report}");
+        assert_eq!(report.terms_seen, 2);
+        assert_eq!(report.effects_checked, 2);
+    }
+
+    #[test]
+    fn post_fence_effect_is_flagged() {
+        let events = vec![
+            ev(0, EventKind::TermBump { term: 1 }),
+            ev(1, EventKind::TermBump { term: 2 }),
+            // The fenced term-1 AM releases a boundary anyway.
+            ev(
+                2,
+                EventKind::BoundaryReleased {
+                    boundary: 5,
+                    world: 2,
+                    term: 1,
+                },
+            ),
+        ];
+        let report = check_term_safety(&events);
+        assert_eq!(
+            report.violations,
+            vec![TermViolation::StaleTermEffect {
+                seq: 2,
+                kind: "boundary_released",
+                term: 1,
+                current: 2,
+            }]
+        );
+    }
+
+    #[test]
+    fn duplicate_term_claim_is_flagged() {
+        let events = vec![
+            ev(0, EventKind::TermBump { term: 3 }),
+            ev(1, EventKind::TermBump { term: 3 }),
+        ];
+        let report = check_term_safety(&events);
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            report.violations[0],
+            TermViolation::NonMonotonicTermBump {
+                prev: 3,
+                next: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn non_monotonic_election_is_flagged() {
+        let events = vec![
+            ev(0, EventKind::AmElected { epoch: 2 }),
+            ev(1, EventKind::AmElected { epoch: 2 }),
+        ];
+        assert_eq!(check_term_safety(&events).violations.len(), 1);
+    }
+
+    #[test]
+    fn malformed_rejection_is_flagged() {
+        let events = vec![ev(0, EventKind::StaleTermRejected { term: 2, stale: 2 })];
+        assert!(matches!(
+            check_term_safety(&events).violations[0],
+            TermViolation::MalformedRejection {
+                term: 2,
+                stale: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn evicted_bump_adopts_newer_effect_term() {
+        // Ring eviction dropped `TermBump { 2 }`: a term-2 effect is the
+        // new baseline, not a violation — but a later term-1 effect is.
+        let events = vec![
+            ev(0, EventKind::TermBump { term: 1 }),
+            ev(
+                1,
+                EventKind::WorkerRejoin {
+                    worker: elan_core::state::WorkerId(3),
+                    term: 2,
+                },
+            ),
+            ev(
+                2,
+                EventKind::BoundaryReleased {
+                    boundary: 5,
+                    world: 2,
+                    term: 1,
+                },
+            ),
+        ];
+        let report = check_term_safety(&events);
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            report.violations[0],
+            TermViolation::StaleTermEffect {
+                term: 1,
+                current: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_journal_is_vacuously_safe() {
+        let report = check_term_safety(&[]);
+        assert!(report.is_safe());
+        assert_eq!(report.terms_seen, 0);
+    }
+}

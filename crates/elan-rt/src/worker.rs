@@ -17,6 +17,14 @@
 //! allreduce, via [`CommGroup::allreduce_with`] — and an `AmReset` from a
 //! replacement application master makes the worker re-send whatever
 //! request it is parked on, so an AM crash can never strand it.
+//!
+//! Partition tolerance: every AM-originated control message carries a
+//! monotonic fencing *term*; the worker tracks the highest term it has
+//! seen and silently drops (journalling `StaleTermRejected`) anything
+//! older, so a partitioned-but-alive predecessor AM cannot steer it. A
+//! crashed worker restarts as [`WorkerRole::Rejoin`], presenting its
+//! last-known term and boundary iteration, and re-enters through the
+//! same chunked state-replication path a joiner uses.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -93,6 +101,16 @@ pub enum WorkerRole {
         iteration: u64,
         /// Serial data cursor to resume from.
         data_cursor: u64,
+    },
+    /// Restarted after a crash: runs the `Rejoin` handshake — presents
+    /// the crash incarnation's last-known term and boundary iteration,
+    /// gets fenced or admitted, and re-fetches state through the same
+    /// chunked replication path a joiner uses.
+    Rejoin {
+        /// Fencing term the worker last observed before crashing.
+        term: u64,
+        /// Boundary iteration of the last state it had applied.
+        iteration: u64,
     },
 }
 
@@ -288,6 +306,69 @@ impl SnapshotAssembly {
     }
 }
 
+/// The fencing term carried by an AM-originated control message, if any.
+fn msg_term(msg: &RtMsg) -> Option<u64> {
+    match msg {
+        RtMsg::Proceed { term, .. }
+        | RtMsg::TransferOrder { term, .. }
+        | RtMsg::Resume { term, .. }
+        | RtMsg::Leave { term }
+        | RtMsg::CheckpointOrder { term, .. }
+        | RtMsg::AmReset { term, .. } => Some(*term),
+        _ => None,
+    }
+}
+
+/// Applies the term fence to one received message: anything carrying a
+/// term older than the highest this worker has seen came from a
+/// superseded (possibly partitioned-but-alive) AM and is dropped with a
+/// [`EventKind::StaleTermRejected`] journal entry; newer terms advance
+/// the fence. Messages with no term (data plane, peer traffic) pass.
+fn fence(highest_term: &mut u64, msg: RtMsg, rep: &ReliableEndpoint) -> Option<RtMsg> {
+    match msg_term(&msg) {
+        Some(t) if t < *highest_term => {
+            if let Some(journal) = rep.bus().journal() {
+                journal.emit(EventKind::StaleTermRejected {
+                    term: *highest_term,
+                    stale: t,
+                });
+            }
+            None
+        }
+        Some(t) => {
+            *highest_term = t;
+            Some(msg)
+        }
+        None => Some(msg),
+    }
+}
+
+/// (Re-)announces this worker to the AM: joiners report readiness,
+/// rejoiners present their crash incarnation's credentials.
+fn announce(
+    rep: &mut ReliableEndpoint,
+    id: WorkerId,
+    role: &WorkerRole,
+    term: u64,
+    iteration: u64,
+) {
+    match role {
+        WorkerRole::Rejoin { .. } => {
+            rep.send(
+                EndpointId::Am,
+                RtMsg::Rejoin {
+                    worker: id,
+                    term,
+                    iteration,
+                },
+            );
+        }
+        _ => {
+            rep.send(EndpointId::Am, RtMsg::Report { worker: id });
+        }
+    }
+}
+
 /// True (and rearms the timer) when a heartbeat is due.
 ///
 /// A fresh timer (`None`) fires immediately — which is how the worker
@@ -332,6 +413,8 @@ pub fn run_worker(
     let mut last_hb: Option<SimTime> = None;
     // Resume-wave staleness guard: only newer generations un-park us.
     let mut last_seen_gen: u64 = comm.generation();
+    // Highest fencing term observed; stale-term AM traffic is dropped.
+    let mut highest_term: u64 = 0;
 
     if let WorkerRole::Restored {
         params: p,
@@ -345,10 +428,22 @@ pub fn run_worker(
         iteration = *it;
         data_cursor = *dc;
     }
-    if matches!(role, WorkerRole::Joining) {
+    if let WorkerRole::Rejoin {
+        term,
+        iteration: it,
+    } = &role
+    {
+        highest_term = *term;
+        iteration = *it;
+    }
+    if matches!(role, WorkerRole::Joining | WorkerRole::Rejoin { .. }) {
         // Step ②: report readiness after "initialization" (the buffer
         // allocation above), then wait for state replication (step ④).
-        rep.send(EndpointId::Am, RtMsg::Report { worker: cfg.id });
+        // Rejoiners announce with their crash credentials instead; the
+        // announce is re-sent periodically because an AM that is
+        // mid-adjustment defers admission without replying.
+        announce(&mut rep, cfg.id, &role, highest_term, iteration);
+        let mut last_announce = time.now();
         let mut have_state = false;
         let mut pending_resume: Option<u64> = None;
         let mut assembly = SnapshotAssembly::new();
@@ -366,7 +461,22 @@ pub fn run_worker(
                     },
                 );
             }
+            // Re-announce at heartbeat cadence until state arrives. The
+            // transport retries each announce, but its budget is finite: a
+            // joiner whose one-shot Report falls inside a partition window
+            // longer than the retry budget would otherwise wait silently
+            // forever — the AM that eventually serves the adjustment has
+            // never heard of it (the joiner predates the AM's AmReset
+            // audience). Report/Rejoin are idempotent at the AM, so fresh
+            // announces are always safe.
+            if !have_state && time.now().saturating_duration_since(last_announce) >= hb_period {
+                announce(&mut rep, cfg.id, &role, highest_term, iteration);
+                last_announce = time.now();
+            }
             let Some((_, msg)) = rep.recv_timeout(cfg.tick) else {
+                continue;
+            };
+            let Some(msg) = fence(&mut highest_term, msg, &rep) else {
                 continue;
             };
             match msg {
@@ -411,7 +521,7 @@ pub fn run_worker(
                         }
                     }
                 }
-                RtMsg::Resume { generation } if generation > last_seen_gen => {
+                RtMsg::Resume { generation, .. } if generation > last_seen_gen => {
                     if have_state {
                         last_seen_gen = generation;
                         break;
@@ -420,7 +530,7 @@ pub fn run_worker(
                     // until the state lands.
                     pending_resume = Some(pending_resume.map_or(generation, |g| g.max(generation)));
                 }
-                RtMsg::Leave => {
+                RtMsg::Leave { .. } => {
                     publish(
                         &telemetry,
                         cfg.id,
@@ -434,7 +544,8 @@ pub fn run_worker(
                 }
                 RtMsg::AmReset { .. } => {
                     // A replacement AM solicits state afresh (§V-D).
-                    rep.send(EndpointId::Am, RtMsg::Report { worker: cfg.id });
+                    announce(&mut rep, cfg.id, &role, highest_term, iteration);
+                    last_announce = time.now();
                 }
                 _ => {}
             }
@@ -550,6 +661,13 @@ pub fn run_worker(
 
         // Coordination boundary (step ③).
         if iteration.is_multiple_of(cfg.coordination_interval) {
+            if ctrl.take_worker_boundary_crash(cfg.id, iteration) {
+                // Chaos-injected crash: die silently after the SGD step
+                // but before Coordinate, leaving the boundary hanging.
+                // The restarted incarnation presents these credentials.
+                ctrl.record_worker_crash(cfg.id, highest_term, iteration);
+                return;
+            }
             let parked_at = time.now();
             // Chunked snapshot of this boundary's state, built lazily on
             // the first transfer/checkpoint order and shared (`Arc`)
@@ -580,15 +698,18 @@ pub fn run_worker(
                 let Some((_, msg)) = rep.recv_timeout(cfg.tick) else {
                     continue;
                 };
+                let Some(msg) = fence(&mut highest_term, msg, &rep) else {
+                    continue;
+                };
                 match msg {
                     // Only the release of *this* boundary counts — a
                     // chaos-delayed Proceed from an earlier round is stale.
-                    RtMsg::Proceed { boundary } if boundary == iteration => break,
-                    RtMsg::Resume { generation } if generation > last_seen_gen => {
+                    RtMsg::Proceed { boundary, .. } if boundary == iteration => break,
+                    RtMsg::Resume { generation, .. } if generation > last_seen_gen => {
                         last_seen_gen = generation;
                         break;
                     }
-                    RtMsg::TransferOrder { dst } => {
+                    RtMsg::TransferOrder { dst, .. } => {
                         // Step ④: stream training state to the joiner as
                         // interleaved params/momentum chunks.
                         let chunks = chunk_cache.get_or_insert_with(|| {
@@ -638,7 +759,7 @@ pub fn run_worker(
                             },
                         );
                     }
-                    RtMsg::Leave => {
+                    RtMsg::Leave { .. } => {
                         stalled += sim_to_std(time.now().saturating_duration_since(parked_at));
                         publish(
                             &telemetry,

@@ -57,8 +57,13 @@ pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
                     i += 1;
                     continue;
                 }
-                // persist(..) flushes the record to the replicated store
-                if t.is_ident("persist") && i + 1 < f.body.end && toks[i + 1].is("(") {
+                // persist(..) flushes the record to the replicated store;
+                // persist_fenced(..) is the term-checked wrapper around it
+                // and flushes (or abdicates) just the same.
+                if (t.is_ident("persist") || t.is_ident("persist_fenced"))
+                    && i + 1 < f.body.end
+                    && toks[i + 1].is("(")
+                {
                     dirty_line = None;
                     i += 1;
                     continue;
@@ -126,6 +131,15 @@ mod tests {
         let d = run(&ws(
             "impl Am { fn f(&mut self) { self.durable.phase = Phase::X; \
              self.ctrl.persist(&self.durable); self.rep.send(1); } }",
+        ));
+        assert!(d.is_empty(), "got {d:?}");
+    }
+
+    #[test]
+    fn fenced_persist_before_send_is_clean() {
+        let d = run(&ws(
+            "impl Am { fn f(&mut self) { self.durable.phase = Phase::X; \
+             if self.persist_fenced() { return; } self.rep.send(1); } }",
         ));
         assert!(d.is_empty(), "got {d:?}");
     }

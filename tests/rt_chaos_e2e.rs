@@ -1,6 +1,6 @@
 //! Integration: the chaos-hardened live runtime (§V-D fault tolerance).
 //!
-//! Three failure regimes, end to end:
+//! Five failure regimes, end to end:
 //!
 //! 1. A **lossy bus** — every control-plane edge drops, delays, and
 //!    duplicates messages, and the reliable-messaging layer (msg ids,
@@ -14,6 +14,14 @@
 //!    responding; the AM's failure detector must notice and execute a
 //!    failure-driven scale-in (evict from the allreduce group, rebuild the
 //!    comm group, repartition) without deadlocking the survivors.
+//! 4. A **network partition isolating the AM** — the old AM stays alive
+//!    but unreachable; a successor is elected at a higher fencing term,
+//!    and the old AM's first post-partition action must bounce off the
+//!    store (`StaleTermRejected`) instead of split-braining the job.
+//! 5. A **worker crash–restart–rejoin** — the crashed worker comes back,
+//!    runs the `Rejoin` handshake, re-fetches state over the chunked
+//!    replication path, and resumes *bit-identically* to a run that never
+//!    crashed.
 //!
 //! Since the observability overhaul these tests assert on the **event
 //! journal**: the exact sequence the runtime *says* happened (adjustment
@@ -33,9 +41,24 @@ use std::time::Duration;
 
 use elan::core::obs::AdjustmentPhase;
 use elan::rt::{
-    ChaosPolicy, CrashPoint, ElasticRuntime, EventKind, RuntimeConfig, ShutdownReport, TimeSource,
-    TraceKind,
+    check_term_safety, ChaosPolicy, CrashPoint, ElasticRuntime, EndpointId, EventKind,
+    RuntimeConfig, ShutdownReport, TimeSource, TraceKind,
 };
+
+/// Writes the run's retained event journal to
+/// `target/chaos-journals/<name>.json` (one JSON object per line) so CI
+/// can upload the forensic trail as an artifact when the suite fails.
+/// Best-effort: a read-only target dir must not fail the test itself.
+fn dump_journal(name: &str, report: &ShutdownReport) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("chaos-journals");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let lines: Vec<String> = report.events.iter().map(|e| e.to_json()).collect();
+    let _ = std::fs::write(dir.join(format!("{name}.json")), lines.join("\n") + "\n");
+}
 
 /// The issue's canonical chaos mix: 20% drop, 20% delay (plus a little
 /// duplication so the dedup path is provably exercised every run).
@@ -357,4 +380,170 @@ fn worker_crash_during_lossy_run_is_survived() {
     assert!(report.journal.count("worker_declared_dead") >= 1);
     assert!(report.metrics.failure_scale_ins >= 1);
     assert_pipeline_events(&report, TraceKind::FailureScaleIn);
+}
+
+#[test]
+fn partitioned_am_is_fenced_and_the_adjustment_completes() {
+    // The acceptance scenario for term fencing: cut the acting AM off
+    // from *everyone* — workers, controller, and (by the isolated-AM
+    // model) the replicated store — for longer than its lease. The
+    // timeline inside the 500ms window is deterministic under the
+    // virtual clock:
+    //
+    //   ~240ms  watchdog sees the lapsed lease, elects a successor,
+    //           which CASes the fencing term up (term_bump #2);
+    //   ~400ms  the *old* AM's failure detector fires (hb_timeout) on
+    //           the silent workers; its persist-before-act probe hits
+    //           the store, finds the higher term, journals
+    //           `stale_term_rejected`, and abdicates without evicting
+    //           anyone;
+    //    500ms  the window heals; the controller's scale-out (re-issued
+    //           at the app level all along) lands on the successor and
+    //           completes under the new term.
+    let mut rt = ElasticRuntime::builder()
+        .config(RuntimeConfig::small(3))
+        // No probabilistic fates: the policy exists purely so the chaos
+        // engine is mounted and can script the partition window.
+        .chaos(ChaosPolicy::new(17))
+        .time(TimeSource::virtual_seeded(17))
+        .start()
+        .unwrap();
+    rt.run_until_iteration(10);
+
+    assert!(
+        rt.partition(
+            "am-isolated",
+            vec![vec![EndpointId::Am]],
+            Duration::from_millis(500),
+        ),
+        "partition scripting needs a chaos engine"
+    );
+    rt.scale_out(1);
+    assert_eq!(rt.members().len(), 4, "adjustment must survive the cut");
+    rt.run_until_iteration(30);
+    let report = rt.shutdown();
+    dump_journal("partitioned_am_is_fenced", &report);
+
+    assert_eq!(report.final_world_size, 4);
+    assert!(
+        report.states_consistent(),
+        "split brain diverged: {report:?}"
+    );
+    let j = &report.journal;
+    assert!(
+        j.count("partition_start") >= 1,
+        "window never opened: {j:?}"
+    );
+    assert!(j.count("partition_heal") >= 1, "window never healed: {j:?}");
+    assert!(j.count("am_elected") >= 1, "no successor elected: {j:?}");
+    assert!(
+        j.count("term_bump") >= 2,
+        "successor never bumped the term: {j:?}"
+    );
+    assert!(
+        j.count("stale_term_rejected") >= 1,
+        "the old AM was never fenced: {j:?}"
+    );
+    // The adjustment's effects must carry the *new* term — the highest
+    // bump in the journal, not the term the partitioned AM held.
+    let max_term = report
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::TermBump { term } => Some(term),
+            _ => None,
+        })
+        .max()
+        .expect("term_bump events exist");
+    assert!(max_term >= 2);
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::BoundaryReleased { term, .. } if term == max_term
+        )),
+        "no boundary released under the new term"
+    );
+    // And the journal as a whole must replay clean through the safety
+    // checker: ≤1 AM acting per term, no post-fence effects.
+    let safety = check_term_safety(&report.events);
+    assert!(safety.is_safe(), "{safety}");
+    assert_pipeline_events(&report, TraceKind::ScaleOut);
+    let chaos = report.chaos.expect("job ran with a chaos engine");
+    assert!(chaos.partitioned > 0, "the cut dropped nothing: {chaos:?}");
+}
+
+#[test]
+fn crashed_worker_rejoins_bit_identical() {
+    let cfg = RuntimeConfig::small(3);
+    let (elems, lr, batch) = (cfg.param_elems, cfg.learning_rate, cfg.total_batch);
+    let mut rt = ElasticRuntime::builder()
+        .config(cfg)
+        .time(TimeSource::virtual_seeded(29))
+        .start()
+        .unwrap();
+    rt.run_until_iteration(8);
+    let victim = rt.members()[2];
+
+    // The victim dies at its next coordination boundary — after the SGD
+    // step, before sending `Coordinate` — so the survivors park and the
+    // boundary hangs on it. The restart reaps the corpse and spawns a
+    // `Rejoin` incarnation that presents the crash credentials, gets
+    // re-admitted, and streams boundary state back over the chunked
+    // replication path.
+    rt.crash_worker_at(victim, 10);
+    rt.restart_worker(victim);
+    rt.run_until_iteration(24);
+    let cp = rt.checkpoint();
+    let report = rt.shutdown();
+    dump_journal("crashed_worker_rejoins_bit_identical", &report);
+
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::WorkerRejoin { worker, .. } if worker == victim
+        )),
+        "no worker_rejoin event for {victim:?}: {:?}",
+        report.journal
+    );
+    // Rejoin must beat the failure detector: nobody was declared dead
+    // and the job never shrank.
+    assert_eq!(
+        report.journal.count("worker_declared_dead"),
+        0,
+        "rejoin lost the race to the failure detector: {:?}",
+        report.journal
+    );
+    assert_eq!(report.final_world_size, 3);
+    assert!(report.states_consistent(), "rejoin diverged: {report:?}");
+    // The rejoiner re-fetched state like any joiner: a planned
+    // replication and an applied snapshot are journal facts.
+    assert!(report.journal.count("replication_planned") >= 1);
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::SnapshotApplied { worker, .. } if worker == victim
+        )),
+        "rejoiner never applied a snapshot: {:?}",
+        report.journal
+    );
+    let safety = check_term_safety(&report.events);
+    assert!(safety.is_safe(), "{safety}");
+
+    // The acceptance bar: the post-rejoin job is *bit-identical* to a
+    // never-crashed run — checked against the single-threaded reference
+    // replay of the same deterministic workload.
+    let (ref_params, ref_momentum, ref_cursor) =
+        elan::rt::worker::simulate_training(3, cp.iteration, elems, lr, batch);
+    assert_eq!(
+        cp.params.as_slice(),
+        ref_params.as_slice(),
+        "parameters diverged from the never-crashed replay at iteration {}",
+        cp.iteration
+    );
+    assert_eq!(
+        cp.momentum.as_slice(),
+        ref_momentum.as_slice(),
+        "momentum diverged from the never-crashed replay"
+    );
+    assert_eq!(cp.data_cursor, ref_cursor, "serial data cursor diverged");
 }

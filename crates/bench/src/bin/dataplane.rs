@@ -1,8 +1,10 @@
-//! Data-plane benchmark harness: chunked cooperative allreduce and
-//! chunked pipelined state replication versus their naive baselines.
+//! Data-plane benchmark harness: adaptive allreduce (flat / chunked /
+//! hierarchical dispatch) and chunked pipelined state replication versus
+//! their naive baselines.
 //!
 //! ```text
-//! dataplane [--quick] [--out PATH]     run the sweep, write a JSON report
+//! dataplane [--quick] [--out PATH] [--assert-thresholds BASELINE]
+//!                                      run the sweep, write a JSON report
 //! dataplane --validate PATH            schema-check an existing report
 //! ```
 //!
@@ -10,6 +12,10 @@
 //! directory. `--quick` runs a reduced grid suitable for CI smoke runs.
 //! `--validate` exits non-zero if the file does not conform to the
 //! report schema (used by CI after the smoke run).
+//! `--assert-thresholds` additionally diffs the fresh sweep against the
+//! committed baseline report: exit code 2 if any shared cell regressed
+//! more than the tolerance or any allreduce cell lost to naive outside
+//! the allowlist (the CI perf regression gate).
 
 use std::process::ExitCode;
 
@@ -19,6 +25,7 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut out = String::from("BENCH_dataplane.json");
     let mut validate: Option<String> = None;
+    let mut baseline: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,8 +39,12 @@ fn main() -> ExitCode {
                 Some(path) => validate = Some(path),
                 None => return usage("--validate requires a path"),
             },
+            "--assert-thresholds" => match args.next() {
+                Some(path) => baseline = Some(path),
+                None => return usage("--assert-thresholds requires a baseline path"),
+            },
             "--help" | "-h" => {
-                eprintln!("usage: dataplane [--quick] [--out PATH] | dataplane --validate PATH");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument '{other}'")),
@@ -59,6 +70,19 @@ fn main() -> ExitCode {
         };
     }
 
+    // Read the baseline *before* the sweep so a bad path fails fast
+    // instead of after minutes of measurement.
+    let baseline_text = match &baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => Some(text),
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     let report = dataplane::run(quick, |line| eprintln!("{line}"));
     let json = report.to_json();
     if let Err(e) = dataplane::validate_json(&json) {
@@ -70,11 +94,25 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {out}");
+
+    if let (Some(path), Some(text)) = (&baseline, &baseline_text) {
+        match dataplane::assert_thresholds(&report, text) {
+            Ok(()) => eprintln!("thresholds ok against {path}"),
+            Err(violations) => {
+                eprintln!("perf regression against {path}:");
+                eprintln!("{violations}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
+const USAGE: &str =
+    "usage: dataplane [--quick] [--out PATH] [--assert-thresholds BASELINE] | dataplane --validate PATH";
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
-    eprintln!("usage: dataplane [--quick] [--out PATH] | dataplane --validate PATH");
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
 }

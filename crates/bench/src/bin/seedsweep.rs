@@ -21,7 +21,13 @@
 //!   a scale-out is requested: the watchdog must elect a term-fenced
 //!   successor that completes the adjustment, and on top of the journal
 //!   hash every run is replayed through [`check_term_safety`] (at most
-//!   one AM acting per term, no post-fence effects).
+//!   one AM acting per term, no post-fence effects);
+//! - `allreduce-adjust` — a nine-worker job whose gradient vectors sit
+//!   above the pinned flat crossover, so the dispatcher runs the
+//!   hierarchical path, with a scale-out landing mid-run: proves that
+//!   path selection and the per-round topology re-plan are pure
+//!   functions of the seed (the journal's `allreduce_path` events are
+//!   part of the hash).
 //!
 //! `--quick` sweeps 64 seeds (the CI smoke configuration); the default
 //! sweep is 256. Exit status is non-zero iff any seed diverged or failed.
@@ -32,6 +38,7 @@ use std::time::Duration;
 
 use elan_rt::{
     check_term_safety, ChaosPolicy, ElasticRuntime, EndpointId, RuntimeConfig, TimeSource,
+    TuningProfile,
 };
 
 /// FNV-1a offset basis.
@@ -63,6 +70,8 @@ enum Scenario {
     Chaos,
     /// Scripted partition isolating the acting AM mid-adjustment.
     Partition,
+    /// Hierarchical-path allreduce with a scale-out mid-run.
+    AllreduceAdjust,
 }
 
 impl Scenario {
@@ -70,6 +79,7 @@ impl Scenario {
         match self {
             Scenario::Chaos => "chaos",
             Scenario::Partition => "partition",
+            Scenario::AllreduceAdjust => "allreduce-adjust",
         }
     }
 }
@@ -144,6 +154,40 @@ fn partition_scenario(seed: u64) -> Vec<String> {
     report.events.iter().map(|e| format!("{e:?}")).collect()
 }
 
+/// The allreduce-adjust e2e scenario: nine workers (the pinned
+/// chunked/hierarchical crossover) reduce vectors twice the pinned flat
+/// crossover, so every round dispatches hierarchically over the default
+/// planning topology; a two-worker scale-out lands mid-run, forcing the
+/// dispatcher to re-plan its socket groups for the grown membership.
+/// The journal's `allreduce_path` events (round, path, world, group
+/// count) are part of the determinism hash, so a divergence in path
+/// selection or group planning across identically-seeded runs fails the
+/// sweep.
+fn allreduce_adjust_scenario(seed: u64) -> Vec<String> {
+    let mut cfg = RuntimeConfig::small(9);
+    cfg.param_elems = 2 * TuningProfile::pinned().flat_max_len;
+    cfg.replication_chunk_elems = cfg.param_elems / 4;
+    let mut rt = ElasticRuntime::builder()
+        .config(cfg)
+        .time(TimeSource::virtual_seeded(seed))
+        .start()
+        .expect("valid sweep configuration");
+    rt.run_until_iteration(4);
+    rt.scale_out(2);
+    rt.run_until_iteration(8);
+    let report = rt.shutdown();
+    assert!(report.states_consistent(), "replicas diverged");
+    assert_eq!(report.final_world_size, 11, "scale-out did not land");
+    let lines: Vec<String> = report.events.iter().map(|e| format!("{e:?}")).collect();
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("AllreducePath") && l.contains("Hier")),
+        "no hierarchical round was journalled"
+    );
+    lines
+}
+
 /// One run, panic-safe. `Err` carries the panic payload as text.
 fn run_once(seed: u64, scenario: Scenario) -> Result<Vec<String>, String> {
     // A panicking run may leave the controller thread registered with the
@@ -153,6 +197,7 @@ fn run_once(seed: u64, scenario: Scenario) -> Result<Vec<String>, String> {
     let out = catch_unwind(AssertUnwindSafe(|| match scenario {
         Scenario::Chaos => chaos_scenario(seed),
         Scenario::Partition => partition_scenario(seed),
+        Scenario::AllreduceAdjust => allreduce_adjust_scenario(seed),
     }));
     out.map_err(|e| {
         guard.deregister();
@@ -351,7 +396,10 @@ fn main() -> ExitCode {
             "--scenario" => match args.next().as_deref() {
                 Some("chaos") => scenario = Scenario::Chaos,
                 Some("partition") => scenario = Scenario::Partition,
-                _ => return usage("--scenario requires 'chaos' or 'partition'"),
+                Some("allreduce-adjust") => scenario = Scenario::AllreduceAdjust,
+                _ => {
+                    return usage("--scenario requires 'chaos', 'partition', or 'allreduce-adjust'")
+                }
             },
             "--out" => match args.next() {
                 Some(path) => out = path,
@@ -406,8 +454,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str =
-    "usage: seedsweep [--quick] [--seeds N] [--start S] [--scenario chaos|partition] [--out PATH]";
+const USAGE: &str = "usage: seedsweep [--quick] [--seeds N] [--start S] \
+     [--scenario chaos|partition|allreduce-adjust] [--out PATH]";
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");

@@ -1,0 +1,68 @@
+//! The small-message fast path: a single-owner inline reduce.
+//!
+//! Below the flat crossover ([`super::tune::TuningProfile::flat_max_len`])
+//! the fixed cost of the cooperative machinery — resetting the chunk
+//! cursor, waking helpers, bouncing the done-counter cache line — exceeds
+//! the reduction itself, which is how the chunked path managed to *lose*
+//! to the naive baseline at `len = 1024`. Here the last arriver simply
+//! sums every contribution into the pooled accumulator while still
+//! holding the group lock and publishes the result in the same critical
+//! section. No cursor, no per-chunk atomics, no helper handoff; the
+//! zero-copy contributions and the round-buffer pool are shared with the
+//! other paths, so the steady state still performs no `O(len)` work
+//! beyond the sum itself.
+//!
+//! Summation order is ascending worker id (the contribution list is
+//! sorted), the exact addition sequence of [`super::reference_sum`] — the
+//! flat path is bit-identical to the cooperative paths by construction.
+
+use elan_core::state::WorkerId;
+
+use super::SharedSlice;
+
+/// Reduces `contributions` (sorted by worker id, non-empty) element-wise
+/// into `out`: initialize from the first contribution (no zeroing pass),
+/// then accumulate the rest in order.
+///
+/// # Safety
+///
+/// Every `SharedSlice` must honor its lifecycle contract (the owning
+/// contributor is parked for the duration of the call), and each slice's
+/// length must equal `out.len()`.
+pub(super) unsafe fn reduce_into(contributions: &[(WorkerId, SharedSlice)], out: &mut [f32]) {
+    debug_assert!(!contributions.is_empty());
+    out.copy_from_slice(contributions[0].1.slice());
+    for (_, inp) in &contributions[1..] {
+        for (o, &v) in out.iter_mut().zip(inp.slice()) {
+            *o += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::reference_sum;
+    use super::*;
+
+    #[test]
+    fn flat_kernel_matches_reference_bitwise() {
+        let inputs: Vec<Vec<f32>> = (0..5)
+            .map(|w| {
+                (0..97)
+                    .map(|j| ((w as f32 + 0.9) * 0.2 + j as f32 * 3e-3).sin())
+                    .collect()
+            })
+            .collect();
+        let contributions: Vec<(WorkerId, SharedSlice)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(w, v)| (WorkerId(w as u32), SharedSlice::new(v)))
+            .collect();
+        let mut out = vec![0.0f32; 97];
+        // SAFETY: the borrowed vectors outlive the call.
+        unsafe { reduce_into(&contributions, &mut out) };
+        let want: Vec<u32> = reference_sum(&inputs).iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+}

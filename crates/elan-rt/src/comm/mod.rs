@@ -1,5 +1,5 @@
 //! A real allreduce for threads: generation-versioned collective group
-//! with a **chunked, cooperative, zero-copy** reduction engine.
+//! with an **adaptive** reduction engine that picks a strategy per round.
 //!
 //! Data-parallel training synchronizes gradients with collective
 //! communication; the live runtime implements it for worker *threads*.
@@ -7,34 +7,59 @@
 //! regression tests) has the last arriver serially sum `world × len`
 //! floats while holding the group lock, with every caller heap-copying
 //! its gradient on entry — exactly the flat-reduction bottleneck the
-//! paper's data plane avoids (§IV, §VI). This module replaces it with:
+//! paper's data plane avoids (§IV, §VI). This module replaces it with an
+//! adaptive front-end that dispatches each round on `(world, len)`:
 //!
-//! - **Zero-copy contributions** — a caller is *blocked* inside
-//!   [`CommGroup::allreduce_with`] until its round publishes, so its
-//!   gradient slice outlives the round by construction; the group records
-//!   a borrowed view (the internal `SharedSlice`) instead of
-//!   `data.to_vec()`.
-//! - **Chunked cooperative reduction** — when the last member arrives,
-//!   the round's inputs are split into cache-sized chunks
-//!   ([`ChunkPlan`]); *every blocked waiter* (plus the last arriver, plus
-//!   an evicting thread if eviction completes the round) claims chunks
-//!   from an atomic work-stealing cursor and reduces them **outside the
-//!   group lock**. Each chunk sums its contributions in ascending
-//!   worker-id order, so every output element sees the identical f32
-//!   addition sequence regardless of chunk size, thread count, or arrival
-//!   order — the reduction is bit-deterministic (the EasyScale
-//!   requirement) while the accumulator chunk stays hot in L1.
-//! - **A round-buffer pool** — result accumulators are recycled once all
-//!   holders of a published sum drop their `Arc`, so the steady-state hot
-//!   path performs no `O(len)` heap allocation per round
-//!   ([`CommGroup::pool_allocations`] is asserted flat in tests).
+//! - **[`flat`] fast path** (small messages): the last arriver reduces
+//!   all contributions inline under the group lock — no chunk cursor, no
+//!   per-chunk atomics, no helper handoff. Below the crossover the fixed
+//!   cost of publishing cooperative work exceeds the reduction itself,
+//!   which is why the chunked path used to *lose* to the naive baseline
+//!   at `len = 1024`.
+//! - **[`chunked`] work-stealing path** (mid-range): the round's inputs
+//!   are split into cache-sized chunks whose size adapts to the world
+//!   size ([`adaptive_chunk_elems`]); *every blocked waiter* (plus the
+//!   last arriver, plus an evicting thread if eviction completes the
+//!   round) claims chunks from an atomic work-stealing cursor and
+//!   reduces them **outside the group lock**.
+//! - **[`hier`] two-level hierarchical path** (large worlds): workers are
+//!   grouped by node/socket placement ([`CommTopology`]); the element
+//!   space is sharded into one contiguous span per group, each with its
+//!   own chunk cursor, so cursor traffic never crosses a socket
+//!   boundary. Each group's min-id member is its *leader*: after a
+//!   group's own span drains, only the leader steals from other groups'
+//!   cursors (the leaders finish the tail among themselves), and the
+//!   round-completion broadcast releases everyone.
+//!
+//! The crossovers come from [`tune`]: a one-shot startup probe on real
+//! hardware, or the pinned profile under virtual time so simulations
+//! stay bit-deterministic. Every published round journals its chosen
+//! strategy via [`EventKind::AllreducePath`].
+//!
+//! All three paths produce **bit-identical** results: every output
+//! element is the f32 sum of the contributions in ascending worker-id
+//! order, the exact addition sequence of [`reference_sum`]. (This is why
+//! the hierarchical path shards *elements* across groups rather than
+//! computing per-group partial sums — f32 addition is not associative,
+//! so a sum-of-group-sums could never match the flat fold bit-for-bit.)
+//!
+//! Zero-copy and allocation discipline are shared by all paths: a caller
+//! is *blocked* inside [`CommGroup::allreduce_with`] until its round
+//! publishes, so its gradient slice outlives the round by construction
+//! (the group records a borrowed `SharedSlice` instead of
+//! `data.to_vec()`), and result accumulators are recycled through a
+//! round-buffer pool once all holders of a published sum drop their
+//! `Arc` ([`CommGroup::pool_allocations`] is asserted flat in tests).
 //!
 //! A **generation** number changes on every communication-group
 //! reconstruction (step ⑤ of an adjustment), so workers can never mix
 //! rounds across memberships. Reconfiguration must happen while no
 //! allreduce is in flight — Elan guarantees this by adjusting only at
 //! coordination boundaries, where every worker is parked in the control
-//! plane, not the data plane.
+//! plane, not the data plane. Because the strategy and its group plan
+//! are recomputed at every round publish from the *actual* member set,
+//! an adjustment (or a mid-round eviction) re-plans the hierarchical
+//! groups automatically — there is no cached plan to invalidate.
 
 use std::cell::UnsafeCell;
 use std::collections::BTreeSet;
@@ -46,18 +71,62 @@ use std::sync::OnceLock;
 
 use parking_lot::{Condvar, Mutex};
 
-use elan_core::messages::ChunkPlan;
+use elan_core::obs::{Histogram, MetricsRegistry};
 use elan_core::state::WorkerId;
 
 use crate::obs::{EventJournal, EventKind};
 use crate::time::{std_to_sim, TimeSource};
 
+pub mod chunked;
+pub mod flat;
+pub mod hier;
+pub mod tune;
+
+pub use chunked::{adaptive_chunk_elems, DEFAULT_CHUNK_ELEMS};
+pub use hier::CommTopology;
+pub use tune::TuningProfile;
+
+use chunked::RoundWork;
+
 /// How often a blocked allreduce caller's `on_wait` callback fires.
 const WAIT_SLICE: Duration = Duration::from_millis(50);
 
-/// Default reduction chunk size: 4096 f32 = 16 KiB, sized so one
-/// accumulator chunk plus a contribution chunk fit comfortably in L1.
-pub const DEFAULT_CHUNK_ELEMS: usize = 4096;
+/// Minimum number of topology groups for the hierarchical path to beat
+/// the single shared cursor it replaces.
+const MIN_HIER_GROUPS: usize = 2;
+
+/// The reduction strategy serving one allreduce round.
+///
+/// Selected per round by the adaptive dispatcher from `(world, len)` and
+/// the attached [`CommTopology`]; journalled via
+/// [`EventKind::AllreducePath`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReducePath {
+    /// Single-owner inline reduce under the lock (small messages).
+    Flat,
+    /// Work-stealing cooperative reduction over one shared chunk cursor.
+    Chunked,
+    /// Two-level reduction: element spans sharded across topology groups,
+    /// each with a private cursor.
+    Hier,
+}
+
+impl ReducePath {
+    /// Stable `snake_case` name (used in journals and bench reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReducePath::Flat => "flat",
+            ReducePath::Chunked => "chunked",
+            ReducePath::Hier => "hier",
+        }
+    }
+}
+
+impl std::fmt::Display for ReducePath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Outcome of one allreduce call.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,7 +164,7 @@ pub enum AllreduceOutcome {
 /// final chunk reduction completes. Eviction removes a contribution only
 /// under the group lock and only before the round's reduction starts.
 #[derive(Debug, Clone, Copy)]
-struct SharedSlice {
+pub(crate) struct SharedSlice {
     ptr: *const f32,
     len: usize,
 }
@@ -118,7 +187,7 @@ impl SharedSlice {
     ///
     /// Caller must uphold the `SharedSlice` lifecycle contract: the
     /// owning contributor is still parked in its allreduce call.
-    unsafe fn slice(&self) -> &[f32] {
+    pub(crate) unsafe fn slice(&self) -> &[f32] {
         std::slice::from_raw_parts(self.ptr, self.len)
     }
 }
@@ -127,26 +196,62 @@ impl SharedSlice {
 ///
 /// All fields are (re)written under the group lock by `publish_round`
 /// *before* `cursor` is reset with `Release` ordering; helpers claim
-/// chunks with an `AcqRel` `fetch_add` on `cursor`, which
-/// synchronizes-with the reset and therefore observes the fresh `inputs`
-/// and `out` values.
+/// chunks with an `AcqRel` `fetch_add` on `cursor` (or on a group-local
+/// cursor inside `work`), which synchronizes-with the reset. Helpers
+/// additionally observed `reducing == Some(round)` **under the group
+/// lock** before touching the slots, so every unsynchronized field here
+/// happens-after the publishing writes.
 struct ReduceSlots {
     /// The active round's contributions, sorted by worker id.
     inputs: UnsafeCell<Vec<SharedSlice>>,
     /// Base pointer of the pooled output accumulator.
     out: AtomicPtr<f32>,
-    /// Next chunk index to claim (work-stealing cursor).
+    /// The active round's work plan (chunked cursor plan or hierarchical
+    /// group spans). Rebuilt at every publish from the actual members.
+    work: UnsafeCell<Option<RoundWork>>,
+    /// Next chunk index to claim on the chunked path (work-stealing
+    /// cursor); doubles as the publishing `Release` fence for both paths.
     cursor: AtomicUsize,
-    /// Chunks fully reduced so far.
+    /// Chunks fully reduced so far (across all groups on the hier path).
     done: AtomicUsize,
 }
 
-// SAFETY: `inputs` is written only under the group lock while no helper
-// can hold a claimed chunk (a new round cannot be published until the
-// previous round's chunks are all done), and read only by helpers that
-// claimed a chunk after the publishing `Release` store.
+// SAFETY: `inputs` and `work` are written only under the group lock while
+// no helper can hold a claimed chunk (a new round cannot be published
+// until the previous round's chunks are all done), and read only by
+// helpers that observed the published round under the group lock.
 unsafe impl Send for ReduceSlots {}
 unsafe impl Sync for ReduceSlots {}
+
+/// How the group chooses a reduction strategy.
+enum PathPolicy {
+    /// `with_chunk_elems` compatibility mode: always the chunked engine
+    /// with a fixed chunk size (tests pin exact chunk geometries).
+    FixedChunk { chunk_elems: usize },
+    /// Per-round dispatch on `(world, len)` with the given crossovers and
+    /// optional topology for the hierarchical path.
+    Adaptive {
+        profile: TuningProfile,
+        topology: Option<CommTopology>,
+    },
+}
+
+/// Per-path round-latency histograms (attached by the runtime).
+struct PathMetrics {
+    flat: Histogram,
+    chunked: Histogram,
+    hier: Histogram,
+}
+
+impl PathMetrics {
+    fn for_path(&self, path: ReducePath) -> &Histogram {
+        match path {
+            ReducePath::Flat => &self.flat,
+            ReducePath::Chunked => &self.chunked,
+            ReducePath::Hier => &self.hier,
+        }
+    }
+}
 
 #[derive(Debug)]
 struct GroupState {
@@ -160,10 +265,16 @@ struct GroupState {
     /// reduction is published.
     contributions: Vec<(WorkerId, SharedSlice)>,
     /// `Some(round)` while that round's cooperative reduction is in
-    /// flight (published but not yet finished).
+    /// flight (published but not yet finished). Never set by the flat
+    /// path, which completes inline.
     reducing: Option<u64>,
     /// World size captured when the in-flight round was published.
     reducing_world: u32,
+    /// Strategy serving the in-flight round.
+    reducing_path: ReducePath,
+    /// Journal timestamp (µs) when the in-flight round published; drives
+    /// the per-path latency histograms.
+    reducing_since_us: u64,
     /// The accumulator being reduced into — uniquely owned here (plus the
     /// raw pointer in the slots) until the round finishes.
     out_buf: Option<Arc<Vec<f32>>>,
@@ -200,7 +311,9 @@ pub struct CommGroup {
     state: Mutex<GroupState>,
     cvar: Condvar,
     slots: ReduceSlots,
-    plan: ChunkPlan,
+    /// Vector length every contribution and result must have.
+    len: usize,
+    policy: PathPolicy,
     /// Set once by the runtime builder; rounds/evictions/reconfigurations
     /// emit journal events when present.
     journal: OnceLock<Arc<EventJournal>>,
@@ -208,6 +321,8 @@ pub struct CommGroup {
     /// blocked callers park on the clock (deterministic, zero wall time)
     /// instead of on the condvar.
     time: OnceLock<TimeSource>,
+    /// Set once by the runtime builder: per-path latency histograms.
+    metrics: OnceLock<PathMetrics>,
 }
 
 impl std::fmt::Debug for CommGroup {
@@ -217,23 +332,45 @@ impl std::fmt::Debug for CommGroup {
             .field("generation", &st.generation)
             .field("members", &st.members)
             .field("round", &st.round)
-            .field("chunk_elems", &self.plan.chunk_elems())
+            .field("len", &self.len)
             .finish()
     }
 }
 
 impl CommGroup {
-    /// Creates a group over `members` reducing vectors of `len` elements
-    /// with the default ([`DEFAULT_CHUNK_ELEMS`]) reduction chunk size.
+    /// Creates an adaptive group over `members` reducing vectors of `len`
+    /// elements, using the pinned tuning profile and no topology (the
+    /// hierarchical path stays off until a [`CommTopology`] is supplied
+    /// via [`CommGroup::with_tuning`]).
     ///
     /// # Panics
     ///
     /// Panics if `members` is empty or `len` is zero.
     pub fn new(members: impl IntoIterator<Item = WorkerId>, len: usize) -> Self {
-        Self::with_chunk_elems(members, len, DEFAULT_CHUNK_ELEMS)
+        Self::with_tuning(members, len, TuningProfile::pinned(), None)
     }
 
-    /// Creates a group with an explicit reduction chunk size (elements).
+    /// Creates an adaptive group with explicit crossovers and an optional
+    /// topology enabling the hierarchical path. This is the runtime's
+    /// constructor: it passes the probed (or pinned, under virtual time)
+    /// [`TuningProfile`] and the builder's [`CommTopology`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or `len` is zero.
+    pub fn with_tuning(
+        members: impl IntoIterator<Item = WorkerId>,
+        len: usize,
+        profile: TuningProfile,
+        topology: Option<CommTopology>,
+    ) -> Self {
+        Self::with_policy(members, len, PathPolicy::Adaptive { profile, topology })
+    }
+
+    /// Creates a group pinned to the chunked engine with an explicit
+    /// chunk size (elements). Adaptive dispatch is disabled: every round
+    /// runs the work-stealing path with this exact chunk geometry, which
+    /// is what determinism tests and benchmarks pin against.
     ///
     /// # Panics
     ///
@@ -243,10 +380,18 @@ impl CommGroup {
         len: usize,
         chunk_elems: usize,
     ) -> Self {
+        assert!(chunk_elems > 0, "chunk size must be non-zero");
+        Self::with_policy(members, len, PathPolicy::FixedChunk { chunk_elems })
+    }
+
+    fn with_policy(
+        members: impl IntoIterator<Item = WorkerId>,
+        len: usize,
+        policy: PathPolicy,
+    ) -> Self {
         let members: BTreeSet<WorkerId> = members.into_iter().collect();
         assert!(!members.is_empty(), "group needs at least one member");
         assert!(len > 0, "vectors must be non-empty");
-        assert!(chunk_elems > 0, "chunk size must be non-zero");
         CommGroup {
             state: Mutex::new(GroupState {
                 generation: 0,
@@ -255,6 +400,8 @@ impl CommGroup {
                 contributions: Vec::new(),
                 reducing: None,
                 reducing_world: 0,
+                reducing_path: ReducePath::Flat,
+                reducing_since_us: 0,
                 out_buf: None,
                 pool: Vec::new(),
                 pool_fresh: 0,
@@ -266,18 +413,22 @@ impl CommGroup {
             slots: ReduceSlots {
                 inputs: UnsafeCell::new(Vec::new()),
                 out: AtomicPtr::new(std::ptr::null_mut()),
+                work: UnsafeCell::new(None),
                 cursor: AtomicUsize::new(usize::MAX),
                 done: AtomicUsize::new(0),
             },
-            plan: ChunkPlan::new(len, chunk_elems),
+            len,
+            policy,
             journal: OnceLock::new(),
             time: OnceLock::new(),
+            metrics: OnceLock::new(),
         }
     }
 
     /// Attaches the runtime's event journal (one-shot; later calls are
     /// ignored). Rounds, evictions, and reconfigurations then emit
-    /// [`EventKind::AllreduceRound`]-family events.
+    /// [`EventKind::AllreduceRound`]-family events, and every publish
+    /// journals its strategy via [`EventKind::AllreducePath`].
     pub fn set_journal(&self, journal: Arc<EventJournal>) {
         let _ = self.journal.set(journal);
     }
@@ -287,6 +438,17 @@ impl CommGroup {
     /// park on the clock so the scheduler can account for them.
     pub fn set_time(&self, time: TimeSource) {
         let _ = self.time.set(time);
+    }
+
+    /// Attaches per-path round-latency histograms from the runtime's
+    /// metrics registry (one-shot; later calls are ignored). Rounds then
+    /// record `allreduce.<path>.round_us`.
+    pub fn set_metrics(&self, registry: &MetricsRegistry) {
+        let _ = self.metrics.set(PathMetrics {
+            flat: registry.histogram("allreduce.flat.round_us"),
+            chunked: registry.histogram("allreduce.chunked.round_us"),
+            hier: registry.histogram("allreduce.hier.round_us"),
+        });
     }
 
     /// The attached virtual clock, if any (`None` in real time — the
@@ -329,9 +491,29 @@ impl CommGroup {
         self.state.lock().members.len() as u32
     }
 
-    /// The reduction chunk size in elements.
+    /// Number of contributions parked in the open round (diagnostic —
+    /// the value is stale the moment the lock drops).
+    pub fn pending_contributions(&self) -> usize {
+        self.state.lock().contributions.len()
+    }
+
+    /// The reduction chunk size (elements) a full-membership round would
+    /// use on the chunked path: the fixed size for
+    /// [`CommGroup::with_chunk_elems`] groups, else the world-coupled
+    /// [`adaptive_chunk_elems`] derivation.
     pub fn chunk_elems(&self) -> usize {
-        self.plan.chunk_elems()
+        match &self.policy {
+            PathPolicy::FixedChunk { chunk_elems } => *chunk_elems,
+            PathPolicy::Adaptive { .. } => adaptive_chunk_elems(self.len, self.world_size()),
+        }
+    }
+
+    /// The strategy the dispatcher would select for a full-membership
+    /// round right now (the actual choice is re-made at every round
+    /// publish from the members present).
+    pub fn planned_path(&self) -> ReducePath {
+        let st = self.state.lock();
+        self.select_path(st.members.len() as u32, &st.members)
     }
 
     /// Fresh `O(len)` accumulator allocations performed so far. Flat
@@ -339,6 +521,31 @@ impl CommGroup {
     /// instead of allocating per round.
     pub fn pool_allocations(&self) -> u64 {
         self.state.lock().pool_fresh
+    }
+
+    /// Per-round dispatch: flat below the length crossover, hierarchical
+    /// for large worlds with enough topology groups, chunked otherwise.
+    fn select_path(&self, world: u32, members: &BTreeSet<WorkerId>) -> ReducePath {
+        match &self.policy {
+            PathPolicy::FixedChunk { .. } => ReducePath::Chunked,
+            PathPolicy::Adaptive { profile, topology } => {
+                if world <= 1 || self.len <= profile.flat_max_len {
+                    ReducePath::Flat
+                } else if world >= profile.hier_min_world {
+                    match topology {
+                        Some(t)
+                            if hier::domain_count(t, members.iter().copied())
+                                >= MIN_HIER_GROUPS =>
+                        {
+                            ReducePath::Hier
+                        }
+                        _ => ReducePath::Chunked,
+                    }
+                } else {
+                    ReducePath::Chunked
+                }
+            }
+        }
     }
 
     /// Contributes `data` to the current round and blocks until every
@@ -362,7 +569,8 @@ impl CommGroup {
     ///
     /// While blocked, the caller also *works*: once the round's inputs
     /// are complete, every parked caller claims reduction chunks from the
-    /// shared cursor instead of idling on the condvar.
+    /// shared (or, on the hierarchical path, its own group's) cursor
+    /// instead of idling on the condvar.
     ///
     /// # Panics
     ///
@@ -377,11 +585,7 @@ impl CommGroup {
         if !st.members.contains(&worker) {
             return AllreduceOutcome::NotMember;
         }
-        assert_eq!(
-            self.plan.total_elems(),
-            data.len(),
-            "vector length mismatch"
-        );
+        assert_eq!(self.len, data.len(), "vector length mismatch");
         match st.contributions.binary_search_by_key(&worker, |(w, _)| *w) {
             Ok(_) => return AllreduceOutcome::DuplicateContribution,
             Err(pos) => st
@@ -389,13 +593,18 @@ impl CommGroup {
                 .insert(pos, (worker, SharedSlice::new(data))),
         }
         let my_round = st.round;
-        // Announce the contribution: waiters re-check their predicates
-        // (and the test helpers waiting for a partial round see it land
-        // without polling).
+        // Announce the contribution to the test-only partial-round
+        // watchers (`wait_for_contributions`). Production waiters only
+        // care about publish/finish, and waking `world` parked threads
+        // per contribution is an O(world²) context-switch storm per
+        // round — measurably sinking the flat path at world ≥ 8 — so
+        // the notify stays out of non-test builds.
+        #[cfg(test)]
         self.cvar.notify_all();
 
         if st.contributions.len() == st.members.len() {
-            // Last arriver: publish the reduction and join the helpers.
+            // Last arriver: publish the reduction (the flat path completes
+            // it right here; the others hand work to the helpers below).
             self.publish_round(&mut st);
         }
         // Wait for the round to publish its result, helping with the
@@ -405,7 +614,7 @@ impl CommGroup {
         while st.result_round != my_round {
             if !helped && st.reducing == Some(my_round) {
                 drop(st);
-                self.help_reduce();
+                self.help_reduce(Some(worker));
                 helped = true;
                 st = self.state.lock();
                 continue;
@@ -437,79 +646,234 @@ impl CommGroup {
         }
     }
 
-    /// Transitions the open round into the cooperative-reduction phase.
-    /// Must be called with the lock held and a complete contribution set.
-    #[allow(clippy::expect_used)] // waived: see verify-allow.toml (CommGroup::publish_round)
-    fn publish_round(&self, st: &mut GroupState) {
-        debug_assert!(st.reducing.is_none(), "previous reduction still active");
-        debug_assert!(!st.contributions.is_empty());
-        // Acquire an output accumulator: recycle a pooled buffer whose
-        // previous consumers have all dropped their handles, else allocate.
+    /// Acquires an output accumulator: recycles a pooled buffer whose
+    /// previous consumers have all dropped their handles, else allocates.
+    /// Returns the buffer and its (uniquely owned) base pointer.
+    #[allow(clippy::expect_used)] // waived: see verify-allow.toml (CommGroup::acquire_accumulator)
+    fn acquire_accumulator(&self, st: &mut GroupState) -> (Arc<Vec<f32>>, *mut f32) {
         let mut buf = match st.pool.iter().position(|b| Arc::strong_count(b) == 1) {
             Some(i) => st.pool.swap_remove(i),
             None => {
                 st.pool_fresh += 1;
-                Arc::new(vec![0.0f32; self.plan.total_elems()])
+                Arc::new(vec![0.0f32; self.len])
             }
         };
-        let out_ptr = Arc::get_mut(&mut buf)
+        let ptr = Arc::get_mut(&mut buf)
             .expect("pooled buffer uniquely owned")
             .as_mut_ptr();
+        (buf, ptr)
+    }
+
+    /// Closes the open round: selects a strategy for the contributors
+    /// actually present and either completes the reduction inline (flat)
+    /// or transitions into the cooperative-reduction phase (chunked /
+    /// hierarchical). Must be called with the lock held and a complete
+    /// contribution set.
+    fn publish_round(&self, st: &mut GroupState) {
+        debug_assert!(st.reducing.is_none(), "previous reduction still active");
+        debug_assert!(!st.contributions.is_empty());
+        let world = st.members.len() as u32;
+        let round = st.round;
+        let path = self.select_path(world, &st.members);
+        let now_us = self.journal.get().map(|j| j.now_us()).unwrap_or(0);
+
+        if path == ReducePath::Flat {
+            // Flat fast path: reduce inline under the lock. No cursor, no
+            // round-buffer handoff, no per-chunk atomics — the entire
+            // round completes before the lock drops.
+            let (buf, out_ptr) = self.acquire_accumulator(st);
+            // SAFETY: `buf` is uniquely owned (checked by
+            // `acquire_accumulator`) and we hold the group lock; the
+            // contributions are borrowed slices of contributors parked
+            // for the whole round (see `SharedSlice`).
+            unsafe {
+                let out = std::slice::from_raw_parts_mut(out_ptr, self.len);
+                flat::reduce_into(&st.contributions, out);
+            }
+            st.contributions.clear();
+            if let Some(journal) = self.journal.get() {
+                journal.emit(EventKind::AllreducePath {
+                    round,
+                    path,
+                    world,
+                    groups: 1,
+                });
+            }
+            if let Some(m) = self.metrics.get() {
+                let elapsed = self
+                    .journal
+                    .get()
+                    .map(|j| j.now_us().saturating_sub(now_us))
+                    .unwrap_or(0);
+                m.for_path(path).record(elapsed);
+            }
+            self.install_result(st, buf, round, world);
+            return;
+        }
+
+        // Cooperative paths: build this round's work plan from the
+        // contributors actually present (membership may have shrunk since
+        // the last round — the plan, including hierarchical groups, is
+        // re-derived every time).
+        let (work, path) = match path {
+            ReducePath::Hier => {
+                let workers: Vec<WorkerId> = st.contributions.iter().map(|(w, _)| *w).collect();
+                let topology = match &self.policy {
+                    PathPolicy::Adaptive {
+                        topology: Some(t), ..
+                    } => t,
+                    // select_path only returns Hier with a topology.
+                    _ => unreachable!("hier path selected without a topology"),
+                };
+                let groups = hier::plan_groups(topology, &workers, self.len);
+                if groups.len() >= MIN_HIER_GROUPS {
+                    (RoundWork::hier(groups), ReducePath::Hier)
+                } else {
+                    // Tiny vectors can collapse every span into one group;
+                    // a single cursor is then strictly better.
+                    (self.chunked_work(world), ReducePath::Chunked)
+                }
+            }
+            _ => (self.chunked_work(world), ReducePath::Chunked),
+        };
+        let n_chunks = work.n_chunks();
+        let groups = work.n_groups() as u32;
+
+        let (buf, out_ptr) = self.acquire_accumulator(st);
         // SAFETY: no helper holds a claimed chunk (the previous round's
         // chunks were all done before its result published, and a new
         // round cannot publish before the previous result does), so we
-        // have exclusive access to `inputs` under the lock.
-        let inputs = unsafe { &mut *self.slots.inputs.get() };
-        inputs.clear();
-        inputs.extend(st.contributions.iter().map(|(_, s)| *s));
+        // have exclusive access to `inputs` and `work` under the lock.
+        unsafe {
+            let inputs = &mut *self.slots.inputs.get();
+            inputs.clear();
+            inputs.extend(st.contributions.iter().map(|(_, s)| *s));
+            *self.slots.work.get() = Some(work);
+        }
         st.contributions.clear();
         self.slots.out.store(out_ptr, Ordering::Relaxed);
         self.slots.done.store(0, Ordering::Relaxed);
-        // The Release reset publishes `inputs`/`out`/`done` to every
-        // helper whose claiming fetch_add observes it.
-        self.slots.cursor.store(0, Ordering::Release);
+        // The Release reset publishes `inputs`/`work`/`out`/`done` to
+        // every helper whose claiming fetch_add observes it.
+        self.slots.cursor.store(
+            if n_chunks == 0 { usize::MAX } else { 0 },
+            Ordering::Release,
+        );
         st.out_buf = Some(buf);
-        st.reducing = Some(st.round);
-        st.reducing_world = st.members.len() as u32;
+        st.reducing = Some(round);
+        st.reducing_world = world;
+        st.reducing_path = path;
+        st.reducing_since_us = now_us;
+        if let Some(journal) = self.journal.get() {
+            journal.emit(EventKind::AllreducePath {
+                round,
+                path,
+                world,
+                groups,
+            });
+        }
         // Wake parked waiters so they become reduction helpers.
         self.cvar.notify_all();
         self.wake_virtual();
     }
 
-    /// Claims and reduces chunks until the cursor is exhausted. The
-    /// thread that completes the final chunk publishes the result.
-    fn help_reduce(&self) {
-        let n_chunks = self.plan.n_chunks();
-        loop {
-            let c = self.slots.cursor.fetch_add(1, Ordering::AcqRel);
-            if c >= n_chunks {
-                return;
-            }
-            let range = self.plan.range(c);
-            // SAFETY: chunk `c` was claimed by exactly this thread (the
-            // fetch_add is a unique ticket), so the output range is
-            // written by one thread only; the inputs are borrowed slices
-            // of contributors parked for the whole round (see
-            // `SharedSlice`); the AcqRel claim synchronizes-with the
-            // publishing Release store, making `inputs`/`out` visible.
-            unsafe {
-                let out_base = self.slots.out.load(Ordering::Relaxed);
-                let inputs = &*self.slots.inputs.get();
-                let out = std::slice::from_raw_parts_mut(out_base.add(range.start), range.len());
-                // Sum in ascending worker-id order: initialize from the
-                // first contribution (no zeroing pass), then accumulate.
-                // Per element this is the exact addition sequence of
-                // `reference_sum`, so the result is bit-deterministic.
-                out.copy_from_slice(&inputs[0].slice()[range.clone()]);
-                for inp in &inputs[1..] {
-                    let src = &inp.slice()[range.clone()];
-                    for (o, &v) in out.iter_mut().zip(src) {
-                        *o += v;
+    /// The chunked path's work plan for a `world`-member round.
+    fn chunked_work(&self, world: u32) -> RoundWork {
+        let chunk = match &self.policy {
+            PathPolicy::FixedChunk { chunk_elems } => *chunk_elems,
+            PathPolicy::Adaptive { .. } => adaptive_chunk_elems(self.len, world),
+        };
+        RoundWork::chunked(self.len, chunk)
+    }
+
+    /// Claims and reduces chunks until every cursor this thread may drain
+    /// is exhausted. The thread that completes the final chunk publishes
+    /// the result. `me` is the helping contributor (if any): on the
+    /// hierarchical path it drains its own group's span first and then
+    /// steals cross-group only if it is the group's leader; an anonymous
+    /// helper (an evicting thread) sweeps every group.
+    fn help_reduce(&self, me: Option<WorkerId>) {
+        // SAFETY: callers observed `reducing == Some(round)` under the
+        // group lock (or published the round themselves), which
+        // happens-after `publish_round`'s writes to the slots.
+        let work = unsafe { &*self.slots.work.get() };
+        let Some(work) = work else { return };
+        match work {
+            RoundWork::Chunked { plan } => {
+                let n_chunks = plan.n_chunks();
+                loop {
+                    let c = self.slots.cursor.fetch_add(1, Ordering::AcqRel);
+                    if c >= n_chunks {
+                        return;
+                    }
+                    // SAFETY: chunk `c` was claimed by exactly this thread
+                    // (the fetch_add is a unique ticket), so the output
+                    // range is written by one thread only; the inputs are
+                    // borrowed slices of contributors parked for the whole
+                    // round (see `SharedSlice`).
+                    unsafe {
+                        chunked::reduce_range(
+                            &*self.slots.inputs.get(),
+                            self.slots.out.load(Ordering::Relaxed),
+                            plan.range(c),
+                        );
+                    }
+                    if self.slots.done.fetch_add(1, Ordering::AcqRel) + 1 == n_chunks {
+                        self.finish_round();
+                        return;
                     }
                 }
             }
-            if self.slots.done.fetch_add(1, Ordering::AcqRel) + 1 == n_chunks {
-                self.finish_round();
+            RoundWork::Hier { groups, n_chunks } => {
+                self.drain_hier(me, groups, *n_chunks);
+            }
+        }
+    }
+
+    /// The hierarchical drain: own group's span first; then, for group
+    /// leaders (min-id member) and anonymous helpers, a cross-group sweep
+    /// so the tail cannot starve even if other groups' members are all
+    /// momentarily outside the lock in `on_wait` callbacks.
+    fn drain_hier(&self, me: Option<WorkerId>, groups: &[hier::GroupWork], n_chunks: usize) {
+        let own = me.and_then(|w| groups.iter().position(|g| g.has_member(w)));
+        let is_leader = match (me, own) {
+            (Some(w), Some(i)) => groups[i].leader() == w,
+            // Anonymous helpers and members whose span collapsed to
+            // nothing sweep everything.
+            _ => true,
+        };
+        let start = own.unwrap_or(0);
+        for i in 0..groups.len() {
+            let g = &groups[(start + i) % groups.len()];
+            let group_chunks = g.plan.n_chunks();
+            loop {
+                let c = g.cursor.fetch_add(1, Ordering::AcqRel);
+                if c >= group_chunks {
+                    break;
+                }
+                let local = g.plan.range(c);
+                let range = (g.span_start + local.start)..(g.span_start + local.end);
+                // SAFETY: chunk `c` of this group was claimed by exactly
+                // this thread (unique ticket); the global range is disjoint
+                // across groups (contiguous spans) and across chunks within
+                // a group, so each output element is written once.
+                unsafe {
+                    chunked::reduce_range(
+                        &*self.slots.inputs.get(),
+                        self.slots.out.load(Ordering::Relaxed),
+                        range,
+                    );
+                }
+                if self.slots.done.fetch_add(1, Ordering::AcqRel) + 1 == n_chunks {
+                    self.finish_round();
+                    return;
+                }
+            }
+            if !is_leader {
+                // Non-leaders stop after their own span: the leaders
+                // finish the tail among themselves (less cursor traffic),
+                // and the round-completion broadcast releases everyone.
+                return;
             }
         }
     }
@@ -520,18 +884,28 @@ impl CommGroup {
     fn finish_round(&self) {
         let mut st = self.state.lock();
         let buf = st.out_buf.take().expect("reducing buffer present");
+        let round = st.reducing.take().expect("round was reducing");
+        let world = st.reducing_world;
+        if let (Some(m), Some(j)) = (self.metrics.get(), self.journal.get()) {
+            m.for_path(st.reducing_path)
+                .record(j.now_us().saturating_sub(st.reducing_since_us));
+        }
+        self.install_result(&mut st, buf, round, world);
+    }
+
+    /// Installs a completed round's accumulator as the published result,
+    /// keeps a pool handle for recycling, journals the round, and wakes
+    /// every waiter. Lock held.
+    fn install_result(&self, st: &mut GroupState, buf: Arc<Vec<f32>>, round: u64, world: u32) {
         // Keep a pool handle so the buffer is recycled once every
         // consumer of this sum drops its Arc.
         st.pool.push(Arc::clone(&buf));
         st.result = buf;
-        st.result_round = st.reducing.take().expect("round was reducing");
-        st.result_world = st.reducing_world;
-        st.round = st.result_round + 1;
+        st.result_round = round;
+        st.result_world = world;
+        st.round = round + 1;
         if let Some(journal) = self.journal.get() {
-            journal.emit(EventKind::AllreduceRound {
-                round: st.result_round,
-                world: st.result_world,
-            });
+            journal.emit(EventKind::AllreduceRound { round, world });
         }
         self.cvar.notify_all();
         self.wake_virtual();
@@ -544,10 +918,13 @@ impl CommGroup {
     /// If the victim was the only member the round was still waiting for,
     /// eviction completes the round on the spot, releasing the surviving
     /// members with a sum over the survivors — [`AllreduceOutcome::Sum`]
-    /// carries the shrunken `world` so their averages stay correct. This
-    /// is the data-plane half of failure-driven scale-in: the control
-    /// plane evicts first so nobody blocks, then reconfigures the group at
-    /// the next boundary. The evicting thread itself helps reduce, so the
+    /// carries the shrunken `world` so their averages stay correct. The
+    /// round's strategy (and, on the hierarchical path, its group plan)
+    /// is selected at this publish from the *surviving* contributors, so
+    /// a membership change mid-round re-plans automatically. This is the
+    /// data-plane half of failure-driven scale-in: the control plane
+    /// evicts first so nobody blocks, then reconfigures the group at the
+    /// next boundary. The evicting thread itself helps reduce, so the
     /// round is guaranteed to complete even if every survivor is
     /// momentarily outside the lock in its `on_wait` callback.
     pub fn evict(&self, worker: WorkerId) -> bool {
@@ -568,14 +945,21 @@ impl CommGroup {
             && st.contributions.len() == st.members.len()
         {
             self.publish_round(&mut st);
+            // The flat path completes inline; only a cooperative
+            // publication needs the evictor's help.
+            let published = st.reducing.is_some();
             drop(st);
-            self.help_reduce();
+            if published {
+                self.help_reduce(None);
+            }
         }
         was_member
     }
 
     /// Reconstructs the communication group (step ⑤): replaces the member
     /// set and bumps the generation. Must not race an in-flight round.
+    /// Hierarchical group plans need no explicit invalidation — they are
+    /// re-derived from the member set at every round publish.
     ///
     /// # Panics
     ///
@@ -604,7 +988,7 @@ impl CommGroup {
 /// The bit-exact reference reduction: element-wise sum of `inputs` in the
 /// order given (callers pass contributions sorted by worker id). Every
 /// output element sees the additions `((in₀ + in₁) + in₂) + …` — the
-/// sequence [`CommGroup`] reproduces chunk-by-chunk.
+/// sequence every [`CommGroup`] path reproduces chunk-by-chunk.
 ///
 /// # Panics
 ///
@@ -629,8 +1013,10 @@ pub fn reference_sum<S: AsRef<[f32]>>(inputs: &[S]) -> Vec<f32> {
 /// Every caller heap-copies its contribution (`data.to_vec()`), and the
 /// last arriver allocates a fresh accumulator and serially sums
 /// `world × len` floats **while holding the group lock** — the naive
-/// data plane the chunked [`CommGroup`] is measured against in
-/// `BENCH_dataplane.json`. Not used by the live runtime.
+/// data plane the adaptive [`CommGroup`] is measured against in
+/// `BENCH_dataplane.json`. (Note the difference from the adaptive
+/// [`flat`] fast path, which copies nothing and allocates nothing in the
+/// steady state.) Not used by the live runtime.
 pub mod naive {
     use super::*;
     use std::collections::BTreeMap;
@@ -731,6 +1117,7 @@ pub mod naive {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use elan_topology::{ClusterSpec, Placement};
     use std::thread;
 
     fn spawn_allreduce(
@@ -740,6 +1127,11 @@ mod tests {
     ) -> thread::JoinHandle<AllreduceOutcome> {
         let g = Arc::clone(group);
         thread::spawn(move || g.allreduce(worker, &data))
+    }
+
+    /// An 8-GPUs-per-node, 4-per-socket test cluster (4 nodes).
+    fn test_topology() -> CommTopology {
+        CommTopology::new(Placement::linear(ClusterSpec::new(4, 2, 2, 2).build()))
     }
 
     #[test]
@@ -862,6 +1254,26 @@ mod tests {
     }
 
     #[test]
+    fn evict_unblocks_a_waiting_cooperative_round() {
+        // Same as above but forced onto the chunked engine, so the
+        // eviction publishes cooperative work and must help drain it.
+        let group = Arc::new(CommGroup::with_chunk_elems((0..3).map(WorkerId), 64, 8));
+        let h0 = spawn_allreduce(&group, WorkerId(0), vec![1.0; 64]);
+        let h1 = spawn_allreduce(&group, WorkerId(1), vec![2.0; 64]);
+        group.wait_for_contributions(2);
+        assert!(group.evict(WorkerId(2)));
+        for h in [h0, h1] {
+            match h.join().unwrap() {
+                AllreduceOutcome::Sum { sum, world } => {
+                    assert_eq!(sum[0], 3.0);
+                    assert_eq!(world, 2);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn evict_non_member_is_a_noop() {
         let group = CommGroup::new([WorkerId(0)], 2);
         assert!(!group.evict(WorkerId(9)));
@@ -926,6 +1338,49 @@ mod tests {
     }
 
     #[test]
+    fn many_threads_many_rounds_hier_stress() {
+        // Hierarchical counterpart of the stress test: 10 workers over a
+        // 4-per-socket topology (3 groups), vector long enough to clear
+        // the pinned flat crossover.
+        let n = 10u32;
+        let rounds = 30u64;
+        let len = tune::PINNED_FLAT_MAX_LEN * 2;
+        let profile = TuningProfile {
+            flat_max_len: tune::PINNED_FLAT_MAX_LEN,
+            hier_min_world: 2,
+        };
+        let group = Arc::new(CommGroup::with_tuning(
+            (0..n).map(WorkerId),
+            len,
+            profile,
+            Some(test_topology()),
+        ));
+        assert_eq!(group.planned_path(), ReducePath::Hier);
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let g = Arc::clone(&group);
+                thread::spawn(move || {
+                    let mut acc = 0.0f64;
+                    for r in 0..rounds {
+                        let data = vec![(i as f32) + (r as f32); len];
+                        match g.allreduce(WorkerId(i), &data) {
+                            AllreduceOutcome::Sum { sum, .. } => {
+                                acc += sum[0] as f64 + sum[len - 1] as f64
+                            }
+                            _ => panic!("membership lost"),
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        let results: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(*r, results[0]);
+        }
+    }
+
+    #[test]
     fn chunked_matches_reference_bitwise() {
         // Irregular length with a chunk size that does not divide it.
         let len = 1030;
@@ -958,6 +1413,82 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn flat_and_hier_match_reference_bitwise() {
+        // The same irregular inputs through the flat and hierarchical
+        // engines must reproduce `reference_sum` bit-for-bit.
+        let len = 1030;
+        let world = 9u32; // 3 socket groups of 4+4+1 on the test topology
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|w| {
+                (0..len)
+                    .map(|j| ((w as f32 + 0.7) * 0.3 + j as f32 * 2e-3).cos())
+                    .collect()
+            })
+            .collect();
+        let expect: Vec<u32> = reference_sum(&inputs).iter().map(|v| v.to_bits()).collect();
+        let flat_profile = TuningProfile {
+            flat_max_len: usize::MAX,
+            hier_min_world: u32::MAX,
+        };
+        let hier_profile = TuningProfile {
+            flat_max_len: 0,
+            hier_min_world: 2,
+        };
+        for (profile, topo, want_path) in [
+            (flat_profile, None, ReducePath::Flat),
+            (hier_profile, Some(test_topology()), ReducePath::Hier),
+        ] {
+            let group = Arc::new(CommGroup::with_tuning(
+                (0..world).map(WorkerId),
+                len,
+                profile,
+                topo,
+            ));
+            assert_eq!(group.planned_path(), want_path);
+            let handles: Vec<_> = inputs
+                .iter()
+                .enumerate()
+                .map(|(w, data)| spawn_allreduce(&group, WorkerId(w as u32), data.clone()))
+                .collect();
+            for h in handles {
+                match h.join().unwrap() {
+                    AllreduceOutcome::Sum { sum, .. } => {
+                        let got: Vec<u32> = sum.iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(got, expect, "{want_path} bitwise mismatch");
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_selects_by_world_and_len() {
+        let profile = TuningProfile {
+            flat_max_len: 1024,
+            hier_min_world: 8,
+        };
+        // Small message: flat regardless of world size.
+        let g = CommGroup::with_tuning((0..16).map(WorkerId), 1024, profile, Some(test_topology()));
+        assert_eq!(g.planned_path(), ReducePath::Flat);
+        // Mid-range world: chunked.
+        let g = CommGroup::with_tuning((0..4).map(WorkerId), 4096, profile, Some(test_topology()));
+        assert_eq!(g.planned_path(), ReducePath::Chunked);
+        // Large world with topology groups: hierarchical.
+        let g = CommGroup::with_tuning((0..16).map(WorkerId), 4096, profile, Some(test_topology()));
+        assert_eq!(g.planned_path(), ReducePath::Hier);
+        // Large world, no topology: stays chunked.
+        let g = CommGroup::with_tuning((0..16).map(WorkerId), 4096, profile, None);
+        assert_eq!(g.planned_path(), ReducePath::Chunked);
+        // Single member: always flat (nothing to cooperate on).
+        let g = CommGroup::with_tuning([WorkerId(0)], 4096, profile, None);
+        assert_eq!(g.planned_path(), ReducePath::Flat);
+        // Fixed-chunk compatibility groups never dispatch.
+        let g = CommGroup::with_chunk_elems((0..16).map(WorkerId), 1024, 64);
+        assert_eq!(g.planned_path(), ReducePath::Chunked);
     }
 
     #[test]
@@ -1012,6 +1543,8 @@ mod tests {
     fn steady_state_reuses_pooled_buffers() {
         // After warm-up the pool must satisfy every round: the fresh
         // allocation counter goes flat (zero O(len) allocations/round).
+        // len == the pinned flat crossover, so this exercises the flat
+        // fast path's pool discipline too.
         let n = 4u32;
         let warmup = 5u64;
         let rounds = 60u64;
@@ -1065,5 +1598,13 @@ mod tests {
         let a = [1.0f32, 2.0];
         let b = [10.0f32, 20.0];
         assert_eq!(reference_sum(&[a, b]), vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn path_names_are_stable() {
+        assert_eq!(ReducePath::Flat.name(), "flat");
+        assert_eq!(ReducePath::Chunked.name(), "chunked");
+        assert_eq!(ReducePath::Hier.name(), "hier");
+        assert_eq!(ReducePath::Hier.to_string(), "hier");
     }
 }

@@ -50,7 +50,10 @@ pub mod worker;
 
 pub use bus::{Bus, Endpoint, EndpointId, EndpointStats, Envelope, RtMsg};
 pub use chaos::{ChaosPolicy, ChaosStats, EdgeChaos, PartitionWindow};
-pub use comm::{reference_sum, AllreduceOutcome, CommGroup, DEFAULT_CHUNK_ELEMS};
+pub use comm::{
+    adaptive_chunk_elems, reference_sum, AllreduceOutcome, CommGroup, CommTopology, ReducePath,
+    TuningProfile, DEFAULT_CHUNK_ELEMS,
+};
 pub use liveness::CrashPoint;
 pub use obs::{
     render_trace_report, AdjustmentTrace, ChaosFate, Event, EventJournal, EventKind, EventSink,

@@ -184,6 +184,18 @@ pub enum EventKind {
         /// Contributors reduced over.
         world: u32,
     },
+    /// An allreduce round was published with a chosen reduction strategy
+    /// (the adaptive dispatcher's per-round decision).
+    AllreducePath {
+        /// The round being published.
+        round: u64,
+        /// The strategy serving it.
+        path: crate::comm::ReducePath,
+        /// Contributors in the round.
+        world: u32,
+        /// Parallel work groups (1 unless hierarchical).
+        groups: u32,
+    },
     /// The communication group was rebuilt (step ⑤).
     CommReconfigured {
         /// The new generation.
@@ -284,6 +296,7 @@ impl EventKind {
             EventKind::SnapshotStreamed { .. } => "snapshot_streamed",
             EventKind::SnapshotApplied { .. } => "snapshot_applied",
             EventKind::AllreduceRound { .. } => "allreduce_round",
+            EventKind::AllreducePath { .. } => "allreduce_path",
             EventKind::CommReconfigured { .. } => "comm_reconfigured",
             EventKind::WorkerEvicted { .. } => "worker_evicted",
             EventKind::MessageResent { .. } => "message_resent",

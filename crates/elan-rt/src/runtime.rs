@@ -39,7 +39,7 @@ use elan_topology::{ClusterSpec, GpuId, ReplicationPlanner, Topology};
 
 use crate::bus::{Bus, Endpoint, EndpointId, RtMsg};
 use crate::chaos::{ChaosPolicy, ChaosStats, PartitionWindow};
-use crate::comm::CommGroup;
+use crate::comm::{CommGroup, CommTopology, TuningProfile};
 use crate::liveness::{AmDurable, AmPhase, CrashPoint, HeartbeatMonitor, PendingOp, SharedControl};
 use crate::obs::{
     render_trace_report, AdjustmentTrace, Event, EventKind, EventSink, JournalSummary, Obs,
@@ -240,6 +240,8 @@ pub struct RuntimeBuilder {
     sinks: Vec<Arc<dyn EventSink>>,
     ring_capacity: usize,
     time: TimeSource,
+    topology: Option<CommTopology>,
+    tuning: Option<TuningProfile>,
 }
 
 impl std::fmt::Debug for RuntimeBuilder {
@@ -251,6 +253,8 @@ impl std::fmt::Debug for RuntimeBuilder {
             .field("sinks", &self.sinks.len())
             .field("ring_capacity", &self.ring_capacity)
             .field("time", &self.time)
+            .field("topology", &self.topology.is_some())
+            .field("tuning", &self.tuning)
             .finish()
     }
 }
@@ -264,6 +268,8 @@ impl RuntimeBuilder {
             sinks: Vec::new(),
             ring_capacity: DEFAULT_RING_CAPACITY,
             time: TimeSource::real(),
+            topology: None,
+            tuning: None,
         }
     }
 
@@ -325,6 +331,23 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Describes where each worker "lives" in the cluster hierarchy for
+    /// the adaptive allreduce's hierarchical path ([`CommTopology`]).
+    /// Defaults to [`CommTopology::planning_default`] — the same 64-node
+    /// shape the replication planner assumes, workers placed linearly.
+    pub fn topology(mut self, topology: CommTopology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Pins the adaptive allreduce's crossover profile, overriding the
+    /// startup probe (real time) or the pinned defaults (virtual time).
+    /// Benchmarks use this to force a specific path.
+    pub fn tuning(mut self, profile: TuningProfile) -> Self {
+        self.tuning = Some(profile);
+        self
+    }
+
     /// Validates the configuration and launches the job.
     ///
     /// # Errors
@@ -360,6 +383,8 @@ impl RuntimeBuilder {
             self.ring_capacity,
             self.sinks,
             self.time,
+            self.topology,
+            self.tuning,
         ))
     }
 }
@@ -372,6 +397,7 @@ impl ElasticRuntime {
     }
 
     #[allow(clippy::expect_used)] // waived: see verify-allow.toml (OS thread spawn)
+    #[allow(clippy::too_many_arguments)] // internal: the builder is the only caller
     fn launch(
         cfg: RuntimeConfig,
         restore: Option<CheckpointSnapshot>,
@@ -379,6 +405,8 @@ impl ElasticRuntime {
         ring_capacity: usize,
         sinks: Vec<Arc<dyn EventSink>>,
         time: TimeSource,
+        topology: Option<CommTopology>,
+        tuning: Option<TuningProfile>,
     ) -> Self {
         // The controller (this thread) joins the clock first, so that on a
         // virtual clock every thread spawned below is scheduled
@@ -397,9 +425,21 @@ impl ElasticRuntime {
         // Seed the durable record before anything can crash.
         ctrl.persist(&AmDurable::founding(members.clone()));
 
-        let comm = Arc::new(CommGroup::new(members.iter().copied(), cfg.param_elems));
+        // The adaptive allreduce needs its crossovers (probed once per
+        // process on real time, pinned under virtual time so dispatch is
+        // a pure function of the seed) and a topology for the
+        // hierarchical path's node/socket grouping.
+        let profile = tuning.unwrap_or_else(|| TuningProfile::for_time(&time));
+        let comm_topology = topology.unwrap_or_default();
+        let comm = Arc::new(CommGroup::with_tuning(
+            members.iter().copied(),
+            cfg.param_elems,
+            profile,
+            Some(comm_topology),
+        ));
         comm.set_journal(Arc::clone(&ctrl.obs.journal));
         comm.set_time(time.clone());
+        comm.set_metrics(&ctrl.obs.registry);
         let telemetry: Telemetry = Arc::new(Mutex::new(HashMap::new()));
         let rep = ReliableEndpoint::new(
             bus.clone(),

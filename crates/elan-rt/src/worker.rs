@@ -577,9 +577,11 @@ pub fn run_worker(
         }
         // Forward/backward: the synthetic kernel.
         gradient(cfg.id, iteration, &mut grad);
-        // Gradient aggregation over the collective group. While blocked on
-        // slower members we keep heartbeating so the failure detector can
-        // tell a victim from its hostages.
+        // Gradient aggregation over the collective group. The group picks
+        // the engine (flat / chunked / hierarchical) per round from the
+        // contributor set and vector length; workers just contribute and
+        // help. While blocked on slower members we keep heartbeating so
+        // the failure detector can tell a victim from its hostages.
         let outcome = {
             let rep = &mut rep;
             let last_hb = &mut last_hb;

@@ -39,11 +39,13 @@
 pub mod bandwidth;
 pub mod cluster;
 pub mod link;
+pub mod placement;
 pub mod planner;
 pub mod tree;
 
 pub use bandwidth::BandwidthModel;
 pub use cluster::{ClusterSpec, GpuId, GpuLocation, NodeId, Topology};
 pub use link::{LinkLevel, Transport};
+pub use placement::{Placement, SocketDomain};
 pub use planner::{PlanError, ReplicationPlan, ReplicationPlanner, Transfer};
 pub use tree::{TopologyTree, TreeNode};

@@ -1,0 +1,141 @@
+//! Worker-rank → GPU placement: where each data-parallel rank "lives" in
+//! the cluster hierarchy.
+//!
+//! The planner (§IV) already answers *pairwise* link questions between
+//! GPUs; the adaptive allreduce additionally needs the *partition* view —
+//! which ranks share a node/socket locality domain — so it can build
+//! hierarchical reduction groups that never ship chunk-cursor traffic
+//! across a socket boundary. [`Placement`] is that map: a rank-indexed
+//! assignment of GPU slots, defaulting to the linear row-major fill that
+//! schedulers use for gang placement.
+
+use crate::cluster::{GpuId, NodeId, Topology};
+
+/// A locality domain: one CPU socket of one node. Ranks placed in the
+/// same domain reach each other at L1/L2 (PCIe), never over QPI or the
+/// network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SocketDomain {
+    /// The hosting node.
+    pub node: NodeId,
+    /// Socket index within the node.
+    pub socket: u32,
+}
+
+impl std::fmt::Display for SocketDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/socket{}", self.node, self.socket)
+    }
+}
+
+/// A rank-indexed GPU assignment over a [`Topology`].
+///
+/// Ranks beyond the explicit slot list (elastic jobs allocate worker ids
+/// without an upper bound) wrap around the cluster modulo its GPU count,
+/// so every rank always has *a* deterministic home.
+///
+/// # Examples
+///
+/// ```
+/// use elan_topology::{ClusterSpec, Placement};
+///
+/// let placement = Placement::linear(ClusterSpec::paper_testbed().build());
+/// // Ranks 0..8 fill node 0; rank 8 starts node 1.
+/// assert_eq!(placement.domain_of(0), placement.domain_of(3));
+/// assert_ne!(placement.domain_of(0), placement.domain_of(4)); // next socket
+/// assert_ne!(placement.domain_of(7), placement.domain_of(8)); // next node
+/// ```
+#[derive(Debug, Clone)]
+pub struct Placement {
+    topo: Topology,
+    slots: Vec<GpuId>,
+}
+
+impl Placement {
+    /// The row-major linear placement: rank `r` sits on `GpuId(r)`,
+    /// wrapping modulo the cluster size.
+    pub fn linear(topo: Topology) -> Self {
+        Placement {
+            topo,
+            slots: Vec::new(),
+        }
+    }
+
+    /// An explicit placement: rank `r` sits on `slots[r]`; ranks past the
+    /// end of `slots` fall back to the linear wrap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot names a GPU outside `topo`.
+    pub fn explicit(topo: Topology, slots: Vec<GpuId>) -> Self {
+        for &g in &slots {
+            assert!(topo.contains(g), "{g} is not in the cluster");
+        }
+        Placement { topo, slots }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The GPU hosting `rank`.
+    pub fn gpu_of(&self, rank: u32) -> GpuId {
+        match self.slots.get(rank as usize) {
+            Some(&g) => g,
+            None => GpuId(rank % self.topo.gpu_count()),
+        }
+    }
+
+    /// The node/socket locality domain hosting `rank`.
+    pub fn domain_of(&self, rank: u32) -> SocketDomain {
+        let loc = self.topo.locate(self.gpu_of(rank));
+        SocketDomain {
+            node: loc.node,
+            socket: loc.socket,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+
+    #[test]
+    fn linear_wraps_modulo_cluster() {
+        let p = Placement::linear(ClusterSpec::single_node().build()); // 8 GPUs
+        assert_eq!(p.gpu_of(3), GpuId(3));
+        assert_eq!(p.gpu_of(8), GpuId(0));
+        assert_eq!(p.gpu_of(19), GpuId(3));
+    }
+
+    #[test]
+    fn explicit_slots_override_then_wrap() {
+        let topo = ClusterSpec::single_node().build();
+        let p = Placement::explicit(topo, vec![GpuId(7), GpuId(2)]);
+        assert_eq!(p.gpu_of(0), GpuId(7));
+        assert_eq!(p.gpu_of(1), GpuId(2));
+        assert_eq!(p.gpu_of(2), GpuId(2)); // past the list: linear wrap
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the cluster")]
+    fn explicit_rejects_foreign_gpus() {
+        let topo = ClusterSpec::single_node().build();
+        let _ = Placement::explicit(topo, vec![GpuId(8)]);
+    }
+
+    #[test]
+    fn domains_follow_the_hierarchy() {
+        // 2 nodes x 2 sockets x 2 switches x 2 GPUs: 4 GPUs per socket.
+        let p = Placement::linear(ClusterSpec::new(2, 2, 2, 2).build());
+        assert_eq!(p.domain_of(0), p.domain_of(3));
+        assert_ne!(p.domain_of(3), p.domain_of(4));
+        assert_eq!(p.domain_of(4).node, NodeId(0));
+        assert_eq!(p.domain_of(8).node, NodeId(1));
+        // Domains order node-major, socket-minor.
+        assert!(p.domain_of(0) < p.domain_of(4));
+        assert!(p.domain_of(4) < p.domain_of(8));
+    }
+}

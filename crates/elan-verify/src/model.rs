@@ -207,6 +207,37 @@ pub fn parse_source(src: &str, rel: String, crate_name: String) -> FileModel {
                         pending_test = true;
                     }
                     i = end + 1;
+                    // A test attribute only opens a test region if it
+                    // annotates an *item*. Statement-level attributes
+                    // (`#[cfg(test)] self.cvar.notify_all();`) must not
+                    // leak `pending_test` onto the next function in the
+                    // file, so drop it unless the next token can begin
+                    // an item (or another attribute).
+                    if pending_test
+                        && !toks.get(i).is_some_and(|t| {
+                            matches!(
+                                t.text.as_str(),
+                                "#" | "pub"
+                                    | "mod"
+                                    | "impl"
+                                    | "fn"
+                                    | "struct"
+                                    | "enum"
+                                    | "union"
+                                    | "trait"
+                                    | "const"
+                                    | "static"
+                                    | "type"
+                                    | "unsafe"
+                                    | "async"
+                                    | "extern"
+                                    | "use"
+                                    | "macro_rules"
+                            )
+                        })
+                    {
+                        pending_test = false;
+                    }
                 } else {
                     i += 1;
                 }
@@ -636,6 +667,21 @@ mod tests {
     fn cfg_not_test_is_not_test() {
         let m = model("#[cfg(not(test))] fn a() {}");
         assert!(!m.functions[0].is_test);
+    }
+
+    #[test]
+    fn statement_level_test_attrs_do_not_leak_onto_later_fns() {
+        let m = model(
+            "fn a(&self) { #[cfg(test)] self.notify(); }\n\
+             fn b() {}\n\
+             #[cfg(test)] fn c() {}",
+        );
+        assert!(
+            !m.functions[0].is_test,
+            "a has a test *statement*, not attr"
+        );
+        assert!(!m.functions[1].is_test, "b must not inherit the leak");
+        assert!(m.functions[2].is_test, "c is genuinely cfg(test)");
     }
 
     #[test]

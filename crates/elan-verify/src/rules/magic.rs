@@ -2,16 +2,23 @@
 //!
 //! The dedup window, retry attempt floor, and MsgId owner-shift were once
 //! duplicated as bare literals between `reliable.rs`, `messages.rs`, and
-//! their tests; this rule keeps them hoisted. Any integer literal other than
-//! 0 or 1 inside a non-test function body of the reliability files must come
-//! from a named const. Const/static initialisers (where the names live) are
+//! their tests; this rule keeps them hoisted. The allreduce tuning module
+//! (`comm/tune.rs`) joined the scope when the adaptive dispatcher landed:
+//! its crossovers and probe parameters decide journal contents, so they
+//! must stay named and documented too. Any integer literal other than 0 or
+//! 1 inside a non-test function body of the scoped files must come from a
+//! named const. Const/static initialisers (where the names live) are
 //! exempt, as are float literals and tuple indices.
 
 use crate::lexer::TokKind;
 use crate::model::Workspace;
 use crate::report::{rules, Diagnostic};
 
-const SCOPE: [&str; 2] = ["elan-rt/src/reliable.rs", "elan-core/src/messages.rs"];
+const SCOPE: [&str; 3] = [
+    "elan-rt/src/reliable.rs",
+    "elan-core/src/messages.rs",
+    "elan-rt/src/comm/tune.rs",
+];
 
 pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
@@ -57,7 +64,8 @@ pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
                                     t.text.clone(),
                                     format!("magic number `{}` in reliability code", t.text),
                                     "hoist into a named const next to DEFAULT_WINDOW / \
-                                     FIRST_RESEND_ATTEMPT / OWNER_SHIFT so tests and \
+                                     FIRST_RESEND_ATTEMPT / OWNER_SHIFT (or the \
+                                     PINNED_*/PROBE_* tuning constants) so tests and \
                                      prod share one definition",
                                 ));
                             }

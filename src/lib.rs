@@ -50,6 +50,7 @@ pub use elan_topology as topology;
 pub use elan_core::obs::{MetricsRegistry, MetricsSnapshot};
 pub use elan_core::ElanError;
 pub use elan_rt::{
-    render_trace_report, AdjustmentTrace, ElasticRuntime, Event, EventKind, EventSink,
-    JournalSummary, RingBufferSink, RuntimeBuilder, RuntimeConfig, ShutdownReport,
+    render_trace_report, AdjustmentTrace, CommTopology, ElasticRuntime, Event, EventKind,
+    EventSink, JournalSummary, ReducePath, RingBufferSink, RuntimeBuilder, RuntimeConfig,
+    ShutdownReport, TuningProfile,
 };

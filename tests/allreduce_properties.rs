@@ -22,7 +22,10 @@ use std::thread;
 use proptest::prelude::*;
 
 use elan::core::state::WorkerId;
-use elan::rt::comm::{reference_sum, AllreduceOutcome, CommGroup};
+use elan::rt::comm::{
+    reference_sum, AllreduceOutcome, CommGroup, CommTopology, ReducePath, TuningProfile,
+};
+use elan::topology::{ClusterSpec, Placement};
 
 /// Deterministic f32 generator with wildly mixed magnitudes (2^-20 ..
 /// 2^20) — the regime where float addition is least associative, so any
@@ -133,5 +136,205 @@ proptest! {
             group.pool_allocations(),
             rounds
         );
+    }
+
+    /// Every engine of the adaptive dispatcher — flat, chunked, and
+    /// hierarchical — produces the same bits as the naive reference, for
+    /// the same random shapes and arrival orders. The three groups are
+    /// steered via forced tuning profiles, exactly how the probe forces
+    /// engines during its own measurement.
+    #[test]
+    fn every_dispatch_path_is_bit_identical_to_reference(
+        world in 1usize..=10,
+        len in 1usize..=300,
+        seed in 0u64..1_000_000_000,
+    ) {
+        let members: Vec<WorkerId> = (0..world as u32).map(WorkerId).collect();
+        // Two GPUs per socket, so even small worlds span several
+        // locality domains and genuinely exercise group planning.
+        let topo = CommTopology::new(Placement::linear(ClusterSpec::new(8, 2, 2, 1).build()));
+        let flat = CommGroup::with_tuning(
+            members.iter().copied(),
+            len,
+            TuningProfile { flat_max_len: usize::MAX, hier_min_world: u32::MAX },
+            None,
+        );
+        let chunked = CommGroup::with_tuning(
+            members.iter().copied(),
+            len,
+            TuningProfile { flat_max_len: 0, hier_min_world: u32::MAX },
+            None,
+        );
+        let hier = CommGroup::with_tuning(
+            members.iter().copied(),
+            len,
+            TuningProfile { flat_max_len: 0, hier_min_world: 2 },
+            Some(topo),
+        );
+        prop_assert_eq!(flat.planned_path(), ReducePath::Flat);
+        if world > 1 {
+            prop_assert_eq!(chunked.planned_path(), ReducePath::Chunked);
+        }
+        if world >= 3 {
+            // ≥ 3 linear ranks at 2 GPUs/socket span ≥ 2 domains.
+            prop_assert_eq!(hier.planned_path(), ReducePath::Hier);
+        }
+
+        let mut gen = F32Gen(seed | 1);
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|_| (0..len).map(|_| gen.next_f32()).collect())
+            .collect();
+        let expect: Vec<u32> = reference_sum(&inputs)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let yields: Vec<u64> = (0..world).map(|_| gen.next_u64() % 4).collect();
+
+        for (name, group) in [("flat", &flat), ("chunked", &chunked), ("hier", &hier)] {
+            let results: Vec<Vec<u32>> = thread::scope(|s| {
+                let handles: Vec<_> = (0..world)
+                    .map(|w| {
+                        let input = &inputs[w];
+                        let n_yields = yields[w];
+                        s.spawn(move || {
+                            for _ in 0..n_yields {
+                                thread::yield_now();
+                            }
+                            match group.allreduce(WorkerId(w as u32), input) {
+                                AllreduceOutcome::Sum { sum, .. } => {
+                                    sum.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+                                }
+                                other => panic!("unexpected outcome {other:?}"),
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("allreduce thread"))
+                    .collect()
+            });
+            for (w, got) in results.iter().enumerate() {
+                prop_assert_eq!(
+                    got,
+                    &expect,
+                    "path {} worker {} diverged (world={}, len={})",
+                    name,
+                    w,
+                    world,
+                    len
+                );
+            }
+        }
+    }
+
+    /// A membership change mid-round on the hierarchical path is safe:
+    /// when a straggler is evicted while every other worker is already
+    /// blocked in the round, the round re-plans its socket groups over
+    /// the survivors and completes with bits identical to the reference
+    /// over the survivors' inputs — and the group remains usable for a
+    /// clean full round after a reconfigure.
+    #[test]
+    fn hier_round_survives_mid_round_eviction(
+        world in 3usize..=10,
+        len in 2usize..=300,
+        seed in 0u64..1_000_000_000,
+    ) {
+        let members: Vec<WorkerId> = (0..world as u32).map(WorkerId).collect();
+        let topo = CommTopology::new(Placement::linear(ClusterSpec::new(8, 2, 2, 1).build()));
+        let group = CommGroup::with_tuning(
+            members.iter().copied(),
+            len,
+            TuningProfile { flat_max_len: 0, hier_min_world: 2 },
+            Some(topo),
+        );
+        prop_assert_eq!(group.planned_path(), ReducePath::Hier);
+
+        let mut gen = F32Gen(seed | 1);
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|_| (0..len).map(|_| gen.next_f32()).collect())
+            .collect();
+        // Worker 0 never contributes; the survivors' reference excludes it.
+        let expect: Vec<u32> = reference_sum(&inputs[1..])
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+
+        let results: Vec<Vec<u32>> = thread::scope(|s| {
+            let handles: Vec<_> = (1..world)
+                .map(|w| {
+                    let group = &group;
+                    let input = &inputs[w];
+                    s.spawn(move || match group.allreduce(WorkerId(w as u32), input) {
+                        AllreduceOutcome::Sum { sum, world: n } => {
+                            assert_eq!(n as usize, world - 1, "wrong captured world");
+                            sum.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+                        }
+                        other => panic!("unexpected outcome {other:?}"),
+                    })
+                })
+                .collect();
+            // Wait for every survivor to be blocked in the round, then
+            // evict the straggler mid-round: the publish that follows
+            // must re-plan the hierarchy for the shrunken membership.
+            while group.pending_contributions() < world - 1 {
+                thread::yield_now();
+            }
+            assert!(group.evict(WorkerId(0)), "worker 0 was a member");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("allreduce thread"))
+                .collect()
+        });
+        for (i, got) in results.iter().enumerate() {
+            prop_assert_eq!(
+                got,
+                &expect,
+                "survivor {} diverged after mid-round eviction (world={}, len={})",
+                i + 1,
+                world,
+                len
+            );
+        }
+
+        // The group stays serviceable: re-admit worker 0, drop the top
+        // worker, and run a clean full round on the new membership.
+        let new_world = world - 1;
+        group.reconfigure((0..new_world as u32).map(WorkerId));
+        let inputs: Vec<Vec<f32>> = (0..new_world)
+            .map(|_| (0..len).map(|_| gen.next_f32()).collect())
+            .collect();
+        let expect: Vec<u32> = reference_sum(&inputs)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let results: Vec<Vec<u32>> = thread::scope(|s| {
+            let handles: Vec<_> = (0..new_world)
+                .map(|w| {
+                    let group = &group;
+                    let input = &inputs[w];
+                    s.spawn(move || match group.allreduce(WorkerId(w as u32), input) {
+                        AllreduceOutcome::Sum { sum, .. } => {
+                            sum.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+                        }
+                        other => panic!("unexpected outcome {other:?}"),
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("allreduce thread"))
+                .collect()
+        });
+        for (w, got) in results.iter().enumerate() {
+            prop_assert_eq!(
+                got,
+                &expect,
+                "worker {} diverged after reconfigure (world={}, len={})",
+                w,
+                new_world,
+                len
+            );
+        }
     }
 }

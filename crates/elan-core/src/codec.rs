@@ -1,14 +1,21 @@
-//! A small versioned binary codec for training-state snapshots.
+//! A small versioned binary codec: training-state snapshots and
+//! control-plane wire frames.
 //!
 //! The Shutdown-&-Restart baseline and Elan's fault-tolerance path both
 //! serialize training state (checkpoints to the filesystem, AM state to
-//! the replicated store). This module provides the wire format: a
-//! length-prefixed, versioned, little-endian encoding with no external
-//! dependencies — hand-rolled rather than pulling a serialization stack
-//! (see DESIGN.md's dependency policy).
+//! the replicated store); the socket transport additionally frames every
+//! control-plane [`Envelope`] onto TCP/Unix-domain streams
+//! ([`encode_frame`]/[`decode_frame`]). Both share one wire discipline: a
+//! versioned, little-endian encoding with a CRC32 integrity trailer and
+//! no external dependencies — hand-rolled rather than pulling a
+//! serialization stack (see DESIGN.md's dependency policy).
+
+use std::sync::Arc;
 
 use elan_sim::Bytes;
 
+use crate::messages::{MsgId, StateKind};
+use crate::protocol::{EndpointId, Envelope, RtMsg};
 use crate::state::{RuntimeInfo, TrainingState, WorkerId};
 
 /// Magic bytes opening every snapshot.
@@ -66,6 +73,12 @@ pub enum DecodeError {
         /// CRC32 computed over the received body.
         actual: u32,
     },
+    /// A wire frame carries an enum tag this decoder does not know —
+    /// a newer peer, or an encoder bug (the CRC already passed).
+    UnknownTag(u8),
+    /// A CRC-valid wire frame decoded cleanly but left bytes behind —
+    /// an encoder/decoder schema mismatch, not line noise.
+    TrailingBytes(usize),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -78,6 +91,8 @@ impl std::fmt::Display for DecodeError {
                 f,
                 "snapshot corrupt: trailer crc32 {expected:#010x}, body crc32 {actual:#010x}"
             ),
+            DecodeError::UnknownTag(t) => write!(f, "unknown wire tag {t:#04x}"),
+            DecodeError::TrailingBytes(n) => write!(f, "frame has {n} trailing bytes"),
         }
     }
 }
@@ -92,6 +107,9 @@ impl Writer {
     fn new() -> Self {
         Writer { buf: Vec::new() }
     }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
     fn u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -104,6 +122,9 @@ impl Writer {
     fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
 }
 
 struct Reader<'a> {
@@ -114,6 +135,12 @@ struct Reader<'a> {
 impl<'a> Reader<'a> {
     fn new(buf: &'a [u8]) -> Self {
         Reader { buf, at: 0 }
+    }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
     }
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.at + n > self.buf.len() {
@@ -150,6 +177,13 @@ impl<'a> Reader<'a> {
             .try_into()
             .map_err(|_| DecodeError::Truncated)?;
         Ok(f64::from_le_bytes(b))
+    }
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        let b = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| DecodeError::Truncated)?;
+        Ok(f32::from_le_bytes(b))
     }
 }
 
@@ -254,6 +288,376 @@ pub fn decode_state(bytes: &[u8]) -> Result<TrainingState, DecodeError> {
         },
         comm_group,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane wire frames (socket transport)
+// ---------------------------------------------------------------------------
+
+/// Wire format version of control-plane frames. Independent of the
+/// state-snapshot codec's `VERSION`: the two formats evolve separately.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on one frame's encoded size (length prefix included):
+/// large enough for a `StateChunk` carrying far more elements than any
+/// configured `replication_chunk_elems`, small enough that a corrupted
+/// length prefix cannot make a reader allocate gigabytes.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// One frame on a transport stream.
+///
+/// Framing on the wire is `u32` little-endian length, then the frame:
+/// `MAGIC (4) | WIRE_VERSION (1) | kind (1) | body | crc32 (4, LE)`,
+/// with the CRC computed over everything before it. The socket layer
+/// owns the length prefix; [`encode_frame`]/[`decode_frame`] handle the
+/// frame proper.
+#[derive(Debug, Clone)]
+pub enum WireFrame {
+    /// First frame on every connection: the peer announces which
+    /// endpoint it is. Re-sent on reconnect, which is what remaps the
+    /// endpoint to the new stream.
+    Hello {
+        /// The connecting endpoint.
+        from: EndpointId,
+    },
+    /// A routed protocol envelope.
+    Msg {
+        /// Destination endpoint.
+        to: EndpointId,
+        /// The envelope, verbatim — MsgId, sender, attempt and all, so
+        /// reliable-layer resend/dedup semantics cross the wire intact.
+        env: Envelope,
+    },
+}
+
+const FRAME_HELLO: u8 = 0;
+const FRAME_MSG: u8 = 1;
+
+fn write_endpoint(w: &mut Writer, id: EndpointId) {
+    match id {
+        EndpointId::Am => w.u8(0),
+        EndpointId::Controller => w.u8(1),
+        EndpointId::Worker(wid) => {
+            w.u8(2);
+            w.u32(wid.0);
+        }
+    }
+}
+
+fn read_endpoint(r: &mut Reader<'_>) -> Result<EndpointId, DecodeError> {
+    match r.u8()? {
+        0 => Ok(EndpointId::Am),
+        1 => Ok(EndpointId::Controller),
+        2 => Ok(EndpointId::Worker(WorkerId(r.u32()?))),
+        t => Err(DecodeError::UnknownTag(t)),
+    }
+}
+
+/// Wire tags for [`RtMsg`] variants, in declaration order. Append-only:
+/// a new variant takes the next free tag, existing tags never move.
+fn write_msg(w: &mut Writer, msg: &RtMsg) {
+    match msg {
+        RtMsg::Report { worker } => {
+            w.u8(0);
+            w.u32(worker.0);
+        }
+        RtMsg::Coordinate { worker, iteration } => {
+            w.u8(1);
+            w.u32(worker.0);
+            w.u64(*iteration);
+        }
+        RtMsg::Proceed { boundary, term } => {
+            w.u8(2);
+            w.u64(*boundary);
+            w.u64(*term);
+        }
+        RtMsg::TransferOrder { dst, term } => {
+            w.u8(3);
+            w.u32(dst.0);
+            w.u64(*term);
+        }
+        RtMsg::TransferDone { src, dst } => {
+            w.u8(4);
+            w.u32(src.0);
+            w.u32(dst.0);
+        }
+        RtMsg::StateChunk {
+            kind,
+            iteration,
+            data_cursor,
+            index,
+            total,
+            offset,
+            data,
+        } => {
+            w.u8(5);
+            w.u8(match kind {
+                StateKind::Params => 0,
+                StateKind::Momentum => 1,
+            });
+            w.u64(*iteration);
+            w.u64(*data_cursor);
+            w.u32(*index);
+            w.u32(*total);
+            w.u64(*offset);
+            w.u32(data.len() as u32);
+            for &x in data.iter() {
+                w.f32(x);
+            }
+        }
+        RtMsg::Resume { generation, term } => {
+            w.u8(6);
+            w.u64(*generation);
+            w.u64(*term);
+        }
+        RtMsg::Leave { term } => {
+            w.u8(7);
+            w.u64(*term);
+        }
+        RtMsg::AdjustTo { seq, target } => {
+            w.u8(8);
+            w.u64(*seq);
+            w.u32(target.len() as u32);
+            for wid in target {
+                w.u32(wid.0);
+            }
+        }
+        RtMsg::Stop { seq } => {
+            w.u8(9);
+            w.u64(*seq);
+        }
+        RtMsg::Checkpoint { seq } => {
+            w.u8(10);
+            w.u64(*seq);
+        }
+        RtMsg::CheckpointOrder { seq, term } => {
+            w.u8(11);
+            w.u64(*seq);
+            w.u64(*term);
+        }
+        RtMsg::Ack { seq } => {
+            w.u8(12);
+            w.u64(*seq);
+        }
+        RtMsg::MsgAck { of } => {
+            w.u8(13);
+            w.u64(of.0);
+        }
+        RtMsg::Heartbeat { worker, iteration } => {
+            w.u8(14);
+            w.u32(worker.0);
+            w.u64(*iteration);
+        }
+        RtMsg::AmReset { epoch, term } => {
+            w.u8(15);
+            w.u64(*epoch);
+            w.u64(*term);
+        }
+        RtMsg::Rejoin {
+            worker,
+            term,
+            iteration,
+        } => {
+            w.u8(16);
+            w.u32(worker.0);
+            w.u64(*term);
+            w.u64(*iteration);
+        }
+    }
+}
+
+fn read_msg(r: &mut Reader<'_>) -> Result<RtMsg, DecodeError> {
+    Ok(match r.u8()? {
+        0 => RtMsg::Report {
+            worker: WorkerId(r.u32()?),
+        },
+        1 => RtMsg::Coordinate {
+            worker: WorkerId(r.u32()?),
+            iteration: r.u64()?,
+        },
+        2 => RtMsg::Proceed {
+            boundary: r.u64()?,
+            term: r.u64()?,
+        },
+        3 => RtMsg::TransferOrder {
+            dst: WorkerId(r.u32()?),
+            term: r.u64()?,
+        },
+        4 => RtMsg::TransferDone {
+            src: WorkerId(r.u32()?),
+            dst: WorkerId(r.u32()?),
+        },
+        5 => {
+            let kind = match r.u8()? {
+                0 => StateKind::Params,
+                1 => StateKind::Momentum,
+                t => return Err(DecodeError::UnknownTag(t)),
+            };
+            let iteration = r.u64()?;
+            let data_cursor = r.u64()?;
+            let index = r.u32()?;
+            let total = r.u32()?;
+            let offset = r.u64()?;
+            let n = r.u32()? as usize;
+            // The CRC has already vetted the frame, so `n` is what the
+            // encoder wrote — but bound the allocation by what the
+            // buffer can actually hold before trusting it.
+            if n * 4 > r.remaining() {
+                return Err(DecodeError::Truncated);
+            }
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(r.f32()?);
+            }
+            RtMsg::StateChunk {
+                kind,
+                iteration,
+                data_cursor,
+                index,
+                total,
+                offset,
+                data: Arc::new(data),
+            }
+        }
+        6 => RtMsg::Resume {
+            generation: r.u64()?,
+            term: r.u64()?,
+        },
+        7 => RtMsg::Leave { term: r.u64()? },
+        8 => {
+            let seq = r.u64()?;
+            let n = r.u32()? as usize;
+            if n * 4 > r.remaining() {
+                return Err(DecodeError::Truncated);
+            }
+            let mut target = Vec::with_capacity(n);
+            for _ in 0..n {
+                target.push(WorkerId(r.u32()?));
+            }
+            RtMsg::AdjustTo { seq, target }
+        }
+        9 => RtMsg::Stop { seq: r.u64()? },
+        10 => RtMsg::Checkpoint { seq: r.u64()? },
+        11 => RtMsg::CheckpointOrder {
+            seq: r.u64()?,
+            term: r.u64()?,
+        },
+        12 => RtMsg::Ack { seq: r.u64()? },
+        13 => RtMsg::MsgAck {
+            of: MsgId(r.u64()?),
+        },
+        14 => RtMsg::Heartbeat {
+            worker: WorkerId(r.u32()?),
+            iteration: r.u64()?,
+        },
+        15 => RtMsg::AmReset {
+            epoch: r.u64()?,
+            term: r.u64()?,
+        },
+        16 => RtMsg::Rejoin {
+            worker: WorkerId(r.u32()?),
+            term: r.u64()?,
+            iteration: r.u64()?,
+        },
+        t => return Err(DecodeError::UnknownTag(t)),
+    })
+}
+
+/// Encodes one control-plane frame (without the stream's length prefix).
+///
+/// # Examples
+///
+/// ```
+/// use elan_core::codec::{decode_frame, encode_frame, WireFrame};
+/// use elan_core::protocol::EndpointId;
+/// use elan_core::state::WorkerId;
+///
+/// let frame = WireFrame::Hello { from: EndpointId::Worker(WorkerId(3)) };
+/// let bytes = encode_frame(&frame);
+/// assert!(matches!(
+///     decode_frame(&bytes)?,
+///     WireFrame::Hello { from: EndpointId::Worker(WorkerId(3)) }
+/// ));
+/// # Ok::<(), elan_core::codec::DecodeError>(())
+/// ```
+pub fn encode_frame(frame: &WireFrame) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(MAGIC);
+    w.u8(WIRE_VERSION);
+    match frame {
+        WireFrame::Hello { from } => {
+            w.u8(FRAME_HELLO);
+            write_endpoint(&mut w, *from);
+        }
+        WireFrame::Msg { to, env } => {
+            w.u8(FRAME_MSG);
+            write_endpoint(&mut w, *to);
+            w.u64(env.id.0);
+            write_endpoint(&mut w, env.from);
+            w.u32(env.attempt);
+            write_msg(&mut w, &env.body);
+        }
+    }
+    let crc = crc32(&w.buf);
+    w.u32(crc);
+    w.buf
+}
+
+/// Decodes one control-plane frame. The CRC trailer is verified before
+/// any field is trusted, so a flipped bit anywhere in the frame fails
+/// here rather than mis-decoding.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for truncated, foreign, future-versioned,
+/// checksum-failing, or unknown-tag frames.
+pub fn decode_frame(bytes: &[u8]) -> Result<WireFrame, DecodeError> {
+    // magic + version + kind + crc is the minimum credible frame.
+    if bytes.len() < MAGIC.len() + 2 + 4 {
+        return Err(DecodeError::Truncated);
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let trailer: [u8; 4] = trailer.try_into().map_err(|_| DecodeError::Truncated)?;
+    let expected = u32::from_le_bytes(trailer);
+    let actual = crc32(body);
+    if actual != expected {
+        return Err(DecodeError::Corrupt { expected, actual });
+    }
+    let mut r = Reader::new(body);
+    let _ = r.take(MAGIC.len())?; // magic — validated above
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(DecodeError::UnsupportedVersion(version as u16));
+    }
+    let frame = match r.u8()? {
+        FRAME_HELLO => WireFrame::Hello {
+            from: read_endpoint(&mut r)?,
+        },
+        FRAME_MSG => {
+            let to = read_endpoint(&mut r)?;
+            let id = MsgId(r.u64()?);
+            let from = read_endpoint(&mut r)?;
+            let attempt = r.u32()?;
+            let body = read_msg(&mut r)?;
+            WireFrame::Msg {
+                to,
+                env: Envelope {
+                    id,
+                    from,
+                    attempt,
+                    body,
+                },
+            }
+        }
+        t => return Err(DecodeError::UnknownTag(t)),
+    };
+    if r.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(frame)
 }
 
 #[cfg(test)]
@@ -392,5 +796,229 @@ mod tests {
         let s = sample();
         let bytes = encode_state(&s);
         assert_eq!(bytes.len(), 4 + 2 + 8 * 4 + 4 + 8 + 8 + 4 + 4 + 16 * 4 + 4);
+    }
+
+    // -- control-plane wire frames ---------------------------------------
+
+    /// One envelope per `RtMsg` variant, so tag coverage is exhaustive:
+    /// a new variant without a wire tag fails `sample_frames` at compile
+    /// time (non-exhaustive match in `write_msg`) and a mis-tagged one
+    /// fails the roundtrip below.
+    fn sample_bodies() -> Vec<RtMsg> {
+        vec![
+            RtMsg::Report {
+                worker: WorkerId(7),
+            },
+            RtMsg::Coordinate {
+                worker: WorkerId(2),
+                iteration: 41,
+            },
+            RtMsg::Proceed {
+                boundary: 45,
+                term: 3,
+            },
+            RtMsg::TransferOrder {
+                dst: WorkerId(9),
+                term: 3,
+            },
+            RtMsg::TransferDone {
+                src: WorkerId(1),
+                dst: WorkerId(9),
+            },
+            RtMsg::StateChunk {
+                kind: StateKind::Momentum,
+                iteration: 45,
+                data_cursor: 5_760,
+                index: 1,
+                total: 4,
+                offset: 256,
+                data: Arc::new(vec![0.25, -1.5, 3.75]),
+            },
+            RtMsg::Resume {
+                generation: 2,
+                term: 3,
+            },
+            RtMsg::Leave { term: 3 },
+            RtMsg::AdjustTo {
+                seq: 11,
+                target: vec![WorkerId(0), WorkerId(1), WorkerId(9)],
+            },
+            RtMsg::Stop { seq: 12 },
+            RtMsg::Checkpoint { seq: 13 },
+            RtMsg::CheckpointOrder { seq: 13, term: 3 },
+            RtMsg::Ack { seq: 13 },
+            RtMsg::MsgAck {
+                of: MsgId((16 << 32) | 42),
+            },
+            RtMsg::Heartbeat {
+                worker: WorkerId(2),
+                iteration: 44,
+            },
+            RtMsg::AmReset { epoch: 1, term: 4 },
+            RtMsg::Rejoin {
+                worker: WorkerId(9),
+                term: 3,
+                iteration: 40,
+            },
+        ]
+    }
+
+    fn sample_frames() -> Vec<WireFrame> {
+        let mut frames = vec![
+            WireFrame::Hello {
+                from: EndpointId::Worker(WorkerId(3)),
+            },
+            WireFrame::Hello {
+                from: EndpointId::Am,
+            },
+            WireFrame::Hello {
+                from: EndpointId::Controller,
+            },
+        ];
+        for (i, body) in sample_bodies().into_iter().enumerate() {
+            frames.push(WireFrame::Msg {
+                to: EndpointId::Am,
+                env: Envelope {
+                    id: MsgId((17 << 32) | i as u64),
+                    from: EndpointId::Worker(WorkerId(1)),
+                    attempt: 1 + (i as u32 % 3),
+                    body,
+                },
+            });
+        }
+        frames
+    }
+
+    #[test]
+    fn frame_roundtrip_covers_every_message_variant() {
+        // `Envelope` carries `Arc<Vec<f32>>`, so compare debug renderings
+        // (exact for every field, including float payloads).
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            let back = decode_frame(&bytes).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{frame:?}"));
+        }
+    }
+
+    #[test]
+    fn frames_are_versioned_and_bounded() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            assert_eq!(&bytes[..4], MAGIC);
+            assert_eq!(bytes[4], WIRE_VERSION);
+            assert!(bytes.len() <= MAX_FRAME_LEN);
+        }
+    }
+
+    #[test]
+    fn every_single_byte_frame_corruption_is_detected() {
+        for frame in sample_frames() {
+            let good = encode_frame(&frame);
+            for at in 0..good.len() {
+                let mut bytes = good.clone();
+                bytes[at] ^= 0x40;
+                // Must error — never panic, never mis-decode. Magic damage
+                // is caught structurally; everything else by the CRC.
+                let err = decode_frame(&bytes).expect_err("corrupt frame decoded");
+                assert!(
+                    matches!(err, DecodeError::BadMagic | DecodeError::Corrupt { .. }),
+                    "flip at {at}: {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_truncation_is_detected_at_every_length() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            for cut in 0..bytes.len() {
+                let err = decode_frame(&bytes[..cut]).expect_err("truncated frame decoded");
+                assert!(
+                    matches!(err, DecodeError::Truncated | DecodeError::Corrupt { .. }),
+                    "cut at {cut}: {err:?}"
+                );
+            }
+        }
+    }
+
+    /// Re-stamps a hand-mutated frame with a valid CRC, so tests can reach
+    /// the post-CRC decode paths (unknown tags, trailing bytes).
+    fn restamp(mut bytes: Vec<u8>) -> Vec<u8> {
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn unknown_frame_kind_is_rejected_not_guessed() {
+        let mut bytes = encode_frame(&WireFrame::Hello {
+            from: EndpointId::Am,
+        });
+        bytes[5] = 0xEE; // frame-kind byte
+        assert_eq!(
+            decode_frame(&restamp(bytes)).expect_err("unknown kind decoded"),
+            DecodeError::UnknownTag(0xEE)
+        );
+    }
+
+    #[test]
+    fn future_wire_version_is_rejected() {
+        let mut bytes = encode_frame(&WireFrame::Hello {
+            from: EndpointId::Am,
+        });
+        bytes[4] = WIRE_VERSION + 1;
+        assert_eq!(
+            decode_frame(&restamp(bytes)).expect_err("future version decoded"),
+            DecodeError::UnsupportedVersion((WIRE_VERSION + 1) as u16)
+        );
+    }
+
+    #[test]
+    fn crc_valid_trailing_bytes_are_rejected() {
+        let mut bytes = encode_frame(&WireFrame::Hello {
+            from: EndpointId::Am,
+        });
+        let crc_at = bytes.len() - 4;
+        bytes.insert(crc_at, 0x00); // extra byte inside the CRC'd region
+        assert_eq!(
+            decode_frame(&restamp(bytes)).expect_err("trailing bytes decoded"),
+            DecodeError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn oversized_chunk_length_cannot_overallocate() {
+        // A frame whose StateChunk length field claims far more elements
+        // than the buffer holds must fail cleanly (post-CRC, the length
+        // is still bounded by the actual remaining bytes).
+        let frame = WireFrame::Msg {
+            to: EndpointId::Am,
+            env: Envelope {
+                id: MsgId(1),
+                from: EndpointId::Worker(WorkerId(0)),
+                attempt: 1,
+                body: RtMsg::StateChunk {
+                    kind: StateKind::Params,
+                    iteration: 1,
+                    data_cursor: 0,
+                    index: 0,
+                    total: 1,
+                    offset: 0,
+                    data: Arc::new(vec![1.0, 2.0]),
+                },
+            },
+        };
+        let good = encode_frame(&frame);
+        // The element-count u32 sits 12 bytes before the payload start:
+        // locate it as (len - trailer 4 - payload 8 - count 4).
+        let count_at = good.len() - 4 - 8 - 4;
+        let mut bytes = good.clone();
+        bytes[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_frame(&restamp(bytes)).expect_err("oversized length decoded"),
+            DecodeError::Truncated
+        );
     }
 }

@@ -53,6 +53,7 @@ pub mod job;
 pub mod lease;
 pub mod messages;
 pub mod obs;
+pub mod protocol;
 pub mod scaling;
 pub mod state;
 pub mod store;

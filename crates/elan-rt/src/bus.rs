@@ -11,236 +11,142 @@
 //! counter (sends to unregistered or departed endpoints), which the
 //! shutdown report surfaces.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
 
-use elan_core::messages::{MsgId, MsgIdAllocator, StateKind};
-use elan_core::state::WorkerId;
+use elan_core::messages::MsgIdAllocator;
 
-use crate::chaos::{ChaosEngine, ChaosPolicy, ChaosStats, PartitionWindow};
-use crate::obs::{EventJournal, EventKind};
+use crate::chaos::{ChaosPolicy, ChaosStats, PartitionWindow};
+use crate::obs::EventJournal;
 use crate::time::TimeSource;
+use crate::transport::{MemoryTransport, Transport};
 
-/// Identifies a bus endpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum EndpointId {
-    /// The application master.
-    Am,
-    /// A training worker.
-    Worker(WorkerId),
-    /// The external controller (the `ElasticRuntime` handle).
-    Controller,
+pub use elan_core::protocol::{EndpointId, EndpointStats, Envelope, RtMsg};
+
+/// A handle on a [`Transport`]: the shared registry of endpoints every
+/// runtime component sends through.
+///
+/// Since the transport redesign the bus is a thin, cloneable facade — the
+/// delivery mechanics (channels, chaos, sockets) live behind the
+/// [`Transport`] trait, and the bus caches the transport's journal and
+/// clock so hot paths ([`Bus::time`], [`Bus::journal`]) stay
+/// allocation-free references.
+pub struct Bus {
+    transport: Arc<dyn Transport>,
+    /// Cache of [`Transport::journal`], captured at construction: the
+    /// bus emits nothing itself, but every component that holds the bus
+    /// (reliable endpoints, workers) reaches the journal through
+    /// [`Bus::journal`] without any extra plumbing.
+    journal: Option<Arc<EventJournal>>,
+    /// Cache of [`Transport::time`]. Every component holding the bus
+    /// (reliable endpoints, workers, the comm group) reads time through
+    /// [`Bus::time`], so one runtime ticks on exactly one source.
+    time: TimeSource,
+    /// Id stream for bare [`Bus::send`] calls (owner `u32::MAX`).
+    raw_ids: Arc<Mutex<MsgIdAllocator>>,
 }
 
-impl fmt::Display for EndpointId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EndpointId::Am => write!(f, "am"),
-            EndpointId::Worker(w) => write!(f, "{w}"),
-            EndpointId::Controller => write!(f, "controller"),
+impl Clone for Bus {
+    fn clone(&self) -> Self {
+        Bus {
+            transport: Arc::clone(&self.transport),
+            journal: self.journal.clone(),
+            time: self.time.clone(),
+            raw_ids: Arc::clone(&self.raw_ids),
         }
     }
 }
 
-/// Control-plane messages of the live runtime.
-#[derive(Debug, Clone)]
-pub enum RtMsg {
-    /// Worker → AM: ready to join after start+initialization (step ②).
-    Report {
-        /// The new worker.
-        worker: WorkerId,
-    },
-    /// Worker → AM: reached a coordination boundary (step ③).
-    Coordinate {
-        /// The coordinating worker.
-        worker: WorkerId,
-        /// Its current iteration.
-        iteration: u64,
-    },
-    /// AM → worker: continue training unchanged. Tagged with the boundary
-    /// iteration so a chaos-delayed release cannot un-park a later round.
-    Proceed {
-        /// The boundary iteration being released.
-        boundary: u64,
-        /// The sending AM's fencing term.
-        term: u64,
-    },
-    /// AM → worker: replicate state to `dst` (step ④), then report done.
-    TransferOrder {
-        /// Destination worker.
-        dst: WorkerId,
-        /// The sending AM's fencing term.
-        term: u64,
-    },
-    /// Worker → AM: the ordered transfer finished.
-    TransferDone {
-        /// The source that completed its transfer.
-        src: WorkerId,
-        /// The destination it served (src == dst marks a checkpoint).
-        dst: WorkerId,
-    },
-    /// Source worker → new worker: one chunk of the replicated training
-    /// state. Replication is streamed — parameter ("GPU-state") and
-    /// momentum ("CPU-state") chunks interleave on the wire so the two
-    /// streams overlap per §IV, and because every chunk rides its own
-    /// reliable envelope (id + ack + resend), a lossy bus retransmits
-    /// only the missing chunks: the transfer is resumable per-chunk
-    /// rather than all-or-nothing.
-    StateChunk {
-        /// Which state buffer this chunk belongs to.
-        kind: StateKind,
-        /// Iteration the snapshot was taken at (also the stream id — all
-        /// chunks of one snapshot carry the same boundary iteration).
-        iteration: u64,
-        /// Serial data-loading cursor (§V-C: one integer).
-        data_cursor: u64,
-        /// Chunk index within this `kind`'s stream.
-        index: u32,
-        /// Total chunks in this `kind`'s stream.
-        total: u32,
-        /// Element offset of this chunk within the full buffer.
-        offset: u64,
-        /// The chunk payload — `Arc`-shared across destinations, so a
-        /// boundary with several joiners copies the state once, not once
-        /// per joiner.
-        data: Arc<Vec<f32>>,
-    },
-    /// AM → worker: training resumes under the new membership (step ⑤).
-    Resume {
-        /// The new communication-group generation.
-        generation: u64,
-        /// The sending AM's fencing term.
-        term: u64,
-    },
-    /// AM → worker: leave the job (scale-in / migration / shutdown).
-    Leave {
-        /// The sending AM's fencing term.
-        term: u64,
-    },
-    /// Controller → AM: adjust to this membership.
-    AdjustTo {
-        /// Controller-side operation sequence number (idempotence across
-        /// AM failovers).
-        seq: u64,
-        /// Workers after the adjustment.
-        target: Vec<WorkerId>,
-    },
-    /// Controller → AM: stop the job at the next boundary.
-    Stop {
-        /// Operation sequence number.
-        seq: u64,
-    },
-    /// Controller → AM: snapshot the training state at the next boundary.
-    Checkpoint {
-        /// Operation sequence number.
-        seq: u64,
-    },
-    /// AM → worker: send your state to the controller (checkpoint), then
-    /// report `TransferDone` with `src == dst`.
-    CheckpointOrder {
-        /// The checkpoint request being served.
-        seq: u64,
-        /// The sending AM's fencing term.
-        term: u64,
-    },
-    /// AM → controller: operation `seq` finished.
-    Ack {
-        /// The completed operation.
-        seq: u64,
-    },
-    /// Transport-level acknowledgement of one received message.
-    MsgAck {
-        /// The message being acknowledged.
-        of: MsgId,
-    },
-    /// Worker → AM: liveness beacon (unreliable by design).
-    Heartbeat {
-        /// The beaconing worker.
-        worker: WorkerId,
-        /// Its current iteration.
-        iteration: u64,
-    },
-    /// Replacement AM → everyone: a new AM epoch has begun; parked workers
-    /// re-send `Coordinate`, joining workers re-send `Report`.
-    AmReset {
-        /// The new AM epoch.
-        epoch: u64,
-        /// The sending AM's fencing term.
-        term: u64,
-    },
-    /// Restarted worker → AM: request re-admission after a crash,
-    /// presenting the last term it observed and the boundary iteration of
-    /// its last applied state (its snapshot version). The AM either admits
-    /// it (re-replicating state at the next boundary) or fences it via the
-    /// term in its reply traffic.
-    Rejoin {
-        /// The worker asking back in.
-        worker: WorkerId,
-        /// Highest AM term the worker saw before crashing.
-        term: u64,
-        /// Boundary iteration of its last applied snapshot/state.
-        iteration: u64,
-    },
-}
-
-/// One message in flight on the bus: the body plus the reliable-messaging
-/// metadata every send carries.
-#[derive(Debug, Clone)]
-pub struct Envelope {
-    /// Unique message id (stable across resends).
-    pub id: MsgId,
-    /// The sending endpoint.
-    pub from: EndpointId,
-    /// Send attempt, starting at 1; resends increment it so fault
-    /// injection rolls fresh dice.
-    pub attempt: u32,
-    /// The payload.
-    pub body: RtMsg,
-}
-
-/// Per-destination delivery counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct EndpointStats {
-    /// Sends addressed to this endpoint.
-    pub sent: u64,
-    /// Messages actually enqueued (post-chaos, endpoint registered).
-    pub delivered: u64,
-    /// Messages addressed to an unregistered or departed endpoint.
-    pub dead_letters: u64,
-}
-
-#[derive(Default)]
-struct BusInner {
-    senders: RwLock<HashMap<EndpointId, Sender<Envelope>>>,
-    stats: Mutex<HashMap<EndpointId, EndpointStats>>,
-    chaos: Option<Mutex<ChaosEngine>>,
-    /// The runtime's event journal, when observability is attached: the
-    /// bus emits dead-letter and chaos events, and every component that
-    /// holds the bus (reliable endpoints, workers) reaches the journal
-    /// through [`Bus::journal`] without any extra plumbing.
-    journal: Option<Arc<EventJournal>>,
-    /// Id stream for bare [`Bus::send`] calls (owner `u32::MAX`).
-    raw_ids: Mutex<MsgIdAllocator>,
-    /// The runtime's clock. Every component holding the bus (reliable
-    /// endpoints, workers, the comm group) reads time through
-    /// [`Bus::time`], so one runtime ticks on exactly one source.
-    time: TimeSource,
-}
-
-/// A shared registry of endpoint senders.
-#[derive(Clone, Default)]
-pub struct Bus {
-    inner: Arc<BusInner>,
+impl Default for Bus {
+    fn default() -> Self {
+        Bus::new()
+    }
 }
 
 impl fmt::Debug for Bus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Bus({} endpoints)", self.inner.senders.read().len())
+        write!(f, "Bus({} endpoints)", self.transport.endpoint_count())
+    }
+}
+
+/// Fluent construction of an in-memory [`Bus`], mirroring
+/// `ElasticRuntime::builder()`: chaos, journal, clock, and scripted
+/// partition windows are all optional.
+///
+/// # Examples
+///
+/// ```
+/// use elan_rt::{Bus, ChaosPolicy};
+///
+/// let bus = Bus::builder().chaos(ChaosPolicy::new(7).drop(0.1)).build();
+/// assert!(bus.chaos_stats().is_some());
+/// ```
+#[derive(Default)]
+pub struct BusBuilder {
+    chaos: Option<ChaosPolicy>,
+    journal: Option<Arc<EventJournal>>,
+    time: Option<TimeSource>,
+    partitions: Vec<PartitionWindow>,
+}
+
+impl fmt::Debug for BusBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BusBuilder")
+            .field("chaos", &self.chaos.is_some())
+            .field("journal", &self.journal.is_some())
+            .field("time", &self.time)
+            .field("partitions", &self.partitions.len())
+            .finish()
+    }
+}
+
+impl BusBuilder {
+    /// Routes every send through the given fault-injection policy.
+    pub fn chaos(mut self, policy: ChaosPolicy) -> Self {
+        self.chaos = Some(policy);
+        self
+    }
+
+    /// Attaches an event journal: the transport emits dead-letter and
+    /// chaos events into it.
+    pub fn journal(mut self, journal: Arc<EventJournal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The clock the bus (and everything holding it) ticks on. Defaults
+    /// to [`TimeSource::real`].
+    pub fn time(mut self, time: TimeSource) -> Self {
+        self.time = Some(time);
+        self
+    }
+
+    /// Scripts a partition window. Implies a (fault-free) chaos engine
+    /// when no [`BusBuilder::chaos`] policy was given, so the window has
+    /// an engine to live in.
+    pub fn partition(mut self, window: PartitionWindow) -> Self {
+        self.partitions.push(window);
+        self
+    }
+
+    /// Builds the in-memory bus.
+    pub fn build(self) -> Bus {
+        let chaos = match (self.chaos, self.partitions.is_empty()) {
+            (Some(policy), _) => Some(policy),
+            // A scripted partition needs an engine even without faults.
+            (None, false) => Some(ChaosPolicy::new(0)),
+            (None, true) => None,
+        };
+        let time = self.time.unwrap_or_else(TimeSource::real);
+        let transport = MemoryTransport::new(chaos, self.journal, time);
+        for window in self.partitions {
+            transport.add_partition(window);
+        }
+        Bus::with_transport(Arc::new(transport))
     }
 }
 
@@ -252,72 +158,73 @@ pub struct Endpoint {
     time: TimeSource,
 }
 
+impl Endpoint {
+    /// Assembles an endpoint around its delivery channel — transport
+    /// implementations call this from [`Transport::register`].
+    pub(crate) fn assemble(id: EndpointId, receiver: Receiver<Envelope>, time: TimeSource) -> Self {
+        Endpoint { id, receiver, time }
+    }
+}
+
 impl Bus {
-    /// Creates an empty bus with no fault injection.
+    /// Creates an empty in-memory bus with no fault injection.
     pub fn new() -> Self {
-        Bus::default()
+        BusBuilder::default().build()
     }
 
-    /// Creates a bus whose sends run through the given chaos policy.
-    pub fn with_chaos(policy: ChaosPolicy) -> Self {
-        Bus::with_options(Some(policy), None, TimeSource::real())
+    /// Starts building an in-memory bus:
+    /// `Bus::builder().chaos(policy).journal(j).time(t).build()`.
+    pub fn builder() -> BusBuilder {
+        BusBuilder::default()
     }
 
-    /// Creates a bus with optional fault injection, an optional event
-    /// journal, and the runtime's clock (the runtime builder's entry
-    /// point).
-    pub fn with_options(
-        chaos: Option<ChaosPolicy>,
-        journal: Option<Arc<EventJournal>>,
-        time: TimeSource,
-    ) -> Self {
+    /// Wraps an already-configured transport (in-memory or socket). The
+    /// transport's journal and clock are captured here, so attach them
+    /// (via [`Transport::attach`] or transport-specific construction)
+    /// *before* wrapping.
+    pub fn with_transport(transport: Arc<dyn Transport>) -> Self {
         Bus {
-            inner: Arc::new(BusInner {
-                chaos: chaos.map(|policy| Mutex::new(ChaosEngine::new(policy))),
-                journal,
-                raw_ids: Mutex::new(MsgIdAllocator::for_owner(u32::MAX)),
-                time,
-                ..BusInner::default()
-            }),
+            journal: transport.journal(),
+            time: transport.time(),
+            raw_ids: Arc::new(Mutex::new(MsgIdAllocator::for_owner(u32::MAX))),
+            transport,
         }
+    }
+
+    /// The transport this bus delivers through.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// The attached event journal, if observability is wired up.
     pub fn journal(&self) -> Option<&Arc<EventJournal>> {
-        self.inner.journal.as_ref()
+        self.journal.as_ref()
     }
 
     /// The clock this bus (and the runtime around it) ticks on.
     pub fn time(&self) -> &TimeSource {
-        &self.inner.time
+        &self.time
     }
 
     /// Registers `id` and returns its endpoint.
     ///
     /// # Panics
     ///
-    /// Panics if the id is already registered.
+    /// Panics if the id is already registered locally.
     pub fn register(&self, id: EndpointId) -> Endpoint {
-        let (tx, rx) = unbounded();
-        let prev = self.inner.senders.write().insert(id, tx);
-        assert!(prev.is_none(), "endpoint {id} registered twice");
-        Endpoint {
-            id,
-            receiver: rx,
-            time: self.inner.time.clone(),
-        }
+        self.transport.register(id)
     }
 
     /// Removes an endpoint; subsequent sends to it become dead letters.
     pub fn unregister(&self, id: EndpointId) {
-        self.inner.senders.write().remove(&id);
+        self.transport.unregister(id);
     }
 
     /// Sends a bare message with bus-allocated id and attempt 1 — for
     /// traffic outside any reliable endpoint (tests, fire-and-forget).
     /// Returns false if the destination is unregistered.
     pub fn send(&self, to: EndpointId, body: RtMsg) -> bool {
-        let id = self.inner.raw_ids.lock().next_id();
+        let id = self.raw_ids.lock().next_id();
         self.send_envelope(
             to,
             Envelope {
@@ -329,140 +236,55 @@ impl Bus {
         )
     }
 
-    /// Sends a full envelope through fault injection (if any) to `to`.
-    /// Returns whether the destination endpoint is currently registered —
-    /// a chaos drop still reports true, because a real sender cannot
-    /// observe in-network loss.
+    /// Sends a full envelope through the transport (and its fault
+    /// injection, if any) to `to`. Returns whether the destination is
+    /// currently reachable — a chaos drop still reports true, because a
+    /// real sender cannot observe in-network loss.
     pub fn send_envelope(&self, to: EndpointId, env: Envelope) -> bool {
-        {
-            let mut stats = self.inner.stats.lock();
-            stats.entry(to).or_default().sent += 1;
-        }
-        // Heartbeats and transport acks dominate chaotic traffic; their
-        // fates stay out of the journal so the ring retains the events
-        // that matter for adjustment forensics.
-        let noisy = matches!(env.body, RtMsg::Heartbeat { .. } | RtMsg::MsgAck { .. });
-        let deliveries = match &self.inner.chaos {
-            Some(engine) => {
-                let now = self.inner.time.now();
-                let mut engine = engine.lock();
-                // Window lifecycle transitions are observed on sends; with
-                // heartbeats flowing constantly that pins the journal event
-                // to within one beacon period of the scripted instant.
-                let (started, healed) = engine.poll_windows(now);
-                let (deliveries, fate) = engine.route(now, to, env);
-                drop(engine);
-                if let Some(journal) = self.inner.journal.as_ref() {
-                    for name in started {
-                        journal.emit(EventKind::PartitionStart { name });
-                    }
-                    for name in healed {
-                        journal.emit(EventKind::PartitionHeal { name });
-                    }
-                    if let (Some(fate), false) = (fate, noisy) {
-                        journal.emit(EventKind::ChaosInjected { fate, to });
-                    }
-                }
-                deliveries
-            }
-            None => vec![(to, env)],
-        };
-        for (dst, envelope) in deliveries {
-            let env_noisy = matches!(
-                envelope.body,
-                RtMsg::Heartbeat { .. } | RtMsg::MsgAck { .. }
-            );
-            let delivered = match self.inner.senders.read().get(&dst) {
-                Some(tx) => tx.send(envelope).is_ok(),
-                None => false,
-            };
-            let mut stats = self.inner.stats.lock();
-            let entry = stats.entry(dst).or_default();
-            if delivered {
-                entry.delivered += 1;
-            } else {
-                entry.dead_letters += 1;
-                if let (Some(journal), false) = (self.inner.journal.as_ref(), env_noisy) {
-                    journal.emit(EventKind::DeadLetter { to: dst });
-                }
-            }
-        }
-        let registered = self.inner.senders.read().contains_key(&to);
-        // Under virtual time, parked receivers re-check their queues only
-        // when woken; publish the delivery. (No bus lock is held here, and
-        // `wake_all` only flips scheduler states — it never blocks.)
-        self.inner.time.wake_all();
-        registered
+        self.transport.send_envelope(to, env)
     }
 
     /// Delivery counters for one destination.
     pub fn stats(&self, id: EndpointId) -> EndpointStats {
-        self.inner
-            .stats
-            .lock()
-            .get(&id)
-            .copied()
-            .unwrap_or_default()
+        self.transport.stats(id)
     }
 
     /// All per-destination counters, sorted by endpoint.
     pub fn all_stats(&self) -> Vec<(EndpointId, EndpointStats)> {
-        let mut v: Vec<_> = self
-            .inner
-            .stats
-            .lock()
-            .iter()
-            .map(|(&k, &s)| (k, s))
-            .collect();
-        v.sort_by_key(|(k, _)| *k);
-        v
+        self.transport.all_stats()
     }
 
     /// Total messages that could not be delivered anywhere.
     pub fn total_dead_letters(&self) -> u64 {
-        self.inner
-            .stats
-            .lock()
-            .values()
-            .map(|s| s.dead_letters)
-            .sum()
+        self.transport.total_dead_letters()
     }
 
     /// Fault-injection counters, if a chaos policy is attached.
     pub fn chaos_stats(&self) -> Option<ChaosStats> {
-        self.inner.chaos.as_ref().map(|e| e.lock().stats())
+        self.transport.chaos_stats()
     }
 
     /// Whether an open partition window currently cuts the `a`↔`b` edge.
-    /// Always false on a bus without fault injection.
+    /// Always false on a transport without fault injection.
     pub fn is_partitioned(&self, a: EndpointId, b: EndpointId) -> bool {
-        match &self.inner.chaos {
-            Some(engine) => engine.lock().is_partitioned(self.inner.time.now(), a, b),
-            None => false,
-        }
+        self.transport.is_partitioned(a, b)
     }
 
     /// Injects a partition window at runtime (in addition to any windows
-    /// scripted in the policy). Returns false when the bus has no chaos
-    /// engine to carry it.
+    /// scripted in the policy). Returns false when the transport has no
+    /// chaos engine to carry it.
     pub(crate) fn add_partition(&self, window: PartitionWindow) -> bool {
-        match &self.inner.chaos {
-            Some(engine) => {
-                engine.lock().add_window(window);
-                true
-            }
-            None => false,
-        }
+        self.transport.add_partition(window)
     }
 
     /// Registered endpoint count.
     pub fn len(&self) -> usize {
-        self.inner.senders.read().len()
+        self.transport.endpoint_count()
     }
 
     /// True when no endpoints are registered.
     pub fn is_empty(&self) -> bool {
-        self.inner.senders.read().is_empty()
+        self.transport.endpoint_count() == 0
     }
 }
 
@@ -529,6 +351,7 @@ impl Endpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use elan_core::state::WorkerId;
 
     #[test]
     fn roundtrip_between_endpoints() {
@@ -632,8 +455,7 @@ mod tests {
 
     #[test]
     fn chaotic_bus_reports_stats() {
-        use crate::chaos::ChaosPolicy;
-        let bus = Bus::with_chaos(ChaosPolicy::new(9).drop(1.0));
+        let bus = Bus::builder().chaos(ChaosPolicy::new(9).drop(1.0)).build();
         let w = bus.register(EndpointId::Worker(WorkerId(0)));
         bus.send(EndpointId::Worker(WorkerId(0)), RtMsg::Leave { term: 0 });
         assert!(w.try_recv().is_none());

@@ -43,12 +43,14 @@ pub mod comm;
 pub mod liveness;
 pub mod obs;
 pub mod reliable;
+pub mod remote;
 pub mod runtime;
 pub mod safety;
 pub mod time;
+pub mod transport;
 pub mod worker;
 
-pub use bus::{Bus, Endpoint, EndpointId, EndpointStats, Envelope, RtMsg};
+pub use bus::{Bus, BusBuilder, Endpoint, EndpointId, EndpointStats, Envelope, RtMsg};
 pub use chaos::{ChaosPolicy, ChaosStats, EdgeChaos, PartitionWindow};
 pub use comm::{
     adaptive_chunk_elems, reference_sum, AllreduceOutcome, CommGroup, CommTopology, ReducePath,
@@ -60,8 +62,10 @@ pub use obs::{
     JournalSummary, Obs, RingBufferSink, TraceKind, TraceRecorder, DEFAULT_RING_CAPACITY,
 };
 pub use reliable::{ReliableEndpoint, RtMetrics, RtMetricsSnapshot};
+pub use remote::{run_remote_worker, RemoteRole};
 pub use runtime::{
     CheckpointSnapshot, ElasticRuntime, RuntimeBuilder, RuntimeConfig, ShutdownReport,
 };
 pub use safety::{check_term_safety, TermSafetyReport, TermViolation};
 pub use time::{SlotGuard, ThreadSlot, TimeSource, VirtualClock};
+pub use transport::{MemoryTransport, SocketTransport, Transport};

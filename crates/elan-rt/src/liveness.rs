@@ -173,6 +173,20 @@ pub struct SharedControl {
     /// Last-known `(term, boundary iteration)` of workers that crashed at
     /// a boundary — what a restarted incarnation presents in `Rejoin`.
     pub crash_info: Mutex<HashMap<WorkerId, (u64, u64)>>,
+    /// Latest iteration the AM has heard from each worker (heartbeat
+    /// telemetry). This is the controller's progress view when workers
+    /// live in other processes and the in-process `Telemetry` map stays
+    /// empty.
+    pub progress: Mutex<HashMap<WorkerId, u64>>,
+    /// First-contact grace (ms) the failure detector extends to members
+    /// it has never heard from. Zero means "same as the heartbeat
+    /// timeout" — the historical behavior, right for in-process workers
+    /// that are running before the AM's first poll. The runtime widens
+    /// it in remote mode, where founding workers are separate OS
+    /// processes whose spawn + dial-in can outlast the steady-state
+    /// timeout; it lives here (not in `RuntimeConfig`) so replacement AM
+    /// incarnations elected by the watchdog inherit it.
+    pub first_contact_grace_ms: AtomicU64,
     /// Join handles of every AM incarnation (original + replacements).
     pub am_handles: Mutex<Vec<JoinHandle<()>>>,
     /// Shared observability bundle (journal + traces + metrics registry).
@@ -206,6 +220,8 @@ impl SharedControl {
             worker_crash: RwLock::new(HashSet::new()),
             worker_crash_points: Mutex::new(Vec::new()),
             crash_info: Mutex::new(HashMap::new()),
+            progress: Mutex::new(HashMap::new()),
+            first_contact_grace_ms: AtomicU64::new(0),
             am_handles: Mutex::new(Vec::new()),
             obs,
             metrics,
@@ -367,15 +383,34 @@ impl SharedControl {
 #[derive(Debug)]
 pub struct HeartbeatMonitor {
     last: HashMap<WorkerId, SimTime>,
+    /// Members never heard from, seeded at first poll. Kept apart from
+    /// `last` so a first proof of life can be awaited under a different
+    /// (usually longer) deadline than continued silence after one.
+    awaited: HashMap<WorkerId, SimTime>,
     timeout: SimDuration,
+    first_contact: SimDuration,
 }
 
 impl HeartbeatMonitor {
     /// A monitor declaring workers dead after `timeout` of silence.
     pub fn new(timeout: Duration) -> Self {
+        HeartbeatMonitor::with_grace(timeout, timeout)
+    }
+
+    /// A monitor whose never-heard-from members get `first_contact` of
+    /// grace before the verdict, instead of `timeout`.
+    ///
+    /// In-process workers are running before the AM's first poll, so
+    /// `new` keeps the two deadlines equal; remote workers are separate
+    /// OS processes whose spawn + dial-in can easily outlast a heartbeat
+    /// timeout tuned for steady-state silence, so the runtime widens
+    /// `first_contact` in remote mode.
+    pub fn with_grace(timeout: Duration, first_contact: Duration) -> Self {
         HeartbeatMonitor {
             last: HashMap::new(),
+            awaited: HashMap::new(),
             timeout: std_to_sim(timeout),
+            first_contact: std_to_sim(first_contact),
         }
     }
 
@@ -384,6 +419,7 @@ impl HeartbeatMonitor {
     /// Any message from a worker counts — heartbeats are just the
     /// guaranteed minimum traffic.
     pub fn note(&mut self, worker: WorkerId, now: SimTime) {
+        self.awaited.remove(&worker);
         self.last.insert(worker, now);
     }
 
@@ -391,14 +427,19 @@ impl HeartbeatMonitor {
     ///
     /// A member never heard from at all is given the benefit of the doubt
     /// by starting its clock at first observation: `dead` seeds `now` for
-    /// unknown members instead of condemning them immediately.
+    /// unknown members instead of condemning them immediately, and holds
+    /// them to the `first_contact` deadline rather than `timeout`.
     pub fn dead(&mut self, members: &[WorkerId], now: SimTime) -> Vec<WorkerId> {
         members
             .iter()
             .copied()
             .filter(|w| {
-                let last = *self.last.entry(*w).or_insert(now);
-                now.saturating_duration_since(last) > self.timeout
+                if let Some(&last) = self.last.get(w) {
+                    now.saturating_duration_since(last) > self.timeout
+                } else {
+                    let seeded = *self.awaited.entry(*w).or_insert(now);
+                    now.saturating_duration_since(seeded) > self.first_contact
+                }
             })
             .collect()
     }
@@ -406,6 +447,7 @@ impl HeartbeatMonitor {
     /// Forgets a worker (it left or was declared dead).
     pub fn forget(&mut self, worker: WorkerId) {
         self.last.remove(&worker);
+        self.awaited.remove(&worker);
     }
 }
 
@@ -539,6 +581,36 @@ mod tests {
         assert_eq!(
             hb.dead(&[WorkerId(7)], t0 + SimDuration::from_millis(80)),
             vec![WorkerId(7)]
+        );
+    }
+
+    #[test]
+    fn first_contact_grace_outlasts_the_steady_state_timeout() {
+        // Remote mode: a founding worker process that has never dialed in
+        // is held to the wider first-contact deadline, but once heard
+        // from it falls under the normal heartbeat timeout.
+        let mut hb =
+            HeartbeatMonitor::with_grace(Duration::from_millis(50), Duration::from_millis(500));
+        let t0 = SimTime::ZERO;
+        // Silent well past the steady-state timeout: still awaited.
+        assert!(hb.dead(&[WorkerId(0), WorkerId(1)], t0).is_empty());
+        assert!(hb
+            .dead(&[WorkerId(0)], t0 + SimDuration::from_millis(400))
+            .is_empty());
+        // First contact at 450ms: from here on the 50ms timeout governs.
+        let contact = t0 + SimDuration::from_millis(450);
+        hb.note(WorkerId(0), contact);
+        assert!(hb
+            .dead(&[WorkerId(0)], contact + SimDuration::from_millis(50))
+            .is_empty());
+        assert_eq!(
+            hb.dead(&[WorkerId(0)], contact + SimDuration::from_millis(51)),
+            vec![WorkerId(0)]
+        );
+        // A never-contacted member does run out of grace eventually.
+        assert_eq!(
+            hb.dead(&[WorkerId(1)], t0 + SimDuration::from_millis(1000)),
+            vec![WorkerId(1)]
         );
     }
 

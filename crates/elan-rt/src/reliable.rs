@@ -367,7 +367,11 @@ mod tests {
     fn vbus(seed: u64, policy: Option<ChaosPolicy>) -> (Bus, TimeSource) {
         let time = TimeSource::virtual_seeded(seed);
         time.register_current();
-        (Bus::with_options(policy, None, time.clone()), time)
+        let mut builder = Bus::builder().time(time.clone());
+        if let Some(policy) = policy {
+            builder = builder.chaos(policy);
+        }
+        (builder.build(), time)
     }
 
     fn pair(bus: &Bus, metrics: &Arc<RtMetrics>) -> (ReliableEndpoint, ReliableEndpoint) {

@@ -11,7 +11,7 @@
 //!
 //! - every control message rides a [`ReliableEndpoint`] (ids, acks,
 //!   resend-on-timeout, bounded dedup), so the job survives a lossy,
-//!   duplicating, reordering bus ([`Bus::with_chaos`]);
+//!   duplicating, reordering bus ([`Bus::builder`]);
 //! - the AM persists its durable record ([`AmDurable`]) to the shared
 //!   [`SharedControl`] store *before* every externally visible action and
 //!   proves liveness by refreshing a lease; a watchdog thread elects a
@@ -47,6 +47,7 @@ use crate::obs::{
 };
 use crate::reliable::{ReliableEndpoint, RtMetrics, RtMetricsSnapshot};
 use crate::time::{std_to_sim, TimeSource};
+use crate::transport::Transport;
 use crate::worker::{
     run_worker, SnapshotAssembly, Telemetry, WorkerConfig, WorkerRole, WorkerView,
 };
@@ -59,6 +60,16 @@ const AM_OWNER_FLAG: u32 = 1 << 31;
 /// How often the controller re-issues an unacknowledged operation at the
 /// application level (covers AM failovers that swallowed the original).
 const OP_RESEND_EVERY: SimDuration = SimDuration::from_millis(400);
+
+/// First-contact grace (ms) the failure detector extends in remote mode
+/// to members it has never heard from. Remote founding workers are OS
+/// processes spawned by an external orchestrator *after* the coordinator
+/// is up; on a loaded machine, spawn + connect + init can easily outlast
+/// a heartbeat timeout tuned for steady-state silence, and condemning a
+/// worker that never arrived deadlocks the job (its late `Report` is not
+/// an admission path). Once a worker has been heard from, the normal
+/// heartbeat timeout applies.
+const REMOTE_FIRST_CONTACT_GRACE_MS: u64 = 10_000;
 
 /// Configuration of a live elastic job.
 #[derive(Debug, Clone, Copy)]
@@ -206,6 +217,10 @@ pub struct ElasticRuntime {
     /// hashed order would make the virtual-clock schedule (and thus the
     /// journal) vary across runs of the same seed.
     worker_handles: BTreeMap<WorkerId, JoinHandle<()>>,
+    /// True when workers are separate OS processes reached over the
+    /// transport: the runtime spawns no worker threads and reads
+    /// progress from AM heartbeat telemetry.
+    remote_workers: bool,
 }
 
 impl std::fmt::Debug for ElasticRuntime {
@@ -242,6 +257,8 @@ pub struct RuntimeBuilder {
     time: TimeSource,
     topology: Option<CommTopology>,
     tuning: Option<TuningProfile>,
+    transport: Option<Arc<dyn Transport>>,
+    remote_workers: bool,
 }
 
 impl std::fmt::Debug for RuntimeBuilder {
@@ -255,6 +272,8 @@ impl std::fmt::Debug for RuntimeBuilder {
             .field("time", &self.time)
             .field("topology", &self.topology.is_some())
             .field("tuning", &self.tuning)
+            .field("transport", &self.transport.is_some())
+            .field("remote_workers", &self.remote_workers)
             .finish()
     }
 }
@@ -270,6 +289,8 @@ impl RuntimeBuilder {
             time: TimeSource::real(),
             topology: None,
             tuning: None,
+            transport: None,
+            remote_workers: false,
         }
     }
 
@@ -348,6 +369,30 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Runs the control plane over the given [`Transport`] instead of a
+    /// freshly built in-memory bus — e.g. a
+    /// [`SocketTransport`](crate::transport::SocketTransport) listening
+    /// hub, which turns this runtime into a multi-process coordinator.
+    /// The runtime attaches its journal and clock to the transport at
+    /// launch. Incompatible with [`RuntimeBuilder::chaos`] (fault
+    /// injection lives in the in-memory transport) and, for transports
+    /// that cannot run on a virtual clock, with virtual
+    /// [`RuntimeBuilder::time`].
+    pub fn transport(mut self, transport: Arc<dyn Transport>) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Declares that workers live in *other processes* and reach this
+    /// runtime over the transport: the runtime spawns no local worker
+    /// threads (at launch or on scale-out) and tracks progress through
+    /// the heartbeat iterations the AM collects, rather than in-process
+    /// telemetry. Requires [`RuntimeBuilder::transport`].
+    pub fn remote_workers(mut self, remote: bool) -> Self {
+        self.remote_workers = remote;
+        self
+    }
+
     /// Validates the configuration and launches the job.
     ///
     /// # Errors
@@ -376,6 +421,30 @@ impl RuntimeBuilder {
                 });
             }
         }
+        if let Some(transport) = &self.transport {
+            if self.chaos.is_some() {
+                return Err(ElanError::Config(
+                    "chaos policies require the in-memory transport".into(),
+                ));
+            }
+            if self.time.is_virtual() && !transport.supports_virtual_time() {
+                return Err(ElanError::Config(
+                    "this transport cannot run on a virtual clock".into(),
+                ));
+            }
+        }
+        if self.remote_workers {
+            if self.transport.is_none() {
+                return Err(ElanError::Config(
+                    "remote workers require an explicit transport".into(),
+                ));
+            }
+            if self.restore.is_some() {
+                return Err(ElanError::Config(
+                    "restore spawns local workers; incompatible with remote workers".into(),
+                ));
+            }
+        }
         Ok(ElasticRuntime::launch(
             self.cfg,
             self.restore,
@@ -385,6 +454,8 @@ impl RuntimeBuilder {
             self.time,
             self.topology,
             self.tuning,
+            self.transport,
+            self.remote_workers,
         ))
     }
 }
@@ -407,19 +478,47 @@ impl ElasticRuntime {
         time: TimeSource,
         topology: Option<CommTopology>,
         tuning: Option<TuningProfile>,
+        transport: Option<Arc<dyn Transport>>,
+        remote_workers: bool,
     ) -> Self {
         // The controller (this thread) joins the clock first, so that on a
         // virtual clock every thread spawned below is scheduled
         // deterministically from the very first instruction.
         time.register_current();
         let obs = Obs::with_time(ring_capacity, sinks, time.clone());
-        let bus = Bus::with_options(chaos, Some(Arc::clone(&obs.journal)), time.clone());
+        let bus = match transport {
+            Some(transport) => {
+                // Attach before any register: endpoints capture the clock
+                // at registration, and the bus caches journal/time when
+                // wrapped.
+                transport.attach(Some(Arc::clone(&obs.journal)), time.clone());
+                Bus::with_transport(transport)
+            }
+            None => {
+                let mut bus_builder = Bus::builder()
+                    .journal(Arc::clone(&obs.journal))
+                    .time(time.clone());
+                if let Some(policy) = chaos {
+                    bus_builder = bus_builder.chaos(policy);
+                }
+                bus_builder.build()
+            }
+        };
         let metrics = Arc::clone(&obs.rt);
         let ctrl = Arc::new(SharedControl::with_time(
             Duration::from_millis(cfg.lease_ttl_ms),
             obs,
             time.clone(),
         ));
+        if remote_workers {
+            // Founding workers are OS processes an external orchestrator
+            // spawns after this returns: give their first contact room
+            // for process startup + dial-in, so the failure detector
+            // doesn't condemn a member that simply hasn't arrived yet.
+            // Set before the AM spawns below so its monitor sees it.
+            ctrl.first_contact_grace_ms
+                .store(REMOTE_FIRST_CONTACT_GRACE_MS, Ordering::SeqCst);
+        }
         let members: Vec<WorkerId> = (0..cfg.initial_workers).map(WorkerId).collect();
         *ctrl.members.lock() = members.clone();
         // Seed the durable record before anything can crash.
@@ -477,18 +576,24 @@ impl ElasticRuntime {
             adjustments: 0,
             watchdog: Some(watchdog),
             worker_handles: BTreeMap::new(),
+            remote_workers,
         };
-        for &w in &members {
-            let role = match &restore {
-                Some(s) => WorkerRole::Restored {
-                    params: Arc::clone(&s.params),
-                    momentum: Arc::clone(&s.momentum),
-                    iteration: s.iteration,
-                    data_cursor: s.data_cursor,
-                },
-                None => WorkerRole::Founding,
-            };
-            rt.spawn_worker(w, role);
+        // In remote mode the founding workers are separate OS processes
+        // that dial in over the transport and announce themselves; the
+        // coordinator spawns nothing.
+        if !remote_workers {
+            for &w in &members {
+                let role = match &restore {
+                    Some(s) => WorkerRole::Restored {
+                        params: Arc::clone(&s.params),
+                        momentum: Arc::clone(&s.momentum),
+                        iteration: s.iteration,
+                        data_cursor: s.data_cursor,
+                    },
+                    None => WorkerRole::Founding,
+                };
+                rt.spawn_worker(w, role);
+            }
         }
         rt
     }
@@ -694,9 +799,24 @@ impl ElasticRuntime {
     }
 
     /// Blocks until every live member has completed `iteration`.
+    ///
+    /// With in-process workers this reads their shared telemetry; with
+    /// remote workers it reads the iteration carried by the heartbeats
+    /// the AM has collected (so a member that has never beaconed yet
+    /// keeps this waiting, exactly like an unspawned local worker).
     pub fn run_until_iteration(&self, iteration: u64) {
         loop {
-            {
+            if self.remote_workers {
+                let members = self.ctrl.members.lock().clone();
+                let progress = self.ctrl.progress.lock();
+                if !members.is_empty()
+                    && members
+                        .iter()
+                        .all(|w| progress.get(w).is_some_and(|&i| i >= iteration))
+                {
+                    return;
+                }
+            } else {
                 let members = self.ctrl.members.lock().clone();
                 let t = self.telemetry.lock();
                 let live: Vec<_> = members
@@ -836,8 +956,13 @@ impl ElasticRuntime {
                 },
             );
         }
-        for &w in &joining {
-            self.spawn_worker(w, WorkerRole::Joining);
+        // Remote joiners are launched as processes by the operator (they
+        // dial in and Report over the transport); local mode spawns them
+        // here.
+        if !self.remote_workers {
+            for &w in &joining {
+                self.spawn_worker(w, WorkerRole::Joining);
+            }
         }
         self.op_roundtrip(
             RtMsg::AdjustTo {
@@ -1021,6 +1146,10 @@ fn am_thread(
         .journal
         .emit(EventKind::TermBump { term: durable.term });
     let metrics = Arc::clone(&ctrl.metrics);
+    let first_contact_ms = ctrl
+        .first_contact_grace_ms
+        .load(Ordering::SeqCst)
+        .max(cfg.hb_timeout_ms);
     AmCore {
         cfg,
         rep,
@@ -1030,7 +1159,10 @@ fn am_thread(
         epoch,
         lease,
         durable,
-        hb: HeartbeatMonitor::new(Duration::from_millis(cfg.hb_timeout_ms)),
+        hb: HeartbeatMonitor::with_grace(
+            Duration::from_millis(cfg.hb_timeout_ms),
+            Duration::from_millis(first_contact_ms),
+        ),
         dead: BTreeSet::new(),
         fenced: false,
         rejoining: BTreeSet::new(),
@@ -1307,7 +1439,15 @@ impl AmCore {
                 term,
                 iteration,
             } => self.handle_rejoin(worker, term, iteration),
-            RtMsg::Heartbeat { .. } => {} // already noted in run()
+            RtMsg::Heartbeat { worker, iteration } => {
+                // Liveness was noted in run(); the carried iteration feeds
+                // the shared progress view, which is how the controller
+                // tracks training progress when workers are remote
+                // processes (the in-process telemetry map stays empty).
+                let mut progress = self.ctrl.progress.lock();
+                let e = progress.entry(worker).or_insert(iteration);
+                *e = (*e).max(iteration);
+            }
             _ => {}
         }
     }

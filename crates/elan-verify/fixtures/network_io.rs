@@ -1,0 +1,10 @@
+// expect: NETWORK_IO
+//
+// A runtime module opening its own socket instead of going through the
+// transport layer: the bytes bypass framing, CRC checks, and reconnect
+// semantics, and no chaos policy or deterministic run can see them.
+
+fn dial(addr: &str) -> bool {
+    let conn = TcpStream::connect(addr);
+    conn.is_ok()
+}

@@ -23,6 +23,10 @@
 //!   `time.rs` may read the OS clock or block the scheduler; everything
 //!   else routes through `TimeSource`, test code included, so seeded
 //!   virtual-time runs stay deterministic (DESIGN.md §12).
+//! - **Network-IO confinement** (`NETWORK_IO`): inside `elan-rt`, only
+//!   `transport/` may open sockets or name socket types; everything else
+//!   talks to peers through a `Transport` behind the bus, so every wire
+//!   byte goes through the framed, CRC-checked codec (DESIGN.md §15).
 //!
 //! Diagnostics carry `file:line`, an invariant ID, and a fix hint; waivers
 //! come from `verify-allow.toml` (diffed in CI so they only grow with
@@ -34,6 +38,7 @@ pub mod report;
 pub mod rules {
     pub mod locks;
     pub mod magic;
+    pub mod netio;
     pub mod panics;
     pub mod persist;
     pub mod protocol;
@@ -58,6 +63,7 @@ pub fn run_all(ws: &Workspace) -> Result<Vec<Diagnostic>, String> {
     diags.extend(rules::panics::run(ws));
     diags.extend(rules::magic::run(ws));
     diags.extend(rules::wallclock::run(ws));
+    diags.extend(rules::netio::run(ws));
     diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(diags)
 }

@@ -14,9 +14,10 @@ pub mod rules {
     pub const PANIC_HYGIENE: &str = "PANIC_HYGIENE";
     pub const MAGIC_NUMBER: &str = "MAGIC_NUMBER";
     pub const WALL_CLOCK: &str = "WALL_CLOCK";
+    pub const NETWORK_IO: &str = "NETWORK_IO";
 
     /// All rule IDs, for `--self-test` cross-checking.
-    pub const ALL: [&str; 9] = [
+    pub const ALL: [&str; 10] = [
         LOCK_ORDER_CYCLE,
         LOCK_ACROSS_SEND,
         PROTOCOL_UNHANDLED_MSG,
@@ -26,6 +27,7 @@ pub mod rules {
         PANIC_HYGIENE,
         MAGIC_NUMBER,
         WALL_CLOCK,
+        NETWORK_IO,
     ];
 }
 

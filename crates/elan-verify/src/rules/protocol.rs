@@ -1,7 +1,7 @@
 //! Protocol exhaustiveness (PROTOCOL_UNHANDLED_MSG, PROTOCOL_UNEMITTED_EVENT,
 //! PROTOCOL_UNCONSTRUCTED_ERROR).
 //!
-//! - Every `RtMsg` variant (defined in `elan-rt/src/bus.rs`) must appear in
+//! - Every `RtMsg` variant (defined in `elan-core/src/protocol.rs`) must appear in
 //!   *pattern position* (`match` arm, `matches!`, `if let`) somewhere in
 //!   non-test `elan-rt` code — an unmatched variant is a message the runtime
 //!   can receive but never dispatches or acks (§V-B).
@@ -31,7 +31,7 @@ struct EnumRule {
 const ENUM_RULES: [EnumRule; 3] = [
     EnumRule {
         enum_name: "RtMsg",
-        def_file: "elan-rt/src/bus.rs",
+        def_file: "elan-core/src/protocol.rs",
         use_crate: "elan-rt",
         want_pattern: true,
         rule: rules::PROTOCOL_UNHANDLED_MSG,

@@ -47,10 +47,11 @@ pub use elan_sched as sched;
 pub use elan_sim as sim;
 pub use elan_topology as topology;
 
+pub use elan_core::codec::{DecodeError, WireFrame};
 pub use elan_core::obs::{MetricsRegistry, MetricsSnapshot};
 pub use elan_core::ElanError;
 pub use elan_rt::{
-    render_trace_report, AdjustmentTrace, CommTopology, ElasticRuntime, Event, EventKind,
-    EventSink, JournalSummary, ReducePath, RingBufferSink, RuntimeBuilder, RuntimeConfig,
-    ShutdownReport, TuningProfile,
+    render_trace_report, run_remote_worker, AdjustmentTrace, CommTopology, ElasticRuntime, Event,
+    EventKind, EventSink, JournalSummary, MemoryTransport, ReducePath, RemoteRole, RingBufferSink,
+    RuntimeBuilder, RuntimeConfig, ShutdownReport, SocketTransport, Transport, TuningProfile,
 };

@@ -1,0 +1,165 @@
+//! Multi-process loopback e2e: the coordinator runs in this test process
+//! over a Unix-domain [`SocketTransport`]; every worker is a real child
+//! OS process running the `elan-worker` bin.
+//!
+//! The run exercises the full elastic lifecycle across the process
+//! boundary — founding workers dial in, a joiner is admitted by a
+//! scale-out, a worker process is killed outright (no goodbye — the
+//! failure detector must notice the silence), and a fresh process
+//! rejoins with the crashed incarnation's credentials — then asserts the
+//! coordinator journal shows the same event-sequence shape the in-memory
+//! chaos e2e produces for the equivalent in-process run.
+
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use elan::core::state::WorkerId;
+use elan::{ElasticRuntime, EventKind, RuntimeConfig, ShutdownReport, SocketTransport, Transport};
+
+/// Writes the run's retained event journal to
+/// `target/chaos-journals/<name>.json` (one JSON object per line) so CI
+/// can upload the forensic trail as an artifact when the suite fails.
+/// Best-effort: a read-only target dir must not fail the test itself.
+fn dump_journal(name: &str, report: &ShutdownReport) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("chaos-journals");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let lines: Vec<String> = report.events.iter().map(|e| e.to_json()).collect();
+    let _ = std::fs::write(dir.join(format!("{name}.json")), lines.join("\n") + "\n");
+}
+
+fn spawn_worker(addr: &str, id: u32, role: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_elan-worker"))
+        .args(["--connect", addr, "--id", &id.to_string(), "--role", role])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn elan-worker process")
+}
+
+/// Polls `child` until it exits or `timeout` passes (no `wait_timeout`
+/// in std).
+fn exited_within(child: &mut Child, timeout: Duration) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        match child.try_wait() {
+            Ok(Some(_)) => return true,
+            Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+            Err(_) => return false,
+        }
+    }
+    false
+}
+
+#[test]
+fn uds_multiprocess_scale_out_crash_rejoin() {
+    let sock = std::env::temp_dir().join(format!("elan-transport-e2e-{}.sock", std::process::id()));
+    let addr = format!("unix:{}", sock.display());
+    let transport = SocketTransport::listen(&addr).expect("listen on temp UDS path");
+    let transport: Arc<dyn Transport> = Arc::new(transport);
+    let mut rt = ElasticRuntime::builder()
+        .config(RuntimeConfig::small(2))
+        .transport(transport)
+        .remote_workers(true)
+        .start()
+        .expect("start coordinator");
+
+    // (id, process) for every worker ever spawned; all of them must exit
+    // on their own Leave by the end.
+    let mut children: Vec<(u32, Child)> = Vec::new();
+    children.push((0, spawn_worker(&addr, 0, "founding")));
+    children.push((1, spawn_worker(&addr, 1, "founding")));
+    rt.run_until_iteration(10);
+
+    // Scale out to 3. The joiner process starts first — its announce is
+    // re-sent at heartbeat cadence until an AM admits it, so the order
+    // doesn't race the adjustment.
+    children.push((2, spawn_worker(&addr, 2, "joining")));
+    rt.scale_out(1);
+    assert!(
+        rt.wait_for_members(3, Duration::from_secs(60)),
+        "joiner process was never admitted"
+    );
+    rt.run_until_iteration(20);
+
+    // Kill worker 1's OS process outright: its heartbeats stop, the AM's
+    // failure detector declares it dead, and a failure scale-in shrinks
+    // the job — the remote equivalent of a chaos-injected crash.
+    let (victim_id, mut victim) = children.remove(1);
+    assert_eq!(victim_id, 1);
+    victim.kill().expect("kill worker 1");
+    let _ = victim.wait();
+    assert!(
+        rt.wait_for_members(2, Duration::from_secs(60)),
+        "killed worker was never declared dead"
+    );
+
+    // A fresh process rejoins with the crashed incarnation's credentials
+    // and re-enters through the chunked state-replication path.
+    children.push((1, spawn_worker(&addr, 1, "rejoin:0:0")));
+    assert!(
+        rt.wait_for_members(3, Duration::from_secs(60)),
+        "rejoining process was never re-admitted"
+    );
+    rt.run_until_iteration(30);
+
+    let report = rt.shutdown();
+    dump_journal("uds_multiprocess_scale_out_crash_rejoin", &report);
+    let _ = std::fs::remove_file(&sock);
+
+    // The shutdown's Leave broadcast must release every worker process.
+    for (id, mut child) in children {
+        assert!(
+            exited_within(&mut child, Duration::from_secs(60)),
+            "worker process {id} did not exit after shutdown"
+        );
+    }
+
+    assert_eq!(report.final_world_size, 3, "{report:?}");
+    assert_eq!(report.adjustments, 1, "one controller-requested scale-out");
+
+    // Event-sequence shape: identical to the in-memory chaos e2e for the
+    // equivalent scale-out + crash + rejoin run, just over a socket.
+    let j = &report.journal;
+    assert!(j.count("worker_reported") >= 1, "no reports: {j:?}");
+    assert!(
+        j.count("adjustment_requested") >= 2,
+        "scale-out + failure scale-in both adjust: {j:?}"
+    );
+    assert!(
+        j.count("adjustment_completed") >= 2,
+        "adjustments never completed: {j:?}"
+    );
+    assert!(
+        j.count("replication_planned") >= 2,
+        "joiner and rejoiner each need a plan: {j:?}"
+    );
+    assert!(
+        j.count("transfer_done") >= 2,
+        "joiner and rejoiner each receive state: {j:?}"
+    );
+    assert!(j.count("boundary_released") >= 1, "no boundaries: {j:?}");
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::WorkerDeclaredDead { worker } if worker == WorkerId(1)
+        )),
+        "worker 1's death was never detected"
+    );
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::WorkerRejoin { worker, .. } if worker == WorkerId(1)
+        )),
+        "worker 1 never rejoined"
+    );
+    // Every adjustment ran the five-phase pipeline.
+    assert!(
+        j.count("phase_started") >= 2 && j.count("phase_ended") >= 2,
+        "pipeline phases missing: {j:?}"
+    );
+}

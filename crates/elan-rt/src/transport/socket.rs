@@ -152,7 +152,11 @@ impl Shared {
     /// Returns whether a destination was known at all.
     fn deliver(&self, to: EndpointId, env: Envelope) -> bool {
         let noisy = matches!(env.body, RtMsg::Heartbeat { .. } | RtMsg::MsgAck { .. });
-        let delivered = if let Some(tx) = self.local.read().get(&to) {
+        // Clone the sender out of the guard: an `if let` scrutinee guard
+        // would otherwise stay live through the `else` branch, holding the
+        // `local` read lock across the blocking socket write below.
+        let local_tx = self.local.read().get(&to).cloned();
+        let delivered = if let Some(tx) = local_tx {
             tx.send(env).is_ok()
         } else {
             let writer = self
@@ -383,7 +387,11 @@ impl Transport for SocketTransport {
         // A write failure means the hub is gone; the reader loop has
         // noticed (or will), and registration itself still succeeds —
         // exactly like registering on a partitioned in-memory bus.
-        if let Some(uplink) = self.shared.uplink.read().clone() {
+        // The uplink guard is dropped before the (blocking) frame write:
+        // an `if let` scrutinee temp would pin the `uplink` read lock
+        // across socket IO otherwise.
+        let uplink = self.shared.uplink.read().clone();
+        if let Some(uplink) = uplink {
             let _ = uplink.write_frame(&WireFrame::Hello { from: id });
         }
         Endpoint::assemble(id, rx, self.shared.time.read().clone())
@@ -464,17 +472,17 @@ mod tests {
     /// practice, but CI machines stall.
     const RECV_WINDOW: Duration = Duration::from_secs(5);
 
-    fn uds_pair(name: &str) -> (SocketTransport, SocketTransport) {
+    fn uds_pair(name: &str) -> Result<(SocketTransport, SocketTransport), String> {
         let path = std::env::temp_dir().join(format!("elan-sock-{}-{name}", std::process::id()));
         let addr = format!("unix:{}", path.display());
-        let hub = SocketTransport::listen(&addr).unwrap();
-        let client = SocketTransport::connect(&addr).unwrap();
-        (hub, client)
+        let hub = SocketTransport::listen(&addr).map_err(|e| format!("listen {addr}: {e}"))?;
+        let client = SocketTransport::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        Ok((hub, client))
     }
 
     #[test]
-    fn uds_roundtrip_hub_to_client_and_back() {
-        let (hub, client) = uds_pair("roundtrip");
+    fn uds_roundtrip_hub_to_client_and_back() -> Result<(), String> {
+        let (hub, client) = uds_pair("roundtrip")?;
         let hub_bus = Bus::with_transport(Arc::new(hub));
         let client_bus = Bus::with_transport(Arc::new(client));
 
@@ -488,7 +496,7 @@ mod tests {
                 worker: WorkerId(0)
             }
         ));
-        let env = am.recv_timeout(RECV_WINDOW).expect("report over UDS");
+        let env = am.recv_timeout(RECV_WINDOW).ok_or("no report over UDS")?;
         assert!(matches!(env.body, RtMsg::Report { worker } if worker == WorkerId(0)));
 
         // AM → worker uses the route the Hello established.
@@ -499,18 +507,20 @@ mod tests {
                 term: 0
             }
         ));
-        let env = w0.recv_timeout(RECV_WINDOW).expect("proceed over UDS");
+        let env = w0.recv_timeout(RECV_WINDOW).ok_or("no proceed over UDS")?;
         assert!(matches!(env.body, RtMsg::Proceed { boundary: 5, .. }));
+        Ok(())
     }
 
     #[test]
-    fn tcp_relay_between_two_clients() {
-        let hub = SocketTransport::listen("tcp:127.0.0.1:0").unwrap();
+    fn tcp_relay_between_two_clients() -> Result<(), String> {
+        let hub = SocketTransport::listen("tcp:127.0.0.1:0").map_err(|e| e.to_string())?;
         let addr = hub.local_addr().to_string();
         let _hub_bus = Bus::with_transport(Arc::new(hub));
 
-        let a = Bus::with_transport(Arc::new(SocketTransport::connect(&addr).unwrap()));
-        let b = Bus::with_transport(Arc::new(SocketTransport::connect(&addr).unwrap()));
+        let connect = |a: &str| SocketTransport::connect(a).map_err(|e| e.to_string());
+        let a = Bus::with_transport(Arc::new(connect(&addr)?));
+        let b = Bus::with_transport(Arc::new(connect(&addr)?));
         let _w1 = a.register(EndpointId::Worker(WorkerId(1)));
         let w2 = b.register(EndpointId::Worker(WorkerId(2)));
 
@@ -538,22 +548,24 @@ mod tests {
                 break;
             }
         }
-        let env = delivered.expect("state chunk relayed hub-and-spoke");
+        let env = delivered.ok_or("state chunk not relayed hub-and-spoke")?;
         match env.body {
             RtMsg::StateChunk { data, .. } => assert_eq!(*data, *payload),
-            other => panic!("unexpected {other:?}"),
+            other => return Err(format!("unexpected {other:?}")),
         }
+        Ok(())
     }
 
     #[test]
-    fn unknown_destination_is_a_dead_letter() {
-        let (hub, _client) = uds_pair("deadletter");
+    fn unknown_destination_is_a_dead_letter() -> Result<(), String> {
+        let (hub, _client) = uds_pair("deadletter")?;
         let hub_bus = Bus::with_transport(Arc::new(hub));
         assert!(!hub_bus.send(EndpointId::Worker(WorkerId(9)), RtMsg::Leave { term: 0 }));
         assert_eq!(
             hub_bus.stats(EndpointId::Worker(WorkerId(9))).dead_letters,
             1
         );
+        Ok(())
     }
 
     #[test]

@@ -1,0 +1,27 @@
+// expect: BLOCKING_UNDER_LOCK
+//
+// Known-bad: the hub holds its route-map lock while a frame write goes
+// out on a socket. A peer that stops reading makes `write_all` park the
+// thread with the lock held, wedging every other connection that needs
+// the routes (DESIGN.md §16). The blocking op is one call away — the
+// diagnostic must print the full path, hop by hop.
+//
+// This file is a checker fixture, not part of the build.
+
+use std::sync::Mutex;
+
+struct Hub {
+    routes: Mutex<Routes>,
+    sock: Stream,
+}
+
+impl Hub {
+    fn relay(&self, frame: &Frame) {
+        let guard = self.routes.lock();
+        self.emit(frame, &guard);
+    }
+
+    fn emit(&self, frame: &Frame, routes: &Routes) {
+        self.sock.write_all(frame.bytes());
+    }
+}

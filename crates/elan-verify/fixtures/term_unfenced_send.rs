@@ -1,0 +1,20 @@
+// expect: TERM_FENCED_SEND
+//
+// Known-bad: an authority-bearing `Resume` carries its fencing term,
+// but the only path that constructs and sends it never passes a fence
+// check — no caller chain touches `persist_fenced` or the `fenced`
+// flag. A deposed AM racing its replacement can still push the message
+// onto the bus (DESIGN.md §13/§16). The diagnostic prints the
+// unguarded chain hop by hop.
+//
+// This file is a checker fixture, not part of the build.
+
+impl Am {
+    fn drive(&mut self, term: u64) {
+        self.emit(term);
+    }
+
+    fn emit(&mut self, term: u64) {
+        self.bus.send(RtMsg::Resume { term });
+    }
+}

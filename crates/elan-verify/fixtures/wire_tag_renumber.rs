@@ -1,0 +1,28 @@
+// expect: WIRE_COMPAT
+//
+// Known-bad: the encoder gives `Proceed` wire tag 1, but the decoder
+// has no arm for tag 1 — the variant was renumbered (or its decode arm
+// removed) without touching the other side. A coordinator and worker
+// built from different commits now silently mis-frame every in-flight
+// adjustment. Wire tags are append-only: shipped tags keep their
+// numbers forever (DESIGN.md §16).
+//
+// This file is a checker fixture, not part of the build.
+
+fn write_msg(w: &mut Writer, msg: &RtMsg) {
+    match msg {
+        RtMsg::Report { .. } => {
+            w.u8(0);
+        }
+        RtMsg::Proceed { .. } => {
+            w.u8(1);
+        }
+    }
+}
+
+fn read_msg(r: &mut Reader) -> Result<RtMsg> {
+    Ok(match r.u8() {
+        0 => RtMsg::Report {},
+        _ => RtMsg::Report {},
+    })
+}

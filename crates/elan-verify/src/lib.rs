@@ -27,22 +27,44 @@
 //!   `transport/` may open sockets or name socket types; everything else
 //!   talks to peers through a `Transport` behind the bus, so every wire
 //!   byte goes through the framed, CRC-checked codec (DESIGN.md §15).
+//! - **Blocking under lock** (`BLOCKING_UNDER_LOCK`): no OS-blocking op
+//!   (stream IO, `join()`, `accept()`, condvar waits, raw `recv`) while a
+//!   guard is live, directly or through the call graph (DESIGN.md §16).
+//! - **Virtual-time safety** (`VIRTUAL_TIME_UNSAFE`): real blocking ops
+//!   reachable from runtime entry points without the `blocking()` escape
+//!   hatch hang the seeded scheduler (DESIGN.md §12/§16).
+//! - **Term-fenced sends** (`TERM_FENCED_SEND`): AM-originated authority
+//!   messages carry a fencing term and only flow on `persist_fenced`-
+//!   guarded paths (DESIGN.md §13/§16).
+//! - **Wire compatibility** (`WIRE_COMPAT`): the RtMsg tag table, frame
+//!   kinds, and framing constants match the committed `codec_surface.txt`
+//!   manifest; tags are append-only (DESIGN.md §16).
+//!
+//! The lock, blocking, virtual-time, and fencing rules share one
+//! interprocedural reachability engine ([`engine::Engine`]): a cross-crate
+//! name-based call graph with per-function effect sets and call-path
+//! attribution, so diagnostics print every hop with file:line.
 //!
 //! Diagnostics carry `file:line`, an invariant ID, and a fix hint; waivers
 //! come from `verify-allow.toml` (diffed in CI so they only grow with
-//! review). See DESIGN.md §11 for the rule catalogue.
+//! review). See DESIGN.md §11/§16 for the rule catalogue.
 
+pub mod engine;
 pub mod lexer;
 pub mod model;
 pub mod report;
 pub mod rules {
+    pub mod blocking;
+    pub mod fence;
     pub mod locks;
     pub mod magic;
     pub mod netio;
     pub mod panics;
     pub mod persist;
     pub mod protocol;
+    pub mod vtime;
     pub mod wallclock;
+    pub mod wirecompat;
 }
 pub mod waiver;
 
@@ -56,14 +78,19 @@ pub use waiver::{apply_waivers, parse_waivers, Waiver};
 /// Run every invariant class over the workspace (or fixture) and return the
 /// diagnostics sorted by file, line, then rule.
 pub fn run_all(ws: &Workspace) -> Result<Vec<Diagnostic>, String> {
+    let eng = engine::Engine::build(ws);
     let mut diags = Vec::new();
-    diags.extend(rules::locks::run(ws));
+    diags.extend(rules::locks::run(ws, &eng));
     diags.extend(rules::protocol::run(ws)?);
     diags.extend(rules::persist::run(ws));
     diags.extend(rules::panics::run(ws));
     diags.extend(rules::magic::run(ws));
     diags.extend(rules::wallclock::run(ws));
     diags.extend(rules::netio::run(ws));
+    diags.extend(rules::blocking::run(ws, &eng));
+    diags.extend(rules::vtime::run(ws, &eng));
+    diags.extend(rules::fence::run(ws, &eng));
+    diags.extend(rules::wirecompat::run(ws));
     diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(diags)
 }

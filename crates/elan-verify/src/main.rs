@@ -4,6 +4,7 @@
 //! elan-verify [--root PATH] [--allow PATH] [--json] [--deny-unused-waivers]
 //! elan-verify --fixture FILE.rs [--json]
 //! elan-verify --self-test [--root PATH]
+//! elan-verify --emit-codec-surface [--root PATH]
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = active diagnostics (or failed self-test),
@@ -24,13 +25,14 @@ struct Args {
     fixture: Option<PathBuf>,
     json: bool,
     self_test: bool,
+    emit_codec_surface: bool,
     deny_unused_waivers: bool,
     show_waived: bool,
 }
 
 fn usage() -> &'static str {
     "usage: elan-verify [--root PATH] [--allow PATH] [--json] [--deny-unused-waivers] \
-     [--show-waived] | --fixture FILE.rs | --self-test"
+     [--show-waived] | --fixture FILE.rs | --self-test | --emit-codec-surface"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         fixture: None,
         json: false,
         self_test: false,
+        emit_codec_surface: false,
         deny_unused_waivers: false,
         show_waived: false,
     };
@@ -57,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json = true,
             "--self-test" => args.self_test = true,
+            "--emit-codec-surface" => args.emit_codec_surface = true,
             "--deny-unused-waivers" => args.deny_unused_waivers = true,
             "--show-waived" => args.show_waived = true,
             "--help" | "-h" => {
@@ -114,6 +118,15 @@ fn run(args: Args) -> Result<bool, String> {
             results.len()
         );
         return Ok(ok);
+    }
+
+    // --emit-codec-surface: print the current wire surface for committing
+    // as codec_surface.txt (the WIRE_COMPAT manifest).
+    if args.emit_codec_surface {
+        let root = resolve_root(&args)?;
+        let ws = Workspace::load(&root)?;
+        print!("{}", elan_verify::rules::wirecompat::surface(&ws)?);
+        return Ok(true);
     }
 
     // --fixture: analyse one standalone file with every rule enabled.

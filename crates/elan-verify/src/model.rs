@@ -82,11 +82,17 @@ pub struct Workspace {
     pub files: Vec<FileModel>,
     /// True when analysing a standalone fixture: every rule applies to every file.
     pub fixture_mode: bool,
+    /// Workspace root directory (None in fixture mode / unit tests). Rules
+    /// that read committed manifests (WIRE_COMPAT) resolve them against this.
+    pub root: Option<PathBuf>,
 }
 
 impl Workspace {
-    /// Parse every `.rs` file under `<root>/crates/*/src`, excluding the
-    /// checker itself (`elan-verify`).
+    /// Parse every `.rs` file under `<root>/crates/*/src` (excluding the
+    /// checker itself, `elan-verify`), plus the facade crate's own sources:
+    /// `<root>/src` (including `src/bin/*`) as crate `elan` and
+    /// `<root>/tests` as crate `tests`, so the process-split entry points
+    /// and integration tests are under the same discipline.
     pub fn load(root: &Path) -> Result<Workspace, String> {
         let crates_dir = root.join("crates");
         let mut files = Vec::new();
@@ -122,6 +128,25 @@ impl Workspace {
                 files.push(parse_file(&path, rel, crate_name.clone())?);
             }
         }
+        // Root-crate scan roots: the facade's src/ (with the coordinator and
+        // worker bins) and the workspace-level integration tests.
+        for (sub, crate_name) in [("src", "elan"), ("tests", "tests")] {
+            let dir = root.join(sub);
+            if !dir.is_dir() {
+                continue;
+            }
+            let mut rs_files = Vec::new();
+            collect_rs(&dir, &mut rs_files)?;
+            rs_files.sort();
+            for path in rs_files {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                files.push(parse_file(&path, rel, crate_name.to_string())?);
+            }
+        }
         if files.is_empty() {
             return Err(format!(
                 "no Rust sources found under {}",
@@ -131,6 +156,7 @@ impl Workspace {
         Ok(Workspace {
             files,
             fixture_mode: false,
+            root: Some(root.to_path_buf()),
         })
     }
 
@@ -145,6 +171,7 @@ impl Workspace {
         Ok(Workspace {
             files: vec![file],
             fixture_mode: true,
+            root: None,
         })
     }
 

@@ -15,9 +15,13 @@ pub mod rules {
     pub const MAGIC_NUMBER: &str = "MAGIC_NUMBER";
     pub const WALL_CLOCK: &str = "WALL_CLOCK";
     pub const NETWORK_IO: &str = "NETWORK_IO";
+    pub const BLOCKING_UNDER_LOCK: &str = "BLOCKING_UNDER_LOCK";
+    pub const VIRTUAL_TIME_UNSAFE: &str = "VIRTUAL_TIME_UNSAFE";
+    pub const TERM_FENCED_SEND: &str = "TERM_FENCED_SEND";
+    pub const WIRE_COMPAT: &str = "WIRE_COMPAT";
 
     /// All rule IDs, for `--self-test` cross-checking.
-    pub const ALL: [&str; 10] = [
+    pub const ALL: [&str; 14] = [
         LOCK_ORDER_CYCLE,
         LOCK_ACROSS_SEND,
         PROTOCOL_UNHANDLED_MSG,
@@ -28,6 +32,10 @@ pub mod rules {
         MAGIC_NUMBER,
         WALL_CLOCK,
         NETWORK_IO,
+        BLOCKING_UNDER_LOCK,
+        VIRTUAL_TIME_UNSAFE,
+        TERM_FENCED_SEND,
+        WIRE_COMPAT,
     ];
 }
 

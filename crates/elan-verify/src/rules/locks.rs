@@ -1,7 +1,7 @@
 //! Lock-order analysis (LOCK_ORDER_CYCLE) and lock-across-send detection
-//! (LOCK_ACROSS_SEND).
+//! (LOCK_ACROSS_SEND), built on the shared reachability engine.
 //!
-//! Heuristics, documented in DESIGN.md §11:
+//! Heuristics, documented in DESIGN.md §11/§16:
 //! - A lock's identity is the field/binding name receiving `.lock()` (always
 //!   counted — only `Mutex` exposes an argument-free `.lock()`), or
 //!   `.read()`/`.write()` when the receiver is a field declared `RwLock<..>`
@@ -12,138 +12,35 @@
 //! - `let`-bound guards are held until their block closes, `drop(guard)`, or
 //!   rebinding; temporaries are held until the end of their statement (`;` at
 //!   or above the acquisition depth, or the close of a block opened after the
-//!   acquisition — which models `match scrutinee.lock() { .. }` correctly).
-//! - The call graph is name-based and same-crate only; a function's
-//!   transitive lock set flows to its callers via fixpoint, producing
-//!   `held -> callee's locks` edges. Names resolving to more than
-//!   `MAX_RESOLVE` candidates are skipped as noise.
+//!   acquisition — which models `match scrutinee.lock() { .. }` correctly,
+//!   including `if let .. else` where the scrutinee outlives both branches).
+//! - The call graph is name-based, same-crate preferred with a cross-crate
+//!   fallback ([`Engine::resolve`]); a function's transitive lock set flows
+//!   to its callers via fixpoint, producing `held -> callee's locks` edges.
 //! - A bus send is `send_envelope(..)`, `send_unreliable(..)`, or `.send(..)`
 //!   on a receiver named `bus`/`rep` (plain channel `tx.send` is not a bus
-//!   send). Sending while holding any lock — directly or via a same-crate
-//!   callee that transitively sends — is a diagnostic.
+//!   send). Sending while holding any lock — directly or via a callee that
+//!   transitively sends — is a diagnostic.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::ops::Range;
+use std::collections::{BTreeMap, BTreeSet};
 
-use crate::lexer::TokKind;
-use crate::model::{FileModel, Function, Workspace};
+use crate::engine::Engine;
+use crate::model::Workspace;
 use crate::report::{rules, Diagnostic};
 
-/// Names that, when followed by `(`, are never treated as workspace calls.
-const CALL_SKIP: &[&str] = &[
-    "lock",
-    "read",
-    "write",
-    "drop",
-    "if",
-    "while",
-    "for",
-    "match",
-    "return",
-    "loop",
-    "move",
-    "in",
-    "as",
-    "let",
-    "else",
-    "fn",
-    "unsafe",
-    "ref",
-    "mut",
-    "dyn",
-    "impl",
-    "where",
-    "pub",
-    "use",
-    "crate",
-    "super",
-    "Self",
-    "self",
-    "send",
-    "send_envelope",
-    "send_unreliable",
-];
-
-/// Skip call-graph resolution for names matching more functions than this.
-const MAX_RESOLVE: usize = 4;
-
-/// Bus-send receiver names (`tx.send(..)` is a plain channel, not a bus send).
-const SEND_RECEIVERS: &[&str] = &["bus", "rep"];
-
-#[derive(Debug, Default)]
-struct FnLockInfo {
-    file: usize,
-    qual: String,
-    /// Locks acquired anywhere in this function.
-    acquired: BTreeSet<String>,
-    /// (callee simple name, locks held at the call, line).
-    calls: Vec<(String, Vec<String>, u32)>,
-    /// (line, locks held) for each bus send.
-    sends: Vec<(u32, Vec<String>)>,
-    /// Whether the function performs a bus send at all.
-    sends_any: bool,
-    /// Direct edges `held -> newly acquired` with the acquisition line.
-    edges: Vec<(String, String, u32)>,
-}
-
-struct Guard {
-    lock: String,
-    binding: Option<String>,
-    depth: i32,
-    temp: bool,
-}
-
-pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
-    // Global RwLock field-name set (lock discovery is workspace-wide because
-    // fields like `worker_crash` are declared in one file and used in others).
-    let rwlock_fields: BTreeSet<String> = ws
-        .files
-        .iter()
-        .flat_map(|f| f.rwlock_fields.iter().cloned())
-        .collect();
-
-    // Per-function scans.
-    let mut infos: Vec<FnLockInfo> = Vec::new();
-    let mut name_map: HashMap<(String, String), Vec<usize>> = HashMap::new();
-    for (fi, file) in ws.files.iter().enumerate() {
-        let bodies: Vec<Range<usize>> = file.functions.iter().map(|f| f.body.clone()).collect();
-        for (fni, f) in file.functions.iter().enumerate() {
-            if f.is_test {
-                continue;
-            }
-            // Nested function bodies strictly inside this one are scanned as
-            // their own functions; skip their tokens here.
-            let nested: Vec<Range<usize>> = bodies
-                .iter()
-                .enumerate()
-                .filter(|(j, b)| *j != fni && b.start > f.body.start && b.end <= f.body.end)
-                .map(|(_, b)| b.clone())
-                .collect();
-            let info = scan_fn(file, fi, f, &rwlock_fields, &nested);
-            name_map
-                .entry((file.crate_name.clone(), f.name.clone()))
-                .or_default()
-                .push(infos.len());
-            infos.push(info);
-        }
-    }
-
+pub fn run(ws: &Workspace, eng: &Engine) -> Vec<Diagnostic> {
     // Fixpoint: transitive lock sets and transitive send flags over the
-    // same-crate, name-based call graph.
-    let resolve = |crate_name: &str, callee: &str| -> Vec<usize> {
-        match name_map.get(&(crate_name.to_string(), callee.to_string())) {
-            Some(v) if v.len() <= MAX_RESOLVE => v.clone(),
-            _ => Vec::new(),
-        }
-    };
-    let mut trans_locks: Vec<BTreeSet<String>> = infos.iter().map(|i| i.acquired.clone()).collect();
-    let mut trans_sends: Vec<bool> = infos.iter().map(|i| i.sends_any).collect();
+    // call graph. Propagation follows *every* call site (a lock-free helper
+    // that itself locks still contributes to its callers' lock sets).
+    let n = eng.fns.len();
+    let mut trans_locks: Vec<BTreeSet<String>> =
+        eng.fns.iter().map(|i| i.acquired.clone()).collect();
+    let mut trans_sends: Vec<bool> = eng.fns.iter().map(|i| i.sends_any).collect();
     loop {
         let mut changed = false;
-        for idx in 0..infos.len() {
-            let crate_name = ws.files[infos[idx].file].crate_name.clone();
-            for (callee, _, _) in infos[idx].calls.clone() {
-                for g in resolve(&crate_name, &callee) {
+        for idx in 0..n {
+            for c in &eng.fns[idx].calls {
+                for g in eng.resolve(ws, idx, &c.callee) {
                     if g == idx {
                         continue;
                     }
@@ -172,7 +69,7 @@ pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
     // first site wins for attribution.
     let mut edges: BTreeMap<(String, String), (usize, u32, String)> = BTreeMap::new();
     let mut diags = Vec::new();
-    for (idx, info) in infos.iter().enumerate() {
+    for (idx, info) in eng.fns.iter().enumerate() {
         for (a, b, line) in &info.edges {
             edges.entry((a.clone(), b.clone())).or_insert((
                 info.file,
@@ -180,33 +77,33 @@ pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
                 format!("acquired in `{}`", info.qual),
             ));
         }
-        let crate_name = &ws.files[info.file].crate_name;
-        for (callee, holding, line) in &info.calls {
-            for g in resolve(crate_name, callee) {
+        for c in &info.calls {
+            for g in eng.resolve(ws, idx, &c.callee) {
                 if g == idx {
                     continue;
                 }
                 for l in &trans_locks[g] {
-                    for h in holding {
+                    for h in &c.holding {
                         if h != l {
                             edges.entry((h.clone(), l.clone())).or_insert((
                                 info.file,
-                                *line,
-                                format!("`{}` calls `{callee}` which locks `{l}`", info.qual),
+                                c.line,
+                                format!("`{}` calls `{}` which locks `{l}`", info.qual, c.callee),
                             ));
                         }
                     }
                 }
-                if trans_sends[g] && !holding.is_empty() {
+                if trans_sends[g] && !c.holding.is_empty() {
                     diags.push(Diagnostic::new(
                         rules::LOCK_ACROSS_SEND,
                         ws.files[info.file].rel.clone(),
-                        *line,
+                        c.line,
                         info.qual.clone(),
-                        holding.join(","),
+                        c.holding.join(","),
                         format!(
-                            "bus send reachable via `{callee}` while holding lock(s) [{}]",
-                            holding.join(", ")
+                            "bus send reachable via `{}` while holding lock(s) [{}]",
+                            c.callee,
+                            c.holding.join(", ")
                         ),
                         "release the guard (drop(..) or end the scope) before sending; a \
                          chaos-injected resend can block on the held lock",
@@ -257,216 +154,6 @@ pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
         ));
     }
     diags
-}
-
-fn scan_fn(
-    file: &FileModel,
-    fi: usize,
-    f: &Function,
-    rwlock_fields: &BTreeSet<String>,
-    nested: &[Range<usize>],
-) -> FnLockInfo {
-    let toks = &file.toks;
-    let mut info = FnLockInfo {
-        file: fi,
-        qual: f.qual.clone(),
-        ..FnLockInfo::default()
-    };
-    let mut guards: Vec<Guard> = Vec::new();
-    let mut depth: i32 = 0;
-    let mut i = f.body.start;
-    while i < f.body.end {
-        if let Some(r) = nested.iter().find(|r| r.contains(&i)) {
-            i = r.end;
-            continue;
-        }
-        let t = &toks[i];
-        match t.text.as_str() {
-            "{" => {
-                depth += 1;
-                i += 1;
-                continue;
-            }
-            "}" => {
-                depth -= 1;
-                // let-guards die when their block closes; temporaries also die
-                // when a block opened after their acquisition closes back to
-                // their depth (end of a match/if-let statement).
-                guards.retain(|g| g.depth <= depth && !(g.temp && g.depth == depth));
-                i += 1;
-                continue;
-            }
-            ";" => {
-                let d = depth;
-                guards.retain(|g| !(g.temp && g.depth >= d));
-                i += 1;
-                continue;
-            }
-            _ => {}
-        }
-        // drop(binding)
-        if t.is_ident("drop")
-            && i + 3 < f.body.end
-            && toks[i + 1].is("(")
-            && toks[i + 2].kind == TokKind::Ident
-            && toks[i + 3].is(")")
-        {
-            let name = &toks[i + 2].text;
-            if let Some(pos) = guards
-                .iter()
-                .rposition(|g| g.binding.as_deref() == Some(name))
-            {
-                guards.remove(pos);
-            }
-            i += 4;
-            continue;
-        }
-        // lock acquisition: `.lock()` always; `.read()`/`.write()` only on
-        // known RwLock fields.
-        let is_acq = (t.is_ident("lock") || t.is_ident("read") || t.is_ident("write"))
-            && i > f.body.start
-            && toks[i - 1].is(".")
-            && i + 2 < f.body.end
-            && toks[i + 1].is("(")
-            && toks[i + 2].is(")");
-        if is_acq {
-            if let Some(recv) = receiver_name(toks, i - 2, f.body.start) {
-                let counts = t.is_ident("lock") || rwlock_fields.contains(&recv);
-                if counts {
-                    // The guard is only bound to a name when the acquisition
-                    // is the *entire* RHS (`let g = x.lock();`, optionally via
-                    // guard-returning `.unwrap()` / `.expect(..)` on a std
-                    // Mutex). `let id = x.lock().next_id();` binds the result,
-                    // so the guard is a temporary that dies at the `;`.
-                    let mut rhs_end = i + 2; // index of the `)`
-                    while rhs_end + 3 < f.body.end
-                        && toks[rhs_end + 1].is(".")
-                        && (toks[rhs_end + 2].is_ident("unwrap")
-                            || toks[rhs_end + 2].is_ident("expect"))
-                        && toks[rhs_end + 3].is("(")
-                    {
-                        rhs_end = crate::model::match_bracket(toks, rhs_end + 3, "(", ")");
-                    }
-                    let whole_rhs = rhs_end + 1 < f.body.end && toks[rhs_end + 1].is(";");
-                    let chain_start = chain_start(toks, i - 2, f.body.start);
-                    let binding = if whole_rhs
-                        && chain_start > f.body.start
-                        && toks[chain_start - 1].is("=")
-                        && toks[chain_start - 1].kind == TokKind::Punct
-                        && chain_start >= 2
-                        && toks[chain_start - 2].kind == TokKind::Ident
-                    {
-                        Some(toks[chain_start - 2].text.clone())
-                    } else {
-                        None
-                    };
-                    if let Some(b) = &binding {
-                        // rebinding releases the previous guard
-                        if let Some(pos) = guards
-                            .iter()
-                            .rposition(|g| g.binding.as_deref() == Some(b.as_str()))
-                        {
-                            guards.remove(pos);
-                        }
-                    }
-                    for g in &guards {
-                        info.edges.push((g.lock.clone(), recv.clone(), t.line));
-                    }
-                    info.acquired.insert(recv.clone());
-                    guards.push(Guard {
-                        lock: recv,
-                        temp: binding.is_none(),
-                        binding,
-                        depth,
-                    });
-                }
-            }
-            i += 3;
-            continue;
-        }
-        // bus sends
-        let is_named_send = (t.is_ident("send_envelope") || t.is_ident("send_unreliable"))
-            && i + 1 < f.body.end
-            && toks[i + 1].is("(");
-        let is_method_send = t.is_ident("send")
-            && i + 1 < f.body.end
-            && toks[i + 1].is("(")
-            && i >= 2
-            && toks[i - 1].is(".")
-            && SEND_RECEIVERS.contains(&toks[i - 2].text.as_str());
-        if is_named_send || is_method_send {
-            info.sends_any = true;
-            if !guards.is_empty() {
-                let holding: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
-                info.sends.push((t.line, holding));
-            }
-            i += 1;
-            continue;
-        }
-        // call sites (only interesting while holding a lock)
-        if t.kind == TokKind::Ident
-            && i + 1 < f.body.end
-            && toks[i + 1].is("(")
-            && !CALL_SKIP.contains(&t.text.as_str())
-            && !guards.is_empty()
-        {
-            let holding: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
-            info.calls.push((t.text.clone(), holding, t.line));
-        }
-        i += 1;
-    }
-    info
-}
-
-/// Receiver name for an acquisition whose `.` sits at `idx + 1`; walks back
-/// over a trailing method-call group (`x.as_ref().lock()`).
-fn receiver_name(toks: &[crate::lexer::Tok], mut idx: usize, floor: usize) -> Option<String> {
-    loop {
-        if idx < floor {
-            return None;
-        }
-        if toks[idx].is(")") {
-            // scan back to the matching open paren
-            let mut d = 0i32;
-            let mut p = idx;
-            loop {
-                if toks[p].is(")") {
-                    d += 1;
-                } else if toks[p].is("(") {
-                    d -= 1;
-                    if d == 0 {
-                        break;
-                    }
-                }
-                if p == floor {
-                    return None;
-                }
-                p -= 1;
-            }
-            if p <= floor {
-                return None;
-            }
-            idx = p - 1;
-            // skip the method name and its dot
-            if toks[idx].kind == TokKind::Ident && idx > floor && toks[idx - 1].is(".") {
-                idx -= 2;
-            }
-            continue;
-        }
-        if toks[idx].kind == TokKind::Ident {
-            return Some(toks[idx].text.clone());
-        }
-        return None;
-    }
-}
-
-/// Index of the first token of the `a.b.c` chain ending at `recv_idx`.
-fn chain_start(toks: &[crate::lexer::Tok], recv_idx: usize, floor: usize) -> usize {
-    let mut p = recv_idx;
-    while p >= floor + 2 && toks[p - 1].is(".") && toks[p - 2].kind == TokKind::Ident {
-        p -= 2;
-    }
-    p
 }
 
 /// All elementary cycles reachable in the edge set, canonicalised (rotated so
@@ -551,20 +238,25 @@ mod tests {
     use super::*;
     use crate::model::parse_source;
 
-    fn ws(src: &str) -> Workspace {
-        Workspace {
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace {
             files: vec![parse_source(src, "t.rs".into(), "t".into())],
             fixture_mode: true,
-        }
+            root: None,
+        };
+        let eng = Engine::build(&ws);
+        run(&ws, &eng)
     }
 
     #[test]
     fn detects_direct_cycle() {
-        let d = run(&ws("struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+        let d = check(
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
              impl S {\n\
                fn f(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
                fn g(&self) { let g = self.b.lock(); let h = self.a.lock(); }\n\
-             }"));
+             }",
+        );
         assert!(
             d.iter().any(|d| d.rule == rules::LOCK_ORDER_CYCLE),
             "expected a cycle, got {d:?}"
@@ -573,29 +265,31 @@ mod tests {
 
     #[test]
     fn consistent_order_is_clean() {
-        let d = run(&ws("struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+        let d = check(
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
              impl S {\n\
                fn f(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
                fn g(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
-             }"));
+             }",
+        );
         assert!(d.is_empty(), "got {d:?}");
     }
 
     #[test]
     fn drop_releases_guard() {
-        let d = run(&ws(
+        let d = check(
             "struct S { a: Mutex<u32>, rep: R }\n\
              impl S { fn f(&self) { let g = self.a.lock(); drop(g); self.rep.send(1); } }",
-        ));
+        );
         assert!(d.is_empty(), "got {d:?}");
     }
 
     #[test]
     fn send_under_lock_fires() {
-        let d = run(&ws(
+        let d = check(
             "struct S { a: Mutex<u32>, rep: R }\n\
              impl S { fn f(&self) { let g = self.a.lock(); self.rep.send(1); } }",
-        ));
+        );
         assert_eq!(
             d.iter()
                 .filter(|d| d.rule == rules::LOCK_ACROSS_SEND)
@@ -607,21 +301,23 @@ mod tests {
 
     #[test]
     fn temp_guard_released_at_statement_end() {
-        let d = run(&ws(
+        let d = check(
             "struct S { a: Mutex<u32>, rep: R }\n\
              impl S { fn f(&self) { self.a.lock().push(1); self.rep.send(1); } }",
-        ));
+        );
         assert!(d.is_empty(), "got {d:?}");
     }
 
     #[test]
     fn interprocedural_cycle() {
-        let d = run(&ws("struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+        let d = check(
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
              impl S {\n\
                fn f(&self) { let g = self.a.lock(); self.takes_b(); }\n\
                fn takes_b(&self) { let g = self.b.lock(); }\n\
                fn h(&self) { let g = self.b.lock(); let k = self.a.lock(); }\n\
-             }"));
+             }",
+        );
         assert!(
             d.iter().any(|d| d.rule == rules::LOCK_ORDER_CYCLE),
             "expected interprocedural cycle, got {d:?}"
@@ -629,11 +325,30 @@ mod tests {
     }
 
     #[test]
+    fn lock_free_helper_still_propagates_locks() {
+        // `mid` holds nothing at its call to `leaf`, but `leaf` locks `b`;
+        // `f` holding `a` calls `mid`, so the edge a -> b must still appear.
+        let d = check(
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+               fn f(&self) { let g = self.a.lock(); self.mid(); }\n\
+               fn mid(&self) { self.leaf(); }\n\
+               fn leaf(&self) { let g = self.b.lock(); }\n\
+               fn h(&self) { let g = self.b.lock(); let k = self.a.lock(); }\n\
+             }",
+        );
+        assert!(
+            d.iter().any(|d| d.rule == rules::LOCK_ORDER_CYCLE),
+            "expected cycle through the lock-free helper, got {d:?}"
+        );
+    }
+
+    #[test]
     fn channel_send_is_not_bus_send() {
-        let d = run(&ws(
+        let d = check(
             "struct S { a: Mutex<u32> }\n\
              impl S { fn f(&self, tx: Sender<u32>) { let g = self.a.lock(); tx.send(1); } }",
-        ));
+        );
         assert!(d.is_empty(), "got {d:?}");
     }
 }

@@ -116,6 +116,7 @@ mod tests {
         Workspace {
             files: vec![parse_source(src, "t.rs".into(), String::new())],
             fixture_mode: true,
+            root: None,
         }
     }
 

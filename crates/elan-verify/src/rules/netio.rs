@@ -15,9 +15,11 @@
 use crate::model::Workspace;
 use crate::report::{rules, Diagnostic};
 
-/// The crate under network discipline. Other crates are simulation- or
+/// Crates under network discipline: the runtime, the facade crate's own
+/// `src/` (including the PR 8 coordinator/worker bins), and the
+/// workspace-level integration tests. Other crates are simulation- or
 /// harness-side and never open sockets at all.
-const SCOPE_CRATE: &str = "elan-rt";
+const SCOPE_CRATES: [&str; 3] = ["elan-rt", "elan", "tests"];
 
 /// The directory allowed to touch the OS socket API: the transport
 /// implementations, whose socket backend must call the real thing.
@@ -36,7 +38,7 @@ const SOCKET_TYPES: [&str; 6] = [
 pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for file in &ws.files {
-        if !ws.fixture_mode && file.crate_name != SCOPE_CRATE {
+        if !ws.fixture_mode && !SCOPE_CRATES.contains(&file.crate_name.as_str()) {
             continue;
         }
         if file.rel.contains(EXEMPT_DIR) {
@@ -96,6 +98,7 @@ mod tests {
         Workspace {
             files: vec![parse_source(src, rel.into(), String::new())],
             fixture_mode: true,
+            root: None,
         }
     }
 

@@ -113,6 +113,7 @@ mod tests {
         Workspace {
             files: vec![parse_source(src, "t.rs".into(), String::new())],
             fixture_mode: true,
+            root: None,
         }
     }
 

@@ -83,6 +83,7 @@ mod tests {
         Workspace {
             files: vec![parse_source(src, rel.into(), String::new())],
             fixture_mode: true,
+            root: None,
         }
     }
 

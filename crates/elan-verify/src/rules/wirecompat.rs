@@ -1,0 +1,418 @@
+//! Wire-format compatibility (WIRE_COMPAT): the `RtMsg` tag↔variant
+//! table, frame kinds, and framing constants in `elan-core/src/codec.rs`
+//! are cross-process API — PR 8's coordinator and worker binaries may be
+//! updated independently, so a renumbered or removed tag silently
+//! corrupts every in-flight adjustment between versions. The rule has
+//! two halves:
+//!
+//! 1. **Internal consistency**: the encode table (`write_msg`) and the
+//!    decode table (`read_msg`) must agree variant-for-variant — a tag
+//!    written by the encoder that the decoder does not map back to the
+//!    same variant is a diagnostic.
+//! 2. **Manifest pinning** (workspace mode): the extracted surface is
+//!    compared against the committed `codec_surface.txt` — the
+//!    `api_surface.txt` treatment for the wire format. Removing or
+//!    changing an entry is an error; appending is allowed (CI diffs the
+//!    regenerated manifest so appends still land in review).
+//!
+//! Extraction is token-level: in `write_msg`, an `RtMsg::V` in pattern
+//! position selects the variant and the first following `w.u8(<literal>)`
+//! is its tag; in `read_msg`, integer literals in pattern position are
+//! pending tags and an `RtMsg::V` in expression position claims the
+//! earliest one (nested matches like `StateKind` only add later numbers,
+//! which are discarded when the variant is claimed).
+
+use std::collections::BTreeMap;
+use std::fs;
+
+use crate::lexer::TokKind;
+use crate::model::{FileModel, Workspace};
+use crate::report::{rules, Diagnostic};
+
+/// The committed manifest file name, relative to the workspace root.
+pub const MANIFEST: &str = "codec_surface.txt";
+
+/// Framing constants pinned by name.
+const PINNED_CONSTS: &[&str] = &["WIRE_VERSION", "MAX_FRAME_LEN"];
+
+#[derive(Debug, Default)]
+struct Extract {
+    /// (const name, value text, line) for WIRE_VERSION/MAX_FRAME_LEN/FRAME_*.
+    consts: Vec<(String, String, u32)>,
+    /// (variant, tag text, line) in `write_msg` order.
+    encode: Vec<(String, String, u32)>,
+    /// (tag text, variant, line) in `read_msg` order.
+    decode: Vec<(String, String, u32)>,
+}
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let Some(file) = codec_file(ws) else {
+        return Vec::new();
+    };
+    let ext = extract(file);
+    let mut diags = internal_check(&ext, file);
+    if !ws.fixture_mode {
+        if let Some(root) = &ws.root {
+            diags.extend(manifest_check(&ext, &root.join(MANIFEST), file));
+        }
+    }
+    diags
+}
+
+/// Render the current wire surface — what `--emit-codec-surface` writes and
+/// what the manifest check compares against.
+pub fn surface(ws: &Workspace) -> Result<String, String> {
+    let file = codec_file(ws).ok_or("no codec file (write_msg/read_msg) found")?;
+    let ext = extract(file);
+    Ok(render_surface(&ext, &file.rel))
+}
+
+fn codec_file(ws: &Workspace) -> Option<&FileModel> {
+    let has_codec = |f: &&FileModel| {
+        f.functions.iter().any(|x| x.name == "write_msg")
+            && f.functions.iter().any(|x| x.name == "read_msg")
+    };
+    if ws.fixture_mode {
+        ws.files.iter().find(has_codec)
+    } else {
+        ws.files
+            .iter()
+            .find(|f| f.rel.ends_with("elan-core/src/codec.rs"))
+            .filter(has_codec)
+    }
+}
+
+fn extract(file: &FileModel) -> Extract {
+    let toks = &file.toks;
+    let n = toks.len();
+    let mut ext = Extract::default();
+
+    // Pinned consts: `const NAME: T = <value>;`
+    for i in 0..n {
+        if !toks[i].is_ident("const") || i + 1 >= n || toks[i + 1].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        if !PINNED_CONSTS.contains(&name.as_str()) && !name.starts_with("FRAME_") {
+            continue;
+        }
+        let mut j = i + 2;
+        while j < n && !toks[j].is("=") && !toks[j].is(";") {
+            j += 1;
+        }
+        if j >= n || !toks[j].is("=") {
+            continue;
+        }
+        let mut value = Vec::new();
+        let mut k = j + 1;
+        while k < n && !toks[k].is(";") {
+            value.push(toks[k].text.clone());
+            k += 1;
+        }
+        ext.consts.push((name, value.join(" "), toks[i + 1].line));
+    }
+
+    // Encode table from write_msg.
+    if let Some(f) = file.functions.iter().find(|f| f.name == "write_msg") {
+        let mut current: Option<String> = None;
+        let mut i = f.body.start;
+        while i < f.body.end {
+            if toks[i].is_ident("RtMsg")
+                && i + 2 < f.body.end
+                && toks[i + 1].is("::")
+                && toks[i + 2].kind == TokKind::Ident
+                && file.in_pattern(i + 2)
+            {
+                current = Some(toks[i + 2].text.clone());
+                i += 3;
+                continue;
+            }
+            if toks[i].is_ident("u8")
+                && i > f.body.start
+                && toks[i - 1].is(".")
+                && i + 3 < f.body.end
+                && toks[i + 1].is("(")
+                && toks[i + 2].kind == TokKind::Number
+                && toks[i + 3].is(")")
+            {
+                // Only the first literal u8 after the arm pattern is the tag;
+                // later u8 writes encode fields.
+                if let Some(v) = current.take() {
+                    ext.encode
+                        .push((v, toks[i + 2].text.clone(), toks[i + 2].line));
+                }
+                i += 4;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    // Decode table from read_msg.
+    if let Some(f) = file.functions.iter().find(|f| f.name == "read_msg") {
+        let mut pending: Vec<String> = Vec::new();
+        let mut i = f.body.start;
+        while i < f.body.end {
+            if toks[i].kind == TokKind::Number && file.in_pattern(i) {
+                pending.push(toks[i].text.clone());
+                i += 1;
+                continue;
+            }
+            if toks[i].is_ident("RtMsg")
+                && i + 2 < f.body.end
+                && toks[i + 1].is("::")
+                && toks[i + 2].kind == TokKind::Ident
+                && !file.in_pattern(i + 2)
+            {
+                if let Some(tag) = pending.first().cloned() {
+                    ext.decode
+                        .push((tag, toks[i + 2].text.clone(), toks[i + 2].line));
+                }
+                pending.clear();
+                i += 3;
+                continue;
+            }
+            i += 1;
+        }
+    }
+    ext
+}
+
+fn internal_check(ext: &Extract, file: &FileModel) -> Vec<Diagnostic> {
+    let enc_map: BTreeMap<&str, &str> = ext
+        .encode
+        .iter()
+        .map(|(v, t, _)| (v.as_str(), t.as_str()))
+        .collect();
+    let dec_map: BTreeMap<&str, &str> = ext
+        .decode
+        .iter()
+        .map(|(t, v, _)| (t.as_str(), v.as_str()))
+        .collect();
+    let mut flagged: Vec<&str> = Vec::new();
+    let mut diags = Vec::new();
+    let hint = "wire tags are append-only: give the new/changed variant a fresh tag \
+         and keep every shipped tag decoding to the same variant (DESIGN.md §16)";
+    for (v, tag, line) in &ext.encode {
+        let problem = match dec_map.get(tag.as_str()) {
+            None => Some(format!(
+                "`RtMsg::{v}` encodes to tag {tag} but read_msg has no arm for {tag} \
+                 (renumbered or removed)"
+            )),
+            Some(v2) if *v2 != v.as_str() => Some(format!(
+                "`RtMsg::{v}` encodes to tag {tag} but read_msg decodes {tag} as `RtMsg::{v2}`"
+            )),
+            _ => None,
+        };
+        if let Some(message) = problem {
+            flagged.push(v.as_str());
+            diags.push(Diagnostic::new(
+                rules::WIRE_COMPAT,
+                file.rel.clone(),
+                *line,
+                "write_msg",
+                v.clone(),
+                message,
+                hint,
+            ));
+        }
+    }
+    for (tag, v, line) in &ext.decode {
+        if flagged.contains(&v.as_str()) {
+            continue;
+        }
+        let problem = match enc_map.get(v.as_str()) {
+            None => Some(format!(
+                "read_msg decodes tag {tag} as `RtMsg::{v}` but write_msg never encodes it"
+            )),
+            Some(t2) if *t2 != tag.as_str() => Some(format!(
+                "read_msg decodes tag {tag} as `RtMsg::{v}` but write_msg encodes it as {t2}"
+            )),
+            _ => None,
+        };
+        if let Some(message) = problem {
+            flagged.push(v.as_str());
+            diags.push(Diagnostic::new(
+                rules::WIRE_COMPAT,
+                file.rel.clone(),
+                *line,
+                "read_msg",
+                v.clone(),
+                message,
+                hint,
+            ));
+        }
+    }
+    diags
+}
+
+fn render_surface(ext: &Extract, rel: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# Wire-format surface of {rel}.\n"));
+    out.push_str(
+        "# Renumbering, reordering, or removing an entry is a breaking wire\n\
+         # change (WIRE_COMPAT); appending new entries is allowed. Regenerate:\n\
+         #   cargo run -p elan-verify -- --emit-codec-surface\n",
+    );
+    for (name, value, _) in &ext.consts {
+        if PINNED_CONSTS.contains(&name.as_str()) {
+            out.push_str(&format!("{} = {value}\n", name.to_lowercase()));
+        }
+    }
+    for (name, value, _) in &ext.consts {
+        if name.starts_with("FRAME_") {
+            out.push_str(&format!("frame {name} = {value}\n"));
+        }
+    }
+    for (v, tag, _) in &ext.encode {
+        out.push_str(&format!("msg {v} = {tag}\n"));
+    }
+    out
+}
+
+fn manifest_check(ext: &Extract, path: &std::path::Path, file: &FileModel) -> Vec<Diagnostic> {
+    let hint = "regenerate with `cargo run -p elan-verify -- --emit-codec-surface > \
+         codec_surface.txt` and get the wire change reviewed; shipped tags must \
+         keep their numbers";
+    let committed = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(_) => {
+            return vec![Diagnostic::new(
+                rules::WIRE_COMPAT,
+                MANIFEST.to_string(),
+                0,
+                String::new(),
+                "missing",
+                format!("{MANIFEST} is missing from the workspace root"),
+                hint,
+            )]
+        }
+    };
+    let parse = |s: &str| -> BTreeMap<String, String> {
+        s.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| {
+                l.split_once(" = ")
+                    .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+            })
+            .collect()
+    };
+    let committed_map = parse(&committed);
+    let current_map = parse(&render_surface(ext, &file.rel));
+    let mut diags = Vec::new();
+    for (k, v) in &committed_map {
+        match current_map.get(k) {
+            None => diags.push(Diagnostic::new(
+                rules::WIRE_COMPAT,
+                file.rel.clone(),
+                0,
+                String::new(),
+                k.clone(),
+                format!("wire surface entry `{k} = {v}` was removed from the codec"),
+                hint,
+            )),
+            Some(cv) if cv != v => diags.push(Diagnostic::new(
+                rules::WIRE_COMPAT,
+                file.rel.clone(),
+                0,
+                String::new(),
+                k.clone(),
+                format!("wire surface entry `{k}` changed: manifest pins {v}, codec has {cv}"),
+                hint,
+            )),
+            _ => {}
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::parse_source;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace {
+            files: vec![parse_source(src, "codec.rs".into(), String::new())],
+            fixture_mode: true,
+            root: None,
+        };
+        run(&ws)
+    }
+
+    const GOOD: &str = "fn write_msg(w: &mut Writer, msg: &RtMsg) { match msg {\n\
+         RtMsg::Leave { term } => { w.u8(0); w.u64(*term); }\n\
+         RtMsg::Resume { term } => { w.u8(1); w.u64(*term); }\n\
+         } }\n\
+         fn read_msg(r: &mut Reader) -> Result<RtMsg, E> { Ok(match r.u8()? {\n\
+         0 => RtMsg::Leave { term: r.u64()? },\n\
+         1 => RtMsg::Resume { term: r.u64()? },\n\
+         t => return Err(E::UnknownTag(t)),\n\
+         }) }";
+
+    #[test]
+    fn consistent_tables_are_clean() {
+        assert!(check(GOOD).is_empty());
+    }
+
+    #[test]
+    fn missing_decode_arm_fires_once() {
+        let src = GOOD.replace("1 => RtMsg::Resume { term: r.u64()? },\n", "");
+        let d = check(&src);
+        assert_eq!(d.len(), 1, "got {d:?}");
+        assert!(d[0].message.contains("no arm for 1"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn swapped_decode_fires() {
+        let src = GOOD
+            .replace("0 => RtMsg::Leave", "0 => RtMsg::Resume")
+            .replace("1 => RtMsg::Resume", "1 => RtMsg::Leave");
+        let d = check(&src);
+        assert!(!d.is_empty(), "swapped tags must fire");
+    }
+
+    #[test]
+    fn surface_renders_consts_and_tags() {
+        let src = format!(
+            "pub const WIRE_VERSION: u8 = 1;\n\
+             pub const MAX_FRAME_LEN: usize = 1 * 1024;\n\
+             const FRAME_HELLO: u8 = 0;\n\
+             const FRAME_MSG: u8 = 1;\n{GOOD}"
+        );
+        let ws = Workspace {
+            files: vec![parse_source(&src, "codec.rs".into(), String::new())],
+            fixture_mode: true,
+            root: None,
+        };
+        let s = surface(&ws).expect("surface");
+        assert!(s.contains("wire_version = 1"), "{s}");
+        assert!(s.contains("max_frame_len = 1 * 1024"), "{s}");
+        assert!(s.contains("frame FRAME_HELLO = 0"), "{s}");
+        assert!(s.contains("msg Leave = 0"), "{s}");
+        assert!(s.contains("msg Resume = 1"), "{s}");
+    }
+
+    #[test]
+    fn nested_submatch_numbers_do_not_confuse_decode() {
+        let src = "fn write_msg(w: &mut W, msg: &RtMsg) { match msg {\n\
+             RtMsg::StateChunk { kind } => { w.u8(0); w.u8(match kind { \
+             StateKind::Params => 0, StateKind::Momentum => 1, }); }\n\
+             } }\n\
+             fn read_msg(r: &mut R) -> Result<RtMsg, E> { Ok(match r.u8()? {\n\
+             0 => { let kind = match r.u8()? { 0 => StateKind::Params, \
+             1 => StateKind::Momentum, t => return Err(E::T(t)), }; \
+             RtMsg::StateChunk { kind } }\n\
+             t => return Err(E::T(t)),\n\
+             }) }";
+        let d = check(src);
+        assert!(d.is_empty(), "got {d:?}");
+    }
+
+    #[test]
+    fn files_without_codec_are_ignored() {
+        let d = check("fn unrelated() {}");
+        assert!(d.is_empty());
+    }
+}

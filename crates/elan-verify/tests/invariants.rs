@@ -66,6 +66,70 @@ fn known_bad_fixture_is_not_clean() {
 }
 
 #[test]
+fn wire_renumber_fixture_is_caught() {
+    // CI's negative control for the wire-format gate: a deliberately
+    // renumbered tag must keep producing exactly one WIRE_COMPAT
+    // diagnostic when the fixture is run raw.
+    let path = repo_root().join("crates/elan-verify/fixtures/wire_tag_renumber.rs");
+    let ws = Workspace::load_fixture(&path).expect("fixture loads");
+    let diags = run_all(&ws).expect("rules run");
+    assert_eq!(diags.len(), 1, "got {diags:?}");
+    assert_eq!(diags[0].rule, "WIRE_COMPAT");
+    assert!(
+        diags[0].message.contains("renumbered or removed"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn reachability_rules_are_covered_by_fixtures() {
+    // The interprocedural rules each need a known-bad seed so the engine
+    // cannot silently stop resolving calls.
+    let results = self_test(&repo_root()).expect("fixture suite runs");
+    let covered: Vec<&str> = results
+        .iter()
+        .flat_map(|r| r.expected.iter().map(String::as_str))
+        .collect();
+    for rule in [
+        "BLOCKING_UNDER_LOCK",
+        "VIRTUAL_TIME_UNSAFE",
+        "TERM_FENCED_SEND",
+        "WIRE_COMPAT",
+    ] {
+        assert!(covered.contains(&rule), "no fixture covers {rule}");
+    }
+}
+
+#[test]
+fn reachability_diagnostics_print_call_paths() {
+    // The path attribution is part of the contract: a transitive finding
+    // must name every hop with file:line, not just the sink.
+    let path = repo_root().join("crates/elan-verify/fixtures/blocking_under_lock.rs");
+    let ws = Workspace::load_fixture(&path).expect("fixture loads");
+    let diags = run_all(&ws).expect("rules run");
+    assert_eq!(diags.len(), 1, "got {diags:?}");
+    let msg = &diags[0].message;
+    assert!(msg.contains("`Hub::relay` ("), "missing first hop: {msg}");
+    assert!(msg.contains("`Hub::emit` ("), "missing second hop: {msg}");
+    assert!(msg.contains("write_all"), "missing sink: {msg}");
+}
+
+#[test]
+fn committed_codec_surface_is_current() {
+    let root = repo_root();
+    let ws = Workspace::load(&root).expect("workspace loads");
+    let current = elan_verify::rules::wirecompat::surface(&ws).expect("codec surface extracts");
+    let committed = std::fs::read_to_string(root.join("codec_surface.txt"))
+        .expect("codec_surface.txt is committed at the workspace root");
+    assert_eq!(
+        committed, current,
+        "codec_surface.txt is stale; regenerate with \
+         `cargo run -p elan-verify -- --emit-codec-surface > codec_surface.txt`"
+    );
+}
+
+#[test]
 fn every_workspace_diagnostic_is_waived_with_a_reason() {
     let root = repo_root();
     let waivers = parse_waivers(&root.join("verify-allow.toml")).expect("waiver file parses");

@@ -27,7 +27,13 @@
 //!   hierarchical path, with a scale-out landing mid-run: proves that
 //!   path selection and the per-round topology re-plan are pure
 //!   functions of the seed (the journal's `allreduce_path` events are
-//!   part of the hash).
+//!   part of the hash);
+//! - `churn` — a 1 000-member scripted join/leave/crash storm over the
+//!   open-membership epoch machine (DESIGN.md §17) with corrupt-digest
+//!   joiners and partition windows: on top of the journal hash, every
+//!   run is replayed through [`check_epoch_safety`] (no un-warmed
+//!   member enters `Train`, membership within bounds, epochs
+//!   monotonic).
 //!
 //! `--quick` sweeps 64 seeds (the CI smoke configuration); the default
 //! sweep is 256. Exit status is non-zero iff any seed diverged or failed.
@@ -36,9 +42,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::time::Duration;
 
+use elan_rt::epoch::{run_churn, ChurnConfig};
 use elan_rt::{
-    check_term_safety, ChaosPolicy, ElasticRuntime, EndpointId, RuntimeConfig, TimeSource,
-    TuningProfile,
+    check_epoch_safety, check_term_safety, ChaosPolicy, ElasticRuntime, EndpointId, RuntimeConfig,
+    TimeSource, TuningProfile,
 };
 
 /// FNV-1a offset basis.
@@ -72,6 +79,8 @@ enum Scenario {
     Partition,
     /// Hierarchical-path allreduce with a scale-out mid-run.
     AllreduceAdjust,
+    /// 1k-member open-membership churn storm over the epoch machine.
+    Churn,
 }
 
 impl Scenario {
@@ -80,6 +89,7 @@ impl Scenario {
             Scenario::Chaos => "chaos",
             Scenario::Partition => "partition",
             Scenario::AllreduceAdjust => "allreduce-adjust",
+            Scenario::Churn => "churn",
         }
     }
 }
@@ -188,6 +198,25 @@ fn allreduce_adjust_scenario(seed: u64) -> Vec<String> {
     lines
 }
 
+/// The churn scenario: a 1 000-member scripted join/leave/crash storm
+/// over the open-membership epoch machine, with corrupt-digest joiners
+/// (witness bait) and two partition windows swallowing announces. The
+/// storm is a pure function of the seed, so its journal hash is too;
+/// every run's retained journal is additionally replayed through the
+/// epoch-safety auditor, and a storm that admits nobody is a failure
+/// (a dead harness must not sweep green).
+fn churn_scenario(seed: u64) -> Vec<String> {
+    let report = run_churn(&ChurnConfig::sized(1_000, seed));
+    assert!(report.admitted >= 1, "storm admitted nobody: {report:?}");
+    assert!(
+        report.epochs_trained >= 1,
+        "storm never entered Train: {report:?}"
+    );
+    let safety = check_epoch_safety(&report.events);
+    assert!(safety.is_safe(), "epoch safety violated: {safety}");
+    report.events.iter().map(|e| format!("{e:?}")).collect()
+}
+
 /// One run, panic-safe. `Err` carries the panic payload as text.
 fn run_once(seed: u64, scenario: Scenario) -> Result<Vec<String>, String> {
     // A panicking run may leave the controller thread registered with the
@@ -198,6 +227,7 @@ fn run_once(seed: u64, scenario: Scenario) -> Result<Vec<String>, String> {
         Scenario::Chaos => chaos_scenario(seed),
         Scenario::Partition => partition_scenario(seed),
         Scenario::AllreduceAdjust => allreduce_adjust_scenario(seed),
+        Scenario::Churn => churn_scenario(seed),
     }));
     out.map_err(|e| {
         guard.deregister();
@@ -393,14 +423,17 @@ fn main() -> ExitCode {
                 Some(v) => start = v,
                 None => return usage("--start requires a seed"),
             },
-            "--scenario" => match args.next().as_deref() {
-                Some("chaos") => scenario = Scenario::Chaos,
-                Some("partition") => scenario = Scenario::Partition,
-                Some("allreduce-adjust") => scenario = Scenario::AllreduceAdjust,
-                _ => {
-                    return usage("--scenario requires 'chaos', 'partition', or 'allreduce-adjust'")
+            "--scenario" => {
+                match args.next().as_deref() {
+                    Some("chaos") => scenario = Scenario::Chaos,
+                    Some("partition") => scenario = Scenario::Partition,
+                    Some("allreduce-adjust") => scenario = Scenario::AllreduceAdjust,
+                    Some("churn") => scenario = Scenario::Churn,
+                    _ => return usage(
+                        "--scenario requires 'chaos', 'partition', 'allreduce-adjust', or 'churn'",
+                    ),
                 }
-            },
+            }
             "--out" => match args.next() {
                 Some(path) => out = path,
                 None => return usage("--out requires a path"),
@@ -455,7 +488,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: seedsweep [--quick] [--seeds N] [--start S] \
-     [--scenario chaos|partition|allreduce-adjust] [--out PATH]";
+     [--scenario chaos|partition|allreduce-adjust|churn] [--out PATH]";
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");

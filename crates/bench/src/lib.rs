@@ -7,6 +7,7 @@
 //! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
 //! record.
 
+pub mod churn;
 pub mod dataplane;
 pub mod experiments;
 pub mod table;

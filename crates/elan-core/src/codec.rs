@@ -15,7 +15,7 @@ use std::sync::Arc;
 use elan_sim::Bytes;
 
 use crate::messages::{MsgId, StateKind};
-use crate::protocol::{EndpointId, Envelope, RtMsg};
+use crate::protocol::{EndpointId, Envelope, EpochPhase, RtMsg};
 use crate::state::{RuntimeInfo, TrainingState, WorkerId};
 
 /// Magic bytes opening every snapshot.
@@ -463,6 +463,73 @@ fn write_msg(w: &mut Writer, msg: &RtMsg) {
             w.u64(*term);
             w.u64(*iteration);
         }
+        RtMsg::JoinRequest {
+            worker,
+            epoch,
+            digest,
+        } => {
+            w.u8(17);
+            w.u32(worker.0);
+            w.u64(*epoch);
+            match digest {
+                None => w.u8(0),
+                Some(d) => {
+                    w.u8(1);
+                    w.u64(*d);
+                }
+            }
+        }
+        RtMsg::EpochAdvance { epoch, phase, term } => {
+            w.u8(18);
+            w.u64(*epoch);
+            w.u8(epoch_phase_code(*phase));
+            w.u64(*term);
+        }
+        RtMsg::WitnessQuery {
+            subject,
+            epoch,
+            probe,
+            term,
+        } => {
+            w.u8(19);
+            w.u32(subject.0);
+            w.u64(*epoch);
+            w.u64(*probe);
+            w.u64(*term);
+        }
+        RtMsg::WitnessVote {
+            witness,
+            subject,
+            epoch,
+            admit,
+            digest,
+        } => {
+            w.u8(20);
+            w.u32(witness.0);
+            w.u32(subject.0);
+            w.u64(*epoch);
+            w.u8(u8::from(*admit));
+            w.u64(*digest);
+        }
+    }
+}
+
+fn epoch_phase_code(phase: EpochPhase) -> u8 {
+    match phase {
+        EpochPhase::WaitingForMembers => 0,
+        EpochPhase::Warmup => 1,
+        EpochPhase::Train => 2,
+        EpochPhase::Cooldown => 3,
+    }
+}
+
+fn read_epoch_phase(r: &mut Reader<'_>) -> Result<EpochPhase, DecodeError> {
+    match r.u8()? {
+        0 => Ok(EpochPhase::WaitingForMembers),
+        1 => Ok(EpochPhase::Warmup),
+        2 => Ok(EpochPhase::Train),
+        3 => Ok(EpochPhase::Cooldown),
+        t => Err(DecodeError::UnknownTag(t)),
     }
 }
 
@@ -558,6 +625,38 @@ fn read_msg(r: &mut Reader<'_>) -> Result<RtMsg, DecodeError> {
             worker: WorkerId(r.u32()?),
             term: r.u64()?,
             iteration: r.u64()?,
+        },
+        17 => {
+            let worker = WorkerId(r.u32()?);
+            let epoch = r.u64()?;
+            let digest = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                t => return Err(DecodeError::UnknownTag(t)),
+            };
+            RtMsg::JoinRequest {
+                worker,
+                epoch,
+                digest,
+            }
+        }
+        18 => RtMsg::EpochAdvance {
+            epoch: r.u64()?,
+            phase: read_epoch_phase(r)?,
+            term: r.u64()?,
+        },
+        19 => RtMsg::WitnessQuery {
+            subject: WorkerId(r.u32()?),
+            epoch: r.u64()?,
+            probe: r.u64()?,
+            term: r.u64()?,
+        },
+        20 => RtMsg::WitnessVote {
+            witness: WorkerId(r.u32()?),
+            subject: WorkerId(r.u32()?),
+            epoch: r.u64()?,
+            admit: r.u8()? != 0,
+            digest: r.u64()?,
         },
         t => return Err(DecodeError::UnknownTag(t)),
     })

@@ -177,6 +177,89 @@ pub enum RtMsg {
         /// Boundary iteration of its last applied snapshot/state.
         iteration: u64,
     },
+    /// Open joiner → AM: ask to enter the job at the next epoch boundary.
+    /// Sent without a digest while announcing (re-sent every heartbeat
+    /// period until acknowledged by replication), and re-sent *with* the
+    /// warmup digest once the joiner has applied its streamed snapshot —
+    /// the digest is the joiner's claimed checksum over the replicated
+    /// state, which the witness step asks peers to recompute.
+    JoinRequest {
+        /// The worker asking to join.
+        worker: WorkerId,
+        /// The training epoch the joiner last observed (0 if none).
+        epoch: u64,
+        /// Claimed warmup checksum; `None` while merely announcing.
+        digest: Option<u64>,
+    },
+    /// AM → everyone: the epoch machine moved. Broadcast at every phase
+    /// transition so members and pending joiners track the training epoch
+    /// without polling.
+    EpochAdvance {
+        /// The training epoch the machine is now in.
+        epoch: u64,
+        /// The phase just entered.
+        phase: EpochPhase,
+        /// The sending AM's fencing term.
+        term: u64,
+    },
+    /// AM → sampled member: recompute your state checksum and vote on
+    /// `subject`'s admission. The probe is the joiner's claimed warmup
+    /// digest; an honest replica parked at the same boundary holds
+    /// identical state and reproduces it exactly.
+    WitnessQuery {
+        /// The joiner under audit.
+        subject: WorkerId,
+        /// The training epoch of the admission.
+        epoch: u64,
+        /// The joiner's claimed warmup digest.
+        probe: u64,
+        /// The sending AM's fencing term.
+        term: u64,
+    },
+    /// Witness member → AM: the admit/evict verdict for one subject,
+    /// carrying the witness's own recomputed digest for the journal.
+    WitnessVote {
+        /// The voting member.
+        witness: WorkerId,
+        /// The joiner under audit.
+        subject: WorkerId,
+        /// The training epoch of the admission.
+        epoch: u64,
+        /// True when the recomputed digest matched the probe.
+        admit: bool,
+        /// The witness's recomputed digest.
+        digest: u64,
+    },
+}
+
+/// The phases of the open-membership epoch machine (DESIGN.md §17),
+/// ticked by the AM on the shared `TimeSource`:
+/// `WaitingForMembers → Warmup → Train → Cooldown → WaitingForMembers`
+/// (the last transition rolls the epoch counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EpochPhase {
+    /// The join window is open; pending members accumulate until the
+    /// min-member threshold is met and the window elapses.
+    WaitingForMembers,
+    /// Admitted joiners replicate state over the chunked transfer path
+    /// and the witness step audits their warmup digests.
+    Warmup,
+    /// Members train; membership is frozen within min/max bounds.
+    Train,
+    /// The epoch settles: departures are processed, shards re-assigned,
+    /// and the next epoch's join window opens.
+    Cooldown,
+}
+
+impl fmt::Display for EpochPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EpochPhase::WaitingForMembers => write!(f, "waiting_for_members"),
+            EpochPhase::Warmup => write!(f, "warmup"),
+            EpochPhase::Train => write!(f, "train"),
+            EpochPhase::Cooldown => write!(f, "cooldown"),
+        }
+    }
 }
 
 /// One message in flight on the bus: the body plus the reliable-messaging

@@ -40,6 +40,7 @@
 pub mod bus;
 pub mod chaos;
 pub mod comm;
+pub mod epoch;
 pub mod liveness;
 pub mod obs;
 pub mod reliable;
@@ -56,6 +57,10 @@ pub use comm::{
     adaptive_chunk_elems, reference_sum, AllreduceOutcome, CommGroup, CommTopology, ReducePath,
     TuningProfile, DEFAULT_CHUNK_ELEMS,
 };
+pub use epoch::{
+    run_churn, sample_witnesses, shard_checksum, shard_owners, ChurnConfig, ChurnReport, EpochCmd,
+    EpochConfig, EpochMachine,
+};
 pub use liveness::CrashPoint;
 pub use obs::{
     render_trace_report, AdjustmentTrace, ChaosFate, Event, EventJournal, EventKind, EventSink,
@@ -66,6 +71,9 @@ pub use remote::{run_remote_worker, RemoteRole};
 pub use runtime::{
     CheckpointSnapshot, ElasticRuntime, RuntimeBuilder, RuntimeConfig, ShutdownReport,
 };
-pub use safety::{check_term_safety, TermSafetyReport, TermViolation};
+pub use safety::{
+    check_epoch_safety, check_term_safety, EpochSafetyReport, EpochViolation, TermSafetyReport,
+    TermViolation,
+};
 pub use time::{SlotGuard, ThreadSlot, TimeSource, VirtualClock};
 pub use transport::{MemoryTransport, SocketTransport, Transport};

@@ -22,6 +22,7 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 
 use elan_core::lease::{LeaseId, LeaseManager, LeaseState};
+use elan_core::protocol::EpochPhase;
 use elan_core::state::WorkerId;
 use elan_core::store::ReplicatedStore;
 use elan_sim::{SimDuration, SimTime};
@@ -124,6 +125,12 @@ pub struct AmDurable {
     /// Highest controller op sequence fully completed (for idempotent
     /// re-acknowledgement of duplicate ops).
     pub seq_done: u64,
+    /// Open-membership training epoch (DESIGN.md §17); 0 when the epoch
+    /// machine is off.
+    pub train_epoch: u64,
+    /// Phase of the training epoch, persisted so a successor AM can
+    /// rebuild its [`EpochMachine`](crate::epoch::EpochMachine).
+    pub epoch_phase: EpochPhase,
 }
 
 impl AmDurable {
@@ -137,6 +144,8 @@ impl AmDurable {
             pending: None,
             stopping: None,
             seq_done: 0,
+            train_epoch: 0,
+            epoch_phase: EpochPhase::WaitingForMembers,
         }
     }
 }

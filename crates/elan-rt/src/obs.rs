@@ -30,6 +30,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use elan_core::obs::{json_escape, AdjustmentPhase, MetricsRegistry, MetricsSnapshot, PhaseWindow};
+use elan_core::protocol::EpochPhase;
 use elan_core::state::WorkerId;
 
 use crate::bus::EndpointId;
@@ -277,6 +278,93 @@ pub enum EventKind {
         /// The term that admitted it.
         term: u64,
     },
+    /// The epoch machine was configured — journalled once at startup so
+    /// the epoch-safety auditor can read the thresholds from the journal
+    /// alone.
+    EpochConfigured {
+        /// Minimum members required to leave `WaitingForMembers`.
+        min_members: u64,
+        /// Maximum members admitted into any epoch.
+        max_members: u64,
+        /// The bounded join window, in milliseconds of virtual time.
+        join_window_ms: u64,
+    },
+    /// The epoch machine entered a phase.
+    EpochPhaseEntered {
+        /// The training epoch.
+        epoch: u64,
+        /// The phase just entered.
+        phase: EpochPhase,
+        /// Member count at the transition.
+        members: u64,
+    },
+    /// An epoch's join window closed.
+    JoinWindowClosed {
+        /// The training epoch whose window closed.
+        epoch: u64,
+        /// Join requests pending when it closed.
+        pending: u64,
+    },
+    /// An open joiner announced itself inside a join window.
+    JoinRequested {
+        /// The joiner.
+        worker: WorkerId,
+        /// The epoch whose window it landed in.
+        epoch: u64,
+    },
+    /// A join request arrived outside a window (or over the member cap)
+    /// and was deferred to a later epoch; the joiner re-announces.
+    JoinDeferred {
+        /// The deferred joiner.
+        worker: WorkerId,
+        /// The epoch that deferred it.
+        epoch: u64,
+    },
+    /// A witness's admit/evict verdict on a joiner was recorded.
+    WitnessVoteCast {
+        /// The voting member.
+        witness: WorkerId,
+        /// The joiner under audit.
+        subject: WorkerId,
+        /// The epoch of the admission.
+        epoch: u64,
+        /// The verdict.
+        admit: bool,
+    },
+    /// A joiner completed warmup and the witness vote admitted it.
+    JoinAdmitted {
+        /// The admitted worker.
+        worker: WorkerId,
+        /// The epoch it joined in.
+        epoch: u64,
+        /// Admit votes received.
+        votes_for: u64,
+        /// Evict votes received.
+        votes_against: u64,
+    },
+    /// The witness vote rejected a joiner's warmup claim; it was evicted
+    /// before entering `Train`.
+    WitnessEvicted {
+        /// The evicted worker.
+        worker: WorkerId,
+        /// The epoch that evicted it.
+        epoch: u64,
+        /// Admit votes received.
+        votes_for: u64,
+        /// Evict votes received.
+        votes_against: u64,
+    },
+    /// Data shards were re-partitioned over the epoch's membership (a
+    /// pure function of seed, epoch, and member set — the checksum pins
+    /// the assignment without journalling the full map).
+    ShardsReassigned {
+        /// The epoch the assignment serves.
+        epoch: u64,
+        /// Members sharing the shards.
+        members: u64,
+        /// FNV-style checksum of the full shard→member map.
+        checksum: u64,
+    },
 }
 
 impl EventKind {
@@ -311,6 +399,15 @@ impl EventKind {
             EventKind::TermBump { .. } => "term_bump",
             EventKind::StaleTermRejected { .. } => "stale_term_rejected",
             EventKind::WorkerRejoin { .. } => "worker_rejoin",
+            EventKind::EpochConfigured { .. } => "epoch_configured",
+            EventKind::EpochPhaseEntered { .. } => "epoch_phase_entered",
+            EventKind::JoinWindowClosed { .. } => "join_window_closed",
+            EventKind::JoinRequested { .. } => "join_requested",
+            EventKind::JoinDeferred { .. } => "join_deferred",
+            EventKind::WitnessVoteCast { .. } => "witness_vote_cast",
+            EventKind::JoinAdmitted { .. } => "join_admitted",
+            EventKind::WitnessEvicted { .. } => "witness_evicted",
+            EventKind::ShardsReassigned { .. } => "shards_reassigned",
         }
     }
 }

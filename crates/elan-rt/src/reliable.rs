@@ -103,6 +103,18 @@ impl RtMetrics {
 /// attempt rather than inventing attempt 0/1.
 const FIRST_RESEND_ATTEMPT: u32 = 2;
 
+/// First-contact grace (ms) the failure detector extends in remote mode
+/// to members it has never heard from. Remote founding workers are OS
+/// processes spawned by an external orchestrator *after* the coordinator
+/// is up; on a loaded machine, spawn + connect + init can easily outlast
+/// a heartbeat timeout tuned for steady-state silence, and condemning a
+/// worker that never arrived deadlocks the job (its late `Report` is not
+/// an admission path). Once a worker has been heard from, the normal
+/// heartbeat timeout applies. The epoch machine reuses this span as the
+/// default per-epoch join window (DESIGN.md §17): both answer "how long
+/// do we wait for a member we have never heard from".
+pub const REMOTE_FIRST_CONTACT_GRACE_MS: u64 = 10_000;
+
 /// A message the endpoint gave up on: the peer never acked within the
 /// attempt budget.
 #[derive(Debug, Clone)]

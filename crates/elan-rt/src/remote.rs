@@ -152,6 +152,7 @@ pub fn run_remote_worker(
         hb_period: Duration::from_millis(cfg.hb_period_ms),
         tick: Duration::from_millis(cfg.tick_ms),
         replication_chunk_elems: cfg.replication_chunk_elems,
+        compute: Duration::from_micros(cfg.compute_us),
     };
     run_worker(
         wcfg,

@@ -32,6 +32,7 @@ use parking_lot::Mutex;
 
 use elan_core::lease::LeaseId;
 use elan_core::obs::{AdjustmentPhase, MetricsSnapshot};
+use elan_core::protocol::EpochPhase;
 use elan_core::state::WorkerId;
 use elan_core::ElanError;
 use elan_sim::SimDuration;
@@ -40,12 +41,15 @@ use elan_topology::{ClusterSpec, GpuId, ReplicationPlanner, Topology};
 use crate::bus::{Bus, Endpoint, EndpointId, RtMsg};
 use crate::chaos::{ChaosPolicy, ChaosStats, PartitionWindow};
 use crate::comm::{CommGroup, CommTopology, TuningProfile};
+use crate::epoch::{EpochCmd, EpochConfig, EpochMachine};
 use crate::liveness::{AmDurable, AmPhase, CrashPoint, HeartbeatMonitor, PendingOp, SharedControl};
 use crate::obs::{
-    render_trace_report, AdjustmentTrace, Event, EventKind, EventSink, JournalSummary, Obs,
-    TraceKind, DEFAULT_RING_CAPACITY,
+    render_trace_report, AdjustmentTrace, Event, EventJournal, EventKind, EventSink,
+    JournalSummary, Obs, TraceKind, DEFAULT_RING_CAPACITY,
 };
-use crate::reliable::{ReliableEndpoint, RtMetrics, RtMetricsSnapshot};
+use crate::reliable::{
+    ReliableEndpoint, RtMetrics, RtMetricsSnapshot, REMOTE_FIRST_CONTACT_GRACE_MS,
+};
 use crate::time::{std_to_sim, TimeSource};
 use crate::transport::Transport;
 use crate::worker::{
@@ -60,16 +64,6 @@ const AM_OWNER_FLAG: u32 = 1 << 31;
 /// How often the controller re-issues an unacknowledged operation at the
 /// application level (covers AM failovers that swallowed the original).
 const OP_RESEND_EVERY: SimDuration = SimDuration::from_millis(400);
-
-/// First-contact grace (ms) the failure detector extends in remote mode
-/// to members it has never heard from. Remote founding workers are OS
-/// processes spawned by an external orchestrator *after* the coordinator
-/// is up; on a loaded machine, spawn + connect + init can easily outlast
-/// a heartbeat timeout tuned for steady-state silence, and condemning a
-/// worker that never arrived deadlocks the job (its late `Report` is not
-/// an admission path). Once a worker has been heard from, the normal
-/// heartbeat timeout applies.
-const REMOTE_FIRST_CONTACT_GRACE_MS: u64 = 10_000;
 
 /// Configuration of a live elastic job.
 #[derive(Debug, Clone, Copy)]
@@ -100,6 +94,21 @@ pub struct RuntimeConfig {
     pub tick_ms: u64,
     /// Elements per `StateChunk` message when replicating state.
     pub replication_chunk_elems: usize,
+    /// Simulated forward/backward cost per iteration (µs). `0` (the
+    /// default) trains at full speed. Under a virtual clock a busy
+    /// training loop never leaves an all-threads-quiescent moment, so
+    /// virtual time freezes and nothing time-gated (join windows,
+    /// partition heals, timeouts) can ever fire; a nonzero compute cost
+    /// makes each iteration's allreduce barrier park every worker and
+    /// advances the clock by roughly this much per iteration.
+    pub compute_us: u64,
+    /// Open-membership epoch machine (DESIGN.md §17): when set, the AM
+    /// ticks an [`EpochMachine`] and admits
+    /// [`open_join`](ElasticRuntime::open_join) workers at epoch
+    /// boundaries through warmup replication and a witness vote. `None`
+    /// (the default) leaves the runtime's closed-membership behaviour
+    /// untouched.
+    pub open_membership: Option<EpochConfig>,
 }
 
 impl RuntimeConfig {
@@ -121,6 +130,8 @@ impl RuntimeConfig {
             // 1024-elem test configs stream 4 chunks per buffer, so the
             // chunked path is exercised even by the small profile.
             replication_chunk_elems: 256,
+            compute_us: 0,
+            open_membership: None,
         }
     }
 
@@ -304,6 +315,25 @@ impl RuntimeBuilder {
     /// Replaces the whole [`RuntimeConfig`].
     pub fn config(mut self, cfg: RuntimeConfig) -> Self {
         self.cfg = cfg;
+        self
+    }
+
+    /// Sets the simulated per-iteration forward/backward cost (µs). See
+    /// [`RuntimeConfig::compute_us`]: under a virtual clock this is what
+    /// lets time-gated machinery (epoch join windows, partition windows,
+    /// timeouts) make progress while the cohort trains.
+    pub fn compute_us(mut self, us: u64) -> Self {
+        self.cfg.compute_us = us;
+        self
+    }
+
+    /// Turns on epoch-based open membership: the AM runs an
+    /// [`EpochMachine`] over the configured thresholds, and workers
+    /// spawned via [`ElasticRuntime::open_join`] are admitted at epoch
+    /// boundaries — warmed up over the chunked replication path and
+    /// audited by a witness vote — never mid-epoch.
+    pub fn open_membership(mut self, epoch: EpochConfig) -> Self {
+        self.cfg.open_membership = Some(epoch);
         self
     }
 
@@ -617,6 +647,7 @@ impl ElasticRuntime {
             hb_period: Duration::from_millis(self.cfg.hb_period_ms),
             tick: self.cfg.tick(),
             replication_chunk_elems: self.cfg.replication_chunk_elems,
+            compute: Duration::from_micros(self.cfg.compute_us),
         };
         let comm = Arc::clone(&self.comm);
         let telemetry = Arc::clone(&self.telemetry);
@@ -1012,6 +1043,41 @@ impl ElasticRuntime {
         self.adjust_to(target, TraceKind::ScaleIn);
     }
 
+    /// Spawns `n` open-membership joiners and returns their ids without
+    /// blocking: each announces itself with `JoinRequest` and is admitted
+    /// by the AM's epoch machine at the next epoch boundary — warmed up
+    /// over the chunked replication path and audited by a witness vote —
+    /// never mid-epoch. Requires
+    /// [`open_membership`](RuntimeBuilder::open_membership).
+    pub fn open_join(&mut self, n: u32) -> Vec<WorkerId> {
+        assert!(
+            self.cfg.open_membership.is_some(),
+            "open_join requires RuntimeBuilder::open_membership"
+        );
+        let mut ids = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let id = WorkerId(self.next_worker);
+            self.next_worker += 1;
+            self.spawn_worker(id, WorkerRole::OpenJoin { corrupt: false });
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Fault-injection variant of [`open_join`](Self::open_join): the
+    /// joiner deliberately mis-claims its warmup digest, so the witness
+    /// vote must evict it.
+    pub fn open_join_corrupt(&mut self) -> WorkerId {
+        assert!(
+            self.cfg.open_membership.is_some(),
+            "open_join_corrupt requires RuntimeBuilder::open_membership"
+        );
+        let id = WorkerId(self.next_worker);
+        self.next_worker += 1;
+        self.spawn_worker(id, WorkerRole::OpenJoin { corrupt: true });
+        id
+    }
+
     /// Migrates the job onto an entirely fresh set of workers of the same
     /// size.
     pub fn migrate(&mut self) {
@@ -1150,6 +1216,24 @@ fn am_thread(
         .first_contact_grace_ms
         .load(Ordering::SeqCst)
         .max(cfg.hb_timeout_ms);
+    // Open membership: the founding AM starts the epoch machine fresh; a
+    // failover successor rebuilds it from the durable record (epoch +
+    // phase + members), and in-flight joiners re-present themselves via
+    // their heartbeat-cadence `JoinRequest` re-announcements.
+    let machine = cfg.open_membership.map(|ecfg| {
+        let j = &ctrl.obs.journal;
+        if epoch == 0 {
+            EpochMachine::new(ecfg, j.now_us(), &durable.members, j)
+        } else {
+            EpochMachine::recover(
+                ecfg,
+                durable.train_epoch,
+                durable.epoch_phase,
+                &durable.members,
+                j.now_us(),
+            )
+        }
+    });
     AmCore {
         cfg,
         rep,
@@ -1176,6 +1260,7 @@ fn am_thread(
         checkpoint_req: None,
         awaiting_checkpoint: None,
         topology: planning_topology(),
+        machine,
     }
     .run();
 }
@@ -1232,6 +1317,11 @@ struct AmCore {
     /// A `CheckpointOrder{seq}` whose snapshot has not landed yet.
     awaiting_checkpoint: Option<u64>,
     topology: Topology,
+    /// Open-membership epoch machine (`Some` iff
+    /// [`RuntimeConfig::open_membership`] is set): decides *when* joiners
+    /// are admitted; the AM's adjustment pipeline remains the mechanism
+    /// that warms them up and folds them in.
+    machine: Option<EpochMachine>,
 }
 
 impl AmCore {
@@ -1265,6 +1355,170 @@ impl AmCore {
         } else {
             self.fenced = true;
             false
+        }
+    }
+
+    /// Runs `f` against the epoch machine (no-op when open membership is
+    /// off) and applies whatever commands it returns. The journal handle
+    /// is cloned up front so the closure can emit while the machine is
+    /// mutably borrowed.
+    fn with_machine(
+        &mut self,
+        f: impl FnOnce(&mut EpochMachine, u64, &EventJournal) -> Vec<EpochCmd>,
+    ) {
+        let j = Arc::clone(&self.ctrl.obs.journal);
+        let now = j.now_us();
+        let cmds = match self.machine.as_mut() {
+            Some(m) => f(m, now, &j),
+            None => return,
+        };
+        if !cmds.is_empty() {
+            self.apply_epoch_cmds(cmds);
+        }
+    }
+
+    /// Ticks the epoch machine's time-gated transitions. While the AM is
+    /// busy (mid-adjustment, a queued op, a stop, or an outstanding
+    /// checkpoint) the `WaitingForMembers` window is held open — a join
+    /// cohort must never arm its warmup op under an in-flight one — but
+    /// `Warmup` keeps ticking so deadline evictions still fire and a
+    /// silent joiner cannot wedge the pipeline.
+    fn epoch_tick(&mut self) {
+        let busy = !matches!(self.durable.phase, AmPhase::Steady)
+            || self.durable.pending.is_some()
+            || self.durable.stopping.is_some()
+            || self.awaiting_checkpoint.is_some();
+        self.with_machine(|m, now, j| {
+            if busy && m.phase() == EpochPhase::WaitingForMembers {
+                Vec::new()
+            } else {
+                m.tick(now, j)
+            }
+        });
+    }
+
+    /// An open-membership joiner announced itself (or re-claimed its
+    /// warmup digest). Pending joiners are marked `reported` so the
+    /// warmup adjustment can arm without a separate `Report` round-trip.
+    fn handle_join_request(&mut self, worker: WorkerId, digest: Option<u64>) {
+        if self.machine.is_none() {
+            return; // open membership off: stray message, ignore
+        }
+        self.with_machine(|m, now, j| m.join_request(worker, digest, now, j));
+        if self.machine.as_ref().is_some_and(|m| m.is_pending(worker)) {
+            self.reported.insert(worker);
+        }
+    }
+
+    /// A witness answered a `WitnessQuery` for a warmed-up joiner.
+    fn handle_witness_vote(
+        &mut self,
+        witness: WorkerId,
+        subject: WorkerId,
+        epoch: u64,
+        admit: bool,
+    ) {
+        self.with_machine(|m, now, j| m.witness_vote(witness, subject, epoch, admit, now, j));
+    }
+
+    /// Executes the epoch machine's decisions on the runtime: warmup
+    /// cohorts become pending adjustment ops, witness queries go out to
+    /// members, evictions prune the joiner from every in-flight target
+    /// and `Leave` it, and phase announcements persist the epoch record
+    /// and fan out `EpochAdvance`.
+    fn apply_epoch_cmds(&mut self, cmds: Vec<EpochCmd>) {
+        for cmd in cmds {
+            match cmd {
+                EpochCmd::StartWarmup { joiners, .. } => {
+                    let mut target: Vec<WorkerId> = self.durable.members.clone();
+                    for w in joiners {
+                        if !target.contains(&w) {
+                            target.push(w);
+                        }
+                    }
+                    target.sort_unstable();
+                    self.durable.pending = Some(PendingOp { seq: None, target });
+                    self.persist_fenced();
+                }
+                EpochCmd::QueryWitnesses {
+                    epoch,
+                    subject,
+                    probe,
+                    witnesses,
+                } => {
+                    let term = self.durable.term;
+                    for w in witnesses {
+                        self.rep.send(
+                            EndpointId::Worker(w),
+                            RtMsg::WitnessQuery {
+                                subject,
+                                epoch,
+                                probe,
+                                term,
+                            },
+                        );
+                    }
+                }
+                EpochCmd::Admit { .. } => {
+                    // Admission is effected by the warmup op's `Resume`:
+                    // the joiner is already in the op target.
+                }
+                EpochCmd::Evict { subject, .. } => {
+                    let prune = |target: &mut Vec<WorkerId>| target.retain(|w| *w != subject);
+                    if let Some(p) = &mut self.durable.pending {
+                        prune(&mut p.target);
+                    }
+                    match &mut self.durable.phase {
+                        AmPhase::Transferring { target, .. } | AmPhase::Resuming { target, .. } => {
+                            prune(target)
+                        }
+                        AmPhase::Steady => {}
+                    }
+                    self.reported.remove(&subject);
+                    self.rejoining.remove(&subject);
+                    self.coordinated.remove(&subject);
+                    self.hb.forget(subject);
+                    // Persist the pruned targets before the externally
+                    // visible dismissal (persist-before-act).
+                    if !self.persist_fenced() {
+                        return;
+                    }
+                    self.rep.send(
+                        EndpointId::Worker(subject),
+                        RtMsg::Leave {
+                            term: self.durable.term,
+                        },
+                    );
+                }
+                EpochCmd::Announce { epoch, phase } => {
+                    self.durable.train_epoch = epoch;
+                    self.durable.epoch_phase = phase;
+                    if !self.persist_fenced() {
+                        return;
+                    }
+                    let mut audience: BTreeSet<WorkerId> =
+                        self.durable.members.iter().copied().collect();
+                    match &self.durable.phase {
+                        AmPhase::Transferring { target, .. } | AmPhase::Resuming { target, .. } => {
+                            audience.extend(target.iter().copied());
+                        }
+                        AmPhase::Steady => {}
+                    }
+                    if let Some(p) = &self.durable.pending {
+                        audience.extend(p.target.iter().copied());
+                    }
+                    let term = self.durable.term;
+                    for w in audience {
+                        if self.dead.contains(&w) {
+                            continue;
+                        }
+                        self.rep.send(
+                            EndpointId::Worker(w),
+                            RtMsg::EpochAdvance { epoch, phase, term },
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -1332,6 +1586,7 @@ impl AmCore {
             for w in self.hb.dead(&self.live(), now) {
                 self.declare_dead(w);
             }
+            self.epoch_tick();
             if matches!(self.try_progress(), Step::Exit) {
                 return;
             }
@@ -1439,6 +1694,18 @@ impl AmCore {
                 term,
                 iteration,
             } => self.handle_rejoin(worker, term, iteration),
+            RtMsg::JoinRequest {
+                worker,
+                epoch: _,
+                digest,
+            } => self.handle_join_request(worker, digest),
+            RtMsg::WitnessVote {
+                witness,
+                subject,
+                epoch,
+                admit,
+                digest: _,
+            } => self.handle_witness_vote(witness, subject, epoch, admit),
             RtMsg::Heartbeat { worker, iteration } => {
                 // Liveness was noted in run(); the carried iteration feeds
                 // the shared progress view, which is how the controller
@@ -1546,6 +1813,20 @@ impl AmCore {
                         // Link-conflicting transfers never overlap.
                         self.issue_next_wave();
                         continue;
+                    }
+                    // Witness gate: a warmup op's transfers are done, but
+                    // the joiners' digests are still being audited by the
+                    // sampled witnesses. Hold the resume until the epoch
+                    // machine leaves `Warmup` (admitting or evicting every
+                    // joiner) so an evicted joiner is pruned from the
+                    // target before `Resume` fans out — an un-witnessed
+                    // worker never trains.
+                    if self
+                        .machine
+                        .as_ref()
+                        .is_some_and(|m| m.phase() == EpochPhase::Warmup)
+                    {
+                        return Step::Continue;
                     }
                     let Some(boundary) = self.boundary_ready() else {
                         return Step::Continue;
@@ -1708,6 +1989,9 @@ impl AmCore {
                     }
                     self.coordinated.clear();
                     self.last_boundary = boundary;
+                    // Plain training boundaries pace the epoch: adjustment
+                    // boundaries (resume_wave) deliberately don't count.
+                    self.with_machine(|m, now, j| m.boundary_released(now, j));
                     return Step::Continue;
                 }
             }
@@ -1882,6 +2166,12 @@ impl AmCore {
             );
         }
         self.durable.members = target.clone();
+        if let Some(m) = self.machine.as_mut() {
+            // Controller-driven adjustments (scale_out/in, migrate,
+            // failure scale-in) bypass the join pipeline; force-sync the
+            // epoch machine's membership view to the resumed cohort.
+            m.set_members(&target);
+        }
         *self.ctrl.members.lock() = target;
         match seq {
             Some(s) => {
@@ -2111,6 +2401,10 @@ impl AmCore {
             }
         }
         self.persist_fenced();
+        // The epoch machine tracks the loss too: a dead pending joiner is
+        // forgotten, a dead warmup witness is pruned from every vote set,
+        // and a mid-`Train` death below `min_members` aborts the epoch.
+        self.with_machine(|m, now, j| m.member_left(w, now, j));
     }
 }
 

@@ -15,6 +15,11 @@
 //!
 //! [`EventJournal`]: crate::obs::EventJournal
 
+use std::collections::BTreeSet;
+
+use elan_core::protocol::EpochPhase;
+use elan_core::state::WorkerId;
+
 use crate::obs::{Event, EventKind};
 
 /// One safety violation found in a journal replay.
@@ -223,6 +228,296 @@ pub fn check_term_safety(events: &[Event]) -> TermSafetyReport {
     }
 }
 
+/// One open-membership safety violation found in a journal replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpochViolation {
+    /// An `EpochPhaseEntered` went backwards in epochs.
+    NonMonotonicEpoch {
+        /// Journal sequence of the offending event.
+        seq: u64,
+        /// The epoch in force before it.
+        prev: u64,
+        /// The epoch it claimed.
+        next: u64,
+    },
+    /// A phase entry that the machine's diagram does not allow
+    /// (e.g. `Train` without a `Warmup`, or a new epoch that skipped
+    /// `Cooldown`).
+    IllegalPhaseTransition {
+        /// Journal sequence of the offending event.
+        seq: u64,
+        /// The phase (and epoch) in force before it.
+        from: (u64, EpochPhase),
+        /// The phase (and epoch) it entered.
+        to: (u64, EpochPhase),
+    },
+    /// A `Train` phase started with membership outside the configured
+    /// `[min_members, max_members]` thresholds.
+    MembershipOutOfBounds {
+        /// Journal sequence of the offending event.
+        seq: u64,
+        /// Members at `Train` entry.
+        members: u64,
+        /// Configured floor.
+        min: u64,
+        /// Configured cap.
+        max: u64,
+    },
+    /// A `JoinAdmitted` with no preceding admit `WitnessVoteCast` for
+    /// that (worker, epoch) — an un-witnessed admission.
+    UnwitnessedAdmission {
+        /// Journal sequence of the offending event.
+        seq: u64,
+        /// The admitted worker.
+        worker: WorkerId,
+        /// The admitting epoch.
+        epoch: u64,
+    },
+    /// A `JoinAdmitted` whose recorded tally does not carry a strict
+    /// majority (or carries no admit vote at all).
+    BadAdmissionTally {
+        /// Journal sequence of the offending event.
+        seq: u64,
+        /// The admitted worker.
+        worker: WorkerId,
+        /// Admit votes recorded.
+        votes_for: u64,
+        /// Evict votes recorded.
+        votes_against: u64,
+    },
+    /// A `JoinAdmitted` or `WitnessEvicted` landed while the epoch was
+    /// not in `Warmup` — membership changed mid-epoch.
+    AdmissionOutsidePhase {
+        /// Journal sequence of the offending event.
+        seq: u64,
+        /// The worker admitted or evicted.
+        worker: WorkerId,
+        /// The phase in force when it landed.
+        phase: EpochPhase,
+    },
+}
+
+impl std::fmt::Display for EpochViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EpochViolation::NonMonotonicEpoch { seq, prev, next } => {
+                write!(f, "event #{seq}: epoch {prev} -> {next} is not monotonic")
+            }
+            EpochViolation::IllegalPhaseTransition { seq, from, to } => write!(
+                f,
+                "event #{seq}: illegal phase transition {}@{} -> {}@{}",
+                from.1, from.0, to.1, to.0
+            ),
+            EpochViolation::MembershipOutOfBounds {
+                seq,
+                members,
+                min,
+                max,
+            } => write!(
+                f,
+                "event #{seq}: Train entered with {members} members outside [{min}, {max}]"
+            ),
+            EpochViolation::UnwitnessedAdmission { seq, worker, epoch } => write!(
+                f,
+                "event #{seq}: worker {worker} admitted in epoch {epoch} with no admit vote on record"
+            ),
+            EpochViolation::BadAdmissionTally {
+                seq,
+                worker,
+                votes_for,
+                votes_against,
+            } => write!(
+                f,
+                "event #{seq}: worker {worker} admitted on a {votes_for}-{votes_against} tally"
+            ),
+            EpochViolation::AdmissionOutsidePhase { seq, worker, phase } => write!(
+                f,
+                "event #{seq}: membership change for worker {worker} during {phase}"
+            ),
+        }
+    }
+}
+
+/// The outcome of an open-membership journal replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSafetyReport {
+    /// Every violation found, in journal order.
+    pub violations: Vec<EpochViolation>,
+    /// `EpochPhaseEntered` events replayed.
+    pub phases_seen: u64,
+    /// Admissions and evictions audited.
+    pub admissions_checked: u64,
+}
+
+impl EpochSafetyReport {
+    /// True when the replay found no violation.
+    pub fn is_safe(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for EpochSafetyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} violations over {} phase(s), {} admission(s)",
+            self.violations.len(),
+            self.phases_seen,
+            self.admissions_checked
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Replays `events` and proves the open-membership invariants of
+/// [`EpochMachine`](crate::epoch::EpochMachine): epochs are monotonic
+/// and phases follow the machine's diagram, every `Train` phase starts
+/// within the configured membership thresholds, and every admission is
+/// witnessed — backed by at least one recorded admit vote, a strict
+/// majority tally, and landing only during `Warmup`.
+///
+/// Like [`check_term_safety`], the checker is conservative about the
+/// journal being a bounded ring: with no retained `EpochConfigured`
+/// the threshold check is skipped, the first retained phase entry is
+/// adopted as baseline, and the witness-vote requirement only applies
+/// to epochs whose `Warmup` entry is itself retained (the votes land
+/// after it, so eviction cannot have split them).
+pub fn check_epoch_safety(events: &[Event]) -> EpochSafetyReport {
+    let mut violations = Vec::new();
+    let mut phases_seen = 0u64;
+    let mut admissions_checked = 0u64;
+    let mut bounds: Option<(u64, u64)> = None;
+    let mut current: Option<(u64, EpochPhase)> = None;
+    // Epochs whose Warmup entry is retained: vote-presence is enforceable.
+    let mut warmups_retained: BTreeSet<u64> = BTreeSet::new();
+    // (subject, epoch) pairs with a retained admit vote.
+    let mut admit_votes: BTreeSet<(WorkerId, u64)> = BTreeSet::new();
+    for event in events {
+        match &event.kind {
+            EventKind::EpochConfigured {
+                min_members,
+                max_members,
+                ..
+            } => {
+                bounds = Some((*min_members, *max_members));
+            }
+            EventKind::EpochPhaseEntered {
+                epoch,
+                phase,
+                members,
+            } => {
+                phases_seen += 1;
+                match current {
+                    Some((prev, _)) if *epoch < prev => {
+                        violations.push(EpochViolation::NonMonotonicEpoch {
+                            seq: event.seq,
+                            prev,
+                            next: *epoch,
+                        });
+                    }
+                    Some(from) => {
+                        let legal = match (from.1, *phase) {
+                            (EpochPhase::WaitingForMembers, EpochPhase::Warmup)
+                            | (EpochPhase::Warmup, EpochPhase::Train)
+                            | (EpochPhase::Warmup, EpochPhase::Cooldown)
+                            | (EpochPhase::Train, EpochPhase::Cooldown) => *epoch == from.0,
+                            (EpochPhase::Cooldown, EpochPhase::WaitingForMembers) => {
+                                *epoch == from.0 + 1
+                            }
+                            _ => false,
+                        };
+                        if !legal {
+                            violations.push(EpochViolation::IllegalPhaseTransition {
+                                seq: event.seq,
+                                from,
+                                to: (*epoch, *phase),
+                            });
+                        }
+                    }
+                    None => {} // ring evicted the prefix: adopt as baseline
+                }
+                current = Some((*epoch, *phase));
+                if *phase == EpochPhase::Warmup {
+                    warmups_retained.insert(*epoch);
+                }
+                if *phase == EpochPhase::Train {
+                    if let Some((min, max)) = bounds {
+                        if *members < min || *members > max {
+                            violations.push(EpochViolation::MembershipOutOfBounds {
+                                seq: event.seq,
+                                members: *members,
+                                min,
+                                max,
+                            });
+                        }
+                    }
+                }
+            }
+            EventKind::WitnessVoteCast {
+                subject,
+                epoch,
+                admit,
+                ..
+            } if *admit => {
+                admit_votes.insert((*subject, *epoch));
+            }
+            EventKind::JoinAdmitted {
+                worker,
+                epoch,
+                votes_for,
+                votes_against,
+            } => {
+                admissions_checked += 1;
+                if *votes_for == 0 || *votes_for <= *votes_against {
+                    violations.push(EpochViolation::BadAdmissionTally {
+                        seq: event.seq,
+                        worker: *worker,
+                        votes_for: *votes_for,
+                        votes_against: *votes_against,
+                    });
+                }
+                if warmups_retained.contains(epoch) && !admit_votes.contains(&(*worker, *epoch)) {
+                    violations.push(EpochViolation::UnwitnessedAdmission {
+                        seq: event.seq,
+                        worker: *worker,
+                        epoch: *epoch,
+                    });
+                }
+                if let Some((_, phase)) = current {
+                    if phase != EpochPhase::Warmup {
+                        violations.push(EpochViolation::AdmissionOutsidePhase {
+                            seq: event.seq,
+                            worker: *worker,
+                            phase,
+                        });
+                    }
+                }
+            }
+            EventKind::WitnessEvicted { worker, .. } => {
+                admissions_checked += 1;
+                if let Some((_, phase)) = current {
+                    if phase != EpochPhase::Warmup {
+                        violations.push(EpochViolation::AdmissionOutsidePhase {
+                            seq: event.seq,
+                            worker: *worker,
+                            phase,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    EpochSafetyReport {
+        violations,
+        phases_seen,
+        admissions_checked,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,5 +666,210 @@ mod tests {
         let report = check_term_safety(&[]);
         assert!(report.is_safe());
         assert_eq!(report.terms_seen, 0);
+    }
+
+    fn w(n: u32) -> WorkerId {
+        WorkerId(n)
+    }
+
+    fn phase(seq: u64, epoch: u64, phase: EpochPhase, members: u64) -> Event {
+        ev(
+            seq,
+            EventKind::EpochPhaseEntered {
+                epoch,
+                phase,
+                members,
+            },
+        )
+    }
+
+    fn configured(seq: u64, min: u64, max: u64) -> Event {
+        ev(
+            seq,
+            EventKind::EpochConfigured {
+                min_members: min,
+                max_members: max,
+                join_window_ms: 10,
+            },
+        )
+    }
+
+    #[test]
+    fn clean_epoch_history_is_safe() {
+        let events = vec![
+            configured(0, 2, 4),
+            phase(1, 0, EpochPhase::WaitingForMembers, 2),
+            phase(2, 0, EpochPhase::Warmup, 2),
+            ev(
+                3,
+                EventKind::WitnessVoteCast {
+                    witness: w(1),
+                    subject: w(9),
+                    epoch: 0,
+                    admit: true,
+                },
+            ),
+            ev(
+                4,
+                EventKind::JoinAdmitted {
+                    worker: w(9),
+                    epoch: 0,
+                    votes_for: 1,
+                    votes_against: 0,
+                },
+            ),
+            phase(5, 0, EpochPhase::Train, 3),
+            phase(6, 0, EpochPhase::Cooldown, 3),
+            phase(7, 1, EpochPhase::WaitingForMembers, 3),
+        ];
+        let report = check_epoch_safety(&events);
+        assert!(report.is_safe(), "{report}");
+        assert_eq!(report.phases_seen, 5);
+        assert_eq!(report.admissions_checked, 1);
+    }
+
+    #[test]
+    fn train_without_warmup_is_flagged() {
+        let events = vec![
+            phase(0, 0, EpochPhase::WaitingForMembers, 2),
+            phase(1, 0, EpochPhase::Train, 2),
+        ];
+        assert!(matches!(
+            check_epoch_safety(&events).violations[..],
+            [EpochViolation::IllegalPhaseTransition { .. }]
+        ));
+    }
+
+    #[test]
+    fn epoch_going_backwards_is_flagged() {
+        let events = vec![
+            phase(0, 3, EpochPhase::Cooldown, 2),
+            phase(1, 2, EpochPhase::WaitingForMembers, 2),
+        ];
+        assert!(matches!(
+            check_epoch_safety(&events).violations[..],
+            [EpochViolation::NonMonotonicEpoch {
+                prev: 3,
+                next: 2,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn under_strength_train_is_flagged() {
+        let events = vec![
+            configured(0, 3, 8),
+            phase(1, 0, EpochPhase::Warmup, 2),
+            phase(2, 0, EpochPhase::Train, 2),
+        ];
+        assert!(matches!(
+            check_epoch_safety(&events).violations[..],
+            [EpochViolation::MembershipOutOfBounds {
+                members: 2,
+                min: 3,
+                max: 8,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn unwitnessed_admission_is_flagged() {
+        let events = vec![
+            phase(0, 1, EpochPhase::Warmup, 2),
+            ev(
+                1,
+                EventKind::JoinAdmitted {
+                    worker: w(9),
+                    epoch: 1,
+                    votes_for: 2,
+                    votes_against: 0,
+                },
+            ),
+        ];
+        assert!(matches!(
+            check_epoch_safety(&events).violations[..],
+            [EpochViolation::UnwitnessedAdmission { epoch: 1, .. }]
+        ));
+    }
+
+    #[test]
+    fn minority_tally_admission_is_flagged() {
+        let events = vec![
+            phase(0, 1, EpochPhase::Warmup, 3),
+            ev(
+                1,
+                EventKind::WitnessVoteCast {
+                    witness: w(1),
+                    subject: w(9),
+                    epoch: 1,
+                    admit: true,
+                },
+            ),
+            ev(
+                2,
+                EventKind::JoinAdmitted {
+                    worker: w(9),
+                    epoch: 1,
+                    votes_for: 1,
+                    votes_against: 2,
+                },
+            ),
+        ];
+        assert!(matches!(
+            check_epoch_safety(&events).violations[..],
+            [EpochViolation::BadAdmissionTally {
+                votes_for: 1,
+                votes_against: 2,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn mid_train_admission_is_flagged() {
+        let events = vec![
+            phase(0, 1, EpochPhase::Warmup, 2),
+            ev(
+                1,
+                EventKind::WitnessVoteCast {
+                    witness: w(1),
+                    subject: w(9),
+                    epoch: 1,
+                    admit: true,
+                },
+            ),
+            phase(2, 1, EpochPhase::Train, 2),
+            ev(
+                3,
+                EventKind::JoinAdmitted {
+                    worker: w(9),
+                    epoch: 1,
+                    votes_for: 1,
+                    votes_against: 0,
+                },
+            ),
+        ];
+        assert!(matches!(
+            check_epoch_safety(&events).violations[..],
+            [EpochViolation::AdmissionOutsidePhase {
+                phase: EpochPhase::Train,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn evicted_prefix_is_tolerated() {
+        // The ring dropped everything before this epoch's Train: no
+        // config, no Warmup entry — the checker adopts the baseline and
+        // skips the unenforceable checks.
+        let events = vec![
+            phase(0, 7, EpochPhase::Train, 5),
+            phase(1, 7, EpochPhase::Cooldown, 5),
+            phase(2, 8, EpochPhase::WaitingForMembers, 5),
+        ];
+        assert!(check_epoch_safety(&events).is_safe());
     }
 }

@@ -81,6 +81,10 @@ pub struct WorkerConfig {
     pub tick: Duration,
     /// Elements per [`RtMsg::StateChunk`] when replicating state.
     pub replication_chunk_elems: usize,
+    /// Simulated forward/backward cost per iteration. `ZERO` trains at
+    /// full speed; nonzero paces the virtual clock (see
+    /// `RuntimeConfig::compute_us`).
+    pub compute: Duration,
 }
 
 /// How a worker enters the job.
@@ -111,6 +115,15 @@ pub enum WorkerRole {
         term: u64,
         /// Boundary iteration of the last state it had applied.
         iteration: u64,
+    },
+    /// Open-membership joiner (DESIGN.md §17): announces itself with
+    /// `JoinRequest`, is admitted at an epoch boundary by the AM's epoch
+    /// machine, warms up over the chunked replication path, then claims
+    /// its state digest for the witness vote.
+    OpenJoin {
+        /// Fault injection: mis-claim the warmup digest so the witness
+        /// vote must evict this joiner.
+        corrupt: bool,
     },
 }
 
@@ -165,6 +178,15 @@ pub fn simulate_training(
 pub fn checksum(buf: &[f32]) -> u64 {
     buf.iter()
         .fold(0u64, |acc, &v| acc.rotate_left(7) ^ u64::from(v.to_bits()))
+}
+
+/// The warmup digest an open-membership joiner claims (and a witness
+/// recomputes over its own boundary state): a bit-exact fold over both
+/// training buffers. At a coordination boundary every data-parallel
+/// member holds identical state, so an honestly warmed-up joiner's
+/// digest matches every witness's.
+pub fn state_digest(params: &[f32], momentum: &[f32]) -> u64 {
+    checksum(params) ^ checksum(momentum).rotate_left(1)
 }
 
 /// One prepared state chunk: `(kind, index, total, offset, payload)`.
@@ -314,6 +336,8 @@ fn msg_term(msg: &RtMsg) -> Option<u64> {
         | RtMsg::Resume { term, .. }
         | RtMsg::Leave { term }
         | RtMsg::CheckpointOrder { term, .. }
+        | RtMsg::WitnessQuery { term, .. }
+        | RtMsg::EpochAdvance { term, .. }
         | RtMsg::AmReset { term, .. } => Some(*term),
         _ => None,
     }
@@ -344,13 +368,17 @@ fn fence(highest_term: &mut u64, msg: RtMsg, rep: &ReliableEndpoint) -> Option<R
 }
 
 /// (Re-)announces this worker to the AM: joiners report readiness,
-/// rejoiners present their crash incarnation's credentials.
+/// rejoiners present their crash incarnation's credentials, and
+/// open-membership joiners send `JoinRequest` — carrying their warmup
+/// digest claim (`digest`) once state has landed.
 fn announce(
     rep: &mut ReliableEndpoint,
     id: WorkerId,
     role: &WorkerRole,
     term: u64,
     iteration: u64,
+    epoch: u64,
+    digest: Option<u64>,
 ) {
     match role {
         WorkerRole::Rejoin { .. } => {
@@ -360,6 +388,16 @@ fn announce(
                     worker: id,
                     term,
                     iteration,
+                },
+            );
+        }
+        WorkerRole::OpenJoin { .. } => {
+            rep.send(
+                EndpointId::Am,
+                RtMsg::JoinRequest {
+                    worker: id,
+                    epoch,
+                    digest,
                 },
             );
         }
@@ -436,19 +474,54 @@ pub fn run_worker(
         highest_term = *term;
         iteration = *it;
     }
-    if matches!(role, WorkerRole::Joining | WorkerRole::Rejoin { .. }) {
+    if matches!(
+        role,
+        WorkerRole::Joining | WorkerRole::Rejoin { .. } | WorkerRole::OpenJoin { .. }
+    ) {
         // Step ②: report readiness after "initialization" (the buffer
         // allocation above), then wait for state replication (step ④).
         // Rejoiners announce with their crash credentials instead; the
         // announce is re-sent periodically because an AM that is
         // mid-adjustment defers admission without replying.
-        announce(&mut rep, cfg.id, &role, highest_term, iteration);
+        let open_join = matches!(role, WorkerRole::OpenJoin { .. });
+        let corrupt_mask = match role {
+            // Fault injection: flip digest bits so witnesses must evict.
+            WorkerRole::OpenJoin { corrupt: true } => 0xdead_beef_u64,
+            _ => 0,
+        };
+        // The epoch the AM last announced; JoinRequests carry it so the
+        // machine can tell a fresh announce from a stale one.
+        let mut known_epoch: u64 = 0;
+        announce(
+            &mut rep,
+            cfg.id,
+            &role,
+            highest_term,
+            iteration,
+            known_epoch,
+            None,
+        );
         let mut last_announce = time.now();
         let mut have_state = false;
         let mut pending_resume: Option<u64> = None;
         let mut assembly = SnapshotAssembly::new();
         loop {
             if ctrl.worker_crashed(cfg.id) {
+                return;
+            }
+            if open_join && ctrl.shutting_down() {
+                // A deferred or window-parked joiner is not a member: the
+                // AM's `Stop` never sends it a `Leave`, so it must notice
+                // the shutdown itself or the teardown join would hang.
+                publish(
+                    &telemetry,
+                    cfg.id,
+                    iteration,
+                    data_cursor,
+                    &params,
+                    false,
+                    stalled,
+                );
                 return;
             }
             let _ = rep.tick();
@@ -467,10 +540,25 @@ pub fn run_worker(
             // longer than the retry budget would otherwise wait silently
             // forever — the AM that eventually serves the adjustment has
             // never heard of it (the joiner predates the AM's AmReset
-            // audience). Report/Rejoin are idempotent at the AM, so fresh
-            // announces are always safe.
-            if !have_state && time.now().saturating_duration_since(last_announce) >= hb_period {
-                announce(&mut rep, cfg.id, &role, highest_term, iteration);
+            // audience). Report/Rejoin/JoinRequest are idempotent at the
+            // AM, so fresh announces are always safe. An open joiner keeps
+            // announcing even after state lands: its digest claim may have
+            // died with a failed-over AM, and a deferred joiner must
+            // re-present itself at the next epoch's window.
+            if (!have_state || open_join)
+                && time.now().saturating_duration_since(last_announce) >= hb_period
+            {
+                let claim = (open_join && have_state)
+                    .then(|| state_digest(&params, &momentum) ^ corrupt_mask);
+                announce(
+                    &mut rep,
+                    cfg.id,
+                    &role,
+                    highest_term,
+                    iteration,
+                    known_epoch,
+                    claim,
+                );
                 last_announce = time.now();
             }
             let Some((_, msg)) = rep.recv_timeout(cfg.tick) else {
@@ -515,6 +603,22 @@ pub fn run_worker(
                             data_cursor = dc;
                             have_state = true;
                         }
+                        if open_join && have_state {
+                            // Claim the warmup digest right away — the
+                            // witness round gates the whole cohort's
+                            // resume, so don't wait out a heartbeat.
+                            let claim = Some(state_digest(&params, &momentum) ^ corrupt_mask);
+                            announce(
+                                &mut rep,
+                                cfg.id,
+                                &role,
+                                highest_term,
+                                iteration,
+                                known_epoch,
+                                claim,
+                            );
+                            last_announce = time.now();
+                        }
                         if let Some(generation) = pending_resume.take() {
                             last_seen_gen = generation;
                             break;
@@ -542,9 +646,24 @@ pub fn run_worker(
                     );
                     return;
                 }
+                RtMsg::EpochAdvance { epoch, .. } => {
+                    // Track the AM's announced epoch so (re-)announces
+                    // carry a current window reference.
+                    known_epoch = known_epoch.max(epoch);
+                }
                 RtMsg::AmReset { .. } => {
                     // A replacement AM solicits state afresh (§V-D).
-                    announce(&mut rep, cfg.id, &role, highest_term, iteration);
+                    let claim = (open_join && have_state)
+                        .then(|| state_digest(&params, &momentum) ^ corrupt_mask);
+                    announce(
+                        &mut rep,
+                        cfg.id,
+                        &role,
+                        highest_term,
+                        iteration,
+                        known_epoch,
+                        claim,
+                    );
                     last_announce = time.now();
                 }
                 _ => {}
@@ -575,7 +694,13 @@ pub fn run_worker(
                 },
             );
         }
-        // Forward/backward: the synthetic kernel.
+        // Forward/backward: the synthetic kernel. The optional compute
+        // cost parks this worker so the virtual clock can advance while
+        // the cohort trains (time.sleep may return early on a wake; that
+        // only shortens the pause, never blocks progress).
+        if !cfg.compute.is_zero() {
+            time.sleep(cfg.compute);
+        }
         gradient(cfg.id, iteration, &mut grad);
         // Gradient aggregation over the collective group. The group picks
         // the engine (flat / chunked / hierarchical) per round from the
@@ -758,6 +883,29 @@ pub fn run_worker(
                             RtMsg::TransferDone {
                                 src: cfg.id,
                                 dst: cfg.id,
+                            },
+                        );
+                    }
+                    RtMsg::WitnessQuery {
+                        subject,
+                        epoch,
+                        probe,
+                        ..
+                    } => {
+                        // Witness step: recompute the digest over *our*
+                        // boundary state and vote on the joiner's claim.
+                        // We are parked at the very boundary the joiner's
+                        // state was streamed from, so an honest claim
+                        // matches bit-exactly.
+                        let d = state_digest(&params, &momentum);
+                        rep.send(
+                            EndpointId::Am,
+                            RtMsg::WitnessVote {
+                                witness: cfg.id,
+                                subject,
+                                epoch,
+                                admit: probe == d,
+                                digest: d,
                             },
                         );
                     }

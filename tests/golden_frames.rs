@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use elan::core::codec::{decode_frame, encode_frame, WireFrame};
 use elan::core::messages::{MsgId, StateKind};
-use elan::core::protocol::{EndpointId, Envelope, RtMsg};
+use elan::core::protocol::{EndpointId, Envelope, EpochPhase, RtMsg};
 use elan::core::state::WorkerId;
 
 /// Wraps a payload in the fixed envelope every corpus entry shares, so
@@ -148,6 +148,49 @@ fn corpus() -> Vec<(&'static str, WireFrame)> {
                 worker: WorkerId(6),
                 term: 8,
                 iteration: 13,
+            }),
+        ),
+        (
+            "join_request",
+            msg(RtMsg::JoinRequest {
+                worker: WorkerId(7),
+                epoch: 3,
+                digest: None,
+            }),
+        ),
+        (
+            "join_request_digest",
+            msg(RtMsg::JoinRequest {
+                worker: WorkerId(7),
+                epoch: 3,
+                digest: Some(0x1234_5678_9abc_def0),
+            }),
+        ),
+        (
+            "epoch_advance",
+            msg(RtMsg::EpochAdvance {
+                epoch: 4,
+                phase: EpochPhase::Warmup,
+                term: 9,
+            }),
+        ),
+        (
+            "witness_query",
+            msg(RtMsg::WitnessQuery {
+                subject: WorkerId(8),
+                epoch: 4,
+                probe: 0xfeed_face_cafe_beef,
+                term: 9,
+            }),
+        ),
+        (
+            "witness_vote",
+            msg(RtMsg::WitnessVote {
+                witness: WorkerId(2),
+                subject: WorkerId(8),
+                epoch: 4,
+                admit: true,
+                digest: 0xfeed_face_cafe_beef,
             }),
         ),
     ]

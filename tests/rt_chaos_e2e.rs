@@ -40,9 +40,11 @@
 use std::time::Duration;
 
 use elan::core::obs::AdjustmentPhase;
+use elan::core::protocol::EpochPhase;
+use elan::core::state::WorkerId;
 use elan::rt::{
-    check_term_safety, ChaosPolicy, CrashPoint, ElasticRuntime, EndpointId, EventKind,
-    RuntimeConfig, ShutdownReport, TimeSource, TraceKind,
+    check_epoch_safety, check_term_safety, shard_checksum, ChaosPolicy, CrashPoint, ElasticRuntime,
+    EndpointId, EpochConfig, EventKind, RuntimeConfig, ShutdownReport, TimeSource, TraceKind,
 };
 
 /// Writes the run's retained event journal to
@@ -546,4 +548,233 @@ fn crashed_worker_rejoins_bit_identical() {
         "momentum diverged from the never-crashed replay"
     );
     assert_eq!(cp.data_cursor, ref_cursor, "serial data cursor diverged");
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-based open membership (DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+/// Epoch config for the open-membership scenarios: a short join window,
+/// three-boundary epochs, and two-witness digest audits.
+fn open_epochs(seed: u64) -> EpochConfig {
+    EpochConfig {
+        min_members: 3,
+        max_members: 8,
+        join_window_ms: 200,
+        train_boundaries: 3,
+        witness_sample: 2,
+        shard_count: 64,
+        seed,
+    }
+}
+
+/// Asserts every `JoinAdmitted` in the journal landed while the epoch
+/// machine was in `Warmup` of the same epoch — the event-sequence
+/// formulation of "admitted at an epoch boundary, never mid-epoch".
+fn assert_admissions_at_boundaries(report: &ShutdownReport) {
+    let mut current: Option<(u64, EpochPhase)> = None;
+    for e in &report.events {
+        match e.kind {
+            EventKind::EpochPhaseEntered { epoch, phase, .. } => {
+                current = Some((epoch, phase));
+            }
+            EventKind::JoinAdmitted { worker, epoch, .. } => {
+                assert_eq!(
+                    current,
+                    Some((epoch, EpochPhase::Warmup)),
+                    "{worker:?} admitted outside epoch {epoch}'s warmup (machine was at {current:?})"
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn open_join_is_admitted_at_an_epoch_boundary() {
+    let mut rt = ElasticRuntime::builder()
+        .workers(3)
+        .time(TimeSource::virtual_seeded(31))
+        .compute_us(500)
+        .open_membership(open_epochs(31))
+        .start()
+        .unwrap();
+    rt.run_until_iteration(10);
+    // Two cold joiners announce themselves; nobody asked the controller.
+    // The epoch machine defers them to the next join window, warms them
+    // up over the chunked replication path, audits their digests with
+    // two witnesses each, and folds them in at the boundary.
+    let joiners = rt.open_join(2);
+    assert!(
+        rt.wait_for_members(5, Duration::from_secs(120)),
+        "joiners were never admitted"
+    );
+    rt.run_until_iteration(40);
+    let report = rt.shutdown();
+    dump_journal("open_join_is_admitted_at_an_epoch_boundary", &report);
+
+    assert_eq!(report.final_world_size, 5);
+    assert!(report.states_consistent(), "join diverged: {report:?}");
+    for w in &joiners {
+        assert!(
+            report.events.iter().any(|e| matches!(
+                e.kind,
+                EventKind::JoinAdmitted { worker, .. } if worker == *w
+            )),
+            "no join_admitted for {w:?}: {:?}",
+            report.journal
+        );
+    }
+    // Each admission was witnessed: two votes per joiner, minimum.
+    assert!(
+        report.journal.count("witness_vote_cast") >= 4,
+        "missing witness votes: {:?}",
+        report.journal
+    );
+    assert_admissions_at_boundaries(&report);
+    let es = check_epoch_safety(&report.events);
+    assert!(es.is_safe(), "{es}");
+    let ts = check_term_safety(&report.events);
+    assert!(ts.is_safe(), "{ts}");
+}
+
+#[test]
+fn partition_swallowed_join_is_admitted_at_the_next_boundary() {
+    let mut rt = ElasticRuntime::builder()
+        .workers(3)
+        .chaos(ChaosPolicy::new(37)) // no scripted faults: engine only
+        .time(TimeSource::virtual_seeded(37))
+        .compute_us(500)
+        .open_membership(open_epochs(37))
+        .start()
+        .unwrap();
+    rt.run_until_iteration(10);
+    // Cut the joiner's endpoint off from the whole job *before* it is
+    // spawned, for long enough to swallow several join windows: its
+    // announces vanish into the partition, so the AM has never heard of
+    // it when those windows close.
+    let predicted = WorkerId(3);
+    assert!(
+        rt.partition(
+            "join-blackout",
+            vec![vec![EndpointId::Worker(predicted)]],
+            Duration::from_secs(5),
+        ),
+        "no chaos engine to script the partition"
+    );
+    let joiner = rt.open_join(1)[0];
+    assert_eq!(joiner, predicted, "worker id allocation changed");
+    // After the heal, the joiner's heartbeat-cadence re-announce lands,
+    // and it is admitted at the *next* epoch boundary — never mid-epoch.
+    assert!(
+        rt.wait_for_members(4, Duration::from_secs(120)),
+        "joiner was never admitted after the partition healed"
+    );
+    rt.run_until_iteration(60);
+    let report = rt.shutdown();
+    dump_journal(
+        "partition_swallowed_join_is_admitted_at_the_next_boundary",
+        &report,
+    );
+
+    assert_eq!(report.final_world_size, 4);
+    assert!(report.states_consistent(), "join diverged: {report:?}");
+    let admitted_epoch = report
+        .events
+        .iter()
+        .find_map(|e| match e.kind {
+            EventKind::JoinAdmitted { worker, epoch, .. } if worker == joiner => Some(epoch),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no join_admitted for {joiner:?}: {:?}", report.journal));
+    // Five virtual seconds of blackout outlast the genesis window by an
+    // order of magnitude: the admission provably used a later epoch.
+    assert!(
+        admitted_epoch >= 1,
+        "joiner admitted in the genesis window it was partitioned through"
+    );
+    assert_admissions_at_boundaries(&report);
+    let es = check_epoch_safety(&report.events);
+    assert!(es.is_safe(), "{es}");
+    let ts = check_term_safety(&report.events);
+    assert!(ts.is_safe(), "{ts}");
+}
+
+#[test]
+fn corrupt_warmup_digest_is_evicted_by_witness_vote() {
+    let mut rt = ElasticRuntime::builder()
+        .workers(3)
+        .time(TimeSource::virtual_seeded(41))
+        .compute_us(500)
+        .open_membership(open_epochs(41))
+        .start()
+        .unwrap();
+    rt.run_until_iteration(10);
+    // Two joiners share a join window; one lies about its warmup digest.
+    let honest = rt.open_join(1)[0];
+    let corrupt = rt.open_join_corrupt();
+    assert!(
+        rt.wait_for_members(4, Duration::from_secs(120)),
+        "honest joiner was never admitted"
+    );
+    // The liar is dismissed with a `Leave`; wait for its exit to land in
+    // telemetry so the journal assertions below cannot race it.
+    let deadline = Duration::from_secs(60);
+    let t0 = rt.time().now();
+    while rt.time().now().saturating_duration_since(t0) < elan::rt::time::std_to_sim(deadline) {
+        if rt.snapshot().get(&corrupt).is_some_and(|v| !v.alive) {
+            break;
+        }
+        rt.time().sleep(Duration::from_millis(2));
+    }
+    rt.run_until_iteration(40);
+    let report = rt.shutdown();
+    dump_journal("corrupt_warmup_digest_is_evicted_by_witness_vote", &report);
+
+    assert_eq!(report.final_world_size, 4, "liar ended up a member");
+    assert!(report.states_consistent(), "{report:?}");
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::WitnessEvicted { worker, .. } if worker == corrupt
+        )),
+        "no witness_evicted for {corrupt:?}: {:?}",
+        report.journal
+    );
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::JoinAdmitted { worker, .. } if worker == honest
+        )),
+        "no join_admitted for honest {honest:?}: {:?}",
+        report.journal
+    );
+    // The evicted joiner's would-be shards were re-assigned over the
+    // surviving membership by the seeded pure function: the journalled
+    // checksum must match an independent recomputation.
+    let (epoch, members, checksum) = report
+        .events
+        .iter()
+        .rev()
+        .find_map(|e| match e.kind {
+            EventKind::ShardsReassigned {
+                epoch,
+                members,
+                checksum,
+            } => Some((epoch, members, checksum)),
+            _ => None,
+        })
+        .expect("no shards_reassigned event");
+    assert_eq!(members, 4, "last shard map not over the final membership");
+    let survivors = [WorkerId(0), WorkerId(1), WorkerId(2), honest];
+    assert_eq!(
+        checksum,
+        shard_checksum(41, epoch, 64, &survivors),
+        "shard re-assignment diverged from the seeded pure function"
+    );
+    assert_admissions_at_boundaries(&report);
+    let es = check_epoch_safety(&report.events);
+    assert!(es.is_safe(), "{es}");
+    let ts = check_term_safety(&report.events);
+    assert!(ts.is_safe(), "{ts}");
 }
